@@ -1,0 +1,78 @@
+// Experiment E3 — Theorem 3.4 (upper bound for all beta, potential games).
+//
+// claim: t_mix(eps) <= 2mn e^{beta DeltaPhi}(log 1/eps + beta DeltaPhi +
+// n log m). We compute the exact worst-case t_mix of the full chain and
+// print it against the bound; the bound must dominate at every beta, and
+// its exponential rate (DeltaPhi) must upper-bound the measured rate.
+#include <iostream>
+
+#include "analysis/bounds.hpp"
+#include "analysis/potential_stats.hpp"
+#include "bench_common.hpp"
+#include "core/chain.hpp"
+#include "core/gibbs.hpp"
+#include "games/plateau.hpp"
+#include "games/random_potential.hpp"
+#include "rng/rng.hpp"
+
+using namespace logitdyn;
+
+int main() {
+  bench::print_header(
+      "E3: mixing time vs the Theorem 3.4 upper bound",
+      "claim: t_mix <= 2mn e^{beta*DPhi}(log 4 + beta*DPhi + n log m) for "
+      "every potential game and every beta");
+
+  {
+    bench::print_section("plateau game, n = 6, g = 3, l = 1 (64 states)");
+    PlateauGame game(6, 3.0, 1.0);
+    Table table({"beta", "t_mix (exact)", "thm 3.4 bound", "bound/t_mix"});
+    std::vector<double> betas, times;
+    for (double beta : {0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0}) {
+      LogitChain chain(game, beta);
+      const MixingResult mix = bench::exact_tmix(chain);
+      const double bound = bounds::thm34_tmix_upper(6, 2, beta, 3.0, 0.25);
+      table.row()
+          .cell(beta, 2)
+          .cell(bench::tmix_cell(mix))
+          .cell_sci(bound)
+          .cell(mix.converged ? bound / double(mix.time) : 0.0, 1);
+      if (mix.converged && beta >= 1.0) {
+        betas.push_back(beta);
+        times.push_back(double(mix.time));
+      }
+    }
+    table.print(std::cout);
+    const LineFit fit = bench::rate_fit(betas, times);
+    std::cout << "measured exp. rate of t_mix in beta: " << format_double(fit.slope, 3)
+              << "  (bound rate = DeltaPhi = 3.0; measured must be <=)\n";
+  }
+
+  {
+    bench::print_section("random potential games, n = 3, m = 3 (27 states)");
+    Rng rng(7);
+    Table table({"trial", "DeltaPhi", "beta", "t_mix", "thm 3.4 bound",
+                 "holds"});
+    for (int trial = 0; trial < 4; ++trial) {
+      const TablePotentialGame game =
+          make_random_potential_game(ProfileSpace(3, 3), 1.5, rng);
+      const std::vector<double> phi = potential_table(game);
+      const PotentialStats stats = potential_stats(game.space(), phi);
+      for (double beta : {0.5, 1.5, 3.0}) {
+        LogitChain chain(game, beta);
+        const MixingResult mix = bench::exact_tmix(chain);
+        const double bound = bounds::thm34_tmix_upper(
+            3, 3, beta, stats.global_variation, 0.25);
+        table.row()
+            .cell(trial)
+            .cell(stats.global_variation, 3)
+            .cell(beta, 2)
+            .cell(bench::tmix_cell(mix))
+            .cell_sci(bound)
+            .cell(!mix.converged || double(mix.time) <= bound ? "yes" : "NO");
+      }
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

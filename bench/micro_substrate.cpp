@@ -1,0 +1,126 @@
+// E12 — google-benchmark micro-benchmarks of the substrate kernels that
+// every experiment above leans on: dense multiply, CSR products, the
+// symmetric eigensolver, chain construction, Gibbs evaluation, and raw
+// simulation throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/chain.hpp"
+#include "core/gibbs.hpp"
+#include "core/simulator.hpp"
+#include "games/graphical_coordination.hpp"
+#include "games/plateau.hpp"
+#include "graph/builders.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "linalg/sparse_matrix.hpp"
+#include "linalg/symmetric_eigen.hpp"
+#include "rng/alias_table.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+
+using namespace logitdyn;
+
+DenseMatrix random_matrix(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix m(n, n);
+  for (double& v : m.data()) v = rng.uniform();
+  return m;
+}
+
+void BM_DenseMatmul(benchmark::State& state) {
+  const size_t n = size_t(state.range(0));
+  const DenseMatrix a = random_matrix(n, 1);
+  const DenseMatrix b = random_matrix(n, 2);
+  DenseMatrix out(n, n);
+  for (auto _ : state) {
+    matmul(a, b, out);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n * n * n));
+}
+BENCHMARK(BM_DenseMatmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SymmetricEigen(benchmark::State& state) {
+  const size_t n = size_t(state.range(0));
+  DenseMatrix a = random_matrix(n, 3);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) a(i, j) = a(j, i);
+  }
+  for (auto _ : state) {
+    SymmetricEigen eig = symmetric_eigen(a);
+    benchmark::DoNotOptimize(eig.values.data());
+  }
+}
+BENCHMARK(BM_SymmetricEigen)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_CsrLeftMultiply(benchmark::State& state) {
+  // The logit chain of a ring coordination game: a realistic sparsity
+  // pattern (n+1 nonzeros per row).
+  const int n = int(state.range(0));
+  GraphicalCoordinationGame game(make_ring(uint32_t(n)),
+                                 CoordinationPayoffs::from_deltas(1.0, 1.0));
+  LogitChain chain(game, 1.0);
+  const CsrMatrix p = chain.csr_transition();
+  std::vector<double> x(p.rows(), 1.0 / double(p.rows()));
+  std::vector<double> y(p.rows());
+  for (auto _ : state) {
+    p.left_multiply(x, y);
+    x.swap(y);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(p.nnz()));
+}
+BENCHMARK(BM_CsrLeftMultiply)->Arg(8)->Arg(12);
+
+void BM_DenseTransitionBuild(benchmark::State& state) {
+  const int n = int(state.range(0));
+  PlateauGame game(n, double(n) / 2.0, 1.0);
+  LogitChain chain(game, 1.0);
+  for (auto _ : state) {
+    DenseMatrix p = chain.dense_transition();
+    benchmark::DoNotOptimize(p.data().data());
+  }
+}
+BENCHMARK(BM_DenseTransitionBuild)->Arg(8)->Arg(10);
+
+void BM_GibbsMeasure(benchmark::State& state) {
+  const int n = int(state.range(0));
+  PlateauGame game(n, double(n) / 2.0, 1.0);
+  for (auto _ : state) {
+    GibbsMeasure g = gibbs_measure(game, 1.5);
+    benchmark::DoNotOptimize(g.probabilities.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) << n);
+}
+BENCHMARK(BM_GibbsMeasure)->Arg(10)->Arg(14);
+
+void BM_SimulationSteps(benchmark::State& state) {
+  // Raw logit-update throughput on a 48-player ring.
+  GraphicalCoordinationGame game(make_ring(48),
+                                 CoordinationPayoffs::from_deltas(1.0, 1.0));
+  LogitChain chain(game, 1.0);
+  Rng rng(5);
+  Profile x(48, 0);
+  for (auto _ : state) {
+    chain.step(x, rng);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_SimulationSteps);
+
+void BM_AliasSample(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<double> weights(64);
+  for (double& w : weights) w = rng.uniform() + 0.01;
+  const AliasTable table(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.sample(rng));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_AliasSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

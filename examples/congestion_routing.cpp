@@ -1,0 +1,71 @@
+// Selfish routing with noisy players: a congestion game under logit
+// dynamics.
+//
+// Six commuters pick one of three parallel roads with linear latencies.
+// Congestion games are exact potential games (Rosenthal), so the entire
+// paper machinery applies: closed-form stationary distribution, exact
+// mixing times, and the beta-dependence of the stationary social welfare
+// (how much "rationality" helps the population).
+#include <iostream>
+
+#include "analysis/observables.hpp"
+#include "analysis/mixing.hpp"
+#include "core/chain.hpp"
+#include "core/gibbs.hpp"
+#include "core/simulator.hpp"
+#include "games/congestion.hpp"
+#include "rng/rng.hpp"
+#include "support/table.hpp"
+
+using namespace logitdyn;
+
+int main() {
+  std::cout << "== Noisy selfish routing (congestion game) ==\n"
+            << "6 players, 3 roads, latency_r(k) = slope_r * k + offset_r\n\n";
+
+  const CongestionGame game = make_parallel_links_game(
+      6, /*slope=*/{1.0, 2.0, 3.0}, /*offset=*/{0.0, 0.0, 1.0});
+
+  // The socially optimal split keeps fast roads busier.
+  std::cout << "profile space: " << game.space().num_profiles()
+            << " states; Rosenthal potential drives the dynamics.\n\n";
+
+  Table table({"beta", "E_pi[welfare]", "E_pi[potential]", "t_mix(1/4)"});
+  for (double beta : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0}) {
+    LogitChain chain(game, beta);
+    const std::vector<double> pi = chain.stationary();
+    const double welfare = expected_social_welfare(game, pi);
+    const MixingResult mix =
+        mixing_time_doubling(chain.dense_transition(), pi, 0.25);
+    table.row()
+        .cell(beta, 2)
+        .cell(welfare, 3)
+        .cell(expected_potential(game, beta), 3)
+        .cell(std::to_string(mix.time));
+  }
+  table.print(std::cout);
+  std::cout << "\nhigher beta concentrates the dynamics on low-potential "
+               "(equilibrium) splits, improving welfare — and this game "
+               "mixes fast at every beta (its potential landscape has no "
+               "deep double well).\n\n";
+
+  // A sample trajectory: watch the road loads settle.
+  LogitChain chain(game, 2.0);
+  Rng rng(11);
+  Profile x(6, 2);  // everyone starts on the slowest road
+  std::cout << "trajectory from all-on-road-2 at beta = 2:\n";
+  Table traj({"step", "load road 0", "load road 1", "load road 2",
+              "welfare"});
+  for (int checkpoint = 0; checkpoint <= 5; ++checkpoint) {
+    if (checkpoint > 0) simulate(chain, x, 40, rng);
+    const std::vector<int> load = game.loads(x);
+    traj.row()
+        .cell(checkpoint * 40)
+        .cell(load[0])
+        .cell(load[1])
+        .cell(load[2])
+        .cell(game.social_welfare(x), 2);
+  }
+  traj.print(std::cout);
+  return 0;
+}

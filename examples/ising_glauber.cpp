@@ -1,0 +1,80 @@
+// Glauber dynamics on the Ising model through the game-theoretic lens.
+//
+// The paper observes (Sections 1, 5) that the logit dynamics of a
+// graphical coordination game without risk-dominant equilibria *is*
+// Glauber dynamics on the ferromagnetic Ising model. This example runs
+// the physics experiment: magnetization vs inverse temperature on a ring
+// and a torus, computed once through the IsingGame and once through the
+// equivalent coordination game, from shared random seeds.
+#include <cmath>
+#include <iostream>
+
+#include "core/chain.hpp"
+#include "core/simulator.hpp"
+#include "games/ising.hpp"
+#include "graph/builders.hpp"
+#include "rng/rng.hpp"
+#include "support/table.hpp"
+
+using namespace logitdyn;
+
+namespace {
+
+double mean_abs_magnetization(const IsingGame& model, LogitChain& chain,
+                              uint64_t seed, int64_t burn_in,
+                              int64_t samples) {
+  Rng rng(seed);
+  const int n = model.num_players();
+  Profile x(size_t(n), 0);
+  simulate(chain, x, burn_in, rng);
+  double total = 0.0;
+  for (int64_t s = 0; s < samples; ++s) {
+    simulate(chain, x, 10, rng);
+    total += std::abs(model.magnetization(x)) / double(n);
+  }
+  return total / double(samples);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Ising/Glauber as logit dynamics ==\n\n";
+
+  {
+    std::cout << "-- ring of 48 spins, J = 1 --\n";
+    IsingGame model(make_ring(48), 1.0);
+    Table table({"beta", "mean |m| (Ising chain)", "mean |m| (coord chain)"});
+    GraphicalCoordinationGame coord = model.equivalent_coordination_game();
+    for (double beta : {0.1, 0.3, 0.6, 1.0, 1.5}) {
+      LogitChain a(model, beta);
+      LogitChain b(coord, beta);
+      table.row()
+          .cell(beta, 2)
+          .cell(mean_abs_magnetization(model, a, 99, 50000, 2000), 4)
+          .cell(mean_abs_magnetization(model, b, 99, 50000, 2000), 4);
+    }
+    table.print(std::cout);
+    std::cout << "identical columns: the two formulations are the same "
+                 "Markov chain (1-D Ising has no phase transition, but |m| "
+                 "grows smoothly with beta).\n\n";
+  }
+
+  {
+    std::cout << "-- 7x7 torus, J = 1: crossing the 2-D ordering regime --\n";
+    IsingGame model(make_torus(7, 7), 1.0);
+    Table table({"beta", "mean |m|"});
+    // 2-D critical point: beta_c = ln(1+sqrt(2))/2 ~ 0.4407 (for J=1 with
+    // our +-1 spins and H = -J sum s_i s_j).
+    for (double beta : {0.2, 0.35, 0.44, 0.55, 0.8}) {
+      LogitChain chain(model, beta);
+      table.row().cell(beta, 2).cell(
+          mean_abs_magnetization(model, chain, 7, 200000, 3000), 4);
+    }
+    table.print(std::cout);
+    std::cout << "|m| jumps across beta_c ~ 0.44: the ordered phase — in "
+                 "game terms, the population locks into one convention, and "
+                 "the paper's Theorem 5.1/5.5 machinery explains how long "
+                 "escaping it takes.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Technology adoption on a social network — the motivating application of
+// the paper's Section 5 (after Peyton Young and Ellison).
+//
+// Strategy 1 = "adopt the new technology" (here the risk-dominant choice,
+// delta1 > delta0), strategy 0 = status quo. Players imitate neighbours
+// under logit noise. We watch the adoption front on a ring versus a
+// clique: the paper predicts local interaction (ring) converges fast while
+// global interaction (clique) is metastable — stuck at the old technology
+// for a time exponential in n^2.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/hitting.hpp"
+#include "core/chain.hpp"
+#include "core/lumped.hpp"
+#include "core/simulator.hpp"
+#include "games/graphical_coordination.hpp"
+#include "graph/builders.hpp"
+#include "rng/rng.hpp"
+#include "support/table.hpp"
+
+using namespace logitdyn;
+
+namespace {
+
+double adoption_fraction(const Profile& x) {
+  double s = 0.0;
+  for (Strategy v : x) s += double(v);
+  return s / double(x.size());
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Technology adoption under logit dynamics ==\n"
+            << "new technology (strategy 1) is risk dominant: delta1 = 2, "
+               "delta0 = 1\n\n";
+
+  const CoordinationPayoffs pay = CoordinationPayoffs::from_deltas(1.0, 2.0);
+  const double beta = 1.5;
+  const int n = 60;
+
+  {
+    std::cout << "-- ring of " << n << " villages, beta = " << beta << " --\n";
+    GraphicalCoordinationGame game(make_ring(uint32_t(n)), pay);
+    LogitChain chain(game, beta);
+    Rng rng(2026);
+    Profile x(size_t(n), 0);  // everyone starts with the old technology
+    Table trace({"step", "adoption fraction"});
+    for (int checkpoint = 0; checkpoint <= 8; ++checkpoint) {
+      if (checkpoint > 0) simulate(chain, x, 150, rng);
+      trace.row().cell(checkpoint * 150).cell(adoption_fraction(x), 3);
+    }
+    trace.print(std::cout);
+
+    const HittingTimeStats stats = batch_hitting_time(
+        chain, Profile(size_t(n), 0),
+        [](const Profile& p) { return adoption_fraction(p) >= 0.9; },
+        /*max_steps=*/2000000, /*replicas=*/8, /*master_seed=*/7);
+    std::cout << "mean steps to 90% adoption (8 runs): " << stats.mean
+              << (stats.num_censored ? " (some runs censored)" : "") << "\n\n";
+  }
+
+  {
+    std::cout << "-- fully connected market (clique), exact lumped analysis "
+                 "--\n";
+    // On the clique (same per-edge payoffs as the ring) the adoption count
+    // is a birth-death chain; the escape from all-old grows like
+    // e^{beta * barrier}, barrier = Phi(k*) - Phi(0) ~ n^2 per-edge units.
+    const double clique_beta = 0.5;
+    Table table({"n", "barrier height", "E[steps] all-old -> majority-new "
+                                        "(exact)"});
+    for (int cn : {6, 10, 14}) {
+      const std::vector<double> wphi =
+          clique_weight_potential(cn, pay.delta0(), pay.delta1());
+      const int k_star =
+          clique_barrier_weight(cn, pay.delta0(), pay.delta1());
+      const double barrier = wphi[size_t(k_star)] - wphi[0];
+      // Expected hitting time of k > n/2 from k = 0 via the standard
+      // birth-death formula: sum over ladders of 1/(pi(k) up(k)) * cumulative
+      // mass below.
+      const BirthDeathChain bd =
+          BirthDeathChain::weight_chain(cn, clique_beta, wphi);
+      const double expected =
+          birth_death_hitting_time(bd, 0, (cn + 1) / 2);
+      table.row().cell(cn).cell(barrier, 2).cell(expected, 0);
+    }
+    table.print(std::cout);
+    std::cout << "escape time explodes with market size: global interaction "
+                 "makes the old technology metastable (paper Sect. 5.2), "
+                 "while the ring's adoption time grows only ~ n log n.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "analysis/bottleneck.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "analysis/spectral.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+double bottleneck_ratio(const DenseMatrix& p, std::span<const double> pi,
+                        std::span<const uint8_t> in_set) {
+  const size_t n = p.rows();
+  LD_CHECK(p.cols() == n && pi.size() == n && in_set.size() == n,
+           "bottleneck_ratio: size mismatch");
+  double pi_r = 0.0, flow = 0.0;
+  for (size_t x = 0; x < n; ++x) {
+    if (!in_set[x]) continue;
+    pi_r += pi[x];
+    for (size_t y = 0; y < n; ++y) {
+      if (!in_set[y]) flow += pi[x] * p(x, y);
+    }
+  }
+  LD_CHECK(pi_r > 0.0, "bottleneck_ratio: empty or null set");
+  return flow / pi_r;
+}
+
+double tmix_lower_from_bottleneck(double bottleneck, double eps) {
+  LD_CHECK(bottleneck > 0, "tmix_lower_from_bottleneck: B must be positive");
+  LD_CHECK(eps > 0 && eps < 0.5, "tmix_lower_from_bottleneck: bad eps");
+  return (1.0 - 2.0 * eps) / (2.0 * bottleneck);
+}
+
+SweepCutResult best_sweep_cut(const DenseMatrix& p,
+                              std::span<const double> pi) {
+  const size_t n = p.rows();
+  LD_CHECK(n >= 2, "best_sweep_cut: need at least two states");
+  DenseMatrix a = symmetrize_reversible(p, pi);
+  const SymmetricEigen eig = symmetric_eigen(a, 1e-8);
+  // Second eigenvector (column n-2 after the ascending sort), mapped back
+  // to chain coordinates: f = D^{-1/2} psi.
+  std::vector<double> f(n);
+  for (size_t i = 0; i < n; ++i) {
+    f[i] = eig.vectors(i, n - 2) / std::sqrt(pi[i]);
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return f[x] < f[y]; });
+
+  SweepCutResult best;
+  best.ratio = std::numeric_limits<double>::infinity();
+  std::vector<uint8_t> in_set(n, 0);
+  double pi_r = 0.0;
+  // Maintain flow = Q(R, R^c) incrementally as states move into R. For a
+  // reversible chain Q(R, R^c) = Q(R^c, R), so when a prefix carries more
+  // than half the mass the complement is the admissible Theorem 2.7 set
+  // with the same flow.
+  double flow = 0.0;
+  for (size_t step = 0; step + 1 < n; ++step) {
+    const size_t v = order[step];
+    // v joins R: edges v->outside add, edges inside->v subtract.
+    for (size_t y = 0; y < n; ++y) {
+      if (y == v) continue;
+      if (in_set[y]) {
+        flow -= pi[y] * p(y, v);
+      } else {
+        flow += pi[v] * p(v, y);
+      }
+    }
+    in_set[v] = 1;
+    pi_r += pi[v];
+    const bool use_complement = pi_r > 0.5;
+    const double mass = use_complement ? 1.0 - pi_r : pi_r;
+    if (mass <= 0.0) continue;
+    const double ratio = flow / mass;
+    if (ratio < best.ratio) {
+      best.ratio = ratio;
+      best.in_set = in_set;
+      if (use_complement) {
+        for (auto& flag : best.in_set) flag = !flag;
+      }
+    }
+  }
+  LD_CHECK(!best.in_set.empty(), "best_sweep_cut: degenerate pi");
+  return best;
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,33 @@
+// Bottleneck ratio B(R) = Q(R, R^c) / pi(R) and the Theorem 2.7 lower
+// bound t_mix(eps) >= (1 - 2 eps) / (2 B(R)).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace logitdyn {
+
+/// B(R) for the set R = { x : in_set[x] != 0 }. Requires a non-empty R
+/// with pi(R) > 0.
+double bottleneck_ratio(const DenseMatrix& p, std::span<const double> pi,
+                        std::span<const uint8_t> in_set);
+
+/// Theorem 2.7: t_mix(eps) >= (1-2eps) / (2 B(R)), valid when pi(R) <= 1/2.
+double tmix_lower_from_bottleneck(double bottleneck, double eps = 0.25);
+
+struct SweepCutResult {
+  double ratio = 0.0;           ///< best (smallest) B(R) found
+  std::vector<uint8_t> in_set;  ///< witnessing set, pi(R) <= 1/2
+};
+
+/// Heuristic search for a small bottleneck: order states by the second
+/// eigenvector of the symmetrized chain and sweep prefix cuts, keeping the
+/// best set with pi(R) <= 1/2. (The reversible analogue of a Cheeger
+/// sweep; finds the paper's bottlenecks exactly on the games studied here.)
+SweepCutResult best_sweep_cut(const DenseMatrix& p,
+                              std::span<const double> pi);
+
+}  // namespace logitdyn

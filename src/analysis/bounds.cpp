@@ -1,0 +1,113 @@
+#include "analysis/bounds.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace bounds {
+
+double lemma32_relaxation_upper(int num_players) {
+  LD_CHECK(num_players >= 1, "lemma32: need players");
+  return double(num_players);
+}
+
+double lemma33_relaxation_upper(int num_players, int num_strategies,
+                                double beta, double delta_phi) {
+  LD_CHECK(num_players >= 1 && num_strategies >= 2 && beta >= 0 &&
+               delta_phi >= 0,
+           "lemma33: bad arguments");
+  return 2.0 * num_strategies * num_players * std::exp(beta * delta_phi);
+}
+
+double thm34_tmix_upper(int num_players, int num_strategies, double beta,
+                        double delta_phi, double eps) {
+  const double trel =
+      lemma33_relaxation_upper(num_players, num_strategies, beta, delta_phi);
+  return trel * (std::log(1.0 / eps) + beta * delta_phi +
+                 num_players * std::log(double(num_strategies)));
+}
+
+double thm35_tmix_lower(int num_players, double global_variation,
+                        double local_variation, double beta, double eps) {
+  LD_CHECK(global_variation > 0 && local_variation > 0,
+           "thm35: variations must be positive");
+  const double m = 2.0;
+  const double c = global_variation / local_variation;
+  // |dR| <= C(n, c) <= n^c = e^{c log n}; the proof's bound.
+  return (1.0 - 2.0 * eps) / (2.0 * (m - 1.0)) *
+         std::exp(beta * global_variation - c * std::log(double(num_players)));
+}
+
+bool thm36_applicable(double beta, int num_players, double local_variation,
+                      double c) {
+  LD_CHECK(c > 0 && c < 1, "thm36: constant c must be in (0,1)");
+  return beta * double(num_players) * local_variation <= c;
+}
+
+double thm36_tmix_upper(int num_players, double c, double eps) {
+  LD_CHECK(c > 0 && c < 1, "thm36: constant c must be in (0,1)");
+  const double n = double(num_players);
+  return n * (std::log(n) + std::log(1.0 / eps)) / (1.0 - c);
+}
+
+double lemma37_relaxation_upper(int num_players, int num_strategies,
+                                double beta, double zeta) {
+  LD_CHECK(zeta >= 0, "lemma37: zeta must be non-negative");
+  const double n = double(num_players), m = double(num_strategies);
+  return n * std::pow(m, 2.0 * n + 1.0) * std::exp(beta * zeta);
+}
+
+double thm38_tmix_upper(int num_players, int num_strategies, double beta,
+                        double zeta, double pi_min, double eps) {
+  LD_CHECK(pi_min > 0 && pi_min <= 1, "thm38: bad pi_min");
+  return lemma37_relaxation_upper(num_players, num_strategies, beta, zeta) *
+         std::log(1.0 / (eps * pi_min));
+}
+
+double thm39_tmix_lower(int num_strategies, double boundary_size, double beta,
+                        double zeta, double eps) {
+  LD_CHECK(num_strategies >= 2 && boundary_size >= 1, "thm39: bad args");
+  return (1.0 - 2.0 * eps) * std::exp(beta * zeta) /
+         (2.0 * (num_strategies - 1) * boundary_size);
+}
+
+double thm42_tmix_upper(int num_players, int num_strategies) {
+  LD_CHECK(num_players >= 2 && num_strategies >= 2, "thm42: bad sizes");
+  const double n = double(num_players), m = double(num_strategies);
+  const double t_star = 2.0 * n * std::log(n);
+  const double phases = std::ceil(2.0 * std::pow(m, n) * std::log(4.0));
+  return phases * t_star;
+}
+
+double thm43_tmix_lower(int num_players, int num_strategies, double beta) {
+  LD_CHECK(num_players >= 2 && num_strategies >= 2 && beta >= 0,
+           "thm43: bad arguments");
+  const double n = double(num_players), m = double(num_strategies);
+  return 0.25 * (std::pow(m, n) - 1.0) * (1.0 + (m - 1.0) * std::exp(-beta)) /
+         (m - 1.0);
+}
+
+double thm51_tmix_upper(int num_players, double beta, double cutwidth,
+                        double delta0, double delta1) {
+  LD_CHECK(delta0 > 0 && delta1 > 0 && cutwidth >= 0, "thm51: bad args");
+  const double n = double(num_players);
+  return 2.0 * n * n * n * std::exp(cutwidth * (delta0 + delta1) * beta) *
+         (n * delta0 * beta + 1.0);
+}
+
+double thm56_tmix_upper(int num_players, double beta, double delta,
+                        double eps) {
+  LD_CHECK(delta > 0, "thm56: delta must be positive");
+  const double n = double(num_players);
+  return n * (1.0 + std::exp(2.0 * delta * beta)) *
+         (std::log(n) + std::log(1.0 / eps)) / 2.0;
+}
+
+double thm57_tmix_lower(double beta, double delta, double eps) {
+  LD_CHECK(delta > 0 && eps > 0 && eps < 0.5, "thm57: bad args");
+  return (1.0 - 2.0 * eps) * (1.0 + std::exp(2.0 * delta * beta)) / 2.0;
+}
+
+}  // namespace bounds
+}  // namespace logitdyn

@@ -1,0 +1,86 @@
+// Every closed-form bound stated in the paper, as a named function.
+//
+// "log" is the natural logarithm throughout. Where the paper hides a
+// constant behind O(.), the constant extractable from the proof is used
+// and noted next to the function. eps defaults to the paper's 1/4.
+#pragma once
+
+#include <cstdint>
+
+namespace logitdyn {
+namespace bounds {
+
+// ---- Section 3.2: all beta (potential games) ----
+
+/// Lemma 3.2: relaxation time at beta = 0 is at most n.
+double lemma32_relaxation_upper(int num_players);
+
+/// Lemma 3.3: t_rel <= 2 m n e^{beta DeltaPhi}.
+double lemma33_relaxation_upper(int num_players, int num_strategies,
+                                double beta, double delta_phi);
+
+/// Theorem 3.4:
+/// t_mix(eps) <= 2 m n e^{beta DeltaPhi} (log(1/eps) + beta DeltaPhi
+///                                        + n log m).
+double thm34_tmix_upper(int num_players, int num_strategies, double beta,
+                        double delta_phi, double eps = 0.25);
+
+/// Theorem 3.5 (lower bound family, m = 2): from the bottleneck argument,
+/// t_mix(eps) >= (1-2eps)/(2(m-1)) * e^{beta g} * n^{-g/l}.
+double thm35_tmix_lower(int num_players, double global_variation,
+                        double local_variation, double beta,
+                        double eps = 0.25);
+
+// ---- Section 3.3: small beta ----
+
+/// Theorem 3.6's hypothesis: beta <= c/(n deltaPhi) with c < 1.
+bool thm36_applicable(double beta, int num_players, double local_variation,
+                      double c = 0.5);
+
+/// Theorem 3.6 with the proof's constants (path coupling, alpha=(1-c)/n,
+/// Hamming diameter n): t_mix(eps) <= n (log n + log(1/eps)) / (1 - c).
+double thm36_tmix_upper(int num_players, double c = 0.5, double eps = 0.25);
+
+// ---- Section 3.4: large beta (zeta) ----
+
+/// Lemma 3.7: t_rel <= n m^{2n+1} e^{beta zeta}.
+double lemma37_relaxation_upper(int num_players, int num_strategies,
+                                double beta, double zeta);
+
+/// Theorem 3.8 (via Thm 2.3): t_mix <= t_rel^{L3.7} log(1/(eps pi_min)).
+double thm38_tmix_upper(int num_players, int num_strategies, double beta,
+                        double zeta, double pi_min, double eps = 0.25);
+
+/// Theorem 3.9: t_mix(eps) >= (1-2eps) e^{beta zeta} /
+///                           (2 (m-1) boundary_size).
+double thm39_tmix_lower(int num_strategies, double boundary_size, double beta,
+                        double zeta, double eps = 0.25);
+
+// ---- Section 4: dominant strategies ----
+
+/// Theorem 4.2 with the proof's constants: t* = 2 n log n coupon-collector
+/// phases, k = ceil(2 m^n log 4) of them: t_mix <= k t*. Independent of
+/// beta.
+double thm42_tmix_upper(int num_players, int num_strategies);
+
+/// Theorem 4.3: t_mix >= (1/4) (m^n - 1)(1 + (m-1) e^{-beta})/(m-1)
+///            >= (m^n - 1)/(4(m-1)).
+double thm43_tmix_lower(int num_players, int num_strategies, double beta);
+
+// ---- Section 5: graphical coordination games ----
+
+/// Theorem 5.1: t_mix <= 2 n^3 e^{chi (delta0+delta1) beta} (n delta0 beta
+/// + 1).
+double thm51_tmix_upper(int num_players, double beta, double cutwidth,
+                        double delta0, double delta1);
+
+/// Theorem 5.6 (ring, delta0 = delta1 = delta) with the proof's constants:
+/// t_mix(eps) <= n (1 + e^{2 delta beta}) (log n + log(1/eps)) / 2.
+double thm56_tmix_upper(int num_players, double beta, double delta,
+                        double eps = 0.25);
+
+/// Theorem 5.7 (ring): t_mix(eps) >= (1-2eps)(1 + e^{2 delta beta}) / 2.
+double thm57_tmix_lower(double beta, double delta, double eps = 0.25);
+
+}  // namespace bounds
+}  // namespace logitdyn

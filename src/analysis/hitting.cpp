@@ -1,0 +1,70 @@
+#include "analysis/hitting.hpp"
+
+#include "linalg/lu_solver.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+std::vector<double> expected_hitting_times(
+    const DenseMatrix& p, std::span<const uint8_t> in_target) {
+  const size_t n = p.rows();
+  LD_CHECK(p.cols() == n, "expected_hitting_times: square matrix required");
+  LD_CHECK(in_target.size() == n, "expected_hitting_times: size mismatch");
+  std::vector<size_t> outside;
+  for (size_t x = 0; x < n; ++x) {
+    if (!in_target[x]) outside.push_back(x);
+  }
+  LD_CHECK(outside.size() < n, "expected_hitting_times: empty target");
+  std::vector<double> h(n, 0.0);
+  if (outside.empty()) return h;
+  // Solve (I - Q) h_out = 1, Q = P restricted to the complement of T.
+  const size_t m = outside.size();
+  DenseMatrix a(m, m);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      a(i, j) = (i == j ? 1.0 : 0.0) - p(outside[i], outside[j]);
+    }
+  }
+  const std::vector<double> rhs(m, 1.0);
+  const LuFactorization lu(std::move(a));
+  const std::vector<double> h_out = lu.solve(rhs);
+  for (size_t i = 0; i < m; ++i) h[outside[i]] = h_out[i];
+  return h;
+}
+
+double birth_death_hitting_time(const BirthDeathChain& chain, int start,
+                                int target) {
+  const int states = int(chain.num_states());
+  LD_CHECK(start >= 0 && start < states && target >= 0 && target < states,
+           "birth_death_hitting_time: state out of range");
+  if (start == target) return 0.0;
+  const std::vector<double> pi = chain.stationary();
+  double total = 0.0;
+  if (start < target) {
+    // Climbing right: crossing the edge k -> k+1 costs (sum_{j<=k} pi_j) /
+    // (pi_k * up_k) in expectation.
+    double mass = 0.0;
+    int j = 0;
+    for (int k = 0; k < target; ++k) {
+      while (j <= k) mass += pi[size_t(j++)];
+      if (k >= start) {
+        LD_CHECK(chain.up(k) > 0, "birth_death_hitting_time: up rate is 0");
+        total += mass / (pi[size_t(k)] * chain.up(k));
+      }
+    }
+  } else {
+    double mass = 0.0;
+    int j = states - 1;
+    for (int k = states - 1; k > target; --k) {
+      while (j >= k) mass += pi[size_t(j--)];
+      if (k <= start) {
+        LD_CHECK(chain.down(k) > 0,
+                 "birth_death_hitting_time: down rate is 0");
+        total += mass / (pi[size_t(k)] * chain.down(k));
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace logitdyn

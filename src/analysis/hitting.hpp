@@ -1,0 +1,32 @@
+// Exact expected hitting times.
+//
+// The pre-history of this paper (Asadpour–Saberi, Montanari–Saberi) studies
+// hitting times of specific profiles rather than mixing times; this module
+// provides the exact quantities so experiments can compare the two
+// timescales. For a target set T, h(x) = E_x[first time in T] solves the
+// linear system h|_T = 0, (I - P_{restricted}) h = 1 off T.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/lumped.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace logitdyn {
+
+/// Expected hitting time of T = { x : in_target[x] != 0 } from every state,
+/// by a dense LU solve on the restriction of P to the complement of T.
+/// Requires a non-empty target.
+std::vector<double> expected_hitting_times(const DenseMatrix& p,
+                                           std::span<const uint8_t> in_target);
+
+/// Closed-form expected hitting time of state `target` from state `start`
+/// in a birth-death chain (start < target: the standard ladder sum
+/// sum_{k=start..target-1} (1/(pi_k up_k)) * sum_{j<=k} pi_j, and the
+/// mirror formula for start > target).
+double birth_death_hitting_time(const BirthDeathChain& chain, int start,
+                                int target);
+
+}  // namespace logitdyn

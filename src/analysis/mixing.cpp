@@ -1,0 +1,183 @@
+#include "analysis/mixing.hpp"
+
+#include <vector>
+
+#include "analysis/tv.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+namespace {
+
+/// Rows of long matrix-power products drift off the simplex by roundoff;
+/// renormalizing after each multiply keeps d(t) trustworthy.
+void renormalize_rows(DenseMatrix& m) {
+  for (size_t r = 0; r < m.rows(); ++r) {
+    auto row = m.row(r);
+    double s = 0.0;
+    for (double v : row) s += v;
+    if (s > 0) {
+      for (double& v : row) v /= s;
+    }
+  }
+}
+
+}  // namespace
+
+MixingResult mixing_time_doubling(const DenseMatrix& p,
+                                  std::span<const double> pi, double eps,
+                                  uint64_t max_time) {
+  LD_CHECK(p.rows() == p.cols(), "mixing_time_doubling: square required");
+  LD_CHECK(pi.size() == p.rows(), "mixing_time_doubling: pi size mismatch");
+  LD_CHECK(eps > 0 && eps < 1, "mixing_time_doubling: eps in (0,1)");
+  MixingResult result;
+
+  double d1 = worst_row_tv(p, pi);
+  if (d1 <= eps) {
+    result.time = 1;
+    result.distance = d1;
+    result.distance_prev = worst_row_tv(DenseMatrix::identity(p.rows()), pi);
+    result.converged = true;
+    return result;
+  }
+  // Doubling phase: powers[j] = P^{2^j}.
+  std::vector<DenseMatrix> powers;
+  powers.push_back(p);
+  uint64_t t = 1;
+  double d_hi = d1;
+  while (d_hi > eps) {
+    if (t * 2 > max_time) {
+      result.time = t;
+      result.distance = d_hi;
+      result.converged = false;
+      return result;
+    }
+    DenseMatrix sq = matmul(powers.back(), powers.back());
+    renormalize_rows(sq);
+    powers.push_back(std::move(sq));
+    t *= 2;
+    d_hi = worst_row_tv(powers.back(), pi);
+  }
+  // Bisection phase. Invariant: d(lo) > eps, d(hi) <= eps, hi = lo + 2^j.
+  const size_t k = powers.size() - 1;  // t == 2^k
+  if (k == 0) {
+    result.time = 1;
+    result.distance = d_hi;
+    result.converged = true;
+    return result;
+  }
+  uint64_t lo = t / 2;
+  DenseMatrix m_lo = powers[k - 1];
+  double d_lo = worst_row_tv(m_lo, pi);
+  if (d_lo <= eps) {  // can happen if d(2^{k-1}) was never probed directly
+    result.time = lo;
+    result.distance = d_lo;
+    result.converged = true;
+    return result;
+  }
+  double d_best = d_hi;
+  for (size_t j = k - 1; j-- > 0;) {
+    DenseMatrix probe = matmul(m_lo, powers[j]);
+    renormalize_rows(probe);
+    const double d_probe = worst_row_tv(probe, pi);
+    if (d_probe <= eps) {
+      d_best = d_probe;  // hi = lo + 2^j, matrix not needed further
+    } else {
+      lo += uint64_t(1) << j;
+      m_lo = std::move(probe);
+      d_lo = d_probe;
+    }
+  }
+  result.time = lo + 1;
+  result.distance = d_best;
+  result.distance_prev = d_lo;
+  result.converged = true;
+  return result;
+}
+
+MixingResult mixing_time_spectral(const SpectralEvaluator& evaluator,
+                                  double eps, uint64_t max_time) {
+  LD_CHECK(eps > 0 && eps < 1, "mixing_time_spectral: eps in (0,1)");
+  MixingResult result;
+  uint64_t hi = 1;
+  double d_hi = evaluator.worst_distance(double(hi));
+  while (d_hi > eps) {
+    if (hi * 2 > max_time) {
+      result.time = hi;
+      result.distance = d_hi;
+      result.converged = false;
+      return result;
+    }
+    hi *= 2;
+    d_hi = evaluator.worst_distance(double(hi));
+  }
+  uint64_t lo = hi / 2;  // d(lo) > eps by construction (lo = 0 handled below)
+  if (lo == 0) {
+    result.time = 1;
+    result.distance = d_hi;
+    result.converged = true;
+    return result;
+  }
+  double d_lo = evaluator.worst_distance(double(lo));
+  if (d_lo <= eps) {
+    // Possible only through roundoff asymmetry; accept lo.
+    result.time = lo;
+    result.distance = d_lo;
+    result.converged = true;
+    return result;
+  }
+  while (hi - lo > 1) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    const double d_mid = evaluator.worst_distance(double(mid));
+    if (d_mid <= eps) {
+      hi = mid;
+      d_hi = d_mid;
+    } else {
+      lo = mid;
+      d_lo = d_mid;
+    }
+  }
+  result.time = hi;
+  result.distance = d_hi;
+  result.distance_prev = d_lo;
+  result.converged = true;
+  return result;
+}
+
+MixingResult mixing_time_from_state(const CsrMatrix& p, size_t start,
+                                    std::span<const double> pi, double eps,
+                                    uint64_t max_steps) {
+  const size_t n = p.rows();
+  LD_CHECK(p.cols() == n, "mixing_time_from_state: square required");
+  LD_CHECK(start < n, "mixing_time_from_state: start out of range");
+  LD_CHECK(pi.size() == n, "mixing_time_from_state: pi size mismatch");
+  MixingResult result;
+  std::vector<double> dist(n, 0.0), next(n);
+  dist[start] = 1.0;
+  double prev_tv = total_variation(dist, pi);
+  if (prev_tv <= eps) {
+    result.time = 0;
+    result.distance = prev_tv;
+    result.converged = true;
+    return result;
+  }
+  for (uint64_t t = 1; t <= max_steps; ++t) {
+    p.left_multiply(dist, next);
+    dist.swap(next);
+    const double tv = total_variation(dist, pi);
+    if (tv <= eps) {
+      result.time = t;
+      result.distance = tv;
+      result.distance_prev = prev_tv;
+      result.converged = true;
+      return result;
+    }
+    prev_tv = tv;
+  }
+  result.time = max_steps;
+  result.distance = prev_tv;
+  result.converged = false;
+  return result;
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,49 @@
+// Exact mixing-time computation.
+//
+// Three methods, cross-checked against each other in the tests:
+//  * doubling: square P until d(2^k) <= eps, then bisect — each bisection
+//    probe is one dense multiply against a stored power of two;
+//  * spectral: evaluate d(t) at arbitrary t from the eigendecomposition
+//    (SpectralEvaluator) and bisect;
+//  * single-start: evolve one distribution row with the CSR matrix —
+//    linear in t but memory-light, for big sparse spaces.
+//
+// d(t) is non-increasing in t for any chain (standard submultiplicativity
+// of d-bar), so bisection on the first eps-crossing is sound.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "analysis/spectral.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "linalg/sparse_matrix.hpp"
+
+namespace logitdyn {
+
+struct MixingResult {
+  uint64_t time = 0;          ///< t_mix(eps): first t with d(t) <= eps
+  double distance = 0.0;      ///< d(t_mix)
+  double distance_prev = 1.0; ///< d(t_mix - 1) (> eps, certifies tightness)
+  bool converged = false;     ///< false if max_time was hit
+};
+
+/// Worst-case-start mixing time by matrix-power doubling + bisection.
+MixingResult mixing_time_doubling(const DenseMatrix& p,
+                                  std::span<const double> pi,
+                                  double eps = 0.25,
+                                  uint64_t max_time = uint64_t(1) << 34);
+
+/// Worst-case-start mixing time via a prebuilt spectral evaluator.
+MixingResult mixing_time_spectral(const SpectralEvaluator& evaluator,
+                                  double eps = 0.25,
+                                  uint64_t max_time = uint64_t(1) << 34);
+
+/// Mixing time *from a fixed start state* (a lower bound on the worst-case
+/// t_mix): evolve delta_start with the CSR transition until TV <= eps.
+MixingResult mixing_time_from_state(const CsrMatrix& p, size_t start,
+                                    std::span<const double> pi,
+                                    double eps = 0.25,
+                                    uint64_t max_steps = 100000000);
+
+}  // namespace logitdyn

@@ -1,0 +1,35 @@
+#include "analysis/observables.hpp"
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+double expected_observable(const ProfileSpace& space,
+                           std::span<const double> distribution,
+                           const std::function<double(const Profile&)>& f) {
+  LD_CHECK(distribution.size() == space.num_profiles(),
+           "expected_observable: distribution size mismatch");
+  double total = 0.0;
+  Profile x;
+  for (size_t idx = 0; idx < distribution.size(); ++idx) {
+    if (distribution[idx] == 0.0) continue;
+    space.decode_into(idx, x);
+    total += distribution[idx] * f(x);
+  }
+  return total;
+}
+
+double social_welfare(const Game& game, const Profile& x) {
+  double welfare = 0.0;
+  for (int i = 0; i < game.num_players(); ++i) welfare += game.utility(i, x);
+  return welfare;
+}
+
+double expected_social_welfare(const Game& game,
+                               std::span<const double> distribution) {
+  return expected_observable(
+      game.space(), distribution,
+      [&game](const Profile& x) { return social_welfare(game, x); });
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,27 @@
+// Stationary expectations of observables — e.g. the "stationary expected
+// social welfare" of the companion paper [4] (Auletta et al., SAGT'10),
+// which the introduction positions as the payoff of knowing the
+// stationary distribution once the chain has mixed.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "games/game.hpp"
+
+namespace logitdyn {
+
+/// E_dist[f] for a per-profile observable evaluated via decode.
+double expected_observable(const ProfileSpace& space,
+                           std::span<const double> distribution,
+                           const std::function<double(const Profile&)>& f);
+
+/// Sum over players of u_i(x).
+double social_welfare(const Game& game, const Profile& x);
+
+/// E_dist[sum_i u_i]: the stationary expected social welfare when `dist`
+/// is the chain's stationary distribution.
+double expected_social_welfare(const Game& game,
+                               std::span<const double> distribution);
+
+}  // namespace logitdyn

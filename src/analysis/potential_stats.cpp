@@ -1,0 +1,42 @@
+#include "analysis/potential_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+PotentialStats potential_stats(const ProfileSpace& space,
+                               std::span<const double> phi) {
+  const size_t total = space.num_profiles();
+  LD_CHECK(phi.size() == total, "potential_stats: phi size mismatch");
+  PotentialStats stats;
+  stats.min = phi[0];
+  stats.max = phi[0];
+  for (size_t idx = 1; idx < total; ++idx) {
+    if (phi[idx] < stats.min) {
+      stats.min = phi[idx];
+      stats.argmin = idx;
+    }
+    if (phi[idx] > stats.max) {
+      stats.max = phi[idx];
+      stats.argmax = idx;
+    }
+  }
+  stats.global_variation = stats.max - stats.min;
+  for (size_t idx = 0; idx < total; ++idx) {
+    for (int i = 0; i < space.num_players(); ++i) {
+      const Strategy cur = space.strategy_of(idx, i);
+      // Count each edge once: only larger strategies of the same player.
+      for (Strategy s = cur + 1; s < space.num_strategies(i); ++s) {
+        const size_t nb = space.with_strategy(idx, i, s);
+        stats.local_variation =
+            std::max(stats.local_variation, std::abs(phi[idx] - phi[nb]));
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace logitdyn

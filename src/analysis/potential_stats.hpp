@@ -1,0 +1,25 @@
+// Structural statistics of a potential: extrema, the maximum global
+// variation DeltaPhi = Phi_max - Phi_min (Thm 3.4), and the maximum local
+// variation deltaPhi = max over Hamming edges |Phi(x) - Phi(y)| (Thm 3.6).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "games/game.hpp"
+
+namespace logitdyn {
+
+struct PotentialStats {
+  double min = 0.0;
+  double max = 0.0;
+  double global_variation = 0.0;  ///< DeltaPhi
+  double local_variation = 0.0;   ///< deltaPhi
+  size_t argmin = 0;
+  size_t argmax = 0;
+};
+
+PotentialStats potential_stats(const ProfileSpace& space,
+                               std::span<const double> phi);
+
+}  // namespace logitdyn

@@ -1,0 +1,100 @@
+#include "analysis/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/tv.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+DenseMatrix symmetrize_reversible(const DenseMatrix& p,
+                                  std::span<const double> pi) {
+  const size_t n = p.rows();
+  LD_CHECK(p.cols() == n, "symmetrize_reversible: square matrix required");
+  LD_CHECK(pi.size() == n, "symmetrize_reversible: pi size mismatch");
+  std::vector<double> sqrt_pi(n);
+  for (size_t i = 0; i < n; ++i) {
+    LD_CHECK(pi[i] > 0, "symmetrize_reversible: pi must be positive");
+    sqrt_pi[i] = std::sqrt(pi[i]);
+  }
+  DenseMatrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      a(i, j) = sqrt_pi[i] * p(i, j) / sqrt_pi[j];
+    }
+  }
+  return a;
+}
+
+double ChainSpectrum::lambda_star() const {
+  LD_CHECK(eigenvalues.size() >= 2, "lambda_star: need at least two states");
+  return std::max(lambda2(), std::abs(lambda_min()));
+}
+
+ChainSpectrum chain_spectrum(const DenseMatrix& p,
+                             std::span<const double> pi) {
+  DenseMatrix a = symmetrize_reversible(p, pi);
+  // Symmetry of `a` certifies reversibility; use a tolerance scaled for
+  // the Gibbs ratios involved.
+  SymmetricEigen eig = symmetric_eigen(a, 1e-8);
+  ChainSpectrum s;
+  s.eigenvalues = std::move(eig.values);
+  return s;
+}
+
+double tmix_upper_from_relaxation(double relaxation_time, double pi_min,
+                                  double eps) {
+  LD_CHECK(pi_min > 0 && eps > 0, "tmix_upper_from_relaxation: bad args");
+  return relaxation_time * std::log(1.0 / (eps * pi_min));
+}
+
+double tmix_lower_from_relaxation(double relaxation_time, double eps) {
+  LD_CHECK(eps > 0 && eps < 0.5, "tmix_lower_from_relaxation: bad eps");
+  return (relaxation_time - 1.0) * std::log(1.0 / (2.0 * eps));
+}
+
+SpectralEvaluator::SpectralEvaluator(const DenseMatrix& p,
+                                     std::vector<double> pi)
+    : pi_(std::move(pi)) {
+  const size_t n = p.rows();
+  LD_CHECK(pi_.size() == n, "SpectralEvaluator: pi size mismatch");
+  DenseMatrix a = symmetrize_reversible(p, pi_);
+  eig_ = symmetric_eigen(a, 1e-8);
+  left_ = DenseMatrix(n, n);
+  right_ = DenseMatrix(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    const double s = std::sqrt(pi_[i]);
+    for (size_t k = 0; k < n; ++k) {
+      left_(i, k) = eig_.vectors(i, k) / s;
+      right_(k, i) = eig_.vectors(i, k) * s;
+    }
+  }
+}
+
+DenseMatrix SpectralEvaluator::transition_power(double t) const {
+  const size_t n = num_states();
+  const bool integral = (t == std::floor(t));
+  DenseMatrix scaled(n, n);
+  for (size_t k = 0; k < n; ++k) {
+    const double lam = eig_.values[k];
+    double lam_t;
+    if (lam > 0) {
+      lam_t = std::exp(t * std::log(lam));
+    } else if (lam == 0.0) {
+      lam_t = (t == 0.0) ? 1.0 : 0.0;
+    } else {
+      LD_CHECK(integral,
+               "transition_power: negative eigenvalue requires integer t");
+      lam_t = std::pow(lam, t);
+    }
+    for (size_t i = 0; i < n; ++i) scaled(i, k) = left_(i, k) * lam_t;
+  }
+  return matmul(scaled, right_);
+}
+
+double SpectralEvaluator::worst_distance(double t) const {
+  return worst_row_tv(transition_power(t), pi_);
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,64 @@
+// Spectral analysis of reversible chains: symmetrization, full spectra,
+// relaxation time, and the Theorem 2.3 sandwich
+//   (t_rel - 1) log(1/2eps)  <=  t_mix(eps)  <=  t_rel log(1/(eps pi_min)).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/symmetric_eigen.hpp"
+
+namespace logitdyn {
+
+/// A = D^{1/2} P D^{-1/2} where D = diag(pi). Symmetric iff (P, pi) is
+/// reversible; shares P's eigenvalues.
+DenseMatrix symmetrize_reversible(const DenseMatrix& p,
+                                  std::span<const double> pi);
+
+/// Eigenvalue summary of a reversible ergodic chain.
+struct ChainSpectrum {
+  std::vector<double> eigenvalues;  ///< ascending; last is 1
+
+  double lambda2() const { return eigenvalues[eigenvalues.size() - 2]; }
+  double lambda_min() const { return eigenvalues.front(); }
+  /// lambda* = max absolute eigenvalue among non-unit ones.
+  double lambda_star() const;
+  double spectral_gap() const { return 1.0 - lambda_star(); }
+  double relaxation_time() const { return 1.0 / spectral_gap(); }
+};
+
+/// Spectrum of a reversible chain (validates symmetry of the conjugated
+/// matrix, which is itself a reversibility check).
+ChainSpectrum chain_spectrum(const DenseMatrix& p, std::span<const double> pi);
+
+/// Theorem 2.3 bounds.
+double tmix_upper_from_relaxation(double relaxation_time, double pi_min,
+                                  double eps = 0.25);
+double tmix_lower_from_relaxation(double relaxation_time, double eps = 0.25);
+
+/// Precomputed eigendecomposition of a reversible chain that can evaluate
+/// P^t (and hence d(t)) at any t with one matrix multiply.
+class SpectralEvaluator {
+ public:
+  SpectralEvaluator(const DenseMatrix& p, std::vector<double> pi);
+
+  const std::vector<double>& eigenvalues() const { return eig_.values; }
+  const std::vector<double>& pi() const { return pi_; }
+  size_t num_states() const { return pi_.size(); }
+
+  /// P^t. Non-integer t requires a non-negative spectrum (guaranteed for
+  /// potential games by Theorem 3.1; checked at runtime).
+  DenseMatrix transition_power(double t) const;
+
+  /// d(t) = max_x || P^t(x,.) - pi ||_TV.
+  double worst_distance(double t) const;
+
+ private:
+  std::vector<double> pi_;
+  SymmetricEigen eig_;
+  DenseMatrix left_;   // D^{-1/2} Q
+  DenseMatrix right_;  // Q^T D^{1/2}
+};
+
+}  // namespace logitdyn

@@ -1,0 +1,49 @@
+#include "analysis/tv.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+double total_variation(std::span<const double> p, std::span<const double> q) {
+  LD_CHECK(p.size() == q.size(), "total_variation: size mismatch");
+  double s = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) s += std::abs(p[i] - q[i]);
+  return 0.5 * s;
+}
+
+double worst_row_tv(const DenseMatrix& m, std::span<const double> pi) {
+  LD_CHECK(m.cols() == pi.size(), "worst_row_tv: size mismatch");
+  double worst = 0.0;
+#ifdef LOGITDYN_HAVE_OPENMP
+#pragma omp parallel for schedule(static) reduction(max : worst)
+#endif
+  for (std::int64_t r = 0; r < std::int64_t(m.rows()); ++r) {
+    const double* row = m.row(size_t(r)).data();
+    double s = 0.0;
+    for (size_t c = 0; c < m.cols(); ++c) s += std::abs(row[c] - pi[c]);
+    const double tv = 0.5 * s;
+    if (tv > worst) worst = tv;
+  }
+  return worst;
+}
+
+size_t worst_row_index(const DenseMatrix& m, std::span<const double> pi) {
+  LD_CHECK(m.cols() == pi.size(), "worst_row_index: size mismatch");
+  size_t arg = 0;
+  double worst = -1.0;
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.row(r).data();
+    double s = 0.0;
+    for (size_t c = 0; c < m.cols(); ++c) s += std::abs(row[c] - pi[c]);
+    if (0.5 * s > worst) {
+      worst = 0.5 * s;
+      arg = r;
+    }
+  }
+  return arg;
+}
+
+}  // namespace logitdyn

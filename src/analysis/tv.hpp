@@ -1,0 +1,21 @@
+// Total variation distance (paper Sect. 2) and the worst-case distance
+// d(t) = max_x || P^t(x, .) - pi ||_TV.
+#pragma once
+
+#include <span>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace logitdyn {
+
+/// || p - q ||_TV = (1/2) sum_x |p(x) - q(x)|.
+double total_variation(std::span<const double> p, std::span<const double> q);
+
+/// max over rows x of || M(x, .) - pi ||_TV. With M = P^t this is the d(t)
+/// whose first crossing of eps defines t_mix(eps).
+double worst_row_tv(const DenseMatrix& m, std::span<const double> pi);
+
+/// Row index attaining worst_row_tv (the worst-case start state).
+size_t worst_row_index(const DenseMatrix& m, std::span<const double> pi);
+
+}  // namespace logitdyn

@@ -1,0 +1,143 @@
+#include "analysis/zeta.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+namespace {
+
+/// Union-find with per-component minimum potential tracking.
+class DisjointSets {
+ public:
+  DisjointSets(size_t n, std::span<const double> phi)
+      : parent_(n), min_phi_(phi.begin(), phi.end()) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+
+  size_t find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Union the components of a and b; returns the merge candidate
+  /// max(minA, minB) or NaN if already joined.
+  double unite(size_t a, size_t b) {
+    const size_t ra = find(a), rb = find(b);
+    if (ra == rb) return std::numeric_limits<double>::quiet_NaN();
+    const double merged_min = std::min(min_phi_[ra], min_phi_[rb]);
+    const double candidate = std::max(min_phi_[ra], min_phi_[rb]);
+    parent_[ra] = rb;
+    min_phi_[rb] = merged_min;
+    return candidate;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<double> min_phi_;
+};
+
+}  // namespace
+
+double max_potential_climb(const ProfileSpace& space,
+                           std::span<const double> phi) {
+  const size_t total = space.num_profiles();
+  LD_CHECK(phi.size() == total, "max_potential_climb: phi size mismatch");
+  std::vector<size_t> order(total);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return phi[a] < phi[b]; });
+  std::vector<uint8_t> active(total, 0);
+  DisjointSets dsu(total, phi);
+  double zeta = 0.0;
+  for (size_t idx : order) {
+    const double h = phi[idx];
+    active[idx] = 1;
+    for (int i = 0; i < space.num_players(); ++i) {
+      const Strategy cur = space.strategy_of(idx, i);
+      for (Strategy s = 0; s < space.num_strategies(i); ++s) {
+        if (s == cur) continue;
+        const size_t nb = space.with_strategy(idx, i, s);
+        if (!active[nb]) continue;
+        const double candidate_base = dsu.unite(idx, nb);
+        if (candidate_base == candidate_base) {  // not NaN: new merge
+          zeta = std::max(zeta, h - candidate_base);
+        }
+      }
+    }
+  }
+  return zeta;
+}
+
+double potential_climb_between(const ProfileSpace& space,
+                               std::span<const double> phi, size_t from,
+                               size_t to) {
+  const size_t total = space.num_profiles();
+  LD_CHECK(from < total && to < total, "potential_climb_between: bad states");
+  // Minimax-path Dijkstra: settle states in increasing order of the best
+  // achievable path height from `from`.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> height(total, kInf);
+  std::vector<uint8_t> done(total, 0);
+  using Item = std::pair<double, size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  height[from] = phi[from];
+  queue.push({height[from], from});
+  while (!queue.empty()) {
+    const auto [h, idx] = queue.top();
+    queue.pop();
+    if (done[idx]) continue;
+    done[idx] = 1;
+    if (idx == to) break;
+    for (int i = 0; i < space.num_players(); ++i) {
+      const Strategy cur = space.strategy_of(idx, i);
+      for (Strategy s = 0; s < space.num_strategies(i); ++s) {
+        if (s == cur) continue;
+        const size_t nb = space.with_strategy(idx, i, s);
+        const double nh = std::max(h, phi[nb]);
+        if (nh < height[nb]) {
+          height[nb] = nh;
+          queue.push({nh, nb});
+        }
+      }
+    }
+  }
+  LD_CHECK(height[to] < kInf, "potential_climb_between: unreachable state");
+  return height[to] - std::max(phi[from], phi[to]);
+}
+
+double max_potential_climb_brute_force(const ProfileSpace& space,
+                                       std::span<const double> phi) {
+  const size_t total = space.num_profiles();
+  double zeta = 0.0;
+  for (size_t a = 0; a < total; ++a) {
+    for (size_t b = a + 1; b < total; ++b) {
+      zeta = std::max(zeta, potential_climb_between(space, phi, a, b));
+    }
+  }
+  return zeta;
+}
+
+double max_climb_on_path(std::span<const double> phi) {
+  const size_t n = phi.size();
+  LD_CHECK(n >= 1, "max_climb_on_path: empty potential");
+  double zeta = 0.0;
+  // On a path the minimax route between i < j is the segment [i, j].
+  for (size_t i = 0; i < n; ++i) {
+    double seg_max = phi[i];
+    for (size_t j = i + 1; j < n; ++j) {
+      seg_max = std::max(seg_max, phi[j]);
+      zeta = std::max(zeta, seg_max - std::max(phi[i], phi[j]));
+    }
+  }
+  return zeta;
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,41 @@
+// The structural quantity of Section 3.4: zeta.
+//
+// For profiles x, y with Phi(x) >= Phi(y), zeta(x, y) is the smallest
+// "potential climb" needed to reach y from x along Hamming paths:
+//   zeta(x,y) = min over paths of [ max potential on the path - Phi(x) ].
+// zeta = max over pairs. Theorems 3.8/3.9: t_mix = e^{beta*zeta(1±o(1))}.
+//
+// Computation: a Kruskal-style union-find over states activated in
+// increasing potential order; when two components first merge at height h,
+// the pair realizing the best climb across that merge is (argmin Phi of
+// one side, argmin Phi of the other), giving candidate h - max(minA, minB).
+// O(|S| * n * m * alpha) total.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "games/profile.hpp"
+
+namespace logitdyn {
+
+/// zeta over the Hamming graph of `space` with per-state potentials `phi`.
+double max_potential_climb(const ProfileSpace& space,
+                           std::span<const double> phi);
+
+/// zeta(x, y) for one (unordered) pair: minimax path height minus the
+/// larger endpoint potential. Dijkstra-flavoured; O(|S| log |S| * n * m).
+double potential_climb_between(const ProfileSpace& space,
+                               std::span<const double> phi, size_t from,
+                               size_t to);
+
+/// Brute-force zeta (all pairs through potential_climb_between); used by
+/// tests to validate the union-find algorithm on small spaces.
+double max_potential_climb_brute_force(const ProfileSpace& space,
+                                       std::span<const double> phi);
+
+/// zeta restricted to a path graph 0-1-...-n (used for lumped birth-death
+/// chains, where phi[k] is the weight-potential).
+double max_climb_on_path(std::span<const double> phi);
+
+}  // namespace logitdyn

@@ -1,0 +1,68 @@
+#include "core/annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/gibbs.hpp"
+#include "core/logit.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+BetaSchedule constant_beta(double beta) {
+  LD_CHECK(beta >= 0, "constant_beta: beta must be non-negative");
+  return [beta](int64_t) { return beta; };
+}
+
+BetaSchedule linear_beta_ramp(double beta_start, double beta_end,
+                              int64_t steps) {
+  LD_CHECK(beta_start >= 0 && beta_end >= 0 && steps > 0,
+           "linear_beta_ramp: bad parameters");
+  return [beta_start, beta_end, steps](int64_t t) {
+    const double frac = std::min(1.0, double(t) / double(steps));
+    return beta_start + frac * (beta_end - beta_start);
+  };
+}
+
+BetaSchedule logarithmic_beta(double rate) {
+  LD_CHECK(rate > 0, "logarithmic_beta: rate must be positive");
+  return [rate](int64_t t) { return rate * std::log1p(double(t)); };
+}
+
+void simulate_annealed(const Game& game, const BetaSchedule& schedule,
+                       Profile& x, int64_t steps, Rng& rng) {
+  LD_CHECK(steps >= 0, "simulate_annealed: negative step count");
+  const ProfileSpace& sp = game.space();
+  std::vector<double> sigma;
+  for (int64_t t = 1; t <= steps; ++t) {
+    const double beta = schedule(t);
+    LD_CHECK(beta >= 0, "simulate_annealed: schedule produced beta < 0");
+    const int i = int(rng.uniform_int(uint64_t(sp.num_players())));
+    sigma.resize(size_t(sp.num_strategies(i)));
+    logit_update_distribution(game, beta, i, x, sigma);
+    x[size_t(i)] = Strategy(rng.sample_discrete(sigma));
+  }
+}
+
+double annealed_success_rate(const PotentialGame& game,
+                             const BetaSchedule& schedule,
+                             const Profile& start, int64_t steps,
+                             int replicas, uint64_t master_seed) {
+  LD_CHECK(replicas > 0, "annealed_success_rate: need replicas");
+  const std::vector<double> phi = potential_table(game);
+  const double phi_min = *std::min_element(phi.begin(), phi.end());
+  const ProfileSpace& sp = game.space();
+  std::vector<uint8_t> hit(size_t(replicas), 0);
+  parallel_for(0, size_t(replicas), [&](size_t r) {
+    Rng rng = Rng::for_replica(master_seed, r);
+    Profile x = start;
+    simulate_annealed(game, schedule, x, steps, rng);
+    hit[r] = std::abs(phi[sp.index(x)] - phi_min) < 1e-12 ? 1 : 0;
+  });
+  double total = 0.0;
+  for (uint8_t h : hit) total += h;
+  return total / double(replicas);
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,44 @@
+// Time-varying inverse noise — the paper's closing open problem ("the
+// value of beta is not fixed, but varies according to some learning
+// process"). A BetaSchedule maps the step index to beta_t; the annealed
+// simulator runs the logit dynamics with the scheduled noise, the
+// standard simulated-annealing recipe for escaping the metastable wells
+// that make fixed large-beta mixing exponential.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "games/game.hpp"
+#include "rng/rng.hpp"
+
+namespace logitdyn {
+
+/// beta as a function of the (1-based) step index.
+using BetaSchedule = std::function<double(int64_t)>;
+
+/// Constant schedule.
+BetaSchedule constant_beta(double beta);
+
+/// Linear ramp from beta_start to beta_end over `steps` (clamped after).
+BetaSchedule linear_beta_ramp(double beta_start, double beta_end,
+                              int64_t steps);
+
+/// Logarithmic schedule beta_t = rate * log(1 + t): the classical
+/// annealing shape, cooling slowly enough (for small rate) to track the
+/// ground state.
+BetaSchedule logarithmic_beta(double rate);
+
+/// Run `steps` logit updates with beta = schedule(t), mutating x.
+void simulate_annealed(const Game& game, const BetaSchedule& schedule,
+                       Profile& x, int64_t steps, Rng& rng);
+
+/// Fraction of `replicas` that end at a global potential minimizer after
+/// `steps` annealed updates from `start` (the success metric the tests
+/// use to compare schedules).
+double annealed_success_rate(const PotentialGame& game,
+                             const BetaSchedule& schedule,
+                             const Profile& start, int64_t steps,
+                             int replicas, uint64_t master_seed);
+
+}  // namespace logitdyn

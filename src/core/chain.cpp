@@ -1,0 +1,115 @@
+#include "core/chain.hpp"
+
+#include <cmath>
+
+#include "core/gibbs.hpp"
+#include "core/logit.hpp"
+#include "games/table_game.hpp"
+#include "linalg/lu_solver.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+LogitChain::LogitChain(const Game& game, double beta)
+    : game_(game), beta_(beta) {
+  LD_CHECK(beta >= 0.0, "LogitChain: beta must be non-negative");
+}
+
+DenseMatrix LogitChain::dense_transition() const {
+  const ProfileSpace& sp = game_.space();
+  const size_t total = sp.num_profiles();
+  const int n = sp.num_players();
+  DenseMatrix p(total, total);
+  Profile x;
+  std::vector<double> sigma(size_t(sp.max_strategies()));
+  for (size_t idx = 0; idx < total; ++idx) {
+    sp.decode_into(idx, x);
+    for (int i = 0; i < n; ++i) {
+      const int32_t m = sp.num_strategies(i);
+      std::span<double> out(sigma.data(), size_t(m));
+      logit_update_distribution(game_, beta_, i, x, out);
+      for (Strategy s = 0; s < m; ++s) {
+        // Eq. (3): the diagonal accumulates every player's probability of
+        // re-picking her current strategy.
+        p(idx, sp.with_strategy(idx, i, s)) += out[size_t(s)] / double(n);
+      }
+    }
+  }
+  return p;
+}
+
+CsrMatrix LogitChain::csr_transition() const {
+  const ProfileSpace& sp = game_.space();
+  const size_t total = sp.num_profiles();
+  const int n = sp.num_players();
+  std::vector<Triplet> trips;
+  trips.reserve(total * size_t(n) * 2);
+  Profile x;
+  std::vector<double> sigma(size_t(sp.max_strategies()));
+  for (size_t idx = 0; idx < total; ++idx) {
+    sp.decode_into(idx, x);
+    for (int i = 0; i < n; ++i) {
+      const int32_t m = sp.num_strategies(i);
+      std::span<double> out(sigma.data(), size_t(m));
+      logit_update_distribution(game_, beta_, i, x, out);
+      for (Strategy s = 0; s < m; ++s) {
+        trips.push_back({uint32_t(idx),
+                         uint32_t(sp.with_strategy(idx, i, s)),
+                         out[size_t(s)] / double(n)});
+      }
+    }
+  }
+  return CsrMatrix(total, total, std::move(trips));
+}
+
+std::vector<double> LogitChain::stationary() const {
+  if (const auto* pg = dynamic_cast<const PotentialGame*>(&game_)) {
+    return gibbs_measure(*pg, beta_).probabilities;
+  }
+  // A game may be an exact potential game without deriving from
+  // PotentialGame (e.g. a TableGame built from congestion costs).
+  if (auto phi = extract_potential(game_)) {
+    return gibbs_from_potentials(*phi, beta_).probabilities;
+  }
+  return stationary_direct(dense_transition());
+}
+
+std::vector<double> LogitChain::stationary(
+    std::span<const double> potential_hint) const {
+  return gibbs_from_potentials(potential_hint, beta_).probabilities;
+}
+
+int LogitChain::step(Profile& x, Rng& rng) const {
+  const ProfileSpace& sp = game_.space();
+  const int i = int(rng.uniform_int(uint64_t(sp.num_players())));
+  const int32_t m = sp.num_strategies(i);
+  std::vector<double> sigma(static_cast<size_t>(m));
+  logit_update_distribution(game_, beta_, i, x, sigma);
+  x[size_t(i)] = Strategy(rng.sample_discrete(sigma));
+  return i;
+}
+
+size_t LogitChain::step_index(size_t state, Rng& rng) const {
+  Profile x = game_.space().decode(state);
+  step(x, rng);
+  return game_.space().index(x);
+}
+
+bool LogitChain::is_reversible(std::span<const double> pi, double tol) const {
+  const DenseMatrix p = dense_transition();
+  const size_t total = num_states();
+  LD_CHECK(pi.size() == total, "is_reversible: pi size mismatch");
+  for (size_t x = 0; x < total; ++x) {
+    for (size_t y = x + 1; y < total; ++y) {
+      const double forward = pi[x] * p(x, y);
+      const double backward = pi[y] * p(y, x);
+      if (std::abs(forward - backward) >
+          tol * std::max({1.0, std::abs(forward), std::abs(backward)})) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,60 @@
+// The logit-dynamics Markov chain M_beta(G) (paper Eq. (3)).
+//
+// State space: all encoded profiles. One step: pick a player uniformly at
+// random, redraw her strategy from the logit update distribution. The
+// chain is ergodic for every finite game and beta >= 0.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "games/game.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "linalg/sparse_matrix.hpp"
+#include "rng/rng.hpp"
+
+namespace logitdyn {
+
+/// A logit chain bound to a game and an inverse noise beta. Holds a
+/// reference to the game: the game must outlive the chain.
+class LogitChain {
+ public:
+  LogitChain(const Game& game, double beta);
+
+  const Game& game() const { return game_; }
+  double beta() const { return beta_; }
+  size_t num_states() const { return game_.space().num_profiles(); }
+
+  /// Full transition matrix, dense. O(|S| * n * m) time, |S|^2 memory.
+  DenseMatrix dense_transition() const;
+
+  /// Full transition matrix in CSR form: O(|S| * n * m) memory.
+  CsrMatrix csr_transition() const;
+
+  /// Stationary distribution. For potential games this is the Gibbs
+  /// measure (closed form); otherwise it is obtained by a direct LU solve
+  /// on the dense transition matrix (exact up to roundoff).
+  ///
+  /// `potential_hint`: pass the game's potential table to skip the exact-
+  /// potential autodetection.
+  std::vector<double> stationary() const;
+  std::vector<double> stationary(std::span<const double> potential_hint) const;
+
+  /// One in-place simulation step on a decoded profile. Returns the
+  /// updated player.
+  int step(Profile& x, Rng& rng) const;
+
+  /// One step on an encoded state index (decodes internally; prefer the
+  /// Profile overload in hot loops).
+  size_t step_index(size_t state, Rng& rng) const;
+
+  /// True if the chain satisfies detailed balance w.r.t. `pi` up to `tol`
+  /// (reversibility check; holds exactly for potential games).
+  bool is_reversible(std::span<const double> pi, double tol = 1e-10) const;
+
+ private:
+  const Game& game_;
+  double beta_;
+};
+
+}  // namespace logitdyn

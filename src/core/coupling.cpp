@@ -1,0 +1,154 @@
+#include "core/coupling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logit.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+void coupled_step(const LogitChain& chain, Profile& x, Profile& y, Rng& rng) {
+  const Game& game = chain.game();
+  const ProfileSpace& sp = game.space();
+  const int i = int(rng.uniform_int(uint64_t(sp.num_players())));
+  const int32_t m = sp.num_strategies(i);
+  std::vector<double> sx(static_cast<size_t>(m));
+  std::vector<double> sy(static_cast<size_t>(m));
+  logit_update_distribution(game, chain.beta(), i, x, sx);
+  logit_update_distribution(game, chain.beta(), i, y, sy);
+  // Maximal coupling with one uniform variate: the overlap mass
+  // sum_s min(sx, sy) occupies the prefix [0, C); the two leftover
+  // partitions independently tile [C, 1) for X and for Y (this is the
+  // interval construction in the paper's proof of Theorem 3.6).
+  double overlap = 0.0;
+  for (int32_t s = 0; s < m; ++s) {
+    overlap += std::min(sx[size_t(s)], sy[size_t(s)]);
+  }
+  const double u = rng.uniform();
+  if (u < overlap) {
+    double acc = 0.0;
+    for (int32_t s = 0; s < m; ++s) {
+      acc += std::min(sx[size_t(s)], sy[size_t(s)]);
+      if (u < acc || s == m - 1) {
+        x[size_t(i)] = s;
+        y[size_t(i)] = s;
+        break;
+      }
+    }
+    return;
+  }
+  const double v = u - overlap;  // position within the leftover region
+  auto pick_leftover = [m, v](const std::vector<double>& mine,
+                              const std::vector<double>& other) {
+    double acc = 0.0;
+    for (int32_t s = 0; s < m; ++s) {
+      acc += mine[size_t(s)] - std::min(mine[size_t(s)], other[size_t(s)]);
+      if (v < acc) return s;
+    }
+    return m - 1;  // roundoff guard
+  };
+  x[size_t(i)] = pick_leftover(sx, sy);
+  y[size_t(i)] = pick_leftover(sy, sx);
+}
+
+int64_t coupling_time(const LogitChain& chain, const Profile& x0,
+                      const Profile& y0, int64_t max_steps, Rng& rng) {
+  Profile x = x0, y = y0;
+  if (x == y) return 0;
+  for (int64_t t = 1; t <= max_steps; ++t) {
+    coupled_step(chain, x, y, rng);
+    if (x == y) return t;
+  }
+  return -1;
+}
+
+bool is_monotone_two_strategy(const LogitChain& chain) {
+  const Game& game = chain.game();
+  const ProfileSpace& sp = game.space();
+  for (int i = 0; i < sp.num_players(); ++i) {
+    LD_CHECK(sp.num_strategies(i) == 2,
+             "is_monotone_two_strategy: requires a 2-strategy game");
+  }
+  // For every profile and every player, raising any other coordinate from
+  // 0 to 1 must not decrease sigma_i(1 | x).
+  const size_t total = sp.num_profiles();
+  Profile x;
+  for (size_t idx = 0; idx < total; ++idx) {
+    sp.decode_into(idx, x);
+    for (int i = 0; i < sp.num_players(); ++i) {
+      const std::vector<double> lo =
+          logit_update_distribution(game, chain.beta(), i, x);
+      for (int j = 0; j < sp.num_players(); ++j) {
+        if (j == i || x[size_t(j)] == 1) continue;
+        Profile up = x;
+        up[size_t(j)] = 1;
+        const std::vector<double> hi =
+            logit_update_distribution(game, chain.beta(), i, up);
+        if (hi[1] < lo[1] - 1e-12) return false;
+      }
+    }
+  }
+  return true;
+}
+
+int64_t monotone_coalescence_time(const LogitChain& chain, int64_t max_steps,
+                                  Rng& rng) {
+  const Game& game = chain.game();
+  const ProfileSpace& sp = game.space();
+  const int n = sp.num_players();
+  for (int i = 0; i < n; ++i) {
+    LD_CHECK(sp.num_strategies(i) == 2,
+             "monotone_coalescence_time: requires a 2-strategy game");
+  }
+  Profile top(size_t(n), 1), bottom(size_t(n), 0);
+  int disagreements = n;
+  std::vector<double> sig_top(2), sig_bot(2);
+  for (int64_t t = 1; t <= max_steps; ++t) {
+    const int i = int(rng.uniform_int(uint64_t(n)));
+    const double u = rng.uniform();
+    logit_update_distribution(game, chain.beta(), i, top, sig_top);
+    logit_update_distribution(game, chain.beta(), i, bottom, sig_bot);
+    // Threshold rule: strategy 1 iff u falls above the chain's own
+    // sigma(0 | .). Monotonicity makes sig_top[0] <= sig_bot[0], so
+    // top >= bottom is preserved.
+    const Strategy new_top = u < sig_top[0] ? 0 : 1;
+    const Strategy new_bot = u < sig_bot[0] ? 0 : 1;
+    disagreements -= (top[size_t(i)] != bottom[size_t(i)]);
+    top[size_t(i)] = new_top;
+    bottom[size_t(i)] = new_bot;
+    disagreements += (new_top != new_bot);
+    if (disagreements == 0) return t;
+  }
+  return -1;
+}
+
+int64_t estimate_tmix_monotone(const LogitChain& chain, int replicas,
+                               double eps, int64_t max_steps,
+                               uint64_t master_seed) {
+  LD_CHECK(replicas > 0 && eps > 0 && eps < 1,
+           "estimate_tmix_monotone: bad parameters");
+  std::vector<int64_t> times(static_cast<size_t>(replicas));
+  parallel_for(0, size_t(replicas), [&](size_t r) {
+    Rng rng = Rng::for_replica(master_seed, r);
+    times[r] = monotone_coalescence_time(chain, max_steps, rng);
+  });
+  // d(t) <= P(tau > t); the empirical (1-eps) quantile of tau estimates
+  // the first t with d(t) <= eps.
+  int64_t failed = 0;
+  for (int64_t& t : times) {
+    if (t < 0) {
+      t = max_steps + 1;
+      ++failed;
+    }
+  }
+  if (double(failed) > eps * double(replicas)) return -1;
+  std::sort(times.begin(), times.end());
+  const size_t rank = std::min(
+      size_t(replicas) - 1,
+      size_t(std::ceil((1.0 - eps) * double(replicas))) - 1);
+  return times[rank];
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,53 @@
+// Markov-chain couplings for the logit dynamics.
+//
+// Two constructions from the paper:
+//  * the per-update *maximal* coupling used in the proofs of Theorems 3.6
+//    and 4.2 (both chains pick the same player and share one uniform
+//    variate laid over the interval partition of Section 3.3);
+//  * the *monotone grand coupling* for two-strategy games whose update
+//    rule is monotone in the componentwise order (e.g. graphical
+//    coordination games): the all-ones and all-zeros chains sandwich every
+//    other start, so their coalescence time upper-bounds the coupling time
+//    of every pair and hence d(t).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/chain.hpp"
+#include "games/game.hpp"
+#include "rng/rng.hpp"
+
+namespace logitdyn {
+
+/// One maximal-coupling step of two copies of the chain. Both profiles are
+/// updated in place; the same player is selected in both. Marginally each
+/// profile performs an exact logit step.
+void coupled_step(const LogitChain& chain, Profile& x, Profile& y, Rng& rng);
+
+/// Steps until the two chains meet, or -1 if not within `max_steps`.
+/// Once met they stay together (the coupling is faithful).
+int64_t coupling_time(const LogitChain& chain, const Profile& x0,
+                      const Profile& y0, int64_t max_steps, Rng& rng);
+
+/// One grand-coupling (threshold-rule) step applied simultaneously to both
+/// extreme chains of a two-strategy game: top starts at all-ones, bottom
+/// at all-zeros. Requires a 2-strategy game; monotonicity of the update
+/// rule is the caller's responsibility (see `is_monotone_two_strategy`).
+int64_t monotone_coalescence_time(const LogitChain& chain, int64_t max_steps,
+                                  Rng& rng);
+
+/// Brute-force verification (small spaces) that sigma_i(1 | x) is
+/// monotone non-decreasing in x under the componentwise order — the
+/// hypothesis of the grand-coupling sandwich.
+bool is_monotone_two_strategy(const LogitChain& chain);
+
+/// Empirical (1-eps)-quantile of the top/bottom coalescence time across
+/// replicas: a statistical upper-bound estimator of t_mix(eps) for
+/// monotone two-strategy chains. Returns -1 if more than eps of the
+/// replicas failed to coalesce within max_steps.
+int64_t estimate_tmix_monotone(const LogitChain& chain, int replicas,
+                               double eps, int64_t max_steps,
+                               uint64_t master_seed);
+
+}  // namespace logitdyn

@@ -1,0 +1,46 @@
+#include "core/gibbs.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace logitdyn {
+
+GibbsMeasure gibbs_from_potentials(std::span<const double> phi, double beta) {
+  LD_CHECK(!phi.empty(), "gibbs: empty potential table");
+  LD_CHECK(beta >= 0.0, "gibbs: beta must be non-negative");
+  GibbsMeasure g;
+  g.probabilities.resize(phi.size());
+  for (size_t i = 0; i < phi.size(); ++i) {
+    g.probabilities[i] = -beta * phi[i];  // log-weights first
+  }
+  g.log_partition = log_sum_exp(g.probabilities);
+  for (double& v : g.probabilities) v = std::exp(v - g.log_partition);
+  return g;
+}
+
+std::vector<double> potential_table(const PotentialGame& game) {
+  const ProfileSpace& sp = game.space();
+  std::vector<double> phi(sp.num_profiles());
+  Profile x;
+  for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
+    sp.decode_into(idx, x);
+    phi[idx] = game.potential(x);
+  }
+  return phi;
+}
+
+GibbsMeasure gibbs_measure(const PotentialGame& game, double beta) {
+  return gibbs_from_potentials(potential_table(game), beta);
+}
+
+double expected_potential(const PotentialGame& game, double beta) {
+  const std::vector<double> phi = potential_table(game);
+  const GibbsMeasure g = gibbs_from_potentials(phi, beta);
+  double e = 0.0;
+  for (size_t i = 0; i < phi.size(); ++i) e += g.probabilities[i] * phi[i];
+  return e;
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,32 @@
+// The Gibbs stationary measure of potential-game logit dynamics
+// (paper Eq. (4), with the proofs' sign convention):
+//   pi(x) = exp(-beta * Phi(x)) / Z_beta.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "games/game.hpp"
+
+namespace logitdyn {
+
+struct GibbsMeasure {
+  std::vector<double> probabilities;  ///< pi, indexed by encoded profile
+  double log_partition;               ///< log Z_beta
+};
+
+/// Full Gibbs measure of `game` at inverse noise `beta`. Stable for large
+/// beta (log-sum-exp). Cost O(|S| * potential evaluation).
+GibbsMeasure gibbs_measure(const PotentialGame& game, double beta);
+
+/// Gibbs measure from a precomputed potential table.
+GibbsMeasure gibbs_from_potentials(std::span<const double> phi, double beta);
+
+/// E_pi[Phi]: the stationary expected potential.
+double expected_potential(const PotentialGame& game, double beta);
+
+/// Evaluate Phi on every encoded profile (the dense potential table used
+/// by zeta/bottleneck/spectral analyses).
+std::vector<double> potential_table(const PotentialGame& game);
+
+}  // namespace logitdyn

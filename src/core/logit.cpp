@@ -1,0 +1,32 @@
+#include "core/logit.hpp"
+
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace logitdyn {
+
+void logit_update_distribution(const Game& game, double beta, int player,
+                               Profile& x, std::span<double> out) {
+  LD_CHECK(beta >= 0.0, "logit update: beta must be non-negative");
+  const int32_t m = game.num_strategies(player);
+  LD_CHECK(out.size() == size_t(m), "logit update: output size mismatch");
+  LD_CHECK(x.size() == size_t(game.num_players()),
+           "logit update: profile size mismatch");
+  const Strategy saved = x[size_t(player)];
+  for (Strategy s = 0; s < m; ++s) {
+    x[size_t(player)] = s;
+    out[size_t(s)] = beta * game.utility(player, x);
+  }
+  x[size_t(player)] = saved;
+  softmax(out, out);
+}
+
+std::vector<double> logit_update_distribution(const Game& game, double beta,
+                                              int player, const Profile& x) {
+  std::vector<double> out(size_t(game.num_strategies(player)));
+  Profile scratch = x;
+  logit_update_distribution(game, beta, player, scratch, out);
+  return out;
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,26 @@
+// The logit update rule (paper Eq. (2)):
+//   sigma_i(y | x) = exp(beta * u_i(y, x_{-i})) / T_i(x).
+//
+// Computed with a stable softmax (max-subtracted), so beta in the hundreds
+// — deep in the paper's "large beta" regime — neither overflows nor
+// denormalizes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "games/game.hpp"
+
+namespace logitdyn {
+
+/// Update distribution for `player` at profile `x`: fills `out[s]` =
+/// sigma_player(s | x) for s in [0, |S_player|). `x` is used as scratch
+/// (its `player` entry is modified and restored before returning).
+void logit_update_distribution(const Game& game, double beta, int player,
+                               Profile& x, std::span<double> out);
+
+/// Allocating convenience wrapper.
+std::vector<double> logit_update_distribution(const Game& game, double beta,
+                                              int player, const Profile& x);
+
+}  // namespace logitdyn

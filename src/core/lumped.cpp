@@ -1,0 +1,173 @@
+#include "core/lumped.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace logitdyn {
+
+namespace {
+
+/// Stable logistic 1 / (1 + e^z): the probability that a logit update
+/// prefers the option whose potential is higher by z.
+double inverse_logistic(double z) {
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return e / (1.0 + e);
+  }
+  return 1.0 / (1.0 + std::exp(z));
+}
+
+}  // namespace
+
+BirthDeathChain::BirthDeathChain(std::vector<double> up,
+                                 std::vector<double> down)
+    : up_(std::move(up)), down_(std::move(down)) {
+  LD_CHECK(up_.size() == down_.size() && !up_.empty(),
+           "BirthDeathChain: rate vector size mismatch");
+  const size_t n = up_.size() - 1;
+  LD_CHECK(up_[n] == 0.0, "BirthDeathChain: up[n] must be 0");
+  LD_CHECK(down_[0] == 0.0, "BirthDeathChain: down[0] must be 0");
+  for (size_t k = 0; k <= n; ++k) {
+    LD_CHECK(up_[k] >= 0 && down_[k] >= 0 && up_[k] + down_[k] <= 1.0 + 1e-12,
+             "BirthDeathChain: invalid rates at state ", k);
+  }
+}
+
+DenseMatrix BirthDeathChain::transition() const {
+  const size_t states = num_states();
+  DenseMatrix p(states, states);
+  for (size_t k = 0; k < states; ++k) {
+    if (k + 1 < states) p(k, k + 1) = up_[k];
+    if (k > 0) p(k, k - 1) = down_[k];
+    p(k, k) = 1.0 - up_[k] - down_[k];
+  }
+  return p;
+}
+
+std::vector<double> BirthDeathChain::stationary() const {
+  const size_t states = num_states();
+  // Detailed balance: pi(k+1)/pi(k) = up(k)/down(k+1); accumulate in logs.
+  std::vector<double> logpi(states, 0.0);
+  for (size_t k = 0; k + 1 < states; ++k) {
+    LD_CHECK(up_[k] > 0 && down_[k + 1] > 0,
+             "BirthDeathChain::stationary: chain must be irreducible");
+    logpi[k + 1] = logpi[k] + std::log(up_[k]) - std::log(down_[k + 1]);
+  }
+  const double lse = log_sum_exp(logpi);
+  std::vector<double> pi(states);
+  for (size_t k = 0; k < states; ++k) pi[k] = std::exp(logpi[k] - lse);
+  return pi;
+}
+
+BirthDeathChain BirthDeathChain::weight_chain(
+    int num_players, double beta, std::span<const double> phi_of_weight) {
+  const int n = num_players;
+  LD_CHECK(n >= 1, "weight_chain: need players");
+  LD_CHECK(phi_of_weight.size() == size_t(n) + 1,
+           "weight_chain: potential table must have n+1 entries");
+  std::vector<double> up(size_t(n) + 1, 0.0), down(size_t(n) + 1, 0.0);
+  for (int k = 0; k <= n; ++k) {
+    if (k < n) {
+      // Select one of the (n-k) zero-players, who flips to 1 with the
+      // logit probability driven by the potential difference.
+      const double dphi = phi_of_weight[size_t(k) + 1] - phi_of_weight[size_t(k)];
+      up[size_t(k)] =
+          (double(n - k) / double(n)) * inverse_logistic(beta * dphi);
+    }
+    if (k > 0) {
+      const double dphi = phi_of_weight[size_t(k) - 1] - phi_of_weight[size_t(k)];
+      down[size_t(k)] =
+          (double(k) / double(n)) * inverse_logistic(beta * dphi);
+    }
+  }
+  return BirthDeathChain(std::move(up), std::move(down));
+}
+
+BirthDeathChain BirthDeathChain::all_or_nothing_chain(int num_players,
+                                                      int32_t num_strategies,
+                                                      double beta) {
+  const int n = num_players;
+  const double m = double(num_strategies);
+  LD_CHECK(n >= 2 && num_strategies >= 2, "all_or_nothing_chain: bad size");
+  std::vector<double> up(size_t(n) + 1, 0.0), down(size_t(n) + 1, 0.0);
+  // From k = 0 a zero-player faces u(0)=0 vs u(s!=0)=-1; otherwise every
+  // strategy pays -1 and the update is uniform over all m strategies.
+  // w = (m-1)e^{-beta}; both w/(1+w) and 1/(1+w) are computed directly —
+  // the naive 1 - 1/(1+w) underflows to 0 once beta > ~36 log(10).
+  const double w = (m - 1.0) * std::exp(-beta);
+  const double stick0 = 1.0 / (1.0 + w);
+  const double escape0 = w / (1.0 + w);
+  for (int k = 0; k <= n; ++k) {
+    if (k < n) {
+      const double flip_up = (k == 0) ? escape0 : (m - 1.0) / m;
+      up[size_t(k)] = (double(n - k) / double(n)) * flip_up;
+    }
+    if (k > 0) {
+      const double flip_down = (k == 1) ? stick0 : 1.0 / m;
+      down[size_t(k)] = (double(k) / double(n)) * flip_down;
+    }
+  }
+  return BirthDeathChain(std::move(up), std::move(down));
+}
+
+std::vector<double> clique_weight_potential(int num_players, double delta0,
+                                            double delta1) {
+  LD_CHECK(num_players >= 2, "clique_weight_potential: need n >= 2");
+  std::vector<double> phi(size_t(num_players) + 1);
+  const double n = double(num_players);
+  for (int k = 0; k <= num_players; ++k) {
+    const double kk = double(k);
+    phi[size_t(k)] = -((n - kk) * (n - kk - 1.0) / 2.0 * delta0 +
+                       kk * (kk - 1.0) / 2.0 * delta1);
+  }
+  return phi;
+}
+
+int clique_barrier_weight(int num_players, double delta0, double delta1) {
+  const std::vector<double> phi =
+      clique_weight_potential(num_players, delta0, delta1);
+  return int(std::max_element(phi.begin(), phi.end()) - phi.begin());
+}
+
+std::optional<DenseMatrix> lump_transition(const DenseMatrix& p,
+                                           std::span<const uint32_t> block_of,
+                                           uint32_t num_blocks, double tol) {
+  const size_t total = p.rows();
+  LD_CHECK(p.cols() == total, "lump_transition: square matrix required");
+  LD_CHECK(block_of.size() == total, "lump_transition: label size mismatch");
+  for (uint32_t b : block_of) {
+    LD_CHECK(b < num_blocks, "lump_transition: block label out of range");
+  }
+  DenseMatrix lumped(num_blocks, num_blocks);
+  std::vector<uint8_t> seen(num_blocks, 0);
+  std::vector<double> row(num_blocks);
+  for (size_t x = 0; x < total; ++x) {
+    std::fill(row.begin(), row.end(), 0.0);
+    for (size_t y = 0; y < total; ++y) row[block_of[y]] += p(x, y);
+    const uint32_t b = block_of[x];
+    if (!seen[b]) {
+      for (uint32_t c = 0; c < num_blocks; ++c) lumped(b, c) = row[c];
+      seen[b] = 1;
+    } else {
+      for (uint32_t c = 0; c < num_blocks; ++c) {
+        if (std::abs(lumped(b, c) - row[c]) > tol) return std::nullopt;
+      }
+    }
+  }
+  return lumped;
+}
+
+std::vector<double> project_distribution(std::span<const double> dist,
+                                         std::span<const uint32_t> block_of,
+                                         uint32_t num_blocks) {
+  LD_CHECK(dist.size() == block_of.size(),
+           "project_distribution: size mismatch");
+  std::vector<double> out(num_blocks, 0.0);
+  for (size_t i = 0; i < dist.size(); ++i) out[block_of[i]] += dist[i];
+  return out;
+}
+
+}  // namespace logitdyn

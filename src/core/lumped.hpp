@@ -1,0 +1,86 @@
+// Exact lumping (projection) of logit chains.
+//
+// The permutation-symmetric games of the paper — the clique coordination
+// game (Sect. 5.2), the plateau family (Thm 3.5) and the all-or-nothing
+// dominant game (Thm 4.3) — are *strongly lumpable* with respect to the
+// Hamming-weight partition: the projected process is itself a Markov
+// chain, a birth-death chain on {0, ..., n}. This turns an exponential
+// 2^n-state analysis into an (n+1)-state one, which is how the large-n
+// experiments in bench/ compute exact mixing quantities.
+//
+// Projection facts used by the experiments (and verified in tests):
+//  * the lumped stationary law is the push-forward of the Gibbs measure,
+//    pi_lump(k) ∝ C(n,k) e^{-beta*phi(k)};
+//  * TV distances can only shrink under projection, so lumped mixing
+//    times lower-bound the full chain's; at small n the tests check the
+//    two coincide for symmetric starts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace logitdyn {
+
+/// A birth-death chain on {0, ..., n}: up[k] = P(k -> k+1),
+/// down[k] = P(k -> k-1), lazily completed by self-loops.
+class BirthDeathChain {
+ public:
+  /// `up` and `down` must each have n+1 entries; up[n] and down[0] must be
+  /// zero; up[k] + down[k] <= 1 for all k.
+  BirthDeathChain(std::vector<double> up, std::vector<double> down);
+
+  size_t num_states() const { return up_.size(); }
+  double up(int k) const { return up_[size_t(k)]; }
+  double down(int k) const { return down_[size_t(k)]; }
+
+  DenseMatrix transition() const;
+
+  /// Stationary distribution via the detailed-balance product formula,
+  /// accumulated in log space (stable for beta in the hundreds).
+  std::vector<double> stationary() const;
+
+  // ---- Builders for the paper's symmetric games ----
+
+  /// Lumped chain of a 2-strategy weight-symmetric potential game:
+  /// `phi_of_weight[k]` = Phi of any profile with k ones (size n+1).
+  static BirthDeathChain weight_chain(int num_players, double beta,
+                                      std::span<const double> phi_of_weight);
+
+  /// Lumped chain of the AllOrNothingGame (Thm 4.3) on
+  /// k = #players playing a nonzero strategy.
+  static BirthDeathChain all_or_nothing_chain(int num_players,
+                                              int32_t num_strategies,
+                                              double beta);
+
+ private:
+  std::vector<double> up_, down_;
+};
+
+/// Weight potential of the clique graphical coordination game:
+/// phi(k) = -( (n-k)(n-k-1)/2 * delta0 + k(k-1)/2 * delta1 ).
+std::vector<double> clique_weight_potential(int num_players, double delta0,
+                                            double delta1);
+
+/// The weight k* maximizing the clique potential barrier (paper Sect. 5.2:
+/// the integer nearest (n-1) * delta0/(delta0+delta1) + 1/2).
+int clique_barrier_weight(int num_players, double delta0, double delta1);
+
+/// Exact strong-lumpability test + construction. Given a transition matrix
+/// and a block label per state, returns the lumped transition matrix if
+/// every pair of same-block states has identical block-to-block transition
+/// mass (within tol); std::nullopt otherwise.
+std::optional<DenseMatrix> lump_transition(const DenseMatrix& p,
+                                           std::span<const uint32_t> block_of,
+                                           uint32_t num_blocks,
+                                           double tol = 1e-12);
+
+/// Push-forward of a distribution along a block map.
+std::vector<double> project_distribution(std::span<const double> dist,
+                                         std::span<const uint32_t> block_of,
+                                         uint32_t num_blocks);
+
+}  // namespace logitdyn

@@ -1,0 +1,59 @@
+#include "core/parallel_dynamics.hpp"
+
+#include "core/logit.hpp"
+#include "linalg/lu_solver.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+ParallelLogitChain::ParallelLogitChain(const Game& game, double beta)
+    : game_(game), beta_(beta) {
+  LD_CHECK(beta >= 0.0, "ParallelLogitChain: beta must be non-negative");
+}
+
+DenseMatrix ParallelLogitChain::dense_transition() const {
+  const ProfileSpace& sp = game_.space();
+  const size_t total = sp.num_profiles();
+  const int n = sp.num_players();
+  // Precompute per-(state, player) update distributions, then take the
+  // product across players for each target profile.
+  std::vector<std::vector<double>> sigma(static_cast<size_t>(n));
+  DenseMatrix p(total, total);
+  Profile x;
+  for (size_t from = 0; from < total; ++from) {
+    sp.decode_into(from, x);
+    for (int i = 0; i < n; ++i) {
+      sigma[size_t(i)].resize(size_t(sp.num_strategies(i)));
+      logit_update_distribution(game_, beta_, i, x, sigma[size_t(i)]);
+    }
+    for (size_t to = 0; to < total; ++to) {
+      double prob = 1.0;
+      for (int i = 0; i < n; ++i) {
+        prob *= sigma[size_t(i)][size_t(sp.strategy_of(to, i))];
+        if (prob == 0.0) break;
+      }
+      p(from, to) = prob;
+    }
+  }
+  return p;
+}
+
+std::vector<double> ParallelLogitChain::stationary() const {
+  return stationary_direct(dense_transition());
+}
+
+void ParallelLogitChain::step(Profile& x, Rng& rng) const {
+  const ProfileSpace& sp = game_.space();
+  const int n = sp.num_players();
+  Profile next = x;
+  std::vector<double> sigma;
+  for (int i = 0; i < n; ++i) {
+    sigma.resize(size_t(sp.num_strategies(i)));
+    // All draws are against the old profile x.
+    logit_update_distribution(game_, beta_, i, x, sigma);
+    next[size_t(i)] = Strategy(rng.sample_discrete(sigma));
+  }
+  x = std::move(next);
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,48 @@
+// Synchronous ("parallel") logit dynamics — the variation raised in the
+// paper's conclusions, where *all* players update simultaneously in each
+// round (the beta = infinity special case, parallel best response, is
+// Nisan–Schapira–Zohar's setting).
+//
+// One round: every player i independently redraws her strategy from
+// sigma_i(. | x), all against the *old* profile x:
+//     P(x, y) = prod_i sigma_i(y_i | x).
+// Unlike the asynchronous chain this is generally NOT reversible and its
+// stationary law is not the Gibbs measure; at large beta on coordination
+// games it exhibits the classic period-2 flip-flop (eigenvalues near -1),
+// which the tests and the ablation bench demonstrate.
+#pragma once
+
+#include <vector>
+
+#include "games/game.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "rng/rng.hpp"
+
+namespace logitdyn {
+
+/// The synchronous-update logit chain over the same profile space.
+class ParallelLogitChain {
+ public:
+  ParallelLogitChain(const Game& game, double beta);
+
+  const Game& game() const { return game_; }
+  double beta() const { return beta_; }
+  size_t num_states() const { return game_.space().num_profiles(); }
+
+  /// Dense transition matrix: P(x, y) = prod_i sigma_i(y_i | x).
+  /// |S|^2 work per row pair; intended for small spaces.
+  DenseMatrix dense_transition() const;
+
+  /// Stationary distribution by direct solve (no closed form exists in
+  /// general — see the paper's conclusions).
+  std::vector<double> stationary() const;
+
+  /// One synchronous round in place.
+  void step(Profile& x, Rng& rng) const;
+
+ private:
+  const Game& game_;
+  double beta_;
+};
+
+}  // namespace logitdyn

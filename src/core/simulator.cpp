@@ -1,0 +1,102 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+
+#include "parallel/thread_pool.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace logitdyn {
+
+void simulate(const LogitChain& chain, Profile& x, int64_t steps, Rng& rng,
+              const StepObserver& observer) {
+  LD_CHECK(steps >= 0, "simulate: negative step count");
+  for (int64_t t = 0; t < steps; ++t) {
+    chain.step(x, rng);
+    if (observer) observer(t + 1, x);
+  }
+}
+
+std::vector<double> empirical_occupation(const LogitChain& chain,
+                                         const Profile& start,
+                                         int64_t burn_in, int64_t samples,
+                                         int64_t stride, Rng& rng) {
+  LD_CHECK(samples > 0 && stride > 0, "empirical_occupation: bad sampling");
+  const ProfileSpace& sp = chain.game().space();
+  std::vector<double> counts(sp.num_profiles(), 0.0);
+  Profile x = start;
+  simulate(chain, x, burn_in, rng);
+  for (int64_t s = 0; s < samples; ++s) {
+    simulate(chain, x, stride, rng);
+    counts[sp.index(x)] += 1.0;
+  }
+  normalize_in_place(counts);
+  return counts;
+}
+
+std::vector<size_t> batch_final_states(const LogitChain& chain,
+                                       const Profile& start, int64_t steps,
+                                       int replicas, uint64_t master_seed) {
+  LD_CHECK(replicas > 0, "batch_final_states: need replicas > 0");
+  const ProfileSpace& sp = chain.game().space();
+  std::vector<size_t> finals(static_cast<size_t>(replicas));
+  parallel_for(0, size_t(replicas), [&](size_t r) {
+    Rng rng = Rng::for_replica(master_seed, r);
+    Profile x = start;
+    simulate(chain, x, steps, rng);
+    finals[r] = sp.index(x);
+  });
+  return finals;
+}
+
+std::vector<double> batch_final_distribution(const LogitChain& chain,
+                                             const Profile& start,
+                                             int64_t steps, int replicas,
+                                             uint64_t master_seed) {
+  const std::vector<size_t> finals =
+      batch_final_states(chain, start, steps, replicas, master_seed);
+  std::vector<double> dist(chain.num_states(), 0.0);
+  for (size_t idx : finals) dist[idx] += 1.0;
+  normalize_in_place(dist);
+  return dist;
+}
+
+int64_t hitting_time(const LogitChain& chain, const Profile& start,
+                     const std::function<bool(const Profile&)>& target,
+                     int64_t max_steps, Rng& rng) {
+  Profile x = start;
+  if (target(x)) return 0;
+  for (int64_t t = 1; t <= max_steps; ++t) {
+    chain.step(x, rng);
+    if (target(x)) return t;
+  }
+  return -1;
+}
+
+HittingTimeStats batch_hitting_time(
+    const LogitChain& chain, const Profile& start,
+    const std::function<bool(const Profile&)>& target, int64_t max_steps,
+    int replicas, uint64_t master_seed) {
+  LD_CHECK(replicas > 0, "batch_hitting_time: need replicas > 0");
+  std::vector<int64_t> times(static_cast<size_t>(replicas));
+  parallel_for(0, size_t(replicas), [&](size_t r) {
+    Rng rng = Rng::for_replica(master_seed, r);
+    times[r] = hitting_time(chain, start, target, max_steps, rng);
+  });
+  HittingTimeStats stats;
+  double sum = 0.0;
+  for (int64_t t : times) {
+    if (t < 0) {
+      stats.num_censored += 1;
+      sum += double(max_steps);
+      stats.max = std::max(stats.max, max_steps);
+    } else {
+      sum += double(t);
+      stats.max = std::max(stats.max, t);
+    }
+  }
+  stats.mean = sum / double(replicas);
+  return stats;
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,63 @@
+// Trajectory simulation of the logit dynamics: single runs with
+// observables, parallel batches of replicas, empirical distributions,
+// and hitting times.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/chain.hpp"
+#include "games/game.hpp"
+#include "rng/rng.hpp"
+
+namespace logitdyn {
+
+/// Called after every step with (step index, current profile).
+using StepObserver = std::function<void(int64_t, const Profile&)>;
+
+/// Run `steps` logit updates from `x` in place. The observer (optional)
+/// sees the state after each step.
+void simulate(const LogitChain& chain, Profile& x, int64_t steps, Rng& rng,
+              const StepObserver& observer = nullptr);
+
+/// Occupation-measure estimate: run `burn_in` steps, then record the state
+/// every `stride` steps, `samples` times. Returns a distribution over
+/// encoded profiles (sums to 1).
+std::vector<double> empirical_occupation(const LogitChain& chain,
+                                         const Profile& start,
+                                         int64_t burn_in, int64_t samples,
+                                         int64_t stride, Rng& rng);
+
+/// Final encoded states of `replicas` independent runs of `steps` updates,
+/// executed in parallel with per-replica RNG streams derived from
+/// `master_seed` (deterministic regardless of thread schedule).
+std::vector<size_t> batch_final_states(const LogitChain& chain,
+                                       const Profile& start, int64_t steps,
+                                       int replicas, uint64_t master_seed);
+
+/// Distribution over final states across replicas (sums to 1).
+std::vector<double> batch_final_distribution(const LogitChain& chain,
+                                             const Profile& start,
+                                             int64_t steps, int replicas,
+                                             uint64_t master_seed);
+
+/// First step at which `target(x)` becomes true, or -1 if not within
+/// `max_steps`. Checks the start state first (returns 0 if already there).
+int64_t hitting_time(const LogitChain& chain, const Profile& start,
+                     const std::function<bool(const Profile&)>& target,
+                     int64_t max_steps, Rng& rng);
+
+/// Mean hitting time across replicas; censored runs count as `max_steps`
+/// (reported separately via `num_censored`).
+struct HittingTimeStats {
+  double mean = 0.0;
+  int64_t max = 0;
+  int num_censored = 0;
+};
+HittingTimeStats batch_hitting_time(
+    const LogitChain& chain, const Profile& start,
+    const std::function<bool(const Profile&)>& target, int64_t max_steps,
+    int replicas, uint64_t master_seed);
+
+}  // namespace logitdyn

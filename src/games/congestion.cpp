@@ -1,0 +1,106 @@
+#include "games/congestion.hpp"
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+ProfileSpace CongestionGame::make_space(
+    const std::vector<std::vector<std::vector<int>>>& strategies) {
+  LD_CHECK(!strategies.empty(), "CongestionGame: need at least one player");
+  std::vector<int32_t> sizes;
+  sizes.reserve(strategies.size());
+  for (const auto& per_player : strategies) {
+    LD_CHECK(!per_player.empty(),
+             "CongestionGame: every player needs a strategy");
+    sizes.push_back(int32_t(per_player.size()));
+  }
+  return ProfileSpace(std::move(sizes));
+}
+
+CongestionGame::CongestionGame(
+    int num_resources, std::vector<std::vector<std::vector<int>>> strategies,
+    std::vector<std::vector<double>> latency)
+    : num_resources_(num_resources),
+      strategies_(std::move(strategies)),
+      latency_(std::move(latency)),
+      space_(make_space(strategies_)) {
+  LD_CHECK(num_resources_ >= 1, "CongestionGame: need resources");
+  LD_CHECK(latency_.size() == size_t(num_resources_),
+           "CongestionGame: one latency vector per resource");
+  const size_t n = strategies_.size();
+  for (const auto& lat : latency_) {
+    LD_CHECK(lat.size() >= n,
+             "CongestionGame: latency must be defined up to load n");
+  }
+  for (const auto& per_player : strategies_) {
+    for (const auto& subset : per_player) {
+      for (int r : subset) {
+        LD_CHECK(r >= 0 && r < num_resources_,
+                 "CongestionGame: resource id out of range");
+      }
+    }
+  }
+}
+
+std::vector<int> CongestionGame::loads(const Profile& x) const {
+  std::vector<int> load(size_t(num_resources_), 0);
+  for (size_t i = 0; i < x.size(); ++i) {
+    for (int r : strategies_[i][size_t(x[i])]) load[size_t(r)] += 1;
+  }
+  return load;
+}
+
+double CongestionGame::potential(const Profile& x) const {
+  const std::vector<int> load = loads(x);
+  double phi = 0.0;
+  for (int r = 0; r < num_resources_; ++r) {
+    for (int k = 1; k <= load[size_t(r)]; ++k) {
+      phi += latency_[size_t(r)][size_t(k - 1)];
+    }
+  }
+  return phi;
+}
+
+double CongestionGame::utility(int player, const Profile& x) const {
+  const std::vector<int> load = loads(x);
+  double cost = 0.0;
+  for (int r : strategies_[size_t(player)][size_t(x[size_t(player)])]) {
+    cost += latency_[size_t(r)][size_t(load[size_t(r)] - 1)];
+  }
+  return -cost;
+}
+
+double CongestionGame::social_welfare(const Profile& x) const {
+  double welfare = 0.0;
+  for (int i = 0; i < num_players(); ++i) welfare += utility(i, x);
+  return welfare;
+}
+
+std::string CongestionGame::name() const {
+  return "congestion(n=" + std::to_string(num_players()) +
+         ",r=" + std::to_string(num_resources_) + ")";
+}
+
+CongestionGame make_parallel_links_game(int num_players,
+                                        std::vector<double> slope,
+                                        std::vector<double> offset) {
+  LD_CHECK(slope.size() == offset.size() && !slope.empty(),
+           "make_parallel_links_game: slope/offset size mismatch");
+  const int m = int(slope.size());
+  std::vector<std::vector<std::vector<int>>> strategies(
+      static_cast<size_t>(num_players));
+  for (auto& per_player : strategies) {
+    per_player.resize(size_t(m));
+    for (int r = 0; r < m; ++r) per_player[size_t(r)] = {r};
+  }
+  std::vector<std::vector<double>> latency(static_cast<size_t>(m));
+  for (int r = 0; r < m; ++r) {
+    latency[size_t(r)].resize(size_t(num_players));
+    for (int k = 1; k <= num_players; ++k) {
+      latency[size_t(r)][size_t(k - 1)] = slope[size_t(r)] * k + offset[size_t(r)];
+    }
+  }
+  return CongestionGame(m, std::move(strategies), std::move(latency));
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,57 @@
+// Congestion games with Rosenthal potential.
+//
+// Used as the non-trivial potential-game workload for the examples and for
+// tests of the potential-extraction machinery (congestion games are the
+// canonical exact potential games).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "games/game.hpp"
+
+namespace logitdyn {
+
+/// A congestion game: resources r have load-dependent latencies
+/// latency[r][k-1] for k users; each player picks one of her allowed
+/// resource subsets, paying the sum of latencies over her subset.
+///
+/// Potential (Rosenthal '73): Phi(x) = sum_r sum_{k=1..load_r(x)}
+/// latency[r][k-1]; equilibria are local minima, matching the library's
+/// sign convention.
+class CongestionGame : public PotentialGame {
+ public:
+  /// `strategies[i][s]` = list of resource ids used by player i's s-th
+  /// strategy. `latency[r]` must have at least n entries (load 1..n).
+  CongestionGame(int num_resources,
+                 std::vector<std::vector<std::vector<int>>> strategies,
+                 std::vector<std::vector<double>> latency);
+
+  const ProfileSpace& space() const override { return space_; }
+  double potential(const Profile& x) const override;
+  double utility(int player, const Profile& x) const override;
+  std::string name() const override;
+
+  /// Load profile: users per resource under x.
+  std::vector<int> loads(const Profile& x) const;
+
+  /// Sum over players of their (negative) costs: the social welfare.
+  double social_welfare(const Profile& x) const;
+
+ private:
+  static ProfileSpace make_space(
+      const std::vector<std::vector<std::vector<int>>>& strategies);
+
+  int num_resources_;
+  std::vector<std::vector<std::vector<int>>> strategies_;
+  std::vector<std::vector<double>> latency_;
+  ProfileSpace space_;
+};
+
+/// Convenience builder: n identical players choosing one of m parallel
+/// links with linear latency a[r] * load + b[r].
+CongestionGame make_parallel_links_game(int num_players,
+                                        std::vector<double> slope,
+                                        std::vector<double> offset);
+
+}  // namespace logitdyn

@@ -1,0 +1,39 @@
+#include "games/coordination.hpp"
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+CoordinationGame::CoordinationGame(CoordinationPayoffs payoffs)
+    : space_(2, 2), payoffs_(payoffs) {
+  LD_CHECK(payoffs_.delta0() > 0,
+           "CoordinationGame: requires delta0 = a - d > 0");
+  LD_CHECK(payoffs_.delta1() > 0,
+           "CoordinationGame: requires delta1 = b - c > 0");
+}
+
+double CoordinationGame::edge_potential(const CoordinationPayoffs& p,
+                                        Strategy s, Strategy t) {
+  if (s == 0 && t == 0) return -p.delta0();
+  if (s == 1 && t == 1) return -p.delta1();
+  return 0.0;
+}
+
+double CoordinationGame::potential(const Profile& x) const {
+  return edge_potential(payoffs_, x[0], x[1]);
+}
+
+double CoordinationGame::utility(int player, const Profile& x) const {
+  const Strategy mine = x[size_t(player)];
+  const Strategy theirs = x[size_t(1 - player)];
+  if (mine == 0) return theirs == 0 ? payoffs_.a : payoffs_.c;
+  return theirs == 0 ? payoffs_.d : payoffs_.b;
+}
+
+int CoordinationGame::risk_dominant_equilibrium() const {
+  if (payoffs_.delta0() > payoffs_.delta1()) return -1;
+  if (payoffs_.delta0() < payoffs_.delta1()) return +1;
+  return 0;
+}
+
+}  // namespace logitdyn

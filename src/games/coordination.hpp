@@ -1,0 +1,57 @@
+// The 2x2 coordination game of Section 5 (paper Eq. (10)): the basic
+// building block of graphical coordination games.
+#pragma once
+
+#include <string>
+
+#include "games/game.hpp"
+
+namespace logitdyn {
+
+/// Payoff matrix of the basic coordination game:
+///
+///             0         1
+///    0 |  a, a   |  c, d  |
+///    1 |  d, c   |  b, b  |
+///
+/// with delta0 = a - d > 0 and delta1 = b - c > 0 so both (0,0) and (1,1)
+/// are strict Nash equilibria.
+struct CoordinationPayoffs {
+  double a, b, c, d;
+
+  double delta0() const { return a - d; }
+  double delta1() const { return b - c; }
+
+  /// Symmetric payoffs with given equilibrium gaps (c = d = 0).
+  static CoordinationPayoffs from_deltas(double delta0, double delta1) {
+    return {delta0, delta1, 0.0, 0.0};
+  }
+};
+
+/// The two-player 2x2 coordination game as a PotentialGame. The potential
+/// (paper Sect. 5) is phi(0,0) = -delta0, phi(1,1) = -delta1, else 0.
+class CoordinationGame : public PotentialGame {
+ public:
+  explicit CoordinationGame(CoordinationPayoffs payoffs);
+
+  const ProfileSpace& space() const override { return space_; }
+  double potential(const Profile& x) const override;
+  double utility(int player, const Profile& x) const override;
+  std::string name() const override { return "coordination-2x2"; }
+
+  const CoordinationPayoffs& payoffs() const { return payoffs_; }
+
+  /// -1 if (0,0) is risk dominant, +1 if (1,1) is, 0 if neither.
+  int risk_dominant_equilibrium() const;
+
+  /// Edge potential phi(s, t) for strategies s, t (used by the graphical
+  /// game and by tests).
+  static double edge_potential(const CoordinationPayoffs& p, Strategy s,
+                               Strategy t);
+
+ private:
+  ProfileSpace space_;
+  CoordinationPayoffs payoffs_;
+};
+
+}  // namespace logitdyn

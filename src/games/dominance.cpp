@@ -1,0 +1,110 @@
+#include "games/dominance.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+namespace {
+
+/// Enumerate profiles whose every coordinate is currently surviving,
+/// with player `skip`'s coordinate overwritten by the caller.
+class SurvivorEnumerator {
+ public:
+  SurvivorEnumerator(const ProfileSpace& space,
+                     const std::vector<std::vector<Strategy>>& surviving,
+                     int skip)
+      : space_(space), surviving_(surviving), skip_(skip) {}
+
+  /// Apply fn to every survivor profile (with x[skip] unspecified);
+  /// fn returns false to abort the scan early. Returns false if aborted.
+  bool for_each(Profile& x, const std::function<bool(Profile&)>& fn) const {
+    return recurse(x, 0, fn);
+  }
+
+ private:
+  bool recurse(Profile& x, int player,
+               const std::function<bool(Profile&)>& fn) const {
+    if (player == space_.num_players()) return fn(x);
+    if (player == skip_) return recurse(x, player + 1, fn);
+    for (Strategy s : surviving_[size_t(player)]) {
+      x[size_t(player)] = s;
+      if (!recurse(x, player + 1, fn)) return false;
+    }
+    return true;
+  }
+
+  const ProfileSpace& space_;
+  const std::vector<std::vector<Strategy>>& surviving_;
+  int skip_;
+};
+
+/// Does strategy `t` dominate `s` for `player` against the survivors?
+bool dominates(const Game& game,
+               const std::vector<std::vector<Strategy>>& surviving,
+               int player, Strategy t, Strategy s, DominanceMode mode) {
+  bool strictly_better_somewhere = false;
+  bool never_worse = true;
+  bool strictly_better_everywhere = true;
+  Profile x(size_t(game.num_players()), 0);
+  SurvivorEnumerator enumerate(game.space(), surviving, player);
+  enumerate.for_each(x, [&](Profile& profile) {
+    profile[size_t(player)] = t;
+    const double u_t = game.utility(player, profile);
+    profile[size_t(player)] = s;
+    const double u_s = game.utility(player, profile);
+    if (u_t > u_s) {
+      strictly_better_somewhere = true;
+    } else {
+      strictly_better_everywhere = false;
+      if (u_t < u_s) {
+        never_worse = false;
+        return false;  // cannot dominate in either mode
+      }
+    }
+    return true;
+  });
+  if (mode == DominanceMode::kStrict) return strictly_better_everywhere;
+  return never_worse && strictly_better_somewhere;
+}
+
+}  // namespace
+
+DominanceResult iterated_dominance(const Game& game, DominanceMode mode) {
+  const ProfileSpace& sp = game.space();
+  DominanceResult result;
+  result.surviving.resize(size_t(sp.num_players()));
+  for (int i = 0; i < sp.num_players(); ++i) {
+    for (Strategy s = 0; s < sp.num_strategies(i); ++s) {
+      result.surviving[size_t(i)].push_back(s);
+    }
+  }
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int i = 0; i < sp.num_players() && !progress; ++i) {
+      auto& mine = result.surviving[size_t(i)];
+      if (mine.size() <= 1) continue;
+      for (size_t si = 0; si < mine.size() && !progress; ++si) {
+        for (size_t ti = 0; ti < mine.size() && !progress; ++ti) {
+          if (si == ti) continue;
+          if (dominates(game, result.surviving, i, mine[ti], mine[si],
+                        mode)) {
+            result.eliminated.emplace_back(i, mine[si]);
+            mine.erase(mine.begin() + long(si));
+            progress = true;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool is_dominance_solvable(const Game& game, DominanceMode mode) {
+  return iterated_dominance(game, mode).solvable();
+}
+
+}  // namespace logitdyn

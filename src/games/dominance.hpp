@@ -1,0 +1,45 @@
+// Iterated elimination of dominated strategies.
+//
+// Section 4 of the paper extends its beta-free mixing bound from
+// dominant-strategy games to max-solvable games (Nisan–Schapira–Zohar);
+// the classical gateway to that family is dominance solvability, which
+// this module decides constructively. Elimination is over pure strategies
+// against surviving opponent sub-profiles.
+#pragma once
+
+#include <vector>
+
+#include "games/game.hpp"
+
+namespace logitdyn {
+
+enum class DominanceMode {
+  kStrict,  ///< eliminate s if some t beats it against ALL survivors
+  kWeak,    ///< eliminate s if some t is never worse and once better
+};
+
+struct DominanceResult {
+  /// surviving[i] = surviving strategies of player i, ascending.
+  std::vector<std::vector<Strategy>> surviving;
+  /// Elimination order as (player, strategy) pairs.
+  std::vector<std::pair<int, Strategy>> eliminated;
+
+  bool solvable() const {
+    for (const auto& s : surviving) {
+      if (s.size() != 1) return false;
+    }
+    return true;
+  }
+};
+
+/// Run iterated elimination to a fixed point. With kWeak the surviving set
+/// can depend on elimination order; this implementation removes one
+/// dominated strategy at a time, scanning players round-robin (a fixed,
+/// documented order, so results are deterministic).
+DominanceResult iterated_dominance(const Game& game, DominanceMode mode);
+
+/// True iff iterated elimination (given mode) leaves one profile.
+bool is_dominance_solvable(const Game& game,
+                           DominanceMode mode = DominanceMode::kWeak);
+
+}  // namespace logitdyn

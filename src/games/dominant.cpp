@@ -1,0 +1,25 @@
+#include "games/dominant.hpp"
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+AllOrNothingGame::AllOrNothingGame(int num_players, int32_t num_strategies)
+    : space_(num_players, num_strategies) {
+  LD_CHECK(num_players >= 2, "AllOrNothingGame: need n >= 2");
+  LD_CHECK(num_strategies >= 2, "AllOrNothingGame: need m >= 2");
+}
+
+double AllOrNothingGame::potential(const Profile& x) const {
+  for (Strategy s : x) {
+    if (s != 0) return 1.0;
+  }
+  return 0.0;
+}
+
+std::string AllOrNothingGame::name() const {
+  return "all-or-nothing(n=" + std::to_string(num_players()) +
+         ",m=" + std::to_string(num_strategies(0)) + ")";
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,33 @@
+// Games with dominant strategies (paper Section 4).
+//
+// The AllOrNothingGame is the Theorem 4.3 construction: u_i(x) = 0 if
+// x = (0,...,0) and -1 otherwise. Strategy 0 is weakly dominant for every
+// player, the game is potential with Phi(x) = [x != 0], and for large beta
+// the mixing time is Theta(m^{n-1}) — bounded in beta (Thm 4.2), huge in
+// the game size (Thm 4.3).
+#pragma once
+
+#include <string>
+
+#include "games/game.hpp"
+
+namespace logitdyn {
+
+class AllOrNothingGame : public PotentialGame {
+ public:
+  AllOrNothingGame(int num_players, int32_t num_strategies);
+
+  const ProfileSpace& space() const override { return space_; }
+  double potential(const Profile& x) const override;
+  std::string name() const override;
+
+  /// Potential as a function of k = number of players *not* playing 0
+  /// (the game is symmetric under permuting players and relabeling the
+  /// nonzero strategies; the lumped chain lives on k).
+  double potential_of_nonzero_count(int k) const { return k == 0 ? 0.0 : 1.0; }
+
+ private:
+  ProfileSpace space_;
+};
+
+}  // namespace logitdyn

@@ -1,0 +1,45 @@
+#include "games/game.hpp"
+
+namespace logitdyn {
+
+bool is_dominant_strategy(const Game& game, int player, Strategy s) {
+  const ProfileSpace& sp = game.space();
+  Profile x(size_t(sp.num_players()));
+  // Enumerate all profiles; for each opponent sub-profile compare `s`
+  // against every alternative of `player`.
+  for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
+    if (sp.strategy_of(idx, player) != s) continue;  // canonicalize x_i = s
+    sp.decode_into(idx, x);
+    const double u_s = game.utility(player, x);
+    for (Strategy alt = 0; alt < sp.num_strategies(player); ++alt) {
+      if (alt == s) continue;
+      x[size_t(player)] = alt;
+      if (game.utility(player, x) > u_s) return false;
+      x[size_t(player)] = s;
+    }
+  }
+  return true;
+}
+
+bool is_dominant_profile(const Game& game, const Profile& profile) {
+  for (int i = 0; i < game.num_players(); ++i) {
+    if (!is_dominant_strategy(game, i, profile[size_t(i)])) return false;
+  }
+  return true;
+}
+
+bool is_pure_nash(const Game& game, const Profile& x) {
+  Profile y = x;
+  for (int i = 0; i < game.num_players(); ++i) {
+    const double u = game.utility(i, x);
+    for (Strategy s = 0; s < game.num_strategies(i); ++s) {
+      if (s == x[size_t(i)]) continue;
+      y[size_t(i)] = s;
+      if (game.utility(i, y) > u) return false;
+    }
+    y[size_t(i)] = x[size_t(i)];
+  }
+  return true;
+}
+
+}  // namespace logitdyn

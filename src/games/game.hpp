@@ -1,0 +1,59 @@
+// The strategic-game interfaces.
+//
+// Sign convention (see DESIGN.md §5): potential minima are the preferred
+// outcomes and the Gibbs measure is pi(x) ∝ exp(-beta * Phi(x)). Exactness
+// (the paper's Eq. (1)) reads
+//     u_i(a, x_{-i}) - u_i(b, x_{-i}) = Phi(b, x_{-i}) - Phi(a, x_{-i}).
+#pragma once
+
+#include <string>
+
+#include "games/profile.hpp"
+
+namespace logitdyn {
+
+/// A finite n-player strategic game. Implementations must be cheap to call:
+/// `utility` sits in the innermost loop of chain construction & simulation.
+class Game {
+ public:
+  virtual ~Game() = default;
+
+  virtual const ProfileSpace& space() const = 0;
+
+  /// Payoff of `player` under profile `x`.
+  virtual double utility(int player, const Profile& x) const = 0;
+
+  virtual std::string name() const = 0;
+
+  int num_players() const { return space().num_players(); }
+  int32_t num_strategies(int player) const {
+    return space().num_strategies(player);
+  }
+};
+
+/// A game admitting an exact potential Phi (paper Eq. (1)).
+///
+/// The default `utility` is the identical-interest representation
+/// u_i = -Phi, which satisfies Eq. (1) trivially; subclasses with natural
+/// per-player payoffs (e.g. graphical coordination games) override it, and
+/// the test suite checks Eq. (1) holds for every override.
+class PotentialGame : public Game {
+ public:
+  virtual double potential(const Profile& x) const = 0;
+
+  double utility(int /*player*/, const Profile& x) const override {
+    return -potential(x);
+  }
+};
+
+/// True iff `s` weakly dominates every other strategy of `player`
+/// (checked by brute force over all opponent sub-profiles).
+bool is_dominant_strategy(const Game& game, int player, Strategy s);
+
+/// True iff every player has a weakly dominant strategy forming `profile`.
+bool is_dominant_profile(const Game& game, const Profile& profile);
+
+/// True iff `x` is a pure Nash equilibrium.
+bool is_pure_nash(const Game& game, const Profile& x);
+
+}  // namespace logitdyn

@@ -1,0 +1,68 @@
+#include "games/graphical_coordination.hpp"
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+namespace {
+
+double edge_payoff(const CoordinationPayoffs& p, Strategy mine,
+                   Strategy theirs) {
+  if (mine == 0) return theirs == 0 ? p.a : p.c;
+  return theirs == 0 ? p.d : p.b;
+}
+
+}  // namespace
+
+GraphicalCoordinationGame::GraphicalCoordinationGame(
+    Graph graph, CoordinationPayoffs payoffs)
+    : graph_(std::move(graph)),
+      space_(int(graph_.num_vertices()), 2),
+      payoffs_(payoffs) {
+  LD_CHECK(graph_.num_vertices() >= 1,
+           "GraphicalCoordinationGame: empty graph");
+  LD_CHECK(payoffs_.delta0() > 0 && payoffs_.delta1() > 0,
+           "GraphicalCoordinationGame: need delta0, delta1 > 0");
+}
+
+double GraphicalCoordinationGame::potential(const Profile& x) const {
+  double phi = 0.0;
+  for (const Edge& e : graph_.edges()) {
+    phi += CoordinationGame::edge_potential(payoffs_, x[e.u], x[e.v]);
+  }
+  return phi;
+}
+
+double GraphicalCoordinationGame::utility(int player, const Profile& x) const {
+  const Strategy mine = x[size_t(player)];
+  double u = 0.0;
+  for (uint32_t w : graph_.neighbors(uint32_t(player))) {
+    u += edge_payoff(payoffs_, mine, x[w]);
+  }
+  return u;
+}
+
+std::string GraphicalCoordinationGame::name() const {
+  return "graphical-coordination(n=" + std::to_string(graph_.num_vertices()) +
+         ")";
+}
+
+double GraphicalCoordinationGame::potential_delta(int player, const Profile& x,
+                                                  Strategy s) const {
+  const Strategy cur = x[size_t(player)];
+  if (cur == s) return 0.0;
+  double delta = 0.0;
+  for (uint32_t w : graph_.neighbors(uint32_t(player))) {
+    delta += CoordinationGame::edge_potential(payoffs_, s, x[w]) -
+             CoordinationGame::edge_potential(payoffs_, cur, x[w]);
+  }
+  return delta;
+}
+
+double GraphicalCoordinationGame::monochromatic_potential(Strategy s) const {
+  const double per_edge =
+      CoordinationGame::edge_potential(payoffs_, s, s);
+  return per_edge * double(graph_.num_edges());
+}
+
+}  // namespace logitdyn

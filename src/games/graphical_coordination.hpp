@@ -1,0 +1,42 @@
+// Graphical coordination games (paper Section 5): every vertex of a social
+// graph plays the 2x2 basic coordination game with each neighbour; a
+// player's payoff is the sum over incident edges; the potential is the sum
+// of edge potentials.
+#pragma once
+
+#include <string>
+
+#include "games/coordination.hpp"
+#include "games/game.hpp"
+#include "graph/graph.hpp"
+
+namespace logitdyn {
+
+class GraphicalCoordinationGame : public PotentialGame {
+ public:
+  GraphicalCoordinationGame(Graph graph, CoordinationPayoffs payoffs);
+
+  const ProfileSpace& space() const override { return space_; }
+  double potential(const Profile& x) const override;
+  double utility(int player, const Profile& x) const override;
+  std::string name() const override;
+
+  const Graph& graph() const { return graph_; }
+  const CoordinationPayoffs& payoffs() const { return payoffs_; }
+  double delta0() const { return payoffs_.delta0(); }
+  double delta1() const { return payoffs_.delta1(); }
+
+  /// Potential change if `player` switched to `s` (O(degree), used by the
+  /// large-n simulator instead of two O(|E|) potential evaluations).
+  double potential_delta(int player, const Profile& x, Strategy s) const;
+
+  /// Potential of the monochromatic profile (s, s, ..., s).
+  double monochromatic_potential(Strategy s) const;
+
+ private:
+  Graph graph_;
+  ProfileSpace space_;
+  CoordinationPayoffs payoffs_;
+};
+
+}  // namespace logitdyn

@@ -1,0 +1,48 @@
+#include "games/ising.hpp"
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+IsingGame::IsingGame(Graph graph, double coupling, double field)
+    : graph_(std::move(graph)),
+      space_(int(graph_.num_vertices()), 2),
+      coupling_(coupling),
+      field_(field) {
+  LD_CHECK(graph_.num_vertices() >= 1, "IsingGame: empty graph");
+  LD_CHECK(coupling_ > 0, "IsingGame: ferromagnetic coupling J > 0 required");
+}
+
+double IsingGame::potential(const Profile& x) const {
+  double energy = 0.0;
+  for (const Edge& e : graph_.edges()) {
+    const int su = 2 * x[e.u] - 1;
+    const int sv = 2 * x[e.v] - 1;
+    energy -= coupling_ * double(su * sv);
+  }
+  if (field_ != 0.0) {
+    for (Strategy s : x) energy -= field_ * double(2 * s - 1);
+  }
+  return energy;
+}
+
+double IsingGame::magnetization(const Profile& x) const {
+  double m = 0.0;
+  for (Strategy s : x) m += double(2 * s - 1);
+  return m;
+}
+
+GraphicalCoordinationGame IsingGame::equivalent_coordination_game() const {
+  LD_CHECK(field_ == 0.0,
+           "equivalent_coordination_game: nonzero field adds a vertex term "
+           "that the edge-only coordination potential cannot express");
+  return GraphicalCoordinationGame(
+      graph_, CoordinationPayoffs::from_deltas(2.0 * coupling_,
+                                               2.0 * coupling_));
+}
+
+std::string IsingGame::name() const {
+  return "ising(n=" + std::to_string(graph_.num_vertices()) + ")";
+}
+
+}  // namespace logitdyn

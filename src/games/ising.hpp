@@ -1,0 +1,47 @@
+// The Ising model as a potential game.
+//
+// The paper (Sect. 1/5) observes that Glauber dynamics on the Ising model
+// *is* the logit dynamics on a graphical coordination game without risk
+// dominant equilibria. This module provides the Ising side of that
+// dictionary so the equivalence can be checked exactly.
+#pragma once
+
+#include <string>
+
+#include "games/game.hpp"
+#include "games/graphical_coordination.hpp"
+#include "graph/graph.hpp"
+
+namespace logitdyn {
+
+/// Ising model on a graph: spins sigma_v = 2*x_v - 1 in {-1,+1}, energy
+/// H(sigma) = -J * sum_{(u,v) in E} sigma_u sigma_v - h * sum_v sigma_v.
+/// As a potential game, Phi = H (minima = ground states).
+class IsingGame : public PotentialGame {
+ public:
+  IsingGame(Graph graph, double coupling, double field = 0.0);
+
+  const ProfileSpace& space() const override { return space_; }
+  double potential(const Profile& x) const override;
+  std::string name() const override;
+
+  const Graph& graph() const { return graph_; }
+  double coupling() const { return coupling_; }
+  double field() const { return field_; }
+
+  /// Magnetization sum_v sigma_v in [-n, n].
+  double magnetization(const Profile& x) const;
+
+  /// The coordination game whose logit dynamics coincides with this
+  /// model's Glauber dynamics (zero-field case): delta0 = delta1 = 2J.
+  /// Their potentials differ by the constant J*|E|, which cancels from
+  /// both sigma_i and pi.
+  GraphicalCoordinationGame equivalent_coordination_game() const;
+
+ private:
+  Graph graph_;
+  ProfileSpace space_;
+  double coupling_, field_;
+};
+
+}  // namespace logitdyn

@@ -1,0 +1,41 @@
+#include "games/plateau.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace logitdyn {
+
+PlateauGame::PlateauGame(int num_players, double global_variation,
+                         double local_variation)
+    : space_(num_players, 2), g_(global_variation), l_(local_variation) {
+  LD_CHECK(l_ > 0, "PlateauGame: local variation must be positive");
+  LD_CHECK(g_ >= l_, "PlateauGame: requires l <= g");
+  const double c = g_ / l_;
+  LD_CHECK(almost_equal(c, std::round(c), 1e-9, 1e-9),
+           "PlateauGame: g/l must be an integer, got ", c);
+  c_ = int(std::lround(c));
+  LD_CHECK(c_ >= 1, "PlateauGame: need c = g/l >= 1");
+  LD_CHECK(2.0 * g_ / double(num_players) <= l_,
+           "PlateauGame: requires 2g/n <= l (i.e. c <= n/2)");
+}
+
+double PlateauGame::potential_of_weight(int k) const {
+  LD_CHECK(k >= 0 && k <= num_players(), "PlateauGame: weight out of range");
+  return -l_ * std::min(double(c_), std::abs(double(c_) - double(k)));
+}
+
+double PlateauGame::potential(const Profile& x) const {
+  int w = 0;
+  for (Strategy s : x) w += (s == 1);
+  return potential_of_weight(w);
+}
+
+std::string PlateauGame::name() const {
+  return "plateau(n=" + std::to_string(num_players()) +
+         ",g=" + std::to_string(g_) + ",l=" + std::to_string(l_) + ")";
+}
+
+}  // namespace logitdyn

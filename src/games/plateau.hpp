@@ -1,0 +1,41 @@
+// The lower-bound potential family of Theorem 3.5.
+//
+// Phi_n(x) = -l * min{ c, |c - w(x)| } on {0,1}^n, where w(x) is the number
+// of 1s and c = g / l. The maximum global variation is DeltaPhi = g, the
+// maximum local variation is deltaPhi = l, and the Gibbs measure splits its
+// mass between the all-zeros well and the high-weight region across a
+// potential barrier of height g — giving mixing time e^{beta*g*(1-o(1))}.
+#pragma once
+
+#include <string>
+
+#include "games/game.hpp"
+
+namespace logitdyn {
+
+class PlateauGame : public PotentialGame {
+ public:
+  /// Requires l > 0, c = g/l a positive integer, and c <= n/2 (the paper's
+  /// standing assumption 2g/n <= l <= g).
+  PlateauGame(int num_players, double global_variation,
+              double local_variation);
+
+  const ProfileSpace& space() const override { return space_; }
+  double potential(const Profile& x) const override;
+  std::string name() const override;
+
+  /// Potential as a function of the Hamming weight k = w(x) — the game is
+  /// weight-symmetric, which the lumped chain exploits.
+  double potential_of_weight(int k) const;
+
+  double global_variation() const { return g_; }
+  double local_variation() const { return l_; }
+  int barrier_weight() const { return c_; }  ///< c = g/l
+
+ private:
+  ProfileSpace space_;
+  double g_, l_;
+  int c_;
+};
+
+}  // namespace logitdyn

@@ -1,0 +1,88 @@
+#include "games/profile.hpp"
+
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+ProfileSpace::ProfileSpace(std::vector<int32_t> sizes)
+    : sizes_(std::move(sizes)) {
+  LD_CHECK(!sizes_.empty(), "ProfileSpace: need at least one player");
+  strides_.resize(sizes_.size());
+  constexpr size_t kCap = size_t(1) << 62;
+  for (size_t i = 0; i < sizes_.size(); ++i) {
+    LD_CHECK(sizes_[i] >= 1, "ProfileSpace: player ", i,
+             " needs at least one strategy");
+    strides_[i] = num_profiles_;
+    LD_CHECK(num_profiles_ <= kCap / size_t(sizes_[i]),
+             "ProfileSpace: profile count overflow");
+    num_profiles_ *= size_t(sizes_[i]);
+    max_size_ = std::max(max_size_, sizes_[i]);
+  }
+}
+
+ProfileSpace::ProfileSpace(int num_players, int32_t num_strategies)
+    : ProfileSpace(std::vector<int32_t>(size_t(num_players), num_strategies)) {
+  LD_CHECK(num_players >= 1, "ProfileSpace: need at least one player");
+}
+
+size_t ProfileSpace::index(const Profile& x) const {
+  LD_CHECK(x.size() == sizes_.size(), "ProfileSpace::index: size mismatch");
+  size_t idx = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    LD_CHECK(x[i] >= 0 && x[i] < sizes_[i],
+             "ProfileSpace::index: strategy out of range for player ", i);
+    idx += size_t(x[i]) * strides_[i];
+  }
+  return idx;
+}
+
+Profile ProfileSpace::decode(size_t idx) const {
+  Profile x(sizes_.size());
+  decode_into(idx, x);
+  return x;
+}
+
+void ProfileSpace::decode_into(size_t idx, Profile& out) const {
+  LD_CHECK(idx < num_profiles_, "ProfileSpace::decode: index out of range");
+  out.resize(sizes_.size());
+  for (size_t i = 0; i < sizes_.size(); ++i) {
+    out[i] = Strategy(idx % size_t(sizes_[i]));
+    idx /= size_t(sizes_[i]);
+  }
+}
+
+Strategy ProfileSpace::strategy_of(size_t idx, int player) const {
+  LD_CHECK(player >= 0 && player < num_players(),
+           "ProfileSpace::strategy_of: bad player");
+  return Strategy((idx / strides_[size_t(player)]) %
+                  size_t(sizes_[size_t(player)]));
+}
+
+size_t ProfileSpace::with_strategy(size_t idx, int player, Strategy s) const {
+  LD_CHECK(player >= 0 && player < num_players(),
+           "ProfileSpace::with_strategy: bad player");
+  LD_CHECK(s >= 0 && s < sizes_[size_t(player)],
+           "ProfileSpace::with_strategy: strategy out of range");
+  const Strategy old = strategy_of(idx, player);
+  return idx + (size_t(s) - size_t(old)) * strides_[size_t(player)];
+}
+
+int ProfileSpace::hamming_distance(size_t a, size_t b) const {
+  int d = 0;
+  for (int i = 0; i < num_players(); ++i) {
+    if (strategy_of(a, i) != strategy_of(b, i)) ++d;
+  }
+  return d;
+}
+
+int ProfileSpace::count_playing(size_t idx, Strategy s) const {
+  int count = 0;
+  for (int i = 0; i < num_players(); ++i) {
+    if (strategy_of(idx, i) == s) ++count;
+  }
+  return count;
+}
+
+}  // namespace logitdyn

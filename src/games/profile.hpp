@@ -1,0 +1,60 @@
+// Strategy profiles and the mixed-radix profile space.
+//
+// A profile x = (x_1, ..., x_n) is encoded as a single index so the whole
+// state space S = S_1 x ... x S_n of the logit Markov chain can be walked,
+// vectorized over, and used to address matrices directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace logitdyn {
+
+using Strategy = int32_t;
+/// A strategy profile: entry i is player i's strategy in [0, |S_i|).
+using Profile = std::vector<Strategy>;
+
+/// Mixed-radix codec for S_1 x ... x S_n. Player 0 is the least-significant
+/// digit. Immutable after construction.
+class ProfileSpace {
+ public:
+  /// `sizes[i]` = |S_i| >= 1. The product must fit in a size_t with room
+  /// to spare (checked).
+  explicit ProfileSpace(std::vector<int32_t> sizes);
+
+  /// Convenience: n players with m strategies each.
+  ProfileSpace(int num_players, int32_t num_strategies);
+
+  int num_players() const { return int(sizes_.size()); }
+  int32_t num_strategies(int player) const { return sizes_[size_t(player)]; }
+  int32_t max_strategies() const { return max_size_; }
+
+  /// |S| = prod |S_i|.
+  size_t num_profiles() const { return num_profiles_; }
+
+  size_t index(const Profile& x) const;
+  Profile decode(size_t idx) const;
+  void decode_into(size_t idx, Profile& out) const;
+
+  /// Strategy of `player` inside encoded profile `idx`.
+  Strategy strategy_of(size_t idx, int player) const;
+
+  /// Index of the profile equal to `idx` except player `player` plays `s`.
+  size_t with_strategy(size_t idx, int player, Strategy s) const;
+
+  /// Hamming distance between two encoded profiles.
+  int hamming_distance(size_t a, size_t b) const;
+
+  /// Number of players playing strategy `s` in encoded profile `idx`
+  /// (the weight function w(x) of Theorems 3.5/5.x when s = 1).
+  int count_playing(size_t idx, Strategy s) const;
+
+ private:
+  std::vector<int32_t> sizes_;
+  std::vector<size_t> strides_;
+  size_t num_profiles_ = 1;
+  int32_t max_size_ = 1;
+};
+
+}  // namespace logitdyn

@@ -1,0 +1,23 @@
+#include "games/random_potential.hpp"
+
+namespace logitdyn {
+
+TablePotentialGame make_random_potential_game(ProfileSpace space,
+                                              double range, Rng& rng) {
+  std::vector<double> phi(space.num_profiles());
+  for (double& v : phi) v = rng.uniform() * range;
+  return TablePotentialGame(std::move(space), std::move(phi),
+                            "random-potential");
+}
+
+TableGame make_random_game(ProfileSpace space, double range, Rng& rng) {
+  const int n = space.num_players();
+  std::vector<std::vector<double>> tables(
+      size_t(n), std::vector<double>(space.num_profiles()));
+  for (auto& table : tables) {
+    for (double& v : table) v = rng.uniform() * range;
+  }
+  return TableGame(std::move(space), std::move(tables), "random-game");
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,19 @@
+// Random game generators for property-based tests and spectrum sweeps.
+#pragma once
+
+#include "games/table_game.hpp"
+#include "rng/rng.hpp"
+
+namespace logitdyn {
+
+/// Random exact potential game: Phi(x) ~ Uniform[0, range] i.i.d. per
+/// profile, identical-interest utilities.
+TablePotentialGame make_random_potential_game(ProfileSpace space,
+                                              double range, Rng& rng);
+
+/// Random general game: independent uniform utilities per (player,
+/// profile) — almost surely *not* a potential game for n >= 2; used to
+/// exercise the general-chain (non-Gibbs) code paths.
+TableGame make_random_game(ProfileSpace space, double range, Rng& rng);
+
+}  // namespace logitdyn

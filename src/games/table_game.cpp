@@ -1,0 +1,98 @@
+#include "games/table_game.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+TableGame::TableGame(ProfileSpace space,
+                     std::vector<std::vector<double>> utilities,
+                     std::string name)
+    : space_(std::move(space)),
+      utilities_(std::move(utilities)),
+      name_(std::move(name)) {
+  LD_CHECK(utilities_.size() == size_t(space_.num_players()),
+           "TableGame: one utility table per player required");
+  for (const auto& table : utilities_) {
+    LD_CHECK(table.size() == space_.num_profiles(),
+             "TableGame: utility table size mismatch");
+  }
+}
+
+TableGame TableGame::from_function(
+    ProfileSpace space, const std::function<double(int, const Profile&)>& u,
+    std::string name) {
+  const int n = space.num_players();
+  std::vector<std::vector<double>> tables(
+      size_t(n), std::vector<double>(space.num_profiles()));
+  Profile x;
+  for (size_t idx = 0; idx < space.num_profiles(); ++idx) {
+    space.decode_into(idx, x);
+    for (int i = 0; i < n; ++i) tables[size_t(i)][idx] = u(i, x);
+  }
+  return TableGame(std::move(space), std::move(tables), std::move(name));
+}
+
+double TableGame::utility(int player, const Profile& x) const {
+  return utilities_[size_t(player)][space_.index(x)];
+}
+
+TablePotentialGame::TablePotentialGame(ProfileSpace space,
+                                       std::vector<double> phi,
+                                       std::string name)
+    : space_(std::move(space)), phi_(std::move(phi)), name_(std::move(name)) {
+  LD_CHECK(phi_.size() == space_.num_profiles(),
+           "TablePotentialGame: potential table size mismatch");
+}
+
+double TablePotentialGame::potential(const Profile& x) const {
+  return phi_[space_.index(x)];
+}
+
+std::optional<std::vector<double>> extract_potential(const Game& game,
+                                                     double tol) {
+  const ProfileSpace& sp = game.space();
+  const size_t total = sp.num_profiles();
+  std::vector<double> phi(total, 0.0);
+  Profile lo, hi;
+  // Integrate along the lexicographic path: Phi(x) is built from the
+  // profile obtained by zeroing x's least-significant nonzero digit, using
+  // Eq. (1): Phi(x) = Phi(x with x_i -> 0) + u_i(0, x_{-i}) - u_i(x_i, x_{-i}).
+  for (size_t idx = 1; idx < total; ++idx) {
+    int player = -1;
+    for (int i = 0; i < sp.num_players(); ++i) {
+      if (sp.strategy_of(idx, i) != 0) {
+        player = i;
+        break;
+      }
+    }
+    const size_t base = sp.with_strategy(idx, player, 0);
+    sp.decode_into(idx, hi);
+    lo = hi;
+    lo[size_t(player)] = 0;
+    phi[idx] =
+        phi[base] + game.utility(player, lo) - game.utility(player, hi);
+  }
+  // Verify Eq. (1) on every Hamming edge; any violation means no exact
+  // potential exists.
+  Profile xa, xb;
+  for (size_t idx = 0; idx < total; ++idx) {
+    sp.decode_into(idx, xa);
+    for (int i = 0; i < sp.num_players(); ++i) {
+      const Strategy cur = xa[size_t(i)];
+      const double u_cur = game.utility(i, xa);
+      xb = xa;
+      for (Strategy s = cur + 1; s < sp.num_strategies(i); ++s) {
+        xb[size_t(i)] = s;
+        const size_t jdx = sp.with_strategy(idx, i, s);
+        const double lhs = u_cur - game.utility(i, xb);
+        const double rhs = phi[jdx] - phi[idx];
+        if (std::abs(lhs - rhs) > tol) return std::nullopt;
+      }
+    }
+  }
+  return phi;
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,72 @@
+// Explicit-table games and exact-potential analysis.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "games/game.hpp"
+
+namespace logitdyn {
+
+/// A game whose utilities are stored as one table per player, indexed by
+/// the encoded profile. The most general representation; used for custom
+/// games and as the target of random-game generators.
+class TableGame : public Game {
+ public:
+  /// `utilities[i][space.index(x)]` = u_i(x).
+  TableGame(ProfileSpace space, std::vector<std::vector<double>> utilities,
+            std::string name = "table-game");
+
+  /// Build by evaluating `u(player, profile)` on every (player, profile).
+  static TableGame from_function(
+      ProfileSpace space,
+      const std::function<double(int, const Profile&)>& u,
+      std::string name = "table-game");
+
+  const ProfileSpace& space() const override { return space_; }
+  double utility(int player, const Profile& x) const override;
+  std::string name() const override { return name_; }
+
+  double utility_by_index(int player, size_t idx) const {
+    return utilities_[size_t(player)][idx];
+  }
+
+ private:
+  ProfileSpace space_;
+  std::vector<std::vector<double>> utilities_;
+  std::string name_;
+};
+
+/// A potential game given by an explicit potential table (identical-
+/// interest utilities u_i = -Phi).
+class TablePotentialGame : public PotentialGame {
+ public:
+  TablePotentialGame(ProfileSpace space, std::vector<double> phi,
+                     std::string name = "table-potential-game");
+
+  const ProfileSpace& space() const override { return space_; }
+  double potential(const Profile& x) const override;
+  std::string name() const override { return name_; }
+
+  double potential_by_index(size_t idx) const { return phi_[idx]; }
+  std::span<const double> potential_table() const { return phi_; }
+
+ private:
+  ProfileSpace space_;
+  std::vector<double> phi_;
+  std::string name_;
+};
+
+/// If `game` is an exact potential game, return the potential table
+/// (normalized so Phi(profile 0) = 0); otherwise std::nullopt.
+///
+/// Construction: integrate utility differences along lexicographic paths
+/// from the all-zero profile, then verify the paper's Eq. (1) on every
+/// Hamming edge (the four-cycle condition).
+std::optional<std::vector<double>> extract_potential(const Game& game,
+                                                     double tol = 1e-9);
+
+}  // namespace logitdyn

@@ -1,0 +1,120 @@
+#include "graph/builders.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+Graph make_path(uint32_t n) {
+  LD_CHECK(n >= 1, "make_path: need n >= 1");
+  std::vector<Edge> edges;
+  for (uint32_t i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  return Graph(n, std::move(edges));
+}
+
+Graph make_ring(uint32_t n) {
+  LD_CHECK(n >= 3, "make_ring: need n >= 3");
+  std::vector<Edge> edges;
+  for (uint32_t i = 0; i < n; ++i) edges.push_back({i, (i + 1) % n});
+  return Graph(n, std::move(edges));
+}
+
+Graph make_clique(uint32_t n) {
+  LD_CHECK(n >= 1, "make_clique: need n >= 1");
+  std::vector<Edge> edges;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) edges.push_back({i, j});
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_star(uint32_t n) {
+  LD_CHECK(n >= 2, "make_star: need n >= 2");
+  std::vector<Edge> edges;
+  for (uint32_t i = 1; i < n; ++i) edges.push_back({0, i});
+  return Graph(n, std::move(edges));
+}
+
+Graph make_grid(uint32_t rows, uint32_t cols) {
+  LD_CHECK(rows >= 1 && cols >= 1, "make_grid: empty grid");
+  auto id = [cols](uint32_t r, uint32_t c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c)});
+    }
+  }
+  return Graph(rows * cols, std::move(edges));
+}
+
+Graph make_torus(uint32_t rows, uint32_t cols) {
+  LD_CHECK(rows >= 3 && cols >= 3, "make_torus: need rows, cols >= 3");
+  auto id = [cols](uint32_t r, uint32_t c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      edges.push_back({id(r, c), id(r, (c + 1) % cols)});
+      edges.push_back({id(r, c), id((r + 1) % rows, c)});
+    }
+  }
+  return Graph(rows * cols, std::move(edges));
+}
+
+Graph make_binary_tree(uint32_t n) {
+  LD_CHECK(n >= 1, "make_binary_tree: need n >= 1");
+  std::vector<Edge> edges;
+  for (uint32_t i = 1; i < n; ++i) edges.push_back({(i - 1) / 2, i});
+  return Graph(n, std::move(edges));
+}
+
+Graph make_erdos_renyi(uint32_t n, double p, Rng& rng) {
+  LD_CHECK(p >= 0.0 && p <= 1.0, "make_erdos_renyi: p must be in [0,1]");
+  std::vector<Edge> edges;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(p)) edges.push_back({i, j});
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_random_regular(uint32_t n, uint32_t d, Rng& rng) {
+  LD_CHECK(d < n, "make_random_regular: need d < n");
+  LD_CHECK((uint64_t(n) * d) % 2 == 0, "make_random_regular: n*d must be even");
+  constexpr int kMaxAttempts = 1000;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    // Configuration model: d stubs per vertex, random perfect matching.
+    std::vector<uint32_t> stubs;
+    stubs.reserve(size_t(n) * d);
+    for (uint32_t v = 0; v < n; ++v) {
+      for (uint32_t k = 0; k < d; ++k) stubs.push_back(v);
+    }
+    for (size_t i = stubs.size(); i > 1; --i) {
+      std::swap(stubs[i - 1], stubs[rng.uniform_int(i)]);
+    }
+    std::set<std::pair<uint32_t, uint32_t>> seen;
+    std::vector<Edge> edges;
+    bool ok = true;
+    for (size_t i = 0; i < stubs.size(); i += 2) {
+      uint32_t u = stubs[i], v = stubs[i + 1];
+      if (u == v) {
+        ok = false;
+        break;
+      }
+      if (u > v) std::swap(u, v);
+      if (!seen.insert({u, v}).second) {
+        ok = false;
+        break;
+      }
+      edges.push_back({u, v});
+    }
+    if (ok) return Graph(n, std::move(edges));
+  }
+  throw Error("make_random_regular: failed to sample a simple graph");
+}
+
+}  // namespace logitdyn

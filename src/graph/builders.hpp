@@ -1,0 +1,41 @@
+// Standard topologies for graphical coordination games: the paper studies
+// cliques and rings in depth; the cutwidth bound (Thm 5.1) applies to all.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+
+namespace logitdyn {
+
+/// Path 0-1-...-(n-1).
+Graph make_path(uint32_t n);
+
+/// Cycle on n >= 3 vertices (the paper's "ring").
+Graph make_ring(uint32_t n);
+
+/// Complete graph K_n.
+Graph make_clique(uint32_t n);
+
+/// Star: center 0 joined to n-1 leaves.
+Graph make_star(uint32_t n);
+
+/// rows x cols grid with 4-neighbor connectivity.
+Graph make_grid(uint32_t rows, uint32_t cols);
+
+/// rows x cols torus (grid with wraparound); rows, cols >= 3.
+Graph make_torus(uint32_t rows, uint32_t cols);
+
+/// Complete binary tree with n vertices (heap indexing).
+Graph make_binary_tree(uint32_t n);
+
+/// Erdos-Renyi G(n, p); each pair independently an edge.
+Graph make_erdos_renyi(uint32_t n, double p, Rng& rng);
+
+/// Random d-regular graph by the configuration model with rejection of
+/// self-loops/multi-edges (retries until simple; requires n*d even and
+/// d < n).
+Graph make_random_regular(uint32_t n, uint32_t d, Rng& rng);
+
+}  // namespace logitdyn

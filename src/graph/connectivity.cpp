@@ -1,0 +1,74 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+std::vector<uint32_t> connected_components(const Graph& g) {
+  const uint32_t n = g.num_vertices();
+  constexpr uint32_t kUnseen = std::numeric_limits<uint32_t>::max();
+  std::vector<uint32_t> label(n, kUnseen);
+  uint32_t next = 0;
+  for (uint32_t s = 0; s < n; ++s) {
+    if (label[s] != kUnseen) continue;
+    std::queue<uint32_t> frontier;
+    frontier.push(s);
+    label[s] = next;
+    while (!frontier.empty()) {
+      const uint32_t v = frontier.front();
+      frontier.pop();
+      for (uint32_t w : g.neighbors(v)) {
+        if (label[w] == kUnseen) {
+          label[w] = next;
+          frontier.push(w);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  const auto labels = connected_components(g);
+  return std::all_of(labels.begin(), labels.end(),
+                     [](uint32_t l) { return l == 0; });
+}
+
+std::vector<uint32_t> bfs_distances(const Graph& g, uint32_t source) {
+  const uint32_t n = g.num_vertices();
+  LD_CHECK(source < n, "bfs_distances: source out of range");
+  constexpr uint32_t kInf = std::numeric_limits<uint32_t>::max();
+  std::vector<uint32_t> dist(n, kInf);
+  std::queue<uint32_t> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const uint32_t v = frontier.front();
+    frontier.pop();
+    for (uint32_t w : g.neighbors(v)) {
+      if (dist[w] == kInf) {
+        dist[w] = dist[v] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+uint32_t diameter(const Graph& g) {
+  LD_CHECK(is_connected(g), "diameter: graph must be connected");
+  uint32_t best = 0;
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+    const auto dist = bfs_distances(g, v);
+    for (uint32_t d : dist) best = std::max(best, d);
+  }
+  return best;
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,22 @@
+// BFS-based structural queries: components, connectivity, diameter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace logitdyn {
+
+/// Component label per vertex (labels are 0-based, contiguous).
+std::vector<uint32_t> connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// BFS distances from `source` (UINT32_MAX where unreachable).
+std::vector<uint32_t> bfs_distances(const Graph& g, uint32_t source);
+
+/// Exact diameter (max eccentricity); requires a connected graph.
+uint32_t diameter(const Graph& g);
+
+}  // namespace logitdyn

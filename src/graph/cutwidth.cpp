@@ -1,0 +1,157 @@
+#include "graph/cutwidth.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+uint32_t ordering_cutwidth(const Graph& g, std::span<const uint32_t> order) {
+  const uint32_t n = g.num_vertices();
+  LD_CHECK(order.size() == n, "ordering_cutwidth: ordering size mismatch");
+  std::vector<uint32_t> pos(n);
+  std::vector<bool> seen(n, false);
+  for (uint32_t i = 0; i < n; ++i) {
+    LD_CHECK(order[i] < n && !seen[order[i]],
+             "ordering_cutwidth: not a permutation");
+    seen[order[i]] = true;
+    pos[order[i]] = i;
+  }
+  // Sweep the prefix boundary: an edge (u,v) crosses positions
+  // [min(pos), max(pos)).
+  std::vector<int32_t> delta(n + 1, 0);
+  for (const Edge& e : g.edges()) {
+    const uint32_t a = std::min(pos[e.u], pos[e.v]);
+    const uint32_t b = std::max(pos[e.u], pos[e.v]);
+    delta[a] += 1;
+    delta[b] -= 1;
+  }
+  int32_t cur = 0, best = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    cur += delta[i];
+    best = std::max(best, cur);
+  }
+  return uint32_t(best);
+}
+
+uint32_t cutwidth_exact(const Graph& g) {
+  const uint32_t n = g.num_vertices();
+  LD_CHECK(n >= 1, "cutwidth_exact: empty graph");
+  LD_CHECK(n <= 26, "cutwidth_exact: too many vertices for subset DP (", n,
+           " > 26)");
+  const size_t total = size_t(1) << n;
+  // boundary[S] = number of edges between S and its complement.
+  // f[S] = min over orderings placing exactly S first of the max prefix cut;
+  // recurrence: f[S] = max(boundary[S], min_{v in S} f[S \ {v}]).
+  std::vector<uint16_t> boundary(total, 0);
+  for (size_t s = 0; s < total; ++s) {
+    uint16_t b = 0;
+    for (const Edge& e : g.edges()) {
+      const bool inu = (s >> e.u) & 1, inv = (s >> e.v) & 1;
+      if (inu != inv) ++b;
+    }
+    boundary[s] = b;
+  }
+  constexpr uint16_t kInf = std::numeric_limits<uint16_t>::max();
+  std::vector<uint16_t> f(total, kInf);
+  f[0] = 0;
+  for (size_t s = 1; s < total; ++s) {
+    uint16_t best = kInf;
+    for (uint32_t v = 0; v < n; ++v) {
+      if ((s >> v) & 1) best = std::min(best, f[s ^ (size_t(1) << v)]);
+    }
+    f[s] = std::max(boundary[s], best);
+  }
+  return f[total - 1];
+}
+
+namespace {
+
+// Grow an ordering greedily: at each step append the unplaced vertex that
+// minimizes the resulting boundary size (ties broken by fewer unplaced
+// neighbours, then index).
+std::vector<uint32_t> greedy_order(const Graph& g, uint32_t start) {
+  const uint32_t n = g.num_vertices();
+  std::vector<bool> placed(n, false);
+  std::vector<uint32_t> order;
+  order.reserve(n);
+  // boundary_degree[v] = edges from v into the placed prefix.
+  std::vector<int32_t> into_prefix(n, 0);
+  auto place = [&](uint32_t v) {
+    placed[v] = true;
+    order.push_back(v);
+    for (uint32_t w : g.neighbors(v)) {
+      if (!placed[w]) into_prefix[w] += 1;
+    }
+  };
+  place(start);
+  int32_t boundary = int32_t(g.degree(start));
+  while (order.size() < n) {
+    uint32_t best_v = std::numeric_limits<uint32_t>::max();
+    int32_t best_delta = std::numeric_limits<int32_t>::max();
+    for (uint32_t v = 0; v < n; ++v) {
+      if (placed[v]) continue;
+      // Placing v removes its edges into the prefix and adds the others.
+      const int32_t delta =
+          int32_t(g.degree(v)) - 2 * into_prefix[v];
+      if (delta < best_delta) {
+        best_delta = delta;
+        best_v = v;
+      }
+    }
+    boundary += best_delta;
+    place(best_v);
+  }
+  return order;
+}
+
+}  // namespace
+
+CutwidthHeuristicResult cutwidth_heuristic(const Graph& g, Rng& rng,
+                                           int restarts) {
+  const uint32_t n = g.num_vertices();
+  LD_CHECK(n >= 1, "cutwidth_heuristic: empty graph");
+  CutwidthHeuristicResult best;
+  best.cutwidth = std::numeric_limits<uint32_t>::max();
+  for (int attempt = 0; attempt < restarts; ++attempt) {
+    std::vector<uint32_t> order =
+        greedy_order(g, uint32_t(rng.uniform_int(n)));
+    uint32_t value = ordering_cutwidth(g, order);
+    // Adjacent-swap local search until no improving swap exists.
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (uint32_t i = 0; i + 1 < n; ++i) {
+        std::swap(order[i], order[i + 1]);
+        const uint32_t v = ordering_cutwidth(g, order);
+        if (v < value) {
+          value = v;
+          improved = true;
+        } else {
+          std::swap(order[i], order[i + 1]);
+        }
+      }
+    }
+    if (value < best.cutwidth) {
+      best.cutwidth = value;
+      best.order = std::move(order);
+    }
+  }
+  return best;
+}
+
+uint32_t clique_cutwidth(uint32_t n) { return (n / 2) * ((n + 1) / 2); }
+
+uint32_t ring_cutwidth(uint32_t n) {
+  LD_CHECK(n >= 3, "ring_cutwidth: need n >= 3");
+  return 2;
+}
+
+uint32_t star_cutwidth(uint32_t n) {
+  LD_CHECK(n >= 2, "star_cutwidth: need n >= 2");
+  return (n - 1 + 1) / 2;  // ceil((n-1)/2)
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,41 @@
+// Cutwidth of a graph — the structural parameter in Theorem 5.1's mixing-
+// time bound for graphical coordination games.
+//
+// For an ordering l of V, chi(l) = max over prefixes of the number of edges
+// crossing the prefix boundary; chi(G) = min over orderings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+
+namespace logitdyn {
+
+/// Cutwidth of a specific vertex ordering (position i holds order[i]).
+uint32_t ordering_cutwidth(const Graph& g, std::span<const uint32_t> order);
+
+/// Exact cutwidth by dynamic programming over vertex subsets: O(2^n * n).
+/// Practical for n <= ~22; throws beyond 26 vertices.
+uint32_t cutwidth_exact(const Graph& g);
+
+struct CutwidthHeuristicResult {
+  uint32_t cutwidth;            ///< value achieved (upper bound on chi(G))
+  std::vector<uint32_t> order;  ///< witnessing ordering
+};
+
+/// Upper bound on cutwidth: greedy prefix growth from each start vertex,
+/// improved by adjacent-swap local search, best over `restarts` seeds.
+CutwidthHeuristicResult cutwidth_heuristic(const Graph& g, Rng& rng,
+                                           int restarts = 8);
+
+/// Closed forms used by tests and experiments.
+/// Cutwidth of K_n: floor(n/2) * ceil(n/2).
+uint32_t clique_cutwidth(uint32_t n);
+/// Cutwidth of the n-cycle (n >= 3): 2.
+uint32_t ring_cutwidth(uint32_t n);
+/// Cutwidth of the star K_{1,n-1}: ceil((n-1)/2).
+uint32_t star_cutwidth(uint32_t n);
+
+}  // namespace logitdyn

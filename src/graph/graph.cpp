@@ -1,0 +1,46 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+Graph::Graph(uint32_t num_vertices, std::vector<Edge> edges)
+    : adjacency_(num_vertices) {
+  for (Edge& e : edges) {
+    LD_CHECK(e.u != e.v, "Graph: self-loop at vertex ", e.u);
+    LD_CHECK(e.u < num_vertices && e.v < num_vertices,
+             "Graph: edge endpoint out of range");
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  edges_ = std::move(edges);
+  for (const Edge& e : edges_) {
+    adjacency_[e.u].push_back(e.v);
+    adjacency_[e.v].push_back(e.u);
+  }
+  for (auto& adj : adjacency_) std::sort(adj.begin(), adj.end());
+}
+
+std::span<const uint32_t> Graph::neighbors(uint32_t v) const {
+  LD_CHECK(v < num_vertices(), "Graph::neighbors: vertex out of range");
+  return adjacency_[v];
+}
+
+uint32_t Graph::max_degree() const {
+  uint32_t d = 0;
+  for (uint32_t v = 0; v < num_vertices(); ++v) d = std::max(d, degree(v));
+  return d;
+}
+
+bool Graph::has_edge(uint32_t u, uint32_t v) const {
+  if (u == v || u >= num_vertices() || v >= num_vertices()) return false;
+  const auto adj = neighbors(u);
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+}  // namespace logitdyn

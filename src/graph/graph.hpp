@@ -1,0 +1,47 @@
+// Undirected simple graph: the social network of Section 5's graphical
+// coordination games.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace logitdyn {
+
+/// An undirected edge as an ordered pair (u < v).
+struct Edge {
+  uint32_t u;
+  uint32_t v;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Undirected simple graph on vertices {0, ..., n-1}. Immutable after
+/// construction; stores both an edge list and adjacency lists.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Build from an edge list. Self-loops are rejected; duplicate edges are
+  /// collapsed.
+  Graph(uint32_t num_vertices, std::vector<Edge> edges);
+
+  uint32_t num_vertices() const { return uint32_t(adjacency_.size()); }
+  size_t num_edges() const { return edges_.size(); }
+
+  std::span<const Edge> edges() const { return edges_; }
+  std::span<const uint32_t> neighbors(uint32_t v) const;
+
+  uint32_t degree(uint32_t v) const {
+    return uint32_t(neighbors(v).size());
+  }
+  uint32_t max_degree() const;
+
+  bool has_edge(uint32_t u, uint32_t v) const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<uint32_t>> adjacency_;
+};
+
+}  // namespace logitdyn

@@ -1,0 +1,129 @@
+#include "linalg/dense_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+DenseMatrix::DenseMatrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+DenseMatrix DenseMatrix::identity(size_t n) {
+  DenseMatrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+  DenseMatrix t(cols_, rows_);
+  constexpr size_t kBlock = 32;  // tile to keep both access patterns cached
+  for (size_t rb = 0; rb < rows_; rb += kBlock) {
+    for (size_t cb = 0; cb < cols_; cb += kBlock) {
+      const size_t rmax = std::min(rows_, rb + kBlock);
+      const size_t cmax = std::min(cols_, cb + kBlock);
+      for (size_t r = rb; r < rmax; ++r) {
+        for (size_t c = cb; c < cmax; ++c) {
+          t(c, r) = (*this)(r, c);
+        }
+      }
+    }
+  }
+  return t;
+}
+
+double DenseMatrix::max_abs_diff(const DenseMatrix& other) const {
+  LD_CHECK(same_shape(other), "max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+void matmul(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& out) {
+  LD_CHECK(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  LD_CHECK(out.rows() == a.rows() && out.cols() == b.cols(),
+           "matmul: output shape mismatch");
+  LD_CHECK(&out != &a && &out != &b, "matmul: output may not alias inputs");
+  const size_t n = a.rows(), k = a.cols(), m = b.cols();
+  std::fill(out.data().begin(), out.data().end(), 0.0);
+  // ikj order: the inner loop is a saxpy over contiguous rows of b and out,
+  // which vectorizes; rows of `out` are independent, so parallelize on i.
+#ifdef LOGITDYN_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t i = 0; i < std::int64_t(n); ++i) {
+    double* orow = out.row(size_t(i)).data();
+    const double* arow = a.row(size_t(i)).data();
+    for (size_t kk = 0; kk < k; ++kk) {
+      const double aik = arow[kk];
+      if (aik == 0.0) continue;  // transition matrices are fairly sparse
+      const double* brow = b.row(kk).data();
+      for (size_t j = 0; j < m; ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+DenseMatrix matmul(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix out(a.rows(), b.cols());
+  matmul(a, b, out);
+  return out;
+}
+
+DenseMatrix gram(const DenseMatrix& a) {
+  return matmul(a.transposed(), a);
+}
+
+void vec_mat(std::span<const double> x, const DenseMatrix& a,
+             std::span<double> y) {
+  LD_CHECK(x.size() == a.rows() && y.size() == a.cols(),
+           "vec_mat: size mismatch");
+  LD_CHECK(x.data() != y.data(), "vec_mat: aliasing not allowed");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const double* row = a.row(i).data();
+    for (size_t j = 0; j < a.cols(); ++j) y[j] += xi * row[j];
+  }
+}
+
+void mat_vec(const DenseMatrix& a, std::span<const double> x,
+             std::span<double> y) {
+  LD_CHECK(x.size() == a.cols() && y.size() == a.rows(),
+           "mat_vec: size mismatch");
+  LD_CHECK(x.data() != y.data(), "mat_vec: aliasing not allowed");
+#ifdef LOGITDYN_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t i = 0; i < std::int64_t(a.rows()); ++i) {
+    const double* row = a.row(size_t(i)).data();
+    double s = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) s += row[j] * x[j];
+    y[size_t(i)] = s;
+  }
+}
+
+DenseMatrix matrix_power(const DenseMatrix& a, uint64_t k) {
+  LD_CHECK(a.rows() == a.cols(), "matrix_power: matrix must be square");
+  DenseMatrix result = DenseMatrix::identity(a.rows());
+  DenseMatrix base = a;
+  DenseMatrix tmp(a.rows(), a.cols());
+  while (k > 0) {
+    if (k & 1) {
+      matmul(result, base, tmp);
+      std::swap(result, tmp);
+    }
+    k >>= 1;
+    if (k > 0) {
+      matmul(base, base, tmp);
+      std::swap(base, tmp);
+    }
+  }
+  return result;
+}
+
+}  // namespace logitdyn

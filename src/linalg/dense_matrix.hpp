@@ -1,0 +1,69 @@
+// Dense row-major matrix with the kernels the mixing-time machinery needs:
+// cache-blocked (and OpenMP-parallel) multiply, transpose, powers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace logitdyn {
+
+/// Dense row-major matrix of doubles. Sized at construction; elements are
+/// value-initialized to zero.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(size_t rows, size_t cols);
+
+  static DenseMatrix identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Contiguous view of row r.
+  std::span<double> row(size_t r) { return {&data_[r * cols_], cols_}; }
+  std::span<const double> row(size_t r) const {
+    return {&data_[r * cols_], cols_};
+  }
+
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  DenseMatrix transposed() const;
+
+  /// Max |a_ij - b_ij|; matrices must have equal shape.
+  double max_abs_diff(const DenseMatrix& other) const;
+
+  bool same_shape(const DenseMatrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// out = a * b (cache-blocked ikj loop; parallel across row blocks).
+void matmul(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& out);
+
+DenseMatrix matmul(const DenseMatrix& a, const DenseMatrix& b);
+
+/// out = a^T * a convenience used by the eigensolver tests.
+DenseMatrix gram(const DenseMatrix& a);
+
+/// y = x * A  (row-vector times matrix). Sizes must agree.
+void vec_mat(std::span<const double> x, const DenseMatrix& a,
+             std::span<double> y);
+
+/// y = A * x  (matrix times column vector).
+void mat_vec(const DenseMatrix& a, std::span<const double> x,
+             std::span<double> y);
+
+/// a^k by binary exponentiation (square matrices; k >= 0).
+DenseMatrix matrix_power(const DenseMatrix& a, uint64_t k);
+
+}  // namespace logitdyn

@@ -1,0 +1,67 @@
+#include "linalg/jacobi_eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+namespace {
+
+double off_diagonal_norm(const DenseMatrix& a) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      if (i != j) s += a(i, j) * a(i, j);
+    }
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+std::vector<double> jacobi_eigenvalues(const DenseMatrix& a_in, double tol,
+                                       int max_sweeps) {
+  const size_t n = a_in.rows();
+  LD_CHECK(n == a_in.cols(), "jacobi: matrix must be square");
+  DenseMatrix a = a_in;
+  double frob = 0.0;
+  for (double v : a.data()) frob += v * v;
+  frob = std::sqrt(frob);
+  const double target = tol * std::max(frob, 1.0);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm(a) <= target) break;
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        // Classic 2x2 symmetric Schur rotation annihilating a(p,q).
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = std::copysign(
+            1.0 / (std::abs(theta) + std::sqrt(theta * theta + 1.0)), theta);
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+  LD_CHECK(off_diagonal_norm(a) <= std::max(target, 1e-8),
+           "jacobi failed to converge");
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) values[i] = a(i, i);
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,19 @@
+// Cyclic Jacobi eigensolver for symmetric matrices.
+//
+// Slower than Householder+QL but with very simple convergence theory;
+// the test suite uses it as an independent cross-check of symmetric_eigen.
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace logitdyn {
+
+/// Eigenvalues (ascending) of symmetric `a` by cyclic Jacobi rotations.
+/// `tol` bounds the final off-diagonal Frobenius norm relative to ||a||_F.
+std::vector<double> jacobi_eigenvalues(const DenseMatrix& a,
+                                       double tol = 1e-12,
+                                       int max_sweeps = 100);
+
+}  // namespace logitdyn

@@ -1,0 +1,94 @@
+#include "linalg/lu_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+LuFactorization::LuFactorization(DenseMatrix a) : lu_(std::move(a)) {
+  const size_t n = lu_.rows();
+  LD_CHECK(n == lu_.cols(), "LU: matrix must be square");
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), size_t{0});
+  for (size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at or below the diagonal.
+    size_t piv = k;
+    double best = std::abs(lu_(k, k));
+    for (size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    LD_CHECK(best > 0.0, "LU: singular matrix at column ", k);
+    if (piv != k) {
+      for (size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(piv, j));
+      std::swap(perm_[k], perm_[piv]);
+      sign_ = -sign_;
+    }
+    const double pivot = lu_(k, k);
+    for (size_t i = k + 1; i < n; ++i) {
+      const double m = lu_(i, k) / pivot;
+      lu_(i, k) = m;
+      if (m == 0.0) continue;
+      for (size_t j = k + 1; j < n; ++j) lu_(i, j) -= m * lu_(k, j);
+    }
+  }
+}
+
+std::vector<double> LuFactorization::solve(std::span<const double> b) const {
+  const size_t n = dim();
+  LD_CHECK(b.size() == n, "LU solve: rhs size mismatch");
+  std::vector<double> x(n);
+  // Forward substitution with the permuted rhs (L has unit diagonal).
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[perm_[i]];
+    for (size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s;
+  }
+  // Back substitution through U.
+  for (size_t i = n; i-- > 0;) {
+    double s = x[i];
+    for (size_t j = i + 1; j < n; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s / lu_(i, i);
+  }
+  return x;
+}
+
+double LuFactorization::determinant() const {
+  double det = sign_;
+  for (size_t i = 0; i < dim(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+std::vector<double> stationary_direct(const DenseMatrix& transition) {
+  const size_t n = transition.rows();
+  LD_CHECK(n == transition.cols(), "stationary_direct: square required");
+  // pi (P - I) = 0 with one equation replaced by sum(pi) = 1. Transpose so
+  // the unknown is a column vector: (P - I)^T pi = 0.
+  DenseMatrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      a(i, j) = transition(j, i) - (i == j ? 1.0 : 0.0);
+    }
+  }
+  // Replace the last equation with the normalization constraint.
+  for (size_t j = 0; j < n; ++j) a(n - 1, j) = 1.0;
+  std::vector<double> rhs(n, 0.0);
+  rhs[n - 1] = 1.0;
+  LuFactorization lu(std::move(a));
+  std::vector<double> pi = lu.solve(rhs);
+  // Clamp tiny negative roundoff; stationary distributions are >= 0.
+  for (double& v : pi) v = std::max(v, 0.0);
+  double s = 0.0;
+  for (double v : pi) s += v;
+  LD_CHECK(s > 0.0, "stationary_direct: degenerate solution");
+  for (double& v : pi) v /= s;
+  return pi;
+}
+
+}  // namespace logitdyn

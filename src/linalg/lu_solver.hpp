@@ -1,0 +1,37 @@
+// Dense LU factorization with partial pivoting, plus the stationary-
+// distribution solve for general (non-reversible) logit chains.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace logitdyn {
+
+/// PA = LU factorization with partial pivoting.
+class LuFactorization {
+ public:
+  /// Factor `a` (square). Throws on exact singularity.
+  explicit LuFactorization(DenseMatrix a);
+
+  /// Solve A x = b.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// det(A), from the pivots.
+  double determinant() const;
+
+  size_t dim() const { return lu_.rows(); }
+
+ private:
+  DenseMatrix lu_;            // packed L (unit diagonal) and U
+  std::vector<size_t> perm_;  // row permutation
+  int sign_ = 1;
+};
+
+/// Stationary distribution of a row-stochastic matrix P by direct solve of
+/// pi P = pi, sum(pi) = 1 (replaces one equation with the normalization).
+/// Exact up to roundoff; works for non-reversible chains.
+std::vector<double> stationary_direct(const DenseMatrix& transition);
+
+}  // namespace logitdyn

@@ -1,0 +1,40 @@
+#include "linalg/power_iteration.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace logitdyn {
+
+PowerIterationResult stationary_power(const CsrMatrix& transition, double tol,
+                                      int max_iters,
+                                      std::span<const double> start) {
+  const size_t n = transition.rows();
+  LD_CHECK(n == transition.cols(), "stationary_power: matrix must be square");
+  PowerIterationResult result;
+  std::vector<double> x(n, 1.0 / double(n));
+  if (!start.empty()) {
+    LD_CHECK(start.size() == n, "stationary_power: bad start size");
+    x.assign(start.begin(), start.end());
+    normalize_in_place(x);
+  }
+  std::vector<double> y(n);
+  for (int it = 0; it < max_iters; ++it) {
+    transition.left_multiply(x, y);
+    double change = 0.0;
+    for (size_t i = 0; i < n; ++i) change += std::abs(y[i] - x[i]);
+    x.swap(y);
+    result.iterations = it + 1;
+    result.residual = change;
+    if (change < tol) {
+      result.converged = true;
+      break;
+    }
+  }
+  normalize_in_place(x);
+  result.distribution = std::move(x);
+  return result;
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,31 @@
+// Power-method utilities for stochastic matrices.
+//
+// The stationary distribution of a *potential* game's logit chain is known
+// in closed form (Gibbs); these routines handle general games, where no
+// closed form exists (paper, Conclusions), and provide an independent
+// numerical check of the Gibbs formula.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/sparse_matrix.hpp"
+
+namespace logitdyn {
+
+struct PowerIterationResult {
+  std::vector<double> distribution;  ///< the fixed point, L1-normalized
+  int iterations = 0;                ///< iterations actually used
+  double residual = 0.0;             ///< final L1 change per step
+  bool converged = false;
+};
+
+/// Iterate x <- x P until the L1 change falls below `tol` (or max_iters).
+/// Requires P row-stochastic; starts from the uniform distribution unless
+/// `start` is non-empty.
+PowerIterationResult stationary_power(const CsrMatrix& transition,
+                                      double tol = 1e-12,
+                                      int max_iters = 1000000,
+                                      std::span<const double> start = {});
+
+}  // namespace logitdyn

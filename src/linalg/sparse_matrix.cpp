@@ -1,0 +1,108 @@
+#include "linalg/sparse_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/dense_matrix.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+CsrMatrix::CsrMatrix(size_t rows, size_t cols, std::vector<Triplet> triplets)
+    : rows_(rows), cols_(cols) {
+  for (const Triplet& t : triplets) {
+    LD_CHECK(t.row < rows && t.col < cols, "CsrMatrix: triplet out of range");
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  row_offsets_.assign(rows + 1, 0);
+  col_indices_.reserve(triplets.size());
+  values_.reserve(triplets.size());
+  size_t i = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    row_offsets_[r] = values_.size();
+    while (i < triplets.size() && triplets[i].row == r) {
+      const uint32_t c = triplets[i].col;
+      double v = 0.0;
+      while (i < triplets.size() && triplets[i].row == r &&
+             triplets[i].col == c) {
+        v += triplets[i].value;  // merge duplicates
+        ++i;
+      }
+      if (v != 0.0) {
+        col_indices_.push_back(c);
+        values_.push_back(v);
+      }
+    }
+  }
+  row_offsets_[rows] = values_.size();
+}
+
+CsrMatrix CsrMatrix::from_dense(const DenseMatrix& dense, double tol) {
+  std::vector<Triplet> trips;
+  for (size_t r = 0; r < dense.rows(); ++r) {
+    for (size_t c = 0; c < dense.cols(); ++c) {
+      const double v = dense(r, c);
+      if (std::abs(v) > tol) {
+        trips.push_back({uint32_t(r), uint32_t(c), v});
+      }
+    }
+  }
+  return CsrMatrix(dense.rows(), dense.cols(), std::move(trips));
+}
+
+void CsrMatrix::left_multiply(std::span<const double> x,
+                              std::span<double> y) const {
+  LD_CHECK(x.size() == rows_ && y.size() == cols_,
+           "left_multiply: size mismatch");
+  LD_CHECK(x.data() != y.data(), "left_multiply: aliasing not allowed");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      y[col_indices_[k]] += xr * values_[k];
+    }
+  }
+}
+
+void CsrMatrix::right_multiply(std::span<const double> x,
+                               std::span<double> y) const {
+  LD_CHECK(x.size() == cols_ && y.size() == rows_,
+           "right_multiply: size mismatch");
+  LD_CHECK(x.data() != y.data(), "right_multiply: aliasing not allowed");
+#ifdef LOGITDYN_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t r = 0; r < std::int64_t(rows_); ++r) {
+    double s = 0.0;
+    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      s += values_[k] * x[col_indices_[k]];
+    }
+    y[size_t(r)] = s;
+  }
+}
+
+DenseMatrix CsrMatrix::to_dense() const {
+  DenseMatrix d(rows_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      d(r, col_indices_[k]) = values_[k];
+    }
+  }
+  return d;
+}
+
+std::vector<double> CsrMatrix::row_sums() const {
+  std::vector<double> sums(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      sums[r] += values_[k];
+    }
+  }
+  return sums;
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,60 @@
+// Compressed sparse row matrix.
+//
+// A logit transition matrix over |S| profiles has only 1 + sum_i (|S_i|-1)
+// nonzeros per row, so CSR storage lets single-start distribution evolution
+// scale far beyond what dense powers allow.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace logitdyn {
+
+class DenseMatrix;
+
+/// One (row, col, value) entry used during assembly.
+struct Triplet {
+  uint32_t row;
+  uint32_t col;
+  double value;
+};
+
+/// Immutable CSR matrix. Duplicate triplets are summed during assembly.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Assemble from triplets (duplicates summed, zeros kept out).
+  CsrMatrix(size_t rows, size_t cols, std::vector<Triplet> triplets);
+
+  static CsrMatrix from_dense(const DenseMatrix& dense, double tol = 0.0);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return values_.size(); }
+
+  /// y = x * A (row-vector multiply; the distribution-evolution kernel).
+  void left_multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// y = A * x.
+  void right_multiply(std::span<const double> x, std::span<double> y) const;
+
+  DenseMatrix to_dense() const;
+
+  /// Sum of each row (transition matrices must give 1 everywhere).
+  std::vector<double> row_sums() const;
+
+  std::span<const size_t> row_offsets() const { return row_offsets_; }
+  std::span<const uint32_t> col_indices() const { return col_indices_; }
+  std::span<const double> values() const { return values_; }
+
+ private:
+  size_t rows_ = 0, cols_ = 0;
+  std::vector<size_t> row_offsets_;   // size rows_+1
+  std::vector<uint32_t> col_indices_; // size nnz
+  std::vector<double> values_;        // size nnz
+};
+
+}  // namespace logitdyn

@@ -1,0 +1,178 @@
+#include "linalg/symmetric_eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+void householder_tridiagonalize(const DenseMatrix& a_in, DenseMatrix& q,
+                                std::vector<double>& diag,
+                                std::vector<double>& off) {
+  const size_t n = a_in.rows();
+  LD_CHECK(n == a_in.cols(), "tridiagonalize: matrix must be square");
+  q = a_in;  // transformed in place; becomes the orthogonal accumulation
+  diag.assign(n, 0.0);
+  off.assign(n, 0.0);
+  if (n == 1) {
+    diag[0] = q(0, 0);
+    q(0, 0) = 1.0;
+    return;
+  }
+  auto& a = q;
+  for (size_t i = n - 1; i >= 1; --i) {
+    const size_t l = i - 1;
+    double h = 0.0, scale = 0.0;
+    if (l > 0) {
+      for (size_t k = 0; k <= l; ++k) scale += std::abs(a(i, k));
+      if (scale == 0.0) {
+        off[i] = a(i, l);
+      } else {
+        for (size_t k = 0; k <= l; ++k) {
+          a(i, k) /= scale;
+          h += a(i, k) * a(i, k);
+        }
+        double f = a(i, l);
+        double g = (f >= 0.0) ? -std::sqrt(h) : std::sqrt(h);
+        off[i] = scale * g;
+        h -= f * g;
+        a(i, l) = f - g;
+        f = 0.0;
+        for (size_t j = 0; j <= l; ++j) {
+          a(j, i) = a(i, j) / h;
+          g = 0.0;
+          for (size_t k = 0; k <= j; ++k) g += a(j, k) * a(i, k);
+          for (size_t k = j + 1; k <= l; ++k) g += a(k, j) * a(i, k);
+          off[j] = g / h;
+          f += off[j] * a(i, j);
+        }
+        const double hh = f / (h + h);
+        for (size_t j = 0; j <= l; ++j) {
+          f = a(i, j);
+          g = off[j] - hh * f;
+          off[j] = g;
+          for (size_t k = 0; k <= j; ++k) {
+            a(j, k) -= f * off[k] + g * a(i, k);
+          }
+        }
+      }
+    } else {
+      off[i] = a(i, l);
+    }
+    diag[i] = h;
+  }
+  diag[0] = 0.0;
+  off[0] = 0.0;
+  // Accumulate the Householder transforms into an explicit orthogonal
+  // matrix (rows of `a` below the band carry the reflectors).
+  for (size_t i = 0; i < n; ++i) {
+    if (diag[i] != 0.0) {
+      for (size_t j = 0; j < i; ++j) {
+        double g = 0.0;
+        for (size_t k = 0; k < i; ++k) g += a(i, k) * a(k, j);
+        for (size_t k = 0; k < i; ++k) a(k, j) -= g * a(k, i);
+      }
+    }
+    diag[i] = a(i, i);
+    a(i, i) = 1.0;
+    for (size_t j = 0; j < i; ++j) {
+      a(j, i) = 0.0;
+      a(i, j) = 0.0;
+    }
+  }
+}
+
+void tridiagonal_ql(std::vector<double>& d, std::vector<double>& e,
+                    DenseMatrix& z) {
+  const size_t n = d.size();
+  LD_CHECK(e.size() == n, "tridiagonal_ql: size mismatch");
+  LD_CHECK(z.rows() == n && z.cols() == n, "tridiagonal_ql: z shape");
+  if (n <= 1) return;
+  constexpr int kMaxSweeps = 50;
+  const double eps = std::numeric_limits<double>::epsilon();
+  for (size_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+  for (size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= eps * dd) break;
+      }
+      if (m != l) {
+        LD_CHECK(iter++ < kMaxSweeps, "tridiagonal_ql failed to converge");
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+        double s = 1.0, c = 1.0, p = 0.0;
+        bool underflow = false;
+        for (size_t i = m; i-- > l;) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {  // rotation annihilated early: deflate and retry
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            underflow = true;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          for (size_t k = 0; k < n; ++k) {
+            f = z(k, i + 1);
+            z(k, i + 1) = s * z(k, i) + c * f;
+            z(k, i) = c * z(k, i) - s * f;
+          }
+        }
+        if (underflow) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+}
+
+SymmetricEigen symmetric_eigen(const DenseMatrix& a, double sym_tol) {
+  const size_t n = a.rows();
+  LD_CHECK(n == a.cols(), "symmetric_eigen: matrix must be square");
+  LD_CHECK(n > 0, "symmetric_eigen: empty matrix");
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      LD_CHECK(std::abs(a(i, j) - a(j, i)) <= sym_tol,
+               "symmetric_eigen: matrix not symmetric at (", i, ",", j, ")");
+    }
+  }
+  SymmetricEigen result;
+  std::vector<double> off;
+  householder_tridiagonalize(a, result.vectors, result.values, off);
+  tridiagonal_ql(result.values, off, result.vectors);
+
+  // Sort ascending, permuting eigenvector columns accordingly.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return result.values[x] < result.values[y];
+  });
+  std::vector<double> sorted_vals(n);
+  DenseMatrix sorted_vecs(n, n);
+  for (size_t k = 0; k < n; ++k) {
+    sorted_vals[k] = result.values[order[k]];
+    for (size_t r = 0; r < n; ++r) sorted_vecs(r, k) = result.vectors(r, order[k]);
+  }
+  result.values = std::move(sorted_vals);
+  result.vectors = std::move(sorted_vecs);
+  return result;
+}
+
+}  // namespace logitdyn

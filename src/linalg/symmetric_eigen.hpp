@@ -1,0 +1,39 @@
+// Full eigendecomposition of real symmetric matrices.
+//
+// Pipeline: Householder tridiagonalization followed by the implicit-shift
+// QL algorithm with accumulated orthogonal transforms. O(n^3), robust, and
+// dependency-free — this is the engine behind every spectrum, relaxation
+// time, and spectral mixing-time evaluation in the library.
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace logitdyn {
+
+/// Eigenpairs of a symmetric matrix, sorted by ascending eigenvalue.
+/// Column k of `vectors` is the unit eigenvector for `values[k]`.
+struct SymmetricEigen {
+  std::vector<double> values;
+  DenseMatrix vectors;
+};
+
+/// Decompose symmetric `a` (symmetry is validated up to `sym_tol`).
+/// Throws logitdyn::Error if the matrix is not symmetric or QL fails to
+/// converge (pathological input).
+SymmetricEigen symmetric_eigen(const DenseMatrix& a, double sym_tol = 1e-8);
+
+/// Householder reduction of symmetric `a` to tridiagonal form.
+/// On return: `q` holds the accumulated orthogonal transform (a = q T q^T),
+/// `diag` the diagonal of T, `off` the sub-diagonal (off[0] unused).
+void householder_tridiagonalize(const DenseMatrix& a, DenseMatrix& q,
+                                std::vector<double>& diag,
+                                std::vector<double>& off);
+
+/// Implicit-shift QL sweep on a tridiagonal matrix, rotations accumulated
+/// into `z`. On return `diag` holds eigenvalues (unsorted).
+void tridiagonal_ql(std::vector<double>& diag, std::vector<double>& off,
+                    DenseMatrix& z);
+
+}  // namespace logitdyn

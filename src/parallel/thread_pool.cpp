@@ -1,0 +1,85 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> fut = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    LD_CHECK(!stop_, "submit on stopped ThreadPool");
+    tasks_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();  // exceptions propagate through the packaged_task's future
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(ThreadPool& pool, size_t begin, size_t end,
+                  const std::function<void(size_t)>& fn, size_t min_block) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  const size_t workers = pool.num_threads();
+  const size_t block =
+      std::max(min_block, (n + workers - 1) / std::max<size_t>(1, workers));
+  if (block >= n) {  // not worth dispatching
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  for (size_t lo = begin; lo < end; lo += block) {
+    const size_t hi = std::min(end, lo + block);
+    futures.push_back(pool.submit([lo, hi, &fn] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+void parallel_for(size_t begin, size_t end,
+                  const std::function<void(size_t)>& fn, size_t min_block) {
+  parallel_for(ThreadPool::global(), begin, end, fn, min_block);
+}
+
+}  // namespace logitdyn

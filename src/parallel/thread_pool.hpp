@@ -1,0 +1,59 @@
+// Fixed-size thread pool with a blocking task queue.
+//
+// OpenMP covers the dense linear-algebra loops; the pool exists for
+// irregular task-parallel work (batched simulation replicas with uneven
+// trajectory lengths) and for builds without OpenMP.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace logitdyn {
+
+/// A minimal work-queue thread pool. Tasks are std::function<void()>;
+/// submit() returns a future for completion/exception propagation.
+class ThreadPool {
+ public:
+  /// Spawn `num_threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; the future resolves when it finishes (or rethrows).
+  std::future<void> submit(std::function<void()> task);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Process-wide pool, sized to hardware concurrency; created lazily.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Run fn(i) for i in [begin, end) across the pool in contiguous blocks.
+/// Blocks until all iterations complete; rethrows the first task exception.
+void parallel_for(ThreadPool& pool, size_t begin, size_t end,
+                  const std::function<void(size_t)>& fn,
+                  size_t min_block = 1);
+
+/// parallel_for on the global pool.
+void parallel_for(size_t begin, size_t end,
+                  const std::function<void(size_t)>& fn,
+                  size_t min_block = 1);
+
+}  // namespace logitdyn

@@ -1,0 +1,54 @@
+#include "rng/alias_table.hpp"
+
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace logitdyn {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const size_t k = weights.size();
+  LD_CHECK(k > 0, "AliasTable: empty weights");
+  pmf_.assign(weights.begin(), weights.end());
+  for (double w : pmf_) LD_CHECK(w >= 0.0, "AliasTable: negative weight");
+  normalize_in_place(pmf_);
+
+  prob_.assign(k, 0.0);
+  alias_.assign(k, 0);
+  // Vose's algorithm: partition scaled probabilities into "small" (< 1)
+  // and "large" (>= 1) columns and pair them up.
+  std::vector<double> scaled(k);
+  for (size_t i = 0; i < k; ++i) scaled[i] = pmf_[i] * double(k);
+  std::vector<uint32_t> small, large;
+  small.reserve(k);
+  large.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(uint32_t(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Whatever remains is 1.0 up to roundoff.
+  for (uint32_t l : large) prob_[l] = 1.0;
+  for (uint32_t s : small) prob_[s] = 1.0;
+}
+
+size_t AliasTable::sample(Rng& rng) const {
+  const size_t col = rng.uniform_int(prob_.size());
+  return rng.uniform() < prob_[col] ? col : alias_[col];
+}
+
+double AliasTable::probability(size_t i) const {
+  LD_CHECK(i < pmf_.size(), "AliasTable::probability: index out of range");
+  return pmf_[i];
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,39 @@
+// Walker/Vose alias method: O(1) sampling from a fixed discrete
+// distribution after O(k) preprocessing.
+//
+// The trajectory simulator re-samples from per-(player, neighbourhood)
+// update distributions millions of times; alias tables make each draw two
+// random numbers and one comparison.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/rng.hpp"
+
+namespace logitdyn {
+
+/// Immutable alias table over {0, ..., k-1} built from non-negative weights.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Build from unnormalized weights (positive total required).
+  explicit AliasTable(std::span<const double> weights);
+
+  /// Draw one index.
+  size_t sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+  /// The normalized probability of outcome i (for testing).
+  double probability(size_t i) const;
+
+ private:
+  std::vector<double> prob_;    // acceptance threshold per column
+  std::vector<uint32_t> alias_; // alias target per column
+  std::vector<double> pmf_;     // normalized input, kept for inspection
+};
+
+}  // namespace logitdyn

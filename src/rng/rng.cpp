@@ -1,0 +1,99 @@
+#include "rng/rng.hpp"
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+namespace {
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  // Seed the 256-bit state through SplitMix64, per Vigna's recommendation:
+  // guarantees a non-zero state and decorrelates nearby seeds.
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm();
+}
+
+uint64_t Xoshiro256::operator()() {
+  const uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::jump() {
+  static constexpr uint64_t kJump[] = {0x180EC6D33CFD0ABAULL,
+                                       0xD5A61266F0C9392CULL,
+                                       0xA9582618E03FC9AAULL,
+                                       0x39ABDC4529B1661CULL};
+  uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (*this)();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+Rng Rng::for_replica(uint64_t master_seed, uint64_t id) {
+  // Mix (seed, id) through SplitMix64 twice so that consecutive replica ids
+  // land in statistically unrelated regions of the seed space.
+  SplitMix64 sm(master_seed ^ (0x9E3779B97F4A7C15ULL * (id + 1)));
+  sm();
+  return Rng(sm());
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return double(gen_() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::uniform_int(uint64_t n) {
+  LD_CHECK(n > 0, "uniform_int: n must be positive");
+  // Lemire's method: multiply-shift with rejection to remove modulo bias.
+  uint64_t x = gen_();
+  __uint128_t m = __uint128_t(x) * __uint128_t(n);
+  uint64_t l = uint64_t(m);
+  if (l < n) {
+    const uint64_t floor = (~n + 1) % n;  // = 2^64 mod n
+    while (l < floor) {
+      x = gen_();
+      m = __uint128_t(x) * __uint128_t(n);
+      l = uint64_t(m);
+    }
+  }
+  return uint64_t(m >> 64);
+}
+
+size_t Rng::sample_discrete(std::span<const double> weights) {
+  LD_CHECK(!weights.empty(), "sample_discrete: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    LD_CHECK(w >= 0.0, "sample_discrete: negative weight");
+    total += w;
+  }
+  LD_CHECK(total > 0.0, "sample_discrete: zero total weight");
+  double u = uniform() * total;
+  for (size_t i = 0; i + 1 < weights.size(); ++i) {
+    if (u < weights[i]) return i;
+    u -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,47 @@
+// Checked-error utilities for logitdyn.
+//
+// The library throws logitdyn::Error on contract violations instead of
+// asserting, so that misuse is testable and recoverable from examples.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace logitdyn {
+
+/// Exception thrown on any logitdyn contract violation (bad arguments,
+/// numerical failure to converge, malformed inputs).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+template <typename... Args>
+[[noreturn]] void throw_error(const char* expr, const char* file, int line,
+                              const Args&... args) {
+  std::ostringstream os;
+  os << "logitdyn check failed: " << expr << " at " << file << ":" << line;
+  if constexpr (sizeof...(Args) > 0) {
+    os << " — ";
+    (os << ... << args);
+  }
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+/// LD_CHECK(cond, msg...) — throw Error with context when cond is false.
+/// Used for API preconditions; always enabled (not compiled out in Release):
+/// the costs are negligible next to the O(|S|^3) math this library does.
+#define LD_CHECK(cond, ...)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::logitdyn::detail::throw_error(#cond, __FILE__, __LINE__,          \
+                                      ##__VA_ARGS__);                     \
+    }                                                                     \
+  } while (0)
+
+}  // namespace logitdyn

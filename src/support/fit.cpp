@@ -1,0 +1,47 @@
+#include "support/fit.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+LineFit fit_line(std::span<const double> x, std::span<const double> y) {
+  LD_CHECK(x.size() == y.size(), "fit_line: size mismatch");
+  LD_CHECK(x.size() >= 2, "fit_line: need at least two points");
+  const double n = double(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double vxx = sxx - sx * sx / n;
+  LD_CHECK(vxx > 0, "fit_line: degenerate x values");
+  LineFit f;
+  f.slope = (sxy - sx * sy / n) / vxx;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double vyy = syy - sy * sy / n;
+  if (vyy > 0) {
+    const double vxy = sxy - sx * sy / n;
+    f.r2 = (vxy * vxy) / (vxx * vyy);
+  } else {
+    f.r2 = 1.0;  // constant y fitted exactly
+  }
+  return f;
+}
+
+LineFit fit_exponential_rate(std::span<const double> x,
+                             std::span<const double> y) {
+  std::vector<double> logy(y.size());
+  for (size_t i = 0; i < y.size(); ++i) {
+    LD_CHECK(y[i] > 0, "fit_exponential_rate: y must be positive");
+    logy[i] = std::log(y[i]);
+  }
+  return fit_line(x, logy);
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,25 @@
+// Least-squares fits used to compare measured mixing times against the
+// paper's predicted exponential rates (e.g. log t_mix ~ beta * DeltaPhi).
+#pragma once
+
+#include <span>
+
+namespace logitdyn {
+
+/// Result of an ordinary least squares line fit y = intercept + slope * x.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+/// Ordinary least squares on (x, y) pairs. Requires >= 2 points and
+/// non-degenerate x.
+LineFit fit_line(std::span<const double> x, std::span<const double> y);
+
+/// Fit log(y) = intercept + slope * x; convenience for exponential-rate
+/// extraction. Requires y > 0.
+LineFit fit_exponential_rate(std::span<const double> x,
+                             std::span<const double> y);
+
+}  // namespace logitdyn

@@ -1,0 +1,79 @@
+#include "support/math.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+double log_sum_exp(std::span<const double> v) {
+  if (v.empty()) return -std::numeric_limits<double>::infinity();
+  const double m = *std::max_element(v.begin(), v.end());
+  if (!std::isfinite(m)) return m;  // all -inf (or a +/-inf dominates)
+  double s = 0.0;
+  for (double x : v) s += std::exp(x - m);
+  return m + std::log(s);
+}
+
+void softmax(std::span<const double> v, std::span<double> out) {
+  LD_CHECK(v.size() == out.size(), "softmax size mismatch");
+  LD_CHECK(!v.empty(), "softmax of empty span");
+  const double m = *std::max_element(v.begin(), v.end());
+  double s = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    out[i] = std::exp(v[i] - m);
+    s += out[i];
+  }
+  for (double& x : out) x /= s;
+}
+
+bool almost_equal(double a, double b, double rtol, double atol) {
+  if (a == b) return true;
+  const double diff = std::abs(a - b);
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return diff <= atol + rtol * scale;
+}
+
+double log_binomial(int64_t n, int64_t k) {
+  LD_CHECK(n >= 0, "log_binomial: n must be non-negative");
+  if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(double(n) + 1) - std::lgamma(double(k) + 1) -
+         std::lgamma(double(n - k) + 1);
+}
+
+double binomial(int64_t n, int64_t k) {
+  if (k < 0 || k > n) return 0.0;
+  // Exact integer recurrence while it fits comfortably in a double.
+  if (n <= 60) {
+    double c = 1.0;
+    k = std::min(k, n - k);
+    for (int64_t i = 0; i < k; ++i) c = c * double(n - i) / double(i + 1);
+    return c;
+  }
+  return std::exp(log_binomial(n, k));
+}
+
+double kahan_sum(std::span<const double> v) {
+  double sum = 0.0, comp = 0.0;
+  for (double x : v) {
+    const double y = x - comp;
+    const double t = sum + y;
+    comp = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+void normalize_in_place(std::span<double> v) {
+  const double s = kahan_sum(v);
+  LD_CHECK(s > 0.0, "normalize_in_place: sum must be positive, got ", s);
+  for (double& x : v) x /= s;
+}
+
+double xlogx(double x) {
+  LD_CHECK(x >= 0.0, "xlogx: negative argument ", x);
+  return x == 0.0 ? 0.0 : x * std::log(x);
+}
+
+}  // namespace logitdyn

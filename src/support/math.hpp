@@ -1,0 +1,40 @@
+// Numerically careful scalar helpers used throughout the library.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace logitdyn {
+
+/// Natural-log sum of exponentials: log(sum_i exp(v[i])), computed stably
+/// by factoring out the maximum. Returns -inf for an empty input.
+double log_sum_exp(std::span<const double> v);
+
+/// In-place softmax: w[i] <- exp(v[i]) / sum_j exp(v[j]), computed stably.
+/// The input and output may alias.
+void softmax(std::span<const double> v, std::span<double> out);
+
+/// Relative-or-absolute closeness test: |a-b| <= atol + rtol*max(|a|,|b|).
+bool almost_equal(double a, double b, double rtol = 1e-9, double atol = 1e-12);
+
+/// log of the binomial coefficient C(n, k) via lgamma; exact enough for
+/// the entropy-style bookkeeping in the lumped chains.
+double log_binomial(int64_t n, int64_t k);
+
+/// Binomial coefficient as double (overflow-safe via log for large inputs).
+double binomial(int64_t n, int64_t k);
+
+/// Sum of a vector with Kahan compensation; the stationary-distribution and
+/// total-variation code sums |S| ~ 10^6 terms where naive summation loses
+/// digits that the invariance tests then trip over.
+double kahan_sum(std::span<const double> v);
+
+/// Normalize v in place so it sums to one. Requires a positive sum.
+void normalize_in_place(std::span<double> v);
+
+/// x -> x*log(x) with the 0*log(0) = 0 convention.
+double xlogx(double x);
+
+}  // namespace logitdyn

@@ -1,0 +1,49 @@
+// Console table printer used by the benchmark/experiment harness.
+//
+// Produces aligned, pipe-separated tables (readable as-is and paste-able
+// into markdown) so every experiment binary reports the paper's
+// "rows/series" in a uniform format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace logitdyn {
+
+/// A column-aligned text table. Cells are strings; numeric helpers format
+/// with sensible defaults for the experiment reports.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row. Subsequent `cell()` calls fill it left to right.
+  Table& row();
+
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 4);
+  Table& cell(int64_t value);
+  Table& cell(int value) { return cell(static_cast<int64_t>(value)); }
+  Table& cell(size_t value) { return cell(static_cast<int64_t>(value)); }
+
+  /// Scientific-notation cell, for mixing times spanning many decades.
+  Table& cell_sci(double value, int precision = 3);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Render with column alignment; includes a header separator line.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helper: fixed precision double -> string.
+std::string format_double(double value, int precision = 4);
+
+/// Format helper: scientific notation double -> string.
+std::string format_sci(double value, int precision = 3);
+
+}  // namespace logitdyn

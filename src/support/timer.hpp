@@ -1,0 +1,27 @@
+// Minimal wall-clock timer for the experiment harness.
+#pragma once
+
+#include <chrono>
+
+namespace logitdyn {
+
+/// Wall-clock stopwatch. Started on construction; `seconds()` reads the
+/// elapsed time, `restart()` resets the origin.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace logitdyn

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bottleneck.hpp"
+#include "analysis/mixing.hpp"
+#include "core/chain.hpp"
+#include "core/lumped.hpp"
+#include "games/dominant.hpp"
+#include "games/graphical_coordination.hpp"
+#include "games/plateau.hpp"
+#include "graph/builders.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+TEST(BottleneckTest, TwoStateChainByHand) {
+  // R = {0}: B(R) = Q(0,1)/pi(0) = P(0,1).
+  const double p = 0.3, q = 0.2;
+  DenseMatrix t(2, 2);
+  t(0, 0) = 1 - p;
+  t(0, 1) = p;
+  t(1, 0) = q;
+  t(1, 1) = 1 - q;
+  const std::vector<double> pi = {q / (p + q), p / (p + q)};
+  const std::vector<uint8_t> in_set = {1, 0};
+  EXPECT_NEAR(bottleneck_ratio(t, pi, in_set), p, 1e-12);
+}
+
+TEST(BottleneckTest, RingAllOnesSetMatchesTheorem57Computation) {
+  // Paper Sect. 5.3: B({all-ones}) = 1 / (1 + e^{2 delta beta}).
+  const double delta = 1.0, beta = 1.3;
+  GraphicalCoordinationGame game(
+      make_ring(5), CoordinationPayoffs::from_deltas(delta, delta));
+  LogitChain chain(game, beta);
+  const std::vector<double> pi = chain.stationary();
+  std::vector<uint8_t> in_set(pi.size(), 0);
+  in_set[game.space().index(Profile(5, 1))] = 1;
+  const double b = bottleneck_ratio(chain.dense_transition(), pi, in_set);
+  EXPECT_NEAR(b, 1.0 / (1.0 + std::exp(2.0 * delta * beta)), 1e-12);
+}
+
+TEST(BottleneckTest, Theorem43SetComputation) {
+  // R = everything except the dominant profile 0; the proof computes
+  // Q(R, R^c) and pi(R) explicitly — verify our numbers match.
+  const int n = 3;
+  const int32_t m = 2;
+  const double beta = 3.0;
+  AllOrNothingGame game(n, m);
+  LogitChain chain(game, beta);
+  const std::vector<double> pi = chain.stationary();
+  std::vector<uint8_t> in_set(pi.size(), 1);
+  in_set[0] = 0;  // profile 0 encodes as index 0
+  const double b = bottleneck_ratio(chain.dense_transition(), pi, in_set);
+  // From the proof: Q(R,Rc) = e^{-beta}/Z * (m-1)/(1+(m-1)e^{-beta}),
+  // pi(R) = e^{-beta} (m^n - 1)/Z.
+  const double expected =
+      ((m - 1.0) / (1.0 + (m - 1.0) * std::exp(-beta))) /
+      (std::pow(double(m), n) - 1.0);
+  EXPECT_NEAR(b, expected, 1e-12);
+}
+
+TEST(BottleneckTest, LowerBoundFormula) {
+  EXPECT_NEAR(tmix_lower_from_bottleneck(0.1, 0.25), 2.5, 1e-12);
+  EXPECT_THROW(tmix_lower_from_bottleneck(0.0), Error);
+}
+
+TEST(BottleneckTest, LowerBoundIsValidAgainstExactMixing) {
+  // For sets with pi(R) <= 1/2, (1-2eps)/(2B) <= t_mix must hold.
+  PlateauGame game(6, 3.0, 1.0);
+  LogitChain chain(game, 2.0);
+  const DenseMatrix p = chain.dense_transition();
+  const std::vector<double> pi = chain.stationary();
+  const MixingResult mix = mixing_time_doubling(p, pi, 0.25);
+  ASSERT_TRUE(mix.converged);
+  // Theorem 3.5's set R = { w(x) < c }.
+  const ProfileSpace& sp = game.space();
+  std::vector<uint8_t> in_set(pi.size(), 0);
+  double pi_r = 0.0;
+  for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
+    if (sp.count_playing(idx, 1) < game.barrier_weight()) {
+      in_set[idx] = 1;
+      pi_r += pi[idx];
+    }
+  }
+  ASSERT_LE(pi_r, 0.5 + 1e-9);
+  const double b = bottleneck_ratio(p, pi, in_set);
+  EXPECT_LE(tmix_lower_from_bottleneck(b, 0.25), double(mix.time));
+}
+
+TEST(SweepCutTest, FindsThePlateauBarrier) {
+  // The sweep cut over the second eigenvector must find a set no worse
+  // than the hand-constructed barrier set of Theorem 3.5.
+  PlateauGame game(6, 3.0, 1.0);
+  LogitChain chain(game, 2.5);
+  const DenseMatrix p = chain.dense_transition();
+  const std::vector<double> pi = chain.stationary();
+  const SweepCutResult sweep = best_sweep_cut(p, pi);
+  const ProfileSpace& sp = game.space();
+  std::vector<uint8_t> barrier(pi.size(), 0);
+  for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
+    if (sp.count_playing(idx, 1) < game.barrier_weight()) barrier[idx] = 1;
+  }
+  const double b_hand = bottleneck_ratio(p, pi, barrier);
+  EXPECT_LE(sweep.ratio, b_hand * 1.000001);
+  // The returned set must reproduce its claimed ratio.
+  EXPECT_NEAR(bottleneck_ratio(p, pi, sweep.in_set), sweep.ratio, 1e-9);
+}
+
+TEST(SweepCutTest, RespectsHalfMassConstraint) {
+  GraphicalCoordinationGame game(make_path(4),
+                                 CoordinationPayoffs::from_deltas(2.0, 1.0));
+  LogitChain chain(game, 1.0);
+  const std::vector<double> pi = chain.stationary();
+  const SweepCutResult sweep = best_sweep_cut(chain.dense_transition(), pi);
+  double mass = 0.0;
+  for (size_t i = 0; i < pi.size(); ++i) {
+    if (sweep.in_set[i]) mass += pi[i];
+  }
+  EXPECT_LE(mass, 0.5 + 1e-9);
+  EXPECT_GT(mass, 0.0);
+}
+
+TEST(BottleneckTest, RejectsEmptySet) {
+  DenseMatrix t = DenseMatrix::identity(2);
+  const std::vector<double> pi = {0.5, 0.5};
+  const std::vector<uint8_t> empty = {0, 0};
+  EXPECT_THROW(bottleneck_ratio(t, pi, empty), Error);
+}
+
+}  // namespace
+}  // namespace logitdyn

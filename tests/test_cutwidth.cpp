@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "graph/builders.hpp"
+#include "graph/cutwidth.hpp"
+#include "rng/rng.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+/// Reference: cutwidth by trying all n! orderings (tiny n only).
+uint32_t cutwidth_all_permutations(const Graph& g) {
+  std::vector<uint32_t> order(g.num_vertices());
+  std::iota(order.begin(), order.end(), 0u);
+  uint32_t best = UINT32_MAX;
+  do {
+    best = std::min(best, ordering_cutwidth(g, order));
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+TEST(CutwidthTest, OrderingCutwidthOnPathIdentityOrder) {
+  const Graph g = make_path(5);
+  std::vector<uint32_t> order = {0, 1, 2, 3, 4};
+  EXPECT_EQ(ordering_cutwidth(g, order), 1u);
+}
+
+TEST(CutwidthTest, OrderingCutwidthDetectsBadOrder) {
+  const Graph g = make_path(5);
+  // Interleaved order forces several path edges across one boundary.
+  std::vector<uint32_t> order = {0, 2, 4, 1, 3};
+  EXPECT_GT(ordering_cutwidth(g, order), 1u);
+}
+
+TEST(CutwidthTest, OrderingRejectsNonPermutation) {
+  const Graph g = make_path(3);
+  std::vector<uint32_t> bad = {0, 0, 1};
+  EXPECT_THROW(ordering_cutwidth(g, bad), Error);
+}
+
+TEST(CutwidthTest, ExactPath) { EXPECT_EQ(cutwidth_exact(make_path(8)), 1u); }
+
+TEST(CutwidthTest, ExactRingIsTwo) {
+  EXPECT_EQ(cutwidth_exact(make_ring(5)), 2u);
+  EXPECT_EQ(cutwidth_exact(make_ring(9)), 2u);
+  EXPECT_EQ(ring_cutwidth(9), 2u);
+}
+
+TEST(CutwidthTest, ExactCliqueMatchesClosedForm) {
+  for (uint32_t n = 2; n <= 8; ++n) {
+    EXPECT_EQ(cutwidth_exact(make_clique(n)), clique_cutwidth(n)) << "n=" << n;
+  }
+  EXPECT_EQ(clique_cutwidth(4), 4u);
+  EXPECT_EQ(clique_cutwidth(5), 6u);
+}
+
+TEST(CutwidthTest, ExactStarMatchesClosedForm) {
+  for (uint32_t n = 2; n <= 9; ++n) {
+    EXPECT_EQ(cutwidth_exact(make_star(n)), star_cutwidth(n)) << "n=" << n;
+  }
+}
+
+TEST(CutwidthTest, ExactMatchesBruteForceOnSmallRandomGraphs) {
+  Rng rng(17);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = make_erdos_renyi(6, 0.5, rng);
+    EXPECT_EQ(cutwidth_exact(g), cutwidth_all_permutations(g))
+        << "trial " << trial;
+  }
+}
+
+TEST(CutwidthTest, ExactRejectsHugeGraphs) {
+  EXPECT_THROW(cutwidth_exact(make_path(30)), Error);
+}
+
+TEST(CutwidthTest, HeuristicIsValidUpperBound) {
+  Rng rng(23);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = make_erdos_renyi(10, 0.35, rng);
+    const CutwidthHeuristicResult h = cutwidth_heuristic(g, rng);
+    EXPECT_EQ(ordering_cutwidth(g, h.order), h.cutwidth);
+    EXPECT_GE(h.cutwidth, cutwidth_exact(g));
+  }
+}
+
+TEST(CutwidthTest, HeuristicFindsOptimaOnStructuredGraphs) {
+  Rng rng(29);
+  EXPECT_EQ(cutwidth_heuristic(make_path(20), rng).cutwidth, 1u);
+  EXPECT_EQ(cutwidth_heuristic(make_ring(20), rng).cutwidth, 2u);
+}
+
+TEST(CutwidthTest, GridCutwidthBounds) {
+  // Cutwidth of an r x c grid (r <= c) is known to be r + 1 for r >= 2
+  // (Chvatalova); check the exact DP agrees on small grids.
+  EXPECT_EQ(cutwidth_exact(make_grid(2, 4)), 3u);
+  EXPECT_EQ(cutwidth_exact(make_grid(3, 3)), 4u);
+}
+
+}  // namespace
+}  // namespace logitdyn

@@ -1,0 +1,161 @@
+// Edge cases and failure injection across the public API: degenerate
+// sizes, invalid parameters, negative-eigenvalue paths, budget exhaustion.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/mixing.hpp"
+#include "analysis/spectral.hpp"
+#include "analysis/tv.hpp"
+#include "core/chain.hpp"
+#include "core/lumped.hpp"
+#include "games/random_potential.hpp"
+#include "games/table_game.hpp"
+#include "rng/rng.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+TEST(EdgeCaseTest, OnePlayerGameChainIsRankOne) {
+  // Single player: after one step the distribution is exactly sigma,
+  // independent of the start — t_mix = 1 whenever sigma is within eps of
+  // itself (always).
+  Rng rng(3);
+  const TablePotentialGame game =
+      make_random_potential_game(ProfileSpace(1, 5), 2.0, rng);
+  LogitChain chain(game, 1.7);
+  const DenseMatrix p = chain.dense_transition();
+  const std::vector<double> pi = chain.stationary();
+  for (size_t r = 0; r < p.rows(); ++r) {
+    for (size_t c = 0; c < p.cols(); ++c) {
+      EXPECT_NEAR(p(r, c), pi[c], 1e-12);  // rows all equal pi
+    }
+  }
+  const MixingResult mix = mixing_time_doubling(p, pi, 0.25);
+  EXPECT_EQ(mix.time, 1u);
+}
+
+TEST(EdgeCaseTest, SingleStrategyPlayerIsInert) {
+  // A player with |S_i| = 1 never changes anything; the chain factors
+  // through the remaining players.
+  Rng rng(5);
+  const TablePotentialGame game = make_random_potential_game(
+      ProfileSpace(std::vector<int32_t>{1, 3}), 1.0, rng);
+  LogitChain chain(game, 1.0);
+  const DenseMatrix p = chain.dense_transition();
+  double s = 0.0;
+  for (size_t c = 0; c < p.cols(); ++c) s += p(0, c);
+  EXPECT_NEAR(s, 1.0, 1e-12);
+  const std::vector<double> pi = chain.stationary();
+  EXPECT_TRUE(chain.is_reversible(pi));
+}
+
+TEST(EdgeCaseTest, SpectralEvaluatorRejectsFractionalPowerWithNegativeEig) {
+  // A reversible chain with a genuinely negative eigenvalue: 2-state with
+  // p = q = 0.9 has lambda = 1 - 1.8 = -0.8.
+  DenseMatrix t(2, 2);
+  t(0, 0) = 0.1;
+  t(0, 1) = 0.9;
+  t(1, 0) = 0.9;
+  t(1, 1) = 0.1;
+  const std::vector<double> pi = {0.5, 0.5};
+  const SpectralEvaluator eval(t, pi);
+  EXPECT_NEAR(eval.eigenvalues().front(), -0.8, 1e-12);
+  EXPECT_NO_THROW(eval.transition_power(3.0));   // integer ok
+  EXPECT_THROW(eval.transition_power(2.5), Error);
+}
+
+TEST(EdgeCaseTest, NegativeEigenvalueChainMixesThroughLambdaStar) {
+  // Same chain: lambda* = 0.8, t_rel = 5; the doubling computation agrees
+  // with the analytic d(t) = 0.5 * 0.8^t.
+  DenseMatrix t(2, 2);
+  t(0, 0) = 0.1;
+  t(0, 1) = 0.9;
+  t(1, 0) = 0.9;
+  t(1, 1) = 0.1;
+  const std::vector<double> pi = {0.5, 0.5};
+  const ChainSpectrum s = chain_spectrum(t, pi);
+  EXPECT_NEAR(s.lambda_star(), 0.8, 1e-12);
+  const MixingResult mix = mixing_time_doubling(t, pi, 0.25);
+  // smallest t with 0.5 * 0.8^t <= 0.25  ->  t = ceil(log(0.5)/log(0.8)) = 4.
+  EXPECT_EQ(mix.time, 4u);
+}
+
+TEST(EdgeCaseTest, MixingFromStateAlreadyMixedIsZero) {
+  Rng rng(9);
+  const TablePotentialGame game =
+      make_random_potential_game(ProfileSpace(2, 2), 0.1, rng);
+  LogitChain chain(game, 0.05);
+  const std::vector<double> pi = chain.stationary();
+  // eps = 0.9: even the point mass is within eps of a near-uniform pi.
+  const MixingResult mix =
+      mixing_time_from_state(chain.csr_transition(), 0, pi, 0.9, 1000);
+  EXPECT_EQ(mix.time, 0u);
+}
+
+TEST(EdgeCaseTest, BetaZeroChainIsProductOfUniformUpdates) {
+  Rng rng(11);
+  const TablePotentialGame game =
+      make_random_potential_game(ProfileSpace(2, 3), 5.0, rng);
+  LogitChain chain(game, 0.0);
+  const DenseMatrix p = chain.dense_transition();
+  const ProfileSpace& sp = game.space();
+  // Off-diagonal single-site moves all carry probability 1/(n*m) = 1/6.
+  for (size_t x = 0; x < sp.num_profiles(); ++x) {
+    for (size_t y = 0; y < sp.num_profiles(); ++y) {
+      if (sp.hamming_distance(x, y) == 1) {
+        EXPECT_NEAR(p(x, y), 1.0 / 6.0, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(EdgeCaseTest, HugeBetaProducesFiniteChain) {
+  Rng rng(13);
+  const TablePotentialGame game =
+      make_random_potential_game(ProfileSpace(3, 2), 10.0, rng);
+  LogitChain chain(game, 1000.0);
+  const DenseMatrix p = chain.dense_transition();
+  for (double v : p.data()) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+  }
+  const std::vector<double> pi = chain.stationary();
+  double s = 0.0;
+  for (double v : pi) {
+    EXPECT_TRUE(std::isfinite(v));
+    s += v;
+  }
+  EXPECT_NEAR(s, 1.0, 1e-9);
+}
+
+TEST(EdgeCaseTest, WorstRowTvOnMismatchedSizesThrows) {
+  DenseMatrix m(2, 3);
+  const std::vector<double> pi = {0.5, 0.5};
+  EXPECT_THROW(worst_row_tv(m, pi), Error);
+}
+
+TEST(EdgeCaseTest, BirthDeathSingleState) {
+  BirthDeathChain bd({0.0}, {0.0});
+  EXPECT_EQ(bd.num_states(), 1u);
+  const DenseMatrix p = bd.transition();
+  EXPECT_DOUBLE_EQ(p(0, 0), 1.0);
+}
+
+TEST(EdgeCaseTest, DoublingReportsBudgetExhaustionWithoutThrowing) {
+  // Budget of 2 steps on a slow chain: must return converged = false and
+  // the distance it got stuck at.
+  DenseMatrix t(2, 2);
+  t(0, 0) = 0.999;
+  t(0, 1) = 0.001;
+  t(1, 0) = 0.001;
+  t(1, 1) = 0.999;
+  const std::vector<double> pi = {0.5, 0.5};
+  const MixingResult mix = mixing_time_doubling(t, pi, 0.25, /*max_time=*/2);
+  EXPECT_FALSE(mix.converged);
+  EXPECT_GT(mix.distance, 0.25);
+}
+
+}  // namespace
+}  // namespace logitdyn

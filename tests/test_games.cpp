@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "games/congestion.hpp"
+#include "games/coordination.hpp"
+#include "games/dominant.hpp"
+#include "games/graphical_coordination.hpp"
+#include "games/ising.hpp"
+#include "games/plateau.hpp"
+#include "games/random_potential.hpp"
+#include "games/table_game.hpp"
+#include "graph/builders.hpp"
+#include "rng/rng.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+/// Verify the paper's Eq. (1) on every Hamming edge:
+/// u_i(a, x_{-i}) - u_i(b, x_{-i}) = Phi(b, x_{-i}) - Phi(a, x_{-i}).
+void expect_exact_potential(const PotentialGame& game, double tol = 1e-9) {
+  const ProfileSpace& sp = game.space();
+  Profile xa, xb;
+  for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
+    xa = sp.decode(idx);
+    const double phi_a = game.potential(xa);
+    for (int i = 0; i < sp.num_players(); ++i) {
+      const double u_a = game.utility(i, xa);
+      xb = xa;
+      for (Strategy s = 0; s < sp.num_strategies(i); ++s) {
+        if (s == xa[size_t(i)]) continue;
+        xb[size_t(i)] = s;
+        const double lhs = u_a - game.utility(i, xb);
+        const double rhs = game.potential(xb) - phi_a;
+        ASSERT_NEAR(lhs, rhs, tol)
+            << game.name() << " violates Eq.(1) at profile " << idx
+            << " player " << i << " strategy " << s;
+      }
+    }
+  }
+}
+
+TEST(CoordinationGameTest, PayoffsAndDeltas) {
+  CoordinationGame g({5.0, 4.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(g.payoffs().delta0(), 3.0);
+  EXPECT_DOUBLE_EQ(g.payoffs().delta1(), 3.0);
+  EXPECT_EQ(g.risk_dominant_equilibrium(), 0);
+  EXPECT_DOUBLE_EQ(g.utility(0, {0, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(g.utility(0, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(g.utility(1, {0, 1}), 2.0);
+}
+
+TEST(CoordinationGameTest, RiskDominance) {
+  CoordinationGame g0(CoordinationPayoffs::from_deltas(3.0, 1.0));
+  EXPECT_EQ(g0.risk_dominant_equilibrium(), -1);
+  CoordinationGame g1(CoordinationPayoffs::from_deltas(1.0, 3.0));
+  EXPECT_EQ(g1.risk_dominant_equilibrium(), +1);
+}
+
+TEST(CoordinationGameTest, IsExactPotentialGame) {
+  CoordinationGame g({5.0, 3.0, 1.0, 2.0});
+  expect_exact_potential(g);
+}
+
+TEST(CoordinationGameTest, BothMonochromaticProfilesAreNash) {
+  CoordinationGame g(CoordinationPayoffs::from_deltas(2.0, 1.0));
+  EXPECT_TRUE(is_pure_nash(g, {0, 0}));
+  EXPECT_TRUE(is_pure_nash(g, {1, 1}));
+  EXPECT_FALSE(is_pure_nash(g, {0, 1}));
+}
+
+TEST(CoordinationGameTest, RejectsNonCoordinationPayoffs) {
+  EXPECT_THROW(CoordinationGame({1.0, 1.0, 2.0, 2.0}), Error);
+}
+
+TEST(GraphicalCoordinationTest, PotentialSumsEdgePotentials) {
+  const Graph ring = make_ring(4);
+  GraphicalCoordinationGame g(ring, CoordinationPayoffs::from_deltas(2.0, 1.0));
+  EXPECT_DOUBLE_EQ(g.potential({0, 0, 0, 0}), -8.0);
+  EXPECT_DOUBLE_EQ(g.potential({1, 1, 1, 1}), -4.0);
+  EXPECT_DOUBLE_EQ(g.potential({0, 1, 0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(g.monochromatic_potential(0), -8.0);
+  EXPECT_DOUBLE_EQ(g.monochromatic_potential(1), -4.0);
+}
+
+TEST(GraphicalCoordinationTest, IsExactPotentialGameOnSeveralTopologies) {
+  const CoordinationPayoffs p{4.0, 3.0, 1.0, 2.0};
+  expect_exact_potential(GraphicalCoordinationGame(make_ring(4), p));
+  expect_exact_potential(GraphicalCoordinationGame(make_star(4), p));
+  expect_exact_potential(GraphicalCoordinationGame(make_clique(4), p));
+  expect_exact_potential(GraphicalCoordinationGame(make_path(5), p));
+}
+
+TEST(GraphicalCoordinationTest, PotentialDeltaMatchesFullRecomputation) {
+  Rng rng(3);
+  const Graph g = make_erdos_renyi(6, 0.5, rng);
+  GraphicalCoordinationGame game(g, CoordinationPayoffs::from_deltas(2.5, 1.5));
+  const ProfileSpace& sp = game.space();
+  for (size_t idx = 0; idx < sp.num_profiles(); idx += 3) {
+    Profile x = sp.decode(idx);
+    for (int i = 0; i < sp.num_players(); ++i) {
+      for (Strategy s = 0; s < 2; ++s) {
+        Profile y = x;
+        y[size_t(i)] = s;
+        EXPECT_NEAR(game.potential_delta(i, x, s),
+                    game.potential(y) - game.potential(x), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(GraphicalCoordinationTest, MonochromaticProfilesAreNash) {
+  GraphicalCoordinationGame g(make_ring(5),
+                              CoordinationPayoffs::from_deltas(2.0, 1.0));
+  EXPECT_TRUE(is_pure_nash(g, Profile(5, 0)));
+  EXPECT_TRUE(is_pure_nash(g, Profile(5, 1)));
+}
+
+TEST(PlateauGameTest, PotentialShapeMatchesTheorem35) {
+  // n = 8, g = 4, l = 2 -> c = 2.
+  PlateauGame game(8, 4.0, 2.0);
+  EXPECT_EQ(game.barrier_weight(), 2);
+  EXPECT_DOUBLE_EQ(game.potential_of_weight(0), -4.0);  // Phi(0) = -g
+  EXPECT_DOUBLE_EQ(game.potential_of_weight(1), -2.0);
+  EXPECT_DOUBLE_EQ(game.potential_of_weight(2), 0.0);   // the ridge M
+  EXPECT_DOUBLE_EQ(game.potential_of_weight(3), -2.0);
+  EXPECT_DOUBLE_EQ(game.potential_of_weight(4), -4.0);  // capped at -c*l
+  EXPECT_DOUBLE_EQ(game.potential_of_weight(8), -4.0);
+}
+
+TEST(PlateauGameTest, PotentialDependsOnlyOnWeight) {
+  PlateauGame game(6, 3.0, 1.0);
+  const ProfileSpace& sp = game.space();
+  for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
+    const Profile x = sp.decode(idx);
+    int w = 0;
+    for (Strategy s : x) w += s;
+    EXPECT_DOUBLE_EQ(game.potential(x), game.potential_of_weight(w));
+  }
+}
+
+TEST(PlateauGameTest, GlobalAndLocalVariationAsConstructed) {
+  PlateauGame game(10, 6.0, 2.0);
+  EXPECT_DOUBLE_EQ(game.global_variation(), 6.0);
+  EXPECT_DOUBLE_EQ(game.local_variation(), 2.0);
+}
+
+TEST(PlateauGameTest, RejectsInvalidParameters) {
+  EXPECT_THROW(PlateauGame(4, 4.0, 1.0), Error);   // c = 4 > n/2
+  EXPECT_THROW(PlateauGame(8, 3.0, 2.0), Error);   // c not integral
+  EXPECT_THROW(PlateauGame(8, 1.0, 2.0), Error);   // g < l
+}
+
+TEST(AllOrNothingTest, ZeroIsDominantProfile) {
+  AllOrNothingGame g(3, 3);
+  EXPECT_TRUE(is_dominant_profile(g, Profile(3, 0)));
+  // Nonzero strategies are not dominant.
+  EXPECT_FALSE(is_dominant_strategy(g, 0, 1));
+}
+
+TEST(AllOrNothingTest, PotentialIsIndicator) {
+  AllOrNothingGame g(3, 2);
+  EXPECT_DOUBLE_EQ(g.potential({0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(g.potential({1, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(g.potential({1, 1, 1}), 1.0);
+  expect_exact_potential(g);
+}
+
+TEST(CongestionGameTest, RosenthalPotentialIsExact) {
+  const CongestionGame g =
+      make_parallel_links_game(3, {1.0, 2.0}, {0.0, 0.5});
+  expect_exact_potential(g);
+}
+
+TEST(CongestionGameTest, LoadsAndWelfare) {
+  const CongestionGame g = make_parallel_links_game(3, {1.0, 1.0}, {0.0, 0.0});
+  const Profile x = {0, 0, 1};
+  const std::vector<int> load = g.loads(x);
+  EXPECT_EQ(load[0], 2);
+  EXPECT_EQ(load[1], 1);
+  // Costs: players on link 0 pay 2 each, player on link 1 pays 1.
+  EXPECT_DOUBLE_EQ(g.utility(0, x), -2.0);
+  EXPECT_DOUBLE_EQ(g.utility(2, x), -1.0);
+  EXPECT_DOUBLE_EQ(g.social_welfare(x), -5.0);
+}
+
+TEST(CongestionGameTest, BalancedSplitIsNash) {
+  const CongestionGame g = make_parallel_links_game(4, {1.0, 1.0}, {0.0, 0.0});
+  EXPECT_TRUE(is_pure_nash(g, {0, 0, 1, 1}));
+  EXPECT_FALSE(is_pure_nash(g, {0, 0, 0, 0}));
+}
+
+TEST(IsingGameTest, EnergyOfKnownConfigurations) {
+  IsingGame ising(make_ring(4), 1.0);
+  // All aligned: every edge contributes -J.
+  EXPECT_DOUBLE_EQ(ising.potential(Profile(4, 1)), -4.0);
+  EXPECT_DOUBLE_EQ(ising.potential(Profile(4, 0)), -4.0);
+  // Alternating: every edge contributes +J.
+  EXPECT_DOUBLE_EQ(ising.potential({0, 1, 0, 1}), 4.0);
+  EXPECT_DOUBLE_EQ(ising.magnetization({0, 1, 0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(ising.magnetization(Profile(4, 1)), 4.0);
+}
+
+TEST(IsingGameTest, FieldBreaksSymmetry) {
+  IsingGame ising(make_ring(4), 1.0, 0.5);
+  EXPECT_LT(ising.potential(Profile(4, 1)), ising.potential(Profile(4, 0)));
+  expect_exact_potential(ising);
+}
+
+TEST(IsingGameTest, EquivalentCoordinationPotentialDiffersByConstant) {
+  const Graph g = make_ring(5);
+  IsingGame ising(g, 0.7);
+  GraphicalCoordinationGame coord = ising.equivalent_coordination_game();
+  const ProfileSpace& sp = ising.space();
+  const double shift = coord.potential(Profile(5, 0)) -
+                       ising.potential(Profile(5, 0));
+  for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
+    const Profile x = sp.decode(idx);
+    EXPECT_NEAR(coord.potential(x) - ising.potential(x), shift, 1e-12);
+  }
+}
+
+TEST(IsingGameTest, FieldForbidsCoordinationEquivalent) {
+  IsingGame ising(make_ring(4), 1.0, 0.3);
+  EXPECT_THROW(ising.equivalent_coordination_game(), Error);
+}
+
+TEST(TableGameTest, FromFunctionStoresUtilities) {
+  const ProfileSpace sp(2, 2);
+  const TableGame g = TableGame::from_function(
+      sp,
+      [](int player, const Profile& x) {
+        return double(player) + 10.0 * x[0] + 100.0 * x[1];
+      },
+      "probe");
+  EXPECT_DOUBLE_EQ(g.utility(0, {1, 0}), 10.0);
+  EXPECT_DOUBLE_EQ(g.utility(1, {0, 1}), 101.0);
+  EXPECT_EQ(g.name(), "probe");
+}
+
+TEST(ExtractPotentialTest, RecoversPotentialOfPotentialGames) {
+  PlateauGame plateau(5, 2.0, 1.0);
+  const auto phi = extract_potential(plateau);
+  ASSERT_TRUE(phi.has_value());
+  const ProfileSpace& sp = plateau.space();
+  // Recovered potential differs from the true one by a constant.
+  const double shift = (*phi)[0] - plateau.potential(sp.decode(0));
+  for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
+    EXPECT_NEAR((*phi)[idx] - plateau.potential(sp.decode(idx)), shift, 1e-9);
+  }
+}
+
+TEST(ExtractPotentialTest, RecognizesCongestionGameViaUtilitiesOnly) {
+  // Wrap the congestion game as a plain TableGame (loses the PotentialGame
+  // type): extraction must still find an exact potential.
+  const CongestionGame cg = make_parallel_links_game(3, {1.0, 3.0}, {0.0, 0.0});
+  const TableGame as_table = TableGame::from_function(
+      cg.space(),
+      [&cg](int player, const Profile& x) { return cg.utility(player, x); });
+  EXPECT_TRUE(extract_potential(as_table).has_value());
+}
+
+TEST(ExtractPotentialTest, RejectsNonPotentialGames) {
+  // Matching pennies has no exact potential.
+  const ProfileSpace sp(2, 2);
+  const TableGame pennies = TableGame::from_function(
+      sp, [](int player, const Profile& x) {
+        const bool match = x[0] == x[1];
+        return (player == 0) == match ? 1.0 : -1.0;
+      });
+  EXPECT_FALSE(extract_potential(pennies).has_value());
+}
+
+TEST(RandomGamesTest, RandomPotentialGameIsExact) {
+  Rng rng(5);
+  const TablePotentialGame g =
+      make_random_potential_game(ProfileSpace(3, 2), 2.0, rng);
+  expect_exact_potential(g);
+}
+
+TEST(RandomGamesTest, RandomGeneralGameUsuallyNotPotential) {
+  Rng rng(7);
+  int potential_count = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const TableGame g = make_random_game(ProfileSpace(2, 2), 1.0, rng);
+    potential_count += extract_potential(g).has_value();
+  }
+  EXPECT_LT(potential_count, 5);
+}
+
+}  // namespace
+}  // namespace logitdyn

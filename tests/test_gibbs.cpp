@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gibbs.hpp"
+#include "games/coordination.hpp"
+#include "games/plateau.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+TEST(GibbsTest, TwoStateByHand) {
+  const std::vector<double> phi = {0.0, 1.0};
+  const double beta = 2.0;
+  const GibbsMeasure g = gibbs_from_potentials(phi, beta);
+  const double z = 1.0 + std::exp(-2.0);
+  EXPECT_NEAR(g.probabilities[0], 1.0 / z, 1e-12);
+  EXPECT_NEAR(g.probabilities[1], std::exp(-2.0) / z, 1e-12);
+  EXPECT_NEAR(g.log_partition, std::log(z), 1e-12);
+}
+
+TEST(GibbsTest, SumsToOne) {
+  CoordinationGame game(CoordinationPayoffs::from_deltas(3.0, 1.0));
+  const GibbsMeasure g = gibbs_measure(game, 1.4);
+  double s = 0.0;
+  for (double v : g.probabilities) s += v;
+  EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+TEST(GibbsTest, StableAtExtremeBeta) {
+  // beta * DeltaPhi ~ 5000: naive exponentials overflow; log-sum-exp
+  // must deliver a clean point mass on the minimum.
+  const std::vector<double> phi = {0.0, 10.0, 20.0};
+  const GibbsMeasure g = gibbs_from_potentials(phi, 500.0);
+  EXPECT_NEAR(g.probabilities[0], 1.0, 1e-12);
+  EXPECT_EQ(g.probabilities[2], 0.0);
+  EXPECT_TRUE(std::isfinite(g.log_partition));
+}
+
+TEST(GibbsTest, ShiftInvariance) {
+  // Adding a constant to Phi must not change pi (only log Z).
+  const std::vector<double> phi = {0.0, 0.5, 1.5, 0.2};
+  const GibbsMeasure a = gibbs_from_potentials(phi, 1.1);
+  std::vector<double> shifted = phi;
+  for (double& v : shifted) v += 7.0;
+  const GibbsMeasure b = gibbs_from_potentials(shifted, 1.1);
+  for (size_t i = 0; i < phi.size(); ++i) {
+    EXPECT_NEAR(a.probabilities[i], b.probabilities[i], 1e-12);
+  }
+  EXPECT_NEAR(b.log_partition, a.log_partition - 1.1 * 7.0, 1e-9);
+}
+
+TEST(GibbsTest, RatiosMatchBoltzmannFactors) {
+  const std::vector<double> phi = {0.3, 1.7, 0.9};
+  const double beta = 2.3;
+  const GibbsMeasure g = gibbs_from_potentials(phi, beta);
+  for (size_t i = 0; i < phi.size(); ++i) {
+    for (size_t j = 0; j < phi.size(); ++j) {
+      EXPECT_NEAR(g.probabilities[i] / g.probabilities[j],
+                  std::exp(-beta * (phi[i] - phi[j])), 1e-9);
+    }
+  }
+}
+
+TEST(GibbsTest, ExpectedPotentialDecreasesInBeta) {
+  // E_pi[Phi] is non-increasing in beta (standard thermodynamic fact);
+  // check over a sweep on the plateau game.
+  PlateauGame game(6, 3.0, 1.0);
+  double prev = expected_potential(game, 0.0);
+  for (double beta : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double cur = expected_potential(game, beta);
+    EXPECT_LE(cur, prev + 1e-12) << "beta " << beta;
+    prev = cur;
+  }
+}
+
+TEST(GibbsTest, ZeroBetaIsUniform) {
+  const std::vector<double> phi = {5.0, -3.0, 0.0, 100.0};
+  const GibbsMeasure g = gibbs_from_potentials(phi, 0.0);
+  for (double v : g.probabilities) EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+TEST(GibbsTest, PotentialTableMatchesGameEvaluation) {
+  PlateauGame game(5, 2.0, 1.0);
+  const std::vector<double> phi = potential_table(game);
+  const ProfileSpace& sp = game.space();
+  for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
+    EXPECT_DOUBLE_EQ(phi[idx], game.potential(sp.decode(idx)));
+  }
+}
+
+TEST(GibbsTest, RejectsBadInput) {
+  EXPECT_THROW(gibbs_from_potentials({}, 1.0), Error);
+  EXPECT_THROW(gibbs_from_potentials(std::vector<double>{1.0}, -0.5), Error);
+}
+
+}  // namespace
+}  // namespace logitdyn

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "graph/builders.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+TEST(GraphTest, EdgeListNormalizedAndDeduplicated) {
+  Graph g(3, {{1, 0}, {0, 1}, {2, 1}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(GraphTest, RejectsSelfLoopsAndOutOfRange) {
+  EXPECT_THROW(Graph(2, {{0, 0}}), Error);
+  EXPECT_THROW(Graph(2, {{0, 5}}), Error);
+}
+
+TEST(GraphTest, DegreesAndNeighbors) {
+  const Graph g = make_star(5);
+  EXPECT_EQ(g.degree(0), 4u);
+  for (uint32_t v = 1; v < 5; ++v) EXPECT_EQ(g.degree(v), 1u);
+  EXPECT_EQ(g.max_degree(), 4u);
+  EXPECT_EQ(g.neighbors(1).size(), 1u);
+  EXPECT_EQ(g.neighbors(1)[0], 0u);
+}
+
+TEST(BuildersTest, PathShape) {
+  const Graph g = make_path(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(BuildersTest, RingShape) {
+  const Graph g = make_ring(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (uint32_t v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_THROW(make_ring(2), Error);
+}
+
+TEST(BuildersTest, CliqueShape) {
+  const Graph g = make_clique(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (uint32_t v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(BuildersTest, GridShape) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  // Edges: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8.
+  EXPECT_EQ(g.num_edges(), 17u);
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+  EXPECT_EQ(g.degree(5), 4u);   // interior (row 1, col 1)
+}
+
+TEST(BuildersTest, TorusIsFourRegular) {
+  const Graph g = make_torus(3, 5);
+  EXPECT_EQ(g.num_vertices(), 15u);
+  for (uint32_t v = 0; v < 15; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_EQ(g.num_edges(), 30u);
+}
+
+TEST(BuildersTest, BinaryTreeShape) {
+  const Graph g = make_binary_tree(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(3), 1u);  // leaf
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(BuildersTest, ErdosRenyiExtremes) {
+  Rng rng(3);
+  const Graph empty = make_erdos_renyi(10, 0.0, rng);
+  EXPECT_EQ(empty.num_edges(), 0u);
+  const Graph full = make_erdos_renyi(10, 1.0, rng);
+  EXPECT_EQ(full.num_edges(), 45u);
+}
+
+TEST(BuildersTest, RandomRegularHasCorrectDegrees) {
+  Rng rng(11);
+  const Graph g = make_random_regular(12, 3, rng);
+  for (uint32_t v = 0; v < 12; ++v) EXPECT_EQ(g.degree(v), 3u);
+  EXPECT_THROW(make_random_regular(5, 3, rng), Error);  // n*d odd
+}
+
+TEST(ConnectivityTest, ComponentsOfDisconnectedGraph) {
+  Graph g(5, {{0, 1}, {2, 3}});
+  const auto labels = connected_components(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+  EXPECT_NE(labels[4], labels[0]);
+  EXPECT_NE(labels[4], labels[2]);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(ConnectivityTest, BfsDistancesOnPath) {
+  const Graph g = make_path(5);
+  const auto dist = bfs_distances(g, 0);
+  for (uint32_t v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(ConnectivityTest, DiameterOfKnownGraphs) {
+  EXPECT_EQ(diameter(make_path(7)), 6u);
+  EXPECT_EQ(diameter(make_ring(8)), 4u);
+  EXPECT_EQ(diameter(make_clique(5)), 1u);
+  EXPECT_EQ(diameter(make_star(9)), 2u);
+}
+
+TEST(ConnectivityTest, DiameterRequiresConnected) {
+  Graph g(4, {{0, 1}});
+  EXPECT_THROW(diameter(g), Error);
+}
+
+}  // namespace
+}  // namespace logitdyn

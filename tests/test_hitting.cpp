@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/hitting.hpp"
+#include "core/chain.hpp"
+#include "core/lumped.hpp"
+#include "core/simulator.hpp"
+#include "games/graphical_coordination.hpp"
+#include "games/plateau.hpp"
+#include "graph/builders.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+TEST(HittingTest, TwoStateChainAnalytic) {
+  // From 0, target {1}: geometric with success p per step: E = 1/p.
+  const double p = 0.2;
+  DenseMatrix t(2, 2);
+  t(0, 0) = 1 - p;
+  t(0, 1) = p;
+  t(1, 0) = 0.3;
+  t(1, 1) = 0.7;
+  const std::vector<uint8_t> target = {0, 1};
+  const std::vector<double> h = expected_hitting_times(t, target);
+  EXPECT_NEAR(h[0], 1.0 / p, 1e-12);
+  EXPECT_DOUBLE_EQ(h[1], 0.0);
+}
+
+TEST(HittingTest, MatchesFirstStepEquations) {
+  // h must satisfy h(x) = 1 + sum_y P(x,y) h(y) off the target.
+  PlateauGame game(5, 2.0, 1.0);
+  LogitChain chain(game, 1.3);
+  const DenseMatrix p = chain.dense_transition();
+  std::vector<uint8_t> target(p.rows(), 0);
+  target[0] = 1;
+  target[7] = 1;
+  const std::vector<double> h = expected_hitting_times(p, target);
+  for (size_t x = 0; x < p.rows(); ++x) {
+    if (target[x]) continue;
+    double rhs = 1.0;
+    for (size_t y = 0; y < p.rows(); ++y) rhs += p(x, y) * h[y];
+    EXPECT_NEAR(h[x], rhs, 1e-8) << "state " << x;
+  }
+}
+
+TEST(HittingTest, AgreesWithSimulation) {
+  GraphicalCoordinationGame game(make_path(4),
+                                 CoordinationPayoffs::from_deltas(2.0, 1.0));
+  LogitChain chain(game, 1.0);
+  const DenseMatrix p = chain.dense_transition();
+  const ProfileSpace& sp = game.space();
+  const size_t zeros = sp.index(Profile(4, 0));
+  std::vector<uint8_t> target(p.rows(), 0);
+  target[zeros] = 1;
+  const std::vector<double> h = expected_hitting_times(p, target);
+  const Profile start(4, 1);
+  const HittingTimeStats sim = batch_hitting_time(
+      chain, start, [&](const Profile& x) { return x == Profile(4, 0); },
+      /*max_steps=*/1000000, /*replicas=*/4000, /*master_seed=*/3);
+  ASSERT_EQ(sim.num_censored, 0);
+  const double exact = h[sp.index(start)];
+  EXPECT_NEAR(sim.mean, exact, 0.08 * exact);
+}
+
+TEST(HittingTest, RejectsEmptyTarget) {
+  DenseMatrix t = DenseMatrix::identity(3);
+  const std::vector<uint8_t> none = {0, 0, 0};
+  EXPECT_THROW(expected_hitting_times(t, none), Error);
+}
+
+TEST(BirthDeathHittingTest, MatchesDenseSolveUpward) {
+  const BirthDeathChain bd =
+      BirthDeathChain::weight_chain(8, 1.2, clique_weight_potential(8, 1.0, 0.7));
+  const DenseMatrix p = bd.transition();
+  for (int target : {4, 8}) {
+    std::vector<uint8_t> in_target(9, 0);
+    // Dense solve computes "hit T" where T = {target..n}: make targets
+    // absorbing-equivalent by marking all k >= target (the birth-death
+    // formula counts first passage through `target` from below, which is
+    // the same event).
+    for (int k = target; k <= 8; ++k) in_target[size_t(k)] = 1;
+    const std::vector<double> h = expected_hitting_times(p, in_target);
+    for (int start : {0, 1, 2}) {
+      const double closed = birth_death_hitting_time(bd, start, target);
+      EXPECT_NEAR(closed, h[size_t(start)], 1e-6 * closed)
+          << "start " << start << " target " << target;
+    }
+  }
+}
+
+TEST(BirthDeathHittingTest, MatchesDenseSolveDownward) {
+  const BirthDeathChain bd =
+      BirthDeathChain::weight_chain(7, 0.9, clique_weight_potential(7, 0.8, 0.8));
+  const DenseMatrix p = bd.transition();
+  std::vector<uint8_t> in_target(8, 0);
+  for (int k = 0; k <= 2; ++k) in_target[size_t(k)] = 1;
+  const std::vector<double> h = expected_hitting_times(p, in_target);
+  for (int start : {5, 6, 7}) {
+    const double closed = birth_death_hitting_time(bd, start, 2);
+    EXPECT_NEAR(closed, h[size_t(start)], 1e-6 * std::max(closed, 1.0))
+        << "start " << start;
+  }
+}
+
+TEST(BirthDeathHittingTest, ZeroForSelfTarget) {
+  const BirthDeathChain bd =
+      BirthDeathChain::weight_chain(5, 1.0, clique_weight_potential(5, 1.0, 1.0));
+  EXPECT_DOUBLE_EQ(birth_death_hitting_time(bd, 3, 3), 0.0);
+}
+
+TEST(BirthDeathHittingTest, MetastabilityGrowsWithBeta) {
+  // Escape from the all-zeros well over the clique barrier: expected
+  // hitting time of the far well grows exponentially in beta.
+  double prev = 0.0;
+  for (double beta : {0.5, 1.0, 1.5, 2.0}) {
+    const BirthDeathChain bd = BirthDeathChain::weight_chain(
+        10, beta, clique_weight_potential(10, 1.0, 1.0));
+    const double h = birth_death_hitting_time(bd, 0, 10);
+    EXPECT_GT(h, prev);
+    prev = h;
+  }
+  EXPECT_GT(prev, 1e4);
+}
+
+}  // namespace
+}  // namespace logitdyn

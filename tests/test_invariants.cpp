@@ -1,0 +1,112 @@
+// Parameterized invariant sweeps: every (topology, beta) pair of
+// graphical coordination games must satisfy the full stack of chain
+// invariants at once. One TEST_P, many cases — these are the properties
+// every other result in the library silently relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "analysis/bounds.hpp"
+#include "analysis/mixing.hpp"
+#include "analysis/spectral.hpp"
+#include "analysis/tv.hpp"
+#include "analysis/zeta.hpp"
+#include "core/chain.hpp"
+#include "core/coupling.hpp"
+#include "core/gibbs.hpp"
+#include "games/graphical_coordination.hpp"
+#include "graph/builders.hpp"
+#include "graph/cutwidth.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+struct InvariantCase {
+  std::string topology;
+  double beta;
+  double delta0;
+  double delta1;
+
+  friend void PrintTo(const InvariantCase& c, std::ostream* os) {
+    *os << c.topology << "-beta" << c.beta;
+  }
+};
+
+Graph build_topology(const std::string& name) {
+  if (name == "path") return make_path(5);
+  if (name == "ring") return make_ring(5);
+  if (name == "star") return make_star(5);
+  if (name == "clique") return make_clique(5);
+  if (name == "tree") return make_binary_tree(5);
+  throw Error("unknown topology " + name);
+}
+
+class CoordinationInvariantTest
+    : public ::testing::TestWithParam<InvariantCase> {};
+
+TEST_P(CoordinationInvariantTest, FullChainInvariantStack) {
+  const InvariantCase c = GetParam();
+  const Graph graph = build_topology(c.topology);
+  GraphicalCoordinationGame game(
+      graph, CoordinationPayoffs::from_deltas(c.delta0, c.delta1));
+  LogitChain chain(game, c.beta);
+  const DenseMatrix p = chain.dense_transition();
+  const std::vector<double> pi = chain.stationary();
+
+  // 1. Stochastic rows.
+  for (size_t r = 0; r < p.rows(); ++r) {
+    double s = 0.0;
+    for (size_t col = 0; col < p.cols(); ++col) s += p(r, col);
+    ASSERT_NEAR(s, 1.0, 1e-12);
+  }
+  // 2. Gibbs invariance and reversibility.
+  std::vector<double> pi_next(pi.size());
+  vec_mat(pi, p, pi_next);
+  for (size_t i = 0; i < pi.size(); ++i) ASSERT_NEAR(pi_next[i], pi[i], 1e-12);
+  ASSERT_TRUE(chain.is_reversible(pi));
+  // 3. Theorem 3.1: non-negative spectrum.
+  const ChainSpectrum spec = chain_spectrum(p, pi);
+  EXPECT_GE(spec.eigenvalues.front(), -1e-9);
+  // 4. Theorem 2.3 sandwich around the exact mixing time.
+  const MixingResult mix = mixing_time_doubling(p, pi, 0.25);
+  ASSERT_TRUE(mix.converged);
+  const double pi_min = *std::min_element(pi.begin(), pi.end());
+  EXPECT_LE(tmix_lower_from_relaxation(spec.relaxation_time()),
+            double(mix.time) + 1e-9);
+  EXPECT_GE(tmix_upper_from_relaxation(spec.relaxation_time(), pi_min),
+            double(mix.time) - 1.0);
+  // 5. Theorem 5.1 cutwidth bound.
+  const double chi = double(cutwidth_exact(graph));
+  EXPECT_LE(double(mix.time),
+            bounds::thm51_tmix_upper(int(graph.num_vertices()), c.beta, chi,
+                                     c.delta0, c.delta1));
+  // 6. Monotone update rule (two strategies, coordination payoffs).
+  EXPECT_TRUE(is_monotone_two_strategy(chain));
+  // 7. Monochromatic profiles are the potential extremes among pure Nash.
+  const std::vector<double> phi = potential_table(game);
+  const double phi_zeros = phi[game.space().index(Profile(5, 0))];
+  const double phi_min = *std::min_element(phi.begin(), phi.end());
+  if (c.delta0 >= c.delta1) {
+    EXPECT_NEAR(phi_zeros, phi_min, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TopologyBetaGrid, CoordinationInvariantTest,
+    ::testing::Values(
+        InvariantCase{"path", 0.3, 1.0, 0.5},
+        InvariantCase{"path", 1.5, 1.0, 0.5},
+        InvariantCase{"ring", 0.3, 1.0, 1.0},
+        InvariantCase{"ring", 1.5, 1.0, 1.0},
+        InvariantCase{"star", 0.7, 2.0, 1.0},
+        InvariantCase{"star", 1.8, 2.0, 1.0},
+        InvariantCase{"clique", 0.3, 1.0, 0.5},
+        InvariantCase{"clique", 1.0, 1.0, 0.5},
+        InvariantCase{"tree", 0.5, 1.5, 1.0},
+        InvariantCase{"tree", 1.2, 1.5, 1.0}));
+
+}  // namespace
+}  // namespace logitdyn

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+#include "rng/rng.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+DenseMatrix random_matrix(size_t rows, size_t cols, Rng& rng) {
+  DenseMatrix m(rows, cols);
+  for (double& v : m.data()) v = rng.uniform() * 2.0 - 1.0;
+  return m;
+}
+
+DenseMatrix naive_matmul(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix out(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      double s = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
+      out(i, j) = s;
+    }
+  }
+  return out;
+}
+
+TEST(DenseMatrixTest, ZeroInitialized) {
+  DenseMatrix m(3, 4);
+  for (double v : m.data()) EXPECT_EQ(v, 0.0);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+}
+
+TEST(DenseMatrixTest, IdentityActsAsMultiplicativeUnit) {
+  Rng rng(3);
+  const DenseMatrix a = random_matrix(5, 5, rng);
+  const DenseMatrix i = DenseMatrix::identity(5);
+  EXPECT_LT(matmul(a, i).max_abs_diff(a), 1e-14);
+  EXPECT_LT(matmul(i, a).max_abs_diff(a), 1e-14);
+}
+
+TEST(DenseMatrixTest, MatmulMatchesNaiveReference) {
+  Rng rng(17);
+  const DenseMatrix a = random_matrix(13, 7, rng);
+  const DenseMatrix b = random_matrix(7, 11, rng);
+  const DenseMatrix fast = matmul(a, b);
+  const DenseMatrix slow = naive_matmul(a, b);
+  EXPECT_LT(fast.max_abs_diff(slow), 1e-12);
+}
+
+TEST(DenseMatrixTest, MatmulLargerSizeStillMatches) {
+  Rng rng(23);
+  const DenseMatrix a = random_matrix(64, 64, rng);
+  const DenseMatrix b = random_matrix(64, 64, rng);
+  EXPECT_LT(matmul(a, b).max_abs_diff(naive_matmul(a, b)), 1e-10);
+}
+
+TEST(DenseMatrixTest, MatmulRejectsBadShapes) {
+  DenseMatrix a(2, 3), b(2, 3), out(2, 3);
+  EXPECT_THROW(matmul(a, b), Error);
+  DenseMatrix c(3, 4);
+  EXPECT_THROW(matmul(a, c, out), Error);  // out shape wrong (2x3 vs 2x4)
+}
+
+TEST(DenseMatrixTest, TransposeRoundTrip) {
+  Rng rng(5);
+  const DenseMatrix a = random_matrix(9, 17, rng);
+  const DenseMatrix att = a.transposed().transposed();
+  EXPECT_LT(att.max_abs_diff(a), 1e-15);
+  EXPECT_EQ(a.transposed().rows(), 17u);
+}
+
+TEST(DenseMatrixTest, TransposeEntries) {
+  DenseMatrix a(2, 3);
+  a(0, 1) = 5.0;
+  a(1, 2) = -2.0;
+  const DenseMatrix t = a.transposed();
+  EXPECT_EQ(t(1, 0), 5.0);
+  EXPECT_EQ(t(2, 1), -2.0);
+}
+
+TEST(DenseMatrixTest, VecMatMatchesManual) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  const std::vector<double> x = {1.0, 10.0};
+  std::vector<double> y(2);
+  vec_mat(x, a, y);
+  EXPECT_DOUBLE_EQ(y[0], 31.0);
+  EXPECT_DOUBLE_EQ(y[1], 42.0);
+}
+
+TEST(DenseMatrixTest, MatVecMatchesManual) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  const std::vector<double> x = {1.0, 10.0};
+  std::vector<double> y(2);
+  mat_vec(a, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 21.0);
+  EXPECT_DOUBLE_EQ(y[1], 43.0);
+}
+
+TEST(DenseMatrixTest, MatrixPowerZeroIsIdentity) {
+  Rng rng(9);
+  const DenseMatrix a = random_matrix(4, 4, rng);
+  EXPECT_LT(matrix_power(a, 0).max_abs_diff(DenseMatrix::identity(4)), 1e-15);
+}
+
+TEST(DenseMatrixTest, MatrixPowerMatchesRepeatedMultiplication) {
+  Rng rng(29);
+  DenseMatrix a = random_matrix(5, 5, rng);
+  // Scale down so powers stay tame.
+  for (double& v : a.data()) v *= 0.3;
+  DenseMatrix expected = DenseMatrix::identity(5);
+  for (int k = 0; k < 7; ++k) expected = matmul(expected, a);
+  EXPECT_LT(matrix_power(a, 7).max_abs_diff(expected), 1e-12);
+}
+
+TEST(DenseMatrixTest, GramIsSymmetricPositive) {
+  Rng rng(41);
+  const DenseMatrix a = random_matrix(6, 4, rng);
+  const DenseMatrix g = gram(a);
+  ASSERT_EQ(g.rows(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_GE(g(i, i), 0.0);
+    for (size_t j = 0; j < 4; ++j) EXPECT_NEAR(g(i, j), g(j, i), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace logitdyn

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/jacobi_eigen.hpp"
+#include "linalg/symmetric_eigen.hpp"
+#include "rng/rng.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+DenseMatrix random_symmetric(size_t n, Rng& rng) {
+  DenseMatrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      a(i, j) = a(j, i) = rng.uniform() * 2.0 - 1.0;
+    }
+  }
+  return a;
+}
+
+TEST(SymmetricEigenTest, DiagonalMatrixEigenvalues) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = -1.0;
+  a(2, 2) = 2.0;
+  const SymmetricEigen eig = symmetric_eigen(a);
+  ASSERT_EQ(eig.values.size(), 3u);
+  EXPECT_NEAR(eig.values[0], -1.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.values[2], 3.0, 1e-12);
+}
+
+TEST(SymmetricEigenTest, TwoByTwoAnalytic) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  DenseMatrix a(2, 2);
+  a(0, 0) = a(1, 1) = 2.0;
+  a(0, 1) = a(1, 0) = 1.0;
+  const SymmetricEigen eig = symmetric_eigen(a);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-12);
+}
+
+TEST(SymmetricEigenTest, TridiagonalToeplitzAnalyticSpectrum) {
+  // Tridiagonal with diagonal a and off-diagonal b has eigenvalues
+  // a + 2b cos(k pi / (n+1)), k = 1..n.
+  const size_t n = 12;
+  const double diag = 2.0, off = -1.0;
+  DenseMatrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    a(i, i) = diag;
+    if (i + 1 < n) a(i, i + 1) = a(i + 1, i) = off;
+  }
+  const SymmetricEigen eig = symmetric_eigen(a);
+  std::vector<double> expected;
+  for (size_t k = 1; k <= n; ++k) {
+    expected.push_back(diag + 2.0 * off *
+                                  std::cos(double(k) * std::numbers::pi /
+                                           double(n + 1)));
+  }
+  std::sort(expected.begin(), expected.end());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(eig.values[i], expected[i], 1e-10) << "eigenvalue " << i;
+  }
+}
+
+TEST(SymmetricEigenTest, ReconstructsMatrixFromEigenpairs) {
+  Rng rng(21);
+  const size_t n = 10;
+  const DenseMatrix a = random_symmetric(n, rng);
+  const SymmetricEigen eig = symmetric_eigen(a);
+  // A = Q Lambda Q^T.
+  DenseMatrix scaled = eig.vectors;
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t i = 0; i < n; ++i) scaled(i, j) *= eig.values[j];
+  }
+  const DenseMatrix rebuilt = matmul(scaled, eig.vectors.transposed());
+  EXPECT_LT(rebuilt.max_abs_diff(a), 1e-10);
+}
+
+TEST(SymmetricEigenTest, EigenvectorsOrthonormal) {
+  Rng rng(33);
+  const size_t n = 9;
+  const DenseMatrix a = random_symmetric(n, rng);
+  const SymmetricEigen eig = symmetric_eigen(a);
+  const DenseMatrix qtq = matmul(eig.vectors.transposed(), eig.vectors);
+  EXPECT_LT(qtq.max_abs_diff(DenseMatrix::identity(n)), 1e-10);
+}
+
+TEST(SymmetricEigenTest, AgreesWithJacobiOnRandomMatrices) {
+  Rng rng(55);
+  for (int trial = 0; trial < 5; ++trial) {
+    const size_t n = 6 + size_t(trial);
+    const DenseMatrix a = random_symmetric(n, rng);
+    const SymmetricEigen ql = symmetric_eigen(a);
+    const std::vector<double> jac = jacobi_eigenvalues(a);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(ql.values[i], jac[i], 1e-8)
+          << "trial " << trial << " eigenvalue " << i;
+    }
+  }
+}
+
+TEST(SymmetricEigenTest, SingleElementMatrix) {
+  DenseMatrix a(1, 1);
+  a(0, 0) = 42.0;
+  const SymmetricEigen eig = symmetric_eigen(a);
+  EXPECT_NEAR(eig.values[0], 42.0, 1e-12);
+  EXPECT_NEAR(eig.vectors(0, 0), 1.0, 1e-12);
+}
+
+TEST(SymmetricEigenTest, RejectsNonSymmetric) {
+  DenseMatrix a(2, 2);
+  a(0, 1) = 1.0;
+  a(1, 0) = 2.0;
+  EXPECT_THROW(symmetric_eigen(a), Error);
+}
+
+TEST(SymmetricEigenTest, RepeatedEigenvaluesHandled) {
+  // Identity * 5: all eigenvalues equal.
+  DenseMatrix a = DenseMatrix::identity(6);
+  for (double& v : a.data()) v *= 5.0;
+  const SymmetricEigen eig = symmetric_eigen(a);
+  for (double v : eig.values) EXPECT_NEAR(v, 5.0, 1e-12);
+}
+
+TEST(SymmetricEigenTest, TraceAndDeterminantInvariants) {
+  Rng rng(77);
+  const size_t n = 8;
+  const DenseMatrix a = random_symmetric(n, rng);
+  const SymmetricEigen eig = symmetric_eigen(a);
+  double trace_a = 0.0, sum_eig = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    trace_a += a(i, i);
+    sum_eig += eig.values[i];
+  }
+  EXPECT_NEAR(trace_a, sum_eig, 1e-10);
+}
+
+TEST(JacobiTest, DiagonalAlreadyConverged) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 1;
+  a(1, 1) = 2;
+  a(2, 2) = 3;
+  const std::vector<double> vals = jacobi_eigenvalues(a);
+  EXPECT_NEAR(vals[0], 1.0, 1e-12);
+  EXPECT_NEAR(vals[2], 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace logitdyn

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/lu_solver.hpp"
+#include "linalg/power_iteration.hpp"
+#include "linalg/sparse_matrix.hpp"
+#include "rng/rng.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+TEST(LuSolverTest, SolvesKnownSystem) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  LuFactorization lu(a);
+  const std::vector<double> x = lu.solve(std::vector<double>{5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuSolverTest, SolveResidualSmallOnRandomSystems) {
+  Rng rng(3);
+  const size_t n = 20;
+  DenseMatrix a(n, n);
+  for (double& v : a.data()) v = rng.uniform() * 2 - 1;
+  for (size_t i = 0; i < n; ++i) a(i, i) += 3.0;  // well-conditioned
+  std::vector<double> b(n);
+  for (double& v : b) v = rng.uniform();
+  LuFactorization lu(a);
+  const std::vector<double> x = lu.solve(b);
+  std::vector<double> ax(n);
+  mat_vec(a, x, ax);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-10);
+}
+
+TEST(LuSolverTest, DeterminantOfKnownMatrix) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 3;
+  a(0, 1) = 1;
+  a(1, 0) = 4;
+  a(1, 1) = 2;
+  LuFactorization lu(a);
+  EXPECT_NEAR(lu.determinant(), 2.0, 1e-12);
+}
+
+TEST(LuSolverTest, PivotingHandlesZeroLeadingEntry) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  LuFactorization lu(a);
+  const std::vector<double> x = lu.solve(std::vector<double>{2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LuSolverTest, RejectsSingularMatrix) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(LuFactorization{a}, Error);
+}
+
+TEST(StationaryDirectTest, TwoStateChainAnalytic) {
+  // P = [[1-p, p], [q, 1-q]] has pi = (q, p)/(p+q).
+  const double p = 0.3, q = 0.1;
+  DenseMatrix t(2, 2);
+  t(0, 0) = 1 - p;
+  t(0, 1) = p;
+  t(1, 0) = q;
+  t(1, 1) = 1 - q;
+  const std::vector<double> pi = stationary_direct(t);
+  EXPECT_NEAR(pi[0], q / (p + q), 1e-12);
+  EXPECT_NEAR(pi[1], p / (p + q), 1e-12);
+}
+
+TEST(StationaryDirectTest, InvarianceOnRandomChain) {
+  Rng rng(5);
+  const size_t n = 12;
+  DenseMatrix t(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      t(i, j) = rng.uniform() + 0.01;
+      s += t(i, j);
+    }
+    for (size_t j = 0; j < n; ++j) t(i, j) /= s;
+  }
+  const std::vector<double> pi = stationary_direct(t);
+  std::vector<double> pi_next(n);
+  vec_mat(pi, t, pi_next);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(pi_next[i], pi[i], 1e-12);
+  double sum = 0.0;
+  for (double v : pi) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(PowerIterationTest, MatchesDirectSolveOnRandomChain) {
+  Rng rng(9);
+  const size_t n = 10;
+  DenseMatrix t(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      t(i, j) = rng.uniform() + 0.05;
+      s += t(i, j);
+    }
+    for (size_t j = 0; j < n; ++j) t(i, j) /= s;
+  }
+  const std::vector<double> direct = stationary_direct(t);
+  const PowerIterationResult pow =
+      stationary_power(CsrMatrix::from_dense(t), 1e-14, 100000);
+  ASSERT_TRUE(pow.converged);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(pow.distribution[i], direct[i], 1e-9);
+  }
+}
+
+TEST(PowerIterationTest, ReportsNonConvergenceOnPeriodicChain) {
+  // The 2-cycle is periodic: power iteration from a non-uniform start
+  // oscillates forever.
+  DenseMatrix t(2, 2);
+  t(0, 1) = 1.0;
+  t(1, 0) = 1.0;
+  const std::vector<double> start = {1.0, 0.0};
+  const PowerIterationResult r =
+      stationary_power(CsrMatrix::from_dense(t), 1e-15, 100, start);
+  EXPECT_FALSE(r.converged);
+}
+
+}  // namespace
+}  // namespace logitdyn

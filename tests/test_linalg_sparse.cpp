@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/sparse_matrix.hpp"
+#include "rng/rng.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+TEST(CsrMatrixTest, AssemblyMergesDuplicates) {
+  std::vector<Triplet> trips = {{0, 1, 2.0}, {0, 1, 3.0}, {1, 0, 1.0}};
+  CsrMatrix m(2, 2, std::move(trips));
+  EXPECT_EQ(m.nnz(), 2u);
+  const DenseMatrix d = m.to_dense();
+  EXPECT_DOUBLE_EQ(d(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+}
+
+TEST(CsrMatrixTest, AssemblyDropsExactZeros) {
+  std::vector<Triplet> trips = {{0, 0, 1.0}, {0, 1, -1.0}, {0, 1, 1.0}};
+  CsrMatrix m(1, 2, std::move(trips));
+  EXPECT_EQ(m.nnz(), 1u);
+}
+
+TEST(CsrMatrixTest, RejectsOutOfRangeTriplets) {
+  std::vector<Triplet> trips = {{2, 0, 1.0}};
+  EXPECT_THROW(CsrMatrix(2, 2, std::move(trips)), Error);
+}
+
+TEST(CsrMatrixTest, DenseRoundTrip) {
+  Rng rng(7);
+  DenseMatrix d(6, 5);
+  for (double& v : d.data()) {
+    v = rng.uniform() < 0.3 ? rng.uniform() * 10 - 5 : 0.0;
+  }
+  const CsrMatrix sparse = CsrMatrix::from_dense(d);
+  EXPECT_LT(sparse.to_dense().max_abs_diff(d), 1e-15);
+}
+
+TEST(CsrMatrixTest, LeftMultiplyMatchesDense) {
+  Rng rng(11);
+  DenseMatrix d(8, 8);
+  for (double& v : d.data()) {
+    v = rng.uniform() < 0.4 ? rng.uniform() : 0.0;
+  }
+  const CsrMatrix sparse = CsrMatrix::from_dense(d);
+  std::vector<double> x(8), y_sparse(8), y_dense(8);
+  for (double& v : x) v = rng.uniform();
+  sparse.left_multiply(x, y_sparse);
+  vec_mat(x, d, y_dense);
+  for (size_t i = 0; i < 8; ++i) EXPECT_NEAR(y_sparse[i], y_dense[i], 1e-13);
+}
+
+TEST(CsrMatrixTest, RightMultiplyMatchesDense) {
+  Rng rng(13);
+  DenseMatrix d(7, 7);
+  for (double& v : d.data()) {
+    v = rng.uniform() < 0.5 ? rng.uniform() - 0.5 : 0.0;
+  }
+  const CsrMatrix sparse = CsrMatrix::from_dense(d);
+  std::vector<double> x(7), y_sparse(7), y_dense(7);
+  for (double& v : x) v = rng.uniform();
+  sparse.right_multiply(x, y_sparse);
+  mat_vec(d, x, y_dense);
+  for (size_t i = 0; i < 7; ++i) EXPECT_NEAR(y_sparse[i], y_dense[i], 1e-13);
+}
+
+TEST(CsrMatrixTest, RowSums) {
+  std::vector<Triplet> trips = {{0, 0, 0.5}, {0, 1, 0.5}, {1, 1, 1.0}};
+  CsrMatrix m(2, 2, std::move(trips));
+  const std::vector<double> sums = m.row_sums();
+  EXPECT_DOUBLE_EQ(sums[0], 1.0);
+  EXPECT_DOUBLE_EQ(sums[1], 1.0);
+}
+
+TEST(CsrMatrixTest, SizeMismatchChecks) {
+  CsrMatrix m(2, 3, {{0, 0, 1.0}});
+  std::vector<double> x2(2), x3(3), y2(2), y3(3);
+  EXPECT_THROW(m.left_multiply(x3, y3), Error);   // x must have 2 entries
+  EXPECT_THROW(m.right_multiply(x2, y2), Error);  // x must have 3 entries
+  EXPECT_NO_THROW(m.left_multiply(x2, y3));
+  EXPECT_NO_THROW(m.right_multiply(x3, y2));
+}
+
+}  // namespace
+}  // namespace logitdyn

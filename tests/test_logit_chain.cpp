@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/chain.hpp"
+#include "core/gibbs.hpp"
+#include "core/logit.hpp"
+#include "games/coordination.hpp"
+#include "games/graphical_coordination.hpp"
+#include "games/plateau.hpp"
+#include "games/random_potential.hpp"
+#include "graph/builders.hpp"
+#include "linalg/power_iteration.hpp"
+#include "rng/rng.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+TEST(LogitUpdateTest, ZeroBetaIsUniform) {
+  CoordinationGame game(CoordinationPayoffs::from_deltas(2.0, 1.0));
+  const std::vector<double> sigma =
+      logit_update_distribution(game, 0.0, 0, {0, 0});
+  EXPECT_NEAR(sigma[0], 0.5, 1e-12);
+  EXPECT_NEAR(sigma[1], 0.5, 1e-12);
+}
+
+TEST(LogitUpdateTest, MatchesPaperEq2ByHand) {
+  // Player 0 against opponent playing 0: u(0)=a=2, u(1)=d=0 =>
+  // sigma(0) = e^{2b} / (e^{2b} + 1).
+  CoordinationGame game(CoordinationPayoffs::from_deltas(2.0, 1.0));
+  const double beta = 0.7;
+  const std::vector<double> sigma =
+      logit_update_distribution(game, beta, 0, {1, 0});
+  const double expect0 = std::exp(2.0 * beta) / (std::exp(2.0 * beta) + 1.0);
+  EXPECT_NEAR(sigma[0], expect0, 1e-12);
+  EXPECT_NEAR(sigma[0] + sigma[1], 1.0, 1e-12);
+}
+
+TEST(LogitUpdateTest, LargeBetaConcentratesOnBestResponse) {
+  CoordinationGame game(CoordinationPayoffs::from_deltas(2.0, 1.0));
+  const std::vector<double> sigma =
+      logit_update_distribution(game, 500.0, 0, {1, 0});
+  EXPECT_GT(sigma[0], 1.0 - 1e-12);  // best response to 0 is 0
+}
+
+TEST(LogitUpdateTest, ScratchProfileRestored) {
+  CoordinationGame game(CoordinationPayoffs::from_deltas(2.0, 1.0));
+  Profile x = {1, 0};
+  std::vector<double> out(2);
+  logit_update_distribution(game, 1.0, 0, x, out);
+  EXPECT_EQ(x[0], 1);
+  EXPECT_EQ(x[1], 0);
+}
+
+TEST(LogitUpdateTest, RejectsNegativeBeta) {
+  CoordinationGame game(CoordinationPayoffs::from_deltas(2.0, 1.0));
+  Profile x = {0, 0};
+  std::vector<double> out(2);
+  EXPECT_THROW(logit_update_distribution(game, -1.0, 0, x, out), Error);
+}
+
+TEST(LogitChainTest, RowsAreStochastic) {
+  PlateauGame game(5, 2.0, 1.0);
+  LogitChain chain(game, 1.3);
+  const DenseMatrix p = chain.dense_transition();
+  for (size_t r = 0; r < p.rows(); ++r) {
+    double s = 0.0;
+    for (size_t c = 0; c < p.cols(); ++c) {
+      EXPECT_GE(p(r, c), 0.0);
+      s += p(r, c);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-12) << "row " << r;
+  }
+}
+
+TEST(LogitChainTest, CsrAndDenseAgree) {
+  GraphicalCoordinationGame game(make_ring(4),
+                                 CoordinationPayoffs::from_deltas(2.0, 1.0));
+  LogitChain chain(game, 0.8);
+  const DenseMatrix dense = chain.dense_transition();
+  const DenseMatrix from_csr = chain.csr_transition().to_dense();
+  EXPECT_LT(dense.max_abs_diff(from_csr), 1e-14);
+}
+
+TEST(LogitChainTest, OffDiagonalStructureIsSingleSite) {
+  PlateauGame game(4, 2.0, 1.0);
+  LogitChain chain(game, 1.0);
+  const DenseMatrix p = chain.dense_transition();
+  const ProfileSpace& sp = game.space();
+  for (size_t x = 0; x < p.rows(); ++x) {
+    for (size_t y = 0; y < p.cols(); ++y) {
+      if (x == y) continue;
+      if (sp.hamming_distance(x, y) != 1) {
+        EXPECT_EQ(p(x, y), 0.0) << x << "->" << y;
+      } else {
+        EXPECT_GT(p(x, y), 0.0);  // ergodic: all single-site moves possible
+      }
+    }
+  }
+}
+
+TEST(LogitChainTest, StationaryIsGibbsForPotentialGames) {
+  PlateauGame game(5, 2.0, 1.0);
+  const double beta = 1.7;
+  LogitChain chain(game, beta);
+  const std::vector<double> pi = chain.stationary();
+  const GibbsMeasure gibbs = gibbs_measure(game, beta);
+  ASSERT_EQ(pi.size(), gibbs.probabilities.size());
+  for (size_t i = 0; i < pi.size(); ++i) {
+    EXPECT_NEAR(pi[i], gibbs.probabilities[i], 1e-12);
+  }
+}
+
+TEST(LogitChainTest, GibbsIsInvariantUnderTransition) {
+  GraphicalCoordinationGame game(make_star(4),
+                                 CoordinationPayoffs::from_deltas(2.0, 1.0));
+  LogitChain chain(game, 1.1);
+  const std::vector<double> pi = chain.stationary();
+  const DenseMatrix p = chain.dense_transition();
+  std::vector<double> pi_next(pi.size());
+  vec_mat(pi, p, pi_next);
+  for (size_t i = 0; i < pi.size(); ++i) {
+    EXPECT_NEAR(pi_next[i], pi[i], 1e-12);
+  }
+}
+
+TEST(LogitChainTest, ReversibleForPotentialGames) {
+  Rng rng(3);
+  const TablePotentialGame game =
+      make_random_potential_game(ProfileSpace(3, 3), 2.0, rng);
+  LogitChain chain(game, 0.9);
+  EXPECT_TRUE(chain.is_reversible(chain.stationary()));
+}
+
+TEST(LogitChainTest, GeneralGameStationaryViaLuMatchesPowerIteration) {
+  Rng rng(11);
+  const TableGame game = make_random_game(ProfileSpace(2, 3), 1.0, rng);
+  LogitChain chain(game, 1.2);
+  const std::vector<double> direct = chain.stationary();
+  const PowerIterationResult pow =
+      stationary_power(chain.csr_transition(), 1e-13, 1000000);
+  ASSERT_TRUE(pow.converged);
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct[i], pow.distribution[i], 1e-8);
+  }
+}
+
+TEST(LogitChainTest, ZeroBetaStationaryIsUniform) {
+  PlateauGame game(4, 2.0, 1.0);
+  LogitChain chain(game, 0.0);
+  const std::vector<double> pi = chain.stationary();
+  for (double v : pi) EXPECT_NEAR(v, 1.0 / double(pi.size()), 1e-12);
+}
+
+TEST(LogitChainTest, LargeBetaConcentratesOnPotentialMinima) {
+  // Plateau game: minima are the all-zeros profile AND the high-weight cap
+  // (all weights >= 2c have Phi = -g). Check 0 gets the single largest mass.
+  GraphicalCoordinationGame game(make_clique(4),
+                                 CoordinationPayoffs::from_deltas(3.0, 1.0));
+  LogitChain chain(game, 20.0);
+  const std::vector<double> pi = chain.stationary();
+  // Risk-dominant all-zeros profile dominates.
+  EXPECT_GT(pi[0], 0.99);
+}
+
+TEST(LogitChainTest, StepSamplesFromTransitionRow) {
+  CoordinationGame game(CoordinationPayoffs::from_deltas(2.0, 1.0));
+  LogitChain chain(game, 1.0);
+  const DenseMatrix p = chain.dense_transition();
+  const ProfileSpace& sp = game.space();
+  const size_t start = sp.index({0, 1});
+  Rng rng(17);
+  std::vector<int> counts(sp.num_profiles(), 0);
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    counts[chain.step_index(start, rng)] += 1;
+  }
+  for (size_t y = 0; y < sp.num_profiles(); ++y) {
+    EXPECT_NEAR(counts[y] / double(trials), p(start, y), 0.01)
+        << "target state " << y;
+  }
+}
+
+TEST(LogitChainTest, StationaryWithPotentialHint) {
+  PlateauGame game(4, 2.0, 1.0);
+  LogitChain chain(game, 1.5);
+  const std::vector<double> phi = potential_table(game);
+  const std::vector<double> with_hint = chain.stationary(phi);
+  const std::vector<double> without = chain.stationary();
+  for (size_t i = 0; i < with_hint.size(); ++i) {
+    EXPECT_NEAR(with_hint[i], without[i], 1e-14);
+  }
+}
+
+}  // namespace
+}  // namespace logitdyn

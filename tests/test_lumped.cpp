@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/tv.hpp"
+#include "core/chain.hpp"
+#include "core/gibbs.hpp"
+#include "core/lumped.hpp"
+#include "games/dominant.hpp"
+#include "games/graphical_coordination.hpp"
+#include "games/plateau.hpp"
+#include "graph/builders.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace logitdyn {
+namespace {
+
+std::vector<uint32_t> weight_blocks(const ProfileSpace& sp) {
+  std::vector<uint32_t> blocks(sp.num_profiles());
+  for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
+    blocks[idx] = uint32_t(sp.count_playing(idx, 1));
+  }
+  return blocks;
+}
+
+TEST(BirthDeathTest, TransitionRowsStochastic) {
+  BirthDeathChain bd({0.5, 0.25, 0.0}, {0.0, 0.25, 0.5});
+  const DenseMatrix p = bd.transition();
+  for (size_t r = 0; r < 3; ++r) {
+    double s = 0.0;
+    for (size_t c = 0; c < 3; ++c) s += p(r, c);
+    EXPECT_NEAR(s, 1.0, 1e-14);
+  }
+  EXPECT_DOUBLE_EQ(p(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(p(1, 0), 0.25);
+}
+
+TEST(BirthDeathTest, StationarySatisfiesDetailedBalance) {
+  BirthDeathChain bd({0.3, 0.2, 0.1, 0.0}, {0.0, 0.15, 0.25, 0.35});
+  const std::vector<double> pi = bd.stationary();
+  double sum = 0.0;
+  for (double v : pi) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  for (int k = 0; k + 1 < 4; ++k) {
+    EXPECT_NEAR(pi[size_t(k)] * bd.up(k), pi[size_t(k) + 1] * bd.down(k + 1),
+                1e-12);
+  }
+}
+
+TEST(BirthDeathTest, RejectsInvalidRates) {
+  EXPECT_THROW(BirthDeathChain({0.5, 0.1}, {0.0, 0.0}), Error);  // up[n] != 0
+  EXPECT_THROW(BirthDeathChain({0.5, 0.0}, {0.1, 0.0}), Error);  // down[0] != 0
+  EXPECT_THROW(BirthDeathChain({0.9, 0.0}, {0.0, 1.5}), Error);  // rate > 1
+}
+
+TEST(WeightChainTest, CliqueGameIsExactlyLumpable) {
+  // Full chain on the clique coordination game, lumped by Hamming weight,
+  // must equal the analytic birth-death chain.
+  const int n = 6;
+  const double delta0 = 2.0, delta1 = 1.0, beta = 1.3;
+  GraphicalCoordinationGame game(
+      make_clique(uint32_t(n)), CoordinationPayoffs::from_deltas(delta0, delta1));
+  LogitChain chain(game, beta);
+  const DenseMatrix full = chain.dense_transition();
+  const auto blocks = weight_blocks(game.space());
+  const auto lumped = lump_transition(full, blocks, uint32_t(n) + 1, 1e-10);
+  ASSERT_TRUE(lumped.has_value()) << "clique chain must be weight-lumpable";
+
+  const BirthDeathChain bd = BirthDeathChain::weight_chain(
+      n, beta, clique_weight_potential(n, delta0, delta1));
+  EXPECT_LT(lumped->max_abs_diff(bd.transition()), 1e-10);
+}
+
+TEST(WeightChainTest, PlateauGameIsExactlyLumpable) {
+  const int n = 6;
+  const double beta = 2.0;
+  PlateauGame game(n, 3.0, 1.0);
+  LogitChain chain(game, beta);
+  const auto blocks = weight_blocks(game.space());
+  const auto lumped =
+      lump_transition(chain.dense_transition(), blocks, uint32_t(n) + 1);
+  ASSERT_TRUE(lumped.has_value());
+  std::vector<double> phi(size_t(n) + 1);
+  for (int k = 0; k <= n; ++k) phi[size_t(k)] = game.potential_of_weight(k);
+  const BirthDeathChain bd = BirthDeathChain::weight_chain(n, beta, phi);
+  EXPECT_LT(lumped->max_abs_diff(bd.transition()), 1e-10);
+}
+
+TEST(WeightChainTest, RingGameIsNotWeightLumpable) {
+  // On the ring the flip probability depends on *which* neighbours play 1,
+  // not just how many players do: lumping must fail.
+  GraphicalCoordinationGame game(make_ring(5),
+                                 CoordinationPayoffs::from_deltas(1.0, 1.0));
+  LogitChain chain(game, 1.5);
+  const auto blocks = weight_blocks(game.space());
+  EXPECT_FALSE(
+      lump_transition(chain.dense_transition(), blocks, 6, 1e-10).has_value());
+}
+
+TEST(WeightChainTest, StationaryIsProjectedGibbs) {
+  const int n = 8;
+  const double beta = 1.1;
+  const std::vector<double> phi = clique_weight_potential(n, 2.0, 1.5);
+  const BirthDeathChain bd = BirthDeathChain::weight_chain(n, beta, phi);
+  const std::vector<double> pi = bd.stationary();
+  // Analytic: pi(k) ~ C(n,k) e^{-beta phi(k)}.
+  std::vector<double> logw(size_t(n) + 1);
+  for (int k = 0; k <= n; ++k) {
+    logw[size_t(k)] = log_binomial(n, k) - beta * phi[size_t(k)];
+  }
+  const double lse = log_sum_exp(logw);
+  for (int k = 0; k <= n; ++k) {
+    EXPECT_NEAR(pi[size_t(k)], std::exp(logw[size_t(k)] - lse), 1e-12)
+        << "weight " << k;
+  }
+}
+
+TEST(WeightChainTest, ProjectedFullGibbsMatchesLumpedStationary) {
+  const int n = 6;
+  const double beta = 0.9;
+  PlateauGame game(n, 3.0, 1.0);
+  LogitChain chain(game, beta);
+  const auto blocks = weight_blocks(game.space());
+  const std::vector<double> projected =
+      project_distribution(chain.stationary(), blocks, uint32_t(n) + 1);
+  std::vector<double> phi(size_t(n) + 1);
+  for (int k = 0; k <= n; ++k) phi[size_t(k)] = game.potential_of_weight(k);
+  const std::vector<double> lumped_pi =
+      BirthDeathChain::weight_chain(n, beta, phi).stationary();
+  for (int k = 0; k <= n; ++k) {
+    EXPECT_NEAR(projected[size_t(k)], lumped_pi[size_t(k)], 1e-12);
+  }
+}
+
+TEST(AllOrNothingChainTest, MatchesFullChainLumping) {
+  const int n = 4;
+  const int32_t m = 3;
+  const double beta = 1.7;
+  AllOrNothingGame game(n, m);
+  LogitChain chain(game, beta);
+  // Blocks: number of players playing a nonzero strategy.
+  const ProfileSpace& sp = game.space();
+  std::vector<uint32_t> blocks(sp.num_profiles());
+  for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
+    blocks[idx] = uint32_t(n - sp.count_playing(idx, 0));
+  }
+  const auto lumped =
+      lump_transition(chain.dense_transition(), blocks, uint32_t(n) + 1, 1e-10);
+  ASSERT_TRUE(lumped.has_value());
+  const BirthDeathChain bd =
+      BirthDeathChain::all_or_nothing_chain(n, m, beta);
+  EXPECT_LT(lumped->max_abs_diff(bd.transition()), 1e-10);
+}
+
+TEST(CliqueBarrierTest, BarrierWeightFormula) {
+  // Paper Sect. 5.2: k* is the integer closest to (n-1) d0/(d0+d1) + 1/2.
+  const int n = 10;
+  const double d0 = 2.0, d1 = 1.0;
+  const int k_star = clique_barrier_weight(n, d0, d1);
+  const double predicted = (n - 1) * d0 / (d0 + d1) + 0.5;
+  EXPECT_NEAR(double(k_star), predicted, 1.0);
+  // Potential is unimodal-up from both ends towards k*.
+  const std::vector<double> phi = clique_weight_potential(n, d0, d1);
+  for (int k = 0; k < k_star; ++k) EXPECT_LT(phi[size_t(k)], phi[size_t(k) + 1] + 1e-12);
+  for (int k = k_star; k < n; ++k) EXPECT_GT(phi[size_t(k)] + 1e-12, phi[size_t(k) + 1]);
+}
+
+TEST(ProjectDistributionTest, MassConservation) {
+  const std::vector<double> dist = {0.1, 0.2, 0.3, 0.4};
+  const std::vector<uint32_t> blocks = {0, 1, 0, 1};
+  const std::vector<double> proj = project_distribution(dist, blocks, 2);
+  EXPECT_NEAR(proj[0], 0.4, 1e-12);
+  EXPECT_NEAR(proj[1], 0.6, 1e-12);
+}
+
+TEST(LumpTransitionTest, RejectsBadLabels) {
+  DenseMatrix p = DenseMatrix::identity(3);
+  std::vector<uint32_t> blocks = {0, 1, 5};
+  EXPECT_THROW(lump_transition(p, blocks, 2), Error);
+}
+
+}  // namespace
+}  // namespace logitdyn

@@ -1,0 +1,127 @@
+// Integration tests for games with *heterogeneous* strategy counts —
+// every per-player |S_i| path in the library exercised end to end.
+#include <gtest/gtest.h>
+
+#include "analysis/mixing.hpp"
+#include "analysis/potential_stats.hpp"
+#include "analysis/spectral.hpp"
+#include "analysis/zeta.hpp"
+#include "core/chain.hpp"
+#include "core/coupling.hpp"
+#include "core/gibbs.hpp"
+#include "games/random_potential.hpp"
+#include "games/table_game.hpp"
+#include "rng/rng.hpp"
+
+namespace logitdyn {
+namespace {
+
+ProfileSpace mixed_space() { return ProfileSpace(std::vector<int32_t>{2, 4, 3}); }
+
+TEST(MixedSizesTest, ChainRowsStochasticAndSingleSite) {
+  Rng rng(3);
+  const TablePotentialGame game =
+      make_random_potential_game(mixed_space(), 2.0, rng);
+  LogitChain chain(game, 1.1);
+  const DenseMatrix p = chain.dense_transition();
+  const ProfileSpace& sp = game.space();
+  for (size_t r = 0; r < p.rows(); ++r) {
+    double s = 0.0;
+    for (size_t c = 0; c < p.cols(); ++c) {
+      s += p(r, c);
+      if (r != c && p(r, c) > 0) {
+        EXPECT_EQ(sp.hamming_distance(r, c), 1);
+      }
+    }
+    EXPECT_NEAR(s, 1.0, 1e-12);
+  }
+}
+
+TEST(MixedSizesTest, StationaryIsGibbsAndReversible) {
+  Rng rng(7);
+  const TablePotentialGame game =
+      make_random_potential_game(mixed_space(), 1.5, rng);
+  LogitChain chain(game, 0.8);
+  const std::vector<double> pi = chain.stationary();
+  EXPECT_TRUE(chain.is_reversible(pi));
+  const GibbsMeasure gibbs = gibbs_measure(game, 0.8);
+  for (size_t i = 0; i < pi.size(); ++i) {
+    EXPECT_NEAR(pi[i], gibbs.probabilities[i], 1e-13);
+  }
+}
+
+TEST(MixedSizesTest, SpectrumNonNegativeAndMixingMethodsAgree) {
+  Rng rng(11);
+  const TablePotentialGame game =
+      make_random_potential_game(mixed_space(), 1.0, rng);
+  LogitChain chain(game, 1.3);
+  const DenseMatrix p = chain.dense_transition();
+  const std::vector<double> pi = chain.stationary();
+  const ChainSpectrum s = chain_spectrum(p, pi);
+  EXPECT_GE(s.eigenvalues.front(), -1e-9);  // Theorem 3.1, mixed sizes
+  const MixingResult a = mixing_time_doubling(p, pi, 0.25);
+  const MixingResult b = mixing_time_spectral(SpectralEvaluator(p, pi), 0.25);
+  ASSERT_TRUE(a.converged && b.converged);
+  EXPECT_EQ(a.time, b.time);
+}
+
+TEST(MixedSizesTest, CouplingMarginalsStillExact) {
+  Rng rng(13);
+  const TablePotentialGame game =
+      make_random_potential_game(mixed_space(), 1.0, rng);
+  LogitChain chain(game, 0.9);
+  const ProfileSpace& sp = game.space();
+  const DenseMatrix p = chain.dense_transition();
+  const Profile x0 = {0, 3, 1}, y0 = {1, 0, 2};
+  Rng sim(17);
+  std::vector<int> cx(sp.num_profiles(), 0);
+  const int trials = 150000;
+  for (int i = 0; i < trials; ++i) {
+    Profile x = x0, y = y0;
+    coupled_step(chain, x, y, sim);
+    cx[sp.index(x)] += 1;
+  }
+  const size_t ix = sp.index(x0);
+  for (size_t s = 0; s < sp.num_profiles(); ++s) {
+    EXPECT_NEAR(cx[s] / double(trials), p(ix, s), 0.012) << "state " << s;
+  }
+}
+
+TEST(MixedSizesTest, ZetaUnionFindMatchesBruteForce) {
+  Rng rng(19);
+  const ProfileSpace sp = mixed_space();
+  std::vector<double> phi(sp.num_profiles());
+  for (double& v : phi) v = rng.uniform() * 3.0;
+  EXPECT_NEAR(max_potential_climb(sp, phi),
+              max_potential_climb_brute_force(sp, phi), 1e-12);
+}
+
+TEST(MixedSizesTest, PotentialStatsHandleMixedRadix) {
+  const ProfileSpace sp = mixed_space();
+  std::vector<double> phi(sp.num_profiles());
+  for (size_t idx = 0; idx < phi.size(); ++idx) {
+    phi[idx] = double(sp.strategy_of(idx, 1));  // depends on player 1 only
+  }
+  const PotentialStats stats = potential_stats(sp, phi);
+  EXPECT_DOUBLE_EQ(stats.global_variation, 3.0);
+  EXPECT_DOUBLE_EQ(stats.local_variation, 3.0);  // 0 <-> 3 in one move
+}
+
+TEST(MixedSizesTest, SimulationStepRespectsPerPlayerRanges) {
+  Rng rng(23);
+  const TablePotentialGame game =
+      make_random_potential_game(mixed_space(), 1.0, rng);
+  LogitChain chain(game, 2.0);
+  Profile x = {0, 0, 0};
+  Rng sim(29);
+  for (int t = 0; t < 2000; ++t) {
+    chain.step(x, sim);
+    ASSERT_GE(x[0], 0);
+    ASSERT_LT(x[0], 2);
+    ASSERT_LT(x[1], 4);
+    ASSERT_LT(x[2], 3);
+  }
+}
+
+}  // namespace
+}  // namespace logitdyn

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "analysis/observables.hpp"
+#include "core/chain.hpp"
+#include "games/congestion.hpp"
+#include "games/coordination.hpp"
+#include "games/plateau.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+TEST(ObservablesTest, ExpectedObservableOnPointMass) {
+  const ProfileSpace sp(3, 2);
+  std::vector<double> dist(sp.num_profiles(), 0.0);
+  const size_t idx = sp.index({1, 0, 1});
+  dist[idx] = 1.0;
+  const double v = expected_observable(sp, dist, [](const Profile& x) {
+    return double(x[0] + x[1] + x[2]);
+  });
+  EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(ObservablesTest, LinearityInDistribution) {
+  const ProfileSpace sp(2, 2);
+  std::vector<double> dist = {0.1, 0.2, 0.3, 0.4};
+  auto f = [](const Profile& x) { return 3.0 * x[0] - 2.0 * x[1]; };
+  double manual = 0.0;
+  for (size_t idx = 0; idx < 4; ++idx) {
+    manual += dist[idx] * f(sp.decode(idx));
+  }
+  EXPECT_NEAR(expected_observable(sp, dist, f), manual, 1e-12);
+}
+
+TEST(ObservablesTest, SocialWelfareSumsUtilities) {
+  CoordinationGame game(CoordinationPayoffs::from_deltas(3.0, 1.0));
+  EXPECT_DOUBLE_EQ(social_welfare(game, {0, 0}), 6.0);  // a + a
+  EXPECT_DOUBLE_EQ(social_welfare(game, {1, 1}), 2.0);  // b + b
+  EXPECT_DOUBLE_EQ(social_welfare(game, {0, 1}), 0.0);  // c + d
+}
+
+TEST(ObservablesTest, StationaryWelfareImprovesWithBeta) {
+  // The SAGT'10 companion-quantity sanity check: stationary expected
+  // welfare of a congestion game increases (cost decreases) with beta.
+  const CongestionGame game =
+      make_parallel_links_game(4, {1.0, 2.0}, {0.0, 0.0});
+  double prev = -1e100;
+  for (double beta : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    LogitChain chain(game, beta);
+    const double welfare =
+        expected_social_welfare(game, chain.stationary());
+    EXPECT_GE(welfare, prev - 1e-9) << "beta " << beta;
+    prev = welfare;
+  }
+}
+
+TEST(ObservablesTest, UniformDistributionWelfareMatchesAverage) {
+  PlateauGame game(4, 2.0, 1.0);
+  LogitChain chain(game, 0.0);
+  const std::vector<double> pi = chain.stationary();  // uniform
+  double avg = 0.0;
+  const ProfileSpace& sp = game.space();
+  for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
+    avg += social_welfare(game, sp.decode(idx));
+  }
+  avg /= double(sp.num_profiles());
+  EXPECT_NEAR(expected_social_welfare(game, pi), avg, 1e-12);
+}
+
+TEST(ObservablesTest, RejectsSizeMismatch) {
+  const ProfileSpace sp(2, 2);
+  const std::vector<double> wrong(3, 1.0 / 3.0);
+  EXPECT_THROW(
+      expected_observable(sp, wrong, [](const Profile&) { return 0.0; }),
+      Error);
+}
+
+}  // namespace
+}  // namespace logitdyn

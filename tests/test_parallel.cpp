@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace logitdyn {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ReportsThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(pool, 0, n, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  bool touched = false;
+  parallel_for(pool, 5, 5, [&](size_t) { touched = true; });
+  parallel_for(pool, 7, 3, [&](size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelForTest, SumMatchesSequential) {
+  ThreadPool pool(4);
+  const size_t n = 5000;
+  std::vector<double> out(n, 0.0);
+  parallel_for(pool, 0, n, [&](size_t i) { out[i] = double(i) * 0.5; });
+  const double total = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, 0.5 * double(n) * double(n - 1) / 2.0);
+}
+
+TEST(ParallelForTest, GlobalPoolOverloadWorks) {
+  std::vector<int> out(64, 0);
+  parallel_for(0, out.size(), [&](size_t i) { out[i] = int(i); });
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], int(i));
+}
+
+TEST(ParallelForTest, RespectsMinBlockByStillCoveringRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(pool, 0, hits.size(), [&](size_t i) { hits[i].fetch_add(1); },
+               /*min_block=*/37);
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+}  // namespace
+}  // namespace logitdyn

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/mixing.hpp"
+#include "analysis/spectral.hpp"
+#include "analysis/tv.hpp"
+#include "core/chain.hpp"
+#include "core/parallel_dynamics.hpp"
+#include "games/coordination.hpp"
+#include "games/plateau.hpp"
+#include "games/random_potential.hpp"
+#include "linalg/jacobi_eigen.hpp"
+#include "rng/rng.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+TEST(ParallelDynamicsTest, RowsAreStochastic) {
+  PlateauGame game(4, 2.0, 1.0);
+  ParallelLogitChain chain(game, 1.3);
+  const DenseMatrix p = chain.dense_transition();
+  for (size_t r = 0; r < p.rows(); ++r) {
+    double s = 0.0;
+    for (size_t c = 0; c < p.cols(); ++c) {
+      EXPECT_GE(p(r, c), 0.0);
+      s += p(r, c);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-12);
+  }
+}
+
+TEST(ParallelDynamicsTest, SinglePlayerEqualsSequentialChain) {
+  // With one player the synchronous and asynchronous chains coincide.
+  Rng rng(3);
+  const TablePotentialGame game =
+      make_random_potential_game(ProfileSpace(1, 4), 2.0, rng);
+  LogitChain seq(game, 1.1);
+  ParallelLogitChain par(game, 1.1);
+  EXPECT_LT(par.dense_transition().max_abs_diff(seq.dense_transition()),
+            1e-14);
+}
+
+TEST(ParallelDynamicsTest, ZeroBetaIsProductOfUniforms) {
+  PlateauGame game(3, 1.0, 1.0);
+  ParallelLogitChain chain(game, 0.0);
+  const DenseMatrix p = chain.dense_transition();
+  for (size_t r = 0; r < p.rows(); ++r) {
+    for (size_t c = 0; c < p.cols(); ++c) {
+      EXPECT_NEAR(p(r, c), 1.0 / 8.0, 1e-12);
+    }
+  }
+}
+
+TEST(ParallelDynamicsTest, AllTransitionsPositive) {
+  // Unlike the asynchronous chain (single-site moves only), one
+  // synchronous round can reach any profile.
+  PlateauGame game(4, 2.0, 1.0);
+  ParallelLogitChain chain(game, 2.0);
+  const DenseMatrix p = chain.dense_transition();
+  for (double v : p.data()) EXPECT_GT(v, 0.0);
+}
+
+TEST(ParallelDynamicsTest, StationaryIsFixedPoint) {
+  PlateauGame game(4, 2.0, 1.0);
+  ParallelLogitChain chain(game, 1.0);
+  const DenseMatrix p = chain.dense_transition();
+  const std::vector<double> pi = chain.stationary();
+  std::vector<double> next(pi.size());
+  vec_mat(pi, p, next);
+  for (size_t i = 0; i < pi.size(); ++i) EXPECT_NEAR(next[i], pi[i], 1e-10);
+}
+
+TEST(ParallelDynamicsTest, StationaryIsNotGibbsInGeneral) {
+  // The paper's conclusions note no closed form; concretely the Gibbs
+  // measure of the potential is NOT invariant for the synchronous chain.
+  CoordinationGame game(CoordinationPayoffs::from_deltas(3.0, 1.0));
+  const double beta = 1.5;
+  ParallelLogitChain par(game, beta);
+  LogitChain seq(game, beta);
+  const std::vector<double> gibbs = seq.stationary();
+  const std::vector<double> par_pi = par.stationary();
+  EXPECT_GT(total_variation(gibbs, par_pi), 0.01);
+}
+
+TEST(ParallelDynamicsTest, HighBetaCoordinationFlipFlop) {
+  // At large beta both players best-respond simultaneously: from (0,1)
+  // the chain jumps to (1,0) and back — the classic synchronous cycle.
+  CoordinationGame game(CoordinationPayoffs::from_deltas(2.0, 2.0));
+  ParallelLogitChain chain(game, 60.0);
+  const DenseMatrix p = chain.dense_transition();
+  const ProfileSpace& sp = game.space();
+  const size_t s01 = sp.index({0, 1}), s10 = sp.index({1, 0});
+  EXPECT_GT(p(s01, s10), 0.99);
+  EXPECT_GT(p(s10, s01), 0.99);
+  // Near-period-2 behaviour: two rounds return to (0,1) almost surely.
+  const DenseMatrix p2 = matrix_power(p, 2);
+  EXPECT_GT(p2(s01, s01), 0.98);
+}
+
+TEST(ParallelDynamicsTest, StepMatchesTransitionRow) {
+  CoordinationGame game(CoordinationPayoffs::from_deltas(2.0, 1.0));
+  ParallelLogitChain chain(game, 1.0);
+  const DenseMatrix p = chain.dense_transition();
+  const ProfileSpace& sp = game.space();
+  Rng rng(17);
+  std::vector<int> counts(sp.num_profiles(), 0);
+  const Profile start = {0, 1};
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    Profile x = start;
+    chain.step(x, rng);
+    counts[sp.index(x)] += 1;
+  }
+  const size_t from = sp.index(start);
+  for (size_t y = 0; y < sp.num_profiles(); ++y) {
+    EXPECT_NEAR(counts[y] / double(trials), p(from, y), 0.01);
+  }
+}
+
+TEST(ParallelDynamicsTest, MixingTimeComputable) {
+  // d(t) monotonicity holds for any chain, so the doubling computation
+  // applies to the synchronous chain as well.
+  PlateauGame game(4, 2.0, 1.0);
+  ParallelLogitChain chain(game, 1.0);
+  const MixingResult mix =
+      mixing_time_doubling(chain.dense_transition(), chain.stationary(), 0.25);
+  ASSERT_TRUE(mix.converged);
+  EXPECT_GE(mix.time, 1u);
+  EXPECT_LE(mix.distance, 0.25);
+}
+
+}  // namespace
+}  // namespace logitdyn

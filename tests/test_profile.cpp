@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "games/profile.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+TEST(ProfileSpaceTest, UniformSizesCount) {
+  const ProfileSpace sp(3, 2);
+  EXPECT_EQ(sp.num_players(), 3);
+  EXPECT_EQ(sp.num_profiles(), 8u);
+  EXPECT_EQ(sp.num_strategies(1), 2);
+  EXPECT_EQ(sp.max_strategies(), 2);
+}
+
+TEST(ProfileSpaceTest, MixedSizesCount) {
+  const ProfileSpace sp(std::vector<int32_t>{2, 3, 4});
+  EXPECT_EQ(sp.num_profiles(), 24u);
+  EXPECT_EQ(sp.max_strategies(), 4);
+}
+
+TEST(ProfileSpaceTest, IndexDecodeRoundTripExhaustive) {
+  const ProfileSpace sp(std::vector<int32_t>{3, 2, 4});
+  for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
+    const Profile x = sp.decode(idx);
+    EXPECT_EQ(sp.index(x), idx);
+  }
+}
+
+TEST(ProfileSpaceTest, StrategyOfMatchesDecode) {
+  const ProfileSpace sp(std::vector<int32_t>{2, 5, 3});
+  for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
+    const Profile x = sp.decode(idx);
+    for (int i = 0; i < sp.num_players(); ++i) {
+      EXPECT_EQ(sp.strategy_of(idx, i), x[size_t(i)]);
+    }
+  }
+}
+
+TEST(ProfileSpaceTest, WithStrategyReplacesOneCoordinate) {
+  const ProfileSpace sp(std::vector<int32_t>{2, 3, 2});
+  for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
+    for (int i = 0; i < sp.num_players(); ++i) {
+      for (Strategy s = 0; s < sp.num_strategies(i); ++s) {
+        const size_t jdx = sp.with_strategy(idx, i, s);
+        Profile expect = sp.decode(idx);
+        expect[size_t(i)] = s;
+        EXPECT_EQ(jdx, sp.index(expect));
+      }
+    }
+  }
+}
+
+TEST(ProfileSpaceTest, HammingDistance) {
+  const ProfileSpace sp(4, 3);
+  const size_t a = sp.index({0, 1, 2, 0});
+  const size_t b = sp.index({0, 2, 2, 1});
+  EXPECT_EQ(sp.hamming_distance(a, b), 2);
+  EXPECT_EQ(sp.hamming_distance(a, a), 0);
+}
+
+TEST(ProfileSpaceTest, CountPlaying) {
+  const ProfileSpace sp(5, 2);
+  const size_t idx = sp.index({1, 0, 1, 1, 0});
+  EXPECT_EQ(sp.count_playing(idx, 1), 3);
+  EXPECT_EQ(sp.count_playing(idx, 0), 2);
+}
+
+TEST(ProfileSpaceTest, RejectsInvalidConstruction) {
+  EXPECT_THROW(ProfileSpace(std::vector<int32_t>{}), Error);
+  EXPECT_THROW(ProfileSpace(std::vector<int32_t>{2, 0}), Error);
+}
+
+TEST(ProfileSpaceTest, RejectsOutOfRangeQueries) {
+  const ProfileSpace sp(2, 2);
+  EXPECT_THROW(sp.decode(4), Error);
+  EXPECT_THROW(sp.index({0, 5}), Error);
+  EXPECT_THROW(sp.with_strategy(0, 0, 7), Error);
+  EXPECT_THROW(sp.with_strategy(0, 5, 0), Error);
+}
+
+TEST(ProfileSpaceTest, OverflowGuard) {
+  // 2^62 profiles is the cap; 2^64 must be rejected, 2^40 accepted.
+  EXPECT_NO_THROW(ProfileSpace(40, 2));
+  EXPECT_THROW(ProfileSpace(64, 2), Error);
+  EXPECT_THROW(ProfileSpace(41, 8), Error);  // 8^41 = 2^123
+}
+
+}  // namespace
+}  // namespace logitdyn

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "rng/alias_table.hpp"
+#include "rng/rng.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) sum += rng.uniform();
+  // Standard error ~ 1/sqrt(12*trials) ~ 0.0009; 5 sigma margin.
+  EXPECT_NEAR(sum / trials, 0.5, 0.005);
+}
+
+TEST(RngTest, UniformIntCoversRangeUniformly) {
+  Rng rng(13);
+  const uint64_t n = 7;
+  std::vector<int> counts(n, 0);
+  const int trials = 70000;
+  for (int i = 0; i < trials; ++i) counts[rng.uniform_int(n)] += 1;
+  // Chi-squared with 6 dof: 5-sigma-ish threshold ~ 35.
+  double chi2 = 0.0;
+  const double expected = double(trials) / double(n);
+  for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  EXPECT_LT(chi2, 35.0);
+}
+
+TEST(RngTest, UniformIntRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(0), Error);
+}
+
+TEST(RngTest, ReplicaStreamsAreDecorrelated) {
+  Rng a = Rng::for_replica(99, 0);
+  Rng b = Rng::for_replica(99, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LE(same, 1);
+  // And reproducible: the same (seed, id) yields the same stream.
+  Rng a3 = Rng::for_replica(99, 0);
+  Rng a4 = Rng::for_replica(99, 0);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a3.next_u64(), a4.next_u64());
+}
+
+TEST(RngTest, SampleDiscreteMatchesWeights) {
+  Rng rng(5);
+  const std::vector<double> weights = {1.0, 2.0, 7.0};
+  std::vector<int> counts(3, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) counts[rng.sample_discrete(weights)] += 1;
+  EXPECT_NEAR(counts[0] / double(trials), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(trials), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / double(trials), 0.7, 0.01);
+}
+
+TEST(RngTest, SampleDiscreteRejectsBadWeights) {
+  Rng rng(5);
+  EXPECT_THROW(rng.sample_discrete(std::vector<double>{}), Error);
+  EXPECT_THROW(rng.sample_discrete(std::vector<double>{0.0, 0.0}), Error);
+  EXPECT_THROW(rng.sample_discrete(std::vector<double>{1.0, -1.0}), Error);
+}
+
+TEST(XoshiroTest, JumpProducesDisjointStream) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  b.jump();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LE(same, 1);
+}
+
+TEST(AliasTableTest, StoresNormalizedPmf) {
+  const std::vector<double> w = {2.0, 6.0};
+  AliasTable table(w);
+  EXPECT_NEAR(table.probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(table.probability(1), 0.75, 1e-12);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(AliasTableTest, SamplingMatchesPmf) {
+  const std::vector<double> w = {0.5, 0.1, 0.25, 0.15};
+  AliasTable table(w);
+  Rng rng(31);
+  std::vector<int> counts(4, 0);
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) counts[table.sample(rng)] += 1;
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(counts[i] / double(trials), w[i], 0.01) << "outcome " << i;
+  }
+}
+
+TEST(AliasTableTest, DegenerateSingleOutcome) {
+  AliasTable table(std::vector<double>{3.0});
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(table.sample(rng), 0u);
+}
+
+TEST(AliasTableTest, HandlesZeroWeightOutcomes) {
+  const std::vector<double> w = {0.0, 1.0, 0.0, 1.0};
+  AliasTable table(w);
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const size_t s = table.sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasTableTest, RejectsInvalidInput) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), Error);
+  EXPECT_THROW(AliasTable(std::vector<double>{-1.0, 2.0}), Error);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0}), Error);
+}
+
+}  // namespace
+}  // namespace logitdyn

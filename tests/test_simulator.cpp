@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "analysis/tv.hpp"
+#include "core/chain.hpp"
+#include "core/simulator.hpp"
+#include "games/coordination.hpp"
+#include "games/graphical_coordination.hpp"
+#include "games/plateau.hpp"
+#include "graph/builders.hpp"
+#include "rng/rng.hpp"
+
+namespace logitdyn {
+namespace {
+
+TEST(SimulatorTest, ObserverSeesEveryStep) {
+  CoordinationGame game(CoordinationPayoffs::from_deltas(2.0, 1.0));
+  LogitChain chain(game, 1.0);
+  Rng rng(3);
+  Profile x = {0, 0};
+  int64_t observed = 0;
+  simulate(chain, x, 50, rng, [&](int64_t t, const Profile& state) {
+    EXPECT_EQ(t, observed + 1);
+    EXPECT_EQ(state.size(), 2u);
+    observed = t;
+  });
+  EXPECT_EQ(observed, 50);
+}
+
+TEST(SimulatorTest, ZeroStepsLeavesProfileUntouched) {
+  CoordinationGame game(CoordinationPayoffs::from_deltas(2.0, 1.0));
+  LogitChain chain(game, 1.0);
+  Rng rng(3);
+  Profile x = {1, 0};
+  simulate(chain, x, 0, rng);
+  EXPECT_EQ(x, (Profile{1, 0}));
+}
+
+TEST(SimulatorTest, DeterministicGivenSeed) {
+  PlateauGame game(6, 3.0, 1.0);
+  LogitChain chain(game, 1.5);
+  Profile a(6, 0), b(6, 0);
+  Rng r1(99), r2(99);
+  simulate(chain, a, 500, r1);
+  simulate(chain, b, 500, r2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SimulatorTest, EmpiricalOccupationApproachesGibbs) {
+  // Long ergodic average vs stationary distribution in TV.
+  CoordinationGame game(CoordinationPayoffs::from_deltas(1.0, 0.5));
+  LogitChain chain(game, 1.0);
+  Rng rng(7);
+  const std::vector<double> emp =
+      empirical_occupation(chain, {0, 0}, /*burn_in=*/2000,
+                           /*samples=*/40000, /*stride=*/2, rng);
+  const std::vector<double> pi = chain.stationary();
+  EXPECT_LT(total_variation(emp, pi), 0.02);
+}
+
+TEST(SimulatorTest, BatchFinalStatesDeterministicAcrossRuns) {
+  PlateauGame game(5, 2.0, 1.0);
+  LogitChain chain(game, 1.0);
+  const Profile start(5, 0);
+  const auto a = batch_final_states(chain, start, 200, 16, 1234);
+  const auto b = batch_final_states(chain, start, 200, 16, 1234);
+  EXPECT_EQ(a, b);
+  const auto c = batch_final_states(chain, start, 200, 16, 4321);
+  EXPECT_NE(a, c);
+}
+
+TEST(SimulatorTest, BatchFinalDistributionApproachesGibbsAfterLongRuns) {
+  CoordinationGame game(CoordinationPayoffs::from_deltas(1.5, 1.0));
+  LogitChain chain(game, 0.8);
+  const std::vector<double> dist =
+      batch_final_distribution(chain, {1, 0}, /*steps=*/400,
+                               /*replicas=*/20000, /*master_seed=*/5);
+  const std::vector<double> pi = chain.stationary();
+  EXPECT_LT(total_variation(dist, pi), 0.02);
+}
+
+TEST(SimulatorTest, HittingTimeOfStartIsZero) {
+  CoordinationGame game(CoordinationPayoffs::from_deltas(2.0, 1.0));
+  LogitChain chain(game, 1.0);
+  Rng rng(1);
+  const int64_t t = hitting_time(
+      chain, {0, 0}, [](const Profile& x) { return x[0] == 0; }, 100, rng);
+  EXPECT_EQ(t, 0);
+}
+
+TEST(SimulatorTest, HittingTimeReachesDominantEquilibrium) {
+  // At high beta from all-ones, the risk-dominant all-zeros profile of a
+  // small star is reached quickly.
+  GraphicalCoordinationGame game(make_star(4),
+                                 CoordinationPayoffs::from_deltas(4.0, 0.5));
+  LogitChain chain(game, 3.0);
+  Rng rng(11);
+  const int64_t t = hitting_time(
+      chain, Profile(4, 1),
+      [](const Profile& x) {
+        for (Strategy s : x) {
+          if (s != 0) return false;
+        }
+        return true;
+      },
+      200000, rng);
+  EXPECT_GT(t, 0);
+}
+
+TEST(SimulatorTest, HittingTimeCensoredReturnsMinusOne) {
+  // Target that can never occur.
+  CoordinationGame game(CoordinationPayoffs::from_deltas(2.0, 1.0));
+  LogitChain chain(game, 1.0);
+  Rng rng(2);
+  const int64_t t = hitting_time(
+      chain, {0, 0}, [](const Profile& x) { return x[0] == 99; }, 50, rng);
+  EXPECT_EQ(t, -1);
+}
+
+TEST(SimulatorTest, BatchHittingTimeStats) {
+  GraphicalCoordinationGame game(make_path(3),
+                                 CoordinationPayoffs::from_deltas(3.0, 1.0));
+  LogitChain chain(game, 2.0);
+  const HittingTimeStats stats = batch_hitting_time(
+      chain, Profile(3, 1),
+      [](const Profile& x) { return x == Profile(3, 0); },
+      /*max_steps=*/100000, /*replicas=*/32, /*master_seed=*/77);
+  EXPECT_EQ(stats.num_censored, 0);
+  EXPECT_GT(stats.mean, 0.0);
+  EXPECT_GE(double(stats.max), stats.mean);
+}
+
+}  // namespace
+}  // namespace logitdyn

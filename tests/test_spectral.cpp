@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/mixing.hpp"
+#include "analysis/spectral.hpp"
+#include "core/chain.hpp"
+#include "games/coordination.hpp"
+#include "games/plateau.hpp"
+#include "games/random_potential.hpp"
+#include "rng/rng.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+TEST(SymmetrizeTest, SymmetricForReversibleChain) {
+  PlateauGame game(4, 2.0, 1.0);
+  LogitChain chain(game, 1.5);
+  const DenseMatrix a =
+      symmetrize_reversible(chain.dense_transition(), chain.stationary());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = i + 1; j < a.cols(); ++j) {
+      EXPECT_NEAR(a(i, j), a(j, i), 1e-12);
+    }
+  }
+}
+
+TEST(SymmetrizeTest, SharesSpectrumWithTransitionMatrix) {
+  // Check on a 2-state chain where eigenvalues are known: 1 and 1-p-q.
+  const double p = 0.3, q = 0.2;
+  DenseMatrix t(2, 2);
+  t(0, 0) = 1 - p;
+  t(0, 1) = p;
+  t(1, 0) = q;
+  t(1, 1) = 1 - q;
+  const std::vector<double> pi = {q / (p + q), p / (p + q)};
+  const ChainSpectrum s = chain_spectrum(t, pi);
+  EXPECT_NEAR(s.eigenvalues.back(), 1.0, 1e-12);
+  EXPECT_NEAR(s.eigenvalues.front(), 1.0 - p - q, 1e-12);
+}
+
+TEST(ChainSpectrumTest, TopEigenvalueIsOne) {
+  Rng rng(5);
+  const TablePotentialGame game =
+      make_random_potential_game(ProfileSpace(3, 2), 1.5, rng);
+  LogitChain chain(game, 1.1);
+  const ChainSpectrum s =
+      chain_spectrum(chain.dense_transition(), chain.stationary());
+  EXPECT_NEAR(s.eigenvalues.back(), 1.0, 1e-10);
+  EXPECT_LT(s.lambda2(), 1.0);
+}
+
+TEST(ChainSpectrumTest, RelaxationTimeDefinitions) {
+  ChainSpectrum s;
+  s.eigenvalues = {-0.5, 0.2, 0.8, 1.0};
+  EXPECT_DOUBLE_EQ(s.lambda2(), 0.8);
+  EXPECT_DOUBLE_EQ(s.lambda_min(), -0.5);
+  EXPECT_DOUBLE_EQ(s.lambda_star(), 0.8);
+  EXPECT_DOUBLE_EQ(s.spectral_gap(), 0.2);
+  EXPECT_NEAR(s.relaxation_time(), 5.0, 1e-12);
+  // Negative eigenvalue dominating:
+  s.eigenvalues = {-0.9, 0.1, 1.0};
+  EXPECT_DOUBLE_EQ(s.lambda_star(), 0.9);
+}
+
+TEST(Theorem23Test, SandwichHoldsNumericallyOnLogitChains) {
+  // (t_rel - 1) log(1/2eps) <= t_mix(eps) <= t_rel log(1/(eps pi_min)).
+  for (double beta : {0.3, 1.0, 2.5}) {
+    PlateauGame game(5, 2.0, 1.0);
+    LogitChain chain(game, beta);
+    const DenseMatrix p = chain.dense_transition();
+    const std::vector<double> pi = chain.stationary();
+    const ChainSpectrum s = chain_spectrum(p, pi);
+    const double trel = s.relaxation_time();
+    const double pi_min = *std::min_element(pi.begin(), pi.end());
+    const MixingResult mix = mixing_time_doubling(p, pi, 0.25);
+    ASSERT_TRUE(mix.converged);
+    EXPECT_LE(tmix_lower_from_relaxation(trel, 0.25),
+              double(mix.time) + 1e-9)
+        << "beta " << beta;
+    EXPECT_GE(tmix_upper_from_relaxation(trel, pi_min, 0.25),
+              double(mix.time) - 1.0)
+        << "beta " << beta;
+  }
+}
+
+TEST(SpectralEvaluatorTest, PowerOneEqualsTransition) {
+  PlateauGame game(4, 2.0, 1.0);
+  LogitChain chain(game, 0.9);
+  const DenseMatrix p = chain.dense_transition();
+  const SpectralEvaluator eval(p, chain.stationary());
+  EXPECT_LT(eval.transition_power(1.0).max_abs_diff(p), 1e-10);
+}
+
+TEST(SpectralEvaluatorTest, PowerZeroIsIdentity) {
+  PlateauGame game(3, 1.0, 1.0);
+  LogitChain chain(game, 1.0);
+  const SpectralEvaluator eval(chain.dense_transition(), chain.stationary());
+  EXPECT_LT(eval.transition_power(0.0).max_abs_diff(
+                DenseMatrix::identity(eval.num_states())),
+            1e-10);
+}
+
+TEST(SpectralEvaluatorTest, PowerMatchesMatrixPower) {
+  PlateauGame game(4, 2.0, 1.0);
+  LogitChain chain(game, 1.2);
+  const DenseMatrix p = chain.dense_transition();
+  const SpectralEvaluator eval(p, chain.stationary());
+  for (uint64_t t : {2ull, 5ull, 16ull, 100ull}) {
+    EXPECT_LT(eval.transition_power(double(t)).max_abs_diff(matrix_power(p, t)),
+              1e-9)
+        << "t = " << t;
+  }
+}
+
+TEST(SpectralEvaluatorTest, DistanceDecreasesInT) {
+  CoordinationGame game(CoordinationPayoffs::from_deltas(2.0, 1.0));
+  LogitChain chain(game, 1.0);
+  const SpectralEvaluator eval(chain.dense_transition(), chain.stationary());
+  double prev = 1.0;
+  for (double t : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    const double d = eval.worst_distance(t);
+    EXPECT_LE(d, prev + 1e-12) << "t = " << t;
+    prev = d;
+  }
+}
+
+TEST(SpectralBoundsTest, InputValidation) {
+  EXPECT_THROW(tmix_upper_from_relaxation(5.0, 0.0), Error);
+  EXPECT_THROW(tmix_lower_from_relaxation(5.0, 0.7), Error);
+}
+
+}  // namespace
+}  // namespace logitdyn

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/fit.hpp"
+#include "support/math.hpp"
+#include "support/table.hpp"
+
+namespace logitdyn {
+namespace {
+
+TEST(MathTest, LogSumExpMatchesDirectComputationForSmallValues) {
+  const std::vector<double> v = {0.0, 1.0, 2.0};
+  const double direct = std::log(std::exp(0.0) + std::exp(1.0) + std::exp(2.0));
+  EXPECT_NEAR(log_sum_exp(v), direct, 1e-12);
+}
+
+TEST(MathTest, LogSumExpStableForHugeInputs) {
+  // Naive evaluation overflows; the stable version must not.
+  const std::vector<double> v = {1000.0, 1000.0};
+  EXPECT_NEAR(log_sum_exp(v), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(MathTest, LogSumExpStableForTinyInputs) {
+  const std::vector<double> v = {-1000.0, -1000.0, -1000.0};
+  EXPECT_NEAR(log_sum_exp(v), -1000.0 + std::log(3.0), 1e-9);
+}
+
+TEST(MathTest, LogSumExpOfEmptyIsMinusInfinity) {
+  EXPECT_TRUE(std::isinf(log_sum_exp({})));
+  EXPECT_LT(log_sum_exp({}), 0);
+}
+
+TEST(MathTest, SoftmaxSumsToOneAndOrdersLikeInput) {
+  const std::vector<double> v = {1.0, 3.0, 2.0};
+  std::vector<double> out(3);
+  softmax(v, out);
+  EXPECT_NEAR(out[0] + out[1] + out[2], 1.0, 1e-12);
+  EXPECT_GT(out[1], out[2]);
+  EXPECT_GT(out[2], out[0]);
+}
+
+TEST(MathTest, SoftmaxHandlesExtremeRange) {
+  const std::vector<double> v = {-800.0, 800.0};
+  std::vector<double> out(2);
+  softmax(v, out);
+  EXPECT_NEAR(out[1], 1.0, 1e-12);
+  EXPECT_GE(out[0], 0.0);
+}
+
+TEST(MathTest, SoftmaxUniformForEqualInputs) {
+  const std::vector<double> v(5, 3.7);
+  std::vector<double> out(5);
+  softmax(v, out);
+  for (double p : out) EXPECT_NEAR(p, 0.2, 1e-12);
+}
+
+TEST(MathTest, BinomialSmallValuesExact) {
+  EXPECT_DOUBLE_EQ(binomial(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(binomial(10, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(binomial(10, 11), 0.0);
+  EXPECT_DOUBLE_EQ(binomial(10, -1), 0.0);
+}
+
+TEST(MathTest, BinomialLargeConsistentWithLog) {
+  const double direct = binomial(100, 50);
+  EXPECT_NEAR(std::log(direct), log_binomial(100, 50), 1e-9);
+}
+
+TEST(MathTest, KahanSumBeatsCatastrophicCancellation) {
+  // 1 followed by many tiny values that a naive sum in fp32-style order
+  // would lose; Kahan recovers them.
+  std::vector<double> v{1.0};
+  for (int i = 0; i < 10000; ++i) v.push_back(1e-16);
+  EXPECT_NEAR(kahan_sum(v), 1.0 + 1e-12, 1e-15);
+}
+
+TEST(MathTest, NormalizeInPlaceMakesDistribution) {
+  std::vector<double> v = {1.0, 3.0};
+  normalize_in_place(v);
+  EXPECT_NEAR(v[0], 0.25, 1e-12);
+  EXPECT_NEAR(v[1], 0.75, 1e-12);
+}
+
+TEST(MathTest, NormalizeRejectsZeroSum) {
+  std::vector<double> v = {0.0, 0.0};
+  EXPECT_THROW(normalize_in_place(v), Error);
+}
+
+TEST(MathTest, XlogxConvention) {
+  EXPECT_DOUBLE_EQ(xlogx(0.0), 0.0);
+  EXPECT_NEAR(xlogx(2.0), 2.0 * std::log(2.0), 1e-12);
+  EXPECT_THROW(xlogx(-1.0), Error);
+}
+
+TEST(MathTest, AlmostEqualRespectsTolerances) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(almost_equal(1.0, 1.001));
+  EXPECT_TRUE(almost_equal(0.0, 1e-13));
+}
+
+TEST(ErrorTest, CheckMacroThrowsWithContext) {
+  try {
+    LD_CHECK(false, "value was ", 42);
+    FAIL() << "LD_CHECK did not throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("value was 42"), std::string::npos);
+    EXPECT_NE(what.find("false"), std::string::npos);
+  }
+}
+
+TEST(TableTest, PrintsAlignedHeadersAndRows) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(int64_t(1));
+  t.row().cell("b").cell(2.5, 1);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, RejectsTooManyCells) {
+  Table t({"only"});
+  t.row().cell("x");
+  EXPECT_THROW(t.cell("y"), Error);
+}
+
+TEST(FitTest, RecoversExactLine) {
+  const std::vector<double> x = {0, 1, 2, 3};
+  const std::vector<double> y = {1, 3, 5, 7};
+  const LineFit f = fit_line(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(FitTest, ExponentialRateRecoversGrowthConstant) {
+  std::vector<double> x, y;
+  for (int i = 0; i <= 10; ++i) {
+    x.push_back(double(i));
+    y.push_back(3.0 * std::exp(0.7 * i));
+  }
+  const LineFit f = fit_exponential_rate(x, y);
+  EXPECT_NEAR(f.slope, 0.7, 1e-9);
+  EXPECT_NEAR(f.intercept, std::log(3.0), 1e-9);
+}
+
+TEST(FitTest, RejectsDegenerateInput) {
+  const std::vector<double> x = {1.0, 1.0};
+  const std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW(fit_line(x, y), Error);
+  EXPECT_THROW(fit_line(std::vector<double>{1.0}, std::vector<double>{1.0}),
+               Error);
+}
+
+}  // namespace
+}  // namespace logitdyn

@@ -1,0 +1,362 @@
+// Integration/property tests: each paper theorem, verified numerically on
+// exactly-solvable instances. These are the correctness backbone of the
+// reproduction — the bench/ experiments rerun the same checks at scale.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/bottleneck.hpp"
+#include "analysis/bounds.hpp"
+#include "analysis/mixing.hpp"
+#include "analysis/potential_stats.hpp"
+#include "analysis/spectral.hpp"
+#include "analysis/zeta.hpp"
+#include "core/chain.hpp"
+#include "core/gibbs.hpp"
+#include "core/lumped.hpp"
+#include "games/dominant.hpp"
+#include "games/graphical_coordination.hpp"
+#include "games/ising.hpp"
+#include "games/plateau.hpp"
+#include "games/random_potential.hpp"
+#include "graph/builders.hpp"
+#include "graph/cutwidth.hpp"
+#include "rng/rng.hpp"
+
+namespace logitdyn {
+namespace {
+
+// ---------- Theorem 3.1: potential-game logit chains have non-negative
+// spectra (hence lambda_star = lambda_2) ----------
+
+struct SpectrumCase {
+  int players;
+  int strategies;
+  double beta;
+};
+
+class Theorem31Test : public ::testing::TestWithParam<SpectrumCase> {};
+
+TEST_P(Theorem31Test, AllEigenvaluesNonNegativeForRandomPotentialGames) {
+  const SpectrumCase c = GetParam();
+  Rng rng(uint64_t(c.players) * 1000 + uint64_t(c.strategies) * 10 +
+          uint64_t(c.beta * 7));
+  for (int trial = 0; trial < 3; ++trial) {
+    const TablePotentialGame game = make_random_potential_game(
+        ProfileSpace(c.players, c.strategies), 2.0, rng);
+    LogitChain chain(game, c.beta);
+    const ChainSpectrum s =
+        chain_spectrum(chain.dense_transition(), chain.stationary());
+    EXPECT_GE(s.eigenvalues.front(), -1e-9)
+        << "negative eigenvalue, trial " << trial;
+    EXPECT_GE(s.lambda2(), std::abs(s.eigenvalues.front()) - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GameSizes, Theorem31Test,
+    ::testing::Values(SpectrumCase{2, 2, 0.5}, SpectrumCase{2, 3, 1.0},
+                      SpectrumCase{3, 2, 2.0}, SpectrumCase{3, 3, 0.8},
+                      SpectrumCase{4, 2, 1.5}, SpectrumCase{2, 4, 3.0}));
+
+TEST(Theorem31Contrast, GeneralGamesCanHaveNegativeEigenvalues) {
+  // Sanity: the theorem is about *potential* games. (We don't assert
+  // negativity occurs — only that the spectral machinery runs and finds
+  // lambda_star correctly for arbitrary reversible restrictions.)
+  Rng rng(9);
+  const TablePotentialGame game =
+      make_random_potential_game(ProfileSpace(2, 2), 2.0, rng);
+  LogitChain chain(game, 1.0);
+  const ChainSpectrum s =
+      chain_spectrum(chain.dense_transition(), chain.stationary());
+  EXPECT_NEAR(s.lambda_star(), s.lambda2(), 1e-12);
+}
+
+// ---------- Lemma 3.2: relaxation time at beta = 0 is <= n ----------
+
+class Lemma32Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma32Test, RelaxationAtZeroBetaBoundedByN) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n));
+  const TablePotentialGame game =
+      make_random_potential_game(ProfileSpace(n, 2), 3.0, rng);
+  LogitChain chain(game, 0.0);
+  const ChainSpectrum s =
+      chain_spectrum(chain.dense_transition(), chain.stationary());
+  EXPECT_LE(s.relaxation_time(), double(n) + 1e-6);
+  // For the beta = 0 product chain the relaxation time is exactly n.
+  EXPECT_NEAR(s.relaxation_time(), double(n), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Lemma32Test, ::testing::Values(2, 3, 4, 5, 6));
+
+// ---------- Theorem 3.4: t_mix <= 2mn e^{beta DPhi}(...) ----------
+
+struct BetaCase {
+  double beta;
+};
+
+class Theorem34Test : public ::testing::TestWithParam<BetaCase> {};
+
+TEST_P(Theorem34Test, UpperBoundHoldsForPlateauGame) {
+  const double beta = GetParam().beta;
+  PlateauGame game(6, 3.0, 1.0);
+  LogitChain chain(game, beta);
+  const std::vector<double> pi = chain.stationary();
+  const MixingResult mix =
+      mixing_time_doubling(chain.dense_transition(), pi, 0.25);
+  ASSERT_TRUE(mix.converged);
+  const double bound = bounds::thm34_tmix_upper(6, 2, beta, 3.0, 0.25);
+  EXPECT_LE(double(mix.time), bound) << "beta " << beta;
+}
+
+TEST_P(Theorem34Test, UpperBoundHoldsForRandomPotentialGames) {
+  const double beta = GetParam().beta;
+  Rng rng(uint64_t(beta * 100) + 3);
+  const TablePotentialGame game =
+      make_random_potential_game(ProfileSpace(3, 3), 1.5, rng);
+  LogitChain chain(game, beta);
+  const std::vector<double> pi = chain.stationary();
+  const MixingResult mix =
+      mixing_time_doubling(chain.dense_transition(), pi, 0.25);
+  ASSERT_TRUE(mix.converged);
+  const std::vector<double> phi = potential_table(game);
+  const PotentialStats stats = potential_stats(game.space(), phi);
+  const double bound =
+      bounds::thm34_tmix_upper(3, 3, beta, stats.global_variation, 0.25);
+  EXPECT_LE(double(mix.time), bound) << "beta " << beta;
+}
+
+INSTANTIATE_TEST_SUITE_P(BetaSweep, Theorem34Test,
+                         ::testing::Values(BetaCase{0.0}, BetaCase{0.25},
+                                           BetaCase{0.5}, BetaCase{1.0},
+                                           BetaCase{2.0}, BetaCase{3.0}));
+
+// ---------- Theorem 3.5: exponential lower bound for the plateau family --
+
+TEST(Theorem35Test, BottleneckLowerBoundHoldsAndGrowsWithBeta) {
+  PlateauGame game(8, 4.0, 2.0);
+  std::vector<double> wphi(9);
+  for (int k = 0; k <= 8; ++k) wphi[size_t(k)] = game.potential_of_weight(k);
+  uint64_t prev_time = 0;
+  for (double beta : {1.0, 2.0, 3.0}) {
+    const BirthDeathChain bd = BirthDeathChain::weight_chain(8, beta, wphi);
+    const MixingResult mix =
+        mixing_time_doubling(bd.transition(), bd.stationary(), 0.25);
+    ASSERT_TRUE(mix.converged);
+    EXPECT_GT(mix.time, prev_time) << "mixing must grow with beta";
+    prev_time = mix.time;
+    // The closed-form Theorem 3.5 bound is for the full chain; the lumped
+    // chain's t_mix lower-bounds it, so compare against the *formula*
+    // only at the full-chain level (n = 6 below).
+  }
+}
+
+TEST(Theorem35Test, ClosedFormLowerBoundHoldsOnFullChain) {
+  const int n = 6;
+  PlateauGame game(n, 3.0, 1.0);
+  for (double beta : {2.0, 3.0}) {
+    LogitChain chain(game, beta);
+    const MixingResult mix = mixing_time_doubling(
+        chain.dense_transition(), chain.stationary(), 0.25, uint64_t(1) << 26);
+    ASSERT_TRUE(mix.converged);
+    EXPECT_GE(double(mix.time),
+              bounds::thm35_tmix_lower(n, 3.0, 1.0, beta, 0.25))
+        << "beta " << beta;
+  }
+}
+
+// ---------- Theorem 3.6: O(n log n) mixing for small beta ----------
+
+class Theorem36Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem36Test, SmallBetaMixingBoundedByNLogNFormula) {
+  const int n = GetParam();
+  PlateauGame game(n, double(n) / 2.0, 1.0);  // c = n/2 wells
+  const double c_const = 0.5;
+  const std::vector<double> phi = potential_table(game);
+  const PotentialStats stats = potential_stats(game.space(), phi);
+  const double beta = c_const / (double(n) * stats.local_variation);
+  ASSERT_TRUE(bounds::thm36_applicable(beta, n, stats.local_variation,
+                                       c_const));
+  LogitChain chain(game, beta);
+  const MixingResult mix = mixing_time_doubling(chain.dense_transition(),
+                                                chain.stationary(), 0.25);
+  ASSERT_TRUE(mix.converged);
+  EXPECT_LE(double(mix.time), bounds::thm36_tmix_upper(n, c_const, 0.25));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Theorem36Test, ::testing::Values(4, 6, 8));
+
+// ---------- Theorems 3.8/3.9: e^{beta zeta} characterizes large beta ----
+
+TEST(Theorem38Test, MixingUpperBoundViaZeta) {
+  const int n = 5;
+  GraphicalCoordinationGame game(make_clique(uint32_t(n)),
+                                 CoordinationPayoffs::from_deltas(2.0, 1.0));
+  const std::vector<double> phi = potential_table(game);
+  const double zeta = max_potential_climb(game.space(), phi);
+  for (double beta : {1.0, 2.0}) {
+    LogitChain chain(game, beta);
+    const std::vector<double> pi = chain.stationary();
+    const MixingResult mix = mixing_time_doubling(
+        chain.dense_transition(), pi, 0.25, uint64_t(1) << 28);
+    ASSERT_TRUE(mix.converged);
+    const double pi_min = *std::min_element(pi.begin(), pi.end());
+    EXPECT_LE(double(mix.time),
+              bounds::thm38_tmix_upper(n, 2, beta, zeta, pi_min, 0.25));
+  }
+}
+
+TEST(Theorem39Test, ZetaRateObservedInExactMixingTimes) {
+  // log t_mix(beta) growth rate between consecutive betas approaches zeta.
+  // (n = 10 clique with these deltas has zeta = 18; keep beta <= 1 so the
+  // exact t_mix ~ e^{beta*zeta} stays within the doubling budget.)
+  const int n = 10;
+  const double d0 = 2.0, d1 = 1.0;
+  const std::vector<double> wphi = clique_weight_potential(n, d0, d1);
+  const double zeta = max_climb_on_path(wphi);
+  ASSERT_GT(zeta, 0.0);
+  std::vector<double> betas = {0.5, 0.625, 0.75, 0.875, 1.0};
+  std::vector<double> times;
+  for (double beta : betas) {
+    const BirthDeathChain bd = BirthDeathChain::weight_chain(n, beta, wphi);
+    const MixingResult mix = mixing_time_doubling(
+        bd.transition(), bd.stationary(), 0.25, uint64_t(1) << 40);
+    ASSERT_TRUE(mix.converged);
+    times.push_back(double(mix.time));
+  }
+  // Empirical rate (last increment) within 35% of zeta.
+  const double rate = (std::log(times.back()) - std::log(times.front())) /
+                      (betas.back() - betas.front());
+  EXPECT_NEAR(rate, zeta, 0.35 * zeta);
+}
+
+// ---------- Theorems 4.2/4.3: dominant strategies ----------
+
+TEST(Theorem42Test, MixingBoundedUniformlyInBeta) {
+  const int n = 4;
+  const int32_t m = 2;
+  AllOrNothingGame game(n, m);
+  const double cap = bounds::thm42_tmix_upper(n, m);
+  uint64_t max_seen = 0;
+  for (double beta : {0.0, 1.0, 4.0, 16.0, 64.0, 256.0}) {
+    LogitChain chain(game, beta);
+    const MixingResult mix = mixing_time_doubling(
+        chain.dense_transition(), chain.stationary(), 0.25);
+    ASSERT_TRUE(mix.converged) << "beta " << beta;
+    EXPECT_LE(double(mix.time), cap) << "beta " << beta;
+    max_seen = std::max(max_seen, mix.time);
+  }
+  // The whole sweep stays bounded — the Theorem 4.2 phenomenon.
+  EXPECT_LE(double(max_seen), cap);
+}
+
+TEST(Theorem42Test, SaturationInBeta) {
+  // t_mix(beta = 8) and t_mix(beta = 128) nearly coincide.
+  AllOrNothingGame game(4, 2);
+  auto tmix_at = [&game](double beta) {
+    LogitChain chain(game, beta);
+    return mixing_time_doubling(chain.dense_transition(), chain.stationary(),
+                                0.25)
+        .time;
+  };
+  const uint64_t a = tmix_at(8.0), b = tmix_at(128.0);
+  EXPECT_NEAR(double(a), double(b), 0.1 * double(a) + 2.0);
+}
+
+TEST(Theorem43Test, LowerBoundHoldsOnFullChain) {
+  for (int n : {3, 4}) {
+    for (int32_t m : {2, 3}) {
+      AllOrNothingGame game(n, m);
+      const double beta = 20.0;
+      LogitChain chain(game, beta);
+      const MixingResult mix = mixing_time_doubling(
+          chain.dense_transition(), chain.stationary(), 0.25);
+      ASSERT_TRUE(mix.converged);
+      // The theorem's floor (m^n-1)/(4(m-1)):
+      EXPECT_GE(double(mix.time),
+                (std::pow(double(m), n) - 1.0) / (4.0 * (m - 1.0)))
+          << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(Theorem43Test, GrowthInStateSpaceSize) {
+  // Lumped chains: t_mix grows ~ m^{n-1}.
+  const double beta = 30.0;
+  auto lumped_tmix = [beta](int n, int32_t m) {
+    const BirthDeathChain bd =
+        BirthDeathChain::all_or_nothing_chain(n, m, beta);
+    return double(mixing_time_doubling(bd.transition(), bd.stationary(), 0.25,
+                                       uint64_t(1) << 40)
+                      .time);
+  };
+  EXPECT_GT(lumped_tmix(8, 2), 3.0 * lumped_tmix(5, 2));
+  EXPECT_GT(lumped_tmix(5, 4), lumped_tmix(5, 2));
+}
+
+// ---------- Theorem 5.1: cutwidth bound ----------
+
+TEST(Theorem51Test, UpperBoundHoldsAcrossTopologies) {
+  const CoordinationPayoffs p = CoordinationPayoffs::from_deltas(1.0, 0.5);
+  const double beta = 1.0;
+  struct Case {
+    const char* name;
+    Graph graph;
+  };
+  const Case cases[] = {
+      {"path", make_path(5)},
+      {"ring", make_ring(5)},
+      {"star", make_star(5)},
+      {"clique", make_clique(5)},
+  };
+  for (const Case& c : cases) {
+    GraphicalCoordinationGame game(c.graph, p);
+    LogitChain chain(game, beta);
+    const MixingResult mix = mixing_time_doubling(
+        chain.dense_transition(), chain.stationary(), 0.25);
+    ASSERT_TRUE(mix.converged) << c.name;
+    const double chi = double(cutwidth_exact(c.graph));
+    EXPECT_LE(double(mix.time),
+              bounds::thm51_tmix_upper(5, beta, chi, p.delta0(), p.delta1()))
+        << c.name;
+  }
+}
+
+// ---------- Theorems 5.6/5.7: the ring ----------
+
+TEST(Theorem56Test, RingUpperAndLowerBoundsBracketExactMixing) {
+  const double delta = 1.0;
+  for (double beta : {0.5, 1.0, 1.5}) {
+    const int n = 6;
+    GraphicalCoordinationGame game(
+        make_ring(uint32_t(n)), CoordinationPayoffs::from_deltas(delta, delta));
+    LogitChain chain(game, beta);
+    const MixingResult mix = mixing_time_doubling(
+        chain.dense_transition(), chain.stationary(), 0.25, uint64_t(1) << 30);
+    ASSERT_TRUE(mix.converged) << "beta " << beta;
+    EXPECT_LE(double(mix.time), bounds::thm56_tmix_upper(n, beta, delta, 0.25))
+        << "beta " << beta;
+    EXPECT_GE(double(mix.time), bounds::thm57_tmix_lower(beta, delta, 0.25))
+        << "beta " << beta;
+  }
+}
+
+// ---------- Glauber/Ising equivalence (Sections 1 and 5) ----------
+
+TEST(IsingEquivalenceTest, TransitionMatricesCoincide) {
+  IsingGame ising(make_ring(5), 0.8);
+  GraphicalCoordinationGame coord = ising.equivalent_coordination_game();
+  for (double beta : {0.5, 1.5}) {
+    LogitChain a(ising, beta);
+    LogitChain b(coord, beta);
+    EXPECT_LT(a.dense_transition().max_abs_diff(b.dense_transition()), 1e-12)
+        << "beta " << beta;
+  }
+}
+
+}  // namespace
+}  // namespace logitdyn

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/mixing.hpp"
+#include "analysis/tv.hpp"
+#include "core/chain.hpp"
+#include "core/lumped.hpp"
+#include "games/coordination.hpp"
+#include "games/plateau.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+TEST(TotalVariationTest, KnownDistances) {
+  EXPECT_DOUBLE_EQ(
+      total_variation(std::vector<double>{1.0, 0.0}, std::vector<double>{0.0, 1.0}),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      total_variation(std::vector<double>{0.5, 0.5}, std::vector<double>{0.5, 0.5}),
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      total_variation(std::vector<double>{0.7, 0.3}, std::vector<double>{0.5, 0.5}),
+      0.2);
+}
+
+TEST(TotalVariationTest, SymmetricAndBounded) {
+  const std::vector<double> p = {0.1, 0.2, 0.7};
+  const std::vector<double> q = {0.3, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(total_variation(p, q), total_variation(q, p));
+  EXPECT_LE(total_variation(p, q), 1.0);
+  EXPECT_GE(total_variation(p, q), 0.0);
+}
+
+TEST(WorstRowTvTest, IdentityMatrixGivesMaxDistance) {
+  const DenseMatrix eye = DenseMatrix::identity(4);
+  const std::vector<double> pi = {0.25, 0.25, 0.25, 0.25};
+  // ||delta_x - uniform|| = 1 - 1/4.
+  EXPECT_NEAR(worst_row_tv(eye, pi), 0.75, 1e-12);
+  EXPECT_EQ(worst_row_index(eye, pi), 0u);
+}
+
+TEST(WorstRowTvTest, StationaryRowsGiveZero) {
+  const std::vector<double> pi = {0.2, 0.3, 0.5};
+  DenseMatrix m(3, 3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) m(r, c) = pi[c];
+  }
+  EXPECT_NEAR(worst_row_tv(m, pi), 0.0, 1e-14);
+}
+
+/// Analytic check chain: two states, P(0->1) = p, P(1->0) = q.
+/// d(t) = |1 - p - q|^t * max(p, q) / (p + q).
+class TwoStateChainTest : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(TwoStateChainTest, MixingTimeMatchesAnalyticFormula) {
+  const auto [p, q] = GetParam();
+  DenseMatrix t(2, 2);
+  t(0, 0) = 1 - p;
+  t(0, 1) = p;
+  t(1, 0) = q;
+  t(1, 1) = 1 - q;
+  const std::vector<double> pi = {q / (p + q), p / (p + q)};
+  const double rho = std::abs(1.0 - p - q);
+  const double amp = std::max(p, q) / (p + q);
+  // Smallest t with amp * rho^t <= 1/4.
+  uint64_t expected = 1;
+  if (amp > 0.25 && rho > 0) {
+    expected = uint64_t(
+        std::ceil(std::log(0.25 / amp) / std::log(rho)));
+    expected = std::max<uint64_t>(expected, 1);
+  }
+  const MixingResult doubling = mixing_time_doubling(t, pi, 0.25);
+  ASSERT_TRUE(doubling.converged);
+  EXPECT_EQ(doubling.time, expected) << "p=" << p << " q=" << q;
+  const SpectralEvaluator eval(t, pi);
+  const MixingResult spectral = mixing_time_spectral(eval, 0.25);
+  ASSERT_TRUE(spectral.converged);
+  EXPECT_EQ(spectral.time, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamSweep, TwoStateChainTest,
+    ::testing::Values(std::make_pair(0.1, 0.05), std::make_pair(0.02, 0.02),
+                      std::make_pair(0.3, 0.1), std::make_pair(0.5, 0.5),
+                      std::make_pair(0.01, 0.2)));
+
+TEST(MixingTimeTest, DoublingAndSpectralAgreeOnLogitChains) {
+  for (double beta : {0.0, 0.5, 1.5, 3.0}) {
+    PlateauGame game(5, 2.0, 1.0);
+    LogitChain chain(game, beta);
+    const DenseMatrix p = chain.dense_transition();
+    const std::vector<double> pi = chain.stationary();
+    const MixingResult a = mixing_time_doubling(p, pi, 0.25);
+    const SpectralEvaluator eval(p, pi);
+    const MixingResult b = mixing_time_spectral(eval, 0.25);
+    ASSERT_TRUE(a.converged && b.converged) << "beta " << beta;
+    EXPECT_EQ(a.time, b.time) << "beta " << beta;
+    EXPECT_LE(a.distance, 0.25);
+    EXPECT_GT(a.distance_prev, 0.25);
+  }
+}
+
+TEST(MixingTimeTest, DecreasingInEps) {
+  PlateauGame game(5, 2.0, 1.0);
+  LogitChain chain(game, 1.0);
+  const DenseMatrix p = chain.dense_transition();
+  const std::vector<double> pi = chain.stationary();
+  const SpectralEvaluator eval(p, pi);
+  const uint64_t loose = mixing_time_spectral(eval, 0.4).time;
+  const uint64_t mid = mixing_time_spectral(eval, 0.25).time;
+  const uint64_t tight = mixing_time_spectral(eval, 0.05).time;
+  EXPECT_LE(loose, mid);
+  EXPECT_LE(mid, tight);
+}
+
+TEST(MixingTimeTest, SubmultiplicativityScaling) {
+  // t_mix(eps^2 / ...) relation is loose; we check the standard
+  // t_mix(eps) <= ceil(log2(1/eps)) * t_mix(1/4) style bound numerically.
+  PlateauGame game(4, 2.0, 1.0);
+  LogitChain chain(game, 1.2);
+  const SpectralEvaluator eval(chain.dense_transition(), chain.stationary());
+  const uint64_t base = mixing_time_spectral(eval, 0.25).time;
+  const uint64_t eighth = mixing_time_spectral(eval, 1.0 / 8.0).time;
+  // Levin-Peres: t_mix(2^-k) <= k * t_mix(1/4) (for 2^-k <= 1/4).
+  EXPECT_LE(eighth, 2 * base + 2);
+}
+
+TEST(MixingTimeTest, FromStateLowerBoundsWorstCase) {
+  PlateauGame game(5, 2.0, 1.0);
+  LogitChain chain(game, 1.4);
+  const std::vector<double> pi = chain.stationary();
+  const MixingResult worst =
+      mixing_time_doubling(chain.dense_transition(), pi, 0.25);
+  const CsrMatrix csr = chain.csr_transition();
+  for (size_t start : {size_t(0), size_t(7), size_t(31)}) {
+    const MixingResult from =
+        mixing_time_from_state(csr, start, pi, 0.25, 1 << 22);
+    ASSERT_TRUE(from.converged);
+    EXPECT_LE(from.time, worst.time);
+  }
+}
+
+TEST(MixingTimeTest, WorstStartAttainsWorstCase) {
+  PlateauGame game(5, 2.0, 1.0);
+  LogitChain chain(game, 1.4);
+  const std::vector<double> pi = chain.stationary();
+  const DenseMatrix p = chain.dense_transition();
+  const MixingResult worst = mixing_time_doubling(p, pi, 0.25);
+  // The state achieving d(t) at t = t_mix - 1 still exceeds eps there, so
+  // its single-start mixing time equals the worst case.
+  const CsrMatrix csr = chain.csr_transition();
+  uint64_t best_from_state = 0;
+  for (size_t s = 0; s < pi.size(); ++s) {
+    const MixingResult from = mixing_time_from_state(csr, s, pi, 0.25, 1 << 22);
+    best_from_state = std::max(best_from_state, from.time);
+  }
+  EXPECT_EQ(best_from_state, worst.time);
+}
+
+TEST(MixingTimeTest, NonConvergenceReported) {
+  // Plateau at huge beta: mixing time astronomically large; cap must trip.
+  PlateauGame game(8, 4.0, 2.0);
+  LogitChain chain(game, 40.0);
+  const MixingResult r = mixing_time_doubling(chain.dense_transition(),
+                                              chain.stationary(), 0.25,
+                                              /*max_time=*/1 << 12);
+  EXPECT_FALSE(r.converged);
+  EXPECT_GT(r.distance, 0.25);
+}
+
+TEST(MixingTimeTest, LumpedChainMixesLikeProjectedProcess) {
+  // For the weight-lumpable plateau game, the lumped mixing time must
+  // lower-bound the full chain's (projection contracts TV).
+  const int n = 6;
+  const double beta = 2.0;
+  PlateauGame game(n, 3.0, 1.0);
+  LogitChain chain(game, beta);
+  const MixingResult full =
+      mixing_time_doubling(chain.dense_transition(), chain.stationary(), 0.25);
+  std::vector<double> phi(size_t(n) + 1);
+  for (int k = 0; k <= n; ++k) phi[size_t(k)] = game.potential_of_weight(k);
+  const BirthDeathChain bd = BirthDeathChain::weight_chain(n, beta, phi);
+  const MixingResult lumped =
+      mixing_time_doubling(bd.transition(), bd.stationary(), 0.25);
+  ASSERT_TRUE(full.converged && lumped.converged);
+  EXPECT_LE(lumped.time, full.time);
+  // And for this fully weight-symmetric game they are in fact close.
+  EXPECT_GE(double(lumped.time), 0.5 * double(full.time));
+}
+
+}  // namespace
+}  // namespace logitdyn

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/potential_stats.hpp"
+#include "analysis/zeta.hpp"
+#include "core/gibbs.hpp"
+#include "core/lumped.hpp"
+#include "games/graphical_coordination.hpp"
+#include "games/plateau.hpp"
+#include "games/random_potential.hpp"
+#include "graph/builders.hpp"
+#include "rng/rng.hpp"
+
+namespace logitdyn {
+namespace {
+
+TEST(ZetaTest, FlatPotentialHasZeroClimb) {
+  const ProfileSpace sp(4, 2);
+  const std::vector<double> phi(sp.num_profiles(), 3.0);
+  EXPECT_DOUBLE_EQ(max_potential_climb(sp, phi), 0.0);
+}
+
+TEST(ZetaTest, MonotonePotentialHasZeroClimb) {
+  // Phi = weight: from any x to any y there is a Hamming path never
+  // exceeding max(Phi(x), Phi(y)).
+  const ProfileSpace sp(5, 2);
+  std::vector<double> phi(sp.num_profiles());
+  for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
+    phi[idx] = double(sp.count_playing(idx, 1));
+  }
+  EXPECT_DOUBLE_EQ(max_potential_climb(sp, phi), 0.0);
+}
+
+TEST(ZetaTest, PlateauGameClimbEqualsBarrierFromShallowerWell) {
+  // The two wells are Phi = -g (weight 0 and weight >= 2c); the ridge is
+  // Phi = 0 at weight c. Crossing from either well costs g... but zeta
+  // measures from the *higher* endpoint over all pairs, which is a state
+  // on the ridge-adjacent slope; the max climb is attained from a well:
+  // zeta = 0 - (-g) = g.
+  PlateauGame game(8, 4.0, 2.0);
+  const std::vector<double> phi = potential_table(game);
+  EXPECT_DOUBLE_EQ(max_potential_climb(game.space(), phi), 4.0);
+}
+
+TEST(ZetaTest, MatchesBruteForceOnRandomPotentials) {
+  Rng rng(13);
+  for (int trial = 0; trial < 8; ++trial) {
+    const ProfileSpace sp(trial % 2 == 0 ? 3 : 4, trial % 2 == 0 ? 3 : 2);
+    std::vector<double> phi(sp.num_profiles());
+    for (double& v : phi) v = rng.uniform() * 4.0;
+    EXPECT_NEAR(max_potential_climb(sp, phi),
+                max_potential_climb_brute_force(sp, phi), 1e-12)
+        << "trial " << trial;
+  }
+}
+
+TEST(ZetaTest, CliqueCoordinationClimbIsBarrierMinusShallowWell) {
+  // Paper Sect. 5.2: zeta = Phi_max - Phi(all-ones) when delta0 >= delta1.
+  const int n = 6;
+  const double d0 = 2.0, d1 = 1.0;
+  GraphicalCoordinationGame game(make_clique(uint32_t(n)),
+                                 CoordinationPayoffs::from_deltas(d0, d1));
+  const std::vector<double> phi = potential_table(game);
+  const std::vector<double> wphi = clique_weight_potential(n, d0, d1);
+  const double phi_max = *std::max_element(wphi.begin(), wphi.end());
+  const double phi_ones = wphi[size_t(n)];
+  EXPECT_NEAR(max_potential_climb(game.space(), phi), phi_max - phi_ones,
+              1e-12);
+}
+
+TEST(ZetaTest, PairwiseClimbProperties) {
+  PlateauGame game(6, 3.0, 1.0);
+  const std::vector<double> phi = potential_table(game);
+  const ProfileSpace& sp = game.space();
+  const size_t zeros = sp.index(Profile(6, 0));
+  const size_t ones = sp.index(Profile(6, 1));
+  // Well to well: must climb the full barrier from Phi = -g to 0:
+  EXPECT_DOUBLE_EQ(potential_climb_between(sp, phi, zeros, ones), 3.0);
+  // A state to itself:
+  EXPECT_DOUBLE_EQ(potential_climb_between(sp, phi, zeros, zeros), 0.0);
+  // Symmetric in its arguments:
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t a = rng.uniform_int(sp.num_profiles());
+    const size_t b = rng.uniform_int(sp.num_profiles());
+    EXPECT_NEAR(potential_climb_between(sp, phi, a, b),
+                potential_climb_between(sp, phi, b, a), 1e-12);
+  }
+}
+
+TEST(ZetaTest, PathGraphVariant) {
+  // 1-D double well: heights [0, 3, 1, 5, 0]:
+  // worst pair is the two zeros across the 5-ridge: climb 5.
+  EXPECT_DOUBLE_EQ(max_climb_on_path(std::vector<double>{0, 3, 1, 5, 0}), 5.0);
+  // Monotone: no climb.
+  EXPECT_DOUBLE_EQ(max_climb_on_path(std::vector<double>{0, 1, 2, 3}), 0.0);
+  // Single state:
+  EXPECT_DOUBLE_EQ(max_climb_on_path(std::vector<double>{7.0}), 0.0);
+}
+
+TEST(ZetaTest, PathVariantAgreesWithWeightPotentialOfPlateau) {
+  PlateauGame game(8, 4.0, 2.0);
+  std::vector<double> wphi(9);
+  for (int k = 0; k <= 8; ++k) wphi[size_t(k)] = game.potential_of_weight(k);
+  EXPECT_DOUBLE_EQ(max_climb_on_path(wphi), 4.0);
+}
+
+TEST(PotentialStatsTest, PlateauGameStats) {
+  PlateauGame game(8, 4.0, 2.0);
+  const std::vector<double> phi = potential_table(game);
+  const PotentialStats stats = potential_stats(game.space(), phi);
+  EXPECT_DOUBLE_EQ(stats.min, -4.0);
+  EXPECT_DOUBLE_EQ(stats.max, 0.0);
+  EXPECT_DOUBLE_EQ(stats.global_variation, 4.0);   // = g
+  EXPECT_DOUBLE_EQ(stats.local_variation, 2.0);    // = l
+}
+
+TEST(PotentialStatsTest, ArgExtremaConsistent) {
+  Rng rng(7);
+  const ProfileSpace sp(3, 3);
+  std::vector<double> phi(sp.num_profiles());
+  for (double& v : phi) v = rng.uniform();
+  const PotentialStats stats = potential_stats(sp, phi);
+  EXPECT_DOUBLE_EQ(phi[stats.argmin], stats.min);
+  EXPECT_DOUBLE_EQ(phi[stats.argmax], stats.max);
+  EXPECT_GE(stats.local_variation, 0.0);
+  EXPECT_LE(stats.local_variation, stats.global_variation + 1e-12);
+}
+
+}  // namespace
+}  // namespace logitdyn

@@ -34,14 +34,15 @@ void simulate_annealed(const Game& game, const BetaSchedule& schedule,
                        Profile& x, int64_t steps, Rng& rng) {
   LD_CHECK(steps >= 0, "simulate_annealed: negative step count");
   const ProfileSpace& sp = game.space();
-  std::vector<double> sigma;
+  std::vector<double> sigma(size_t(sp.max_strategies()));
   for (int64_t t = 1; t <= steps; ++t) {
     const double beta = schedule(t);
     LD_CHECK(beta >= 0, "simulate_annealed: schedule produced beta < 0");
     const int i = int(rng.uniform_int(uint64_t(sp.num_players())));
-    sigma.resize(size_t(sp.num_strategies(i)));
-    logit_update_distribution(game, beta, i, x, sigma);
-    x[size_t(i)] = Strategy(rng.sample_discrete(sigma));
+    std::span<double> out(sigma.data(), size_t(sp.num_strategies(i)));
+    // One utility_row query per annealed update.
+    logit_update_distribution(game, beta, i, x, out);
+    x[size_t(i)] = Strategy(rng.sample_discrete(out));
   }
 }
 

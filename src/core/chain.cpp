@@ -21,18 +21,22 @@ DenseMatrix LogitChain::dense_transition() const {
   const int n = sp.num_players();
   DenseMatrix p(total, total);
   Profile x;
-  std::vector<double> sigma(size_t(sp.max_strategies()));
+  // One batched update-rule call per state: every player's sigma_i(. | x)
+  // in a single oracle pass (Eq. (2) applied to each row of Eq. (3)).
+  std::vector<double> rows(sp.total_strategies());
   for (size_t idx = 0; idx < total; ++idx) {
     sp.decode_into(idx, x);
+    logit_update_rows(game_, beta_, x, rows);
+    size_t offset = 0;
     for (int i = 0; i < n; ++i) {
       const int32_t m = sp.num_strategies(i);
-      std::span<double> out(sigma.data(), size_t(m));
-      logit_update_distribution(game_, beta_, i, x, out);
       for (Strategy s = 0; s < m; ++s) {
         // Eq. (3): the diagonal accumulates every player's probability of
         // re-picking her current strategy.
-        p(idx, sp.with_strategy(idx, i, s)) += out[size_t(s)] / double(n);
+        p(idx, sp.with_strategy(idx, i, s)) +=
+            rows[offset + size_t(s)] / double(n);
       }
+      offset += size_t(m);
     }
   }
   return p;
@@ -45,18 +49,19 @@ CsrMatrix LogitChain::csr_transition() const {
   std::vector<Triplet> trips;
   trips.reserve(total * size_t(n) * 2);
   Profile x;
-  std::vector<double> sigma(size_t(sp.max_strategies()));
+  std::vector<double> rows(sp.total_strategies());
   for (size_t idx = 0; idx < total; ++idx) {
     sp.decode_into(idx, x);
+    logit_update_rows(game_, beta_, x, rows);
+    size_t offset = 0;
     for (int i = 0; i < n; ++i) {
       const int32_t m = sp.num_strategies(i);
-      std::span<double> out(sigma.data(), size_t(m));
-      logit_update_distribution(game_, beta_, i, x, out);
       for (Strategy s = 0; s < m; ++s) {
         trips.push_back({uint32_t(idx),
                          uint32_t(sp.with_strategy(idx, i, s)),
-                         out[size_t(s)] / double(n)});
+                         rows[offset + size_t(s)] / double(n)});
       }
+      offset += size_t(m);
     }
   }
   return CsrMatrix(total, total, std::move(trips));
@@ -79,14 +84,20 @@ std::vector<double> LogitChain::stationary(
   return gibbs_from_potentials(potential_hint, beta_).probabilities;
 }
 
-int LogitChain::step(Profile& x, Rng& rng) const {
+int LogitChain::step(Profile& x, Rng& rng, std::span<double> sigma) const {
   const ProfileSpace& sp = game_.space();
   const int i = int(rng.uniform_int(uint64_t(sp.num_players())));
   const int32_t m = sp.num_strategies(i);
-  std::vector<double> sigma(static_cast<size_t>(m));
-  logit_update_distribution(game_, beta_, i, x, sigma);
-  x[size_t(i)] = Strategy(rng.sample_discrete(sigma));
+  LD_CHECK(sigma.size() >= size_t(m), "LogitChain::step: scratch too small");
+  std::span<double> out(sigma.data(), size_t(m));
+  logit_update_distribution(game_, beta_, i, x, out);
+  x[size_t(i)] = Strategy(rng.sample_discrete(out));
   return i;
+}
+
+int LogitChain::step(Profile& x, Rng& rng) const {
+  std::vector<double> sigma(size_t(game_.space().max_strategies()));
+  return step(x, rng, sigma);
 }
 
 size_t LogitChain::step_index(size_t state, Rng& rng) const {

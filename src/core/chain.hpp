@@ -41,7 +41,11 @@ class LogitChain {
   std::vector<double> stationary(std::span<const double> potential_hint) const;
 
   /// One in-place simulation step on a decoded profile. Returns the
-  /// updated player.
+  /// updated player. `sigma` is caller-owned scratch of size >=
+  /// max_strategies(): hot loops pass it once so stepping never allocates.
+  int step(Profile& x, Rng& rng, std::span<double> sigma) const;
+
+  /// Allocating convenience overload.
   int step(Profile& x, Rng& rng) const;
 
   /// One step on an encoded state index (decodes internally; prefer the

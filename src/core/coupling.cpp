@@ -9,13 +9,16 @@
 
 namespace logitdyn {
 
-void coupled_step(const LogitChain& chain, Profile& x, Profile& y, Rng& rng) {
+void coupled_step(const LogitChain& chain, Profile& x, Profile& y, Rng& rng,
+                  CouplingWorkspace& ws) {
   const Game& game = chain.game();
   const ProfileSpace& sp = game.space();
   const int i = int(rng.uniform_int(uint64_t(sp.num_players())));
   const int32_t m = sp.num_strategies(i);
-  std::vector<double> sx(static_cast<size_t>(m));
-  std::vector<double> sy(static_cast<size_t>(m));
+  LD_CHECK(ws.sigma_x.size() >= size_t(m) && ws.sigma_y.size() >= size_t(m),
+           "coupled_step: workspace too small");
+  std::span<double> sx(ws.sigma_x.data(), size_t(m));
+  std::span<double> sy(ws.sigma_y.data(), size_t(m));
   logit_update_distribution(game, chain.beta(), i, x, sx);
   logit_update_distribution(game, chain.beta(), i, y, sy);
   // Maximal coupling with one uniform variate: the overlap mass
@@ -40,8 +43,8 @@ void coupled_step(const LogitChain& chain, Profile& x, Profile& y, Rng& rng) {
     return;
   }
   const double v = u - overlap;  // position within the leftover region
-  auto pick_leftover = [m, v](const std::vector<double>& mine,
-                              const std::vector<double>& other) {
+  auto pick_leftover = [m, v](std::span<const double> mine,
+                              std::span<const double> other) {
     double acc = 0.0;
     for (int32_t s = 0; s < m; ++s) {
       acc += mine[size_t(s)] - std::min(mine[size_t(s)], other[size_t(s)]);
@@ -53,12 +56,18 @@ void coupled_step(const LogitChain& chain, Profile& x, Profile& y, Rng& rng) {
   y[size_t(i)] = pick_leftover(sy, sx);
 }
 
+void coupled_step(const LogitChain& chain, Profile& x, Profile& y, Rng& rng) {
+  CouplingWorkspace ws(chain);
+  coupled_step(chain, x, y, rng, ws);
+}
+
 int64_t coupling_time(const LogitChain& chain, const Profile& x0,
                       const Profile& y0, int64_t max_steps, Rng& rng) {
   Profile x = x0, y = y0;
   if (x == y) return 0;
+  CouplingWorkspace ws(chain);
   for (int64_t t = 1; t <= max_steps; ++t) {
-    coupled_step(chain, x, y, rng);
+    coupled_step(chain, x, y, rng, ws);
     if (x == y) return t;
   }
   return -1;

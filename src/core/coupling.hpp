@@ -20,9 +20,23 @@
 
 namespace logitdyn {
 
+/// Caller-owned scratch for allocation-free coupled stepping: two update
+/// rows of size >= max_strategies().
+struct CouplingWorkspace {
+  std::vector<double> sigma_x, sigma_y;
+
+  explicit CouplingWorkspace(const LogitChain& chain)
+      : sigma_x(size_t(chain.game().space().max_strategies())),
+        sigma_y(size_t(chain.game().space().max_strategies())) {}
+};
+
 /// One maximal-coupling step of two copies of the chain. Both profiles are
 /// updated in place; the same player is selected in both. Marginally each
 /// profile performs an exact logit step.
+void coupled_step(const LogitChain& chain, Profile& x, Profile& y, Rng& rng,
+                  CouplingWorkspace& ws);
+
+/// Allocating convenience overload.
 void coupled_step(const LogitChain& chain, Profile& x, Profile& y, Rng& rng);
 
 /// Steps until the two chains meet, or -1 if not within `max_steps`.

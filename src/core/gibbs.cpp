@@ -24,9 +24,13 @@ std::vector<double> potential_table(const PotentialGame& game) {
   const ProfileSpace& sp = game.space();
   std::vector<double> phi(sp.num_profiles());
   Profile x;
-  for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
-    sp.decode_into(idx, x);
-    phi[idx] = game.potential(x);
+  // Player 0 is the least-significant digit (stride 1), so each
+  // potential_row call fills a contiguous block of the table and the
+  // per-candidate work is shared through the game's oracle.
+  const size_t m0 = size_t(sp.num_strategies(0));
+  for (size_t base = 0; base < sp.num_profiles(); base += m0) {
+    sp.decode_into(base, x);
+    game.potential_row(0, x, std::span<double>(phi.data() + base, m0));
   }
   return phi;
 }

@@ -12,12 +12,11 @@ void logit_update_distribution(const Game& game, double beta, int player,
   LD_CHECK(out.size() == size_t(m), "logit update: output size mismatch");
   LD_CHECK(x.size() == size_t(game.num_players()),
            "logit update: profile size mismatch");
-  const Strategy saved = x[size_t(player)];
-  for (Strategy s = 0; s < m; ++s) {
-    x[size_t(player)] = s;
-    out[size_t(s)] = beta * game.utility(player, x);
-  }
-  x[size_t(player)] = saved;
+  // One row query instead of m independent utility evaluations: games
+  // with incremental oracles share the opponent-dependent work across the
+  // whole candidate row (DESIGN.md §6).
+  game.utility_row(player, x, out);
+  for (double& v : out) v *= beta;
   softmax(out, out);
 }
 
@@ -27,6 +26,22 @@ std::vector<double> logit_update_distribution(const Game& game, double beta,
   Profile scratch = x;
   logit_update_distribution(game, beta, player, scratch, out);
   return out;
+}
+
+void logit_update_rows(const Game& game, double beta, Profile& x,
+                       std::span<double> flat) {
+  LD_CHECK(beta >= 0.0, "logit update: beta must be non-negative");
+  LD_CHECK(flat.size() == game.space().total_strategies(),
+           "logit update rows: output size mismatch");
+  game.utility_rows(x, flat);
+  size_t offset = 0;
+  for (int i = 0; i < game.num_players(); ++i) {
+    const size_t m = size_t(game.num_strategies(i));
+    std::span<double> sigma = flat.subspan(offset, m);
+    for (double& v : sigma) v *= beta;
+    softmax(sigma, sigma);
+    offset += m;
+  }
 }
 
 }  // namespace logitdyn

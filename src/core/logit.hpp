@@ -23,4 +23,13 @@ void logit_update_distribution(const Game& game, double beta, int player,
 std::vector<double> logit_update_distribution(const Game& game, double beta,
                                               int player, const Profile& x);
 
+/// Batched update rule: fills `flat` (the concatenated per-player layout
+/// of Game::utility_rows, length space().total_strategies()) with
+/// sigma_i(. | x) for EVERY player — one batched oracle query followed by
+/// a per-player stable softmax. The single place the transition builders
+/// and the synchronous dynamics get their update rows from, so the update
+/// rule itself is defined here and in the single-row overload only.
+void logit_update_rows(const Game& game, double beta, Profile& x,
+                       std::span<double> flat);
+
 }  // namespace logitdyn

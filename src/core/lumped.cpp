@@ -113,6 +113,32 @@ BirthDeathChain BirthDeathChain::all_or_nothing_chain(int num_players,
   return BirthDeathChain(std::move(up), std::move(down));
 }
 
+std::vector<double> weight_potential_table(const PotentialGame& game) {
+  const ProfileSpace& sp = game.space();
+  const int n = sp.num_players();
+  for (int i = 0; i < n; ++i) {
+    LD_CHECK(sp.num_strategies(i) == 2,
+             "weight_potential_table: requires a 2-strategy game");
+  }
+  std::vector<double> phi(size_t(n) + 1);
+  Profile x(size_t(n), 0);
+  double row[2];
+  // Walk the staircase 0^n -> 1^k 0^{n-k}: at player k the row oracle
+  // sees weights k (candidate 0) and k+1 (candidate 1).
+  for (int k = 0; k < n; ++k) {
+    game.potential_row(k, x, std::span<double>(row, 2));
+    if (k == 0) phi[0] = row[0];
+    phi[size_t(k) + 1] = row[1];
+    x[size_t(k)] = 1;
+  }
+  return phi;
+}
+
+BirthDeathChain lumped_weight_chain(const PotentialGame& game, double beta) {
+  return BirthDeathChain::weight_chain(game.num_players(), beta,
+                                       weight_potential_table(game));
+}
+
 std::vector<double> clique_weight_potential(int num_players, double delta0,
                                             double delta1) {
   LD_CHECK(num_players >= 2, "clique_weight_potential: need n >= 2");

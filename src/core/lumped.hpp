@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "games/game.hpp"
 #include "linalg/dense_matrix.hpp"
 
 namespace logitdyn {
@@ -59,6 +60,19 @@ class BirthDeathChain {
  private:
   std::vector<double> up_, down_;
 };
+
+/// Weight-potential table [Phi(w=0), ..., Phi(w=n)] of a weight-symmetric
+/// two-strategy potential game, extracted through the potential_row
+/// oracle: the k-th row query — at the staircase profile 1^k 0^{n-k},
+/// player k — delivers Phi(weight k) and Phi(weight k+1) in a single
+/// incremental evaluation, so the whole table costs n row queries instead
+/// of n+1 full potential evaluations. Weight symmetry is assumed, not
+/// checked (callers pass the paper's symmetric games).
+std::vector<double> weight_potential_table(const PotentialGame& game);
+
+/// Lumped birth-death chain of a weight-symmetric two-strategy potential
+/// game: weight_potential_table composed with weight_chain.
+BirthDeathChain lumped_weight_chain(const PotentialGame& game, double beta);
 
 /// Weight potential of the clique graphical coordination game:
 /// phi(k) = -( (n-k)(n-k-1)/2 * delta0 + k(k-1)/2 * delta1 ).

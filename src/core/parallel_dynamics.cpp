@@ -15,21 +15,22 @@ DenseMatrix ParallelLogitChain::dense_transition() const {
   const ProfileSpace& sp = game_.space();
   const size_t total = sp.num_profiles();
   const int n = sp.num_players();
-  // Precompute per-(state, player) update distributions, then take the
-  // product across players for each target profile.
-  std::vector<std::vector<double>> sigma(static_cast<size_t>(n));
+  // One batched oracle call per from-state yields every player's update
+  // distribution; the transition row is their product per target profile.
+  std::vector<double> rows(sp.total_strategies());
+  std::vector<size_t> offset(static_cast<size_t>(n) + 1, 0);
+  for (int i = 0; i < n; ++i) {
+    offset[size_t(i) + 1] = offset[size_t(i)] + size_t(sp.num_strategies(i));
+  }
   DenseMatrix p(total, total);
   Profile x;
   for (size_t from = 0; from < total; ++from) {
     sp.decode_into(from, x);
-    for (int i = 0; i < n; ++i) {
-      sigma[size_t(i)].resize(size_t(sp.num_strategies(i)));
-      logit_update_distribution(game_, beta_, i, x, sigma[size_t(i)]);
-    }
+    logit_update_rows(game_, beta_, x, rows);
     for (size_t to = 0; to < total; ++to) {
       double prob = 1.0;
       for (int i = 0; i < n; ++i) {
-        prob *= sigma[size_t(i)][size_t(sp.strategy_of(to, i))];
+        prob *= rows[offset[size_t(i)] + size_t(sp.strategy_of(to, i))];
         if (prob == 0.0) break;
       }
       p(from, to) = prob;
@@ -46,12 +47,16 @@ void ParallelLogitChain::step(Profile& x, Rng& rng) const {
   const ProfileSpace& sp = game_.space();
   const int n = sp.num_players();
   Profile next = x;
-  std::vector<double> sigma;
+  // All draws are against the old profile x, so one batched update-rule
+  // call serves every player's simultaneous update.
+  std::vector<double> rows(sp.total_strategies());
+  logit_update_rows(game_, beta_, x, rows);
+  size_t offset = 0;
   for (int i = 0; i < n; ++i) {
-    sigma.resize(size_t(sp.num_strategies(i)));
-    // All draws are against the old profile x.
-    logit_update_distribution(game_, beta_, i, x, sigma);
-    next[size_t(i)] = Strategy(rng.sample_discrete(sigma));
+    const size_t m = size_t(sp.num_strategies(i));
+    next[size_t(i)] = Strategy(rng.sample_discrete(
+        std::span<const double>(rows.data() + offset, m)));
+    offset += m;
   }
   x = std::move(next);
 }

@@ -11,8 +11,11 @@ namespace logitdyn {
 void simulate(const LogitChain& chain, Profile& x, int64_t steps, Rng& rng,
               const StepObserver& observer) {
   LD_CHECK(steps >= 0, "simulate: negative step count");
+  // One scratch row for the whole trajectory: stepping is allocation-free
+  // and each update is a single utility_row query.
+  std::vector<double> sigma(size_t(chain.game().space().max_strategies()));
   for (int64_t t = 0; t < steps; ++t) {
-    chain.step(x, rng);
+    chain.step(x, rng, sigma);
     if (observer) observer(t + 1, x);
   }
 }
@@ -66,8 +69,9 @@ int64_t hitting_time(const LogitChain& chain, const Profile& start,
                      int64_t max_steps, Rng& rng) {
   Profile x = start;
   if (target(x)) return 0;
+  std::vector<double> sigma(size_t(chain.game().space().max_strategies()));
   for (int64_t t = 1; t <= max_steps; ++t) {
-    chain.step(x, rng);
+    chain.step(x, rng, sigma);
     if (target(x)) return t;
   }
   return -1;

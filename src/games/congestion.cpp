@@ -70,6 +70,86 @@ double CongestionGame::utility(int player, const Profile& x) const {
   return -cost;
 }
 
+const std::vector<int>& CongestionGame::opponent_loads(
+    int player, const Profile& x) const {
+  thread_local std::vector<int> base_load;
+  base_load.assign(size_t(num_resources_), 0);
+  for (size_t j = 0; j < x.size(); ++j) {
+    if (int(j) == player) continue;
+    for (int r : strategies_[j][size_t(x[j])]) base_load[size_t(r)] += 1;
+  }
+  return base_load;
+}
+
+void CongestionGame::utility_row(int player, Profile& x,
+                                 std::span<double> out) const {
+  LD_CHECK(out.size() == size_t(num_strategies(player)),
+           "utility_row: output size mismatch");
+  // Loads with `player` removed, shared across the whole candidate row.
+  const std::vector<int>& base_load = opponent_loads(player, x);
+  const auto& mine = strategies_[size_t(player)];
+  for (size_t s = 0; s < out.size(); ++s) {
+    double cost = 0.0;
+    // Joining resource r raises its load to base_load[r] + 1, so the
+    // player pays latency[r][base_load[r]] — same terms, same order as
+    // `utility`, hence bit-identical results.
+    for (int r : mine[s]) {
+      cost += latency_[size_t(r)][size_t(base_load[size_t(r)])];
+    }
+    out[s] = -cost;
+  }
+}
+
+void CongestionGame::utility_rows(Profile& x, std::span<double> flat) const {
+  LD_CHECK(flat.size() == space_.total_strategies(),
+           "utility_rows: output size mismatch");
+  thread_local std::vector<int> load;
+  load.assign(size_t(num_resources_), 0);
+  for (size_t j = 0; j < x.size(); ++j) {
+    for (int r : strategies_[j][size_t(x[j])]) load[size_t(r)] += 1;
+  }
+  size_t offset = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const auto& mine = strategies_[i];
+    const auto& current = mine[size_t(x[i])];
+    // Temporarily remove player i: the decremented loads are exactly the
+    // base loads utility_row computes from scratch, so each entry is
+    // bit-identical to the single-row oracle (and to `utility`).
+    for (int r : current) load[size_t(r)] -= 1;
+    for (size_t s = 0; s < mine.size(); ++s) {
+      double cost = 0.0;
+      for (int r : mine[s]) {
+        cost += latency_[size_t(r)][size_t(load[size_t(r)])];
+      }
+      flat[offset + s] = -cost;
+    }
+    for (int r : current) load[size_t(r)] += 1;
+    offset += mine.size();
+  }
+}
+
+void CongestionGame::potential_row(int player, Profile& x,
+                                   std::span<double> out) const {
+  LD_CHECK(out.size() == size_t(num_strategies(player)),
+           "potential_row: output size mismatch");
+  const std::vector<int>& base_load = opponent_loads(player, x);
+  // Rosenthal potential of the opponents alone, computed once.
+  double phi_base = 0.0;
+  for (int r = 0; r < num_resources_; ++r) {
+    for (int k = 1; k <= base_load[size_t(r)]; ++k) {
+      phi_base += latency_[size_t(r)][size_t(k - 1)];
+    }
+  }
+  const auto& mine = strategies_[size_t(player)];
+  for (size_t s = 0; s < out.size(); ++s) {
+    double delta = 0.0;
+    for (int r : mine[s]) {
+      delta += latency_[size_t(r)][size_t(base_load[size_t(r)])];
+    }
+    out[s] = phi_base + delta;
+  }
+}
+
 double CongestionGame::social_welfare(const Profile& x) const {
   double welfare = 0.0;
   for (int i = 0; i < num_players(); ++i) welfare += utility(i, x);

@@ -30,6 +30,23 @@ class CongestionGame : public PotentialGame {
   const ProfileSpace& space() const override { return space_; }
   double potential(const Profile& x) const override;
   double utility(int player, const Profile& x) const override;
+
+  /// Incremental oracle: resource loads with `player` removed are computed
+  /// once (O(n * |subset|)), then each candidate subset gathers its cost
+  /// from those base loads in O(|subset|) — no per-candidate load rebuild.
+  void utility_row(int player, Profile& x,
+                   std::span<double> out) const override;
+
+  /// Rosenthal deltas off the same base loads:
+  /// Phi(s, x_{-i}) = Phi_base + sum_{r in S_s} latency[r][base_load[r]].
+  void potential_row(int player, Profile& x,
+                     std::span<double> out) const override;
+
+  /// Batched oracle: the full load vector is built ONCE per profile; each
+  /// player's base loads are obtained by decrementing (then restoring) her
+  /// own subset — O(n*L + sum_i m_i*L) per profile instead of O(n^2*L).
+  void utility_rows(Profile& x, std::span<double> flat) const override;
+
   std::string name() const override;
 
   /// Load profile: users per resource under x.
@@ -41,6 +58,10 @@ class CongestionGame : public PotentialGame {
  private:
   static ProfileSpace make_space(
       const std::vector<std::vector<std::vector<int>>>& strategies);
+
+  /// Resource loads of all players except `player` under x, in a
+  /// thread-local buffer valid until the next call on this thread.
+  const std::vector<int>& opponent_loads(int player, const Profile& x) const;
 
   int num_resources_;
   std::vector<std::vector<std::vector<int>>> strategies_;

@@ -30,6 +30,18 @@ double CoordinationGame::utility(int player, const Profile& x) const {
   return theirs == 0 ? payoffs_.d : payoffs_.b;
 }
 
+void CoordinationGame::utility_row(int player, Profile& x,
+                                   std::span<double> out) const {
+  LD_CHECK(out.size() == 2, "CoordinationGame::utility_row: 2 strategies");
+  const Strategy theirs = x[size_t(1 - player)];
+  out[0] = theirs == 0 ? payoffs_.a : payoffs_.c;
+  out[1] = theirs == 0 ? payoffs_.d : payoffs_.b;
+}
+
+void CoordinationGame::utility_rows(Profile& x, std::span<double> flat) const {
+  Game::utility_rows(x, flat);  // two O(1) utility_row calls
+}
+
 int CoordinationGame::risk_dominant_equilibrium() const {
   if (payoffs_.delta0() > payoffs_.delta1()) return -1;
   if (payoffs_.delta0() < payoffs_.delta1()) return +1;

@@ -37,6 +37,15 @@ class CoordinationGame : public PotentialGame {
   const ProfileSpace& space() const override { return space_; }
   double potential(const Profile& x) const override;
   double utility(int player, const Profile& x) const override;
+
+  /// O(1) oracle: the opponent's strategy selects one payoff column.
+  void utility_row(int player, Profile& x,
+                   std::span<double> out) const override;
+
+  /// Bypass PotentialGame's negated-potential batch: the per-player
+  /// payoffs are not -Phi.
+  void utility_rows(Profile& x, std::span<double> flat) const override;
+
   std::string name() const override { return "coordination-2x2"; }
 
   const CoordinationPayoffs& payoffs() const { return payoffs_; }

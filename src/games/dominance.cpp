@@ -49,12 +49,12 @@ bool dominates(const Game& game,
   bool never_worse = true;
   bool strictly_better_everywhere = true;
   Profile x(size_t(game.num_players()), 0);
+  std::vector<double> row(size_t(game.num_strategies(player)));
   SurvivorEnumerator enumerate(game.space(), surviving, player);
   enumerate.for_each(x, [&](Profile& profile) {
-    profile[size_t(player)] = t;
-    const double u_t = game.utility(player, profile);
-    profile[size_t(player)] = s;
-    const double u_s = game.utility(player, profile);
+    game.utility_row(player, profile, row);
+    const double u_t = row[size_t(t)];
+    const double u_s = row[size_t(s)];
     if (u_t > u_s) {
       strictly_better_somewhere = true;
     } else {

@@ -17,6 +17,35 @@ double AllOrNothingGame::potential(const Profile& x) const {
   return 0.0;
 }
 
+void AllOrNothingGame::potential_row(int player, Profile& x,
+                                     std::span<double> out) const {
+  LD_CHECK(out.size() == size_t(num_strategies(player)),
+           "AllOrNothingGame::potential_row: output size mismatch");
+  bool rest_nonzero = false;
+  for (size_t j = 0; j < x.size(); ++j) {
+    if (int(j) != player && x[j] != 0) {
+      rest_nonzero = true;
+      break;
+    }
+  }
+  out[0] = rest_nonzero ? 1.0 : 0.0;
+  for (size_t s = 1; s < out.size(); ++s) out[s] = 1.0;
+}
+
+void AllOrNothingGame::potential_rows(Profile& x,
+                                      std::span<double> flat) const {
+  LD_CHECK(flat.size() == space_.total_strategies(),
+           "AllOrNothingGame::potential_rows: output size mismatch");
+  int nonzero = 0;
+  for (Strategy s : x) nonzero += (s != 0);
+  const size_t m = size_t(num_strategies(0));
+  for (size_t i = 0; i < x.size(); ++i) {
+    const bool rest_nonzero = (nonzero - (x[i] != 0)) > 0;
+    flat[i * m] = rest_nonzero ? 1.0 : 0.0;
+    for (size_t s = 1; s < m; ++s) flat[i * m + s] = 1.0;
+  }
+}
+
 std::string AllOrNothingGame::name() const {
   return "all-or-nothing(n=" + std::to_string(num_players()) +
          ",m=" + std::to_string(num_strategies(0)) + ")";

@@ -19,6 +19,15 @@ class AllOrNothingGame : public PotentialGame {
 
   const ProfileSpace& space() const override { return space_; }
   double potential(const Profile& x) const override;
+
+  /// Incremental oracle: one O(n) scan for a nonzero opponent strategy,
+  /// then every candidate is O(1).
+  void potential_row(int player, Profile& x,
+                     std::span<double> out) const override;
+
+  /// Batched oracle: one O(n) nonzero count, O(m) per player.
+  void potential_rows(Profile& x, std::span<double> flat) const override;
+
   std::string name() const override;
 
   /// Potential as a function of k = number of players *not* playing 0

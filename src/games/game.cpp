@@ -1,21 +1,77 @@
 #include "games/game.hpp"
 
+#include "support/error.hpp"
+
 namespace logitdyn {
+
+void Game::utility_row(int player, Profile& x, std::span<double> out) const {
+  LD_CHECK(out.size() == size_t(num_strategies(player)),
+           "utility_row: output size mismatch");
+  const Strategy saved = x[size_t(player)];
+  for (Strategy s = 0; s < Strategy(out.size()); ++s) {
+    x[size_t(player)] = s;
+    out[size_t(s)] = utility(player, x);
+  }
+  x[size_t(player)] = saved;
+}
+
+void Game::utility_rows(Profile& x, std::span<double> flat) const {
+  LD_CHECK(flat.size() == space().total_strategies(),
+           "utility_rows: output size mismatch");
+  size_t offset = 0;
+  for (int i = 0; i < num_players(); ++i) {
+    const size_t m = size_t(num_strategies(i));
+    utility_row(i, x, flat.subspan(offset, m));
+    offset += m;
+  }
+}
+
+void PotentialGame::potential_row(int player, Profile& x,
+                                  std::span<double> out) const {
+  LD_CHECK(out.size() == size_t(num_strategies(player)),
+           "potential_row: output size mismatch");
+  const Strategy saved = x[size_t(player)];
+  for (Strategy s = 0; s < Strategy(out.size()); ++s) {
+    x[size_t(player)] = s;
+    out[size_t(s)] = potential(x);
+  }
+  x[size_t(player)] = saved;
+}
+
+void PotentialGame::utility_row(int player, Profile& x,
+                                std::span<double> out) const {
+  potential_row(player, x, out);
+  for (double& v : out) v = -v;
+}
+
+void PotentialGame::potential_rows(Profile& x, std::span<double> flat) const {
+  LD_CHECK(flat.size() == space().total_strategies(),
+           "potential_rows: output size mismatch");
+  size_t offset = 0;
+  for (int i = 0; i < num_players(); ++i) {
+    const size_t m = size_t(num_strategies(i));
+    potential_row(i, x, flat.subspan(offset, m));
+    offset += m;
+  }
+}
+
+void PotentialGame::utility_rows(Profile& x, std::span<double> flat) const {
+  potential_rows(x, flat);
+  for (double& v : flat) v = -v;
+}
 
 bool is_dominant_strategy(const Game& game, int player, Strategy s) {
   const ProfileSpace& sp = game.space();
   Profile x(size_t(sp.num_players()));
+  std::vector<double> row(size_t(sp.num_strategies(player)));
   // Enumerate all profiles; for each opponent sub-profile compare `s`
-  // against every alternative of `player`.
+  // against every alternative of `player` via one row query.
   for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
     if (sp.strategy_of(idx, player) != s) continue;  // canonicalize x_i = s
     sp.decode_into(idx, x);
-    const double u_s = game.utility(player, x);
+    game.utility_row(player, x, row);
     for (Strategy alt = 0; alt < sp.num_strategies(player); ++alt) {
-      if (alt == s) continue;
-      x[size_t(player)] = alt;
-      if (game.utility(player, x) > u_s) return false;
-      x[size_t(player)] = s;
+      if (row[size_t(alt)] > row[size_t(s)]) return false;
     }
   }
   return true;
@@ -30,14 +86,14 @@ bool is_dominant_profile(const Game& game, const Profile& profile) {
 
 bool is_pure_nash(const Game& game, const Profile& x) {
   Profile y = x;
+  std::vector<double> row;
   for (int i = 0; i < game.num_players(); ++i) {
-    const double u = game.utility(i, x);
+    row.resize(size_t(game.num_strategies(i)));
+    game.utility_row(i, y, row);
+    const double u = row[size_t(x[size_t(i)])];
     for (Strategy s = 0; s < game.num_strategies(i); ++s) {
-      if (s == x[size_t(i)]) continue;
-      y[size_t(i)] = s;
-      if (game.utility(i, y) > u) return false;
+      if (row[size_t(s)] > u) return false;
     }
-    y[size_t(i)] = x[size_t(i)];
   }
   return true;
 }

@@ -6,6 +6,7 @@
 //     u_i(a, x_{-i}) - u_i(b, x_{-i}) = Phi(b, x_{-i}) - Phi(a, x_{-i}).
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "games/profile.hpp"
@@ -13,7 +14,8 @@
 namespace logitdyn {
 
 /// A finite n-player strategic game. Implementations must be cheap to call:
-/// `utility` sits in the innermost loop of chain construction & simulation.
+/// `utility` and `utility_row` sit in the innermost loop of chain
+/// construction & simulation.
 class Game {
  public:
   virtual ~Game() = default;
@@ -22,6 +24,36 @@ class Game {
 
   /// Payoff of `player` under profile `x`.
   virtual double utility(int player, const Profile& x) const = 0;
+
+  /// Local-move utility oracle (see DESIGN.md §6): fills
+  ///   out[s] = u_player(s, x_{-player})   for s in [0, |S_player|),
+  /// i.e. the utilities of every candidate strategy of `player` at the
+  /// fixed opponent sub-profile x_{-player}. This is the only shape of
+  /// utility query the logit dynamics ever makes (paper Eqs. (2)-(3)), so
+  /// the hot paths call this instead of m separate `utility` calls.
+  ///
+  /// `x` is scratch: implementations may overwrite x[player] but must
+  /// restore it before returning. `out.size()` must equal |S_player|.
+  ///
+  /// The default loops over the virtual `utility` (full recompute per
+  /// candidate). Subclasses override it with incremental evaluations that
+  /// share the opponent-dependent work across the row; overrides must
+  /// agree with `utility` to ~1e-12 on every entry (tested).
+  virtual void utility_row(int player, Profile& x,
+                           std::span<double> out) const;
+
+  /// Batched oracle: the utility rows of EVERY player at one profile,
+  /// concatenated into `flat` (player i's row occupies the |S_i| entries
+  /// after the rows of players 0..i-1; flat.size() must equal
+  /// space().total_strategies()). This is one full profile-column of the
+  /// chain-construction loop (Eq. (3) touches exactly these values per
+  /// state), so transition builders call it once per profile.
+  ///
+  /// Same scratch contract as `utility_row`. The default makes n
+  /// utility_row calls; games whose row setup is shared across players
+  /// (congestion loads, Ising energy, table encodes) override it to pay
+  /// that setup once per profile instead of once per row.
+  virtual void utility_rows(Profile& x, std::span<double> flat) const;
 
   virtual std::string name() const = 0;
 
@@ -44,6 +76,29 @@ class PotentialGame : public Game {
   double utility(int /*player*/, const Profile& x) const override {
     return -potential(x);
   }
+
+  /// Row analogue of `potential` (the potential-side oracle): fills
+  ///   out[s] = Phi(s, x_{-player})   for s in [0, |S_player|).
+  /// Same scratch contract as `Game::utility_row`. The default loops over
+  /// the virtual `potential`; subclasses override it with single-pass
+  /// potential deltas (local fields, Rosenthal deltas, weight counts).
+  virtual void potential_row(int player, Profile& x,
+                             std::span<double> out) const;
+
+  /// Batched analogue of `potential_row` (layout as in
+  /// Game::utility_rows). Default: n potential_row calls.
+  virtual void potential_rows(Profile& x, std::span<double> flat) const;
+
+  /// For the identical-interest representation u_i = -Phi the utility row
+  /// is the negated potential row, so any `potential_row` override
+  /// accelerates `utility_row` for free. Subclasses with overridden
+  /// per-player `utility` must override `utility_row` to match.
+  void utility_row(int player, Profile& x,
+                   std::span<double> out) const override;
+
+  /// Negated `potential_rows` — batched potential overrides accelerate
+  /// the batched utility oracle for free.
+  void utility_rows(Profile& x, std::span<double> flat) const override;
 };
 
 /// True iff `s` weakly dominates every other strategy of `player`

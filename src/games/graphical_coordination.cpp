@@ -42,6 +42,57 @@ double GraphicalCoordinationGame::utility(int player, const Profile& x) const {
   return u;
 }
 
+void GraphicalCoordinationGame::utility_row(int player, Profile& x,
+                                            std::span<double> out) const {
+  LD_CHECK(out.size() == 2,
+           "GraphicalCoordinationGame::utility_row: 2 strategies expected");
+  // Both candidates accumulate edge payoffs in the same neighbour order as
+  // `utility`, so each entry is bit-identical to a direct evaluation.
+  double u0 = 0.0, u1 = 0.0;
+  for (uint32_t w : graph_.neighbors(uint32_t(player))) {
+    u0 += edge_payoff(payoffs_, 0, x[w]);
+    u1 += edge_payoff(payoffs_, 1, x[w]);
+  }
+  out[0] = u0;
+  out[1] = u1;
+}
+
+void GraphicalCoordinationGame::fill_potential_row(
+    size_t v, double phi, const Profile& x, std::span<double> out) const {
+  const Strategy cur = x[v];
+  double d0 = 0.0, d1 = 0.0;
+  for (uint32_t w : graph_.neighbors(uint32_t(v))) {
+    const double cur_edge =
+        CoordinationGame::edge_potential(payoffs_, cur, x[w]);
+    d0 += CoordinationGame::edge_potential(payoffs_, 0, x[w]) - cur_edge;
+    d1 += CoordinationGame::edge_potential(payoffs_, 1, x[w]) - cur_edge;
+  }
+  out[0] = phi + d0;
+  out[1] = phi + d1;
+}
+
+void GraphicalCoordinationGame::potential_row(int player, Profile& x,
+                                              std::span<double> out) const {
+  LD_CHECK(out.size() == 2,
+           "GraphicalCoordinationGame::potential_row: 2 strategies expected");
+  fill_potential_row(size_t(player), potential(x), x, out);
+}
+
+void GraphicalCoordinationGame::utility_rows(Profile& x,
+                                             std::span<double> flat) const {
+  Game::utility_rows(x, flat);  // n already-local utility_row calls
+}
+
+void GraphicalCoordinationGame::potential_rows(Profile& x,
+                                               std::span<double> flat) const {
+  LD_CHECK(flat.size() == space_.total_strategies(),
+           "GraphicalCoordinationGame::potential_rows: size mismatch");
+  const double phi = potential(x);
+  for (size_t v = 0; v < x.size(); ++v) {
+    fill_potential_row(v, phi, x, flat.subspan(2 * v, 2));
+  }
+}
+
 std::string GraphicalCoordinationGame::name() const {
   return "graphical-coordination(n=" + std::to_string(graph_.num_vertices()) +
          ")";

@@ -19,6 +19,28 @@ class GraphicalCoordinationGame : public PotentialGame {
   const ProfileSpace& space() const override { return space_; }
   double potential(const Profile& x) const override;
   double utility(int player, const Profile& x) const override;
+
+  /// Incremental oracle: one pass over the player's neighbourhood
+  /// accumulates the payoff of both candidate strategies simultaneously
+  /// (the payoff only sees incident edges), instead of one pass per
+  /// candidate.
+  void utility_row(int player, Profile& x,
+                   std::span<double> out) const override;
+
+  /// Phi(s, x_{-i}) = Phi(x) + potential_delta(i, x, s): one O(|E|) base
+  /// evaluation plus an O(deg) delta pass for the whole row.
+  void potential_row(int player, Profile& x,
+                     std::span<double> out) const override;
+
+  /// The utility is edge-local, so the batched row is just n local rows;
+  /// this must bypass PotentialGame's negated-potential batch (the
+  /// per-player payoff is not -Phi).
+  void utility_rows(Profile& x, std::span<double> flat) const override;
+
+  /// Batched potential oracle: Phi(x) evaluated once, O(deg) deltas per
+  /// vertex — O(|E| + sum deg) per profile instead of O(n * |E|).
+  void potential_rows(Profile& x, std::span<double> flat) const override;
+
   std::string name() const override;
 
   const Graph& graph() const { return graph_; }
@@ -34,6 +56,11 @@ class GraphicalCoordinationGame : public PotentialGame {
   double monochromatic_potential(Strategy s) const;
 
  private:
+  /// Fill the 2-entry potential row of vertex `v` given Phi(x) (shared by
+  /// the single and batched row).
+  void fill_potential_row(size_t v, double phi, const Profile& x,
+                          std::span<double> out) const;
+
   Graph graph_;
   ProfileSpace space_;
   CoordinationPayoffs payoffs_;

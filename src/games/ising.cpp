@@ -26,6 +26,36 @@ double IsingGame::potential(const Profile& x) const {
   return energy;
 }
 
+void IsingGame::fill_spin_row(size_t v, double energy, const Profile& x,
+                              std::span<double> out) const {
+  // Local field at `v`: the energy depends on sigma_v only through
+  // -sigma_v * (J * sum of neighbour spins + h).
+  double field = field_;
+  for (uint32_t w : graph_.neighbors(uint32_t(v))) {
+    field += coupling_ * double(2 * x[w] - 1);
+  }
+  const double sigma_cur = double(2 * x[v] - 1);
+  const double energy_rest = energy + sigma_cur * field;
+  out[0] = energy_rest + field;  // spin -1
+  out[1] = energy_rest - field;  // spin +1
+}
+
+void IsingGame::potential_row(int player, Profile& x,
+                              std::span<double> out) const {
+  LD_CHECK(out.size() == 2, "IsingGame::potential_row: spin games have 2 "
+                            "strategies");
+  fill_spin_row(size_t(player), potential(x), x, out);
+}
+
+void IsingGame::potential_rows(Profile& x, std::span<double> flat) const {
+  LD_CHECK(flat.size() == space_.total_strategies(),
+           "IsingGame::potential_rows: output size mismatch");
+  const double energy = potential(x);
+  for (size_t v = 0; v < x.size(); ++v) {
+    fill_spin_row(v, energy, x, flat.subspan(2 * v, 2));
+  }
+}
+
 double IsingGame::magnetization(const Profile& x) const {
   double m = 0.0;
   for (Strategy s : x) m += double(2 * s - 1);

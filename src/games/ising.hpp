@@ -23,6 +23,18 @@ class IsingGame : public PotentialGame {
 
   const ProfileSpace& space() const override { return space_; }
   double potential(const Profile& x) const override;
+
+  /// Incremental oracle via the local field: one O(|E|) energy pass plus
+  /// an O(deg) neighbour-spin sum gives the whole row, instead of one
+  /// O(|E|) pass per candidate spin.
+  void potential_row(int player, Profile& x,
+                     std::span<double> out) const override;
+
+  /// Batched oracle: one O(|E|) energy evaluation shared by every
+  /// vertex's local field — O(|E| + sum deg) per profile instead of
+  /// O(n * |E|).
+  void potential_rows(Profile& x, std::span<double> flat) const override;
+
   std::string name() const override;
 
   const Graph& graph() const { return graph_; }
@@ -39,6 +51,11 @@ class IsingGame : public PotentialGame {
   GraphicalCoordinationGame equivalent_coordination_game() const;
 
  private:
+  /// Fill the 2-entry row of vertex `v` from its local field, given the
+  /// total energy of profile `x` (shared by the single and batched row).
+  void fill_spin_row(size_t v, double energy, const Profile& x,
+                     std::span<double> out) const;
+
   Graph graph_;
   ProfileSpace space_;
   double coupling_, field_;

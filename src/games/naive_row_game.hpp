@@ -1,0 +1,29 @@
+// The oracle-hiding baseline wrapper.
+//
+// Forwards `utility` but hides every utility_row/utility_rows override,
+// so all row queries go through the default per-strategy loops — the
+// pre-oracle evaluation path. Tests compare the oracle against it for
+// exact agreement; benchmarks use it as the naive baseline.
+#pragma once
+
+#include <string>
+
+#include "games/game.hpp"
+
+namespace logitdyn {
+
+class NaiveRowGame : public Game {
+ public:
+  explicit NaiveRowGame(const Game& inner) : inner_(inner) {}
+
+  const ProfileSpace& space() const override { return inner_.space(); }
+  double utility(int player, const Profile& x) const override {
+    return inner_.utility(player, x);
+  }
+  std::string name() const override { return "naive(" + inner_.name() + ")"; }
+
+ private:
+  const Game& inner_;
+};
+
+}  // namespace logitdyn

@@ -33,6 +33,29 @@ double PlateauGame::potential(const Profile& x) const {
   return potential_of_weight(w);
 }
 
+void PlateauGame::potential_row(int player, Profile& x,
+                                std::span<double> out) const {
+  LD_CHECK(out.size() == 2, "PlateauGame::potential_row: 2 strategies");
+  int w_rest = 0;
+  for (size_t j = 0; j < x.size(); ++j) {
+    w_rest += (int(j) != player && x[j] == 1);
+  }
+  out[0] = potential_of_weight(w_rest);
+  out[1] = potential_of_weight(w_rest + 1);
+}
+
+void PlateauGame::potential_rows(Profile& x, std::span<double> flat) const {
+  LD_CHECK(flat.size() == space_.total_strategies(),
+           "PlateauGame::potential_rows: output size mismatch");
+  int w = 0;
+  for (Strategy s : x) w += (s == 1);
+  for (size_t i = 0; i < x.size(); ++i) {
+    const int w_rest = w - (x[i] == 1);
+    flat[2 * i] = potential_of_weight(w_rest);
+    flat[2 * i + 1] = potential_of_weight(w_rest + 1);
+  }
+}
+
 std::string PlateauGame::name() const {
   return "plateau(n=" + std::to_string(num_players()) +
          ",g=" + std::to_string(g_) + ",l=" + std::to_string(l_) + ")";

@@ -22,6 +22,15 @@ class PlateauGame : public PotentialGame {
 
   const ProfileSpace& space() const override { return space_; }
   double potential(const Profile& x) const override;
+
+  /// Incremental oracle: one O(n) weight count with the player excluded,
+  /// then each candidate reads potential_of_weight in O(1).
+  void potential_row(int player, Profile& x,
+                     std::span<double> out) const override;
+
+  /// Batched oracle: one O(n) weight count, O(1) per player.
+  void potential_rows(Profile& x, std::span<double> flat) const override;
+
   std::string name() const override;
 
   /// Potential as a function of the Hamming weight k = w(x) — the game is

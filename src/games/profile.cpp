@@ -18,6 +18,7 @@ ProfileSpace::ProfileSpace(std::vector<int32_t> sizes)
     LD_CHECK(num_profiles_ <= kCap / size_t(sizes_[i]),
              "ProfileSpace: profile count overflow");
     num_profiles_ *= size_t(sizes_[i]);
+    total_strategies_ += size_t(sizes_[i]);
     max_size_ = std::max(max_size_, sizes_[i]);
   }
 }

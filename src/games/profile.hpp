@@ -33,6 +33,15 @@ class ProfileSpace {
   /// |S| = prod |S_i|.
   size_t num_profiles() const { return num_profiles_; }
 
+  /// sum_i |S_i|: the length of a concatenated all-players utility row
+  /// buffer (see Game::utility_rows).
+  size_t total_strategies() const { return total_strategies_; }
+
+  /// Mixed-radix stride of `player`: encoded profiles that differ only in
+  /// player's strategy are `stride(player)` apart. The table-backed games
+  /// use this to gather a whole utility row without re-encoding.
+  size_t stride(int player) const { return strides_[size_t(player)]; }
+
   size_t index(const Profile& x) const;
   Profile decode(size_t idx) const;
   void decode_into(size_t idx, Profile& out) const;
@@ -54,6 +63,7 @@ class ProfileSpace {
   std::vector<int32_t> sizes_;
   std::vector<size_t> strides_;
   size_t num_profiles_ = 1;
+  size_t total_strategies_ = 0;
   int32_t max_size_ = 1;
 };
 

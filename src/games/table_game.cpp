@@ -38,6 +38,32 @@ double TableGame::utility(int player, const Profile& x) const {
   return utilities_[size_t(player)][space_.index(x)];
 }
 
+void TableGame::utility_row(int player, Profile& x,
+                            std::span<double> out) const {
+  LD_CHECK(out.size() == size_t(space_.num_strategies(player)),
+           "TableGame::utility_row: output size mismatch");
+  const size_t stride = space_.stride(player);
+  const size_t base =
+      space_.index(x) - size_t(x[size_t(player)]) * stride;
+  const std::vector<double>& table = utilities_[size_t(player)];
+  for (size_t s = 0; s < out.size(); ++s) out[s] = table[base + s * stride];
+}
+
+void TableGame::utility_rows(Profile& x, std::span<double> flat) const {
+  LD_CHECK(flat.size() == space_.total_strategies(),
+           "TableGame::utility_rows: output size mismatch");
+  const size_t idx = space_.index(x);
+  size_t offset = 0;
+  for (int i = 0; i < space_.num_players(); ++i) {
+    const size_t stride = space_.stride(i);
+    const size_t base = idx - size_t(x[size_t(i)]) * stride;
+    const std::vector<double>& table = utilities_[size_t(i)];
+    const size_t m = size_t(space_.num_strategies(i));
+    for (size_t s = 0; s < m; ++s) flat[offset + s] = table[base + s * stride];
+    offset += m;
+  }
+}
+
 TablePotentialGame::TablePotentialGame(ProfileSpace space,
                                        std::vector<double> phi,
                                        std::string name)
@@ -48,6 +74,31 @@ TablePotentialGame::TablePotentialGame(ProfileSpace space,
 
 double TablePotentialGame::potential(const Profile& x) const {
   return phi_[space_.index(x)];
+}
+
+void TablePotentialGame::potential_row(int player, Profile& x,
+                                       std::span<double> out) const {
+  LD_CHECK(out.size() == size_t(space_.num_strategies(player)),
+           "TablePotentialGame::potential_row: output size mismatch");
+  const size_t stride = space_.stride(player);
+  const size_t base =
+      space_.index(x) - size_t(x[size_t(player)]) * stride;
+  for (size_t s = 0; s < out.size(); ++s) out[s] = phi_[base + s * stride];
+}
+
+void TablePotentialGame::potential_rows(Profile& x,
+                                        std::span<double> flat) const {
+  LD_CHECK(flat.size() == space_.total_strategies(),
+           "TablePotentialGame::potential_rows: output size mismatch");
+  const size_t idx = space_.index(x);
+  size_t offset = 0;
+  for (int i = 0; i < space_.num_players(); ++i) {
+    const size_t stride = space_.stride(i);
+    const size_t base = idx - size_t(x[size_t(i)]) * stride;
+    const size_t m = size_t(space_.num_strategies(i));
+    for (size_t s = 0; s < m; ++s) flat[offset + s] = phi_[base + s * stride];
+    offset += m;
+  }
 }
 
 std::optional<std::vector<double>> extract_potential(const Game& game,
@@ -75,18 +126,19 @@ std::optional<std::vector<double>> extract_potential(const Game& game,
         phi[base] + game.utility(player, lo) - game.utility(player, hi);
   }
   // Verify Eq. (1) on every Hamming edge; any violation means no exact
-  // potential exists.
-  Profile xa, xb;
+  // potential exists. One row query per (profile, player) covers every
+  // edge out of that profile along player i's coordinate.
+  Profile xa;
+  std::vector<double> row(size_t(sp.max_strategies()));
   for (size_t idx = 0; idx < total; ++idx) {
     sp.decode_into(idx, xa);
     for (int i = 0; i < sp.num_players(); ++i) {
       const Strategy cur = xa[size_t(i)];
-      const double u_cur = game.utility(i, xa);
-      xb = xa;
+      std::span<double> u(row.data(), size_t(sp.num_strategies(i)));
+      game.utility_row(i, xa, u);
       for (Strategy s = cur + 1; s < sp.num_strategies(i); ++s) {
-        xb[size_t(i)] = s;
         const size_t jdx = sp.with_strategy(idx, i, s);
-        const double lhs = u_cur - game.utility(i, xb);
+        const double lhs = u[size_t(cur)] - u[size_t(s)];
         const double rhs = phi[jdx] - phi[idx];
         if (std::abs(lhs - rhs) > tol) return std::nullopt;
       }

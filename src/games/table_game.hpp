@@ -28,6 +28,17 @@ class TableGame : public Game {
 
   const ProfileSpace& space() const override { return space_; }
   double utility(int player, const Profile& x) const override;
+
+  /// Incremental oracle: encode the profile once, then gather the whole
+  /// row with a strided walk of the player's table — O(n + m) instead of
+  /// m separate O(n) re-encodes.
+  void utility_row(int player, Profile& x,
+                   std::span<double> out) const override;
+
+  /// Batched oracle: the profile is encoded once and every player's row
+  /// gathered by stride — O(n + sum_i m_i) instead of O(n * (n + m)).
+  void utility_rows(Profile& x, std::span<double> flat) const override;
+
   std::string name() const override { return name_; }
 
   double utility_by_index(int player, size_t idx) const {
@@ -49,6 +60,15 @@ class TablePotentialGame : public PotentialGame {
 
   const ProfileSpace& space() const override { return space_; }
   double potential(const Profile& x) const override;
+
+  /// Strided gather of the potential table, mirroring
+  /// TableGame::utility_row.
+  void potential_row(int player, Profile& x,
+                     std::span<double> out) const override;
+
+  /// Batched strided gather: one encode for all players' rows.
+  void potential_rows(Profile& x, std::span<double> flat) const override;
+
   std::string name() const override { return name_; }
 
   double potential_by_index(size_t idx) const { return phi_[idx]; }

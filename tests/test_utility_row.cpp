@@ -1,0 +1,327 @@
+// The local-move oracle contract (DESIGN.md §6): for every game class,
+// utility_row must agree with per-strategy utility (and potential_row with
+// per-strategy potential) on every (profile, player) — and the dynamics
+// built through the oracle must match the dynamics built through the naive
+// per-strategy path.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/chain.hpp"
+#include "core/logit.hpp"
+#include "core/lumped.hpp"
+#include "games/congestion.hpp"
+#include "games/coordination.hpp"
+#include "games/dominant.hpp"
+#include "games/graphical_coordination.hpp"
+#include "games/ising.hpp"
+#include "games/naive_row_game.hpp"
+#include "games/plateau.hpp"
+#include "games/random_potential.hpp"
+#include "games/table_game.hpp"
+#include "graph/builders.hpp"
+#include "rng/rng.hpp"
+
+namespace logitdyn {
+namespace {
+
+struct OracleCase {
+  std::string label;
+  std::shared_ptr<const Game> game;
+  bool expect_bit_exact;  ///< row must equal per-strategy calls bitwise
+};
+
+std::vector<OracleCase> make_cases() {
+  std::vector<OracleCase> cases;
+  Rng rng(20260727);
+
+  // Congestion: asymmetric multi-resource subsets, shared resources.
+  {
+    std::vector<std::vector<std::vector<int>>> strategies = {
+        {{0}, {1, 2}},          // player 0: link 0 or pair {1,2}
+        {{0, 1}, {2}},          // player 1
+        {{1}, {0, 2}, {0, 1}},  // player 2: three strategies
+    };
+    std::vector<std::vector<double>> latency = {
+        {1.0, 2.5, 4.0}, {0.5, 1.5, 3.5}, {2.0, 2.25, 6.0}};
+    cases.push_back({"congestion",
+                     std::make_shared<CongestionGame>(3, strategies, latency),
+                     true});
+  }
+  cases.push_back({"parallel-links",
+                   std::make_shared<CongestionGame>(make_parallel_links_game(
+                       4, {1.0, 2.0, 0.5}, {0.0, 0.25, 1.0})),
+                   true});
+  cases.push_back(
+      {"ising-ring",
+       std::make_shared<IsingGame>(make_ring(6), 0.75, 0.3), false});
+  cases.push_back(
+      {"ising-grid",
+       std::make_shared<IsingGame>(make_grid(2, 3), 1.25), false});
+  cases.push_back({"graphical-coordination",
+                   std::make_shared<GraphicalCoordinationGame>(
+                       make_erdos_renyi(7, 0.5, rng),
+                       CoordinationPayoffs{3.0, 2.0, 0.5, 1.0}),
+                   true});
+  cases.push_back({"coordination-2x2",
+                   std::make_shared<CoordinationGame>(
+                       CoordinationPayoffs::from_deltas(2.0, 1.0)),
+                   true});
+  cases.push_back(
+      {"plateau", std::make_shared<PlateauGame>(8, 2.0, 1.0), true});
+  cases.push_back({"all-or-nothing",
+                   std::make_shared<AllOrNothingGame>(4, 3), true});
+  cases.push_back({"random-table",
+                   std::make_shared<TableGame>(make_random_game(
+                       ProfileSpace({2, 3, 4}), 1.0, rng)),
+                   true});
+  cases.push_back({"random-potential",
+                   std::make_shared<TablePotentialGame>(
+                       make_random_potential_game(ProfileSpace(4, 3), 1.0,
+                                                  rng)),
+                   true});
+  return cases;
+}
+
+class UtilityRowTest : public ::testing::TestWithParam<OracleCase> {};
+
+TEST_P(UtilityRowTest, RowMatchesPerStrategyUtilityEverywhere) {
+  const Game& game = *GetParam().game;
+  const ProfileSpace& sp = game.space();
+  Profile x, probe;
+  std::vector<double> row(size_t(sp.max_strategies()));
+  for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
+    sp.decode_into(idx, x);
+    const Profile before = x;
+    for (int i = 0; i < sp.num_players(); ++i) {
+      std::span<double> out(row.data(), size_t(sp.num_strategies(i)));
+      game.utility_row(i, x, out);
+      EXPECT_EQ(x, before) << "utility_row must restore its scratch profile";
+      probe = x;
+      for (Strategy s = 0; s < sp.num_strategies(i); ++s) {
+        probe[size_t(i)] = s;
+        const double direct = game.utility(i, probe);
+        if (GetParam().expect_bit_exact) {
+          EXPECT_EQ(out[size_t(s)], direct)
+              << GetParam().label << ": player " << i << " strategy " << s
+              << " at profile " << idx;
+        } else {
+          EXPECT_NEAR(out[size_t(s)], direct, 1e-12)
+              << GetParam().label << ": player " << i << " strategy " << s
+              << " at profile " << idx;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(UtilityRowTest, PotentialRowMatchesPerStrategyPotential) {
+  const auto* pg = dynamic_cast<const PotentialGame*>(GetParam().game.get());
+  if (pg == nullptr) GTEST_SKIP() << "not a potential game";
+  const ProfileSpace& sp = pg->space();
+  Profile x, probe;
+  std::vector<double> row(size_t(sp.max_strategies()));
+  for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
+    sp.decode_into(idx, x);
+    for (int i = 0; i < sp.num_players(); ++i) {
+      std::span<double> out(row.data(), size_t(sp.num_strategies(i)));
+      pg->potential_row(i, x, out);
+      probe = x;
+      for (Strategy s = 0; s < sp.num_strategies(i); ++s) {
+        probe[size_t(i)] = s;
+        EXPECT_NEAR(out[size_t(s)], pg->potential(probe), 1e-12)
+            << GetParam().label << ": player " << i << " strategy " << s;
+      }
+    }
+  }
+}
+
+TEST_P(UtilityRowTest, BatchedRowsMatchSingleRows) {
+  const Game& game = *GetParam().game;
+  const ProfileSpace& sp = game.space();
+  Profile x;
+  std::vector<double> flat(sp.total_strategies());
+  std::vector<double> row(size_t(sp.max_strategies()));
+  for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
+    sp.decode_into(idx, x);
+    const Profile before = x;
+    game.utility_rows(x, flat);
+    EXPECT_EQ(x, before) << "utility_rows must restore its scratch profile";
+    size_t offset = 0;
+    for (int i = 0; i < sp.num_players(); ++i) {
+      std::span<double> out(row.data(), size_t(sp.num_strategies(i)));
+      game.utility_row(i, x, out);
+      for (size_t s = 0; s < out.size(); ++s) {
+        EXPECT_EQ(flat[offset + s], out[s])
+            << GetParam().label << ": batched row of player " << i
+            << " strategy " << s << " at profile " << idx;
+      }
+      offset += out.size();
+    }
+  }
+}
+
+TEST_P(UtilityRowTest, BatchedPotentialRowsMatchSingleRows) {
+  const auto* pg = dynamic_cast<const PotentialGame*>(GetParam().game.get());
+  if (pg == nullptr) GTEST_SKIP() << "not a potential game";
+  const ProfileSpace& sp = pg->space();
+  Profile x;
+  std::vector<double> flat(sp.total_strategies());
+  std::vector<double> row(size_t(sp.max_strategies()));
+  for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
+    sp.decode_into(idx, x);
+    pg->potential_rows(x, flat);
+    size_t offset = 0;
+    for (int i = 0; i < sp.num_players(); ++i) {
+      std::span<double> out(row.data(), size_t(sp.num_strategies(i)));
+      pg->potential_row(i, x, out);
+      for (size_t s = 0; s < out.size(); ++s) {
+        EXPECT_EQ(flat[offset + s], out[s])
+            << GetParam().label << ": batched potential row of player " << i
+            << " strategy " << s << " at profile " << idx;
+      }
+      offset += out.size();
+    }
+  }
+}
+
+TEST_P(UtilityRowTest, LogitUpdateMatchesNaivePath) {
+  const Game& game = *GetParam().game;
+  const NaiveRowGame naive(game);
+  const ProfileSpace& sp = game.space();
+  Profile x;
+  for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {
+    sp.decode_into(idx, x);
+    for (int i = 0; i < sp.num_players(); ++i) {
+      const std::vector<double> fast =
+          logit_update_distribution(game, 1.7, i, x);
+      const std::vector<double> slow =
+          logit_update_distribution(naive, 1.7, i, x);
+      ASSERT_EQ(fast.size(), slow.size());
+      for (size_t s = 0; s < fast.size(); ++s) {
+        if (GetParam().expect_bit_exact) {
+          EXPECT_EQ(fast[s], slow[s]) << GetParam().label;
+        } else {
+          EXPECT_NEAR(fast[s], slow[s], 1e-12) << GetParam().label;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(UtilityRowTest, DenseTransitionMatchesNaivePath) {
+  const Game& game = *GetParam().game;
+  const NaiveRowGame naive(game);
+  const LogitChain fast(game, 2.0);
+  const LogitChain slow(naive, 2.0);
+  const DenseMatrix pf = fast.dense_transition();
+  const DenseMatrix ps = slow.dense_transition();
+  ASSERT_EQ(pf.rows(), ps.rows());
+  for (size_t a = 0; a < pf.rows(); ++a) {
+    for (size_t b = 0; b < pf.cols(); ++b) {
+      if (GetParam().expect_bit_exact) {
+        EXPECT_EQ(pf(a, b), ps(a, b)) << GetParam().label;
+      } else {
+        EXPECT_NEAR(pf(a, b), ps(a, b), 1e-12) << GetParam().label;
+      }
+    }
+  }
+}
+
+TEST_P(UtilityRowTest, CsrTransitionMatchesDense) {
+  const Game& game = *GetParam().game;
+  const LogitChain chain(game, 1.3);
+  const DenseMatrix dense = chain.dense_transition();
+  const CsrMatrix csr = chain.csr_transition();
+  std::vector<double> e(chain.num_states(), 0.0);
+  std::vector<double> out(chain.num_states());
+  for (size_t a = 0; a < chain.num_states(); ++a) {
+    e.assign(chain.num_states(), 0.0);
+    e[a] = 1.0;
+    csr.left_multiply(e, out);
+    for (size_t b = 0; b < chain.num_states(); ++b) {
+      EXPECT_NEAR(out[b], dense(a, b), 1e-14) << GetParam().label;
+    }
+  }
+}
+
+TEST_P(UtilityRowTest, StationaryMatchesNaivePath) {
+  const Game& game = *GetParam().game;
+  const NaiveRowGame naive(game);
+  const std::vector<double> fast = LogitChain(game, 1.1).stationary();
+  const std::vector<double> slow = LogitChain(naive, 1.1).stationary();
+  ASSERT_EQ(fast.size(), slow.size());
+  for (size_t s = 0; s < fast.size(); ++s) {
+    EXPECT_NEAR(fast[s], slow[s], 1e-10) << GetParam().label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGames, UtilityRowTest, ::testing::ValuesIn(make_cases()),
+    [](const ::testing::TestParamInfo<OracleCase>& info) {
+      std::string name = info.param.label;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(WeightPotentialTableTest, MatchesDirectPotentialOnStaircaseProfiles) {
+  const PlateauGame plateau(9, 3.0, 1.0);
+  const std::vector<double> table = weight_potential_table(plateau);
+  ASSERT_EQ(table.size(), 10u);
+  for (int k = 0; k <= 9; ++k) {
+    EXPECT_DOUBLE_EQ(table[size_t(k)], plateau.potential_of_weight(k));
+  }
+}
+
+TEST(WeightPotentialTableTest, CliqueCoordinationMatchesClosedForm) {
+  const int n = 7;
+  const double delta0 = 1.5, delta1 = 0.75;
+  const GraphicalCoordinationGame game(
+      make_clique(uint32_t(n)),
+      CoordinationPayoffs::from_deltas(delta0, delta1));
+  const std::vector<double> table = weight_potential_table(game);
+  const std::vector<double> closed =
+      clique_weight_potential(n, delta0, delta1);
+  ASSERT_EQ(table.size(), closed.size());
+  for (size_t k = 0; k < table.size(); ++k) {
+    EXPECT_NEAR(table[k], closed[k], 1e-12);
+  }
+}
+
+TEST(WeightPotentialTableTest, LumpedChainMatchesWeightChain) {
+  const PlateauGame plateau(8, 2.0, 1.0);
+  std::vector<double> phi(9);
+  for (int k = 0; k <= 8; ++k) phi[size_t(k)] = plateau.potential_of_weight(k);
+  const BirthDeathChain direct =
+      BirthDeathChain::weight_chain(8, 1.4, phi);
+  const BirthDeathChain via_game = lumped_weight_chain(plateau, 1.4);
+  ASSERT_EQ(direct.num_states(), via_game.num_states());
+  for (int k = 0; k <= 8; ++k) {
+    EXPECT_NEAR(direct.up(k), via_game.up(k), 1e-15);
+    EXPECT_NEAR(direct.down(k), via_game.down(k), 1e-15);
+  }
+}
+
+TEST(UtilityRowScratchTest, DefaultRowUsesScratchAndRestores) {
+  // A game without overrides exercises Game::utility_row's default loop.
+  Rng rng(7);
+  const TableGame inner =
+      make_random_game(ProfileSpace(std::vector<int32_t>{3, 2}), 1.0, rng);
+  const NaiveRowGame naive(inner);
+  Profile x = {1, 1};
+  std::vector<double> row(3);
+  naive.utility_row(0, x, row);
+  EXPECT_EQ(x, (Profile{1, 1}));
+  for (Strategy s = 0; s < 3; ++s) {
+    Profile probe = {s, 1};
+    EXPECT_EQ(row[size_t(s)], inner.utility(0, probe));
+  }
+}
+
+}  // namespace
+}  // namespace logitdyn

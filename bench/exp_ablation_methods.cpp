@@ -109,8 +109,10 @@ int main() {
     bench::print_section("spectral vs doubling agreement across beta");
     PlateauGame game(6, 3.0, 1.0);
     Table table({"beta", "doubling", "spectral", "agree"});
+    // One chain across the beta sweep (mutable beta on Dynamics).
+    LogitChain chain(game, 0.0);
     for (double beta : {0.0, 0.7, 1.4, 2.1, 2.8}) {
-      LogitChain chain(game, beta);
+      chain.set_beta(beta);
       const DenseMatrix p = chain.dense_transition();
       const std::vector<double> pi = chain.stationary();
       const MixingResult a = mixing_time_doubling(p, pi, 0.25);

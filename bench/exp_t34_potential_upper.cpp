@@ -28,8 +28,10 @@ int main() {
     PlateauGame game(6, 3.0, 1.0);
     Table table({"beta", "t_mix (exact)", "thm 3.4 bound", "bound/t_mix"});
     std::vector<double> betas, times;
+    // One chain across the whole sweep: beta is mutable on Dynamics.
+    LogitChain chain(game, 0.0);
     for (double beta : {0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0}) {
-      LogitChain chain(game, beta);
+      chain.set_beta(beta);
       const MixingResult mix = bench::exact_tmix(chain);
       const double bound = bounds::thm34_tmix_upper(6, 2, beta, 3.0, 0.25);
       table.row()
@@ -58,8 +60,9 @@ int main() {
           make_random_potential_game(ProfileSpace(3, 3), 1.5, rng);
       const std::vector<double> phi = potential_table(game);
       const PotentialStats stats = potential_stats(game.space(), phi);
+      LogitChain chain(game, 0.0);
       for (double beta : {0.5, 1.5, 3.0}) {
-        LogitChain chain(game, beta);
+        chain.set_beta(beta);
         const MixingResult mix = bench::exact_tmix(chain);
         const double bound = bounds::thm34_tmix_upper(
             3, 3, beta, stats.global_variation, 0.25);

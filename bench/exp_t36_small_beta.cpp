@@ -82,9 +82,11 @@ int main() {
     const std::vector<double> phi = potential_table(game);
     const PotentialStats stats = potential_stats(game.space(), phi);
     const double beta = c_const / (double(n) * stats.local_variation);
-    const MixingResult small = bench::exact_tmix(LogitChain(game, beta));
-    const MixingResult large =
-        bench::exact_tmix(LogitChain(game, 10.0 * beta));
+    // One chain for both regimes: set_beta replaces per-beta rebuilds.
+    LogitChain chain(game, beta);
+    const MixingResult small = bench::exact_tmix(chain);
+    chain.set_beta(10.0 * beta);
+    const MixingResult large = bench::exact_tmix(chain);
     table3.row()
         .cell(n)
         .cell(beta, 4)

@@ -1,20 +1,26 @@
 // E12 — google-benchmark micro-benchmarks of the substrate kernels that
 // every experiment above leans on: dense multiply, CSR products, the
 // symmetric eigensolver, chain construction, Gibbs evaluation, and raw
-// simulation throughput — plus the oracle-vs-naive comparison of the
-// local-move utility oracle (DESIGN.md §6), emitted to BENCH_oracle.json
-// before the google-benchmark suite runs.
+// simulation throughput — plus two JSON smoke emitters that run before
+// the google-benchmark suite: the oracle-vs-naive comparison of the
+// local-move utility oracle (BENCH_oracle.json, DESIGN.md §6) and the
+// sharded-vs-sequential TransitionBuilder + grouped-vs-naive
+// ReplicaEnsemble comparison (BENCH_chain_build.json, DESIGN.md §8).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/chain.hpp"
 #include "core/gibbs.hpp"
 #include "core/simulator.hpp"
+#include "core/transition_builder.hpp"
+#include "parallel/thread_pool.hpp"
 #include "games/congestion.hpp"
 #include "games/graphical_coordination.hpp"
 #include "games/ising.hpp"
@@ -187,6 +193,137 @@ void write_bench_oracle_json(const std::string& path) {
   }
 }
 
+bool csr_bit_identical(const CsrMatrix& a, const CsrMatrix& b) {
+  if (a.rows() != b.rows() || a.nnz() != b.nnz()) return false;
+  for (size_t r = 0; r <= a.rows(); ++r) {
+    if (a.row_offsets()[r] != b.row_offsets()[r]) return false;
+  }
+  for (size_t k = 0; k < a.nnz(); ++k) {
+    if (a.col_indices()[k] != b.col_indices()[k]) return false;
+    if (a.values()[k] != b.values()[k]) return false;
+  }
+  return true;
+}
+
+/// Emit BENCH_chain_build.json: single-thread vs sharded dense+CSR chain
+/// construction on the 10-player congestion instance (bit-identity
+/// verified), and grouped ReplicaEnsemble stepping vs the naive
+/// per-replica loop on a metastable coordination workload. On a 1-core
+/// container the sharded build degenerates to the sequential one (the
+/// JSON records the thread count); multi-core CI runners show the real
+/// speedup.
+void write_bench_chain_build_json(const std::string& path) {
+  const size_t threads =
+      std::max<size_t>(1, std::thread::hardware_concurrency());
+  ThreadPool single(1);
+  ThreadPool& sharded = ThreadPool::global();
+
+  const CongestionGame game = make_congestion_bench(10);  // 1024 states
+  const TransitionBuilder builder(game, 1.0, UpdateKind::kAsynchronous);
+
+  const double dense_seq_ms = time_best_of(5, [&] {
+    DenseMatrix p = builder.dense(single);
+    benchmark::DoNotOptimize(p.data().data());
+  });
+  const double dense_par_ms = time_best_of(5, [&] {
+    DenseMatrix p = builder.dense(sharded);
+    benchmark::DoNotOptimize(p.data().data());
+  });
+  const bool dense_identical =
+      builder.dense(single).max_abs_diff(builder.dense(sharded)) == 0.0;
+
+  const double csr_seq_ms = time_best_of(5, [&] {
+    CsrMatrix p = builder.csr(single);
+    benchmark::DoNotOptimize(p.values().data());
+  });
+  const double csr_par_ms = time_best_of(5, [&] {
+    CsrMatrix p = builder.csr(sharded);
+    benchmark::DoNotOptimize(p.values().data());
+  });
+  const bool csr_identical =
+      csr_bit_identical(builder.csr(single), builder.csr(sharded));
+
+  // Grouped replica stepping on the same congestion instance: large beta
+  // pins the ensemble to a handful of equilibria, so one batched oracle
+  // evaluation per distinct state serves hundreds of replicas — and the
+  // congestion oracle (full load rebuild) is exactly the expensive kind
+  // grouping amortizes.
+  const LogitChain chain(game, 6.0);
+  const Profile start(10, 0);
+  const int replicas = 512;
+  const int64_t steps = 500;
+  const uint64_t seed = 7;
+  const ProfileSpace& sp = game.space();
+  const double naive_ms = time_best_of(3, [&] {
+    std::vector<size_t> finals(static_cast<size_t>(replicas));
+    std::vector<double> sigma(chain.scratch_size());
+    for (int r = 0; r < replicas; ++r) {
+      Rng rng = Rng::for_replica(seed, uint64_t(r));
+      Profile x = start;
+      for (int64_t t = 0; t < steps; ++t) chain.step(x, rng, sigma);
+      finals[size_t(r)] = sp.index(x);
+    }
+    benchmark::DoNotOptimize(finals.data());
+  });
+  size_t distinct = 0;
+  const double grouped_ms = time_best_of(3, [&] {
+    ReplicaEnsemble ensemble(chain, start, replicas, seed);
+    ensemble.run(steps);
+    distinct = ensemble.last_distinct_states();
+    benchmark::DoNotOptimize(ensemble.states().data());
+  });
+  ReplicaEnsemble check(chain, start, replicas, seed);
+  check.run(steps);
+  // Compare against the library's own per-replica reference, not a hand
+  // copy of it, so this gate tracks any future change to the simulator's
+  // draw order or replica seeding.
+  const bool finals_identical =
+      check.states() ==
+      batch_final_states(chain, start, steps, replicas, seed);
+
+  std::ofstream out(path);
+  out << "{\n  \"benchmark\": \"chain_build_and_ensemble\",\n"
+      << "  \"description\": \"sharded TransitionBuilder vs single-thread "
+         "build (bit-identical), and grouped ReplicaEnsemble stepping vs "
+         "the naive per-replica loop\",\n"
+      << "  \"threads\": " << threads << ",\n"
+      << "  \"unit\": \"ms\",\n  \"results\": [\n"
+      << "    {\"workload\": \"dense_build\", \"game\": \"" << game.name()
+      << "\", \"states\": " << game.space().num_profiles()
+      << ", \"seq_ms\": " << dense_seq_ms
+      << ", \"sharded_ms\": " << dense_par_ms
+      << ", \"speedup\": " << dense_seq_ms / dense_par_ms
+      << ", \"bit_identical\": " << (dense_identical ? "true" : "false")
+      << "},\n"
+      << "    {\"workload\": \"csr_build\", \"game\": \"" << game.name()
+      << "\", \"states\": " << game.space().num_profiles()
+      << ", \"seq_ms\": " << csr_seq_ms
+      << ", \"sharded_ms\": " << csr_par_ms
+      << ", \"speedup\": " << csr_seq_ms / csr_par_ms
+      << ", \"bit_identical\": " << (csr_identical ? "true" : "false")
+      << "},\n"
+      << "    {\"workload\": \"replica_stepping\", \"game\": \""
+      << game.name() << "\", \"replicas\": " << replicas
+      << ", \"steps\": " << steps << ", \"naive_ms\": " << naive_ms
+      << ", \"grouped_ms\": " << grouped_ms
+      << ", \"speedup\": " << naive_ms / grouped_ms
+      << ", \"distinct_states_last_step\": " << distinct
+      << ", \"identical_finals\": " << (finals_identical ? "true" : "false")
+      << "}\n  ]\n}\n";
+  std::cout << "wrote " << path << "\n"
+            << "  dense_build: seq " << dense_seq_ms << " ms, sharded "
+            << dense_par_ms << " ms (" << threads << " threads), speedup "
+            << dense_seq_ms / dense_par_ms
+            << "x, bit_identical=" << dense_identical << "\n"
+            << "  csr_build:   seq " << csr_seq_ms << " ms, sharded "
+            << csr_par_ms << " ms, speedup " << csr_seq_ms / csr_par_ms
+            << "x, bit_identical=" << csr_identical << "\n"
+            << "  replica_stepping: naive " << naive_ms << " ms, grouped "
+            << grouped_ms << " ms, speedup " << naive_ms / grouped_ms
+            << "x, distinct=" << distinct
+            << ", identical_finals=" << finals_identical << "\n";
+}
+
 DenseMatrix random_matrix(size_t n, uint64_t seed) {
   Rng rng(seed);
   DenseMatrix m(n, n);
@@ -344,25 +481,40 @@ BENCHMARK(BM_SimulationStepsCongestionNaive);
 
 }  // namespace
 
-// Custom main: always emit the oracle-vs-naive comparison first (the perf
-// trajectory reads BENCH_oracle.json), then run the google-benchmark suite
-// as usual. --bench_oracle_only skips the gbench suite.
+// Custom main: emit the oracle-vs-naive comparison first (the perf
+// trajectory reads BENCH_oracle.json), then run the google-benchmark
+// suite as usual. --bench_oracle_only keeps its historical behaviour
+// (oracle JSON, then exit); --bench_smoke_only additionally emits
+// BENCH_chain_build.json — the chain-build emitter is gated behind that
+// flag because its numbers only mean something in a Release build (the
+// bench-perf CI job is its consumer).
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_oracle.json";
-  bool oracle_only = false;
+  std::string chain_build_path = "BENCH_chain_build.json";
+  bool exit_after_json = false;
+  bool chain_build = false;
   std::vector<char*> passthrough = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--bench_oracle_only") {
-      oracle_only = true;
+      exit_after_json = true;
+    } else if (arg == "--bench_smoke_only") {
+      exit_after_json = true;
+      chain_build = true;
     } else if (arg.rfind("--bench_oracle_out=", 0) == 0) {
       json_path = arg.substr(std::string("--bench_oracle_out=").size());
+    } else if (arg.rfind("--bench_chain_build_out=", 0) == 0) {
+      // Redirects the path only; the emitter itself stays gated behind
+      // --bench_smoke_only (its numbers only mean something in Release).
+      chain_build_path =
+          arg.substr(std::string("--bench_chain_build_out=").size());
     } else {
       passthrough.push_back(argv[i]);
     }
   }
   write_bench_oracle_json(json_path);
-  if (oracle_only) return 0;
+  if (chain_build) write_bench_chain_build_json(chain_build_path);
+  if (exit_after_json) return 0;
   argc = int(passthrough.size());
   argv = passthrough.data();
   benchmark::Initialize(&argc, argv);

@@ -1,12 +1,14 @@
 // mixing_explorer — a small CLI over the library's analysis stack.
 //
-//   mixing_explorer [game] [n] [beta]
+//   mixing_explorer [game] [n] [beta[,beta...]]
 //     game: plateau | clique | ring | dominant   (default: plateau)
 //     n:    number of players                    (default: 6)
-//     beta: inverse noise                        (default: 1.0)
+//     beta: inverse noise, comma-separated list  (default: 1.0)
 //
 // Prints the chain's spectrum summary, exact mixing time, and every
-// applicable paper bound. With no arguments it runs a short demo sweep.
+// applicable paper bound. A beta list sweeps one reusable chain via
+// set_beta (no per-beta reconstruction). With no arguments it runs a
+// short demo sweep.
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
@@ -51,21 +53,33 @@ std::unique_ptr<PotentialGame> build_game(const std::string& kind, int n) {
               " (expected plateau|clique|ring|dominant)");
 }
 
-void explore(const std::string& kind, int n, double beta) {
-  std::cout << "\n### " << kind << ", n = " << n << ", beta = " << beta
-            << " ###\n";
+void explore_beta(LogitChain& chain, const PotentialStats& stats,
+                  double zeta, const std::string& kind, int n, double beta);
+
+void explore(const std::string& kind, int n,
+             const std::vector<double>& betas) {
   const std::unique_ptr<PotentialGame> game = build_game(kind, n);
   if (game->space().num_profiles() > (size_t(1) << 14)) {
     throw Error("state space too large for exact analysis (use n <= 14)");
   }
-  LogitChain chain(*game, beta);
+  // One chain serves the whole beta sweep (beta is mutable on Dynamics),
+  // and the beta-independent potential summaries are computed once.
+  LogitChain chain(*game, 0.0);
+  const std::vector<double> phi = potential_table(*game);
+  const PotentialStats stats = potential_stats(game->space(), phi);
+  const double zeta = max_potential_climb(game->space(), phi);
+  for (double beta : betas) explore_beta(chain, stats, zeta, kind, n, beta);
+}
+
+void explore_beta(LogitChain& chain, const PotentialStats& stats,
+                  double zeta, const std::string& kind, int n, double beta) {
+  std::cout << "\n### " << kind << ", n = " << n << ", beta = " << beta
+            << " ###\n";
+  chain.set_beta(beta);
   const DenseMatrix p = chain.dense_transition();
   const std::vector<double> pi = chain.stationary();
   const ChainSpectrum spec = chain_spectrum(p, pi);
   const MixingResult mix = mixing_time_doubling(p, pi, 0.25);
-  const std::vector<double> phi = potential_table(*game);
-  const PotentialStats stats = potential_stats(game->space(), phi);
-  const double zeta = max_potential_climb(game->space(), phi);
 
   Table out({"quantity", "value"});
   out.row().cell("|S|").cell(int64_t(pi.size()));
@@ -77,7 +91,7 @@ void explore(const std::string& kind, int n, double beta) {
   out.row().cell("relaxation time").cell(spec.relaxation_time(), 3);
   out.row().cell("t_mix(1/4) exact").cell(
       mix.converged ? std::to_string(mix.time) : "> budget");
-  const int m = int(game->space().max_strategies());
+  const int m = int(chain.space().max_strategies());
   out.row()
       .cell("Thm 3.4 upper")
       .cell(format_sci(bounds::thm34_tmix_upper(n, m, beta,
@@ -107,21 +121,48 @@ void explore(const std::string& kind, int n, double beta) {
 
 }  // namespace
 
+namespace {
+
+std::vector<double> parse_beta_list(const std::string& arg) {
+  std::vector<double> betas;
+  std::string::size_type pos = 0;
+  while (pos <= arg.size()) {
+    const std::string::size_type comma = arg.find(',', pos);
+    const std::string tok =
+        arg.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) {
+      char* end = nullptr;
+      const double beta = std::strtod(tok.c_str(), &end);
+      if (end != tok.c_str() + tok.size()) {
+        throw Error("bad beta value: " + tok);
+      }
+      betas.push_back(beta);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (betas.empty()) throw Error("bad beta list: " + arg);
+  return betas;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   try {
     if (argc > 1) {
       const std::string kind = argv[1];
       const int n = argc > 2 ? std::atoi(argv[2]) : 6;
-      const double beta = argc > 3 ? std::atof(argv[3]) : 1.0;
-      explore(kind, n, beta);
+      const std::vector<double> betas =
+          argc > 3 ? parse_beta_list(argv[3]) : std::vector<double>{1.0};
+      explore(kind, n, betas);
       return 0;
     }
     std::cout << "usage: mixing_explorer [plateau|clique|ring|dominant] [n] "
-                 "[beta]\nrunning the demo sweep...\n";
-    explore("plateau", 6, 1.0);
-    explore("clique", 6, 1.0);
-    explore("ring", 6, 1.0);
-    explore("dominant", 6, 4.0);
+                 "[beta[,beta...]]\nrunning the demo sweep...\n";
+    explore("plateau", 6, {0.5, 1.0, 2.0});
+    explore("clique", 6, {1.0});
+    explore("ring", 6, {1.0});
+    explore("dominant", 6, {4.0});
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

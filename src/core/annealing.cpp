@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/chain.hpp"
 #include "core/gibbs.hpp"
-#include "core/logit.hpp"
-#include "parallel/thread_pool.hpp"
+#include "core/simulator.hpp"
 #include "support/error.hpp"
 
 namespace logitdyn {
@@ -30,20 +30,37 @@ BetaSchedule logarithmic_beta(double rate) {
   return [rate](int64_t t) { return rate * std::log1p(double(t)); };
 }
 
+AnnealedDynamics::AnnealedDynamics(const Dynamics& inner,
+                                   BetaSchedule schedule)
+    : inner_(inner.clone()), schedule_(std::move(schedule)) {
+  LD_CHECK(schedule_ != nullptr, "AnnealedDynamics: null schedule");
+  // Nesting would silently discard the outer schedule (the inner
+  // wrapper's step re-applies its own schedule right after set_beta), so
+  // reject it instead of producing the wrong dynamics without warning.
+  LD_CHECK(dynamic_cast<const AnnealedDynamics*>(&inner) == nullptr,
+           "AnnealedDynamics: cannot wrap another AnnealedDynamics");
+}
+
+AnnealedDynamics::AnnealedDynamics(const AnnealedDynamics& other)
+    : inner_(other.inner_->clone()), schedule_(other.schedule_),
+      t_(other.t_) {}
+
+void AnnealedDynamics::step(Profile& x, Rng& rng,
+                            std::span<double> scratch) const {
+  // set_beta rejects negative schedule values (LD_CHECK in every
+  // implementation), preserving the old simulate_annealed contract. The
+  // clock only advances once the step actually happened, so an error
+  // (bad schedule value, short scratch) leaves current_step() consistent.
+  inner_->set_beta(schedule_(t_ + 1));
+  inner_->step(x, rng, scratch);
+  ++t_;
+}
+
 void simulate_annealed(const Game& game, const BetaSchedule& schedule,
                        Profile& x, int64_t steps, Rng& rng) {
-  LD_CHECK(steps >= 0, "simulate_annealed: negative step count");
-  const ProfileSpace& sp = game.space();
-  std::vector<double> sigma(size_t(sp.max_strategies()));
-  for (int64_t t = 1; t <= steps; ++t) {
-    const double beta = schedule(t);
-    LD_CHECK(beta >= 0, "simulate_annealed: schedule produced beta < 0");
-    const int i = int(rng.uniform_int(uint64_t(sp.num_players())));
-    std::span<double> out(sigma.data(), size_t(sp.num_strategies(i)));
-    // One utility_row query per annealed update.
-    logit_update_distribution(game, beta, i, x, out);
-    x[size_t(i)] = Strategy(rng.sample_discrete(out));
-  }
+  const LogitChain base(game, 0.0);
+  AnnealedDynamics annealed(base, schedule);
+  simulate(annealed, x, steps, rng);
 }
 
 double annealed_success_rate(const PotentialGame& game,
@@ -53,17 +70,17 @@ double annealed_success_rate(const PotentialGame& game,
   LD_CHECK(replicas > 0, "annealed_success_rate: need replicas");
   const std::vector<double> phi = potential_table(game);
   const double phi_min = *std::min_element(phi.begin(), phi.end());
-  const ProfileSpace& sp = game.space();
-  std::vector<uint8_t> hit(size_t(replicas), 0);
-  parallel_for(0, size_t(replicas), [&](size_t r) {
-    Rng rng = Rng::for_replica(master_seed, r);
-    Profile x = start;
-    simulate_annealed(game, schedule, x, steps, rng);
-    hit[r] = std::abs(phi[sp.index(x)] - phi_min) < 1e-12 ? 1 : 0;
-  });
-  double total = 0.0;
-  for (uint8_t h : hit) total += h;
-  return total / double(replicas);
+  const LogitChain base(game, 0.0);
+  const AnnealedDynamics annealed(base, schedule);
+  // The generic batch clones the dynamics per replica, so every replica
+  // runs the schedule from the shared clock position (0 here).
+  const std::vector<size_t> finals =
+      batch_final_states(annealed, start, steps, replicas, master_seed);
+  double hits = 0.0;
+  for (size_t idx : finals) {
+    hits += std::abs(phi[idx] - phi_min) < 1e-12 ? 1.0 : 0.0;
+  }
+  return hits / double(replicas);
 }
 
 }  // namespace logitdyn

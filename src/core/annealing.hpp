@@ -1,14 +1,18 @@
 // Time-varying inverse noise — the paper's closing open problem ("the
 // value of beta is not fixed, but varies according to some learning
-// process"). A BetaSchedule maps the step index to beta_t; the annealed
-// simulator runs the logit dynamics with the scheduled noise, the
-// standard simulated-annealing recipe for escaping the metastable wells
-// that make fixed large-beta mixing exponential.
+// process"). A BetaSchedule maps the step index to beta_t;
+// `AnnealedDynamics` wraps any `Dynamics` with a schedule, so annealed
+// runs get the whole generic trajectory machinery (simulate, replicas,
+// occupation measures, hitting times) — the standard simulated-annealing
+// recipe for escaping the metastable wells that make fixed large-beta
+// mixing exponential.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
+#include "core/dynamics.hpp"
 #include "games/game.hpp"
 #include "rng/rng.hpp"
 
@@ -29,13 +33,64 @@ BetaSchedule linear_beta_ramp(double beta_start, double beta_end,
 /// ground state.
 BetaSchedule logarithmic_beta(double rate);
 
-/// Run `steps` logit updates with beta = schedule(t), mutating x.
+/// Any fixed-beta `Dynamics` driven by a `BetaSchedule`: step t first
+/// sets the inner beta to schedule(t) (t counts from 1), then delegates
+/// the update. With a constant schedule the trajectory is draw-for-draw
+/// identical to the fixed-beta inner dynamics. Wrapping another
+/// AnnealedDynamics is rejected (the outer schedule would be silently
+/// discarded).
+///
+/// Owns a clone of the wrapped dynamics, so the caller's object is never
+/// mutated. `step` advances a mutable schedule clock (see DESIGN.md §8):
+/// one instance must not be stepped concurrently; the batch utilities
+/// clone per replica, and each clone carries the current clock position.
+class AnnealedDynamics : public Dynamics {
+ public:
+  AnnealedDynamics(const Dynamics& inner, BetaSchedule schedule);
+
+  AnnealedDynamics(const AnnealedDynamics& other);
+  AnnealedDynamics& operator=(const AnnealedDynamics&) = delete;
+
+  const Game& game() const override { return inner_->game(); }
+
+  /// The inner dynamics' current beta (schedule value of the last step).
+  double beta() const override { return inner_->beta(); }
+
+  /// Manual override of the inner beta; the next step re-applies the
+  /// schedule.
+  void set_beta(double beta) override { inner_->set_beta(beta); }
+
+  size_t scratch_size() const override { return inner_->scratch_size(); }
+
+  void step(Profile& x, Rng& rng, std::span<double> scratch) const override;
+  using Dynamics::step;  // allocating convenience overload
+
+  std::unique_ptr<Dynamics> clone() const override {
+    return std::make_unique<AnnealedDynamics>(*this);
+  }
+
+  /// Steps taken so far (the schedule clock).
+  int64_t current_step() const { return t_; }
+
+  /// Rewind (or fast-forward) the schedule clock; the next step evaluates
+  /// schedule(step_index + 1).
+  void reset(int64_t step_index = 0) { t_ = step_index; }
+
+ private:
+  std::unique_ptr<Dynamics> inner_;
+  BetaSchedule schedule_;
+  mutable int64_t t_ = 0;
+};
+
+/// Run `steps` logit updates with beta = schedule(t), mutating x. Thin
+/// shim over AnnealedDynamics + the generic simulator.
 void simulate_annealed(const Game& game, const BetaSchedule& schedule,
                        Profile& x, int64_t steps, Rng& rng);
 
 /// Fraction of `replicas` that end at a global potential minimizer after
 /// `steps` annealed updates from `start` (the success metric the tests
-/// use to compare schedules).
+/// use to compare schedules). Thin shim over AnnealedDynamics + the
+/// generic replica batch.
 double annealed_success_rate(const PotentialGame& game,
                              const BetaSchedule& schedule,
                              const Profile& start, int64_t steps,

@@ -4,8 +4,10 @@
 
 #include "core/gibbs.hpp"
 #include "core/logit.hpp"
+#include "core/transition_builder.hpp"
 #include "games/table_game.hpp"
 #include "linalg/lu_solver.hpp"
+#include "parallel/thread_pool.hpp"
 #include "support/error.hpp"
 
 namespace logitdyn {
@@ -15,56 +17,26 @@ LogitChain::LogitChain(const Game& game, double beta)
   LD_CHECK(beta >= 0.0, "LogitChain: beta must be non-negative");
 }
 
+void LogitChain::set_beta(double beta) {
+  LD_CHECK(beta >= 0.0, "LogitChain: beta must be non-negative");
+  beta_ = beta;
+}
+
 DenseMatrix LogitChain::dense_transition() const {
-  const ProfileSpace& sp = game_.space();
-  const size_t total = sp.num_profiles();
-  const int n = sp.num_players();
-  DenseMatrix p(total, total);
-  Profile x;
-  // One batched update-rule call per state: every player's sigma_i(. | x)
-  // in a single oracle pass (Eq. (2) applied to each row of Eq. (3)).
-  std::vector<double> rows(sp.total_strategies());
-  for (size_t idx = 0; idx < total; ++idx) {
-    sp.decode_into(idx, x);
-    logit_update_rows(game_, beta_, x, rows);
-    size_t offset = 0;
-    for (int i = 0; i < n; ++i) {
-      const int32_t m = sp.num_strategies(i);
-      for (Strategy s = 0; s < m; ++s) {
-        // Eq. (3): the diagonal accumulates every player's probability of
-        // re-picking her current strategy.
-        p(idx, sp.with_strategy(idx, i, s)) +=
-            rows[offset + size_t(s)] / double(n);
-      }
-      offset += size_t(m);
-    }
-  }
-  return p;
+  return dense_transition(ThreadPool::global());
+}
+
+DenseMatrix LogitChain::dense_transition(ThreadPool& pool) const {
+  return TransitionBuilder(game_, beta_, UpdateKind::kAsynchronous)
+      .dense(pool);
 }
 
 CsrMatrix LogitChain::csr_transition() const {
-  const ProfileSpace& sp = game_.space();
-  const size_t total = sp.num_profiles();
-  const int n = sp.num_players();
-  std::vector<Triplet> trips;
-  trips.reserve(total * size_t(n) * 2);
-  Profile x;
-  std::vector<double> rows(sp.total_strategies());
-  for (size_t idx = 0; idx < total; ++idx) {
-    sp.decode_into(idx, x);
-    logit_update_rows(game_, beta_, x, rows);
-    size_t offset = 0;
-    for (int i = 0; i < n; ++i) {
-      const int32_t m = sp.num_strategies(i);
-      for (Strategy s = 0; s < m; ++s) {
-        trips.push_back({uint32_t(idx),
-                         uint32_t(sp.with_strategy(idx, i, s)),
-                         rows[offset + size_t(s)] / double(n)});
-      }
-      offset += size_t(m);
-    }
-  }
-  return CsrMatrix(total, total, std::move(trips));
+  return csr_transition(ThreadPool::global());
+}
+
+CsrMatrix LogitChain::csr_transition(ThreadPool& pool) const {
+  return TransitionBuilder(game_, beta_, UpdateKind::kAsynchronous).csr(pool);
 }
 
 std::vector<double> LogitChain::stationary() const {
@@ -84,20 +56,14 @@ std::vector<double> LogitChain::stationary(
   return gibbs_from_potentials(potential_hint, beta_).probabilities;
 }
 
-int LogitChain::step(Profile& x, Rng& rng, std::span<double> sigma) const {
+void LogitChain::step(Profile& x, Rng& rng, std::span<double> scratch) const {
   const ProfileSpace& sp = game_.space();
   const int i = int(rng.uniform_int(uint64_t(sp.num_players())));
   const int32_t m = sp.num_strategies(i);
-  LD_CHECK(sigma.size() >= size_t(m), "LogitChain::step: scratch too small");
-  std::span<double> out(sigma.data(), size_t(m));
+  LD_CHECK(scratch.size() >= size_t(m), "LogitChain::step: scratch too small");
+  std::span<double> out(scratch.data(), size_t(m));
   logit_update_distribution(game_, beta_, i, x, out);
   x[size_t(i)] = Strategy(rng.sample_discrete(out));
-  return i;
-}
-
-int LogitChain::step(Profile& x, Rng& rng) const {
-  std::vector<double> sigma(size_t(game_.space().max_strategies()));
-  return step(x, rng, sigma);
 }
 
 size_t LogitChain::step_index(size_t state, Rng& rng) const {

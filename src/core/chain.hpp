@@ -5,9 +5,11 @@
 // chain is ergodic for every finite game and beta >= 0.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "core/dynamics.hpp"
 #include "games/game.hpp"
 #include "linalg/dense_matrix.hpp"
 #include "linalg/sparse_matrix.hpp"
@@ -15,21 +17,27 @@
 
 namespace logitdyn {
 
-/// A logit chain bound to a game and an inverse noise beta. Holds a
-/// reference to the game: the game must outlive the chain.
-class LogitChain {
+class ThreadPool;
+
+/// The asynchronous logit chain: the canonical `Dynamics` implementation.
+/// Holds a reference to the game: the game must outlive the chain. Beta is
+/// mutable (`set_beta`), so sweeps reuse one chain across beta points.
+class LogitChain : public Dynamics {
  public:
   LogitChain(const Game& game, double beta);
 
-  const Game& game() const { return game_; }
-  double beta() const { return beta_; }
-  size_t num_states() const { return game_.space().num_profiles(); }
+  const Game& game() const override { return game_; }
+  double beta() const override { return beta_; }
+  void set_beta(double beta) override;
 
-  /// Full transition matrix, dense. O(|S| * n * m) time, |S|^2 memory.
+  /// Full transition matrix, dense, sharded over the global pool (see
+  /// TransitionBuilder). O(|S| * n * m) time, |S|^2 memory.
   DenseMatrix dense_transition() const;
+  DenseMatrix dense_transition(ThreadPool& pool) const;
 
   /// Full transition matrix in CSR form: O(|S| * n * m) memory.
   CsrMatrix csr_transition() const;
+  CsrMatrix csr_transition(ThreadPool& pool) const;
 
   /// Stationary distribution. For potential games this is the Gibbs
   /// measure (closed form); otherwise it is obtained by a direct LU solve
@@ -40,13 +48,19 @@ class LogitChain {
   std::vector<double> stationary() const;
   std::vector<double> stationary(std::span<const double> potential_hint) const;
 
-  /// One in-place simulation step on a decoded profile. Returns the
-  /// updated player. `sigma` is caller-owned scratch of size >=
-  /// max_strategies(): hot loops pass it once so stepping never allocates.
-  int step(Profile& x, Rng& rng, std::span<double> sigma) const;
+  /// One in-place simulation step on a decoded profile. `scratch` is
+  /// caller-owned, size >= scratch_size() = max_strategies(): hot loops
+  /// pass it once so stepping never allocates.
+  void step(Profile& x, Rng& rng, std::span<double> scratch) const override;
+  using Dynamics::step;  // allocating convenience overload
 
-  /// Allocating convenience overload.
-  int step(Profile& x, Rng& rng) const;
+  size_t scratch_size() const override {
+    return size_t(game_.space().max_strategies());
+  }
+
+  std::unique_ptr<Dynamics> clone() const override {
+    return std::make_unique<LogitChain>(*this);
+  }
 
   /// One step on an encoded state index (decodes internally; prefer the
   /// Profile overload in hot loops).

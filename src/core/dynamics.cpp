@@ -1,0 +1,12 @@
+#include "core/dynamics.hpp"
+
+#include <vector>
+
+namespace logitdyn {
+
+void Dynamics::step(Profile& x, Rng& rng) const {
+  std::vector<double> scratch(scratch_size());
+  step(x, rng, scratch);
+}
+
+}  // namespace logitdyn

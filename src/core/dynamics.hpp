@@ -1,0 +1,61 @@
+// The unified dynamics interface (DESIGN.md §8).
+//
+// The paper studies one update rule instantiated three ways: the
+// asynchronous logit chain of Eq. (3) (`LogitChain`), the synchronous
+// all-players variant from the conclusions (`ParallelLogitChain`), and
+// the time-varying-beta schedules from the open-problems list
+// (`AnnealedDynamics`). `Dynamics` is the shape they share, so every
+// trajectory utility — simulators, occupation measures, replica batches,
+// hitting times — is written once against this interface and works for
+// all three.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "games/game.hpp"
+#include "rng/rng.hpp"
+
+namespace logitdyn {
+
+/// One-step strategy-revision dynamics over a game's profile space.
+///
+/// Contract (DESIGN.md §8):
+///  * `scratch_size()` is the span length `step` requires; hot loops size
+///    one buffer once and stepping never allocates.
+///  * `beta` is mutable via `set_beta` (>= 0, checked), so beta sweeps
+///    reuse one object instead of rebuilding per point.
+///  * `step` is const with respect to the *law* of fixed-beta dynamics;
+///    schedule-driven implementations may advance internal mutable state
+///    (a step clock), so one instance must not be stepped from multiple
+///    threads. Replica fan-out uses `clone()` per replica instead.
+///  * Determinism: a step consumes RNG draws in a fixed order regardless
+///    of scratch ownership, so scratch and allocating overloads produce
+///    identical trajectories from identical streams (DESIGN.md §7).
+class Dynamics {
+ public:
+  virtual ~Dynamics() = default;
+
+  virtual const Game& game() const = 0;
+  const ProfileSpace& space() const { return game().space(); }
+  size_t num_states() const { return space().num_profiles(); }
+
+  virtual double beta() const = 0;
+  virtual void set_beta(double beta) = 0;
+
+  /// Minimum scratch span length `step` accepts.
+  virtual size_t scratch_size() const = 0;
+
+  /// One update in place. `scratch` is caller-owned, size >=
+  /// `scratch_size()`.
+  virtual void step(Profile& x, Rng& rng, std::span<double> scratch) const = 0;
+
+  /// Allocating convenience overload.
+  void step(Profile& x, Rng& rng) const;
+
+  /// Independent copy for per-replica fan-out (stateful dynamics carry
+  /// their schedule position into the copy).
+  virtual std::unique_ptr<Dynamics> clone() const = 0;
+};
+
+}  // namespace logitdyn

@@ -1,7 +1,9 @@
 #include "core/parallel_dynamics.hpp"
 
 #include "core/logit.hpp"
+#include "core/transition_builder.hpp"
 #include "linalg/lu_solver.hpp"
+#include "parallel/thread_pool.hpp"
 #include "support/error.hpp"
 
 namespace logitdyn {
@@ -11,54 +13,51 @@ ParallelLogitChain::ParallelLogitChain(const Game& game, double beta)
   LD_CHECK(beta >= 0.0, "ParallelLogitChain: beta must be non-negative");
 }
 
+void ParallelLogitChain::set_beta(double beta) {
+  LD_CHECK(beta >= 0.0, "ParallelLogitChain: beta must be non-negative");
+  beta_ = beta;
+}
+
 DenseMatrix ParallelLogitChain::dense_transition() const {
-  const ProfileSpace& sp = game_.space();
-  const size_t total = sp.num_profiles();
-  const int n = sp.num_players();
-  // One batched oracle call per from-state yields every player's update
-  // distribution; the transition row is their product per target profile.
-  std::vector<double> rows(sp.total_strategies());
-  std::vector<size_t> offset(static_cast<size_t>(n) + 1, 0);
-  for (int i = 0; i < n; ++i) {
-    offset[size_t(i) + 1] = offset[size_t(i)] + size_t(sp.num_strategies(i));
-  }
-  DenseMatrix p(total, total);
-  Profile x;
-  for (size_t from = 0; from < total; ++from) {
-    sp.decode_into(from, x);
-    logit_update_rows(game_, beta_, x, rows);
-    for (size_t to = 0; to < total; ++to) {
-      double prob = 1.0;
-      for (int i = 0; i < n; ++i) {
-        prob *= rows[offset[size_t(i)] + size_t(sp.strategy_of(to, i))];
-        if (prob == 0.0) break;
-      }
-      p(from, to) = prob;
-    }
-  }
-  return p;
+  return dense_transition(ThreadPool::global());
+}
+
+DenseMatrix ParallelLogitChain::dense_transition(ThreadPool& pool) const {
+  return TransitionBuilder(game_, beta_, UpdateKind::kSynchronous).dense(pool);
+}
+
+CsrMatrix ParallelLogitChain::csr_transition(double drop_tol) const {
+  return csr_transition(ThreadPool::global(), drop_tol);
+}
+
+CsrMatrix ParallelLogitChain::csr_transition(ThreadPool& pool,
+                                             double drop_tol) const {
+  return TransitionBuilder(game_, beta_, UpdateKind::kSynchronous)
+      .csr(pool, drop_tol);
 }
 
 std::vector<double> ParallelLogitChain::stationary() const {
   return stationary_direct(dense_transition());
 }
 
-void ParallelLogitChain::step(Profile& x, Rng& rng) const {
+void ParallelLogitChain::step(Profile& x, Rng& rng,
+                              std::span<double> scratch) const {
   const ProfileSpace& sp = game_.space();
   const int n = sp.num_players();
-  Profile next = x;
+  LD_CHECK(scratch.size() >= sp.total_strategies(),
+           "ParallelLogitChain::step: scratch too small");
+  std::span<double> rows(scratch.data(), sp.total_strategies());
   // All draws are against the old profile x, so one batched update-rule
-  // call serves every player's simultaneous update.
-  std::vector<double> rows(sp.total_strategies());
+  // call serves every player's simultaneous update; after it, the draws
+  // depend only on `rows`, so coordinates can be overwritten in place.
   logit_update_rows(game_, beta_, x, rows);
   size_t offset = 0;
   for (int i = 0; i < n; ++i) {
     const size_t m = size_t(sp.num_strategies(i));
-    next[size_t(i)] = Strategy(rng.sample_discrete(
+    x[size_t(i)] = Strategy(rng.sample_discrete(
         std::span<const double>(rows.data() + offset, m)));
     offset += m;
   }
-  x = std::move(next);
 }
 
 }  // namespace logitdyn

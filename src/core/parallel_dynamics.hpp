@@ -12,33 +12,59 @@
 // which the tests and the ablation bench demonstrate.
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "core/dynamics.hpp"
 #include "games/game.hpp"
 #include "linalg/dense_matrix.hpp"
+#include "linalg/sparse_matrix.hpp"
 #include "rng/rng.hpp"
 
 namespace logitdyn {
 
+class ThreadPool;
+
 /// The synchronous-update logit chain over the same profile space.
-class ParallelLogitChain {
+/// Implements `Dynamics`, so every generic trajectory utility (simulate,
+/// replicas, hitting times) applies to synchronous rounds unchanged.
+class ParallelLogitChain : public Dynamics {
  public:
   ParallelLogitChain(const Game& game, double beta);
 
-  const Game& game() const { return game_; }
-  double beta() const { return beta_; }
-  size_t num_states() const { return game_.space().num_profiles(); }
+  const Game& game() const override { return game_; }
+  double beta() const override { return beta_; }
+  void set_beta(double beta) override;
 
   /// Dense transition matrix: P(x, y) = prod_i sigma_i(y_i | x).
   /// |S|^2 work per row pair; intended for small spaces.
   DenseMatrix dense_transition() const;
+  DenseMatrix dense_transition(ThreadPool& pool) const;
+
+  /// CSR transition matrix. The exact synchronous kernel has fully dense
+  /// rows (every target is reachable in one round), so a positive
+  /// `drop_tol` is how large-beta kernels become genuinely sparse: rows
+  /// then sum to 1 minus the dropped mass (<= |S| * drop_tol per row).
+  CsrMatrix csr_transition(double drop_tol = 0.0) const;
+  CsrMatrix csr_transition(ThreadPool& pool, double drop_tol = 0.0) const;
 
   /// Stationary distribution by direct solve (no closed form exists in
   /// general — see the paper's conclusions).
   std::vector<double> stationary() const;
 
-  /// One synchronous round in place.
-  void step(Profile& x, Rng& rng) const;
+  /// One synchronous round in place. `scratch` is caller-owned, size >=
+  /// scratch_size() = total_strategies(): one batched update-rule call
+  /// serves every player's simultaneous draw against the old profile.
+  void step(Profile& x, Rng& rng, std::span<double> scratch) const override;
+  using Dynamics::step;  // allocating convenience overload
+
+  size_t scratch_size() const override {
+    return game_.space().total_strategies();
+  }
+
+  std::unique_ptr<Dynamics> clone() const override {
+    return std::make_unique<ParallelLogitChain>(*this);
+  }
 
  private:
   const Game& game_;

@@ -1,91 +1,98 @@
 #include "core/simulator.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
+#include "core/logit.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/error.hpp"
 #include "support/math.hpp"
 
 namespace logitdyn {
 
-void simulate(const LogitChain& chain, Profile& x, int64_t steps, Rng& rng,
+void simulate(const Dynamics& dynamics, Profile& x, int64_t steps, Rng& rng,
               const StepObserver& observer) {
   LD_CHECK(steps >= 0, "simulate: negative step count");
-  // One scratch row for the whole trajectory: stepping is allocation-free
-  // and each update is a single utility_row query.
-  std::vector<double> sigma(size_t(chain.game().space().max_strategies()));
+  // One scratch buffer for the whole trajectory: stepping is
+  // allocation-free regardless of which dynamics runs.
+  std::vector<double> scratch(dynamics.scratch_size());
   for (int64_t t = 0; t < steps; ++t) {
-    chain.step(x, rng, sigma);
+    dynamics.step(x, rng, scratch);
     if (observer) observer(t + 1, x);
   }
 }
 
-std::vector<double> empirical_occupation(const LogitChain& chain,
+std::vector<double> empirical_occupation(const Dynamics& dynamics,
                                          const Profile& start,
                                          int64_t burn_in, int64_t samples,
                                          int64_t stride, Rng& rng) {
   LD_CHECK(samples > 0 && stride > 0, "empirical_occupation: bad sampling");
-  const ProfileSpace& sp = chain.game().space();
+  const ProfileSpace& sp = dynamics.space();
   std::vector<double> counts(sp.num_profiles(), 0.0);
   Profile x = start;
-  simulate(chain, x, burn_in, rng);
+  simulate(dynamics, x, burn_in, rng);
   for (int64_t s = 0; s < samples; ++s) {
-    simulate(chain, x, stride, rng);
+    simulate(dynamics, x, stride, rng);
     counts[sp.index(x)] += 1.0;
   }
   normalize_in_place(counts);
   return counts;
 }
 
-std::vector<size_t> batch_final_states(const LogitChain& chain,
+std::vector<size_t> batch_final_states(const Dynamics& dynamics,
                                        const Profile& start, int64_t steps,
                                        int replicas, uint64_t master_seed) {
   LD_CHECK(replicas > 0, "batch_final_states: need replicas > 0");
-  const ProfileSpace& sp = chain.game().space();
+  const ProfileSpace& sp = dynamics.space();
   std::vector<size_t> finals(static_cast<size_t>(replicas));
   parallel_for(0, size_t(replicas), [&](size_t r) {
     Rng rng = Rng::for_replica(master_seed, r);
+    // Per-replica clone: stateful dynamics (annealing clocks) stay
+    // thread-safe and every replica runs the schedule from the shared
+    // position.
+    const std::unique_ptr<Dynamics> replica = dynamics.clone();
     Profile x = start;
-    simulate(chain, x, steps, rng);
+    simulate(*replica, x, steps, rng);
     finals[r] = sp.index(x);
   });
   return finals;
 }
 
-std::vector<double> batch_final_distribution(const LogitChain& chain,
+std::vector<double> batch_final_distribution(const Dynamics& dynamics,
                                              const Profile& start,
                                              int64_t steps, int replicas,
                                              uint64_t master_seed) {
   const std::vector<size_t> finals =
-      batch_final_states(chain, start, steps, replicas, master_seed);
-  std::vector<double> dist(chain.num_states(), 0.0);
+      batch_final_states(dynamics, start, steps, replicas, master_seed);
+  std::vector<double> dist(dynamics.num_states(), 0.0);
   for (size_t idx : finals) dist[idx] += 1.0;
   normalize_in_place(dist);
   return dist;
 }
 
-int64_t hitting_time(const LogitChain& chain, const Profile& start,
+int64_t hitting_time(const Dynamics& dynamics, const Profile& start,
                      const std::function<bool(const Profile&)>& target,
                      int64_t max_steps, Rng& rng) {
   Profile x = start;
   if (target(x)) return 0;
-  std::vector<double> sigma(size_t(chain.game().space().max_strategies()));
+  std::vector<double> scratch(dynamics.scratch_size());
   for (int64_t t = 1; t <= max_steps; ++t) {
-    chain.step(x, rng, sigma);
+    dynamics.step(x, rng, scratch);
     if (target(x)) return t;
   }
   return -1;
 }
 
 HittingTimeStats batch_hitting_time(
-    const LogitChain& chain, const Profile& start,
+    const Dynamics& dynamics, const Profile& start,
     const std::function<bool(const Profile&)>& target, int64_t max_steps,
     int replicas, uint64_t master_seed) {
   LD_CHECK(replicas > 0, "batch_hitting_time: need replicas > 0");
   std::vector<int64_t> times(static_cast<size_t>(replicas));
   parallel_for(0, size_t(replicas), [&](size_t r) {
     Rng rng = Rng::for_replica(master_seed, r);
-    times[r] = hitting_time(chain, start, target, max_steps, rng);
+    const std::unique_ptr<Dynamics> replica = dynamics.clone();
+    times[r] = hitting_time(*replica, start, target, max_steps, rng);
   });
   HittingTimeStats stats;
   double sum = 0.0;
@@ -101,6 +108,69 @@ HittingTimeStats batch_hitting_time(
   }
   stats.mean = sum / double(replicas);
   return stats;
+}
+
+ReplicaEnsemble::ReplicaEnsemble(const LogitChain& chain,
+                                 const Profile& start, int replicas,
+                                 uint64_t master_seed)
+    : chain_(chain) {
+  LD_CHECK(replicas > 0, "ReplicaEnsemble: need replicas > 0");
+  const ProfileSpace& sp = chain.space();
+  states_.assign(size_t(replicas), sp.index(start));
+  rngs_.reserve(size_t(replicas));
+  for (int r = 0; r < replicas; ++r) {
+    rngs_.push_back(Rng::for_replica(master_seed, uint64_t(r)));
+  }
+  group_.reserve(size_t(replicas));
+}
+
+void ReplicaEnsemble::step() {
+  const ProfileSpace& sp = chain_.space();
+  const size_t block = sp.total_strategies();
+  // Group replicas by current encoded state; each distinct state gets one
+  // slot in rows_ holding every player's update distribution at once. One
+  // hash operation per replica: the insert-or-find also yields the slot.
+  // group_ is a member cleared per step, so no table is rebuilt.
+  std::unordered_map<size_t, size_t>& group = group_;
+  group.clear();
+  slot_of_.resize(states_.size());
+  for (size_t r = 0; r < states_.size(); ++r) {
+    // try_emplace: no hash-node construction on the (common) repeat key.
+    const auto [it, inserted] = group.try_emplace(states_[r], group.size());
+    slot_of_[r] = it->second;
+  }
+  last_distinct_ = group.size();
+  if (rows_.size() < group.size() * block) {
+    rows_.resize(group.size() * block);
+  }
+  for (const auto& [state, slot] : group) {
+    sp.decode_into(state, decode_scratch_);
+    logit_update_rows(chain_.game(), chain_.beta(), decode_scratch_,
+                      std::span<double>(rows_.data() + slot * block, block));
+  }
+  // Per replica: the simulator's exact draw order (player, then strategy)
+  // against the shared rows of its group.
+  for (size_t r = 0; r < states_.size(); ++r) {
+    Rng& rng = rngs_[r];
+    const int i = int(rng.uniform_int(uint64_t(sp.num_players())));
+    const std::span<const double> sigma(
+        rows_.data() + slot_of_[r] * block + sp.strategy_offset(i),
+        size_t(sp.num_strategies(i)));
+    const Strategy s = Strategy(rng.sample_discrete(sigma));
+    states_[r] = sp.with_strategy(states_[r], i, s);
+  }
+}
+
+void ReplicaEnsemble::run(int64_t steps) {
+  LD_CHECK(steps >= 0, "ReplicaEnsemble::run: negative step count");
+  for (int64_t t = 0; t < steps; ++t) step();
+}
+
+std::vector<double> ReplicaEnsemble::state_distribution() const {
+  std::vector<double> dist(chain_.num_states(), 0.0);
+  for (size_t st : states_) dist[st] += 1.0;
+  normalize_in_place(dist);
+  return dist;
 }
 
 }  // namespace logitdyn

@@ -1,13 +1,19 @@
-// Trajectory simulation of the logit dynamics: single runs with
+// Trajectory simulation of strategy-revision dynamics: single runs with
 // observables, parallel batches of replicas, empirical distributions,
-// and hitting times.
+// hitting times, and grouped multi-replica ensembles.
+//
+// Everything here is written against the `Dynamics` interface, so the
+// asynchronous chain, the synchronous variant, and annealed schedules all
+// get the same machinery (DESIGN.md §8).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "core/chain.hpp"
+#include "core/dynamics.hpp"
 #include "games/game.hpp"
 #include "rng/rng.hpp"
 
@@ -16,48 +22,109 @@ namespace logitdyn {
 /// Called after every step with (step index, current profile).
 using StepObserver = std::function<void(int64_t, const Profile&)>;
 
-/// Run `steps` logit updates from `x` in place. The observer (optional)
-/// sees the state after each step.
-void simulate(const LogitChain& chain, Profile& x, int64_t steps, Rng& rng,
+/// Run `steps` updates from `x` in place. The observer (optional) sees
+/// the state after each step.
+///
+/// Single-run functions (this, empirical_occupation, hitting_time) step
+/// the passed dynamics directly, so a stateful `AnnealedDynamics`
+/// continues its schedule clock across consecutive calls — which is what
+/// lets burn-in and sampling share one annealed trajectory. For
+/// independent repetitions, `clone()` or `reset()` between calls (the
+/// batch_* functions below clone per replica automatically).
+void simulate(const Dynamics& dynamics, Profile& x, int64_t steps, Rng& rng,
               const StepObserver& observer = nullptr);
 
 /// Occupation-measure estimate: run `burn_in` steps, then record the state
 /// every `stride` steps, `samples` times. Returns a distribution over
 /// encoded profiles (sums to 1).
-std::vector<double> empirical_occupation(const LogitChain& chain,
+std::vector<double> empirical_occupation(const Dynamics& dynamics,
                                          const Profile& start,
                                          int64_t burn_in, int64_t samples,
                                          int64_t stride, Rng& rng);
 
 /// Final encoded states of `replicas` independent runs of `steps` updates,
 /// executed in parallel with per-replica RNG streams derived from
-/// `master_seed` (deterministic regardless of thread schedule).
-std::vector<size_t> batch_final_states(const LogitChain& chain,
+/// `master_seed` (deterministic regardless of thread schedule). Each
+/// replica steps its own clone of `dynamics`, so schedule-driven dynamics
+/// restart from the shared clock position in every replica.
+std::vector<size_t> batch_final_states(const Dynamics& dynamics,
                                        const Profile& start, int64_t steps,
                                        int replicas, uint64_t master_seed);
 
 /// Distribution over final states across replicas (sums to 1).
-std::vector<double> batch_final_distribution(const LogitChain& chain,
+std::vector<double> batch_final_distribution(const Dynamics& dynamics,
                                              const Profile& start,
                                              int64_t steps, int replicas,
                                              uint64_t master_seed);
 
 /// First step at which `target(x)` becomes true, or -1 if not within
 /// `max_steps`. Checks the start state first (returns 0 if already there).
-int64_t hitting_time(const LogitChain& chain, const Profile& start,
+/// Steps the dynamics directly (see `simulate` on schedule clocks): for
+/// repeated independent samples use batch_hitting_time or clone()/reset().
+int64_t hitting_time(const Dynamics& dynamics, const Profile& start,
                      const std::function<bool(const Profile&)>& target,
                      int64_t max_steps, Rng& rng);
 
 /// Mean hitting time across replicas; censored runs count as `max_steps`
-/// (reported separately via `num_censored`).
+/// (reported separately via `num_censored`). Clones per replica, as in
+/// batch_final_states.
 struct HittingTimeStats {
   double mean = 0.0;
   int64_t max = 0;
   int num_censored = 0;
 };
 HittingTimeStats batch_hitting_time(
-    const LogitChain& chain, const Profile& start,
+    const Dynamics& dynamics, const Profile& start,
     const std::function<bool(const Profile&)>& target, int64_t max_steps,
     int replicas, uint64_t master_seed);
+
+/// R replicas of the asynchronous logit chain stepped together, grouped
+/// by current encoded state: each step evaluates the batched update rule
+/// (logit_update_rows) ONCE per distinct occupied state and shares it
+/// across every replica sitting there. Metastable runs spend most steps
+/// in a handful of states, so grouping collapses the oracle cost from
+/// O(R) to O(#distinct) per step (the ROADMAP's batched-multi-replica
+/// item).
+///
+/// Determinism: replica r consumes the stream Rng::for_replica(
+/// master_seed, r) in exactly the order of the per-replica simulator
+/// (player draw, then strategy draw, per step), so for games whose
+/// batched oracle is bit-identical to the row oracle (DESIGN.md §6) the
+/// final states equal batch_final_states with the same master seed.
+class ReplicaEnsemble {
+ public:
+  ReplicaEnsemble(const LogitChain& chain, const Profile& start,
+                  int replicas, uint64_t master_seed);
+
+  int num_replicas() const { return int(states_.size()); }
+
+  /// One grouped logit update per replica.
+  void step();
+
+  void run(int64_t steps);
+
+  /// Current encoded state of every replica.
+  const std::vector<size_t>& states() const { return states_; }
+
+  /// Empirical distribution of current replica states (sums to 1).
+  std::vector<double> state_distribution() const;
+
+  /// Distinct occupied states at the start of the most recent step (1 on
+  /// the first step, since all replicas share the start profile; at most
+  /// R thereafter).
+  size_t last_distinct_states() const { return last_distinct_; }
+
+ private:
+  const LogitChain& chain_;
+  std::vector<size_t> states_;
+  std::vector<Rng> rngs_;
+  size_t last_distinct_ = 0;
+  // step() scratch, kept across calls so stepping never allocates beyond
+  // high-water marks.
+  std::vector<double> rows_;       // one update-rows block per group
+  std::vector<size_t> slot_of_;    // replica -> group slot, per step
+  std::unordered_map<size_t, size_t> group_;  // state -> slot, per step
+  Profile decode_scratch_;
+};
 
 }  // namespace logitdyn

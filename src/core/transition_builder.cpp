@@ -1,0 +1,207 @@
+#include "core/transition_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <utility>
+
+#include "core/logit.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+namespace {
+
+size_t shard_count(ThreadPool& pool, size_t total) {
+  return std::max<size_t>(1, std::min(pool.num_threads(), total));
+}
+
+/// Contiguous [lo, hi) shards, one per pool worker, dispatched through
+/// parallel_for over shard indices. When already running on one of the
+/// pool's own workers (e.g. a batch-replica callback building a matrix),
+/// blocking on sub-shards could deadlock — every worker waiting, none
+/// free — so the build runs inline instead; parallel_for's small-range
+/// fallback likewise keeps one-worker pools inline.
+void run_sharded(ThreadPool& pool, size_t total,
+                 const std::function<void(size_t, size_t, size_t)>& shard_fn,
+                 size_t num_shards) {
+  if (total == 0) return;
+  if (pool.on_worker_thread()) {
+    shard_fn(0, 0, total);
+    return;
+  }
+  const size_t block = (total + num_shards - 1) / num_shards;
+  parallel_for(pool, 0, num_shards, [&](size_t shard) {
+    const size_t lo = shard * block;
+    const size_t hi = std::min(total, lo + block);
+    if (lo < hi) shard_fn(shard, lo, hi);
+  });
+}
+
+}  // namespace
+
+TransitionBuilder::TransitionBuilder(const Game& game, double beta,
+                                     UpdateKind kind)
+    : game_(game), beta_(beta), kind_(kind) {
+  LD_CHECK(beta >= 0.0, "TransitionBuilder: beta must be non-negative");
+}
+
+void TransitionBuilder::build_dense_rows(size_t lo, size_t hi,
+                                         DenseMatrix& p) const {
+  const ProfileSpace& sp = game_.space();
+  const size_t total = sp.num_profiles();
+  const int n = sp.num_players();
+  Profile x;
+  std::vector<double> rows(sp.total_strategies());
+  for (size_t idx = lo; idx < hi; ++idx) {
+    sp.decode_into(idx, x);
+    // One batched update-rule call per state: every player's
+    // sigma_i(. | x) in a single oracle pass (Eq. (2) per row).
+    logit_update_rows(game_, beta_, x, rows);
+    if (kind_ == UpdateKind::kAsynchronous) {
+      for (int i = 0; i < n; ++i) {
+        const int32_t m = sp.num_strategies(i);
+        for (Strategy s = 0; s < m; ++s) {
+          // Eq. (3): the diagonal accumulates every player's probability
+          // of re-picking her current strategy.
+          p(idx, sp.with_strategy(idx, i, s)) +=
+              rows[sp.strategy_offset(i) + size_t(s)] / double(n);
+        }
+      }
+    } else {
+      for (size_t to = 0; to < total; ++to) {
+        double prob = 1.0;
+        for (int i = 0; i < n; ++i) {
+          prob *= rows[sp.strategy_offset(i) + size_t(sp.strategy_of(to, i))];
+          if (prob == 0.0) break;
+        }
+        p(idx, to) = prob;
+      }
+    }
+  }
+}
+
+void TransitionBuilder::build_csr_rows(size_t lo, size_t hi, double drop_tol,
+                                       CsrShard& out) const {
+  const ProfileSpace& sp = game_.space();
+  const size_t total = sp.num_profiles();
+  const int n = sp.num_players();
+  Profile x;
+  std::vector<double> rows(sp.total_strategies());
+  out.row_nnz.reserve(hi - lo);
+  if (kind_ == UpdateKind::kAsynchronous) {
+    out.cols.reserve((hi - lo) * sp.total_strategies());
+    out.vals.reserve((hi - lo) * sp.total_strategies());
+  } else if (drop_tol <= 0.0) {
+    // Exact synchronous rows are fully dense: the shard size is known.
+    out.cols.reserve((hi - lo) * total);
+    out.vals.reserve((hi - lo) * total);
+  }
+  std::vector<std::pair<uint32_t, double>> entries;
+  entries.reserve(sp.total_strategies() + 1);
+  for (size_t idx = lo; idx < hi; ++idx) {
+    sp.decode_into(idx, x);
+    logit_update_rows(game_, beta_, x, rows);
+    size_t nnz = 0;
+    if (kind_ == UpdateKind::kAsynchronous) {
+      // Off-diagonal columns with_strategy(idx, i, s) are pairwise
+      // distinct across (i, s != x_i); only the diagonal merges (every
+      // player's stay-put mass), so accumulate it separately and sort the
+      // per-row entries — a tiny local sort instead of a global one.
+      entries.clear();
+      double diag = 0.0;
+      for (int i = 0; i < n; ++i) {
+        const int32_t m = sp.num_strategies(i);
+        const Strategy xi = x[size_t(i)];
+        for (Strategy s = 0; s < m; ++s) {
+          const double v = rows[sp.strategy_offset(i) + size_t(s)] / double(n);
+          if (s == xi) {
+            diag += v;
+          } else {
+            entries.emplace_back(uint32_t(sp.with_strategy(idx, i, s)), v);
+          }
+        }
+      }
+      entries.emplace_back(uint32_t(idx), diag);
+      std::sort(entries.begin(), entries.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (const auto& [col, val] : entries) {
+        if (std::abs(val) <= drop_tol) continue;
+        out.cols.push_back(col);
+        out.vals.push_back(val);
+        ++nnz;
+      }
+    } else {
+      // Synchronous rows enumerate targets in ascending order — already
+      // column-sorted, duplicate-free by construction.
+      for (size_t to = 0; to < total; ++to) {
+        double prob = 1.0;
+        for (int i = 0; i < n; ++i) {
+          prob *= rows[sp.strategy_offset(i) + size_t(sp.strategy_of(to, i))];
+          if (prob == 0.0) break;
+        }
+        if (std::abs(prob) <= drop_tol) continue;
+        out.cols.push_back(uint32_t(to));
+        out.vals.push_back(prob);
+        ++nnz;
+      }
+    }
+    out.row_nnz.push_back(nnz);
+  }
+}
+
+DenseMatrix TransitionBuilder::dense() const {
+  return dense(ThreadPool::global());
+}
+
+DenseMatrix TransitionBuilder::dense(ThreadPool& pool) const {
+  const size_t total = game_.space().num_profiles();
+  DenseMatrix p(total, total);
+  // Rows are disjoint, so every shard writes directly into the shared
+  // matrix — assembly is the build itself.
+  run_sharded(
+      pool, total,
+      [this, &p](size_t /*shard*/, size_t lo, size_t hi) {
+        build_dense_rows(lo, hi, p);
+      },
+      shard_count(pool, total));
+  return p;
+}
+
+CsrMatrix TransitionBuilder::csr(double drop_tol) const {
+  return csr(ThreadPool::global(), drop_tol);
+}
+
+CsrMatrix TransitionBuilder::csr(ThreadPool& pool, double drop_tol) const {
+  const size_t total = game_.space().num_profiles();
+  LD_CHECK(total <= size_t(UINT32_MAX), "csr: state space exceeds 2^32");
+  const size_t shards = shard_count(pool, total);
+  std::vector<CsrShard> outputs(shards);
+  run_sharded(
+      pool, total,
+      [this, drop_tol, &outputs](size_t shard, size_t lo, size_t hi) {
+        build_csr_rows(lo, hi, drop_tol, outputs[shard]);
+      },
+      shards);
+  // Lock-free assembly: shards cover contiguous row ranges in order, so
+  // the final arrays are their concatenation; offsets come from one
+  // prefix-sum pass over the per-row counts.
+  size_t nnz = 0;
+  for (const CsrShard& s : outputs) nnz += s.vals.size();
+  std::vector<size_t> row_offsets;
+  row_offsets.reserve(total + 1);
+  row_offsets.push_back(0);
+  std::vector<uint32_t> cols;
+  cols.reserve(nnz);
+  std::vector<double> vals;
+  vals.reserve(nnz);
+  for (const CsrShard& s : outputs) {
+    for (size_t k : s.row_nnz) row_offsets.push_back(row_offsets.back() + k);
+    cols.insert(cols.end(), s.cols.begin(), s.cols.end());
+    vals.insert(vals.end(), s.vals.begin(), s.vals.end());
+  }
+  return CsrMatrix::from_parts(total, total, std::move(row_offsets),
+                               std::move(cols), std::move(vals));
+}
+
+}  // namespace logitdyn

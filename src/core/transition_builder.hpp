@@ -1,0 +1,70 @@
+// Sharded transition-matrix construction (DESIGN.md §8).
+//
+// Chain enumeration is pure per-state work — one batched update-rule call
+// per profile (Eq. (3) row for the asynchronous kernel, the product
+// kernel for the synchronous one) — so dense and CSR builds shard over
+// contiguous state ranges on a thread pool and assemble lock-free. The
+// CSR path emits each row's columns already sorted and merged, and the
+// shard outputs concatenate by prefix sum, so no global triplet sort ever
+// runs. Output is bit-identical for every pool size (each row's
+// floating-point evaluation order is independent of the sharding).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "games/game.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "linalg/sparse_matrix.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace logitdyn {
+
+/// Which one-step kernel to enumerate.
+enum class UpdateKind {
+  kAsynchronous,  ///< Eq. (3): one uniformly chosen player revises.
+  kSynchronous,   ///< Conclusions variant: P(x,y) = prod_i sigma_i(y_i|x).
+};
+
+/// Enumerates the transition matrix of a logit kernel over the full
+/// profile space. Holds references: game must outlive the builder.
+class TransitionBuilder {
+ public:
+  TransitionBuilder(const Game& game, double beta, UpdateKind kind);
+
+  const Game& game() const { return game_; }
+  double beta() const { return beta_; }
+  UpdateKind kind() const { return kind_; }
+
+  /// Dense transition matrix, sharded over `pool` (rows are disjoint, so
+  /// shards write straight into the shared matrix). The no-argument form
+  /// uses `ThreadPool::global()`.
+  DenseMatrix dense() const;
+  DenseMatrix dense(ThreadPool& pool) const;
+
+  /// CSR transition matrix assembled sort-free from per-shard row-ordered
+  /// output. Entries with |value| <= `drop_tol` are dropped (the default
+  /// keeps everything nonzero, matching the dense build exactly); a
+  /// positive tolerance sparsifies the synchronous kernel, whose exact
+  /// rows are fully dense.
+  CsrMatrix csr(double drop_tol = 0.0) const;
+  CsrMatrix csr(ThreadPool& pool, double drop_tol = 0.0) const;
+
+ private:
+  /// One shard's CSR output: rows [lo, hi) in order, columns sorted.
+  struct CsrShard {
+    std::vector<size_t> row_nnz;
+    std::vector<uint32_t> cols;
+    std::vector<double> vals;
+  };
+
+  void build_dense_rows(size_t lo, size_t hi, DenseMatrix& p) const;
+  void build_csr_rows(size_t lo, size_t hi, double drop_tol,
+                      CsrShard& out) const;
+
+  const Game& game_;
+  double beta_;
+  UpdateKind kind_;
+};
+
+}  // namespace logitdyn

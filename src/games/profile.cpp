@@ -10,17 +10,20 @@ ProfileSpace::ProfileSpace(std::vector<int32_t> sizes)
     : sizes_(std::move(sizes)) {
   LD_CHECK(!sizes_.empty(), "ProfileSpace: need at least one player");
   strides_.resize(sizes_.size());
+  strategy_offsets_.resize(sizes_.size() + 1);
   constexpr size_t kCap = size_t(1) << 62;
   for (size_t i = 0; i < sizes_.size(); ++i) {
     LD_CHECK(sizes_[i] >= 1, "ProfileSpace: player ", i,
              " needs at least one strategy");
     strides_[i] = num_profiles_;
+    strategy_offsets_[i] = total_strategies_;
     LD_CHECK(num_profiles_ <= kCap / size_t(sizes_[i]),
              "ProfileSpace: profile count overflow");
     num_profiles_ *= size_t(sizes_[i]);
     total_strategies_ += size_t(sizes_[i]);
     max_size_ = std::max(max_size_, sizes_[i]);
   }
+  strategy_offsets_[sizes_.size()] = total_strategies_;
 }
 
 ProfileSpace::ProfileSpace(int num_players, int32_t num_strategies)

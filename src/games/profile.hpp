@@ -37,6 +37,14 @@ class ProfileSpace {
   /// buffer (see Game::utility_rows).
   size_t total_strategies() const { return total_strategies_; }
 
+  /// Offset of `player`'s row inside a concatenated all-players buffer:
+  /// sum of |S_j| over j < player. strategy_offset(num_players()) equals
+  /// total_strategies(), so consumers can slice rows without re-deriving
+  /// the prefix sum.
+  size_t strategy_offset(int player) const {
+    return strategy_offsets_[size_t(player)];
+  }
+
   /// Mixed-radix stride of `player`: encoded profiles that differ only in
   /// player's strategy are `stride(player)` apart. The table-backed games
   /// use this to gather a whole utility row without re-encoding.
@@ -62,6 +70,7 @@ class ProfileSpace {
  private:
   std::vector<int32_t> sizes_;
   std::vector<size_t> strides_;
+  std::vector<size_t> strategy_offsets_;  // size n+1, prefix sums of sizes_
   size_t num_profiles_ = 1;
   size_t total_strategies_ = 0;
   int32_t max_size_ = 1;

@@ -40,6 +40,31 @@ CsrMatrix::CsrMatrix(size_t rows, size_t cols, std::vector<Triplet> triplets)
   row_offsets_[rows] = values_.size();
 }
 
+CsrMatrix CsrMatrix::from_parts(size_t rows, size_t cols,
+                                std::vector<size_t> row_offsets,
+                                std::vector<uint32_t> col_indices,
+                                std::vector<double> values) {
+  LD_CHECK(row_offsets.size() == rows + 1, "from_parts: offsets size");
+  LD_CHECK(row_offsets.front() == 0 && row_offsets.back() == values.size(),
+           "from_parts: offsets must span [0, nnz]");
+  LD_CHECK(col_indices.size() == values.size(),
+           "from_parts: col/value size mismatch");
+  for (size_t r = 0; r < rows; ++r) {
+    LD_CHECK(row_offsets[r] <= row_offsets[r + 1],
+             "from_parts: offsets must be non-decreasing");
+  }
+  for (uint32_t c : col_indices) {
+    LD_CHECK(size_t(c) < cols, "from_parts: column out of range");
+  }
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_offsets_ = std::move(row_offsets);
+  m.col_indices_ = std::move(col_indices);
+  m.values_ = std::move(values);
+  return m;
+}
+
 CsrMatrix CsrMatrix::from_dense(const DenseMatrix& dense, double tol) {
   std::vector<Triplet> trips;
   for (size_t r = 0; r < dense.rows(); ++r) {

@@ -31,6 +31,15 @@ class CsrMatrix {
 
   static CsrMatrix from_dense(const DenseMatrix& dense, double tol = 0.0);
 
+  /// Adopt pre-assembled CSR arrays without any sorting or copying — the
+  /// sharded TransitionBuilder emits rows in order with columns already
+  /// sorted and merged, so the triplet path's global sort is pure waste.
+  /// Validates shape: offsets monotone spanning [0, nnz], columns in range.
+  static CsrMatrix from_parts(size_t rows, size_t cols,
+                              std::vector<size_t> row_offsets,
+                              std::vector<uint32_t> col_indices,
+                              std::vector<double> values);
+
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
   size_t nnz() const { return values_.size(); }

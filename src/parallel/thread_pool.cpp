@@ -6,6 +6,10 @@
 
 namespace logitdyn {
 
+namespace {
+thread_local const ThreadPool* tls_current_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
@@ -37,7 +41,12 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return fut;
 }
 
+bool ThreadPool::on_worker_thread() const {
+  return tls_current_pool == this;
+}
+
 void ThreadPool::worker_loop() {
+  tls_current_pool = this;
   for (;;) {
     std::packaged_task<void()> task;
     {
@@ -74,7 +83,18 @@ void parallel_for(ThreadPool& pool, size_t begin, size_t end,
       for (size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
-  for (auto& f : futures) f.get();
+  // Drain EVERY future before rethrowing: an early rethrow would unwind
+  // the caller's stack while still-queued tasks hold references into it
+  // (fn and its captures) — a use-after-free once a worker picks them up.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void parallel_for(size_t begin, size_t end,

@@ -32,6 +32,12 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// True when called from one of THIS pool's worker threads. Blocking on
+  /// sub-tasks submitted to one's own pool can deadlock (every worker
+  /// waiting, none free to run the sub-tasks), so nested dispatch helpers
+  /// check this and fall back to inline execution.
+  bool on_worker_thread() const;
+
   /// Process-wide pool, sized to hardware concurrency; created lazily.
   static ThreadPool& global();
 

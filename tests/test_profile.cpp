@@ -20,6 +20,14 @@ TEST(ProfileSpaceTest, MixedSizesCount) {
   EXPECT_EQ(sp.max_strategies(), 4);
 }
 
+TEST(ProfileSpaceTest, StrategyOffsetsPrefixSizes) {
+  const ProfileSpace sp(std::vector<int32_t>{2, 3, 4});
+  EXPECT_EQ(sp.strategy_offset(0), 0u);
+  EXPECT_EQ(sp.strategy_offset(1), 2u);
+  EXPECT_EQ(sp.strategy_offset(2), 5u);
+  EXPECT_EQ(sp.strategy_offset(3), sp.total_strategies());
+}
+
 TEST(ProfileSpaceTest, IndexDecodeRoundTripExhaustive) {
   const ProfileSpace sp(std::vector<int32_t>{3, 2, 4});
   for (size_t idx = 0; idx < sp.num_profiles(); ++idx) {

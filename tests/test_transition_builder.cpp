@@ -1,0 +1,193 @@
+// Sharded TransitionBuilder (DESIGN.md §8): bit-identity of dense and CSR
+// builds across pool sizes, agreement with a hand-rolled sequential
+// reference, sort-free CSR canonical form, and drop-tolerance semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/chain.hpp"
+#include "core/logit.hpp"
+#include "core/parallel_dynamics.hpp"
+#include "core/transition_builder.hpp"
+#include "games/congestion.hpp"
+#include "games/plateau.hpp"
+#include "games/random_potential.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/rng.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+/// Straight-line single-threaded reference of the asynchronous kernel
+/// (the pre-builder LogitChain::dense_transition loop, verbatim).
+DenseMatrix reference_async_dense(const Game& game, double beta) {
+  const ProfileSpace& sp = game.space();
+  const size_t total = sp.num_profiles();
+  const int n = sp.num_players();
+  DenseMatrix p(total, total);
+  Profile x;
+  std::vector<double> rows(sp.total_strategies());
+  for (size_t idx = 0; idx < total; ++idx) {
+    sp.decode_into(idx, x);
+    logit_update_rows(game, beta, x, rows);
+    size_t offset = 0;
+    for (int i = 0; i < n; ++i) {
+      const int32_t m = sp.num_strategies(i);
+      for (Strategy s = 0; s < m; ++s) {
+        p(idx, sp.with_strategy(idx, i, s)) +=
+            rows[offset + size_t(s)] / double(n);
+      }
+      offset += size_t(m);
+    }
+  }
+  return p;
+}
+
+void expect_csr_bit_identical(const CsrMatrix& a, const CsrMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (size_t r = 0; r <= a.rows(); ++r) {
+    ASSERT_EQ(a.row_offsets()[r], b.row_offsets()[r]) << "row " << r;
+  }
+  for (size_t k = 0; k < a.nnz(); ++k) {
+    ASSERT_EQ(a.col_indices()[k], b.col_indices()[k]) << "entry " << k;
+    ASSERT_EQ(a.values()[k], b.values()[k]) << "entry " << k;
+  }
+}
+
+TEST(TransitionBuilderTest, AsyncDenseMatchesReferenceBitwise) {
+  Rng rng(5);
+  const TablePotentialGame game =
+      make_random_potential_game(ProfileSpace({2, 3, 4}), 1.5, rng);
+  const TransitionBuilder builder(game, 1.3, UpdateKind::kAsynchronous);
+  ThreadPool single(1);
+  EXPECT_EQ(builder.dense(single).max_abs_diff(
+                reference_async_dense(game, 1.3)),
+            0.0);
+}
+
+TEST(TransitionBuilderTest, ShardedDenseBitIdenticalAcrossPoolSizes) {
+  // The satellite requirement: 1/2/8-thread pools produce bit-identical
+  // matrices, async and synchronous.
+  PlateauGame game(7, 3.0, 1.0);  // 128 states
+  for (UpdateKind kind :
+       {UpdateKind::kAsynchronous, UpdateKind::kSynchronous}) {
+    const TransitionBuilder builder(game, 1.7, kind);
+    ThreadPool one(1), two(2), eight(8);
+    const DenseMatrix base = builder.dense(one);
+    EXPECT_EQ(builder.dense(two).max_abs_diff(base), 0.0);
+    EXPECT_EQ(builder.dense(eight).max_abs_diff(base), 0.0);
+  }
+}
+
+TEST(TransitionBuilderTest, ShardedCsrBitIdenticalAcrossPoolSizes) {
+  PlateauGame game(7, 3.0, 1.0);
+  for (UpdateKind kind :
+       {UpdateKind::kAsynchronous, UpdateKind::kSynchronous}) {
+    const TransitionBuilder builder(game, 1.7, kind);
+    ThreadPool one(1), two(2), eight(8);
+    const CsrMatrix base = builder.csr(one);
+    expect_csr_bit_identical(builder.csr(two), base);
+    expect_csr_bit_identical(builder.csr(eight), base);
+  }
+}
+
+TEST(TransitionBuilderTest, SortFreeCsrMatchesTripletAssembly) {
+  // The new assembly must land in the exact canonical form the sorting
+  // triplet constructor produced: row-major, columns ascending, diagonal
+  // merged, zeros dropped.
+  Rng rng(11);
+  const TablePotentialGame game =
+      make_random_potential_game(ProfileSpace({3, 2, 3}), 1.0, rng);
+  const LogitChain chain(game, 0.9);
+  const CsrMatrix fast = chain.csr_transition();
+  const CsrMatrix slow = CsrMatrix::from_dense(chain.dense_transition());
+  expect_csr_bit_identical(fast, slow);
+  for (size_t r = 0; r < fast.rows(); ++r) {
+    for (size_t k = fast.row_offsets()[r] + 1; k < fast.row_offsets()[r + 1];
+         ++k) {
+      EXPECT_LT(fast.col_indices()[k - 1], fast.col_indices()[k]);
+    }
+  }
+}
+
+TEST(TransitionBuilderTest, SynchronousCsrMatchesDense) {
+  PlateauGame game(5, 2.0, 1.0);
+  const ParallelLogitChain chain(game, 1.2);
+  EXPECT_EQ(chain.csr_transition().to_dense().max_abs_diff(
+                chain.dense_transition()),
+            0.0);
+}
+
+TEST(TransitionBuilderTest, SynchronousDropTolSparsifies) {
+  PlateauGame game(6, 3.0, 1.0);
+  const ParallelLogitChain chain(game, 6.0);
+  const CsrMatrix exact = chain.csr_transition();
+  const CsrMatrix trimmed = chain.csr_transition(1e-12);
+  EXPECT_LT(trimmed.nnz(), exact.nnz());
+  // Dropped mass per row is bounded by |S| * tol.
+  const double bound = double(chain.num_states()) * 1e-12;
+  for (double s : trimmed.row_sums()) {
+    EXPECT_NEAR(s, 1.0, bound + 1e-12);
+  }
+}
+
+TEST(TransitionBuilderTest, MixedStrategyCountsRoundTrip) {
+  // Non-uniform |S_i| exercises the offset bookkeeping in both kernels.
+  Rng rng(3);
+  const TablePotentialGame game =
+      make_random_potential_game(ProfileSpace({4, 2, 3, 2}), 2.0, rng);
+  const TransitionBuilder async(game, 1.1, UpdateKind::kAsynchronous);
+  const TransitionBuilder sync(game, 1.1, UpdateKind::kSynchronous);
+  EXPECT_EQ(async.csr().to_dense().max_abs_diff(async.dense()), 0.0);
+  EXPECT_EQ(sync.csr().to_dense().max_abs_diff(sync.dense()), 0.0);
+  // Rows of both kernels are stochastic.
+  for (const TransitionBuilder* b : {&async, &sync}) {
+    for (double s : b->csr().row_sums()) EXPECT_NEAR(s, 1.0, 1e-12);
+  }
+}
+
+TEST(TransitionBuilderTest, NestedBuildFromPoolWorkerRunsInline) {
+  // A build invoked from inside a task on the same pool (e.g. a
+  // batch-replica callback) must not block on sub-shards no free worker
+  // can run: on_worker_thread() routes it inline. Saturate a small pool
+  // with tasks that each build a matrix on that same pool.
+  PlateauGame game(5, 2.0, 1.0);
+  const LogitChain chain(game, 1.0);
+  ThreadPool pool(2);
+  const DenseMatrix expected = chain.dense_transition(pool);
+  std::vector<DenseMatrix> built(4);
+  parallel_for(pool, 0, built.size(), [&](size_t i) {
+    built[i] = chain.dense_transition(pool);
+  });
+  for (const DenseMatrix& p : built) {
+    EXPECT_EQ(p.max_abs_diff(expected), 0.0);
+  }
+}
+
+TEST(TransitionBuilderTest, RejectsNegativeBeta) {
+  PlateauGame game(4, 2.0, 1.0);
+  EXPECT_THROW(TransitionBuilder(game, -1.0, UpdateKind::kAsynchronous),
+               Error);
+}
+
+TEST(CsrFromPartsTest, ValidatesShape) {
+  EXPECT_THROW(CsrMatrix::from_parts(2, 2, {0, 1}, {0, 1}, {1.0, 1.0}),
+               Error);  // offsets too short
+  EXPECT_THROW(CsrMatrix::from_parts(2, 2, {0, 1, 1}, {0, 1}, {1.0, 1.0}),
+               Error);  // back != nnz
+  EXPECT_THROW(CsrMatrix::from_parts(2, 2, {0, 2, 1}, {0}, {1.0}),
+               Error);  // non-monotone
+  EXPECT_THROW(CsrMatrix::from_parts(2, 2, {0, 1, 2}, {0, 5}, {1.0, 1.0}),
+               Error);  // column out of range
+  const CsrMatrix ok =
+      CsrMatrix::from_parts(2, 2, {0, 1, 2}, {0, 1}, {1.0, 1.0});
+  EXPECT_EQ(ok.nnz(), 2u);
+  EXPECT_EQ(ok.to_dense()(0, 0), 1.0);
+  EXPECT_EQ(ok.to_dense()(1, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace logitdyn

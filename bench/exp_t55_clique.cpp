@@ -9,9 +9,12 @@
 #include <cmath>
 #include <iostream>
 
+#include "analysis/spectral.hpp"
 #include "analysis/zeta.hpp"
 #include "bench_common.hpp"
 #include "core/lumped.hpp"
+#include "games/graphical_coordination.hpp"
+#include "graph/builders.hpp"
 
 using namespace logitdyn;
 
@@ -104,6 +107,45 @@ int main() {
                 3);
     }
     table.print(std::cout);
+  }
+
+  {
+    bench::print_section(
+        "lumping validated against the full 2^14-state chain: Lanczos on "
+        "the matrix-free kernel vs the exact weight-lumped spectrum");
+    // The clique game's slow mode lives on the weight coordinate, so
+    // lambda_2 of the full chain must match lambda_2 of the (n+1)-state
+    // lumped chain — the operator path can now check this directly at
+    // sizes where the dense full-chain spectrum is unreachable.
+    const int n = 14;
+    const double d0 = 1.2 / double(n - 1), d1 = 0.8 / double(n - 1);
+    const std::vector<double> wphi = clique_weight_potential(n, d0, d1);
+    GraphicalCoordinationGame game(
+        make_clique(uint32_t(n)),
+        CoordinationPayoffs::from_deltas(d0, d1));
+    LogitChain chain(game, 0.0);
+    Table table({"beta", "lambda_2 (full, lanczos)", "lambda_2 (lumped)",
+                 "|diff|", "t_rel full/lumped"});
+    for (double beta : {3.0, 5.0}) {
+      chain.set_beta(beta);
+      const std::vector<double> pi = chain.stationary();
+      SpectralOptions opts;  // 16384 states: operator path
+      opts.lanczos.tol = 1e-10;
+      const SpectralSummary full =
+          spectral_summary(game, beta, UpdateKind::kAsynchronous, pi, opts);
+      const BirthDeathChain bd = BirthDeathChain::weight_chain(n, beta, wphi);
+      const ChainSpectrum lumped =
+          chain_spectrum(bd.transition(), bd.stationary());
+      table.row()
+          .cell(beta, 1)
+          .cell(full.lambda2, 10)
+          .cell(lumped.lambda2(), 10)
+          .cell(std::abs(full.lambda2 - lumped.lambda2()), 10)
+          .cell(full.relaxation_time() / lumped.relaxation_time(), 6);
+    }
+    table.print(std::cout);
+    std::cout << "full-chain lambda_2 == lumped lambda_2: the weight "
+                 "projection captures the slow mode exactly.\n";
   }
   return 0;
 }

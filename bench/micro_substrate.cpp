@@ -11,15 +11,20 @@
 #include <algorithm>
 #include <fstream>
 #include <functional>
+#include <iomanip>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "analysis/mixing.hpp"
+#include "analysis/spectral.hpp"
 #include "core/chain.hpp"
 #include "core/gibbs.hpp"
+#include "core/logit_operator.hpp"
 #include "core/simulator.hpp"
 #include "core/transition_builder.hpp"
+#include "linalg/lanczos.hpp"
 #include "parallel/thread_pool.hpp"
 #include "games/congestion.hpp"
 #include "games/graphical_coordination.hpp"
@@ -324,6 +329,135 @@ void write_bench_chain_build_json(const std::string& path) {
             << ", identical_finals=" << finals_identical << "\n";
 }
 
+/// Emit BENCH_spectral.json: the dense symmetrize-and-decompose spectrum
+/// vs Lanczos-on-LogitOperator (DESIGN.md §9) on n-player congestion
+/// instances (2^n states). Dense runs at the cross-checkable sizes
+/// (n <= 11 — below the 2^12 cutover, where the dense path is in
+/// contract) and the gap-agreement flag there gates CI; from n = 12 up
+/// only the operator path runs — the n = 20 row is a 2^20-state chain
+/// whose transition matrix (8 TB dense) is never materialized. Also
+/// records the max row-sum defect the dense doubling ladder corrected,
+/// as a per-PR numerical-health signal.
+void write_bench_spectral_json(const std::string& path) {
+  struct SpectralRow {
+    int n;
+    size_t states;
+    double beta = 0.0;
+    double dense_ms = 0.0;    // 0 = dense not run at this size
+    double lanczos_ms = 0.0;
+    double dense_lstar = 0.0;
+    double lz_lstar = 0.0;
+    size_t iterations = 0;
+    bool converged = false;
+    double diff = 0.0;        // |lambda* dense - lambda* lanczos|
+    bool comparable = false;  // dense ran at this size
+  };
+  std::vector<SpectralRow> rows;
+  for (int n : {10, 11, 12, 16, 20}) {
+    SpectralRow row;
+    row.n = n;
+    const CongestionGame game = make_congestion_bench(n);
+    row.states = game.space().num_profiles();
+    // The Rosenthal potential's spread grows with n; cap beta so the
+    // smallest Gibbs weight stays representable (exp(-beta * spread)
+    // must not underflow to an exact zero — the symmetrized operator
+    // needs pi > 0 everywhere).
+    const std::vector<double> phi = potential_table(game);
+    const auto [phi_min, phi_max] =
+        std::minmax_element(phi.begin(), phi.end());
+    const double spread = *phi_max - *phi_min;
+    row.beta = std::min(1.0, 400.0 / std::max(1.0, spread));
+    const GibbsMeasure gibbs = gibbs_from_potentials(phi, row.beta);
+
+    const LogitOperator op(game, row.beta, UpdateKind::kAsynchronous);
+    LanczosOptions opts;
+    // Tight tolerance where the dense path cross-checks; the large sizes
+    // only need the gap to bench precision.
+    opts.tol = n <= 12 ? 1e-10 : 1e-8;
+    opts.max_iterations = n <= 12 ? 300 : 200;
+    LanczosSpectrum lz;
+    row.lanczos_ms = time_best_of(n <= 12 ? 3 : 1, [&] {
+      lz = lanczos_spectrum(op, gibbs.probabilities, opts);
+      benchmark::DoNotOptimize(lz.lambda2);
+    });
+    row.lz_lstar = lz.lambda_star();
+    row.iterations = lz.iterations;
+    row.converged = lz.converged;
+
+    // Dense cross-check at the cross-checkable sizes: n = 12 is 4096
+    // states — exactly the cutover, where the engine's contract is
+    // already operator-only (and the dense O(N^3) decomposition alone
+    // costs ~10 min), so the certified comparison runs at n <= 11.
+    if (n <= 11) {
+      const LogitChain chain(game, row.beta);
+      ChainSpectrum dense;
+      row.dense_ms = time_best_of(n <= 10 ? 2 : 1, [&] {
+        dense = chain_spectrum(chain.dense_transition(), gibbs.probabilities);
+        benchmark::DoNotOptimize(dense.eigenvalues.data());
+      });
+      row.dense_lstar = dense.lambda_star();
+      row.diff = std::abs(row.dense_lstar - row.lz_lstar);
+      row.comparable = true;
+    }
+    rows.push_back(row);
+  }
+
+  // Numerical-health probe: the row-sum defect the doubling ladder's
+  // renormalization corrected on a metastable 1024-state chain.
+  const PlateauGame health_game(10, 5.0, 1.0);
+  const LogitChain health_chain(health_game, 1.5);
+  const MixingResult health = mixing_time_doubling(
+      health_chain.dense_transition(), health_chain.stationary(), 0.25);
+
+  std::ofstream out(path);
+  out << "{\n  \"benchmark\": \"spectral_dense_vs_lanczos\",\n"
+      << "  \"description\": \"dense symmetrized eigendecomposition vs "
+         "Lanczos on the matrix-free LogitOperator (lambda*, hence "
+         "spectral gap and t_rel); gap_agrees gates CI at the "
+         "cross-checkable sizes\",\n"
+      << "  \"unit\": \"ms\",\n  \"results\": [\n";
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const SpectralRow& row = rows[r];
+    out << "    {\"n\": " << row.n << ", \"states\": " << row.states
+        << ", \"beta\": " << row.beta
+        << ", \"lanczos_ms\": " << row.lanczos_ms
+        << ", \"lanczos_lambda_star\": " << std::setprecision(17)
+        << row.lz_lstar << std::setprecision(6)
+        << ", \"iterations\": " << row.iterations
+        << ", \"converged\": " << (row.converged ? "true" : "false");
+    if (row.comparable) {
+      out << ", \"dense_ms\": " << row.dense_ms
+          << ", \"dense_lambda_star\": " << std::setprecision(17)
+          << row.dense_lstar << std::setprecision(6)
+          << ", \"speedup\": " << row.dense_ms / row.lanczos_ms
+          << ", \"lambda_star_diff\": " << row.diff
+          << ", \"gap_agrees\": " << (row.diff <= 1e-6 ? "true" : "false");
+    }
+    out << "}" << (r + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"mixing_health\": {\"workload\": \"doubling_row_defect\", "
+         "\"states\": "
+      << health_game.space().num_profiles()
+      << ", \"t_mix\": " << health.time
+      << ", \"max_row_defect\": " << health.max_row_defect << "}\n}\n";
+  std::cout << "wrote " << path << "\n";
+  for (const SpectralRow& row : rows) {
+    std::cout << "  n=" << row.n << " (" << row.states
+              << " states, beta=" << row.beta << "): lanczos "
+              << row.lanczos_ms << " ms (" << row.iterations
+              << " iters, converged=" << row.converged << ")";
+    if (row.comparable) {
+      std::cout << ", dense " << row.dense_ms << " ms, speedup "
+                << row.dense_ms / row.lanczos_ms << "x, |d lambda*| "
+                << row.diff;
+    }
+    std::cout << "\n";
+  }
+  std::cout << "  doubling max_row_defect: " << health.max_row_defect
+            << " (t_mix " << health.time << ")\n";
+}
+
 DenseMatrix random_matrix(size_t n, uint64_t seed) {
   Rng rng(seed);
   DenseMatrix m(n, n);
@@ -485,14 +619,18 @@ BENCHMARK(BM_SimulationStepsCongestionNaive);
 // trajectory reads BENCH_oracle.json), then run the google-benchmark
 // suite as usual. --bench_oracle_only keeps its historical behaviour
 // (oracle JSON, then exit); --bench_smoke_only additionally emits
-// BENCH_chain_build.json — the chain-build emitter is gated behind that
-// flag because its numbers only mean something in a Release build (the
-// bench-perf CI job is its consumer).
+// BENCH_chain_build.json and BENCH_spectral.json — those emitters are
+// gated behind flags because their numbers only mean something in a
+// Release build (the bench-perf CI job is their consumer);
+// --bench_spectral_only emits just the spectral comparison.
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_oracle.json";
   std::string chain_build_path = "BENCH_chain_build.json";
+  std::string spectral_path = "BENCH_spectral.json";
   bool exit_after_json = false;
   bool chain_build = false;
+  bool spectral = false;
+  bool oracle = true;
   std::vector<char*> passthrough = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -501,6 +639,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--bench_smoke_only") {
       exit_after_json = true;
       chain_build = true;
+      spectral = true;
+    } else if (arg == "--bench_spectral_only") {
+      // Spectral emitter alone (the dense rows take minutes; this flag
+      // lets CI or a profiler run just them).
+      exit_after_json = true;
+      spectral = true;
+      oracle = false;
     } else if (arg.rfind("--bench_oracle_out=", 0) == 0) {
       json_path = arg.substr(std::string("--bench_oracle_out=").size());
     } else if (arg.rfind("--bench_chain_build_out=", 0) == 0) {
@@ -508,12 +653,15 @@ int main(int argc, char** argv) {
       // --bench_smoke_only (its numbers only mean something in Release).
       chain_build_path =
           arg.substr(std::string("--bench_chain_build_out=").size());
+    } else if (arg.rfind("--bench_spectral_out=", 0) == 0) {
+      spectral_path = arg.substr(std::string("--bench_spectral_out=").size());
     } else {
       passthrough.push_back(argv[i]);
     }
   }
-  write_bench_oracle_json(json_path);
+  if (oracle) write_bench_oracle_json(json_path);
   if (chain_build) write_bench_chain_build_json(chain_build_path);
+  if (spectral) write_bench_spectral_json(spectral_path);
   if (exit_after_json) return 0;
   argc = int(passthrough.size());
   argv = passthrough.data();

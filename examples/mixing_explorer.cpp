@@ -5,10 +5,14 @@
 //     n:    number of players                    (default: 6)
 //     beta: inverse noise, comma-separated list  (default: 1.0)
 //
-// Prints the chain's spectrum summary, exact mixing time, and every
-// applicable paper bound. A beta list sweeps one reusable chain via
-// set_beta (no per-beta reconstruction). With no arguments it runs a
-// short demo sweep.
+// Prints the chain's spectrum summary, mixing time, and every applicable
+// paper bound. Below the 2^12-state dense cutover everything is exact
+// (full spectrum, doubling t_mix); above it the operator path takes over
+// (DESIGN.md §9): Lanczos lambda_2/lambda_min, the Theorem 2.3 bracket,
+// and evolved extreme-state mixing times, up to 2^20 states — the
+// "spectral path" row says which regime a run used. A beta list sweeps
+// one reusable chain via set_beta (no per-beta reconstruction). With no
+// arguments it runs a short demo sweep.
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
@@ -22,6 +26,7 @@
 #include "analysis/zeta.hpp"
 #include "core/chain.hpp"
 #include "core/gibbs.hpp"
+#include "core/logit_operator.hpp"
 #include "games/dominant.hpp"
 #include "games/graphical_coordination.hpp"
 #include "games/plateau.hpp"
@@ -59,8 +64,11 @@ void explore_beta(LogitChain& chain, const PotentialStats& stats,
 void explore(const std::string& kind, int n,
              const std::vector<double>& betas) {
   const std::unique_ptr<PotentialGame> game = build_game(kind, n);
-  if (game->space().num_profiles() > (size_t(1) << 14)) {
-    throw Error("state space too large for exact analysis (use n <= 14)");
+  // Below the dense cutover the explorer is fully exact; above it the
+  // operator path (Lanczos + multi-start evolution, DESIGN.md §9) takes
+  // over, so the ceiling is memory for O(k) state-space vectors.
+  if (game->space().num_profiles() > (size_t(1) << 20)) {
+    throw Error("state space too large (use |S| <= 2^20)");
   }
   // One chain serves the whole beta sweep (beta is mutable on Dynamics),
   // and the beta-independent potential summaries are computed once.
@@ -76,21 +84,67 @@ void explore_beta(LogitChain& chain, const PotentialStats& stats,
   std::cout << "\n### " << kind << ", n = " << n << ", beta = " << beta
             << " ###\n";
   chain.set_beta(beta);
-  const DenseMatrix p = chain.dense_transition();
   const std::vector<double> pi = chain.stationary();
-  const ChainSpectrum spec = chain_spectrum(p, pi);
-  const MixingResult mix = mixing_time_doubling(p, pi, 0.25);
+  const bool dense_path = pi.size() < kDenseSpectralCutover;
+
+  // Dense path: one matrix build serves spectrum and doubling; operator
+  // path: Lanczos + evolution, nothing materialized.
+  SpectralSummary spec;
+  MixingResult dense_mix;
+  if (dense_path) {
+    const DenseMatrix p = chain.dense_transition();
+    const ChainSpectrum cs = chain_spectrum(p, pi);
+    spec.lambda2 = cs.lambda2();
+    spec.lambda_min = cs.lambda_min();
+    spec.certified = true;
+    dense_mix = mixing_time_doubling(p, pi, 0.25);
+  } else {
+    spec = spectral_summary(chain.game(), beta, UpdateKind::kAsynchronous, pi);
+  }
 
   Table out({"quantity", "value"});
   out.row().cell("|S|").cell(int64_t(pi.size()));
+  out.row().cell("spectral path").cell(
+      dense_path ? "dense (exact)" : "lanczos on LogitOperator");
   out.row().cell("DeltaPhi (global variation)").cell(stats.global_variation, 4);
   out.row().cell("deltaPhi (local variation)").cell(stats.local_variation, 4);
   out.row().cell("zeta (min-max climb)").cell(zeta, 4);
-  out.row().cell("lambda_2").cell(spec.lambda2(), 6);
-  out.row().cell("lambda_min").cell(spec.lambda_min(), 6);
-  out.row().cell("relaxation time").cell(spec.relaxation_time(), 3);
-  out.row().cell("t_mix(1/4) exact").cell(
-      mix.converged ? std::to_string(mix.time) : "> budget");
+  out.row().cell("lambda_2").cell(spec.lambda2, 6);
+  out.row().cell("lambda_min").cell(spec.lambda_min, 6);
+  out.row().cell("relaxation time").cell(
+      format_double(spec.relaxation_time(), 3) +
+      (spec.converged ? "" : " (lanczos UNCONVERGED)"));
+  if (dense_path) {
+    out.row().cell("t_mix(1/4) exact").cell(
+        dense_mix.converged ? std::to_string(dense_mix.time) : "> budget");
+  } else {
+    // Operator scale: Theorem 2.3 bracket plus the evolved lower bound
+    // from the two extreme profiles. Each apply is O(|S|) oracle work
+    // (seconds at 2^20 states), so the step budget shrinks with size —
+    // metastable runs print "> budget" and the bracket still localizes
+    // t_mix.
+    const LogitOperator op(chain.game(), beta, UpdateKind::kAsynchronous);
+    const size_t starts[] = {0, pi.size() - 1};
+    const uint64_t step_cap =
+        pi.size() >= (size_t(1) << 16) ? (1 << 16) : (1 << 20);
+    const OperatorMixingResult mix =
+        mixing_time_operator(op, pi, starts, 0.25, step_cap);
+    out.row().cell("t_mix from extreme states").cell(
+        mix.worst.converged ? std::to_string(mix.worst.time) : "> budget");
+    if (spec.converged) {
+      const double pi_min_b = *std::min_element(pi.begin(), pi.end());
+      const Theorem23Bracket bracket = tmix_bracket_from_relaxation(
+          spec.relaxation_time(), pi_min_b, 0.25);
+      out.row().cell("Thm 2.3 bracket on t_mix").cell(
+          "[" + format_double(bracket.lower, 1) + ", " +
+          format_double(bracket.upper, 1) + "]");
+    } else {
+      // An unconverged Ritz estimate underestimates t_rel; a bracket
+      // built from it could exclude the true t_mix, so don't print one.
+      out.row().cell("Thm 2.3 bracket on t_mix").cell(
+          "n/a (lanczos unconverged)");
+    }
+  }
   const int m = int(chain.space().max_strategies());
   out.row()
       .cell("Thm 3.4 upper")

@@ -6,9 +6,50 @@
 #include <numeric>
 
 #include "analysis/spectral.hpp"
+#include "linalg/linear_operator.hpp"
 #include "support/error.hpp"
 
 namespace logitdyn {
+
+namespace {
+
+/// Shared prefix-sweep skeleton: states join R in `order`; `flow_delta`
+/// returns the change to Q(R, R^c) when v joins (evaluated before v is
+/// inserted). Maintains the pi(R) <= 1/2 convention by flipping to the
+/// complement when the prefix carries more than half the mass (for a
+/// reversible chain Q(R, R^c) = Q(R^c, R), so the flow carries over).
+template <typename FlowDelta>
+SweepCutResult sweep_prefix_cuts(std::span<const double> pi,
+                                 const std::vector<size_t>& order,
+                                 FlowDelta&& flow_delta) {
+  const size_t n = order.size();
+  SweepCutResult best;
+  best.ratio = std::numeric_limits<double>::infinity();
+  std::vector<uint8_t> in_set(n, 0);
+  double pi_r = 0.0;
+  double flow = 0.0;
+  for (size_t step = 0; step + 1 < n; ++step) {
+    const size_t v = order[step];
+    flow += flow_delta(v, in_set);
+    in_set[v] = 1;
+    pi_r += pi[v];
+    const bool use_complement = pi_r > 0.5;
+    const double mass = use_complement ? 1.0 - pi_r : pi_r;
+    if (mass <= 0.0) continue;
+    const double ratio = flow / mass;
+    if (ratio < best.ratio) {
+      best.ratio = ratio;
+      best.in_set = in_set;
+      if (use_complement) {
+        for (auto& flag : best.in_set) flag = !flag;
+      }
+    }
+  }
+  LD_CHECK(!best.in_set.empty(), "sweep_prefix_cuts: degenerate pi");
+  return best;
+}
+
+}  // namespace
 
 double bottleneck_ratio(const DenseMatrix& p, std::span<const double> pi,
                         std::span<const uint8_t> in_set) {
@@ -50,42 +91,56 @@ SweepCutResult best_sweep_cut(const DenseMatrix& p,
   std::sort(order.begin(), order.end(),
             [&](size_t x, size_t y) { return f[x] < f[y]; });
 
-  SweepCutResult best;
-  best.ratio = std::numeric_limits<double>::infinity();
-  std::vector<uint8_t> in_set(n, 0);
-  double pi_r = 0.0;
-  // Maintain flow = Q(R, R^c) incrementally as states move into R. For a
-  // reversible chain Q(R, R^c) = Q(R^c, R), so when a prefix carries more
-  // than half the mass the complement is the admissible Theorem 2.7 set
-  // with the same flow.
-  double flow = 0.0;
-  for (size_t step = 0; step + 1 < n; ++step) {
-    const size_t v = order[step];
-    // v joins R: edges v->outside add, edges inside->v subtract.
-    for (size_t y = 0; y < n; ++y) {
-      if (y == v) continue;
-      if (in_set[y]) {
-        flow -= pi[y] * p(y, v);
-      } else {
-        flow += pi[v] * p(v, y);
-      }
-    }
-    in_set[v] = 1;
-    pi_r += pi[v];
-    const bool use_complement = pi_r > 0.5;
-    const double mass = use_complement ? 1.0 - pi_r : pi_r;
-    if (mass <= 0.0) continue;
-    const double ratio = flow / mass;
-    if (ratio < best.ratio) {
-      best.ratio = ratio;
-      best.in_set = in_set;
-      if (use_complement) {
-        for (auto& flag : best.in_set) flag = !flag;
-      }
-    }
-  }
-  LD_CHECK(!best.in_set.empty(), "best_sweep_cut: degenerate pi");
-  return best;
+  // v joins R: edges v->outside add, edges inside->v subtract.
+  return sweep_prefix_cuts(
+      pi, order, [&](size_t v, const std::vector<uint8_t>& in_set) {
+        double delta = 0.0;
+        for (size_t y = 0; y < n; ++y) {
+          if (y == v) continue;
+          if (in_set[y]) {
+            delta -= pi[y] * p(y, v);
+          } else {
+            delta += pi[v] * p(v, y);
+          }
+        }
+        return delta;
+      });
+}
+
+SweepCutResult best_sweep_cut_lanczos(const CsrMatrix& p,
+                                      std::span<const double> pi,
+                                      const LanczosOptions& opts) {
+  const size_t n = p.rows();
+  LD_CHECK(p.cols() == n && pi.size() == n,
+           "best_sweep_cut_lanczos: size mismatch");
+  LD_CHECK(n >= 2, "best_sweep_cut_lanczos: need at least two states");
+  const CsrOperator op(p);
+  const std::vector<double> f = lanczos_fiedler_vector(op, pi, opts);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return f[x] < f[y]; });
+
+  // Same incremental flow bookkeeping as the dense sweep, but only over
+  // the nonzero entries: v's out-edges from its CSR row, its in-edges
+  // from the transpose row.
+  const CsrMatrix& pt = p.transposed_view();
+  return sweep_prefix_cuts(
+      pi, order, [&](size_t v, const std::vector<uint8_t>& in_set) {
+        double delta = 0.0;
+        for (size_t k = p.row_offsets()[v]; k < p.row_offsets()[v + 1]; ++k) {
+          const size_t y = p.col_indices()[k];
+          if (y == v || in_set[y]) continue;
+          delta += pi[v] * p.values()[k];
+        }
+        for (size_t k = pt.row_offsets()[v]; k < pt.row_offsets()[v + 1];
+             ++k) {
+          const size_t y = pt.col_indices()[k];
+          if (y == v || !in_set[y]) continue;
+          delta -= pi[y] * pt.values()[k];
+        }
+        return delta;
+      });
 }
 
 }  // namespace logitdyn

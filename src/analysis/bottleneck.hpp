@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "linalg/dense_matrix.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/sparse_matrix.hpp"
 
 namespace logitdyn {
 
@@ -29,5 +31,14 @@ struct SweepCutResult {
 /// sweep; finds the paper's bottlenecks exactly on the games studied here.)
 SweepCutResult best_sweep_cut(const DenseMatrix& p,
                               std::span<const double> pi);
+
+/// The same sweep on a sparse chain with the Fiedler vector supplied by
+/// Lanczos instead of a full eigendecomposition: O(k * nnz) for the
+/// ordering plus one O(nnz) incremental sweep (out-edges from the CSR
+/// rows, in-edges from the cached transpose), instead of O(|S|^3 + |S|^2).
+/// Matches best_sweep_cut on reversible chains (tested).
+SweepCutResult best_sweep_cut_lanczos(const CsrMatrix& p,
+                                      std::span<const double> pi,
+                                      const LanczosOptions& opts = {});
 
 }  // namespace logitdyn

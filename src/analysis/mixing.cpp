@@ -1,8 +1,11 @@
 #include "analysis/mixing.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "analysis/tv.hpp"
+#include "parallel/thread_pool.hpp"
 #include "support/error.hpp"
 
 namespace logitdyn {
@@ -10,16 +13,68 @@ namespace logitdyn {
 namespace {
 
 /// Rows of long matrix-power products drift off the simplex by roundoff;
-/// renormalizing after each multiply keeps d(t) trustworthy.
-void renormalize_rows(DenseMatrix& m) {
+/// renormalizing after each multiply keeps d(t) trustworthy. Returns the
+/// largest |1 - row_sum| corrected, so callers can log the numerical
+/// health of the squaring ladder.
+double renormalize_rows(DenseMatrix& m) {
+  double max_defect = 0.0;
   for (size_t r = 0; r < m.rows(); ++r) {
     auto row = m.row(r);
     double s = 0.0;
     for (double v : row) s += v;
+    max_defect = std::max(max_defect, std::abs(1.0 - s));
     if (s > 0) {
       for (double& v : row) v /= s;
     }
   }
+  return max_defect;
+}
+
+/// One fused evolution step: next = dist * P via the gather form over
+/// `t` (P's transpose, acquired once by the caller so the per-step path
+/// never touches the transpose cache's lock) with the TV-against-pi
+/// reduction folded into the same output loop — one pass over the matrix
+/// per step instead of an SpMV pass plus a distance pass (deterministic
+/// blocked_sum, so every pool size reports the same distance). Swaps
+/// dist/next and returns the TV.
+double evolve_step_fused_tv(const CsrMatrix& t, std::span<const double> pi,
+                            MixingWorkspace& ws) {
+  std::span<const size_t> offsets = t.row_offsets();
+  std::span<const uint32_t> cols = t.col_indices();
+  std::span<const double> vals = t.values();
+  const std::vector<double>& dist = ws.dist;
+  std::vector<double>& next = ws.next;
+  const double sum = blocked_sum(
+      ThreadPool::global(), t.rows(),
+      [&](size_t lo, size_t hi) {
+        double acc = 0.0;
+        for (size_t c = lo; c < hi; ++c) {
+          double s = 0.0;
+          for (size_t k = offsets[c]; k < offsets[c + 1]; ++k) {
+            s += vals[k] * dist[cols[k]];
+          }
+          next[c] = s;
+          acc += std::abs(s - pi[c]);
+        }
+        return acc;
+      },
+      ws.tv_partials);
+  ws.dist.swap(ws.next);
+  return 0.5 * sum;
+}
+
+/// Blocked TV of one length-n row of a batched buffer against pi.
+double batched_tv(std::span<const double> row, std::span<const double> pi,
+                  std::vector<double>& partials) {
+  const double sum = blocked_sum(
+      ThreadPool::global(), row.size(),
+      [&](size_t lo, size_t hi) {
+        double acc = 0.0;
+        for (size_t i = lo; i < hi; ++i) acc += std::abs(row[i] - pi[i]);
+        return acc;
+      },
+      partials);
+  return 0.5 * sum;
 }
 
 }  // namespace
@@ -53,7 +108,8 @@ MixingResult mixing_time_doubling(const DenseMatrix& p,
       return result;
     }
     DenseMatrix sq = matmul(powers.back(), powers.back());
-    renormalize_rows(sq);
+    result.max_row_defect =
+        std::max(result.max_row_defect, renormalize_rows(sq));
     powers.push_back(std::move(sq));
     t *= 2;
     d_hi = worst_row_tv(powers.back(), pi);
@@ -78,7 +134,8 @@ MixingResult mixing_time_doubling(const DenseMatrix& p,
   double d_best = d_hi;
   for (size_t j = k - 1; j-- > 0;) {
     DenseMatrix probe = matmul(m_lo, powers[j]);
-    renormalize_rows(probe);
+    result.max_row_defect =
+        std::max(result.max_row_defect, renormalize_rows(probe));
     const double d_probe = worst_row_tv(probe, pi);
     if (d_probe <= eps) {
       d_best = d_probe;  // hi = lo + 2^j, matrix not needed further
@@ -146,25 +203,26 @@ MixingResult mixing_time_spectral(const SpectralEvaluator& evaluator,
 
 MixingResult mixing_time_from_state(const CsrMatrix& p, size_t start,
                                     std::span<const double> pi, double eps,
-                                    uint64_t max_steps) {
+                                    uint64_t max_steps,
+                                    MixingWorkspace& workspace) {
   const size_t n = p.rows();
   LD_CHECK(p.cols() == n, "mixing_time_from_state: square required");
   LD_CHECK(start < n, "mixing_time_from_state: start out of range");
   LD_CHECK(pi.size() == n, "mixing_time_from_state: pi size mismatch");
   MixingResult result;
-  std::vector<double> dist(n, 0.0), next(n);
-  dist[start] = 1.0;
-  double prev_tv = total_variation(dist, pi);
+  workspace.dist.assign(n, 0.0);
+  workspace.next.resize(n);
+  workspace.dist[start] = 1.0;
+  double prev_tv = total_variation(workspace.dist, pi);
   if (prev_tv <= eps) {
     result.time = 0;
     result.distance = prev_tv;
     result.converged = true;
     return result;
   }
+  const CsrMatrix& transpose = p.transposed_view();
   for (uint64_t t = 1; t <= max_steps; ++t) {
-    p.left_multiply(dist, next);
-    dist.swap(next);
-    const double tv = total_variation(dist, pi);
+    const double tv = evolve_step_fused_tv(transpose, pi, workspace);
     if (tv <= eps) {
       result.time = t;
       result.distance = tv;
@@ -178,6 +236,95 @@ MixingResult mixing_time_from_state(const CsrMatrix& p, size_t start,
   result.distance = prev_tv;
   result.converged = false;
   return result;
+}
+
+MixingResult mixing_time_from_state(const CsrMatrix& p, size_t start,
+                                    std::span<const double> pi, double eps,
+                                    uint64_t max_steps) {
+  MixingWorkspace workspace;
+  return mixing_time_from_state(p, start, pi, eps, max_steps, workspace);
+}
+
+OperatorMixingResult mixing_time_operator(const LinearOperator& op,
+                                          std::span<const double> pi,
+                                          std::span<const size_t> starts,
+                                          double eps, uint64_t max_steps) {
+  const size_t n = op.size();
+  LD_CHECK(pi.size() == n, "mixing_time_operator: pi size mismatch");
+  LD_CHECK(!starts.empty(), "mixing_time_operator: need at least one start");
+  LD_CHECK(eps > 0 && eps < 1, "mixing_time_operator: eps in (0,1)");
+  for (size_t s : starts) {
+    LD_CHECK(s < n, "mixing_time_operator: start out of range");
+  }
+  OperatorMixingResult out;
+  out.per_start.resize(starts.size());
+
+  // `active[b]` maps row b of the batch buffers to its index in `starts`;
+  // converged starts are compacted away so the batch narrows as fast
+  // starts finish and only the stragglers keep paying per-step work.
+  std::vector<size_t> active(starts.size());
+  std::vector<double> prev_tv(starts.size());
+  std::vector<double> cur(starts.size() * n, 0.0), nxt(starts.size() * n);
+  std::vector<double> partials;
+  size_t batch = 0;
+  for (size_t b = 0; b < starts.size(); ++b) {
+    std::span<double> row(cur.data() + batch * n, n);
+    std::fill(row.begin(), row.end(), 0.0);
+    row[starts[b]] = 1.0;
+    const double tv = batched_tv(row, pi, partials);
+    if (tv <= eps) {
+      out.per_start[b].time = 0;
+      out.per_start[b].distance = tv;
+      out.per_start[b].converged = true;
+      continue;
+    }
+    active[batch] = b;
+    prev_tv[batch] = tv;
+    ++batch;
+  }
+
+  for (uint64_t t = 1; batch > 0 && t <= max_steps; ++t) {
+    op.apply_many(std::span<const double>(cur.data(), batch * n),
+                  std::span<double>(nxt.data(), batch * n), batch);
+    size_t keep = 0;
+    for (size_t row = 0; row < batch; ++row) {
+      const size_t b = active[row];
+      std::span<const double> dist(nxt.data() + row * n, n);
+      const double tv = batched_tv(dist, pi, partials);
+      if (tv <= eps) {
+        out.per_start[b].time = t;
+        out.per_start[b].distance = tv;
+        out.per_start[b].distance_prev = prev_tv[row];
+        out.per_start[b].converged = true;
+        continue;
+      }
+      if (t == max_steps) {
+        out.per_start[b].time = max_steps;
+        out.per_start[b].distance = tv;
+        out.per_start[b].converged = false;
+        continue;
+      }
+      if (keep != row) {
+        std::copy(dist.begin(), dist.end(), nxt.begin() + keep * n);
+      }
+      active[keep] = b;
+      prev_tv[keep] = tv;
+      ++keep;
+    }
+    batch = keep;
+    cur.swap(nxt);
+  }
+
+  // Worst start: the largest mixing time; any unconverged start wins.
+  const MixingResult* worst = &out.per_start.front();
+  for (const MixingResult& r : out.per_start) {
+    const bool r_slower =
+        (!r.converged && worst->converged) ||
+        (r.converged == worst->converged && r.time > worst->time);
+    if (r_slower) worst = &r;
+  }
+  out.worst = *worst;
+  return out;
 }
 
 }  // namespace logitdyn

@@ -1,12 +1,16 @@
 // Exact mixing-time computation.
 //
-// Three methods, cross-checked against each other in the tests:
+// Four methods, cross-checked against each other in the tests:
 //  * doubling: square P until d(2^k) <= eps, then bisect — each bisection
 //    probe is one dense multiply against a stored power of two;
 //  * spectral: evaluate d(t) at arbitrary t from the eigendecomposition
 //    (SpectralEvaluator) and bisect;
 //  * single-start: evolve one distribution row with the CSR matrix —
-//    linear in t but memory-light, for big sparse spaces.
+//    linear in t but memory-light, for big sparse spaces;
+//  * operator: evolve a batch of start distributions through any
+//    LinearOperator (including the matrix-free LogitOperator) with the
+//    TV reduction fused into the evolution pass — the path that scales
+//    past materialized matrices entirely (DESIGN.md §9).
 //
 // d(t) is non-increasing in t for any chain (standard submultiplicativity
 // of d-bar), so bisection on the first eps-crossing is sound.
@@ -14,9 +18,11 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "analysis/spectral.hpp"
 #include "linalg/dense_matrix.hpp"
+#include "linalg/linear_operator.hpp"
 #include "linalg/sparse_matrix.hpp"
 
 namespace logitdyn {
@@ -26,6 +32,10 @@ struct MixingResult {
   double distance = 0.0;      ///< d(t_mix)
   double distance_prev = 1.0; ///< d(t_mix - 1) (> eps, certifies tightness)
   bool converged = false;     ///< false if max_time was hit
+  /// Numerical-health telemetry: the largest row-sum defect |1 - sum_j
+  /// P^t(x, j)| that renormalization corrected during repeated dense
+  /// squaring (0 for the evolution paths, which never square).
+  double max_row_defect = 0.0;
 };
 
 /// Worst-case-start mixing time by matrix-power doubling + bisection.
@@ -39,11 +49,44 @@ MixingResult mixing_time_spectral(const SpectralEvaluator& evaluator,
                                   double eps = 0.25,
                                   uint64_t max_time = uint64_t(1) << 34);
 
+/// Reusable buffers for repeated single-start evolutions (beta sweeps,
+/// multi-start loops): the distribution pair plus the fixed-block partial
+/// sums of the fused TV reduction. A default-constructed workspace is
+/// sized on first use and reused afterwards.
+struct MixingWorkspace {
+  std::vector<double> dist, next;
+  std::vector<double> tv_partials;
+};
+
 /// Mixing time *from a fixed start state* (a lower bound on the worst-case
 /// t_mix): evolve delta_start with the CSR transition until TV <= eps.
+/// Each step is one fused pass — the TV reduction happens inside the SpMV
+/// output loop, and the workspace overload reuses all buffers across
+/// calls. Deterministic at every pool size (fixed reduction blocks).
+MixingResult mixing_time_from_state(const CsrMatrix& p, size_t start,
+                                    std::span<const double> pi,
+                                    double eps, uint64_t max_steps,
+                                    MixingWorkspace& workspace);
 MixingResult mixing_time_from_state(const CsrMatrix& p, size_t start,
                                     std::span<const double> pi,
                                     double eps = 0.25,
                                     uint64_t max_steps = 100000000);
+
+/// Multi-start TV evolution through a LinearOperator.
+struct OperatorMixingResult {
+  /// Slowest of the requested starts: a lower bound on the worst-case
+  /// t_mix that becomes exact when `starts` covers the whole space.
+  MixingResult worst;
+  std::vector<MixingResult> per_start;  ///< parallel to `starts`
+};
+
+/// Evolve one delta distribution per entry of `starts` simultaneously —
+/// batched so operators with per-state setup (the logit oracle) pay it
+/// once per state per step regardless of how many starts ride along.
+OperatorMixingResult mixing_time_operator(const LinearOperator& op,
+                                          std::span<const double> pi,
+                                          std::span<const size_t> starts,
+                                          double eps = 0.25,
+                                          uint64_t max_steps = 1u << 22);
 
 }  // namespace logitdyn

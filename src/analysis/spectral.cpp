@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "analysis/tv.hpp"
+#include "core/logit_operator.hpp"
 #include "support/error.hpp"
+#include "support/math.hpp"
 
 namespace logitdyn {
 
@@ -29,7 +31,7 @@ DenseMatrix symmetrize_reversible(const DenseMatrix& p,
 
 double ChainSpectrum::lambda_star() const {
   LD_CHECK(eigenvalues.size() >= 2, "lambda_star: need at least two states");
-  return std::max(lambda2(), std::abs(lambda_min()));
+  return clamped_lambda_star(lambda2(), lambda_min());
 }
 
 ChainSpectrum chain_spectrum(const DenseMatrix& p,
@@ -52,6 +54,74 @@ double tmix_upper_from_relaxation(double relaxation_time, double pi_min,
 double tmix_lower_from_relaxation(double relaxation_time, double eps) {
   LD_CHECK(eps > 0 && eps < 0.5, "tmix_lower_from_relaxation: bad eps");
   return (relaxation_time - 1.0) * std::log(1.0 / (2.0 * eps));
+}
+
+Theorem23Bracket tmix_bracket_from_relaxation(double relaxation_time,
+                                              double pi_min, double eps) {
+  return {tmix_lower_from_relaxation(relaxation_time, eps),
+          tmix_upper_from_relaxation(relaxation_time, pi_min, eps)};
+}
+
+double SpectralSummary::lambda_star() const {
+  return clamped_lambda_star(lambda2, lambda_min);
+}
+
+SpectralSummary spectral_summary(const Game& game, double beta,
+                                 UpdateKind kind, std::span<const double> pi,
+                                 const SpectralOptions& opts) {
+  const size_t total = game.space().num_profiles();
+  LD_CHECK(total >= 2, "spectral_summary: need at least two states");
+  LD_CHECK(pi.size() == total, "spectral_summary: pi size mismatch");
+  SpectralSummary out;
+  if (total < opts.dense_cutover) {
+    const TransitionBuilder builder(game, beta, kind);
+    const DenseMatrix p = builder.dense();
+    const DenseMatrix a = symmetrize_reversible(p, pi);
+    // Same criterion symmetric_eigen enforces. A symmetric conjugate
+    // certifies reversibility and unlocks the full decomposition; a
+    // non-reversible chain (the synchronous kernel, general games) gets
+    // the same heuristic Lanczos estimate the large sizes get, instead
+    // of an exception — the certified flag is the uncertainty channel
+    // on both sides of the cutover.
+    bool symmetric = true;
+    for (size_t i = 0; i < total && symmetric; ++i) {
+      for (size_t j = i + 1; j < total; ++j) {
+        if (std::abs(a(i, j) - a(j, i)) > 1e-8) {
+          symmetric = false;
+          break;
+        }
+      }
+    }
+    if (symmetric) {
+      const SymmetricEigen eig = symmetric_eigen(a, 1e-8);
+      out.lambda2 = eig.values[eig.values.size() - 2];
+      out.lambda_min = eig.values.front();
+      out.certified = true;
+      return out;
+    }
+    const DenseOperator op(p);
+    const LanczosSpectrum s = lanczos_spectrum(op, pi, opts.lanczos);
+    out.lambda2 = s.lambda2;
+    out.lambda_min = s.lambda_min;
+    out.via_operator = true;
+    out.converged = s.converged;
+    out.lanczos_iterations = s.iterations;
+    return out;
+  }
+  const LogitOperator op(game, beta, kind, opts.lanczos.pool);
+  const LanczosSpectrum s = lanczos_spectrum(op, pi, opts.lanczos);
+  out.lambda2 = s.lambda2;
+  out.lambda_min = s.lambda_min;
+  out.via_operator = true;
+  out.converged = s.converged;
+  out.lanczos_iterations = s.iterations;
+  // No symmetry check is possible without the matrix: reversibility (and
+  // with it the meaning of the Ritz values as chain eigenvalues) is
+  // certified only where theory provides it — the asynchronous kernel of
+  // an exact potential game against its Gibbs measure (paper Sect. 2).
+  out.certified = kind == UpdateKind::kAsynchronous &&
+                  dynamic_cast<const PotentialGame*>(&game) != nullptr;
+  return out;
 }
 
 SpectralEvaluator::SpectralEvaluator(const DenseMatrix& p,

@@ -1,12 +1,21 @@
 // Spectral analysis of reversible chains: symmetrization, full spectra,
 // relaxation time, and the Theorem 2.3 sandwich
 //   (t_rel - 1) log(1/2eps)  <=  t_mix(eps)  <=  t_rel log(1/(eps pi_min)).
+//
+// Two paths behind one cutover (DESIGN.md §9): below kDenseSpectralCutover
+// states the dense symmetrize-and-decompose pipeline runs (full spectrum,
+// reversibility certified by the symmetry check); above it, Lanczos on the
+// matrix-free LogitOperator delivers lambda_2 / lambda_min in
+// O(k * apply) with O(k * |S|) memory and no materialized P.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "core/transition_builder.hpp"
+#include "games/game.hpp"
 #include "linalg/dense_matrix.hpp"
+#include "linalg/lanczos.hpp"
 #include "linalg/symmetric_eigen.hpp"
 
 namespace logitdyn {
@@ -36,6 +45,49 @@ ChainSpectrum chain_spectrum(const DenseMatrix& p, std::span<const double> pi);
 double tmix_upper_from_relaxation(double relaxation_time, double pi_min,
                                   double eps = 0.25);
 double tmix_lower_from_relaxation(double relaxation_time, double eps = 0.25);
+
+/// Both Theorem 2.3 bounds at once — the bracket the operator path
+/// reports where exact worst-case mixing is out of reach.
+struct Theorem23Bracket {
+  double lower = 0.0;  ///< (t_rel - 1) log(1/2eps)
+  double upper = 0.0;  ///< t_rel log(1/(eps pi_min))
+};
+Theorem23Bracket tmix_bracket_from_relaxation(double relaxation_time,
+                                              double pi_min,
+                                              double eps = 0.25);
+
+/// States at and above this use the operator path by default: a dense
+/// 2^12 x 2^12 transition matrix (128 MB) is where materialization stops
+/// paying for itself against O(k * |S|) Lanczos.
+inline constexpr size_t kDenseSpectralCutover = size_t(1) << 12;
+
+struct SpectralOptions {
+  size_t dense_cutover = kDenseSpectralCutover;
+  LanczosOptions lanczos;
+};
+
+/// lambda_2 / lambda_min of a logit chain by whichever path the size
+/// calls for. `certified` records whether reversibility was established
+/// (dense symmetry check, or asynchronous kernel of a potential game);
+/// uncertified output is a heuristic estimate (DESIGN.md §9).
+struct SpectralSummary {
+  double lambda2 = 0.0;
+  double lambda_min = 0.0;
+  bool via_operator = false;      ///< true = Lanczos on LogitOperator
+  bool converged = true;          ///< Lanczos residual met tol (dense: true)
+  bool certified = false;
+  size_t lanczos_iterations = 0;  ///< 0 on the dense path
+
+  double lambda_star() const;
+  double spectral_gap() const { return 1.0 - lambda_star(); }
+  double relaxation_time() const { return 1.0 / spectral_gap(); }
+};
+
+/// Spectral summary of the logit chain of `game` at `beta` with stationary
+/// distribution `pi`, behind the dense/operator cutover.
+SpectralSummary spectral_summary(const Game& game, double beta,
+                                 UpdateKind kind, std::span<const double> pi,
+                                 const SpectralOptions& opts = {});
 
 /// Precomputed eigendecomposition of a reversible chain that can evaluate
 /// P^t (and hence d(t)) at any t with one matrix multiply.

@@ -1,0 +1,154 @@
+#include "core/logit_operator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/logit.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+LogitOperator::LogitOperator(const Game& game, double beta, UpdateKind kind,
+                             ThreadPool* pool)
+    : game_(game),
+      beta_(beta),
+      kind_(kind),
+      pool_(pool ? pool : &ThreadPool::global()) {
+  LD_CHECK(beta >= 0.0, "LogitOperator: beta must be non-negative");
+}
+
+void LogitOperator::set_beta(double beta) {
+  LD_CHECK(beta >= 0.0, "LogitOperator: beta must be non-negative");
+  beta_ = beta;
+}
+
+size_t LogitOperator::size() const { return game_.space().num_profiles(); }
+
+void LogitOperator::apply(std::span<const double> x,
+                          std::span<double> y) const {
+  apply_many(x, y, 1);
+}
+
+void LogitOperator::apply_many(std::span<const double> xs,
+                               std::span<double> ys, size_t count) const {
+  const size_t n = size();
+  LD_CHECK(xs.size() == count * n && ys.size() == count * n,
+           "LogitOperator: size mismatch");
+  LD_CHECK(xs.data() != ys.data(), "LogitOperator: aliasing not allowed");
+  if (count == 0) return;
+  if (kind_ == UpdateKind::kAsynchronous) {
+    apply_async(xs, ys, count);
+  } else {
+    apply_sync(xs, ys, count);
+  }
+}
+
+void LogitOperator::apply_async(std::span<const double> xs,
+                                std::span<double> ys, size_t count) const {
+  const ProfileSpace& sp = game_.space();
+  const size_t total = sp.num_profiles();
+  const int n = sp.num_players();
+  const double inv_n = 1.0 / double(n);
+  // Contiguous output shards, one per worker; each shard owns its decode
+  // scratch and oracle-row buffer. Every output element is produced by
+  // exactly one shard with a fixed reduction order (players ascending,
+  // strategies ascending, then batch), so output is bit-identical for
+  // every pool size.
+  const size_t shards =
+      std::max<size_t>(1, std::min(pool_->num_threads(), total));
+  const size_t block = (total + shards - 1) / shards;
+  parallel_for(*pool_, 0, shards, [&](size_t shard) {
+    const size_t lo = shard * block;
+    const size_t hi = std::min(total, lo + block);
+    if (lo >= hi) return;
+    Profile x;
+    std::vector<double> rows(sp.total_strategies());
+    std::vector<double> acc(count);
+    std::vector<size_t> nbr(size_t(sp.max_strategies()));
+    for (size_t j = lo; j < hi; ++j) {
+      sp.decode_into(j, x);
+      logit_update_rows(game_, beta_, x, rows);
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (int p = 0; p < n; ++p) {
+        const int32_t m = sp.num_strategies(p);
+        const double sigma =
+            rows[sp.strategy_offset(p) + size_t(x[size_t(p)])];
+        for (Strategy s = 0; s < m; ++s) nbr[size_t(s)] = sp.with_strategy(j, p, s);
+        for (size_t b = 0; b < count; ++b) {
+          const double* xb = xs.data() + b * total;
+          double ssum = 0.0;
+          for (Strategy s = 0; s < m; ++s) ssum += xb[nbr[size_t(s)]];
+          acc[b] += sigma * ssum;
+        }
+      }
+      for (size_t b = 0; b < count; ++b) {
+        ys[b * total + j] = acc[b] * inv_n;
+      }
+    }
+  });
+}
+
+void LogitOperator::apply_sync(std::span<const double> xs,
+                               std::span<double> ys, size_t count) const {
+  const ProfileSpace& sp = game_.space();
+  const size_t total = sp.num_profiles();
+  const int n = sp.num_players();
+  std::fill(ys.begin(), ys.end(), 0.0);
+  Profile x;
+  std::vector<double> rows(sp.total_strategies());
+  std::vector<double> weight(count);
+  // Sources run sequentially (so each output accumulates contributions in
+  // ascending source order — the dense left-multiply order); the O(|S|)
+  // target scatter of each source's product row is sharded over disjoint
+  // target ranges, which keeps every pool size bit-identical.
+  for (size_t i = 0; i < total; ++i) {
+    bool any = false;
+    for (size_t b = 0; b < count; ++b) {
+      weight[b] = xs[b * total + i];
+      any = any || weight[b] != 0.0;
+    }
+    if (!any) continue;
+    sp.decode_into(i, x);
+    logit_update_rows(game_, beta_, x, rows);
+    parallel_for(
+        *pool_, 0, total,
+        [&](size_t to) {
+          double prob = 1.0;
+          for (int p = 0; p < n; ++p) {
+            prob *= rows[sp.strategy_offset(p) + size_t(sp.strategy_of(to, p))];
+            if (prob == 0.0) break;
+          }
+          if (prob == 0.0) return;
+          for (size_t b = 0; b < count; ++b) {
+            if (weight[b] != 0.0) ys[b * total + to] += weight[b] * prob;
+          }
+        },
+        /*min_block=*/1024);
+  }
+}
+
+void LogitOperator::row(size_t idx, std::vector<uint32_t>& cols,
+                        std::vector<double>& vals) const {
+  LD_CHECK(kind_ == UpdateKind::kAsynchronous,
+           "LogitOperator::row: asynchronous kernel only");
+  const ProfileSpace& sp = game_.space();
+  LD_CHECK(idx < sp.num_profiles(), "LogitOperator::row: index out of range");
+  Profile x;
+  sp.decode_into(idx, x);
+  std::vector<double> rows(sp.total_strategies());
+  logit_update_rows(game_, beta_, x, rows);
+  std::vector<std::pair<uint32_t, double>> entries;
+  entries.reserve(sp.total_strategies() + 1);
+  async_row_entries(sp, idx, x, rows, entries);
+  cols.clear();
+  vals.clear();
+  cols.reserve(entries.size());
+  vals.reserve(entries.size());
+  for (const auto& [c, v] : entries) {
+    cols.push_back(c);
+    vals.push_back(v);
+  }
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,80 @@
+// Matrix-free application of the logit transition kernel (DESIGN.md §9).
+//
+// The asynchronous kernel (paper Eq. (3)) has a columnar identity that
+// makes x |-> xP pure per-output-state work: the update distribution
+// sigma_p(. | i) of a revising player depends only on the opponent
+// sub-profile, so every in-neighbour i of j that differs in player p has
+// sigma_p(j_p | i) = sigma_p(j_p | j), and
+//
+//   (xP)[j] = (1/n) * sum_p sigma_p(j_p | j) *
+//                     sum_{s in S_p} x[ j with player p playing s ].
+//
+// One batched `utility_rows` oracle call per *output* state — the same
+// per-state cost as one TransitionBuilder row — sharded over the
+// ThreadPool with no write races and no materialized matrix. This is what
+// moves the spectral/mixing state-space ceiling from "dense matrix fits"
+// (~2^11) to "a handful of O(|S|) vectors fit" (2^20+).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/transition_builder.hpp"
+#include "games/game.hpp"
+#include "linalg/linear_operator.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace logitdyn {
+
+/// One step of the asynchronous or synchronous logit kernel as a
+/// LinearOperator, evaluated from the utility oracle — P is never stored.
+/// Holds a reference: the game must outlive the operator.
+///
+/// Cost per apply: asynchronous O(|S| * (oracle + sum_i |S_i|));
+/// synchronous O(|S|^2 * n) (its rows are fully dense — the operator
+/// still wins on memory, not on time). Output is bit-identical at every
+/// pool size: each output element is reduced in a fixed order by exactly
+/// one task (asynchronous), or accumulated in ascending source order with
+/// disjoint per-task target ranges (synchronous).
+class LogitOperator final : public LinearOperator {
+ public:
+  /// `pool` defaults to ThreadPool::global().
+  LogitOperator(const Game& game, double beta, UpdateKind kind,
+                ThreadPool* pool = nullptr);
+
+  const Game& game() const { return game_; }
+  double beta() const { return beta_; }
+  void set_beta(double beta);
+  UpdateKind kind() const { return kind_; }
+
+  size_t size() const override;
+  void apply(std::span<const double> x, std::span<double> y) const override;
+  /// Batched apply: the oracle row of each state is evaluated once and
+  /// shared across all `count` vectors (the multi-start TV evolution
+  /// path), so the oracle cost is paid once regardless of batch width.
+  void apply_many(std::span<const double> xs, std::span<double> ys,
+                  size_t count) const override;
+
+  /// Row `idx` of P as (column, value) pairs, columns ascending — the
+  /// matrix-free analogue of one TransitionBuilder CSR row (same shared
+  /// assembly, so the two can never disagree). The building block for a
+  /// fully matrix-free sweep cut; today's best_sweep_cut_lanczos still
+  /// walks a materialized CSR. Asynchronous kernel only (synchronous
+  /// rows are fully dense; build them via TransitionBuilder if needed).
+  void row(size_t idx, std::vector<uint32_t>& cols,
+           std::vector<double>& vals) const;
+
+ private:
+  void apply_async(std::span<const double> xs, std::span<double> ys,
+                   size_t count) const;
+  void apply_sync(std::span<const double> xs, std::span<double> ys,
+                  size_t count) const;
+
+  const Game& game_;
+  double beta_;
+  UpdateKind kind_;
+  ThreadPool* pool_;
+};
+
+}  // namespace logitdyn

@@ -40,6 +40,33 @@ void run_sharded(ThreadPool& pool, size_t total,
 
 }  // namespace
 
+void async_row_entries(const ProfileSpace& sp, size_t idx, const Profile& x,
+                       std::span<const double> rows,
+                       std::vector<std::pair<uint32_t, double>>& entries) {
+  // Off-diagonal columns with_strategy(idx, i, s) are pairwise distinct
+  // across (i, s != x_i); only the diagonal merges (every player's
+  // stay-put mass), so accumulate it separately and sort the per-row
+  // entries — a tiny local sort instead of a global one.
+  const int n = sp.num_players();
+  entries.clear();
+  double diag = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const int32_t m = sp.num_strategies(i);
+    const Strategy xi = x[size_t(i)];
+    for (Strategy s = 0; s < m; ++s) {
+      const double v = rows[sp.strategy_offset(i) + size_t(s)] / double(n);
+      if (s == xi) {
+        diag += v;
+      } else {
+        entries.emplace_back(uint32_t(sp.with_strategy(idx, i, s)), v);
+      }
+    }
+  }
+  entries.emplace_back(uint32_t(idx), diag);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
 TransitionBuilder::TransitionBuilder(const Game& game, double beta,
                                      UpdateKind kind)
     : game_(game), beta_(beta), kind_(kind) {
@@ -104,27 +131,7 @@ void TransitionBuilder::build_csr_rows(size_t lo, size_t hi, double drop_tol,
     logit_update_rows(game_, beta_, x, rows);
     size_t nnz = 0;
     if (kind_ == UpdateKind::kAsynchronous) {
-      // Off-diagonal columns with_strategy(idx, i, s) are pairwise
-      // distinct across (i, s != x_i); only the diagonal merges (every
-      // player's stay-put mass), so accumulate it separately and sort the
-      // per-row entries — a tiny local sort instead of a global one.
-      entries.clear();
-      double diag = 0.0;
-      for (int i = 0; i < n; ++i) {
-        const int32_t m = sp.num_strategies(i);
-        const Strategy xi = x[size_t(i)];
-        for (Strategy s = 0; s < m; ++s) {
-          const double v = rows[sp.strategy_offset(i) + size_t(s)] / double(n);
-          if (s == xi) {
-            diag += v;
-          } else {
-            entries.emplace_back(uint32_t(sp.with_strategy(idx, i, s)), v);
-          }
-        }
-      }
-      entries.emplace_back(uint32_t(idx), diag);
-      std::sort(entries.begin(), entries.end(),
-                [](const auto& a, const auto& b) { return a.first < b.first; });
+      async_row_entries(sp, idx, x, rows, entries);
       for (const auto& [col, val] : entries) {
         if (std::abs(val) <= drop_tol) continue;
         out.cols.push_back(col);

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "games/game.hpp"
@@ -25,6 +27,16 @@ enum class UpdateKind {
   kAsynchronous,  ///< Eq. (3): one uniformly chosen player revises.
   kSynchronous,   ///< Conclusions variant: P(x,y) = prod_i sigma_i(y_i|x).
 };
+
+/// Assemble one asynchronous-kernel row (Eq. (3)) at encoded state `idx`
+/// from its decoded profile `x` and precomputed update rows (the
+/// `logit_update_rows` layout): (column, value) pairs, columns ascending,
+/// the diagonal carrying every player's stay-put mass. The single
+/// definition of the per-row layout, shared by the CSR builder and the
+/// matrix-free LogitOperator::row — any kernel change lands in both.
+void async_row_entries(const ProfileSpace& sp, size_t idx, const Profile& x,
+                       std::span<const double> rows,
+                       std::vector<std::pair<uint32_t, double>>& entries);
 
 /// Enumerates the transition matrix of a logit kernel over the full
 /// profile space. Holds references: game must outlive the builder.

@@ -1,0 +1,216 @@
+#include "linalg/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/symmetric_eigen.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/rng.hpp"
+#include "support/error.hpp"
+#include "support/math.hpp"
+
+namespace logitdyn {
+
+namespace {
+
+/// Every reduction routes through the shared deterministic blocked_sum
+/// (parallel/thread_pool.hpp), so Lanczos coefficients are bit-identical
+/// no matter how many workers run the blocks. `partials` is the run's
+/// reusable scratch: the reorthogonalization loop makes O(k^2) dot
+/// calls, so per-call allocation would dominate the small-block regime.
+double par_dot(ThreadPool& pool, std::span<const double> a,
+               std::span<const double> b, std::vector<double>& partials) {
+  return blocked_sum(
+      pool, a.size(),
+      [&](size_t lo, size_t hi) {
+        double s = 0.0;
+        for (size_t i = lo; i < hi; ++i) s += a[i] * b[i];
+        return s;
+      },
+      partials);
+}
+
+/// y += c * x, sharded (element-wise, deterministic for any pool size).
+void par_axpy(ThreadPool& pool, double c, std::span<const double> x,
+              std::span<double> y) {
+  blocked_for(pool, x.size(), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) y[i] += c * x[i];
+  });
+}
+
+void par_scale(ThreadPool& pool, double c, std::span<double> x) {
+  blocked_for(pool, x.size(), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) x[i] *= c;
+  });
+}
+
+/// w -= (u . w) u for the stationary direction and every stored basis
+/// vector; two passes make classical "full reorthogonalization" robust
+/// against the O(sqrt(eps)) drift single-pass Gram-Schmidt leaves.
+void reorthogonalize(ThreadPool& pool, std::span<const double> phi,
+                     const std::vector<std::vector<double>>& basis,
+                     std::span<double> w, std::vector<double>& partials) {
+  for (int pass = 0; pass < 2; ++pass) {
+    par_axpy(pool, -par_dot(pool, phi, w, partials), phi, w);
+    for (const std::vector<double>& u : basis) {
+      par_axpy(pool, -par_dot(pool, u, w, partials), u, w);
+    }
+  }
+}
+
+struct TridiagonalEigen {
+  std::vector<double> values;  // ascending
+  DenseMatrix vectors;         // column k pairs with values[k]
+};
+
+/// Eigen-decomposition of the k x k Lanczos tridiagonal (QL with
+/// accumulated rotations, then an ascending sort).
+TridiagonalEigen solve_tridiagonal(const std::vector<double>& alpha,
+                                   const std::vector<double>& beta) {
+  const size_t k = alpha.size();
+  std::vector<double> diag = alpha;
+  std::vector<double> off(k, 0.0);
+  for (size_t i = 1; i < k; ++i) off[i] = beta[i - 1];
+  DenseMatrix z = DenseMatrix::identity(k);
+  tridiagonal_ql(diag, off, z);
+  std::vector<size_t> order(k);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return diag[a] < diag[b]; });
+  TridiagonalEigen out;
+  out.values.resize(k);
+  out.vectors = DenseMatrix(k, k);
+  for (size_t c = 0; c < k; ++c) {
+    out.values[c] = diag[order[c]];
+    for (size_t r = 0; r < k; ++r) out.vectors(r, c) = z(r, order[c]);
+  }
+  return out;
+}
+
+struct LanczosRun {
+  LanczosSpectrum spectrum;
+  std::vector<double> fiedler;  // filled only when requested
+};
+
+LanczosRun run_lanczos(const LinearOperator& op, std::span<const double> pi,
+                       const LanczosOptions& opts, bool want_fiedler) {
+  const size_t n = op.size();
+  LD_CHECK(n >= 2, "lanczos: need at least two states");
+  ThreadPool& pool = opts.pool ? *opts.pool : ThreadPool::global();
+  const SymmetrizedOperator sym(op, pi);
+  std::vector<double> partials;  // shared scratch of every reduction
+
+  // Unit stationary direction of the symmetrized chain.
+  std::vector<double> phi = sym.sqrt_pi();
+  {
+    const double norm = std::sqrt(par_dot(pool, phi, phi, partials));
+    par_scale(pool, 1.0 / norm, phi);
+  }
+
+  // Random start vector in the complement of phi.
+  std::vector<std::vector<double>> basis;
+  basis.emplace_back(n);
+  {
+    Rng rng(opts.seed);
+    for (double& v : basis[0]) v = rng.uniform() - 0.5;
+    for (int pass = 0; pass < 2; ++pass) {
+      par_axpy(pool, -par_dot(pool, phi, basis[0], partials), phi, basis[0]);
+    }
+    const double norm =
+        std::sqrt(par_dot(pool, basis[0], basis[0], partials));
+    LD_CHECK(norm > 0, "lanczos: degenerate start vector");
+    par_scale(pool, 1.0 / norm, basis[0]);
+  }
+
+  const size_t max_iters =
+      std::max<size_t>(1, std::min(opts.max_iterations, n - 1));
+  std::vector<double> alpha, beta;
+  std::vector<double> w(n);
+  TridiagonalEigen eig;
+  double residual = 0.0;
+  bool converged = false;
+
+  // Residuals are checked every kCheckStride iterations (and at every
+  // exit point): the QL solve with accumulated vectors is O(k^3), so an
+  // every-iteration check would cost O(k^4) overall and rival the
+  // operator applies the matrix-free design is meant to be dominated by.
+  constexpr size_t kCheckStride = 8;
+  for (size_t j = 0; j < max_iters; ++j) {
+    sym.apply(basis[j], w);
+    const double a = par_dot(pool, basis[j], w, partials);
+    alpha.push_back(a);
+    par_axpy(pool, -a, basis[j], w);
+    if (j > 0) par_axpy(pool, -beta[j - 1], basis[j - 1], w);
+    reorthogonalize(pool, phi, basis, w, partials);
+    const double b = std::sqrt(par_dot(pool, w, w, partials));
+
+    // Happy breakdown (b ~ 0) means the Krylov space is invariant, so
+    // the Ritz values are exact for the subspace the start reaches.
+    const bool breakdown = b <= 1e-14;
+    const bool last = j + 1 == max_iters;
+    if (breakdown || last || (j + 1) % kCheckStride == 0) {
+      eig = solve_tridiagonal(alpha, beta);
+      const size_t k = alpha.size();
+      const double res_low = std::abs(b * eig.vectors(k - 1, 0));
+      const double res_high = std::abs(b * eig.vectors(k - 1, k - 1));
+      residual = std::max(res_low, res_high);
+      if (residual <= opts.tol) {
+        converged = true;
+        break;
+      }
+    }
+    if (breakdown) {
+      converged = true;
+      break;
+    }
+    if (last) break;  // eig is fresh: the `last` branch above solved it
+    beta.push_back(b);
+    basis.emplace_back(n);
+    for (size_t i = 0; i < n; ++i) basis[j + 1][i] = w[i] / b;
+  }
+
+  LanczosRun out;
+  out.spectrum.ritz_values = eig.values;
+  out.spectrum.lambda2 = eig.values.back();
+  out.spectrum.lambda_min = eig.values.front();
+  out.spectrum.iterations = alpha.size();
+  out.spectrum.converged = converged;
+  out.spectrum.residual = residual;
+
+  if (want_fiedler) {
+    // psi_2 = V z_top back in chain coordinates: f = D^{-1/2} psi_2.
+    const size_t k = alpha.size();
+    out.fiedler.assign(n, 0.0);
+    for (size_t j = 0; j < k; ++j) {
+      par_axpy(pool, eig.vectors(j, k - 1), basis[j], out.fiedler);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      out.fiedler[i] /= std::sqrt(pi[i]);
+    }
+    const double norm =
+        std::sqrt(par_dot(pool, out.fiedler, out.fiedler, partials));
+    if (norm > 0) par_scale(pool, 1.0 / norm, out.fiedler);
+  }
+  return out;
+}
+
+}  // namespace
+
+double LanczosSpectrum::lambda_star() const {
+  return clamped_lambda_star(lambda2, lambda_min);
+}
+
+LanczosSpectrum lanczos_spectrum(const LinearOperator& op,
+                                 std::span<const double> pi,
+                                 const LanczosOptions& opts) {
+  return run_lanczos(op, pi, opts, /*want_fiedler=*/false).spectrum;
+}
+
+std::vector<double> lanczos_fiedler_vector(const LinearOperator& op,
+                                           std::span<const double> pi,
+                                           const LanczosOptions& opts) {
+  return run_lanczos(op, pi, opts, /*want_fiedler=*/true).fiedler;
+}
+
+}  // namespace logitdyn

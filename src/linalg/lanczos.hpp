@@ -1,0 +1,66 @@
+// Thread-pool-parallel symmetric Lanczos on the pi-symmetrized view of a
+// transition operator (DESIGN.md §9).
+//
+// Full reorthogonalization (two modified-Gram-Schmidt passes against the
+// deflated stationary direction sqrt(pi) and every stored basis vector)
+// plus a small tridiagonal QL solve yield the extreme eigenvalues
+// lambda_2 and lambda_min — hence lambda*, spectral_gap and t_rel — in
+// O(k * cost(apply) + k^2 * |S|) work and O(k * |S|) memory, replacing
+// the O(|S|^3) dense eigendecomposition everywhere the full spectrum is
+// not needed. All reductions use fixed-size blocks, so results are
+// bit-identical at every pool size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/linear_operator.hpp"
+
+namespace logitdyn {
+
+class ThreadPool;
+
+struct LanczosOptions {
+  /// Krylov-dimension cap (clamped to |S| - 1, the dimension of the
+  /// complement of the deflated stationary direction).
+  size_t max_iterations = 300;
+  /// Absolute residual tolerance |beta_k z_k| on both extreme Ritz pairs.
+  double tol = 1e-10;
+  /// Seed of the random start vector.
+  uint64_t seed = 20110604;
+  /// Pool for dot/axpy sharding; nullptr = ThreadPool::global().
+  ThreadPool* pool = nullptr;
+};
+
+/// Extreme eigenvalues of the symmetrized chain, after deflating the unit
+/// eigenvalue. Mirrors the accessors of ChainSpectrum.
+struct LanczosSpectrum {
+  double lambda2 = 0.0;     ///< largest non-unit eigenvalue
+  double lambda_min = 0.0;  ///< smallest eigenvalue
+  size_t iterations = 0;    ///< Krylov dimension actually built
+  bool converged = false;   ///< both extreme residuals fell below tol
+  double residual = 0.0;    ///< max of the two extreme residuals at exit
+  std::vector<double> ritz_values;  ///< all Ritz values, ascending
+
+  double lambda_star() const;
+  double spectral_gap() const { return 1.0 - lambda_star(); }
+  double relaxation_time() const { return 1.0 / spectral_gap(); }
+};
+
+/// lambda_2 / lambda_min of the chain P given by `op` (left action) with
+/// stationary distribution `pi`, via Lanczos on the implicit symmetrized
+/// view. Certified only for reversible (P, pi) — see DESIGN.md §9.
+LanczosSpectrum lanczos_spectrum(const LinearOperator& op,
+                                 std::span<const double> pi,
+                                 const LanczosOptions& opts = {});
+
+/// The Fiedler vector f = D^{-1/2} psi_2 in chain coordinates (psi_2 the
+/// Ritz vector of lambda_2), unit-normalized, sign unspecified. The
+/// second output of the same Lanczos run; drives the sweep-cut search.
+std::vector<double> lanczos_fiedler_vector(const LinearOperator& op,
+                                           std::span<const double> pi,
+                                           const LanczosOptions& opts = {});
+
+}  // namespace logitdyn

@@ -1,0 +1,82 @@
+#include "linalg/linear_operator.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+void LinearOperator::apply_many(std::span<const double> xs,
+                                std::span<double> ys, size_t count) const {
+  const size_t n = size();
+  LD_CHECK(xs.size() == count * n && ys.size() == count * n,
+           "apply_many: size mismatch");
+  for (size_t b = 0; b < count; ++b) {
+    apply(xs.subspan(b * n, n), ys.subspan(b * n, n));
+  }
+}
+
+DenseOperator::DenseOperator(const DenseMatrix& m) : m_(m) {
+  LD_CHECK(m.rows() == m.cols(), "DenseOperator: square matrix required");
+}
+
+void DenseOperator::apply(std::span<const double> x,
+                          std::span<double> y) const {
+  LD_CHECK(x.size() == m_.rows() && y.size() == m_.rows(),
+           "DenseOperator: size mismatch");
+  vec_mat(x, m_, y);
+}
+
+CsrOperator::CsrOperator(const CsrMatrix& m) : m_(m) {
+  LD_CHECK(m.rows() == m.cols(), "CsrOperator: square matrix required");
+}
+
+void CsrOperator::apply(std::span<const double> x,
+                        std::span<double> y) const {
+  m_.left_multiply(x, y);
+}
+
+SymmetrizedOperator::SymmetrizedOperator(const LinearOperator& op,
+                                         std::span<const double> pi)
+    : op_(op) {
+  const size_t n = op.size();
+  LD_CHECK(pi.size() == n, "SymmetrizedOperator: pi size mismatch");
+  sqrt_pi_.resize(n);
+  inv_sqrt_pi_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    LD_CHECK(pi[i] > 0, "SymmetrizedOperator: pi must be positive");
+    sqrt_pi_[i] = std::sqrt(pi[i]);
+    inv_sqrt_pi_[i] = 1.0 / sqrt_pi_[i];
+  }
+}
+
+void SymmetrizedOperator::apply(std::span<const double> v,
+                                std::span<double> w) const {
+  const size_t n = size();
+  LD_CHECK(v.size() == n && w.size() == n,
+           "SymmetrizedOperator: size mismatch");
+  scratch_.resize(n);
+  for (size_t i = 0; i < n; ++i) scratch_[i] = v[i] * sqrt_pi_[i];
+  op_.apply(scratch_, w);
+  for (size_t i = 0; i < n; ++i) w[i] *= inv_sqrt_pi_[i];
+}
+
+void SymmetrizedOperator::apply_many(std::span<const double> vs,
+                                     std::span<double> ws,
+                                     size_t count) const {
+  const size_t n = size();
+  LD_CHECK(vs.size() == count * n && ws.size() == count * n,
+           "SymmetrizedOperator: size mismatch");
+  scratch_.resize(count * n);
+  for (size_t b = 0; b < count; ++b) {
+    for (size_t i = 0; i < n; ++i) {
+      scratch_[b * n + i] = vs[b * n + i] * sqrt_pi_[i];
+    }
+  }
+  op_.apply_many(scratch_, ws, count);
+  for (size_t b = 0; b < count; ++b) {
+    for (size_t i = 0; i < n; ++i) ws[b * n + i] *= inv_sqrt_pi_[i];
+  }
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,103 @@
+// Matrix-free linear operators over distribution space (DESIGN.md §9).
+//
+// Every spectral quantity the paper's analysis needs — lambda_2,
+// lambda_min, lambda* and hence t_rel, plus TV distribution evolution —
+// is a function of *operator applications* x |-> xP only, never of the
+// matrix entries. `LinearOperator` makes that application the primitive,
+// so dense storage (O(|S|^2)) stops being the scale ceiling: Lanczos and
+// multi-start evolution run on any implementation, including the
+// oracle-backed `LogitOperator` (core/logit_operator.hpp) that never
+// materializes P at all.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/sparse_matrix.hpp"
+
+namespace logitdyn {
+
+/// A square linear operator acting on row vectors: y = x * P. The left
+/// action is the distribution-evolution direction, and for the reversible
+/// chains the analysis layer studies it also drives the pi-symmetrized
+/// spectral view (see SymmetrizedOperator).
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  /// Number of states (P is size() x size()).
+  virtual size_t size() const = 0;
+
+  /// y = x * P. x and y must have length size() and must not alias.
+  virtual void apply(std::span<const double> x,
+                     std::span<double> y) const = 0;
+
+  /// Batched apply: `count` row vectors stored contiguously (row-major,
+  /// stride size()) in xs, outputs to ys. The default loops `apply`;
+  /// implementations whose per-state setup dominates (the logit oracle)
+  /// override it to pay that setup once per state for all vectors.
+  virtual void apply_many(std::span<const double> xs, std::span<double> ys,
+                          size_t count) const;
+};
+
+/// LinearOperator view of a materialized dense transition matrix.
+class DenseOperator final : public LinearOperator {
+ public:
+  /// Holds a reference: `m` must be square and outlive the operator.
+  explicit DenseOperator(const DenseMatrix& m);
+
+  size_t size() const override { return m_.rows(); }
+  void apply(std::span<const double> x, std::span<double> y) const override;
+
+ private:
+  const DenseMatrix& m_;
+};
+
+/// LinearOperator view of a CSR transition matrix; apply is the sharded
+/// gather left-multiply (bit-identical at every pool size).
+class CsrOperator final : public LinearOperator {
+ public:
+  /// Holds a reference: `m` must be square and outlive the operator.
+  explicit CsrOperator(const CsrMatrix& m);
+
+  size_t size() const override { return m_.rows(); }
+  void apply(std::span<const double> x, std::span<double> y) const override;
+
+ private:
+  const CsrMatrix& m_;
+};
+
+/// The pi-symmetrized view A = D^{1/2} P D^{-1/2}, D = diag(pi), applied
+/// implicitly: w = A v is computed as scale-by-sqrt(pi), one left apply of
+/// P, unscale — no conjugated matrix is ever formed. Because only the left
+/// action is available this actually evaluates A^T v, which equals A v
+/// exactly when (P, pi) is reversible; on non-reversible chains Lanczos
+/// output built on this view is heuristic (DESIGN.md §9).
+///
+/// sqrt(pi) itself is a known unit eigenvector of A with eigenvalue 1 (the
+/// image of the stationary distribution), which Lanczos deflates against.
+class SymmetrizedOperator {
+ public:
+  /// Holds a reference to `op`; copies pi. Requires pi > 0 everywhere.
+  SymmetrizedOperator(const LinearOperator& op, std::span<const double> pi);
+
+  size_t size() const { return op_.size(); }
+  const std::vector<double>& sqrt_pi() const { return sqrt_pi_; }
+
+  /// w = A v (exactly A^T v; see above). Not thread-safe per instance —
+  /// the internal scratch buffer is reused across calls.
+  void apply(std::span<const double> v, std::span<double> w) const;
+
+  /// Batched analogue over `count` contiguous vectors.
+  void apply_many(std::span<const double> vs, std::span<double> ws,
+                  size_t count) const;
+
+ private:
+  const LinearOperator& op_;
+  std::vector<double> sqrt_pi_, inv_sqrt_pi_;
+  mutable std::vector<double> scratch_;
+};
+
+}  // namespace logitdyn

@@ -2,11 +2,38 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "linalg/dense_matrix.hpp"
+#include "parallel/thread_pool.hpp"
 #include "support/error.hpp"
 
 namespace logitdyn {
+
+namespace {
+
+/// Guards lazy transpose construction. A single global mutex is enough:
+/// each matrix builds its transpose at most once, and readers only take
+/// the lock until the cached pointer is observed non-null.
+std::mutex g_transpose_mutex;
+
+/// Below this many output rows a multiply runs inline — pool dispatch
+/// overhead dwarfs the work on the small chains the tests exercise.
+constexpr size_t kParallelRowThreshold = 2048;
+
+}  // namespace
+
+CsrMatrix& CsrMatrix::operator=(const CsrMatrix& other) {
+  if (this != &other) {
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    row_offsets_ = other.row_offsets_;
+    col_indices_ = other.col_indices_;
+    values_ = other.values_;
+    transpose_.reset();  // stale for the new data; see the copy ctor
+  }
+  return *this;
+}
 
 CsrMatrix::CsrMatrix(size_t rows, size_t cols, std::vector<Triplet> triplets)
     : rows_(rows), cols_(cols) {
@@ -78,19 +105,72 @@ CsrMatrix CsrMatrix::from_dense(const DenseMatrix& dense, double tol) {
   return CsrMatrix(dense.rows(), dense.cols(), std::move(trips));
 }
 
+const CsrMatrix& CsrMatrix::transposed_view() const {
+  {
+    std::lock_guard<std::mutex> lock(g_transpose_mutex);
+    if (transpose_) return *transpose_;
+  }
+  // Counting-sort transpose: row c of the result holds A's column-c
+  // entries in ascending source-row order (the order the sequential
+  // scatter visited them), so gather-based multiplies reproduce the old
+  // accumulation order exactly.
+  auto t = std::make_shared<CsrMatrix>();
+  t->rows_ = cols_;
+  t->cols_ = rows_;
+  t->row_offsets_.assign(cols_ + 1, 0);
+  for (uint32_t c : col_indices_) ++t->row_offsets_[size_t(c) + 1];
+  for (size_t c = 0; c < cols_; ++c) {
+    t->row_offsets_[c + 1] += t->row_offsets_[c];
+  }
+  t->col_indices_.resize(values_.size());
+  t->values_.resize(values_.size());
+  std::vector<size_t> cursor(t->row_offsets_.begin(),
+                             t->row_offsets_.end() - 1);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      const size_t pos = cursor[col_indices_[k]]++;
+      t->col_indices_[pos] = uint32_t(r);
+      t->values_[pos] = values_[k];
+    }
+  }
+  std::lock_guard<std::mutex> lock(g_transpose_mutex);
+  if (!transpose_) transpose_ = std::move(t);  // lost a race: keep winner
+  return *transpose_;
+}
+
+namespace {
+
+/// y[r] = sum_k m.values[r,k] * x[m.col_indices[r,k]] for r in [0, rows):
+/// the shared per-output-row gather kernel of both multiplies, sharded
+/// over the ThreadPool. Each output element is written by exactly one
+/// task with a fixed reduction order, so any pool size is bit-identical.
+void gather_rows(const CsrMatrix& m, std::span<const double> x,
+                 std::span<double> y) {
+  std::span<const size_t> offsets = m.row_offsets();
+  std::span<const uint32_t> cols = m.col_indices();
+  std::span<const double> vals = m.values();
+  auto run_row = [&](size_t r) {
+    double s = 0.0;
+    for (size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+      s += vals[k] * x[cols[k]];
+    }
+    y[r] = s;
+  };
+  if (m.rows() < kParallelRowThreshold) {
+    for (size_t r = 0; r < m.rows(); ++r) run_row(r);
+  } else {
+    parallel_for(0, m.rows(), run_row, /*min_block=*/512);
+  }
+}
+
+}  // namespace
+
 void CsrMatrix::left_multiply(std::span<const double> x,
                               std::span<double> y) const {
   LD_CHECK(x.size() == rows_ && y.size() == cols_,
            "left_multiply: size mismatch");
   LD_CHECK(x.data() != y.data(), "left_multiply: aliasing not allowed");
-  std::fill(y.begin(), y.end(), 0.0);
-  for (size_t r = 0; r < rows_; ++r) {
-    const double xr = x[r];
-    if (xr == 0.0) continue;
-    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
-      y[col_indices_[k]] += xr * values_[k];
-    }
-  }
+  gather_rows(transposed_view(), x, y);
 }
 
 void CsrMatrix::right_multiply(std::span<const double> x,
@@ -98,16 +178,7 @@ void CsrMatrix::right_multiply(std::span<const double> x,
   LD_CHECK(x.size() == cols_ && y.size() == rows_,
            "right_multiply: size mismatch");
   LD_CHECK(x.data() != y.data(), "right_multiply: aliasing not allowed");
-#ifdef LOGITDYN_HAVE_OPENMP
-#pragma omp parallel for schedule(static)
-#endif
-  for (std::int64_t r = 0; r < std::int64_t(rows_); ++r) {
-    double s = 0.0;
-    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
-      s += values_[k] * x[col_indices_[k]];
-    }
-    y[size_t(r)] = s;
-  }
+  gather_rows(*this, x, y);
 }
 
 DenseMatrix CsrMatrix::to_dense() const {

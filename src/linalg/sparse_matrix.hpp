@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -25,6 +26,19 @@ struct Triplet {
 class CsrMatrix {
  public:
   CsrMatrix() = default;
+
+  /// Copies carry the matrix data but NOT the transpose cache: reading
+  /// the cache pointer during a copy would race a concurrent
+  /// transposed_view() build on the source; the copy rebuilds on demand.
+  CsrMatrix(const CsrMatrix& other)
+      : rows_(other.rows_),
+        cols_(other.cols_),
+        row_offsets_(other.row_offsets_),
+        col_indices_(other.col_indices_),
+        values_(other.values_) {}
+  CsrMatrix& operator=(const CsrMatrix& other);
+  CsrMatrix(CsrMatrix&&) = default;
+  CsrMatrix& operator=(CsrMatrix&&) = default;
 
   /// Assemble from triplets (duplicates summed, zeros kept out).
   CsrMatrix(size_t rows, size_t cols, std::vector<Triplet> triplets);
@@ -45,10 +59,21 @@ class CsrMatrix {
   size_t nnz() const { return values_.size(); }
 
   /// y = x * A (row-vector multiply; the distribution-evolution kernel).
+  /// Computed as a per-output gather over `transposed_view()` and sharded
+  /// over the project ThreadPool: each y[c] sums its contributions in
+  /// ascending source-row order — the exact order the sequential scatter
+  /// used — so results are bit-identical at every pool size.
   void left_multiply(std::span<const double> x, std::span<double> y) const;
 
-  /// y = A * x.
+  /// y = A * x. Per-output-row gather, sharded over the ThreadPool with a
+  /// fixed per-row reduction order (bit-identical at every pool size).
   void right_multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// A^T in CSR form, built on first use and cached (copies start with
+  /// an empty cache and rebuild on demand — see the copy constructor).
+  /// Row c of the transpose lists A's column-c entries in ascending
+  /// source-row order.
+  const CsrMatrix& transposed_view() const;
 
   DenseMatrix to_dense() const;
 
@@ -64,6 +89,7 @@ class CsrMatrix {
   std::vector<size_t> row_offsets_;   // size rows_+1
   std::vector<uint32_t> col_indices_; // size nnz
   std::vector<double> values_;        // size nnz
+  mutable std::shared_ptr<const CsrMatrix> transpose_;  // lazy, see above
 };
 
 }  // namespace logitdyn

@@ -68,6 +68,13 @@ ThreadPool& ThreadPool::global() {
 void parallel_for(ThreadPool& pool, size_t begin, size_t end,
                   const std::function<void(size_t)>& fn, size_t min_block) {
   if (begin >= end) return;
+  if (pool.on_worker_thread()) {
+    // Nested dispatch from one of this pool's own workers would block on
+    // futures no free worker can run — execute inline instead (same
+    // fallback the sharded builders use).
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
   const size_t n = end - begin;
   const size_t workers = pool.num_threads();
   const size_t block =
@@ -100,6 +107,41 @@ void parallel_for(ThreadPool& pool, size_t begin, size_t end,
 void parallel_for(size_t begin, size_t end,
                   const std::function<void(size_t)>& fn, size_t min_block) {
   parallel_for(ThreadPool::global(), begin, end, fn, min_block);
+}
+
+double blocked_sum(ThreadPool& pool, size_t n,
+                   const std::function<double(size_t, size_t)>& block_fn,
+                   std::vector<double>& partials) {
+  if (n <= kReduceBlock) return n == 0 ? 0.0 : block_fn(0, n);
+  const size_t blocks = (n + kReduceBlock - 1) / kReduceBlock;
+  partials.assign(blocks, 0.0);
+  parallel_for(pool, 0, blocks, [&](size_t blk) {
+    const size_t lo = blk * kReduceBlock;
+    partials[blk] = block_fn(lo, std::min(n, lo + kReduceBlock));
+  });
+  double sum = 0.0;
+  for (double p : partials) sum += p;
+  return sum;
+}
+
+double blocked_sum(ThreadPool& pool, size_t n,
+                   const std::function<double(size_t, size_t)>& block_fn) {
+  std::vector<double> partials;
+  return blocked_sum(pool, n, block_fn, partials);
+}
+
+void blocked_for(ThreadPool& pool, size_t n,
+                 const std::function<void(size_t, size_t)>& block_fn) {
+  if (n == 0) return;
+  if (n <= kReduceBlock) {
+    block_fn(0, n);
+    return;
+  }
+  const size_t blocks = (n + kReduceBlock - 1) / kReduceBlock;
+  parallel_for(pool, 0, blocks, [&](size_t blk) {
+    const size_t lo = blk * kReduceBlock;
+    block_fn(lo, std::min(n, lo + kReduceBlock));
+  });
 }
 
 }  // namespace logitdyn

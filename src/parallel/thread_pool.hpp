@@ -53,6 +53,8 @@ class ThreadPool {
 
 /// Run fn(i) for i in [begin, end) across the pool in contiguous blocks.
 /// Blocks until all iterations complete; rethrows the first task exception.
+/// Safe to call from one of the pool's own workers: nested calls run
+/// inline instead of deadlocking on sub-task futures.
 void parallel_for(ThreadPool& pool, size_t begin, size_t end,
                   const std::function<void(size_t)>& fn,
                   size_t min_block = 1);
@@ -61,5 +63,32 @@ void parallel_for(ThreadPool& pool, size_t begin, size_t end,
 void parallel_for(size_t begin, size_t end,
                   const std::function<void(size_t)>& fn,
                   size_t min_block = 1);
+
+/// Block size of every deterministic parallel reduction in the library
+/// (Lanczos dot products, fused TV passes). Fixed — never derived from
+/// the pool size — so the partial-sum association, and with it every
+/// reduced value, is bit-identical no matter how many workers run.
+inline constexpr size_t kReduceBlock = 8192;
+
+/// Deterministic blocked sum over [0, n): partition into kReduceBlock
+/// ranges, evaluate block_fn(lo, hi) per range across the pool (the
+/// callback may also write to disjoint per-index outputs — fused
+/// map+reduce), and sum the partials sequentially in block order.
+/// `partials` is caller-owned scratch, resized as needed and reusable
+/// across calls.
+double blocked_sum(ThreadPool& pool, size_t n,
+                   const std::function<double(size_t, size_t)>& block_fn,
+                   std::vector<double>& partials);
+
+/// Allocating convenience overload.
+double blocked_sum(ThreadPool& pool, size_t n,
+                   const std::function<double(size_t, size_t)>& block_fn);
+
+/// Non-reducing sibling of blocked_sum: run block_fn(lo, hi) over the
+/// same fixed kReduceBlock partition (inline below one block). For
+/// element-wise kernels (axpy, scale) that share the deterministic
+/// blocking policy without producing a value.
+void blocked_for(ThreadPool& pool, size_t n,
+                 const std::function<void(size_t, size_t)>& block_fn);
 
 }  // namespace logitdyn

@@ -76,4 +76,8 @@ double xlogx(double x) {
   return x == 0.0 ? 0.0 : x * std::log(x);
 }
 
+double clamped_lambda_star(double lambda2, double lambda_min) {
+  return std::min(1.0, std::max(lambda2, std::abs(lambda_min)));
+}
+
 }  // namespace logitdyn

@@ -37,4 +37,11 @@ void normalize_in_place(std::span<double> v);
 /// x -> x*log(x) with the 0*log(0) = 0 convention.
 double xlogx(double x);
 
+/// lambda* = max(lambda_2, |lambda_min|), clamped to at most 1. Roundoff
+/// can push a near-unit eigenvalue or Ritz value to 1 + O(eps), which
+/// would flip the derived spectral gap negative (and relaxation time to
+/// a large negative number); 1 — gap 0, t_rel = inf — is the honest
+/// limit. The single implementation behind every spectrum summary.
+double clamped_lambda_star(double lambda2, double lambda_min);
+
 }  // namespace logitdyn

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/bottleneck.hpp"
+#include "analysis/mixing.hpp"
+#include "analysis/spectral.hpp"
+#include "core/chain.hpp"
+#include "core/gibbs.hpp"
+#include "core/logit_operator.hpp"
+#include "games/coordination.hpp"
+#include "games/congestion.hpp"
+#include "games/graphical_coordination.hpp"
+#include "games/ising.hpp"
+#include "games/plateau.hpp"
+#include "games/random_potential.hpp"
+#include "graph/builders.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/linear_operator.hpp"
+#include "rng/rng.hpp"
+
+namespace logitdyn {
+namespace {
+
+struct ChainCase {
+  std::string label;
+  std::shared_ptr<const Game> game;
+  double beta;
+};
+
+/// One chain per tier-1 game family, at a beta where each is interesting
+/// (metastability for the barrier games, moderate noise elsewhere).
+std::vector<ChainCase> chain_cases() {
+  Rng rng(29);
+  std::vector<ChainCase> cases;
+  cases.push_back({"plateau", std::make_shared<PlateauGame>(5, 2.0, 1.0), 1.4});
+  cases.push_back({"plateau_hot", std::make_shared<PlateauGame>(6, 3.0, 1.0), 0.5});
+  cases.push_back(
+      {"random_potential",
+       std::make_shared<TablePotentialGame>(
+           make_random_potential_game(ProfileSpace(3, 3), 2.0, rng)),
+       1.0});
+  cases.push_back({"coordination",
+                   std::make_shared<CoordinationGame>(
+                       CoordinationPayoffs::from_deltas(2.0, 1.0)),
+                   1.5});
+  cases.push_back({"ring_coordination",
+                   std::make_shared<GraphicalCoordinationGame>(
+                       make_ring(8), CoordinationPayoffs::from_deltas(1.0, 1.0)),
+                   1.2});
+  cases.push_back({"ising", std::make_shared<IsingGame>(make_ring(5), 0.7), 1.0});
+  cases.push_back(
+      {"congestion",
+       std::make_shared<CongestionGame>(make_parallel_links_game(
+           5, {1.0, 0.5, 0.25}, {0.2, 0.1, 0.3})),
+       0.8});
+  return cases;
+}
+
+std::ostream& operator<<(std::ostream& os, const ChainCase& c) {
+  return os << c.label;
+}
+
+class LanczosChainTest : public ::testing::TestWithParam<ChainCase> {};
+
+TEST_P(LanczosChainTest, ExtremeEigenvaluesMatchDenseSpectrum) {
+  const ChainCase& c = GetParam();
+  LogitChain chain(*c.game, c.beta);
+  const std::vector<double> pi = chain.stationary();
+  const ChainSpectrum dense = chain_spectrum(chain.dense_transition(), pi);
+
+  LanczosOptions opts;
+  opts.tol = 1e-12;
+  const LogitOperator op(*c.game, c.beta, UpdateKind::kAsynchronous);
+  const LanczosSpectrum lz = lanczos_spectrum(op, pi, opts);
+  ASSERT_TRUE(lz.converged) << lz.iterations << " iters, residual "
+                            << lz.residual;
+  EXPECT_NEAR(lz.lambda2, dense.lambda2(), 1e-8);
+  EXPECT_NEAR(lz.lambda_min, dense.lambda_min(), 1e-8);
+  EXPECT_NEAR(lz.lambda_star(), dense.lambda_star(), 1e-8);
+  EXPECT_NEAR(lz.relaxation_time(), dense.relaxation_time(),
+              1e-6 * dense.relaxation_time());
+}
+
+TEST_P(LanczosChainTest, AllThreeOperatorBackendsAgree) {
+  const ChainCase& c = GetParam();
+  LogitChain chain(*c.game, c.beta);
+  const std::vector<double> pi = chain.stationary();
+  LanczosOptions opts;
+  opts.tol = 1e-12;
+  const DenseMatrix p = chain.dense_transition();
+  const CsrMatrix csr = chain.csr_transition();
+  const DenseOperator dense_op(p);
+  const CsrOperator csr_op(csr);
+  const LogitOperator logit_op(*c.game, c.beta, UpdateKind::kAsynchronous);
+  const double l2_dense = lanczos_spectrum(dense_op, pi, opts).lambda2;
+  const double l2_csr = lanczos_spectrum(csr_op, pi, opts).lambda2;
+  const double l2_logit = lanczos_spectrum(logit_op, pi, opts).lambda2;
+  EXPECT_NEAR(l2_csr, l2_dense, 1e-10);
+  EXPECT_NEAR(l2_logit, l2_dense, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tier1Chains, LanczosChainTest,
+                         ::testing::ValuesIn(chain_cases()),
+                         [](const auto& info) { return info.param.label; });
+
+TEST(SpectralSummaryTest, DenseAndOperatorPathsAgreeAcrossCutover) {
+  PlateauGame game(6, 3.0, 1.0);  // 64 states
+  LogitChain chain(game, 1.2);
+  const std::vector<double> pi = chain.stationary();
+  SpectralOptions dense_opts;  // 64 < cutover: dense path
+  const SpectralSummary dense =
+      spectral_summary(game, 1.2, UpdateKind::kAsynchronous, pi, dense_opts);
+  EXPECT_FALSE(dense.via_operator);
+  EXPECT_TRUE(dense.certified);
+  SpectralOptions op_opts;
+  op_opts.dense_cutover = 1;  // force the operator path
+  op_opts.lanczos.tol = 1e-12;
+  const SpectralSummary lz =
+      spectral_summary(game, 1.2, UpdateKind::kAsynchronous, pi, op_opts);
+  EXPECT_TRUE(lz.via_operator);
+  EXPECT_TRUE(lz.converged);
+  EXPECT_TRUE(lz.certified);  // async potential game
+  EXPECT_GT(lz.lanczos_iterations, 0u);
+  EXPECT_NEAR(lz.lambda2, dense.lambda2, 1e-8);
+  EXPECT_NEAR(lz.lambda_min, dense.lambda_min, 1e-8);
+  EXPECT_NEAR(lz.spectral_gap(), dense.spectral_gap(), 1e-8);
+}
+
+TEST(SpectralSummaryTest, SynchronousKernelIsHeuristicNotCertified) {
+  PlateauGame game(4, 2.0, 1.0);
+  // The synchronous kernel is not reversible w.r.t. the Gibbs measure in
+  // general; both sides of the cutover must report certified=false (and
+  // neither may throw) rather than diverging in behavior by size.
+  const GibbsMeasure gibbs = gibbs_measure(game, 0.9);
+  SpectralOptions force_op;
+  force_op.dense_cutover = 1;
+  const SpectralSummary s = spectral_summary(
+      game, 0.9, UpdateKind::kSynchronous, gibbs.probabilities, force_op);
+  EXPECT_TRUE(s.via_operator);
+  EXPECT_FALSE(s.certified);
+  const SpectralSummary dense = spectral_summary(
+      game, 0.9, UpdateKind::kSynchronous, gibbs.probabilities);  // dense size
+  EXPECT_TRUE(dense.via_operator);  // fell back to the heuristic estimate
+  EXPECT_FALSE(dense.certified);
+  EXPECT_NEAR(dense.lambda2, s.lambda2, 1e-8);
+}
+
+TEST(LanczosFiedlerTest, SweepCutMatchesDenseSweep) {
+  // Metastable chains whose bottleneck the dense sweep finds exactly.
+  struct Case {
+    std::string label;
+    std::shared_ptr<const Game> game;
+    double beta;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"plateau", std::make_shared<PlateauGame>(6, 3.0, 1.0), 2.0});
+  cases.push_back({"ring_coordination",
+                   std::make_shared<GraphicalCoordinationGame>(
+                       make_ring(6), CoordinationPayoffs::from_deltas(1.0, 1.0)),
+                   1.5});
+  for (const Case& c : cases) {
+    LogitChain chain(*c.game, c.beta);
+    const std::vector<double> pi = chain.stationary();
+    const SweepCutResult dense =
+        best_sweep_cut(chain.dense_transition(), pi);
+    LanczosOptions opts;
+    opts.tol = 1e-12;
+    const CsrMatrix csr = chain.csr_transition();
+    const SweepCutResult sparse = best_sweep_cut_lanczos(csr, pi, opts);
+    // On a simple spectrum the orderings coincide and the ratios match to
+    // roundoff (plateau); under lambda_2 degeneracy (the ring's symmetry)
+    // the Fiedler direction is not unique, so the contract is "a cut at
+    // least as good as the dense sweep's".
+    EXPECT_LE(sparse.ratio,
+              dense.ratio + 1e-9 * std::max(1.0, std::abs(dense.ratio)))
+        << c.label;
+    EXPECT_NEAR(sparse.ratio, dense.ratio, 0.01 * dense.ratio) << c.label;
+    // Both witnesses must actually attain (close to) the reported ratio.
+    const double check =
+        bottleneck_ratio(chain.dense_transition(), pi, sparse.in_set);
+    EXPECT_NEAR(check, sparse.ratio, 1e-9) << c.label;
+  }
+}
+
+TEST(OperatorMixingTest, MatchesSingleStartAndWorstCase) {
+  PlateauGame game(5, 2.0, 1.0);
+  LogitChain chain(game, 1.4);
+  const std::vector<double> pi = chain.stationary();
+  const size_t n = pi.size();
+  const MixingResult worst =
+      mixing_time_doubling(chain.dense_transition(), pi, 0.25);
+  const CsrMatrix csr = chain.csr_transition();
+  std::vector<size_t> starts(n);
+  for (size_t s = 0; s < n; ++s) starts[s] = s;
+  const LogitOperator op(game, 1.4, UpdateKind::kAsynchronous);
+  const OperatorMixingResult batch =
+      mixing_time_operator(op, pi, starts, 0.25, 1 << 22);
+  ASSERT_EQ(batch.per_start.size(), n);
+  MixingWorkspace ws;
+  for (size_t s = 0; s < n; ++s) {
+    const MixingResult from =
+        mixing_time_from_state(csr, s, pi, 0.25, 1 << 22, ws);
+    ASSERT_TRUE(from.converged && batch.per_start[s].converged) << s;
+    EXPECT_EQ(batch.per_start[s].time, from.time) << "start " << s;
+  }
+  // All starts covered: the batched worst is the exact worst case.
+  ASSERT_TRUE(batch.worst.converged);
+  EXPECT_EQ(batch.worst.time, worst.time);
+}
+
+TEST(OperatorMixingTest, WorkspaceOverloadIsBitIdentical) {
+  PlateauGame game(5, 2.0, 1.0);
+  LogitChain chain(game, 1.1);
+  const std::vector<double> pi = chain.stationary();
+  const CsrMatrix csr = chain.csr_transition();
+  MixingWorkspace ws;
+  for (size_t s : {size_t(0), size_t(13), size_t(31)}) {
+    const MixingResult fresh = mixing_time_from_state(csr, s, pi, 0.25, 1 << 20);
+    const MixingResult reused =
+        mixing_time_from_state(csr, s, pi, 0.25, 1 << 20, ws);
+    EXPECT_EQ(fresh.time, reused.time);
+    EXPECT_EQ(fresh.distance, reused.distance);
+    EXPECT_EQ(fresh.distance_prev, reused.distance_prev);
+    EXPECT_EQ(fresh.converged, reused.converged);
+  }
+}
+
+TEST(OperatorMixingTest, Theorem23BracketHoldsFromLanczosOutput) {
+  PlateauGame game(5, 2.0, 1.0);
+  for (double beta : {0.5, 1.5}) {
+    LogitChain chain(game, beta);
+    const std::vector<double> pi = chain.stationary();
+    LanczosOptions opts;
+    opts.tol = 1e-12;
+    const LogitOperator op(game, beta, UpdateKind::kAsynchronous);
+    const LanczosSpectrum lz = lanczos_spectrum(op, pi, opts);
+    ASSERT_TRUE(lz.converged);
+    const double pi_min = *std::min_element(pi.begin(), pi.end());
+    const Theorem23Bracket bracket =
+        tmix_bracket_from_relaxation(lz.relaxation_time(), pi_min, 0.25);
+    const MixingResult mix =
+        mixing_time_doubling(chain.dense_transition(), pi, 0.25);
+    ASSERT_TRUE(mix.converged);
+    EXPECT_LE(bracket.lower, double(mix.time) + 1e-9) << "beta " << beta;
+    EXPECT_GE(bracket.upper, double(mix.time) - 1.0) << "beta " << beta;
+    EXPECT_LT(bracket.lower, bracket.upper);
+  }
+}
+
+TEST(MixingHealthTest, DoublingReportsRowSumDefect) {
+  PlateauGame game(6, 3.0, 1.0);
+  LogitChain chain(game, 2.0);  // metastable: a long squaring ladder
+  const MixingResult mix =
+      mixing_time_doubling(chain.dense_transition(), chain.stationary(), 0.25);
+  ASSERT_TRUE(mix.converged);
+  // The ladder really squared (defect strictly positive in practice) but
+  // renormalization kept it tiny.
+  EXPECT_GT(mix.max_row_defect, 0.0);
+  EXPECT_LT(mix.max_row_defect, 1e-10);
+}
+
+TEST(LanczosEdgeTest, TwoStateChainIsExact) {
+  const double p = 0.3, q = 0.2;
+  DenseMatrix t(2, 2);
+  t(0, 0) = 1 - p;
+  t(0, 1) = p;
+  t(1, 0) = q;
+  t(1, 1) = 1 - q;
+  const std::vector<double> pi = {q / (p + q), p / (p + q)};
+  const DenseOperator op(t);
+  const LanczosSpectrum lz = lanczos_spectrum(op, pi);
+  ASSERT_TRUE(lz.converged);
+  EXPECT_EQ(lz.iterations, 1u);  // the complement of sqrt(pi) is 1-dim
+  EXPECT_NEAR(lz.lambda2, 1.0 - p - q, 1e-12);
+  EXPECT_NEAR(lz.lambda_min, 1.0 - p - q, 1e-12);
+}
+
+}  // namespace
+}  // namespace logitdyn

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/spectral.hpp"
+#include "core/gibbs.hpp"
+#include "core/logit_operator.hpp"
+#include "core/transition_builder.hpp"
+#include "games/coordination.hpp"
+#include "games/congestion.hpp"
+#include "games/dominant.hpp"
+#include "games/graphical_coordination.hpp"
+#include "games/ising.hpp"
+#include "games/plateau.hpp"
+#include "games/random_potential.hpp"
+#include "games/table_game.hpp"
+#include "graph/builders.hpp"
+#include "linalg/linear_operator.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/rng.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+struct OperatorCase {
+  std::string label;
+  std::shared_ptr<const Game> game;
+};
+
+std::ostream& operator<<(std::ostream& os, const OperatorCase& c) {
+  return os << c.label;
+}
+
+/// The eight seed games: one instance per oracle family (DESIGN.md §6),
+/// including a general (non-potential) table game.
+std::vector<OperatorCase> operator_cases() {
+  Rng rng(17);
+  std::vector<OperatorCase> cases;
+  cases.push_back({"plateau", std::make_shared<PlateauGame>(5, 2.0, 1.0)});
+  cases.push_back(
+      {"random_potential",
+       std::make_shared<TablePotentialGame>(
+           make_random_potential_game(ProfileSpace(3, 3), 2.0, rng))});
+  cases.push_back({"coordination",
+                   std::make_shared<CoordinationGame>(
+                       CoordinationPayoffs::from_deltas(2.0, 1.0))});
+  cases.push_back({"graphical_coordination",
+                   std::make_shared<GraphicalCoordinationGame>(
+                       make_path(4), CoordinationPayoffs::from_deltas(1.0, 0.5))});
+  cases.push_back({"ising", std::make_shared<IsingGame>(make_ring(4), 0.7)});
+  cases.push_back(
+      {"congestion",
+       std::make_shared<CongestionGame>(make_parallel_links_game(
+           4, {1.0, 0.5, 0.25}, {0.2, 0.1, 0.3}))});
+  cases.push_back({"all_or_nothing",
+                   std::make_shared<AllOrNothingGame>(4, 2)});
+  cases.push_back(
+      {"random_table", std::make_shared<TableGame>(make_random_game(
+                           ProfileSpace(3, 2), 1.0, rng))});
+  return cases;
+}
+
+std::vector<double> random_vector(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.uniform() - 0.3;
+  return x;
+}
+
+class LogitOperatorTest : public ::testing::TestWithParam<OperatorCase> {};
+
+TEST_P(LogitOperatorTest, MatchesDenseApplyBothKinds) {
+  const Game& game = *GetParam().game;
+  const double beta = 1.3;
+  for (UpdateKind kind : {UpdateKind::kAsynchronous, UpdateKind::kSynchronous}) {
+    const DenseMatrix p = TransitionBuilder(game, beta, kind).dense();
+    const DenseOperator dense_op(p);
+    const LogitOperator op(game, beta, kind);
+    ASSERT_EQ(op.size(), p.rows());
+    const size_t n = op.size();
+    std::vector<double> expected(n), got(n);
+    for (uint64_t seed : {1u, 2u, 3u}) {
+      const std::vector<double> x = random_vector(n, seed);
+      dense_op.apply(x, expected);
+      op.apply(x, got);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(got[i], expected[i], 1e-14)
+            << "kind " << int(kind) << " seed " << seed << " i " << i;
+      }
+    }
+    // Delta vectors recover matrix rows.
+    std::vector<double> delta(n, 0.0);
+    delta[n / 2] = 1.0;
+    dense_op.apply(delta, expected);
+    op.apply(delta, got);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(got[i], expected[i], 1e-14) << "row-recovery i " << i;
+    }
+  }
+}
+
+TEST_P(LogitOperatorTest, CsrAndDenseOperatorsAgree) {
+  const Game& game = *GetParam().game;
+  const TransitionBuilder builder(game, 0.9, UpdateKind::kAsynchronous);
+  const DenseMatrix p = builder.dense();
+  const CsrMatrix csr = builder.csr();
+  const DenseOperator dense_op(p);
+  const CsrOperator csr_op(csr);
+  const size_t n = p.rows();
+  const std::vector<double> x = random_vector(n, 5);
+  std::vector<double> yd(n), yc(n);
+  dense_op.apply(x, yd);
+  csr_op.apply(x, yc);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(yc[i], yd[i], 1e-14) << "i " << i;
+  }
+}
+
+TEST_P(LogitOperatorTest, ApplyManyMatchesRepeatedApply) {
+  const Game& game = *GetParam().game;
+  for (UpdateKind kind : {UpdateKind::kAsynchronous, UpdateKind::kSynchronous}) {
+    const LogitOperator op(game, 1.1, kind);
+    const size_t n = op.size();
+    const size_t count = 3;
+    std::vector<double> xs, expected(count * n), got(count * n);
+    for (size_t b = 0; b < count; ++b) {
+      const std::vector<double> x = random_vector(n, 10 + b);
+      xs.insert(xs.end(), x.begin(), x.end());
+      op.apply(x, std::span<double>(expected.data() + b * n, n));
+    }
+    op.apply_many(xs, got, count);
+    // Bit-identical: the batched path evaluates the same per-state sums
+    // in the same order.
+    for (size_t i = 0; i < count * n; ++i) {
+      EXPECT_EQ(got[i], expected[i]) << "kind " << int(kind) << " i " << i;
+    }
+  }
+}
+
+TEST_P(LogitOperatorTest, BitIdenticalAcrossPoolSizes) {
+  const Game& game = *GetParam().game;
+  ThreadPool one(1), four(4);
+  for (UpdateKind kind : {UpdateKind::kAsynchronous, UpdateKind::kSynchronous}) {
+    const LogitOperator op1(game, 1.7, kind, &one);
+    const LogitOperator op4(game, 1.7, kind, &four);
+    const size_t n = op1.size();
+    const std::vector<double> x = random_vector(n, 23);
+    std::vector<double> y1(n), y4(n);
+    op1.apply(x, y1);
+    op4.apply(x, y4);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(y1[i], y4[i]) << "kind " << int(kind) << " i " << i;
+    }
+  }
+}
+
+TEST_P(LogitOperatorTest, RowMatchesTransitionBuilderRow) {
+  const Game& game = *GetParam().game;
+  const double beta = 1.3;
+  const LogitOperator op(game, beta, UpdateKind::kAsynchronous);
+  const CsrMatrix csr =
+      TransitionBuilder(game, beta, UpdateKind::kAsynchronous).csr();
+  std::vector<uint32_t> cols;
+  std::vector<double> vals;
+  for (size_t idx : {size_t(0), op.size() / 2, op.size() - 1}) {
+    op.row(idx, cols, vals);
+    const size_t lo = csr.row_offsets()[idx], hi = csr.row_offsets()[idx + 1];
+    ASSERT_EQ(cols.size(), hi - lo) << "idx " << idx;
+    for (size_t k = 0; k < cols.size(); ++k) {
+      EXPECT_EQ(cols[k], csr.col_indices()[lo + k]);
+      EXPECT_EQ(vals[k], csr.values()[lo + k]) << "idx " << idx << " k " << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGames, LogitOperatorTest,
+                         ::testing::ValuesIn(operator_cases()),
+                         [](const auto& info) { return info.param.label; });
+
+TEST(SymmetrizedOperatorTest, MatchesExplicitConjugation) {
+  PlateauGame game(5, 2.0, 1.0);
+  const double beta = 1.2;
+  const TransitionBuilder builder(game, beta, UpdateKind::kAsynchronous);
+  const DenseMatrix p = builder.dense();
+  const GibbsMeasure gibbs = gibbs_measure(game, beta);
+  const DenseMatrix a = symmetrize_reversible(p, gibbs.probabilities);
+  const LogitOperator op(game, beta, UpdateKind::kAsynchronous);
+  const SymmetrizedOperator sym(op, gibbs.probabilities);
+  const size_t n = p.rows();
+  const std::vector<double> v = random_vector(n, 3);
+  std::vector<double> expected(n), got(n);
+  mat_vec(a, v, expected);
+  sym.apply(v, got);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(got[i], expected[i], 1e-12) << "i " << i;
+  }
+}
+
+TEST(CsrMultiplyTest, GatherMatchesSequentialScatterBitwise) {
+  // The parallel gather left-multiply must reproduce the historical
+  // sequential scatter exactly: per output, contributions are summed in
+  // ascending source-row order.
+  PlateauGame game(6, 3.0, 1.0);
+  const CsrMatrix p =
+      TransitionBuilder(game, 1.5, UpdateKind::kAsynchronous).csr();
+  const size_t n = p.rows();
+  const std::vector<double> x = random_vector(n, 7);
+  std::vector<double> got(n), reference(n, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (size_t k = p.row_offsets()[r]; k < p.row_offsets()[r + 1]; ++k) {
+      reference[p.col_indices()[k]] += xr * p.values()[k];
+    }
+  }
+  p.left_multiply(x, got);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(got[i], reference[i]) << "i " << i;
+  }
+  // right_multiply: per-row gather against the same reference order.
+  std::vector<double> rgot(n), rref(n);
+  for (size_t r = 0; r < n; ++r) {
+    double s = 0.0;
+    for (size_t k = p.row_offsets()[r]; k < p.row_offsets()[r + 1]; ++k) {
+      s += p.values()[k] * x[p.col_indices()[k]];
+    }
+    rref[r] = s;
+  }
+  p.right_multiply(x, rgot);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(rgot[i], rref[i]) << "i " << i;
+  }
+}
+
+TEST(CsrMultiplyTest, TransposedViewIsExactTranspose) {
+  PlateauGame game(5, 2.0, 1.0);
+  const CsrMatrix p =
+      TransitionBuilder(game, 0.8, UpdateKind::kAsynchronous).csr();
+  const CsrMatrix& t = p.transposed_view();
+  ASSERT_EQ(t.rows(), p.cols());
+  ASSERT_EQ(t.nnz(), p.nnz());
+  const DenseMatrix d = p.to_dense();
+  const DenseMatrix td = t.to_dense();
+  for (size_t r = 0; r < d.rows(); ++r) {
+    for (size_t c = 0; c < d.cols(); ++c) {
+      EXPECT_EQ(td(c, r), d(r, c)) << r << "," << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace logitdyn

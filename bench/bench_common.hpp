@@ -1,24 +1,21 @@
-// Shared helpers for the experiment binaries.
-//
-// Every experiment prints: a header naming the paper result it reproduces,
-// one aligned table of (parameter, measured, paper-bound) rows, and — where
-// the paper predicts an exponential rate — a least-squares rate fit with
-// the predicted rate next to it.
+// Thin compatibility header. The shared experiment helpers (the three
+// exact_tmix overloads, tmix_cell, rate_fit) moved into the harness at
+// src/scenario/harness.hpp, and header/section printing is Report's job
+// (src/scenario/report.hpp); this header re-exports the helpers under the
+// historical logitdyn::bench names for any out-of-tree experiment code.
 #pragma once
 
-#include <cstdint>
 #include <iostream>
 #include <string>
-#include <vector>
 
-#include "analysis/mixing.hpp"
-#include "core/chain.hpp"
-#include "core/lumped.hpp"
-#include "support/fit.hpp"
+#include "scenario/harness.hpp"
 #include "support/table.hpp"
-#include "support/timer.hpp"
 
 namespace logitdyn::bench {
+
+using harness::exact_tmix;
+using harness::rate_fit;
+using harness::tmix_cell;
 
 inline void print_header(const std::string& experiment,
                          const std::string& claim) {
@@ -30,38 +27,6 @@ inline void print_header(const std::string& experiment,
 
 inline void print_section(const std::string& title) {
   std::cout << "\n--- " << title << " ---\n";
-}
-
-/// Exact worst-case t_mix(1/4) of a dense chain; returns 0 on budget blowout
-/// (callers print ">cap" in that case).
-inline MixingResult exact_tmix(const DenseMatrix& p,
-                               const std::vector<double>& pi,
-                               uint64_t max_time = uint64_t(1) << 36) {
-  return mixing_time_doubling(p, pi, 0.25, max_time);
-}
-
-/// Exact worst-case t_mix of a LogitChain (builds the dense matrix).
-inline MixingResult exact_tmix(const LogitChain& chain,
-                               uint64_t max_time = uint64_t(1) << 36) {
-  return exact_tmix(chain.dense_transition(), chain.stationary(), max_time);
-}
-
-/// Exact worst-case t_mix of a lumped birth-death chain.
-inline MixingResult exact_tmix(const BirthDeathChain& bd,
-                               uint64_t max_time = uint64_t(1) << 44) {
-  return mixing_time_doubling(bd.transition(), bd.stationary(), 0.25,
-                              max_time);
-}
-
-/// Fit log(t_mix) = a + rate * beta and report (rate, r^2).
-inline LineFit rate_fit(const std::vector<double>& betas,
-                        const std::vector<double>& times) {
-  return fit_exponential_rate(betas, times);
-}
-
-inline std::string tmix_cell(const MixingResult& r) {
-  if (!r.converged) return "> budget";
-  return std::to_string(r.time);
 }
 
 }  // namespace logitdyn::bench

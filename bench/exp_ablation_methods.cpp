@@ -1,130 +1,7 @@
-// Ablation — the library's mixing-time machinery compared on shared
-// workloads (accuracy and wall time), justifying the method choices in
-// DESIGN.md:
-//   * doubling (exact, matrix powers)
-//   * spectral (exact, eigendecomposition + bisection)
-//   * single-start distribution evolution (exact from one state)
-//   * monotone grand-coupling estimator (statistical upper bound)
-// plus the lumping ablation (full chain vs birth-death projection).
-#include <iostream>
+// Thin shim: this experiment lives in the registry
+// (src/scenario/experiments/ablation_methods.cpp). Run it with default scenario
+// and options — `logitdyn_lab run ablation_methods` is the full-featured front
+// end (scenario overrides, beta grids, seeds, JSON reports).
+#include "scenario/registry.hpp"
 
-#include "analysis/mixing.hpp"
-#include "analysis/spectral.hpp"
-#include "analysis/tv.hpp"
-#include "bench_common.hpp"
-#include "core/chain.hpp"
-#include "core/coupling.hpp"
-#include "core/lumped.hpp"
-#include "games/graphical_coordination.hpp"
-#include "games/plateau.hpp"
-#include "graph/builders.hpp"
-
-using namespace logitdyn;
-
-int main() {
-  bench::print_header(
-      "Ablation: mixing-time computation methods",
-      "same chains, four estimators: exactness and cost");
-
-  {
-    bench::print_section("ring n = 8, delta = 1, beta = 1.5 (256 states)");
-    GraphicalCoordinationGame game(make_ring(8),
-                                   CoordinationPayoffs::from_deltas(1.0, 1.0));
-    LogitChain chain(game, 1.5);
-    const DenseMatrix p = chain.dense_transition();
-    const std::vector<double> pi = chain.stationary();
-    Table table({"method", "t_mix", "exact?", "wall ms"});
-
-    Timer t1;
-    const MixingResult doubling = mixing_time_doubling(p, pi, 0.25);
-    table.row()
-        .cell("doubling")
-        .cell(bench::tmix_cell(doubling))
-        .cell("worst-case exact")
-        .cell(t1.millis(), 1);
-
-    Timer t2;
-    const SpectralEvaluator eval(p, pi);
-    const MixingResult spectral = mixing_time_spectral(eval, 0.25);
-    table.row()
-        .cell("spectral")
-        .cell(bench::tmix_cell(spectral))
-        .cell("worst-case exact")
-        .cell(t2.millis(), 1);
-
-    Timer t3;
-    const CsrMatrix csr = chain.csr_transition();
-    const MixingResult from_ones = mixing_time_from_state(
-        csr, game.space().index(Profile(8, 1)), pi, 0.25, 1 << 24);
-    table.row()
-        .cell("single-start (all-ones)")
-        .cell(bench::tmix_cell(from_ones))
-        .cell("lower bd on worst case")
-        .cell(t3.millis(), 1);
-
-    Timer t4;
-    const int64_t coupled = estimate_tmix_monotone(chain, 64, 0.25,
-                                                   int64_t(1) << 24, 11);
-    table.row()
-        .cell("monotone coupling (64 reps)")
-        .cell(coupled)
-        .cell("statistical upper bd")
-        .cell(t4.millis(), 1);
-    table.print(std::cout);
-    std::cout << "expected ordering: single-start <= exact <= coupling "
-                 "estimate (up to sampling noise).\n";
-  }
-
-  {
-    bench::print_section(
-        "lumping ablation: plateau n = 10 full (1024 states) vs lumped (11)");
-    PlateauGame game(10, 5.0, 1.0);
-    std::vector<double> wphi(11);
-    for (int k = 0; k <= 10; ++k) wphi[size_t(k)] = game.potential_of_weight(k);
-    Table table({"beta", "full t_mix", "full ms", "lumped t_mix",
-                 "lumped ms"});
-    for (double beta : {1.0, 1.5}) {
-      Timer tf;
-      LogitChain chain(game, beta);
-      const MixingResult full = bench::exact_tmix(chain);
-      const double full_ms = tf.millis();
-      Timer tl;
-      const BirthDeathChain bd = BirthDeathChain::weight_chain(10, beta, wphi);
-      const MixingResult lump = bench::exact_tmix(bd);
-      const double lump_ms = tl.millis();
-      table.row()
-          .cell(beta, 2)
-          .cell(bench::tmix_cell(full))
-          .cell(full_ms, 1)
-          .cell(bench::tmix_cell(lump))
-          .cell(lump_ms, 2);
-    }
-    table.print(std::cout);
-    std::cout << "the lumped chain reproduces the barrier physics at a "
-                 "vanishing fraction of the cost — and is the only exact "
-                 "option at n = 32+.\n";
-  }
-
-  {
-    bench::print_section("spectral vs doubling agreement across beta");
-    PlateauGame game(6, 3.0, 1.0);
-    Table table({"beta", "doubling", "spectral", "agree"});
-    // One chain across the beta sweep (mutable beta on Dynamics).
-    LogitChain chain(game, 0.0);
-    for (double beta : {0.0, 0.7, 1.4, 2.1, 2.8}) {
-      chain.set_beta(beta);
-      const DenseMatrix p = chain.dense_transition();
-      const std::vector<double> pi = chain.stationary();
-      const MixingResult a = mixing_time_doubling(p, pi, 0.25);
-      const MixingResult b = mixing_time_spectral(SpectralEvaluator(p, pi),
-                                                  0.25);
-      table.row()
-          .cell(beta, 2)
-          .cell(bench::tmix_cell(a))
-          .cell(bench::tmix_cell(b))
-          .cell(a.time == b.time ? "yes" : "NO");
-    }
-    table.print(std::cout);
-  }
-  return 0;
-}
+int main() { return logitdyn::scenario::run_registered_main("ablation_methods"); }

@@ -1,82 +1,7 @@
-// Extension experiment — hitting times vs mixing times.
-//
-// The related work the paper positions itself against (Asadpour–Saberi,
-// Montanari–Saberi) measures convergence by the *hitting time of one
-// profile* (the highest-potential equilibrium); the paper argues mixing
-// time is the right notion. This experiment quantifies the gap on the
-// clique coordination game (exact, lumped): from the risk-dominated well
-// the hitting time of the dominant equilibrium tracks the one-way barrier
-// Phi_max - Phi(1), while the mixing time must also equilibrate the
-// reverse direction and pays the same exponential — but from the *mixed*
-// start the hitting time is exponentially smaller than t_mix, showing the
-// two notions genuinely differ.
-#include <algorithm>
-#include <cmath>
-#include <iostream>
+// Thin shim: this experiment lives in the registry
+// (src/scenario/experiments/hitting_vs_mixing.cpp). Run it with default scenario
+// and options — `logitdyn_lab run hitting_vs_mixing` is the full-featured front
+// end (scenario overrides, beta grids, seeds, JSON reports).
+#include "scenario/registry.hpp"
 
-#include "analysis/hitting.hpp"
-#include "bench_common.hpp"
-#include "core/lumped.hpp"
-
-using namespace logitdyn;
-
-int main() {
-  bench::print_header(
-      "EXT: hitting time (Montanari-Saberi's metric) vs mixing time",
-      "clique coordination, exact lumped chains: E[hit dominant eq.] vs "
-      "t_mix(1/4)");
-
-  {
-    bench::print_section(
-        "n = 16, delta0 = 1.5/(n-1), delta1 = 1.0/(n-1): beta sweep");
-    const int n = 16;
-    const double d0 = 1.5 / double(n - 1), d1 = 1.0 / double(n - 1);
-    const std::vector<double> wphi = clique_weight_potential(n, d0, d1);
-    Table table({"beta", "E[hit 0 | start 1] (wrong well)",
-                 "E[hit 0 | start k*]", "t_mix(1/4)"});
-    for (double beta : {2.0, 4.0, 6.0, 8.0}) {
-      const BirthDeathChain bd = BirthDeathChain::weight_chain(n, beta, wphi);
-      const int k_star = clique_barrier_weight(n, d0, d1);
-      const double from_ones = birth_death_hitting_time(bd, n, 0);
-      const double from_ridge = birth_death_hitting_time(bd, k_star, 0);
-      const MixingResult mix = bench::exact_tmix(bd);
-      table.row()
-          .cell(beta, 1)
-          .cell_sci(from_ones)
-          .cell_sci(from_ridge)
-          .cell(bench::tmix_cell(mix));
-    }
-    table.print(std::cout);
-    std::cout << "both hitting the dominant equilibrium from the wrong well "
-                 "and t_mix are barrier-crossing times of the same order "
-                 "(ridge starts save only a constant factor): in this "
-                 "direction the two notions agree.\n";
-  }
-
-  {
-    bench::print_section(
-        "asymmetry of the two wells (beta = 6, n = 24): deep -> shallow vs "
-        "shallow -> deep");
-    const int n = 24;
-    Table table({"delta1/delta0", "E[1 -> 0] (shallow to deep)",
-                 "E[0 -> n] (deep to shallow)"});
-    const double d0 = 1.0 / double(n - 1);
-    for (double ratio : {0.5, 0.75, 1.0}) {
-      const double d1 = ratio * d0;
-      const BirthDeathChain bd = BirthDeathChain::weight_chain(
-          n, 6.0, clique_weight_potential(n, d0, d1));
-      table.row()
-          .cell(ratio, 2)
-          .cell_sci(birth_death_hitting_time(bd, n, 0))
-          .cell_sci(birth_death_hitting_time(bd, 0, n));
-    }
-    table.print(std::cout);
-    std::cout << "here the notions split: E[0 -> n] exceeds t_mix by up to "
-                 "e^{beta*(depth difference)} — a chain can be fully mixed "
-                 "long before it ever visits the minority equilibrium "
-                 "(pi(1) is exponentially small), which is why the paper "
-                 "tracks distributions, not single profiles. At delta0 = "
-                 "delta1 the wells equalize: Theorem 5.5's worst case.\n";
-  }
-  return 0;
-}
+int main() { return logitdyn::scenario::run_registered_main("hitting_vs_mixing"); }

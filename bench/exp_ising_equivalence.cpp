@@ -1,93 +1,7 @@
-// Experiment E11 — the paper's Glauber/logit dictionary (Sections 1, 5):
-// Glauber dynamics on the zero-field ferromagnetic Ising model is exactly
-// the logit dynamics of a graphical coordination game with
-// delta0 = delta1 = 2J (no risk-dominant equilibrium).
-//
-// Series: max |P_ising - P_coordination| over all transitions, per
-// topology and beta (must be ~1e-16); identical stationary measures; and
-// matching magnetization statistics from simulation with shared seeds.
-#include <cmath>
-#include <iostream>
+// Thin shim: this experiment lives in the registry
+// (src/scenario/experiments/ising_equivalence.cpp). Run it with default scenario
+// and options — `logitdyn_lab run ising_equivalence` is the full-featured front
+// end (scenario overrides, beta grids, seeds, JSON reports).
+#include "scenario/registry.hpp"
 
-#include "analysis/tv.hpp"
-#include "bench_common.hpp"
-#include "core/chain.hpp"
-#include "core/simulator.hpp"
-#include "games/ising.hpp"
-#include "graph/builders.hpp"
-
-using namespace logitdyn;
-
-int main() {
-  bench::print_header(
-      "E11: Glauber on Ising == logit on coordination games",
-      "claim: transition matrices coincide exactly for delta0 = delta1 = 2J");
-
-  {
-    bench::print_section("transition-matrix equality");
-    Table table({"graph", "J", "beta", "max|P_is - P_coord|",
-                 "TV(pi_is, pi_coord)"});
-    struct Case {
-      const char* name;
-      Graph graph;
-    };
-    const Case cases[] = {{"ring(6)", make_ring(6)},
-                          {"path(6)", make_path(6)},
-                          {"grid-2x3", make_grid(2, 3)},
-                          {"clique(5)", make_clique(5)}};
-    for (const Case& c : cases) {
-      for (double beta : {0.4, 1.1}) {
-        const double coupling = 0.8;
-        IsingGame ising(c.graph, coupling);
-        GraphicalCoordinationGame coord = ising.equivalent_coordination_game();
-        LogitChain a(ising, beta);
-        LogitChain b(coord, beta);
-        const double dp =
-            a.dense_transition().max_abs_diff(b.dense_transition());
-        const double dpi = total_variation(a.stationary(), b.stationary());
-        table.row()
-            .cell(c.name)
-            .cell(coupling, 2)
-            .cell(beta, 2)
-            .cell_sci(dp)
-            .cell_sci(dpi);
-      }
-    }
-    table.print(std::cout);
-  }
-
-  {
-    bench::print_section(
-        "simulation: shared seeds give identical magnetization traces");
-    IsingGame ising(make_ring(32), 1.0);
-    GraphicalCoordinationGame coord = ising.equivalent_coordination_game();
-    Table table({"beta", "steps", "mean |m| (ising)", "mean |m| (coord)",
-                 "identical trace"});
-    for (double beta : {0.3, 0.8}) {
-      LogitChain a(ising, beta);
-      LogitChain b(coord, beta);
-      Rng ra(4242), rb(4242);
-      Profile xa(32, 0), xb(32, 0);
-      double sum_a = 0.0, sum_b = 0.0;
-      bool identical = true;
-      const int64_t steps = 20000;
-      for (int64_t t = 0; t < steps; ++t) {
-        a.step(xa, ra);
-        b.step(xb, rb);
-        identical = identical && (xa == xb);
-        sum_a += std::abs(ising.magnetization(xa)) / 32.0;
-        sum_b += std::abs(ising.magnetization(xb)) / 32.0;
-      }
-      table.row()
-          .cell(beta, 2)
-          .cell(steps)
-          .cell(sum_a / double(steps), 4)
-          .cell(sum_b / double(steps), 4)
-          .cell(identical ? "yes" : "NO");
-    }
-    table.print(std::cout);
-    std::cout << "mean |magnetization| rises with beta: the ordered phase "
-                 "of the equivalent ferromagnet.\n";
-  }
-  return 0;
-}
+int main() { return logitdyn::scenario::run_registered_main("ising_equivalence"); }

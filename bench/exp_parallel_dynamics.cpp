@@ -1,138 +1,7 @@
-// Extension experiment — the paper's conclusions raise the *synchronous*
-// variant ("players are allowed to update their strategies
-// simultaneously"; the beta = infinity case is Nisan–Schapira–Zohar's
-// parallel best response). We compare the asynchronous chain against the
-// synchronous one at matched work (one synchronous round = n player
-// updates):
-//   * stationary laws diverge (no Gibbs closed form — conclusions);
-//   * synchronous coordination develops a near-period-2 flip-flop at
-//     large beta, visible as round-2 return probabilities -> 1;
-//   * mixing in *rounds* can beat mixing in *updates*/n at small beta but
-//     collapses at large beta on coordination structures.
-#include <algorithm>
-#include <cmath>
-#include <iostream>
+// Thin shim: this experiment lives in the registry
+// (src/scenario/experiments/parallel_dynamics.cpp). Run it with default scenario
+// and options — `logitdyn_lab run parallel_dynamics` is the full-featured front
+// end (scenario overrides, beta grids, seeds, JSON reports).
+#include "scenario/registry.hpp"
 
-#include "analysis/mixing.hpp"
-#include "analysis/tv.hpp"
-#include "bench_common.hpp"
-#include "core/chain.hpp"
-#include "core/parallel_dynamics.hpp"
-#include "games/coordination.hpp"
-#include "games/graphical_coordination.hpp"
-#include "games/plateau.hpp"
-#include "graph/builders.hpp"
-
-using namespace logitdyn;
-
-int main() {
-  bench::print_header(
-      "EXT: synchronous (parallel) logit dynamics",
-      "the future-work variant from the paper's conclusions, against the "
-      "asynchronous chain");
-
-  {
-    bench::print_section(
-        "stationary laws: TV(pi_sync, Gibbs) on coordination games");
-    Table table({"game", "beta", "TV(pi_sync, pi_async)"});
-    for (double beta : {0.5, 1.0, 2.0, 4.0}) {
-      CoordinationGame game(CoordinationPayoffs::from_deltas(3.0, 1.0));
-      ParallelLogitChain par(game, beta);
-      LogitChain seq(game, beta);
-      table.row()
-          .cell("coordination-2x2")
-          .cell(beta, 2)
-          .cell(total_variation(par.stationary(), seq.stationary()), 4);
-    }
-    for (double beta : {0.5, 1.5}) {
-      GraphicalCoordinationGame game(
-          make_ring(5), CoordinationPayoffs::from_deltas(1.0, 1.0));
-      ParallelLogitChain par(game, beta);
-      LogitChain seq(game, beta);
-      table.row()
-          .cell("ring(5)")
-          .cell(beta, 2)
-          .cell(total_variation(par.stationary(), seq.stationary()), 4);
-    }
-    table.print(std::cout);
-    std::cout << "nonzero TV at every beta: the synchronous chain does NOT "
-                 "converge to the Gibbs measure (paper conclusions: no "
-                 "simple closed form).\n";
-  }
-
-  {
-    bench::print_section(
-        "flip-flop onset: round-2 return probability from (0,1)");
-    CoordinationGame game(CoordinationPayoffs::from_deltas(2.0, 2.0));
-    const ProfileSpace& sp = game.space();
-    const size_t s01 = sp.index({0, 1});
-    Table table({"beta", "P^2((0,1) -> (0,1))", "P((0,1) -> (1,0))"});
-    for (double beta : {0.5, 1.0, 2.0, 4.0, 8.0}) {
-      ParallelLogitChain chain(game, beta);
-      const DenseMatrix p = chain.dense_transition();
-      const DenseMatrix p2 = matrix_power(p, 2);
-      table.row()
-          .cell(beta, 1)
-          .cell(p2(s01, s01), 4)
-          .cell(p(s01, sp.index({1, 0})), 4);
-    }
-    table.print(std::cout);
-    std::cout << "simultaneous best responses chase each other: the "
-                 "synchronous chain nearly 2-cycles at large beta.\n";
-  }
-
-  {
-    bench::print_section(
-        "matched-work mixing: async t_mix / n vs sync t_mix (rounds)");
-    Table table({"game", "beta", "async t_mix/n", "sync t_mix (rounds)"});
-    // Both chains built once; the beta sweep mutates them in place.
-    PlateauGame game(6, 3.0, 1.0);
-    LogitChain seq(game, 0.0);
-    ParallelLogitChain par(game, 0.0);
-    for (double beta : {0.5, 1.5, 2.5}) {
-      seq.set_beta(beta);
-      par.set_beta(beta);
-      const MixingResult a = bench::exact_tmix(seq);
-      const MixingResult b = mixing_time_doubling(par.dense_transition(),
-                                                  par.stationary(), 0.25);
-      table.row()
-          .cell("plateau n=6 g=3")
-          .cell(beta, 2)
-          .cell(double(a.time) / 6.0, 2)
-          .cell(bench::tmix_cell(b));
-    }
-    table.print(std::cout);
-  }
-
-  {
-    bench::print_section(
-        "CSR synchronous kernel: drop_tol sparsification at large beta");
-    // The exact synchronous kernel has fully dense rows, which is why
-    // this bench used to densify even on large spaces. At large beta
-    // almost all of each row's mass sits on the per-player best
-    // responses, so a drop tolerance makes the kernel genuinely sparse
-    // with a quantified row-sum defect.
-    PlateauGame game(10, 5.0, 1.0);  // 1024 states
-    const size_t total = game.space().num_profiles();
-    ParallelLogitChain chain(game, 0.0);
-    Table table({"beta", "nnz (tol 1e-12)", "fill %", "max row-sum defect"});
-    for (double beta : {0.5, 2.0, 8.0}) {
-      chain.set_beta(beta);
-      const CsrMatrix csr = chain.csr_transition(1e-12);
-      double defect = 0.0;
-      for (double s : csr.row_sums()) {
-        defect = std::max(defect, std::abs(1.0 - s));
-      }
-      table.row()
-          .cell(beta, 1)
-          .cell(int64_t(csr.nnz()))
-          .cell(100.0 * double(csr.nnz()) / double(total * total), 2)
-          .cell_sci(defect);
-    }
-    table.print(std::cout);
-    std::cout << "dropped mass stays below |S| * tol per row; the sparse "
-                 "kernel feeds single-start distribution evolution far "
-                 "beyond dense-matrix sizes.\n";
-  }
-  return 0;
-}
+int main() { return logitdyn::scenario::run_registered_main("parallel_dynamics"); }

@@ -1,141 +1,7 @@
-// Experiment E1/E2 — Theorem 3.1 and Lemma 3.2.
-//
-// T3.1: the transition matrix of the logit dynamics of any potential game
-// has a non-negative spectrum, so lambda* = lambda_2 and
-// t_rel = 1/(1 - lambda_2).
-// L3.2: at beta = 0 the relaxation time is at most n (and equals n).
-//
-// Series reported: per (n, m, beta) random potential game — lambda_min,
-// lambda_2, whether the T3.1 ordering lambda_2 >= |lambda_min| holds, and
-// t_rel; then t_rel at beta = 0 against the Lemma 3.2 bound n.
-#include <cmath>
-#include <iostream>
+// Thin shim: this experiment lives in the registry
+// (src/scenario/experiments/t31_eigenvalues.cpp). Run it with default scenario
+// and options — `logitdyn_lab run t31_eigenvalues` is the full-featured front
+// end (scenario overrides, beta grids, seeds, JSON reports).
+#include "scenario/registry.hpp"
 
-#include "analysis/spectral.hpp"
-#include "bench_common.hpp"
-#include "core/chain.hpp"
-#include "games/graphical_coordination.hpp"
-#include "games/plateau.hpp"
-#include "games/random_potential.hpp"
-#include "graph/builders.hpp"
-#include "rng/rng.hpp"
-
-using namespace logitdyn;
-
-int main() {
-  bench::print_header(
-      "E1: Spectrum of potential-game logit dynamics (Theorem 3.1)",
-      "claim: all eigenvalues >= 0, hence lambda2 = lambda* and "
-      "t_rel = 1/(1-lambda2)");
-
-  Rng rng(20110604);  // SPAA'11 conference date as seed
-  Table t31({"game", "n", "m", "beta", "lambda_min", "lambda_2",
-             "spectrum>=0", "t_rel"});
-  struct Case {
-    int n, m;
-    double beta;
-  };
-  const Case cases[] = {{2, 2, 0.5}, {2, 3, 1.0}, {3, 2, 2.0}, {3, 3, 1.0},
-                        {4, 2, 1.5}, {2, 4, 3.0}, {5, 2, 0.7}, {4, 3, 0.4}};
-  bool all_nonneg = true;
-  for (const Case& c : cases) {
-    const TablePotentialGame game =
-        make_random_potential_game(ProfileSpace(c.n, c.m), 2.0, rng);
-    LogitChain chain(game, c.beta);
-    const ChainSpectrum s =
-        chain_spectrum(chain.dense_transition(), chain.stationary());
-    const bool nonneg = s.eigenvalues.front() >= -1e-9;
-    all_nonneg = all_nonneg && nonneg;
-    t31.row()
-        .cell("random-potential")
-        .cell(c.n)
-        .cell(c.m)
-        .cell(c.beta, 2)
-        .cell(s.eigenvalues.front(), 6)
-        .cell(s.lambda2(), 6)
-        .cell(nonneg ? "yes" : "NO")
-        .cell(s.relaxation_time(), 3);
-  }
-  // Structured games too.
-  for (double beta : {0.5, 2.0}) {
-    GraphicalCoordinationGame game(make_ring(5),
-                                   CoordinationPayoffs::from_deltas(1.0, 1.0));
-    LogitChain chain(game, beta);
-    const ChainSpectrum s =
-        chain_spectrum(chain.dense_transition(), chain.stationary());
-    t31.row()
-        .cell("ring-coordination")
-        .cell(5)
-        .cell(2)
-        .cell(beta, 2)
-        .cell(s.eigenvalues.front(), 6)
-        .cell(s.lambda2(), 6)
-        .cell(s.eigenvalues.front() >= -1e-9 ? "yes" : "NO")
-        .cell(s.relaxation_time(), 3);
-  }
-  t31.print(std::cout);
-  std::cout << "Theorem 3.1 verdict: "
-            << (all_nonneg ? "all spectra non-negative (as predicted)"
-                           : "VIOLATION FOUND")
-            << "\n";
-
-  bench::print_section(
-      "E2: relaxation time at beta = 0 vs Lemma 3.2 bound (t_rel <= n)");
-  Table t32({"game", "n", "t_rel(beta=0)", "bound n", "holds"});
-  for (int n : {2, 3, 4, 5, 6, 7}) {
-    const TablePotentialGame game =
-        make_random_potential_game(ProfileSpace(n, 2), 3.0, rng);
-    LogitChain chain(game, 0.0);
-    const ChainSpectrum s =
-        chain_spectrum(chain.dense_transition(), chain.stationary());
-    t32.row()
-        .cell("random-potential")
-        .cell(n)
-        .cell(s.relaxation_time(), 4)
-        .cell(n)
-        .cell(s.relaxation_time() <= n + 1e-6 ? "yes" : "NO");
-  }
-  t32.print(std::cout);
-
-  bench::print_section(
-      "E1c: Theorem 3.1 at operator scale — Lanczos on the matrix-free "
-      "LogitOperator (no materialized P)");
-  // n = 10 sits below the dense cutover so both paths run and must agree
-  // on lambda_2 to 1e-8; n = 14 (16384 states) is operator-only.
-  Table t31c({"n", "states", "via", "lambda_min", "lambda_2", "t_rel",
-              "iters", "|d lambda_2| vs dense"});
-  bool op_nonneg = true;
-  for (int n : {10, 14}) {
-    const TablePotentialGame game =
-        make_random_potential_game(ProfileSpace(n, 2), 2.0, rng);
-    LogitChain chain(game, 1.0);
-    const std::vector<double> pi = chain.stationary();
-    SpectralOptions force_op;
-    force_op.dense_cutover = 1;  // always exercise the operator path here
-    force_op.lanczos.tol = 1e-10;
-    const SpectralSummary op_sum = spectral_summary(
-        game, 1.0, UpdateKind::kAsynchronous, pi, force_op);
-    std::string agree = "n/a (operator only)";
-    if (game.space().num_profiles() < kDenseSpectralCutover) {
-      const ChainSpectrum dense =
-          chain_spectrum(chain.dense_transition(), pi);
-      agree = format_double(std::abs(dense.lambda2() - op_sum.lambda2), 12);
-    }
-    t31c.row()
-        .cell(n)
-        .cell(int64_t(game.space().num_profiles()))
-        .cell(op_sum.via_operator ? "lanczos" : "dense")
-        .cell(op_sum.lambda_min, 8)
-        .cell(op_sum.lambda2, 8)
-        .cell(op_sum.relaxation_time(), 3)
-        .cell(int64_t(op_sum.lanczos_iterations))
-        .cell(agree);
-    op_nonneg = op_nonneg && op_sum.lambda_min >= -1e-8;
-  }
-  t31c.print(std::cout);
-  std::cout << "operator-path verdict: "
-            << (op_nonneg ? "spectra non-negative at every size"
-                          : "VIOLATION FOUND")
-            << "\n";
-  return 0;
-}
+int main() { return logitdyn::scenario::run_registered_main("t31_eigenvalues"); }

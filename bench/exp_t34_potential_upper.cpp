@@ -1,130 +1,7 @@
-// Experiment E3 — Theorem 3.4 (upper bound for all beta, potential games).
-//
-// claim: t_mix(eps) <= 2mn e^{beta DeltaPhi}(log 1/eps + beta DeltaPhi +
-// n log m). We compute the exact worst-case t_mix of the full chain and
-// print it against the bound; the bound must dominate at every beta, and
-// its exponential rate (DeltaPhi) must upper-bound the measured rate.
-#include <algorithm>
-#include <iostream>
+// Thin shim: this experiment lives in the registry
+// (src/scenario/experiments/t34_potential_upper.cpp). Run it with default scenario
+// and options — `logitdyn_lab run t34_potential_upper` is the full-featured front
+// end (scenario overrides, beta grids, seeds, JSON reports).
+#include "scenario/registry.hpp"
 
-#include "analysis/bounds.hpp"
-#include "analysis/potential_stats.hpp"
-#include "bench_common.hpp"
-#include "core/chain.hpp"
-#include "core/gibbs.hpp"
-#include "core/logit_operator.hpp"
-#include "games/plateau.hpp"
-#include "games/random_potential.hpp"
-#include "linalg/lanczos.hpp"
-#include "rng/rng.hpp"
-
-using namespace logitdyn;
-
-int main() {
-  bench::print_header(
-      "E3: mixing time vs the Theorem 3.4 upper bound",
-      "claim: t_mix <= 2mn e^{beta*DPhi}(log 4 + beta*DPhi + n log m) for "
-      "every potential game and every beta");
-
-  {
-    bench::print_section("plateau game, n = 6, g = 3, l = 1 (64 states)");
-    PlateauGame game(6, 3.0, 1.0);
-    Table table({"beta", "t_mix (exact)", "thm 3.4 bound", "bound/t_mix"});
-    std::vector<double> betas, times;
-    // One chain across the whole sweep: beta is mutable on Dynamics.
-    LogitChain chain(game, 0.0);
-    for (double beta : {0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0}) {
-      chain.set_beta(beta);
-      const MixingResult mix = bench::exact_tmix(chain);
-      const double bound = bounds::thm34_tmix_upper(6, 2, beta, 3.0, 0.25);
-      table.row()
-          .cell(beta, 2)
-          .cell(bench::tmix_cell(mix))
-          .cell_sci(bound)
-          .cell(mix.converged ? bound / double(mix.time) : 0.0, 1);
-      if (mix.converged && beta >= 1.0) {
-        betas.push_back(beta);
-        times.push_back(double(mix.time));
-      }
-    }
-    table.print(std::cout);
-    const LineFit fit = bench::rate_fit(betas, times);
-    std::cout << "measured exp. rate of t_mix in beta: " << format_double(fit.slope, 3)
-              << "  (bound rate = DeltaPhi = 3.0; measured must be <=)\n";
-  }
-
-  {
-    bench::print_section("random potential games, n = 3, m = 3 (27 states)");
-    Rng rng(7);
-    Table table({"trial", "DeltaPhi", "beta", "t_mix", "thm 3.4 bound",
-                 "holds"});
-    for (int trial = 0; trial < 4; ++trial) {
-      const TablePotentialGame game =
-          make_random_potential_game(ProfileSpace(3, 3), 1.5, rng);
-      const std::vector<double> phi = potential_table(game);
-      const PotentialStats stats = potential_stats(game.space(), phi);
-      LogitChain chain(game, 0.0);
-      for (double beta : {0.5, 1.5, 3.0}) {
-        chain.set_beta(beta);
-        const MixingResult mix = bench::exact_tmix(chain);
-        const double bound = bounds::thm34_tmix_upper(
-            3, 3, beta, stats.global_variation, 0.25);
-        table.row()
-            .cell(trial)
-            .cell(stats.global_variation, 3)
-            .cell(beta, 2)
-            .cell(bench::tmix_cell(mix))
-            .cell_sci(bound)
-            .cell(!mix.converged || double(mix.time) <= bound ? "yes" : "NO");
-      }
-    }
-    table.print(std::cout);
-  }
-
-  {
-    bench::print_section(
-        "operator scale: plateau n = 14 (16384 states) — Theorem 2.3 "
-        "bracket from Lanczos t_rel, single-start evolution inside it");
-    // Above the dense cutover the exact doubling ladder is out of reach;
-    // the operator path brackets t_mix by Theorem 2.3 (t_rel from Lanczos
-    // on the matrix-free kernel) and lower-bounds it with batched
-    // multi-start TV evolution — the bracket and the Theorem 3.4 bound
-    // must both contain/dominate the evolved times.
-    PlateauGame game(14, 7.0, 1.0);
-    LogitChain chain(game, 0.0);
-    Table table({"beta", "t_rel (lanczos)", "thm 2.3 lower",
-                 "t_mix from extremes", "thm 2.3 upper", "thm 3.4 bound"});
-    for (double beta : {0.2, 0.4}) {
-      chain.set_beta(beta);
-      const std::vector<double> pi = chain.stationary();
-      const LogitOperator op(game, beta, UpdateKind::kAsynchronous);
-      LanczosOptions opts;
-      opts.tol = 1e-10;
-      const LanczosSpectrum lz = lanczos_spectrum(op, pi, opts);
-      const double pi_min = *std::min_element(pi.begin(), pi.end());
-      const Theorem23Bracket bracket =
-          tmix_bracket_from_relaxation(lz.relaxation_time(), pi_min, 0.25);
-      // The two potential wells: all-zeros and all-ones.
-      const size_t starts[] = {0, game.space().num_profiles() - 1};
-      const OperatorMixingResult mix =
-          mixing_time_operator(op, pi, starts, 0.25, 1 << 18);
-      const double bound =
-          bounds::thm34_tmix_upper(14, 2, beta, 7.0, 0.25);
-      // An unconverged Ritz estimate underestimates t_rel, which would
-      // invalidate the bracket — flag it rather than print it bare.
-      const std::string unconv = lz.converged ? "" : " (UNCONVERGED)";
-      table.row()
-          .cell(beta, 2)
-          .cell(format_double(lz.relaxation_time(), 3) + unconv)
-          .cell(format_double(bracket.lower, 1) + unconv)
-          .cell(bench::tmix_cell(mix.worst))
-          .cell(format_double(bracket.upper, 1) + unconv)
-          .cell_sci(bound);
-    }
-    table.print(std::cout);
-    std::cout << "extreme-state evolution lower-bounds worst-case t_mix; "
-                 "Theorem 2.3's upper bracket and the Theorem 3.4 bound "
-                 "dominate it.\n";
-  }
-  return 0;
-}
+int main() { return logitdyn::scenario::run_registered_main("t34_potential_upper"); }

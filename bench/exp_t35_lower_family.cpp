@@ -1,115 +1,7 @@
-// Experiment E4 — Theorem 3.5 (exponential lower-bound family).
-//
-// The plateau potential Phi_n(x) = -l * min{c, |c - w(x)|} forces
-// t_mix >= e^{beta*DeltaPhi(1-o(1))}: the Gibbs measure splits between the
-// all-zeros well and the high-weight cap across a barrier of height
-// DeltaPhi = g. We measure the exact mixing time of the weight-lumped
-// chain across beta (a lower bound on the full chain's t_mix), fit the
-// exponential rate, and compare with g; the closed-form Theorem 2.7
-// bottleneck bound is printed alongside. A full-chain cross-check at
-// small n validates the lumped numbers.
-#include <cmath>
-#include <iostream>
+// Thin shim: this experiment lives in the registry
+// (src/scenario/experiments/t35_lower_family.cpp). Run it with default scenario
+// and options — `logitdyn_lab run t35_lower_family` is the full-featured front
+// end (scenario overrides, beta grids, seeds, JSON reports).
+#include "scenario/registry.hpp"
 
-#include "analysis/bottleneck.hpp"
-#include "analysis/bounds.hpp"
-#include "bench_common.hpp"
-#include "core/chain.hpp"
-#include "core/lumped.hpp"
-#include "games/plateau.hpp"
-
-using namespace logitdyn;
-
-int main() {
-  bench::print_header(
-      "E4: the Theorem 3.5 lower-bound family (plateau potentials)",
-      "claim: t_mix >= e^{beta*g*(1-o(1))} — exponential in beta and in "
-      "the global variation g");
-
-  {
-    bench::print_section(
-        "exact t_mix of the weight-lumped chain, n = 32, g = 8, l = 2");
-    const int n = 32;
-    const double g = 8.0, l = 2.0;
-    PlateauGame game(n, g, l);
-    std::vector<double> wphi(size_t(n) + 1);
-    for (int k = 0; k <= n; ++k) wphi[size_t(k)] = game.potential_of_weight(k);
-    Table table({"beta", "t_mix (lumped, exact)", "thm 2.7 bottleneck LB",
-                 "thm 3.5 closed form"});
-    std::vector<double> betas, times;
-    for (double beta :
-         {0.5, 1.0, 1.5, 2.0, 2.25, 2.5, 2.75, 3.0, 3.25}) {
-      const BirthDeathChain bd = BirthDeathChain::weight_chain(n, beta, wphi);
-      const MixingResult mix = bench::exact_tmix(bd);
-      // Bottleneck set R = {w < c} on the lumped chain (same mass and flow
-      // as the paper's full-chain set).
-      const DenseMatrix p = bd.transition();
-      const std::vector<double> pi = bd.stationary();
-      std::vector<uint8_t> in_set(pi.size(), 0);
-      for (int k = 0; k < game.barrier_weight(); ++k) in_set[size_t(k)] = 1;
-      const double b = bottleneck_ratio(p, pi, in_set);
-      table.row()
-          .cell(beta, 2)
-          .cell(bench::tmix_cell(mix))
-          .cell_sci(tmix_lower_from_bottleneck(b, 0.25))
-          .cell_sci(bounds::thm35_tmix_lower(n, g, l, beta, 0.25));
-      if (mix.converged && beta >= 2.25) {
-        betas.push_back(beta);
-        times.push_back(double(mix.time));
-      }
-    }
-    table.print(std::cout);
-    const LineFit fit = bench::rate_fit(betas, times);
-    std::cout << "fitted exponential rate (beta >= 2.25): "
-              << format_double(fit.slope, 3)
-              << "  (paper predicts -> DeltaPhi = g = " << g
-              << " as beta grows; the gap is the paper's own o(1) — the "
-                 "entropy term (DPhi/dPhi) log n; r^2 = "
-              << format_double(fit.r2, 4) << ")\n";
-  }
-
-  {
-    bench::print_section("full-chain cross-check, n = 8, g = 4, l = 2");
-    const int n = 8;
-    PlateauGame game(n, 4.0, 2.0);
-    std::vector<double> wphi(size_t(n) + 1);
-    for (int k = 0; k <= n; ++k) wphi[size_t(k)] = game.potential_of_weight(k);
-    Table table({"beta", "t_mix full (256 states)", "t_mix lumped",
-                 "lumped<=full"});
-    for (double beta : {0.5, 1.0, 1.5, 2.0}) {
-      LogitChain chain(game, beta);
-      const MixingResult full = bench::exact_tmix(chain);
-      const BirthDeathChain bd = BirthDeathChain::weight_chain(n, beta, wphi);
-      const MixingResult lump = bench::exact_tmix(bd);
-      table.row()
-          .cell(beta, 2)
-          .cell(bench::tmix_cell(full))
-          .cell(bench::tmix_cell(lump))
-          .cell(lump.time <= full.time ? "yes" : "NO");
-    }
-    table.print(std::cout);
-  }
-
-  {
-    bench::print_section("growth in g at fixed beta = 1.5 (lumped, n = 32)");
-    Table table({"g", "l", "t_mix (exact)", "e^{beta*g}"});
-    const int n = 32;
-    const double beta = 1.5;
-    for (double g : {2.0, 4.0, 6.0, 8.0}) {
-      PlateauGame game(n, g, 2.0);
-      std::vector<double> wphi(size_t(n) + 1);
-      for (int k = 0; k <= n; ++k) {
-        wphi[size_t(k)] = game.potential_of_weight(k);
-      }
-      const BirthDeathChain bd = BirthDeathChain::weight_chain(n, beta, wphi);
-      const MixingResult mix = bench::exact_tmix(bd);
-      table.row()
-          .cell(g, 1)
-          .cell(2.0, 1)
-          .cell(bench::tmix_cell(mix))
-          .cell_sci(std::exp(beta * g));
-    }
-    table.print(std::cout);
-  }
-  return 0;
-}
+int main() { return logitdyn::scenario::run_registered_main("t35_lower_family"); }

@@ -1,99 +1,7 @@
-// Experiment E5 — Theorem 3.6 (small beta: fast mixing).
-//
-// claim: if beta <= c/(n * deltaPhi) with c < 1, then t_mix = O(n log n),
-// with the path-coupling constant n(log n + log 1/eps)/(1-c).
-// We compute exact worst-case mixing times of full chains at the largest
-// admissible beta and print t_mix / (n log n), which must stay bounded.
-#include <cmath>
-#include <iostream>
+// Thin shim: this experiment lives in the registry
+// (src/scenario/experiments/t36_small_beta.cpp). Run it with default scenario
+// and options — `logitdyn_lab run t36_small_beta` is the full-featured front
+// end (scenario overrides, beta grids, seeds, JSON reports).
+#include "scenario/registry.hpp"
 
-#include "analysis/bounds.hpp"
-#include "analysis/potential_stats.hpp"
-#include "bench_common.hpp"
-#include "core/chain.hpp"
-#include "core/gibbs.hpp"
-#include "games/plateau.hpp"
-#include "games/random_potential.hpp"
-#include "rng/rng.hpp"
-
-using namespace logitdyn;
-
-int main() {
-  bench::print_header(
-      "E5: small-beta regime (Theorem 3.6)",
-      "claim: beta <= c/(n*deltaPhi), c = 1/2  =>  t_mix <= n(log n + "
-      "log 4)/(1-c) = O(n log n)");
-
-  const double c_const = 0.5;
-
-  bench::print_section("plateau games at beta = c/(n*deltaPhi)");
-  Table table({"n", "|S|", "beta", "t_mix", "n log n", "t_mix/(n log n)",
-               "thm 3.6 bound", "holds"});
-  for (int n : {4, 6, 8, 10}) {
-    PlateauGame game(n, double(n) / 2.0, 1.0);
-    const std::vector<double> phi = potential_table(game);
-    const PotentialStats stats = potential_stats(game.space(), phi);
-    const double beta = c_const / (double(n) * stats.local_variation);
-    LogitChain chain(game, beta);
-    const MixingResult mix = bench::exact_tmix(chain);
-    const double nlogn = double(n) * std::log(double(n));
-    const double bound = bounds::thm36_tmix_upper(n, c_const, 0.25);
-    table.row()
-        .cell(n)
-        .cell(size_t(1) << n)
-        .cell(beta, 4)
-        .cell(bench::tmix_cell(mix))
-        .cell(nlogn, 1)
-        .cell(double(mix.time) / nlogn, 3)
-        .cell(bound, 1)
-        .cell(double(mix.time) <= bound ? "yes" : "NO");
-  }
-  table.print(std::cout);
-
-  bench::print_section("random potential games (m = 2) at admissible beta");
-  Rng rng(11);
-  Table table2({"n", "deltaPhi", "beta", "t_mix", "thm 3.6 bound", "holds"});
-  for (int n : {4, 6, 8}) {
-    const TablePotentialGame game =
-        make_random_potential_game(ProfileSpace(n, 2), 2.0, rng);
-    const std::vector<double> phi(game.potential_table().begin(),
-                                  game.potential_table().end());
-    const PotentialStats stats = potential_stats(game.space(), phi);
-    const double beta = c_const / (double(n) * stats.local_variation);
-    LogitChain chain(game, beta);
-    const MixingResult mix = bench::exact_tmix(chain);
-    const double bound = bounds::thm36_tmix_upper(n, c_const, 0.25);
-    table2.row()
-        .cell(n)
-        .cell(stats.local_variation, 3)
-        .cell(beta, 4)
-        .cell(bench::tmix_cell(mix))
-        .cell(bound, 1)
-        .cell(double(mix.time) <= bound ? "yes" : "NO");
-  }
-  table2.print(std::cout);
-
-  bench::print_section(
-      "contrast: same plateau game, beta just above the regime (10x)");
-  Table table3({"n", "beta_small", "t_mix_small", "beta_large(10x)",
-                "t_mix_large"});
-  for (int n : {6, 8}) {
-    PlateauGame game(n, double(n) / 2.0, 1.0);
-    const std::vector<double> phi = potential_table(game);
-    const PotentialStats stats = potential_stats(game.space(), phi);
-    const double beta = c_const / (double(n) * stats.local_variation);
-    // One chain for both regimes: set_beta replaces per-beta rebuilds.
-    LogitChain chain(game, beta);
-    const MixingResult small = bench::exact_tmix(chain);
-    chain.set_beta(10.0 * beta);
-    const MixingResult large = bench::exact_tmix(chain);
-    table3.row()
-        .cell(n)
-        .cell(beta, 4)
-        .cell(bench::tmix_cell(small))
-        .cell(10.0 * beta, 4)
-        .cell(bench::tmix_cell(large));
-  }
-  table3.print(std::cout);
-  return 0;
-}
+int main() { return logitdyn::scenario::run_registered_main("t36_small_beta"); }

@@ -1,107 +1,7 @@
-// Experiment E6 — Theorems 3.8/3.9: for large beta, t_mix = e^{beta*zeta
-// (1 +- o(1))} where zeta is the min-max potential climb — NOT the global
-// variation DeltaPhi.
-//
-// Workload: asymmetric clique coordination games (delta0 > delta1), where
-// zeta = Phi_max - Phi(all-ones) is strictly smaller than DeltaPhi =
-// Phi_max - Phi(all-zeros). The fitted exponential rate of the exact
-// (lumped) mixing time must track zeta, separating the two predictions.
-#include <algorithm>
-#include <cmath>
-#include <iostream>
+// Thin shim: this experiment lives in the registry
+// (src/scenario/experiments/t38_zeta.cpp). Run it with default scenario
+// and options — `logitdyn_lab run t38_zeta` is the full-featured front
+// end (scenario overrides, beta grids, seeds, JSON reports).
+#include "scenario/registry.hpp"
 
-#include "analysis/bounds.hpp"
-#include "analysis/zeta.hpp"
-#include "bench_common.hpp"
-#include "core/chain.hpp"
-#include "core/gibbs.hpp"
-#include "core/lumped.hpp"
-#include "games/graphical_coordination.hpp"
-#include "graph/builders.hpp"
-
-using namespace logitdyn;
-
-int main() {
-  bench::print_header(
-      "E6: zeta (not DeltaPhi) governs large-beta mixing (Thms 3.8/3.9)",
-      "claim: log t_mix / beta -> zeta = min-max potential climb");
-
-  {
-    bench::print_section(
-        "asymmetric clique n = 12, delta0 = 0.5, delta1 = 0.25 (lumped)");
-    const int n = 12;
-    const double d0 = 0.5, d1 = 0.25;
-    const std::vector<double> wphi = clique_weight_potential(n, d0, d1);
-    const double zeta = max_climb_on_path(wphi);
-    const double dphi =
-        *std::max_element(wphi.begin(), wphi.end()) -
-        *std::min_element(wphi.begin(), wphi.end());
-    std::cout << "zeta = " << format_double(zeta, 3)
-              << "   DeltaPhi = " << format_double(dphi, 3) << "\n";
-    Table table({"beta", "t_mix (exact)", "e^{beta*zeta}", "e^{beta*DPhi}"});
-    std::vector<double> betas, times;
-    for (double beta : {1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0}) {
-      const BirthDeathChain bd = BirthDeathChain::weight_chain(n, beta, wphi);
-      const MixingResult mix = bench::exact_tmix(bd);
-      table.row()
-          .cell(beta, 2)
-          .cell(bench::tmix_cell(mix))
-          .cell_sci(std::exp(beta * zeta))
-          .cell_sci(std::exp(beta * dphi));
-      if (mix.converged && beta >= 2.0) {
-        betas.push_back(beta);
-        times.push_back(double(mix.time));
-      }
-    }
-    table.print(std::cout);
-    const LineFit fit = bench::rate_fit(betas, times);
-    std::cout << "fitted rate = " << format_double(fit.slope, 3)
-              << "   zeta = " << format_double(zeta, 3)
-              << "   DeltaPhi = " << format_double(dphi, 3)
-              << "   (the fit must sit near zeta, far below DeltaPhi)\n";
-  }
-
-  {
-    bench::print_section(
-        "full-chain zeta via union-find matches lumped path formula (n=6)");
-    const int n = 6;
-    const double d0 = 0.5, d1 = 0.25;
-    GraphicalCoordinationGame game(make_clique(uint32_t(n)),
-                                   CoordinationPayoffs::from_deltas(d0, d1));
-    const std::vector<double> phi = potential_table(game);
-    const double zeta_full = max_potential_climb(game.space(), phi);
-    const double zeta_lumped =
-        max_climb_on_path(clique_weight_potential(n, d0, d1));
-    Table table({"method", "zeta"});
-    table.row().cell("union-find on 2^6 profiles").cell(zeta_full, 6);
-    table.row().cell("1-D weight potential").cell(zeta_lumped, 6);
-    table.print(std::cout);
-  }
-
-  {
-    bench::print_section(
-        "Theorem 3.8 upper / 3.9 lower bracket the exact t_mix (full chain, "
-        "n = 5)");
-    const int n = 5;
-    const double d0 = 1.0, d1 = 0.5;
-    GraphicalCoordinationGame game(make_clique(uint32_t(n)),
-                                   CoordinationPayoffs::from_deltas(d0, d1));
-    const std::vector<double> phi = potential_table(game);
-    const double zeta = max_potential_climb(game.space(), phi);
-    Table table({"beta", "t_mix", "thm 3.9 lower (|dR|=1)", "thm 3.8 upper"});
-    for (double beta : {1.0, 2.0, 3.0}) {
-      LogitChain chain(game, beta);
-      const std::vector<double> pi = chain.stationary();
-      const MixingResult mix = bench::exact_tmix(chain);
-      const double pi_min = *std::min_element(pi.begin(), pi.end());
-      table.row()
-          .cell(beta, 2)
-          .cell(bench::tmix_cell(mix))
-          .cell_sci(bounds::thm39_tmix_lower(2, double(n), beta, zeta))
-          .cell_sci(bounds::thm38_tmix_upper(n, 2, beta, zeta, pi_min));
-    }
-    table.print(std::cout);
-    std::cout << "zeta = " << format_double(zeta, 3) << "\n";
-  }
-  return 0;
-}
+int main() { return logitdyn::scenario::run_registered_main("t38_zeta"); }

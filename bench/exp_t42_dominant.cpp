@@ -1,103 +1,7 @@
-// Experiment E7 — Theorems 4.2/4.3: games with dominant strategies.
-//
-// T4.2: t_mix = O(m^n n log n) *independently of beta* — the mixing time
-// saturates as beta grows instead of diverging.
-// T4.3: the all-or-nothing game attains t_mix = Omega(m^{n-1}); the m^n
-// factor in T4.2 cannot be removed.
-//
-// Series: (a) beta sweep at fixed (n, m) showing the plateau, against the
-// diverging potential-game bound; (b) (n, m) sweep at large beta against
-// the T4.3 floor (m^n - 1)/(4(m-1)).
-#include <cmath>
-#include <iostream>
+// Thin shim: this experiment lives in the registry
+// (src/scenario/experiments/t42_dominant.cpp). Run it with default scenario
+// and options — `logitdyn_lab run t42_dominant` is the full-featured front
+// end (scenario overrides, beta grids, seeds, JSON reports).
+#include "scenario/registry.hpp"
 
-#include "analysis/bounds.hpp"
-#include "bench_common.hpp"
-#include "core/chain.hpp"
-#include "core/lumped.hpp"
-#include "games/dominant.hpp"
-
-using namespace logitdyn;
-
-int main() {
-  bench::print_header(
-      "E7: dominant strategies cap the mixing time (Thms 4.2/4.3)",
-      "claim: t_mix saturates in beta at Theta(m^{n-1}) for the "
-      "all-or-nothing game");
-
-  {
-    bench::print_section(
-        "beta sweep, n = 8, m = 2: full lumped chain (exact)");
-    const int n = 8;
-    const int32_t m = 2;
-    Table table({"beta", "t_mix (exact)", "thm 4.2 cap", "thm 4.3 floor"});
-    const double cap = bounds::thm42_tmix_upper(n, m);
-    for (double beta : {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0}) {
-      const BirthDeathChain bd =
-          BirthDeathChain::all_or_nothing_chain(n, m, beta);
-      const MixingResult mix = bench::exact_tmix(bd);
-      table.row()
-          .cell(beta, 1)
-          .cell(bench::tmix_cell(mix))
-          .cell_sci(cap)
-          .cell(bounds::thm43_tmix_lower(n, m, beta), 1);
-    }
-    table.print(std::cout);
-    std::cout << "note: t_mix stops growing once beta ~ log(m^n) — the "
-                 "Theorem 4.2 phenomenon; a potential game with the same "
-                 "DeltaPhi = 1 would keep growing as e^{beta}.\n";
-  }
-
-  {
-    bench::print_section(
-        "full-chain validation of the beta plateau (n = 4, m = 2: 16 states)");
-    AllOrNothingGame game(4, 2);
-    Table table({"beta", "t_mix full", "t_mix lumped", "lumped<=full"});
-    for (double beta : {1.0, 8.0, 64.0}) {
-      LogitChain chain(game, beta);
-      const MixingResult full = bench::exact_tmix(chain);
-      const BirthDeathChain bd =
-          BirthDeathChain::all_or_nothing_chain(4, 2, beta);
-      const MixingResult lump = bench::exact_tmix(bd);
-      table.row()
-          .cell(beta, 1)
-          .cell(bench::tmix_cell(full))
-          .cell(bench::tmix_cell(lump))
-          .cell(lump.time <= full.time ? "yes" : "NO");
-    }
-    table.print(std::cout);
-  }
-
-  {
-    bench::print_section(
-        "scaling in (n, m) at beta = 40 (deep best-response regime)");
-    Table table({"n", "m", "m^n", "t_mix (lumped)", "(m^n-1)/(4(m-1))",
-                 "t_mix*4(m-1)/(m^n-1)"});
-    struct Case {
-      int n;
-      int32_t m;
-    };
-    const Case cases[] = {{4, 2},  {6, 2},  {8, 2},  {10, 2}, {12, 2},
-                          {4, 3},  {6, 3},  {4, 4},  {5, 4}};
-    for (const Case& c : cases) {
-      const BirthDeathChain bd =
-          BirthDeathChain::all_or_nothing_chain(c.n, c.m, 40.0);
-      const MixingResult mix = bench::exact_tmix(bd);
-      const double floor_bound =
-          (std::pow(double(c.m), c.n) - 1.0) / (4.0 * (c.m - 1.0));
-      table.row()
-          .cell(c.n)
-          .cell(int(c.m))
-          .cell(std::pow(double(c.m), c.n), 0)
-          .cell(bench::tmix_cell(mix))
-          .cell(floor_bound, 1)
-          .cell(double(mix.time) / floor_bound, 2);
-    }
-    table.print(std::cout);
-    std::cout << "the last column is the measured constant in Theta(m^n): "
-                 "stable across sizes => t_mix scales exactly like m^n (the "
-                 "lumped chain lower-bounds the full chain; Thm 4.3 claims "
-                 "Omega(m^{n-1}))\n";
-  }
-  return 0;
-}
+int main() { return logitdyn::scenario::run_registered_main("t42_dominant"); }

@@ -1,151 +1,7 @@
-// Experiment E9 — Theorem 5.5: graphical coordination games on the clique.
-//
-// claim: log t_mix / beta -> Phi_max - Phi(all-ones), the climb out of the
-// shallower (non-risk-dominant) well over the potential ridge at k*.
-// The clique game is weight-lumpable, so the exact analysis scales to
-// n = 48. We fit the beta-rate per n and compare with the predicted
-// barrier, and show the worst case is delta0 = delta1 (no risk dominance).
-#include <algorithm>
-#include <cmath>
-#include <iostream>
+// Thin shim: this experiment lives in the registry
+// (src/scenario/experiments/t55_clique.cpp). Run it with default scenario
+// and options — `logitdyn_lab run t55_clique` is the full-featured front
+// end (scenario overrides, beta grids, seeds, JSON reports).
+#include "scenario/registry.hpp"
 
-#include "analysis/spectral.hpp"
-#include "analysis/zeta.hpp"
-#include "bench_common.hpp"
-#include "core/lumped.hpp"
-#include "games/graphical_coordination.hpp"
-#include "graph/builders.hpp"
-
-using namespace logitdyn;
-
-namespace {
-
-double barrier(const std::vector<double>& wphi) {
-  // Phi_max - Phi(all-ones): the Theorem 5.5 exponent (delta0 >= delta1).
-  return *std::max_element(wphi.begin(), wphi.end()) - wphi.back();
-}
-
-}  // namespace
-
-int main() {
-  bench::print_header(
-      "E9: clique coordination games (Theorem 5.5)",
-      "claim: log t_mix / beta -> Phi_max - Phi(1), via the exact "
-      "weight-lumped chain");
-
-  {
-    bench::print_section(
-        "rate fit per n (delta0 = 1.2/(n-1), delta1 = 0.8/(n-1))");
-    Table table({"n", "barrier", "zeta(path)", "fitted rate", "rate/barrier",
-                 "r^2"});
-    for (int n : {8, 16, 32, 48}) {
-      const double d0 = 1.2 / double(n - 1), d1 = 0.8 / double(n - 1);
-      const std::vector<double> wphi = clique_weight_potential(n, d0, d1);
-      const double bar = barrier(wphi);
-      std::vector<double> betas, times;
-      for (double beta = 4.0; beta <= 10.0; beta += 1.5) {
-        const BirthDeathChain bd =
-            BirthDeathChain::weight_chain(n, beta, wphi);
-        const MixingResult mix = bench::exact_tmix(bd);
-        if (mix.converged) {
-          betas.push_back(beta);
-          times.push_back(double(mix.time));
-        }
-      }
-      const LineFit fit = bench::rate_fit(betas, times);
-      table.row()
-          .cell(n)
-          .cell(bar, 4)
-          .cell(max_climb_on_path(wphi), 4)
-          .cell(fit.slope, 4)
-          .cell(fit.slope / bar, 3)
-          .cell(fit.r2, 4);
-    }
-    table.print(std::cout);
-    std::cout << "rate/barrier -> 1 confirms log t_mix / beta -> "
-                 "Phi_max - Phi(1).\n";
-  }
-
-  {
-    bench::print_section(
-        "risk dominance matters: n = 24, beta = 6, sweeping delta1/delta0");
-    const int n = 24;
-    Table table({"delta1/delta0", "k*", "barrier", "t_mix (exact)"});
-    const double d0 = 1.0 / double(n - 1);
-    for (double ratio : {0.25, 0.5, 0.75, 1.0}) {
-      const double d1 = ratio * d0;
-      const std::vector<double> wphi = clique_weight_potential(n, d0, d1);
-      const BirthDeathChain bd = BirthDeathChain::weight_chain(n, 6.0, wphi);
-      const MixingResult mix = bench::exact_tmix(bd);
-      table.row()
-          .cell(ratio, 2)
-          .cell(clique_barrier_weight(n, d0, d1))
-          .cell(barrier(wphi), 4)
-          .cell(bench::tmix_cell(mix));
-    }
-    table.print(std::cout);
-    std::cout << "delta0 = delta1 (no risk-dominant equilibrium) maximizes "
-                 "the barrier Theta(n^2 delta1) — the paper's worst case.\n";
-  }
-
-  {
-    bench::print_section("growth in n at fixed per-edge deltas (beta = 1)");
-    // Un-normalized deltas: barrier ~ n^2, so t_mix explodes quickly; this
-    // is the e^{beta(Phi_max - Phi(1))} statement read along n.
-    Table table({"n", "barrier", "t_mix (exact)", "log t_mix / barrier"});
-    for (int n : {6, 8, 10, 12}) {
-      const double d0 = 0.6, d1 = 0.4;
-      const std::vector<double> wphi = clique_weight_potential(n, d0, d1);
-      const BirthDeathChain bd = BirthDeathChain::weight_chain(n, 1.0, wphi);
-      const MixingResult mix = bench::exact_tmix(bd);
-      table.row()
-          .cell(n)
-          .cell(barrier(wphi), 3)
-          .cell(bench::tmix_cell(mix))
-          .cell(mix.converged ? std::log(double(mix.time)) / barrier(wphi)
-                              : 0.0,
-                3);
-    }
-    table.print(std::cout);
-  }
-
-  {
-    bench::print_section(
-        "lumping validated against the full 2^14-state chain: Lanczos on "
-        "the matrix-free kernel vs the exact weight-lumped spectrum");
-    // The clique game's slow mode lives on the weight coordinate, so
-    // lambda_2 of the full chain must match lambda_2 of the (n+1)-state
-    // lumped chain — the operator path can now check this directly at
-    // sizes where the dense full-chain spectrum is unreachable.
-    const int n = 14;
-    const double d0 = 1.2 / double(n - 1), d1 = 0.8 / double(n - 1);
-    const std::vector<double> wphi = clique_weight_potential(n, d0, d1);
-    GraphicalCoordinationGame game(
-        make_clique(uint32_t(n)),
-        CoordinationPayoffs::from_deltas(d0, d1));
-    LogitChain chain(game, 0.0);
-    Table table({"beta", "lambda_2 (full, lanczos)", "lambda_2 (lumped)",
-                 "|diff|", "t_rel full/lumped"});
-    for (double beta : {3.0, 5.0}) {
-      chain.set_beta(beta);
-      const std::vector<double> pi = chain.stationary();
-      SpectralOptions opts;  // 16384 states: operator path
-      opts.lanczos.tol = 1e-10;
-      const SpectralSummary full =
-          spectral_summary(game, beta, UpdateKind::kAsynchronous, pi, opts);
-      const BirthDeathChain bd = BirthDeathChain::weight_chain(n, beta, wphi);
-      const ChainSpectrum lumped =
-          chain_spectrum(bd.transition(), bd.stationary());
-      table.row()
-          .cell(beta, 1)
-          .cell(full.lambda2, 10)
-          .cell(lumped.lambda2(), 10)
-          .cell(std::abs(full.lambda2 - lumped.lambda2()), 10)
-          .cell(full.relaxation_time() / lumped.relaxation_time(), 6);
-    }
-    table.print(std::cout);
-    std::cout << "full-chain lambda_2 == lumped lambda_2: the weight "
-                 "projection captures the slow mode exactly.\n";
-  }
-  return 0;
-}
+int main() { return logitdyn::scenario::run_registered_main("t55_clique"); }

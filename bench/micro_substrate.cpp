@@ -13,6 +13,7 @@
 #include <functional>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +38,10 @@
 #include "linalg/symmetric_eigen.hpp"
 #include "rng/alias_table.hpp"
 #include "rng/rng.hpp"
+#include "scenario/report.hpp"
+#include "scenario/scenario.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
 #include "support/timer.hpp"
 
 namespace {
@@ -50,24 +55,36 @@ using namespace logitdyn;
 // call — a full O(n * 8) load rebuild — expensive, which is exactly the
 // congestion-game shape the oracle is for.
 CongestionGame make_congestion_bench(int n, int r = 16, int route_len = 8) {
-  std::vector<std::vector<std::vector<int>>> strategies(
-      static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    std::vector<int> even, odd;
-    for (int k = 0; k < route_len; ++k) {
-      even.push_back((2 * k + i) % r);
-      odd.push_back((2 * k + 1 + i) % r);
-    }
-    strategies[size_t(i)] = {even, odd};
+  // The "routes" variant of the congestion family in the scenario
+  // registry (src/scenario/scenario.cpp) builds this same workload
+  // declaratively; construct it through the registry so the bench and
+  // the experiment harness can never drift apart.
+  scenario::ScenarioSpec spec;
+  spec.family = "congestion";
+  spec.n = n;
+  spec.params.set("variant", "routes")
+      .set("resources", r)
+      .set("route_len", route_len);
+  std::unique_ptr<Game> game =
+      scenario::GameRegistry::instance().make_game(spec);
+  return std::move(dynamic_cast<CongestionGame&>(*game));
+}
+
+/// Shared writer for every BENCH_*.json artifact: one schema (name,
+/// config, environment, measurements) through scenario::make_document, so
+/// the perf-trajectory tooling can diff the files across PRs; refuses to
+/// write a document that fails its own schema.
+void write_bench_document(const std::string& path, const std::string& name,
+                          Json config, Json measurements) {
+  const Json doc = scenario::make_document("bench", name, std::move(config),
+                                           std::move(measurements));
+  std::string error;
+  if (!scenario::validate_report_json(doc, &error)) {
+    throw Error("BENCH JSON fails its own schema: " + error);
   }
-  std::vector<std::vector<double>> latency(static_cast<size_t>(r));
-  for (int j = 0; j < r; ++j) {
-    latency[size_t(j)].resize(size_t(n));
-    for (int k = 1; k <= n; ++k) {
-      latency[size_t(j)][size_t(k - 1)] = 0.25 * double(j + 1) * double(k);
-    }
-  }
-  return CongestionGame(r, std::move(strategies), std::move(latency));
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write " + path);
+  out << doc.dump(2) << "\n";
 }
 
 double time_best_of(int reps, const std::function<void()>& body) {
@@ -171,25 +188,31 @@ void write_bench_oracle_json(const std::string& path) {
     append_simulation_rows(coord, 100000, rows);
   }
 
-  std::ofstream out(path);
-  out << "{\n  \"benchmark\": \"oracle_vs_naive\",\n"
-      << "  \"description\": \"local-move utility oracle (utility_row / "
-         "utility_rows) vs per-strategy virtual utility calls\",\n"
-      << "  \"note\": \"rows whose dense matrix exceeds the cache (n=11: "
-         "33MB) are dominated by matrix memory traffic common to both "
-         "paths, which floors the ratio; compute-bound rows show the "
-         "oracle's true gain\",\n"
-      << "  \"unit\": \"ms\",\n  \"results\": [\n";
-  for (size_t r = 0; r < rows.size(); ++r) {
-    const OracleRow& row = rows[r];
-    out << "    {\"workload\": \"" << row.workload << "\", \"game\": \""
-        << row.game << "\", \"states\": " << row.states
-        << ", \"naive_ms\": " << row.naive_ms
-        << ", \"oracle_ms\": " << row.oracle_ms
-        << ", \"speedup\": " << row.naive_ms / row.oracle_ms << "}"
-        << (r + 1 < rows.size() ? "," : "") << "\n";
+  Json config = Json::object();
+  config.set("description",
+             "local-move utility oracle (utility_row / utility_rows) vs "
+             "per-strategy virtual utility calls");
+  config.set("note",
+             "rows whose dense matrix exceeds the cache (n=11: 33MB) are "
+             "dominated by matrix memory traffic common to both paths, "
+             "which floors the ratio; compute-bound rows show the oracle's "
+             "true gain");
+  config.set("unit", "ms");
+  Json results = Json::array();
+  for (const OracleRow& row : rows) {
+    Json r = Json::object();
+    r.set("workload", row.workload);
+    r.set("game", row.game);
+    r.set("states", row.states);
+    r.set("naive_ms", row.naive_ms);
+    r.set("oracle_ms", row.oracle_ms);
+    r.set("speedup", row.naive_ms / row.oracle_ms);
+    results.push_back(std::move(r));
   }
-  out << "  ]\n}\n";
+  Json measurements = Json::object();
+  measurements.set("results", std::move(results));
+  write_bench_document(path, "oracle_vs_naive", std::move(config),
+                       std::move(measurements));
   std::cout << "wrote " << path << " (" << rows.size() << " rows)\n";
   for (const OracleRow& row : rows) {
     std::cout << "  " << row.workload << " " << row.game << ": naive "
@@ -286,35 +309,53 @@ void write_bench_chain_build_json(const std::string& path) {
       check.states() ==
       batch_final_states(chain, start, steps, replicas, seed);
 
-  std::ofstream out(path);
-  out << "{\n  \"benchmark\": \"chain_build_and_ensemble\",\n"
-      << "  \"description\": \"sharded TransitionBuilder vs single-thread "
-         "build (bit-identical), and grouped ReplicaEnsemble stepping vs "
-         "the naive per-replica loop\",\n"
-      << "  \"threads\": " << threads << ",\n"
-      << "  \"unit\": \"ms\",\n  \"results\": [\n"
-      << "    {\"workload\": \"dense_build\", \"game\": \"" << game.name()
-      << "\", \"states\": " << game.space().num_profiles()
-      << ", \"seq_ms\": " << dense_seq_ms
-      << ", \"sharded_ms\": " << dense_par_ms
-      << ", \"speedup\": " << dense_seq_ms / dense_par_ms
-      << ", \"bit_identical\": " << (dense_identical ? "true" : "false")
-      << "},\n"
-      << "    {\"workload\": \"csr_build\", \"game\": \"" << game.name()
-      << "\", \"states\": " << game.space().num_profiles()
-      << ", \"seq_ms\": " << csr_seq_ms
-      << ", \"sharded_ms\": " << csr_par_ms
-      << ", \"speedup\": " << csr_seq_ms / csr_par_ms
-      << ", \"bit_identical\": " << (csr_identical ? "true" : "false")
-      << "},\n"
-      << "    {\"workload\": \"replica_stepping\", \"game\": \""
-      << game.name() << "\", \"replicas\": " << replicas
-      << ", \"steps\": " << steps << ", \"naive_ms\": " << naive_ms
-      << ", \"grouped_ms\": " << grouped_ms
-      << ", \"speedup\": " << naive_ms / grouped_ms
-      << ", \"distinct_states_last_step\": " << distinct
-      << ", \"identical_finals\": " << (finals_identical ? "true" : "false")
-      << "}\n  ]\n}\n";
+  Json config = Json::object();
+  config.set("description",
+             "sharded TransitionBuilder vs single-thread build "
+             "(bit-identical), and grouped ReplicaEnsemble stepping vs the "
+             "naive per-replica loop");
+  config.set("threads", threads);
+  config.set("unit", "ms");
+  Json results = Json::array();
+  {
+    Json r = Json::object();
+    r.set("workload", "dense_build");
+    r.set("game", game.name());
+    r.set("states", game.space().num_profiles());
+    r.set("seq_ms", dense_seq_ms);
+    r.set("sharded_ms", dense_par_ms);
+    r.set("speedup", dense_seq_ms / dense_par_ms);
+    r.set("bit_identical", dense_identical);
+    results.push_back(std::move(r));
+  }
+  {
+    Json r = Json::object();
+    r.set("workload", "csr_build");
+    r.set("game", game.name());
+    r.set("states", game.space().num_profiles());
+    r.set("seq_ms", csr_seq_ms);
+    r.set("sharded_ms", csr_par_ms);
+    r.set("speedup", csr_seq_ms / csr_par_ms);
+    r.set("bit_identical", csr_identical);
+    results.push_back(std::move(r));
+  }
+  {
+    Json r = Json::object();
+    r.set("workload", "replica_stepping");
+    r.set("game", game.name());
+    r.set("replicas", replicas);
+    r.set("steps", steps);
+    r.set("naive_ms", naive_ms);
+    r.set("grouped_ms", grouped_ms);
+    r.set("speedup", naive_ms / grouped_ms);
+    r.set("distinct_states_last_step", distinct);
+    r.set("identical_finals", finals_identical);
+    results.push_back(std::move(r));
+  }
+  Json measurements = Json::object();
+  measurements.set("results", std::move(results));
+  write_bench_document(path, "chain_build_and_ensemble", std::move(config),
+                       std::move(measurements));
   std::cout << "wrote " << path << "\n"
             << "  dense_build: seq " << dense_seq_ms << " ms, sharded "
             << dense_par_ms << " ms (" << threads << " threads), speedup "
@@ -409,38 +450,43 @@ void write_bench_spectral_json(const std::string& path) {
   const MixingResult health = mixing_time_doubling(
       health_chain.dense_transition(), health_chain.stationary(), 0.25);
 
-  std::ofstream out(path);
-  out << "{\n  \"benchmark\": \"spectral_dense_vs_lanczos\",\n"
-      << "  \"description\": \"dense symmetrized eigendecomposition vs "
-         "Lanczos on the matrix-free LogitOperator (lambda*, hence "
-         "spectral gap and t_rel); gap_agrees gates CI at the "
-         "cross-checkable sizes\",\n"
-      << "  \"unit\": \"ms\",\n  \"results\": [\n";
-  for (size_t r = 0; r < rows.size(); ++r) {
-    const SpectralRow& row = rows[r];
-    out << "    {\"n\": " << row.n << ", \"states\": " << row.states
-        << ", \"beta\": " << row.beta
-        << ", \"lanczos_ms\": " << row.lanczos_ms
-        << ", \"lanczos_lambda_star\": " << std::setprecision(17)
-        << row.lz_lstar << std::setprecision(6)
-        << ", \"iterations\": " << row.iterations
-        << ", \"converged\": " << (row.converged ? "true" : "false");
+  Json config = Json::object();
+  config.set("description",
+             "dense symmetrized eigendecomposition vs Lanczos on the "
+             "matrix-free LogitOperator (lambda*, hence spectral gap and "
+             "t_rel); gap_agrees gates CI at the cross-checkable sizes");
+  config.set("unit", "ms");
+  Json results = Json::array();
+  for (const SpectralRow& row : rows) {
+    Json r = Json::object();
+    r.set("n", row.n);
+    r.set("states", row.states);
+    r.set("beta", row.beta);
+    r.set("lanczos_ms", row.lanczos_ms);
+    r.set("lanczos_lambda_star", row.lz_lstar);
+    r.set("iterations", row.iterations);
+    r.set("converged", row.converged);
     if (row.comparable) {
-      out << ", \"dense_ms\": " << row.dense_ms
-          << ", \"dense_lambda_star\": " << std::setprecision(17)
-          << row.dense_lstar << std::setprecision(6)
-          << ", \"speedup\": " << row.dense_ms / row.lanczos_ms
-          << ", \"lambda_star_diff\": " << row.diff
-          << ", \"gap_agrees\": " << (row.diff <= 1e-6 ? "true" : "false");
+      r.set("dense_ms", row.dense_ms);
+      r.set("dense_lambda_star", row.dense_lstar);
+      r.set("speedup", row.dense_ms / row.lanczos_ms);
+      r.set("lambda_star_diff", row.diff);
+      r.set("gap_agrees", row.diff <= 1e-6);
     }
-    out << "}" << (r + 1 < rows.size() ? "," : "") << "\n";
+    results.push_back(std::move(r));
   }
-  out << "  ],\n"
-      << "  \"mixing_health\": {\"workload\": \"doubling_row_defect\", "
-         "\"states\": "
-      << health_game.space().num_profiles()
-      << ", \"t_mix\": " << health.time
-      << ", \"max_row_defect\": " << health.max_row_defect << "}\n}\n";
+  Json measurements = Json::object();
+  measurements.set("results", std::move(results));
+  {
+    Json health_json = Json::object();
+    health_json.set("workload", "doubling_row_defect");
+    health_json.set("states", health_game.space().num_profiles());
+    health_json.set("t_mix", health.time);
+    health_json.set("max_row_defect", health.max_row_defect);
+    measurements.set("mixing_health", std::move(health_json));
+  }
+  write_bench_document(path, "spectral_dense_vs_lanczos", std::move(config),
+                       std::move(measurements));
   std::cout << "wrote " << path << "\n";
   for (const SpectralRow& row : rows) {
     std::cout << "  n=" << row.n << " (" << row.states

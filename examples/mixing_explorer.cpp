@@ -1,4 +1,7 @@
-// mixing_explorer — a small CLI over the library's analysis stack.
+// mixing_explorer — a small CLI over the library's analysis stack, now a
+// thin shim over the registered "explore" experiment (see
+// src/scenario/experiments/explore.cpp and `logitdyn_lab run explore`,
+// which adds scenario files, JSON reports, and parallel sweeps).
 //
 //   mixing_explorer [game] [n] [beta[,beta...]]
 //     game: plateau | clique | ring | dominant   (default: plateau)
@@ -6,197 +9,54 @@
 //     beta: inverse noise, comma-separated list  (default: 1.0)
 //
 // Prints the chain's spectrum summary, mixing time, and every applicable
-// paper bound. Below the 2^12-state dense cutover everything is exact
-// (full spectrum, doubling t_mix); above it the operator path takes over
-// (DESIGN.md §9): Lanczos lambda_2/lambda_min, the Theorem 2.3 bracket,
-// and evolved extreme-state mixing times, up to 2^20 states — the
-// "spectral path" row says which regime a run used. A beta list sweeps
-// one reusable chain via set_beta (no per-beta reconstruction). With no
-// arguments it runs a short demo sweep.
-#include <algorithm>
+// paper bound. Below the 2^12-state dense cutover everything is exact;
+// above it the operator path takes over (DESIGN.md §9) up to 2^20 states.
 #include <cstdlib>
 #include <iostream>
-#include <memory>
 #include <string>
+#include <vector>
 
-#include "analysis/bounds.hpp"
-#include "analysis/mixing.hpp"
-#include "analysis/potential_stats.hpp"
-#include "analysis/spectral.hpp"
-#include "analysis/zeta.hpp"
-#include "core/chain.hpp"
-#include "core/gibbs.hpp"
-#include "core/logit_operator.hpp"
-#include "games/dominant.hpp"
-#include "games/graphical_coordination.hpp"
-#include "games/plateau.hpp"
-#include "graph/builders.hpp"
-#include "graph/cutwidth.hpp"
+#include "scenario/registry.hpp"
 #include "support/error.hpp"
-#include "support/table.hpp"
 
 using namespace logitdyn;
+using namespace logitdyn::scenario;
 
 namespace {
 
-std::unique_ptr<PotentialGame> build_game(const std::string& kind, int n) {
+/// Map the explorer's historical game kinds onto scenario specs (same
+/// parameters the old hand-rolled build_game used).
+ScenarioSpec spec_for_kind(const std::string& kind, int n) {
+  ScenarioSpec spec;
+  spec.n = n;
   if (kind == "plateau") {
-    return std::make_unique<PlateauGame>(n, double(n) / 2.0, 1.0);
+    spec.family = "plateau";
+    return spec;
   }
-  if (kind == "clique") {
-    return std::make_unique<GraphicalCoordinationGame>(
-        make_clique(uint32_t(n)), CoordinationPayoffs::from_deltas(1.0, 0.5));
-  }
-  if (kind == "ring") {
-    return std::make_unique<GraphicalCoordinationGame>(
-        make_ring(uint32_t(n)), CoordinationPayoffs::from_deltas(1.0, 1.0));
+  if (kind == "clique" || kind == "ring") {
+    spec.family = "graphical_coordination";
+    spec.params.set("delta0", 1.0).set("delta1", kind == "ring" ? 1.0 : 0.5);
+    Json topo = Json::object();
+    topo.set("kind", kind);
+    spec.topology = std::move(topo);
+    return spec;
   }
   if (kind == "dominant") {
-    return std::make_unique<AllOrNothingGame>(n, 2);
+    spec.family = "dominant";
+    spec.params.set("strategies", 2);
+    return spec;
   }
   throw Error("unknown game kind: " + kind +
               " (expected plateau|clique|ring|dominant)");
 }
 
-void explore_beta(LogitChain& chain, const PotentialStats& stats,
-                  double zeta, const std::string& kind, int n, double beta);
-
 void explore(const std::string& kind, int n,
              const std::vector<double>& betas) {
-  const std::unique_ptr<PotentialGame> game = build_game(kind, n);
-  // Below the dense cutover the explorer is fully exact; above it the
-  // operator path (Lanczos + multi-start evolution, DESIGN.md §9) takes
-  // over, so the ceiling is memory for O(k) state-space vectors.
-  if (game->space().num_profiles() > (size_t(1) << 20)) {
-    throw Error("state space too large (use |S| <= 2^20)");
-  }
-  // One chain serves the whole beta sweep (beta is mutable on Dynamics),
-  // and the beta-independent potential summaries are computed once.
-  LogitChain chain(*game, 0.0);
-  const std::vector<double> phi = potential_table(*game);
-  const PotentialStats stats = potential_stats(game->space(), phi);
-  const double zeta = max_potential_climb(game->space(), phi);
-  for (double beta : betas) explore_beta(chain, stats, zeta, kind, n, beta);
-}
-
-void explore_beta(LogitChain& chain, const PotentialStats& stats,
-                  double zeta, const std::string& kind, int n, double beta) {
-  std::cout << "\n### " << kind << ", n = " << n << ", beta = " << beta
-            << " ###\n";
-  chain.set_beta(beta);
-  const std::vector<double> pi = chain.stationary();
-  const bool dense_path = pi.size() < kDenseSpectralCutover;
-
-  // Dense path: one matrix build serves spectrum and doubling; operator
-  // path: Lanczos + evolution, nothing materialized.
-  SpectralSummary spec;
-  MixingResult dense_mix;
-  if (dense_path) {
-    const DenseMatrix p = chain.dense_transition();
-    const ChainSpectrum cs = chain_spectrum(p, pi);
-    spec.lambda2 = cs.lambda2();
-    spec.lambda_min = cs.lambda_min();
-    spec.certified = true;
-    dense_mix = mixing_time_doubling(p, pi, 0.25);
-  } else {
-    spec = spectral_summary(chain.game(), beta, UpdateKind::kAsynchronous, pi);
-  }
-
-  Table out({"quantity", "value"});
-  out.row().cell("|S|").cell(int64_t(pi.size()));
-  out.row().cell("spectral path").cell(
-      dense_path ? "dense (exact)" : "lanczos on LogitOperator");
-  out.row().cell("DeltaPhi (global variation)").cell(stats.global_variation, 4);
-  out.row().cell("deltaPhi (local variation)").cell(stats.local_variation, 4);
-  out.row().cell("zeta (min-max climb)").cell(zeta, 4);
-  out.row().cell("lambda_2").cell(spec.lambda2, 6);
-  out.row().cell("lambda_min").cell(spec.lambda_min, 6);
-  out.row().cell("relaxation time").cell(
-      format_double(spec.relaxation_time(), 3) +
-      (spec.converged ? "" : " (lanczos UNCONVERGED)"));
-  if (dense_path) {
-    out.row().cell("t_mix(1/4) exact").cell(
-        dense_mix.converged ? std::to_string(dense_mix.time) : "> budget");
-  } else {
-    // Operator scale: Theorem 2.3 bracket plus the evolved lower bound
-    // from the two extreme profiles. Each apply is O(|S|) oracle work
-    // (seconds at 2^20 states), so the step budget shrinks with size —
-    // metastable runs print "> budget" and the bracket still localizes
-    // t_mix.
-    const LogitOperator op(chain.game(), beta, UpdateKind::kAsynchronous);
-    const size_t starts[] = {0, pi.size() - 1};
-    const uint64_t step_cap =
-        pi.size() >= (size_t(1) << 16) ? (1 << 16) : (1 << 20);
-    const OperatorMixingResult mix =
-        mixing_time_operator(op, pi, starts, 0.25, step_cap);
-    out.row().cell("t_mix from extreme states").cell(
-        mix.worst.converged ? std::to_string(mix.worst.time) : "> budget");
-    if (spec.converged) {
-      const double pi_min_b = *std::min_element(pi.begin(), pi.end());
-      const Theorem23Bracket bracket = tmix_bracket_from_relaxation(
-          spec.relaxation_time(), pi_min_b, 0.25);
-      out.row().cell("Thm 2.3 bracket on t_mix").cell(
-          "[" + format_double(bracket.lower, 1) + ", " +
-          format_double(bracket.upper, 1) + "]");
-    } else {
-      // An unconverged Ritz estimate underestimates t_rel; a bracket
-      // built from it could exclude the true t_mix, so don't print one.
-      out.row().cell("Thm 2.3 bracket on t_mix").cell(
-          "n/a (lanczos unconverged)");
-    }
-  }
-  const int m = int(chain.space().max_strategies());
-  out.row()
-      .cell("Thm 3.4 upper")
-      .cell(format_sci(bounds::thm34_tmix_upper(n, m, beta,
-                                                stats.global_variation)));
-  const double pi_min = *std::min_element(pi.begin(), pi.end());
-  out.row()
-      .cell("Thm 3.8 upper (zeta)")
-      .cell(format_sci(bounds::thm38_tmix_upper(n, m, beta, zeta, pi_min)));
-  if (bounds::thm36_applicable(beta, n, stats.local_variation)) {
-    out.row().cell("Thm 3.6 upper (small beta)").cell(
-        bounds::thm36_tmix_upper(n), 1);
-  }
-  if (kind == "ring") {
-    out.row().cell("Thm 5.6 upper (ring)").cell(
-        format_sci(bounds::thm56_tmix_upper(n, beta, 1.0)));
-    out.row().cell("Thm 5.7 lower (ring)").cell(
-        bounds::thm57_tmix_lower(beta, 1.0), 2);
-  }
-  if (kind == "dominant") {
-    out.row().cell("Thm 4.2 upper (beta-free)").cell(
-        format_sci(bounds::thm42_tmix_upper(n, 2)));
-    out.row().cell("Thm 4.3 lower").cell(
-        bounds::thm43_tmix_lower(n, 2, beta), 2);
-  }
-  out.print(std::cout);
-}
-
-}  // namespace
-
-namespace {
-
-std::vector<double> parse_beta_list(const std::string& arg) {
-  std::vector<double> betas;
-  std::string::size_type pos = 0;
-  while (pos <= arg.size()) {
-    const std::string::size_type comma = arg.find(',', pos);
-    const std::string tok =
-        arg.substr(pos, comma == std::string::npos ? comma : comma - pos);
-    if (!tok.empty()) {
-      char* end = nullptr;
-      const double beta = std::strtod(tok.c_str(), &end);
-      if (end != tok.c_str() + tok.size()) {
-        throw Error("bad beta value: " + tok);
-      }
-      betas.push_back(beta);
-    }
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  if (betas.empty()) throw Error("bad beta list: " + arg);
-  return betas;
+  const ScenarioSpec spec = spec_for_kind(kind, n);
+  RunOptions opts;
+  opts.beta_grid = betas;
+  Report report("explore");
+  ExperimentRegistry::instance().run("explore", &spec, opts, report);
 }
 
 }  // namespace

@@ -1,11 +1,15 @@
 // Quickstart: the full logitdyn workflow on the paper's running example,
-// the 2x2 coordination game (paper Eq. (10)).
+// the 2x2 coordination game (paper Eq. (10)) — built through the
+// declarative scenario API (DESIGN.md §10) rather than a hand-rolled
+// constructor, so the same spec can be saved as JSON and replayed by
+// `logitdyn_lab run explore --scenario spec.json`.
 //
-//   1. define a game        4. compute the stationary (Gibbs) measure
-//   2. pick an inverse      5. compute the exact mixing time
-//      noise beta           6. compare against the paper's bounds
+//   1. declare a scenario    4. compute the stationary (Gibbs) measure
+//      and build the game    5. compute the exact mixing time
+//   2. pick a beta           6. compare against the paper's bounds
 //   3. simulate the logit dynamics
 #include <iostream>
+#include <memory>
 
 #include "analysis/bounds.hpp"
 #include "analysis/mixing.hpp"
@@ -15,16 +19,28 @@
 #include "core/simulator.hpp"
 #include "games/coordination.hpp"
 #include "rng/rng.hpp"
+#include "scenario/scenario.hpp"
 #include "support/table.hpp"
 
 using namespace logitdyn;
+using namespace logitdyn::scenario;
 
 int main() {
   std::cout << "== logitdyn quickstart ==\n\n";
 
-  // 1. A coordination game: both players prefer to match; (0,0) is the
-  //    risk-dominant equilibrium because delta0 = 3 > delta1 = 1.
-  CoordinationGame game(CoordinationPayoffs::from_deltas(3.0, 1.0));
+  // 1. A coordination game, declared as a scenario spec: both players
+  //    prefer to match; (0,0) is the risk-dominant equilibrium because
+  //    delta0 = 3 > delta1 = 1. The spec round-trips through JSON —
+  //    ScenarioSpec::from_json(Json::parse(spec.to_json().dump())) builds
+  //    the identical game — which is how experiments are parameterized.
+  ScenarioSpec spec;
+  spec.family = "coordination";
+  spec.params.set("delta0", 3.0).set("delta1", 1.0);
+  std::cout << "scenario: " << spec.summary() << "\n"
+            << "as JSON:  " << spec.to_json().dump(0) << "\n";
+  const std::unique_ptr<Game> built =
+      GameRegistry::instance().make_game(spec);
+  const auto& game = dynamic_cast<const CoordinationGame&>(*built);
   std::cout << "game: " << game.name() << ", risk-dominant equilibrium: ("
             << (game.risk_dominant_equilibrium() < 0 ? "0,0" : "1,1")
             << ")\n";
@@ -61,20 +77,20 @@ int main() {
   // 5. Exact mixing time and spectral summary.
   const DenseMatrix p = chain.dense_transition();
   const MixingResult mix = mixing_time_doubling(p, pi, 0.25);
-  const ChainSpectrum spec = chain_spectrum(p, pi);
+  const ChainSpectrum spectrum = chain_spectrum(p, pi);
   std::cout << "t_mix(1/4) = " << mix.time
-            << "   relaxation time = " << spec.relaxation_time()
-            << "   lambda_2 = " << spec.lambda2() << "\n";
+            << "   relaxation time = " << spectrum.relaxation_time()
+            << "   lambda_2 = " << spectrum.lambda2() << "\n";
 
   // 6. Paper bounds (Theorem 3.4 upper; Theorem 2.3 spectral sandwich).
   const double t34 = bounds::thm34_tmix_upper(2, 2, beta, 3.0);
   std::cout << "Theorem 3.4 upper bound: " << t34 << " (holds: "
             << (double(mix.time) <= t34 ? "yes" : "no") << ")\n";
   std::cout << "Theorem 2.3 sandwich: "
-            << tmix_lower_from_relaxation(spec.relaxation_time())
+            << tmix_lower_from_relaxation(spectrum.relaxation_time())
             << " <= " << mix.time << " <= "
             << tmix_upper_from_relaxation(
-                   spec.relaxation_time(),
+                   spectrum.relaxation_time(),
                    *std::min_element(pi.begin(), pi.end()))
             << "\n";
   return 0;

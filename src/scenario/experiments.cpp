@@ -1,0 +1,22 @@
+#include "scenario/experiments.hpp"
+
+namespace logitdyn::scenario {
+
+void register_builtin_experiments(ExperimentRegistry& registry) {
+  register_t31_eigenvalues(registry);
+  register_t34_potential_upper(registry);
+  register_t35_lower_family(registry);
+  register_t36_small_beta(registry);
+  register_t38_zeta(registry);
+  register_t42_dominant(registry);
+  register_t51_cutwidth(registry);
+  register_t55_clique(registry);
+  register_t56_ring(registry);
+  register_ablation_methods(registry);
+  register_hitting_vs_mixing(registry);
+  register_ising_equivalence(registry);
+  register_parallel_dynamics(registry);
+  register_explore(registry);
+}
+
+}  // namespace logitdyn::scenario

@@ -1,0 +1,26 @@
+// Registration hooks for the built-in experiments (one translation unit
+// per experiment under src/scenario/experiments/). Explicit registration —
+// not static initializers — so the static library never silently drops an
+// experiment the linker thinks is unreferenced.
+#pragma once
+
+#include "scenario/registry.hpp"
+
+namespace logitdyn::scenario {
+
+void register_t31_eigenvalues(ExperimentRegistry& reg);
+void register_t34_potential_upper(ExperimentRegistry& reg);
+void register_t35_lower_family(ExperimentRegistry& reg);
+void register_t36_small_beta(ExperimentRegistry& reg);
+void register_t38_zeta(ExperimentRegistry& reg);
+void register_t42_dominant(ExperimentRegistry& reg);
+void register_t51_cutwidth(ExperimentRegistry& reg);
+void register_t55_clique(ExperimentRegistry& reg);
+void register_t56_ring(ExperimentRegistry& reg);
+void register_ablation_methods(ExperimentRegistry& reg);
+void register_hitting_vs_mixing(ExperimentRegistry& reg);
+void register_ising_equivalence(ExperimentRegistry& reg);
+void register_parallel_dynamics(ExperimentRegistry& reg);
+void register_explore(ExperimentRegistry& reg);
+
+}  // namespace logitdyn::scenario

@@ -1,0 +1,170 @@
+// "explore" — the scenario-driven descendant of the mixing_explorer
+// example: one scenario spec + a beta grid in, the chain's spectrum
+// summary, mixing time, and every applicable paper bound out. Below the
+// 2^12-state dense cutover everything is exact; above it the operator
+// path (DESIGN.md §9) takes over up to 2^20 states. The mixing_explorer
+// binary is now a thin shim over this experiment (stdout unchanged).
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "analysis/bounds.hpp"
+#include "analysis/mixing.hpp"
+#include "analysis/potential_stats.hpp"
+#include "analysis/spectral.hpp"
+#include "analysis/zeta.hpp"
+#include "core/chain.hpp"
+#include "core/gibbs.hpp"
+#include "core/logit_operator.hpp"
+#include "scenario/experiments.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn::scenario {
+namespace {
+
+/// The short workload label the explorer has always printed: the topology
+/// kind for graph games ("ring", "clique", ...), the family otherwise.
+std::string explore_label(const ScenarioSpec& spec) {
+  if (spec.family == "graphical_coordination" && spec.topology.is_object()) {
+    return spec.topology.at("kind").as_string();
+  }
+  return spec.family;
+}
+
+void explore_beta(const ScenarioSpec& spec, Report& report, LogitChain& chain,
+                  const PotentialStats& stats, double zeta,
+                  const std::string& label, int n, double beta) {
+  std::ostringstream heading;
+  heading << label << ", n = " << n << ", beta = " << beta;
+  report.section(heading.str(), /*print_banner=*/false);
+  report.note("\n### " + heading.str() + " ###");
+  chain.set_beta(beta);
+  const std::vector<double> pi = chain.stationary();
+  const bool dense_path = pi.size() < kDenseSpectralCutover;
+
+  // Dense path: one matrix build serves spectrum and doubling; operator
+  // path: Lanczos + evolution, nothing materialized.
+  SpectralSummary spec_summary;
+  MixingResult dense_mix;
+  if (dense_path) {
+    const DenseMatrix p = chain.dense_transition();
+    const ChainSpectrum cs = chain_spectrum(p, pi);
+    spec_summary.lambda2 = cs.lambda2();
+    spec_summary.lambda_min = cs.lambda_min();
+    spec_summary.certified = true;
+    dense_mix = mixing_time_doubling(p, pi, 0.25);
+  } else {
+    spec_summary =
+        spectral_summary(chain.game(), beta, UpdateKind::kAsynchronous, pi);
+  }
+
+  ReportTable& out = report.table({"quantity", "value"});
+  out.row().cell("|S|").cell(int64_t(pi.size()));
+  out.row().cell("spectral path").cell(
+      dense_path ? "dense (exact)" : "lanczos on LogitOperator");
+  out.row().cell("DeltaPhi (global variation)").cell(stats.global_variation, 4);
+  out.row().cell("deltaPhi (local variation)").cell(stats.local_variation, 4);
+  out.row().cell("zeta (min-max climb)").cell(zeta, 4);
+  out.row().cell("lambda_2").cell(spec_summary.lambda2, 6);
+  out.row().cell("lambda_min").cell(spec_summary.lambda_min, 6);
+  out.row().cell("relaxation time").cell(
+      format_double(spec_summary.relaxation_time(), 3) +
+      (spec_summary.converged ? "" : " (lanczos UNCONVERGED)"));
+  if (dense_path) {
+    out.row().cell("t_mix(1/4) exact").cell(
+        dense_mix.converged ? std::to_string(dense_mix.time) : "> budget");
+  } else {
+    // Operator scale: Theorem 2.3 bracket plus the evolved lower bound
+    // from the two extreme profiles. Each apply is O(|S|) oracle work
+    // (seconds at 2^20 states), so the step budget shrinks with size —
+    // metastable runs print "> budget" and the bracket still localizes
+    // t_mix.
+    const LogitOperator op(chain.game(), beta, UpdateKind::kAsynchronous);
+    const size_t starts[] = {0, pi.size() - 1};
+    const uint64_t step_cap =
+        pi.size() >= (size_t(1) << 16) ? (1 << 16) : (1 << 20);
+    const OperatorMixingResult mix =
+        mixing_time_operator(op, pi, starts, 0.25, step_cap);
+    out.row().cell("t_mix from extreme states").cell(
+        mix.worst.converged ? std::to_string(mix.worst.time) : "> budget");
+    if (spec_summary.converged) {
+      const double pi_min_b = *std::min_element(pi.begin(), pi.end());
+      const Theorem23Bracket bracket = tmix_bracket_from_relaxation(
+          spec_summary.relaxation_time(), pi_min_b, 0.25);
+      out.row().cell("Thm 2.3 bracket on t_mix").cell(
+          "[" + format_double(bracket.lower, 1) + ", " +
+          format_double(bracket.upper, 1) + "]");
+    } else {
+      // An unconverged Ritz estimate underestimates t_rel; a bracket
+      // built from it could exclude the true t_mix, so don't print one.
+      out.row().cell("Thm 2.3 bracket on t_mix").cell(
+          "n/a (lanczos unconverged)");
+    }
+  }
+  const int m = int(chain.space().max_strategies());
+  out.row()
+      .cell("Thm 3.4 upper")
+      .cell(format_sci(bounds::thm34_tmix_upper(n, m, beta,
+                                                stats.global_variation)));
+  const double pi_min = *std::min_element(pi.begin(), pi.end());
+  out.row()
+      .cell("Thm 3.8 upper (zeta)")
+      .cell(format_sci(bounds::thm38_tmix_upper(n, m, beta, zeta, pi_min)));
+  if (bounds::thm36_applicable(beta, n, stats.local_variation)) {
+    out.row().cell("Thm 3.6 upper (small beta)").cell(
+        bounds::thm36_tmix_upper(n), 1);
+  }
+  if (label == "ring") {
+    const double delta = spec.params.at("delta0").as_double();
+    out.row().cell("Thm 5.6 upper (ring)").cell(
+        format_sci(bounds::thm56_tmix_upper(n, beta, delta)));
+    out.row().cell("Thm 5.7 lower (ring)").cell(
+        bounds::thm57_tmix_lower(beta, delta), 2);
+  }
+  if (spec.family == "dominant") {
+    const int ms = int(spec.params.at("strategies").as_int());
+    out.row().cell("Thm 4.2 upper (beta-free)").cell(
+        format_sci(bounds::thm42_tmix_upper(n, ms)));
+    out.row().cell("Thm 4.3 lower").cell(
+        bounds::thm43_tmix_lower(n, ms, beta), 2);
+  }
+  out.print();
+}
+
+void run(const ScenarioSpec& spec, const RunOptions& opts, Report& report) {
+  const std::unique_ptr<PotentialGame> game =
+      GameRegistry::instance().make_potential_game(spec);
+  // Below the dense cutover the explorer is fully exact; above it the
+  // operator path (Lanczos + multi-start evolution, DESIGN.md §9) takes
+  // over, so the ceiling is memory for O(k) state-space vectors.
+  if (game->space().num_profiles() > (size_t(1) << 20)) {
+    throw Error("state space too large (use |S| <= 2^20)");
+  }
+  // One chain serves the whole beta sweep (beta is mutable on Dynamics),
+  // and the beta-independent potential summaries are computed once.
+  LogitChain chain(*game, 0.0);
+  const std::vector<double> phi = potential_table(*game);
+  const PotentialStats stats = potential_stats(game->space(), phi);
+  const double zeta = max_potential_climb(game->space(), phi);
+  const std::string label = explore_label(spec);
+  const int n = game->num_players();
+  for (double beta : opts.betas_or({1.0})) {
+    explore_beta(spec, report, chain, stats, zeta, label, n, beta);
+  }
+}
+
+}  // namespace
+
+void register_explore(ExperimentRegistry& reg) {
+  ScenarioSpec spec;
+  spec.family = "plateau";
+  spec.n = 6;
+  reg.add({"explore",
+           "scenario explorer: spectrum, mixing time, and every applicable "
+           "paper bound for one scenario across a beta grid",
+           "exact below the 2^12 dense cutover, Lanczos + Theorem 2.3 "
+           "bracket up to 2^20 states",
+           spec, run});
+}
+
+}  // namespace logitdyn::scenario

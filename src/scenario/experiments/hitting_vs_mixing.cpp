@@ -1,0 +1,103 @@
+// Extension experiment — hitting times vs mixing times. Port of
+// bench/exp_hitting_vs_mixing; stdout unchanged on defaults.
+//
+// The related work the paper positions itself against (Asadpour–Saberi,
+// Montanari–Saberi) measures convergence by the *hitting time of one
+// profile*; the paper argues mixing time is the right notion. This
+// experiment quantifies the gap on the clique coordination game.
+#include <sstream>
+
+#include "analysis/hitting.hpp"
+#include "core/lumped.hpp"
+#include "scenario/experiments.hpp"
+#include "scenario/harness.hpp"
+
+namespace logitdyn::scenario {
+namespace {
+
+void run(const ScenarioSpec& spec, const RunOptions& opts, Report& report) {
+  report.header(
+      "EXT: hitting time (Montanari-Saberi's metric) vs mixing time",
+      "clique coordination, exact lumped chains: E[hit dominant eq.] vs "
+      "t_mix(1/4)");
+
+  {
+    const int n = spec.n;
+    std::ostringstream title;
+    title << "n = " << n << ", delta0 = 1.5/(n-1), delta1 = 1.0/(n-1): "
+          << "beta sweep";
+    report.section(title.str());
+    const double d0 = 1.5 / double(n - 1), d1 = 1.0 / double(n - 1);
+    const std::vector<double> wphi = clique_weight_potential(n, d0, d1);
+    ReportTable& table =
+        report.table({"beta", "E[hit 0 | start 1] (wrong well)",
+                      "E[hit 0 | start k*]", "t_mix(1/4)"});
+    const std::vector<double> grid = opts.betas_or(
+        opts.smoke ? std::vector<double>{2.0, 6.0}
+                   : std::vector<double>{2.0, 4.0, 6.0, 8.0});
+    for (double beta : grid) {
+      const BirthDeathChain bd = BirthDeathChain::weight_chain(n, beta, wphi);
+      const int k_star = clique_barrier_weight(n, d0, d1);
+      const double from_ones = birth_death_hitting_time(bd, n, 0);
+      const double from_ridge = birth_death_hitting_time(bd, k_star, 0);
+      const MixingResult mix = harness::exact_tmix(bd);
+      table.row()
+          .cell(beta, 1)
+          .cell_sci(from_ones)
+          .cell_sci(from_ridge)
+          .cell(harness::tmix_cell(mix));
+    }
+    table.print();
+    report.note("both hitting the dominant equilibrium from the wrong well "
+                "and t_mix are barrier-crossing times of the same order "
+                "(ridge starts save only a constant factor): in this "
+                "direction the two notions agree.");
+  }
+
+  {
+    report.section(
+        "asymmetry of the two wells (beta = 6, n = 24): deep -> shallow vs "
+        "shallow -> deep");
+    const int n = 24;
+    ReportTable& table =
+        report.table({"delta1/delta0", "E[1 -> 0] (shallow to deep)",
+                      "E[0 -> n] (deep to shallow)"});
+    const double d0 = 1.0 / double(n - 1);
+    for (double ratio : opts.smoke ? std::vector<double>{1.0}
+                                   : std::vector<double>{0.5, 0.75, 1.0}) {
+      const double d1 = ratio * d0;
+      const BirthDeathChain bd = BirthDeathChain::weight_chain(
+          n, 6.0, clique_weight_potential(n, d0, d1));
+      table.row()
+          .cell(ratio, 2)
+          .cell_sci(birth_death_hitting_time(bd, n, 0))
+          .cell_sci(birth_death_hitting_time(bd, 0, n));
+    }
+    table.print();
+    report.note("here the notions split: E[0 -> n] exceeds t_mix by up to "
+                "e^{beta*(depth difference)} — a chain can be fully mixed "
+                "long before it ever visits the minority equilibrium "
+                "(pi(1) is exponentially small), which is why the paper "
+                "tracks distributions, not single profiles. At delta0 = "
+                "delta1 the wells equalize: Theorem 5.5's worst case.");
+  }
+}
+
+}  // namespace
+
+void register_hitting_vs_mixing(ExperimentRegistry& reg) {
+  ScenarioSpec spec;
+  spec.family = "graphical_coordination";
+  spec.n = 16;
+  spec.params.set("delta0", 1.5 / 15.0).set("delta1", 1.0 / 15.0);
+  Json topo = Json::object();
+  topo.set("kind", "clique");
+  spec.topology = std::move(topo);
+  reg.add({"hitting_vs_mixing",
+           "EXT: hitting time (Montanari-Saberi's metric) vs mixing time",
+           "clique coordination, exact lumped chains: E[hit dominant eq.] "
+           "vs t_mix(1/4)",
+           spec, run});
+}
+
+}  // namespace logitdyn::scenario

@@ -1,0 +1,119 @@
+// Experiment E11 — the paper's Glauber/logit dictionary (Sections 1, 5).
+// Port of bench/exp_ising_equivalence; stdout unchanged on defaults.
+//
+// Glauber dynamics on the zero-field ferromagnetic Ising model is exactly
+// the logit dynamics of a graphical coordination game with
+// delta0 = delta1 = 2J (no risk-dominant equilibrium).
+#include <cmath>
+
+#include "analysis/tv.hpp"
+#include "core/chain.hpp"
+#include "core/simulator.hpp"
+#include "games/ising.hpp"
+#include "graph/builders.hpp"
+#include "scenario/experiments.hpp"
+
+namespace logitdyn::scenario {
+namespace {
+
+void run(const ScenarioSpec& spec, const RunOptions& opts, Report& report) {
+  report.header(
+      "E11: Glauber on Ising == logit on coordination games",
+      "claim: transition matrices coincide exactly for delta0 = delta1 = 2J");
+
+  const double coupling = spec.params.at("coupling").as_double();
+
+  {
+    report.section("transition-matrix equality");
+    ReportTable& table =
+        report.table({"graph", "J", "beta", "max|P_is - P_coord|",
+                      "TV(pi_is, pi_coord)"});
+    struct Case {
+      const char* name;
+      Graph graph;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"ring(6)", make_ring(6)});
+    if (!opts.smoke) {
+      cases.push_back({"path(6)", make_path(6)});
+      cases.push_back({"grid-2x3", make_grid(2, 3)});
+      cases.push_back({"clique(5)", make_clique(5)});
+    }
+    for (const Case& c : cases) {
+      for (double beta : opts.betas_or(opts.smoke
+                                           ? std::vector<double>{0.4}
+                                           : std::vector<double>{0.4, 1.1})) {
+        IsingGame ising(c.graph, coupling);
+        GraphicalCoordinationGame coord = ising.equivalent_coordination_game();
+        LogitChain a(ising, beta);
+        LogitChain b(coord, beta);
+        const double dp =
+            a.dense_transition().max_abs_diff(b.dense_transition());
+        const double dpi = total_variation(a.stationary(), b.stationary());
+        table.row()
+            .cell(c.name)
+            .cell(coupling, 2)
+            .cell(beta, 2)
+            .cell_sci(dp)
+            .cell_sci(dpi);
+      }
+    }
+    table.print();
+  }
+
+  {
+    report.section(
+        "simulation: shared seeds give identical magnetization traces");
+    const uint64_t seed = opts.seed_or(4242);
+    report.record_seed("shared_trajectory", seed);
+    IsingGame ising(make_ring(32), 1.0);
+    GraphicalCoordinationGame coord = ising.equivalent_coordination_game();
+    ReportTable& table =
+        report.table({"beta", "steps", "mean |m| (ising)", "mean |m| (coord)",
+                      "identical trace"});
+    const int64_t steps = opts.smoke ? 2000 : 20000;
+    for (double beta : opts.smoke ? std::vector<double>{0.3}
+                                  : std::vector<double>{0.3, 0.8}) {
+      LogitChain a(ising, beta);
+      LogitChain b(coord, beta);
+      Rng ra(seed), rb(seed);
+      Profile xa(32, 0), xb(32, 0);
+      double sum_a = 0.0, sum_b = 0.0;
+      bool identical = true;
+      for (int64_t t = 0; t < steps; ++t) {
+        a.step(xa, ra);
+        b.step(xb, rb);
+        identical = identical && (xa == xb);
+        sum_a += std::abs(ising.magnetization(xa)) / 32.0;
+        sum_b += std::abs(ising.magnetization(xb)) / 32.0;
+      }
+      table.row()
+          .cell(beta, 2)
+          .cell(steps)
+          .cell(sum_a / double(steps), 4)
+          .cell(sum_b / double(steps), 4)
+          .cell(identical ? "yes" : "NO");
+    }
+    table.print();
+    report.note("mean |magnetization| rises with beta: the ordered phase "
+                "of the equivalent ferromagnet.");
+  }
+}
+
+}  // namespace
+
+void register_ising_equivalence(ExperimentRegistry& reg) {
+  ScenarioSpec spec;
+  spec.family = "ising";
+  spec.n = 6;
+  spec.params.set("coupling", 0.8).set("field", 0.0);
+  Json topo = Json::object();
+  topo.set("kind", "ring");
+  spec.topology = std::move(topo);
+  reg.add({"ising_equivalence",
+           "E11: Glauber on Ising == logit on coordination games",
+           "transition matrices coincide exactly for delta0 = delta1 = 2J",
+           spec, run});
+}
+
+}  // namespace logitdyn::scenario

@@ -1,0 +1,147 @@
+// Experiment E4 — Theorem 3.5 (exponential lower-bound family). Port of
+// bench/exp_t35_lower_family; stdout unchanged on defaults.
+//
+// The plateau potential Phi_n(x) = -l * min{c, |c - w(x)|} forces
+// t_mix >= e^{beta*DeltaPhi(1-o(1))}: the Gibbs measure splits between the
+// all-zeros well and the high-weight cap across a barrier of height
+// DeltaPhi = g.
+#include <cmath>
+#include <sstream>
+
+#include "analysis/bottleneck.hpp"
+#include "analysis/bounds.hpp"
+#include "core/chain.hpp"
+#include "core/lumped.hpp"
+#include "games/plateau.hpp"
+#include "scenario/experiments.hpp"
+#include "scenario/harness.hpp"
+
+namespace logitdyn::scenario {
+namespace {
+
+void run(const ScenarioSpec& spec, const RunOptions& opts, Report& report) {
+  report.header(
+      "E4: the Theorem 3.5 lower-bound family (plateau potentials)",
+      "claim: t_mix >= e^{beta*g*(1-o(1))} — exponential in beta and in "
+      "the global variation g");
+
+  {
+    const int n = spec.n;
+    const Json* gj = spec.params.find("global_variation");
+    const double g = gj ? gj->as_double() : double(n) / 2.0;
+    const double l = spec.params.at("local_variation").as_double();
+    std::ostringstream title;
+    title << "exact t_mix of the weight-lumped chain, n = " << n << ", g = "
+          << int(g) << ", l = " << int(l);
+    report.section(title.str());
+    PlateauGame game(n, g, l);
+    std::vector<double> wphi(size_t(n) + 1);
+    for (int k = 0; k <= n; ++k) wphi[size_t(k)] = game.potential_of_weight(k);
+    ReportTable& table =
+        report.table({"beta", "t_mix (lumped, exact)",
+                      "thm 2.7 bottleneck LB", "thm 3.5 closed form"});
+    std::vector<double> betas, times;
+    const std::vector<double> grid = opts.betas_or(
+        opts.smoke
+            ? std::vector<double>{0.5, 1.5, 2.5}
+            : std::vector<double>{0.5, 1.0, 1.5, 2.0, 2.25, 2.5, 2.75, 3.0,
+                                  3.25});
+    for (double beta : grid) {
+      const BirthDeathChain bd = BirthDeathChain::weight_chain(n, beta, wphi);
+      const MixingResult mix = harness::exact_tmix(bd);
+      // Bottleneck set R = {w < c} on the lumped chain (same mass and flow
+      // as the paper's full-chain set).
+      const DenseMatrix p = bd.transition();
+      const std::vector<double> pi = bd.stationary();
+      std::vector<uint8_t> in_set(pi.size(), 0);
+      for (int k = 0; k < game.barrier_weight(); ++k) in_set[size_t(k)] = 1;
+      const double b = bottleneck_ratio(p, pi, in_set);
+      table.row()
+          .cell(beta, 2)
+          .cell(harness::tmix_cell(mix))
+          .cell_sci(tmix_lower_from_bottleneck(b, 0.25))
+          .cell_sci(bounds::thm35_tmix_lower(n, g, l, beta, 0.25));
+      if (mix.converged && beta >= 2.25) {
+        betas.push_back(beta);
+        times.push_back(double(mix.time));
+      }
+    }
+    table.print();
+    if (betas.size() >= 2) {
+      const LineFit fit = harness::rate_fit(betas, times);
+      report.record_fit("tmix_beta_rate", fit, g);
+      report.note("fitted exponential rate (beta >= 2.25): " +
+                  format_double(fit.slope, 3) +
+                  "  (paper predicts -> DeltaPhi = g = " +
+                  format_double(g, 0) +
+                  " as beta grows; the gap is the paper's own o(1) — the "
+                  "entropy term (DPhi/dPhi) log n; r^2 = " +
+                  format_double(fit.r2, 4) + ")");
+    }
+  }
+
+  {
+    report.section("full-chain cross-check, n = 8, g = 4, l = 2");
+    const int n = 8;
+    PlateauGame game(n, 4.0, 2.0);
+    std::vector<double> wphi(size_t(n) + 1);
+    for (int k = 0; k <= n; ++k) wphi[size_t(k)] = game.potential_of_weight(k);
+    ReportTable& table =
+        report.table({"beta", "t_mix full (256 states)", "t_mix lumped",
+                      "lumped<=full"});
+    for (double beta : opts.smoke ? std::vector<double>{0.5, 1.5}
+                                  : std::vector<double>{0.5, 1.0, 1.5, 2.0}) {
+      LogitChain chain(game, beta);
+      const MixingResult full = harness::exact_tmix(chain);
+      const BirthDeathChain bd = BirthDeathChain::weight_chain(n, beta, wphi);
+      const MixingResult lump = harness::exact_tmix(bd);
+      table.row()
+          .cell(beta, 2)
+          .cell(harness::tmix_cell(full))
+          .cell(harness::tmix_cell(lump))
+          .cell(lump.time <= full.time ? "yes" : "NO");
+    }
+    table.print();
+  }
+
+  if (opts.smoke) return;
+
+  {
+    report.section("growth in g at fixed beta = 1.5 (lumped, n = 32)");
+    ReportTable& table =
+        report.table({"g", "l", "t_mix (exact)", "e^{beta*g}"});
+    const int n = 32;
+    const double beta = 1.5;
+    for (double g : {2.0, 4.0, 6.0, 8.0}) {
+      PlateauGame game(n, g, 2.0);
+      std::vector<double> wphi(size_t(n) + 1);
+      for (int k = 0; k <= n; ++k) {
+        wphi[size_t(k)] = game.potential_of_weight(k);
+      }
+      const BirthDeathChain bd = BirthDeathChain::weight_chain(n, beta, wphi);
+      const MixingResult mix = harness::exact_tmix(bd);
+      table.row()
+          .cell(g, 1)
+          .cell(2.0, 1)
+          .cell(harness::tmix_cell(mix))
+          .cell_sci(std::exp(beta * g));
+    }
+    table.print();
+  }
+}
+
+}  // namespace
+
+void register_t35_lower_family(ExperimentRegistry& reg) {
+  ScenarioSpec spec;
+  spec.family = "plateau";
+  spec.n = 32;
+  spec.params.set("global_variation", 8.0).set("local_variation", 2.0);
+  reg.add({"t35_lower_family",
+           "E4: the Theorem 3.5 lower-bound family (plateau potentials)",
+           "t_mix >= e^{beta*g*(1-o(1))} — exponential in beta and in the "
+           "global variation g",
+           spec, run});
+}
+
+}  // namespace logitdyn::scenario

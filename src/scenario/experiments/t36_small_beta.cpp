@@ -1,0 +1,132 @@
+// Experiment E5 — Theorem 3.6 (small beta: fast mixing). Port of
+// bench/exp_t36_small_beta; stdout unchanged on defaults.
+//
+// claim: if beta <= c/(n * deltaPhi) with c < 1, then t_mix = O(n log n),
+// with the path-coupling constant n(log n + log 1/eps)/(1-c).
+#include <cmath>
+
+#include "analysis/bounds.hpp"
+#include "analysis/potential_stats.hpp"
+#include "core/chain.hpp"
+#include "core/gibbs.hpp"
+#include "games/plateau.hpp"
+#include "games/random_potential.hpp"
+#include "rng/rng.hpp"
+#include "scenario/experiments.hpp"
+#include "scenario/harness.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn::scenario {
+namespace {
+
+void run(const ScenarioSpec& spec, const RunOptions& opts, Report& report) {
+  report.header(
+      "E5: small-beta regime (Theorem 3.6)",
+      "claim: beta <= c/(n*deltaPhi), c = 1/2  =>  t_mix <= n(log n + "
+      "log 4)/(1-c) = O(n log n)");
+
+  // Every beta here is derived from the Theorem 3.6 regime
+  // (beta = c/(n*deltaPhi)); a user-supplied grid cannot apply, so reject
+  // it rather than record a grid the measurements never used.
+  if (!opts.beta_grid.empty()) {
+    throw Error(
+        "t36_small_beta derives beta from the Theorem 3.6 regime; "
+        "--beta-grid does not apply");
+  }
+  const double c_const = 0.5;
+  const double l = spec.params.at("local_variation").as_double();
+
+  report.section("plateau games at beta = c/(n*deltaPhi)");
+  ReportTable& table =
+      report.table({"n", "|S|", "beta", "t_mix", "n log n",
+                    "t_mix/(n log n)", "thm 3.6 bound", "holds"});
+  for (int n : opts.smoke ? std::vector<int>{4, 6}
+                          : std::vector<int>{4, 6, 8, 10}) {
+    PlateauGame game(n, double(n) / 2.0, l);
+    const std::vector<double> phi = potential_table(game);
+    const PotentialStats stats = potential_stats(game.space(), phi);
+    const double beta = c_const / (double(n) * stats.local_variation);
+    LogitChain chain(game, beta);
+    const MixingResult mix = harness::exact_tmix(chain);
+    const double nlogn = double(n) * std::log(double(n));
+    const double bound = bounds::thm36_tmix_upper(n, c_const, 0.25);
+    table.row()
+        .cell(n)
+        .cell(size_t(1) << n)
+        .cell(beta, 4)
+        .cell(harness::tmix_cell(mix))
+        .cell(nlogn, 1)
+        .cell(double(mix.time) / nlogn, 3)
+        .cell(bound, 1)
+        .cell(double(mix.time) <= bound ? "yes" : "NO");
+  }
+  table.print();
+
+  report.section("random potential games (m = 2) at admissible beta");
+  const uint64_t seed = opts.seed_or(11);
+  report.record_seed("random_potential", seed);
+  Rng rng(seed);
+  ReportTable& table2 =
+      report.table({"n", "deltaPhi", "beta", "t_mix", "thm 3.6 bound",
+                    "holds"});
+  for (int n : opts.smoke ? std::vector<int>{4} : std::vector<int>{4, 6, 8}) {
+    const TablePotentialGame game =
+        make_random_potential_game(ProfileSpace(n, 2), 2.0, rng);
+    const std::vector<double> phi(game.potential_table().begin(),
+                                  game.potential_table().end());
+    const PotentialStats stats = potential_stats(game.space(), phi);
+    const double beta = c_const / (double(n) * stats.local_variation);
+    LogitChain chain(game, beta);
+    const MixingResult mix = harness::exact_tmix(chain);
+    const double bound = bounds::thm36_tmix_upper(n, c_const, 0.25);
+    table2.row()
+        .cell(n)
+        .cell(stats.local_variation, 3)
+        .cell(beta, 4)
+        .cell(harness::tmix_cell(mix))
+        .cell(bound, 1)
+        .cell(double(mix.time) <= bound ? "yes" : "NO");
+  }
+  table2.print();
+
+  if (opts.smoke) return;
+
+  report.section(
+      "contrast: same plateau game, beta just above the regime (10x)");
+  ReportTable& table3 =
+      report.table({"n", "beta_small", "t_mix_small", "beta_large(10x)",
+                    "t_mix_large"});
+  for (int n : {6, 8}) {
+    PlateauGame game(n, double(n) / 2.0, l);
+    const std::vector<double> phi = potential_table(game);
+    const PotentialStats stats = potential_stats(game.space(), phi);
+    const double beta = c_const / (double(n) * stats.local_variation);
+    // One chain for both regimes: set_beta replaces per-beta rebuilds.
+    LogitChain chain(game, beta);
+    const MixingResult small = harness::exact_tmix(chain);
+    chain.set_beta(10.0 * beta);
+    const MixingResult large = harness::exact_tmix(chain);
+    table3.row()
+        .cell(n)
+        .cell(beta, 4)
+        .cell(harness::tmix_cell(small))
+        .cell(10.0 * beta, 4)
+        .cell(harness::tmix_cell(large));
+  }
+  table3.print();
+}
+
+}  // namespace
+
+void register_t36_small_beta(ExperimentRegistry& reg) {
+  ScenarioSpec spec;
+  spec.family = "plateau";
+  spec.n = 10;
+  spec.params.set("local_variation", 1.0);
+  reg.add({"t36_small_beta", "E5: small-beta regime (Theorem 3.6)",
+           "beta <= c/(n*deltaPhi), c = 1/2  =>  t_mix <= n(log n + "
+           "log 4)/(1-c) = O(n log n)",
+           spec, run});
+}
+
+}  // namespace logitdyn::scenario

@@ -1,0 +1,160 @@
+// Experiment E8 — Theorem 5.1: graphical coordination games mix in time
+// exp(chi(G) (delta0+delta1) beta) * poly(n), chi(G) = cutwidth. Port of
+// bench/exp_t51_cutwidth; stdout unchanged on defaults.
+#include <string>
+
+#include "analysis/bounds.hpp"
+#include "analysis/spectral.hpp"
+#include "core/chain.hpp"
+#include "games/graphical_coordination.hpp"
+#include "graph/builders.hpp"
+#include "graph/cutwidth.hpp"
+#include "rng/rng.hpp"
+#include "scenario/experiments.hpp"
+#include "scenario/harness.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn::scenario {
+namespace {
+
+void run(const ScenarioSpec& spec, const RunOptions& opts, Report& report) {
+  report.header(
+      "E8: cutwidth controls graphical-coordination mixing (Theorem 5.1)",
+      "claim: t_mix <= 2n^3 e^{chi(G)(d0+d1)beta} (n d0 beta + 1)");
+
+  const CoordinationPayoffs pay = CoordinationPayoffs::from_deltas(
+      spec.params.at("delta0").as_double(),
+      spec.params.at("delta1").as_double());
+  // The topology comparisons are per-beta; silently dropping grid entries
+  // would misreport what was swept.
+  if (opts.beta_grid.size() > 1) {
+    throw Error("t51_cutwidth runs at a single beta; pass one --beta-grid "
+                "value");
+  }
+  const double beta = opts.betas_or({0.8})[0];
+
+  report.section("topology sweep at n = 6, delta0 = 1, delta1 = 0.5, "
+                 "beta = 0.8");
+  struct Case {
+    const char* name;
+    Graph graph;
+  };
+  const Case cases[] = {
+      {"path", make_path(6)},        {"binary-tree", make_binary_tree(6)},
+      {"ring", make_ring(6)},        {"star", make_star(6)},
+      {"grid-2x3", make_grid(2, 3)}, {"clique", make_clique(6)},
+  };
+  ReportTable& table = report.table(
+      {"graph", "chi(G)", "t_mix (exact)", "thm 5.1 bound", "holds"});
+  for (const Case& c : cases) {
+    GraphicalCoordinationGame game(c.graph, pay);
+    LogitChain chain(game, beta);
+    const MixingResult mix = harness::exact_tmix(chain);
+    const double chi = double(cutwidth_exact(c.graph));
+    const double bound =
+        bounds::thm51_tmix_upper(6, beta, chi, pay.delta0(), pay.delta1());
+    table.row()
+        .cell(c.name)
+        .cell(int64_t(chi))
+        .cell(harness::tmix_cell(mix))
+        .cell_sci(bound)
+        .cell(!mix.converged || double(mix.time) <= bound ? "yes" : "NO");
+  }
+  table.print();
+
+  report.section(
+      "mixing tracks cutwidth: same |E| ~ n, increasing chi (beta = 1.2)");
+  // Path, ring, and star have 5-6 edges on 6 vertices but cutwidth 1, 2, 3.
+  ReportTable& track = report.table({"graph", "chi(G)", "t_mix (exact)"});
+  const Case sparse[] = {
+      {"path", make_path(6)}, {"ring", make_ring(6)}, {"star", make_star(6)}};
+  for (const Case& c : sparse) {
+    GraphicalCoordinationGame game(c.graph, pay);
+    const MixingResult mix = harness::exact_tmix(LogitChain(game, 1.2));
+    track.row()
+        .cell(c.name)
+        .cell(int64_t(cutwidth_exact(c.graph)))
+        .cell(harness::tmix_cell(mix));
+  }
+  track.print();
+
+  if (opts.smoke) return;  // the solver ablation + 8192-state Lanczos runs
+
+  report.section("cutwidth solver ablation: exact DP vs heuristic");
+  const uint64_t seed = opts.seed_or(31);
+  report.record_seed("cutwidth_heuristic", seed);
+  Rng rng(seed);
+  ReportTable& solver =
+      report.table({"graph", "n", "exact chi", "heuristic chi", "optimal?"});
+  struct SolverCase {
+    std::string name;
+    Graph graph;
+  };
+  std::vector<SolverCase> solver_cases;
+  solver_cases.push_back({"ring(16)", make_ring(16)});
+  solver_cases.push_back({"grid-4x4", make_grid(4, 4)});
+  solver_cases.push_back({"binary-tree(15)", make_binary_tree(15)});
+  solver_cases.push_back({"G(14,0.3)", make_erdos_renyi(14, 0.3, rng)});
+  solver_cases.push_back({"random-3-regular(14)",
+                          make_random_regular(14, 3, rng)});
+  for (const SolverCase& c : solver_cases) {
+    const uint32_t exact = cutwidth_exact(c.graph);
+    const CutwidthHeuristicResult h = cutwidth_heuristic(c.graph, rng, 8);
+    solver.row()
+        .cell(c.name)
+        .cell(int64_t(c.graph.num_vertices()))
+        .cell(int64_t(exact))
+        .cell(int64_t(h.cutwidth))
+        .cell(h.cutwidth == exact ? "yes" : "upper bound only");
+  }
+  solver.print();
+
+  report.section(
+      "operator scale: relaxation time tracks cutwidth at n = 13 "
+      "(8192 states, Lanczos on the matrix-free kernel)");
+  // The full chain no longer fits the dense path; the operator path
+  // reproduces the Theorem 5.1 ordering — same edge budget, growing
+  // cutwidth, growing t_rel — without materializing P.
+  const Case big[] = {
+      {"path", make_path(13)}, {"ring", make_ring(13)}, {"star", make_star(13)}};
+  ReportTable& scale = report.table(
+      {"graph", "chi(G)", "spectral gap", "t_rel", "lanczos iters"});
+  for (const Case& c : big) {
+    GraphicalCoordinationGame game(c.graph, pay);
+    LogitChain chain(game, beta);
+    const std::vector<double> pi = chain.stationary();
+    SpectralOptions sopts;  // 8192 > cutover: operator path by default
+    sopts.lanczos.tol = 1e-10;
+    const SpectralSummary s =
+        spectral_summary(game, beta, UpdateKind::kAsynchronous, pi, sopts);
+    scale.row()
+        .cell(c.name)
+        .cell(int64_t(cutwidth_exact(c.graph)))
+        .cell(s.spectral_gap(), 8)
+        .cell(s.relaxation_time(), 2)
+        .cell(std::to_string(s.lanczos_iterations) +
+              (s.converged ? "" : " (UNCONVERGED)"));
+  }
+  scale.print();
+  report.note("larger cutwidth -> smaller gap -> larger t_rel, as "
+              "Theorem 5.1 predicts.");
+}
+
+}  // namespace
+
+void register_t51_cutwidth(ExperimentRegistry& reg) {
+  ScenarioSpec spec;
+  spec.family = "graphical_coordination";
+  spec.n = 6;
+  spec.params.set("delta0", 1.0).set("delta1", 0.5);
+  Json topo = Json::object();
+  topo.set("kind", "ring");
+  spec.topology = std::move(topo);
+  reg.add({"t51_cutwidth",
+           "E8: cutwidth controls graphical-coordination mixing "
+           "(Theorem 5.1)",
+           "t_mix <= 2n^3 e^{chi(G)(d0+d1)beta} (n d0 beta + 1)",
+           spec, run});
+}
+
+}  // namespace logitdyn::scenario

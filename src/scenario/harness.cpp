@@ -1,0 +1,29 @@
+#include "scenario/harness.hpp"
+
+namespace logitdyn::harness {
+
+MixingResult exact_tmix(const DenseMatrix& p, const std::vector<double>& pi,
+                        uint64_t max_time) {
+  return mixing_time_doubling(p, pi, 0.25, max_time);
+}
+
+MixingResult exact_tmix(const LogitChain& chain, uint64_t max_time) {
+  return exact_tmix(chain.dense_transition(), chain.stationary(), max_time);
+}
+
+MixingResult exact_tmix(const BirthDeathChain& bd, uint64_t max_time) {
+  return mixing_time_doubling(bd.transition(), bd.stationary(), 0.25,
+                              max_time);
+}
+
+LineFit rate_fit(const std::vector<double>& betas,
+                 const std::vector<double>& times) {
+  return fit_exponential_rate(betas, times);
+}
+
+std::string tmix_cell(const MixingResult& r) {
+  if (!r.converged) return "> budget";
+  return std::to_string(r.time);
+}
+
+}  // namespace logitdyn::harness

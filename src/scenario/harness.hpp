@@ -1,0 +1,37 @@
+// Shared measurement helpers for registered experiments — the one home of
+// the exact-mixing-time conveniences that used to live (three overloads
+// deep) in bench/bench_common.hpp. bench_common now forwards here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/mixing.hpp"
+#include "core/chain.hpp"
+#include "core/lumped.hpp"
+#include "support/fit.hpp"
+
+namespace logitdyn::harness {
+
+/// Exact worst-case t_mix(1/4) of a dense chain; `converged == false` on
+/// budget blowout (callers print "> budget" via tmix_cell).
+MixingResult exact_tmix(const DenseMatrix& p, const std::vector<double>& pi,
+                        uint64_t max_time = uint64_t(1) << 36);
+
+/// Exact worst-case t_mix of a LogitChain (builds the dense matrix).
+MixingResult exact_tmix(const LogitChain& chain,
+                        uint64_t max_time = uint64_t(1) << 36);
+
+/// Exact worst-case t_mix of a lumped birth-death chain.
+MixingResult exact_tmix(const BirthDeathChain& bd,
+                        uint64_t max_time = uint64_t(1) << 44);
+
+/// Fit log(t_mix) = a + rate * beta and report (rate, r^2).
+LineFit rate_fit(const std::vector<double>& betas,
+                 const std::vector<double>& times);
+
+/// Table cell for a MixingResult: the time, or "> budget".
+std::string tmix_cell(const MixingResult& r);
+
+}  // namespace logitdyn::harness

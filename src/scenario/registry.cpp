@@ -1,0 +1,103 @@
+#include "scenario/registry.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "support/error.hpp"
+
+namespace logitdyn::scenario {
+
+ExperimentRegistry& ExperimentRegistry::instance() {
+  static ExperimentRegistry* reg = [] {
+    auto* r = new ExperimentRegistry();
+    register_builtin_experiments(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+void ExperimentRegistry::add(ExperimentInfo info) {
+  LD_CHECK(!info.name.empty(), "experiment name must be non-empty");
+  LD_CHECK(static_cast<bool>(info.run), "experiment \"", info.name,
+           "\" has no run function");
+  for (const ExperimentInfo& existing : experiments_) {
+    LD_CHECK(existing.name != info.name, "duplicate experiment \"",
+             info.name, "\"");
+  }
+  experiments_.push_back(std::move(info));
+}
+
+bool ExperimentRegistry::contains(const std::string& name) const {
+  for (const ExperimentInfo& e : experiments_) {
+    if (e.name == name) return true;
+  }
+  return false;
+}
+
+const ExperimentInfo& ExperimentRegistry::get(const std::string& name) const {
+  for (const ExperimentInfo& e : experiments_) {
+    if (e.name == name) return e;
+  }
+  std::string known;
+  for (const ExperimentInfo& e : experiments_) {
+    if (!known.empty()) known += ", ";
+    known += e.name;
+  }
+  throw Error("unknown experiment \"" + name + "\" (known: " + known + ")");
+}
+
+std::vector<std::string> ExperimentRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(experiments_.size());
+  for (const ExperimentInfo& e : experiments_) out.push_back(e.name);
+  return out;
+}
+
+void ExperimentRegistry::run(const std::string& name,
+                             const ScenarioSpec* spec, const RunOptions& opts,
+                             Report& report) const {
+  const ExperimentInfo& info = get(name);
+  const ScenarioSpec chosen = spec ? *spec : info.default_scenario;
+  // Validate up front so a bad spec fails before any compute (and so the
+  // report records the fully-defaulted parameters actually used).
+  const ScenarioSpec full = GameRegistry::instance().validated(chosen);
+  report.set_scenario(full.to_json());
+  report.set_options(opts.to_json());
+  report.set_title_claim(info.title, info.claim);
+  info.run(full, opts, report);
+}
+
+std::vector<double> parse_beta_list(const std::string& arg) {
+  std::vector<double> betas;
+  std::string::size_type pos = 0;
+  while (pos <= arg.size()) {
+    const std::string::size_type comma = arg.find(',', pos);
+    const std::string tok =
+        arg.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) {
+      char* end = nullptr;
+      const double beta = std::strtod(tok.c_str(), &end);
+      if (end != tok.c_str() + tok.size()) {
+        throw Error("bad beta value: " + tok);
+      }
+      betas.push_back(beta);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (betas.empty()) throw Error("bad beta list: " + arg);
+  return betas;
+}
+
+int run_registered_main(const std::string& name) {
+  try {
+    Report report(name);
+    ExperimentRegistry::instance().run(name, nullptr, RunOptions{}, report);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace logitdyn::scenario

@@ -1,0 +1,64 @@
+// ExperimentRegistry (DESIGN.md §10): experiments register as named
+// functions (const ScenarioSpec&, const RunOptions&, Report&) and every
+// front end — the logitdyn_lab CLI, the thin bench shims, the tests —
+// runs them through one entry point. Adding a paper experiment means
+// registering a function, not writing a binary.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "scenario/report.hpp"
+#include "scenario/scenario.hpp"
+
+namespace logitdyn::scenario {
+
+using ExperimentFn =
+    std::function<void(const ScenarioSpec&, const RunOptions&, Report&)>;
+
+struct ExperimentInfo {
+  std::string name;   ///< registry key, e.g. "t56_ring"
+  std::string title;  ///< header line (also shown by `logitdyn_lab list`)
+  std::string claim;  ///< the paper claim the experiment reproduces
+  ScenarioSpec default_scenario;
+  ExperimentFn run;
+};
+
+class ExperimentRegistry {
+ public:
+  /// The singleton, with all built-in experiments registered.
+  static ExperimentRegistry& instance();
+
+  void add(ExperimentInfo info);  ///< throws Error on duplicate names
+
+  bool contains(const std::string& name) const;
+  const ExperimentInfo& get(const std::string& name) const;  ///< throws
+  std::vector<std::string> names() const;  ///< registration order
+
+  /// Run one experiment into `report`: fills the report's scenario/options
+  /// meta, validates the spec against the game registry, and invokes the
+  /// experiment function. `spec == nullptr` runs the default scenario.
+  void run(const std::string& name, const ScenarioSpec* spec,
+           const RunOptions& opts, Report& report) const;
+
+ private:
+  ExperimentRegistry() = default;
+  std::vector<ExperimentInfo> experiments_;
+};
+
+/// Entry point for the thin bench shims: run `name` on its default
+/// scenario and options, echoing to stdout exactly like the pre-registry
+/// binary; returns a process exit code.
+int run_registered_main(const std::string& name);
+
+/// Registers every built-in experiment (idempotent; called by
+/// ExperimentRegistry::instance()).
+void register_builtin_experiments(ExperimentRegistry& registry);
+
+/// Parse a comma-separated beta grid ("0.5,1.0,2"); throws Error on bad
+/// tokens or an empty list. Shared by every CLI front end.
+std::vector<double> parse_beta_list(const std::string& arg);
+
+}  // namespace logitdyn::scenario

@@ -1,0 +1,370 @@
+#include "scenario/report.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <iostream>
+#include <thread>
+
+#include "support/error.hpp"
+
+#ifndef LOGITDYN_GIT_SHA
+#define LOGITDYN_GIT_SHA "unknown"
+#endif
+
+namespace logitdyn::scenario {
+
+// ------------------------------------------------------------ ReportTable
+
+ReportTable::ReportTable(Report* report, std::vector<std::string> headers)
+    : report_(report), table_(headers), headers_(std::move(headers)) {}
+
+ReportTable& ReportTable::row() {
+  table_.row();
+  rows_.emplace_back();
+  return *this;
+}
+
+ReportTable& ReportTable::cell(const std::string& value) {
+  table_.cell(value);
+  rows_.back().push_back(Json(value));
+  return *this;
+}
+
+ReportTable& ReportTable::cell(const char* value) {
+  return cell(std::string(value));
+}
+
+ReportTable& ReportTable::cell(double value, int precision) {
+  table_.cell(value, precision);
+  rows_.back().push_back(Json(value));
+  return *this;
+}
+
+ReportTable& ReportTable::cell(int64_t value) {
+  table_.cell(value);
+  rows_.back().push_back(Json(value));
+  return *this;
+}
+
+ReportTable& ReportTable::cell(size_t value) {
+  table_.cell(value);
+  rows_.back().push_back(Json(uint64_t(value)));
+  return *this;
+}
+
+ReportTable& ReportTable::cell_sci(double value, int precision) {
+  table_.cell_sci(value, precision);
+  rows_.back().push_back(Json(value));
+  return *this;
+}
+
+void ReportTable::print() {
+  if (report_->echo()) table_.print(*report_->echo());
+}
+
+Json ReportTable::to_json() const {
+  Json headers = Json::array();
+  for (const std::string& h : headers_) headers.push_back(Json(h));
+  Json rows = Json::array();
+  for (const std::vector<Json>& row : rows_) {
+    Json r = Json::array();
+    for (const Json& cell : row) r.push_back(cell);
+    rows.push_back(std::move(r));
+  }
+  Json j = Json::object();
+  j.set("headers", std::move(headers));
+  j.set("rows", std::move(rows));
+  return j;
+}
+
+// ------------------------------------------------------------- RunOptions
+
+Json RunOptions::to_json() const {
+  Json j = Json::object();
+  if (seed) j.set("seed", *seed);
+  if (!beta_grid.empty()) {
+    Json grid = Json::array();
+    for (double b : beta_grid) grid.push_back(Json(b));
+    j.set("beta_grid", std::move(grid));
+  }
+  j.set("smoke", smoke);
+  if (threads != 0) j.set("threads", threads);
+  return j;
+}
+
+// ----------------------------------------------------------------- Report
+
+Report::Report(std::string name)
+    : name_(std::move(name)), echo_(&std::cout) {
+  sections_.emplace_back();  // implicit untitled section
+}
+
+Report::Section& Report::current() { return sections_.back(); }
+
+void Report::header(const std::string& title, const std::string& claim) {
+  title_ = title;
+  claim_ = claim;
+  if (echo_) {
+    *echo_ << "\n==================================================\n"
+           << title << "\n"
+           << claim << "\n"
+           << "==================================================\n";
+  }
+}
+
+void Report::section(const std::string& title, bool print_banner) {
+  sections_.emplace_back();
+  sections_.back().title = title;
+  if (echo_ && print_banner) *echo_ << "\n--- " << title << " ---\n";
+}
+
+ReportTable& Report::table(std::vector<std::string> headers) {
+  current().tables.emplace_back(
+      new ReportTable(this, std::move(headers)));
+  return *current().tables.back();
+}
+
+void Report::note(const std::string& text) {
+  current().notes.push_back(text);
+  if (echo_) *echo_ << text << "\n";
+}
+
+void Report::record_fit(const std::string& name, const LineFit& fit,
+                        double predicted_rate) {
+  Json j = Json::object();
+  j.set("name", name);
+  j.set("slope", fit.slope);
+  j.set("intercept", fit.intercept);
+  j.set("r2", fit.r2);
+  j.set("predicted_rate", predicted_rate);
+  current().fits.push_back(std::move(j));
+}
+
+void Report::record_value(const std::string& name, Json value) {
+  current().values.set(name, std::move(value));
+}
+
+void Report::record_seed(const std::string& name, uint64_t seed) {
+  // JSON numbers are doubles: seeds above 2^53 would be silently rounded
+  // in the reproducibility record, so store those as decimal strings.
+  if (seed <= (uint64_t(1) << 53)) {
+    seeds_.set(name, seed);
+  } else {
+    seeds_.set(name, std::to_string(seed));
+  }
+}
+
+Json Report::to_json() const {
+  Json config = Json::object();
+  config.set("title", title_);
+  config.set("claim", claim_);
+  if (scenario_.is_object()) config.set("scenario", scenario_);
+  if (options_.is_object()) config.set("options", options_);
+  if (seeds_.size() > 0) config.set("seeds", seeds_);
+
+  Json sections = Json::array();
+  for (const Section& s : sections_) {
+    // Skip an empty implicit preamble so documents stay minimal.
+    if (s.title.empty() && s.tables.empty() && s.notes.empty() &&
+        s.fits.size() == 0 && s.values.size() == 0) {
+      continue;
+    }
+    Json sec = Json::object();
+    sec.set("title", s.title);
+    Json tables = Json::array();
+    for (const auto& t : s.tables) tables.push_back(t->to_json());
+    sec.set("tables", std::move(tables));
+    Json notes = Json::array();
+    for (const std::string& n : s.notes) notes.push_back(Json(n));
+    sec.set("notes", std::move(notes));
+    sec.set("fits", s.fits);
+    sec.set("values", s.values);
+    sections.push_back(std::move(sec));
+  }
+  Json measurements = Json::object();
+  measurements.set("sections", std::move(sections));
+  return make_document("experiment", name_, std::move(config),
+                       std::move(measurements));
+}
+
+// ------------------------------------------------------ shared documents
+
+Json environment_json() {
+  Json env = Json::object();
+  const char* sha = std::getenv("LOGITDYN_GIT_SHA");
+  env.set("git_sha", sha && *sha ? sha : LOGITDYN_GIT_SHA);
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  char buf[32];
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  env.set("timestamp", std::string(buf));
+  env.set("threads",
+          uint64_t(std::max(1u, std::thread::hardware_concurrency())));
+  return env;
+}
+
+Json make_document(const std::string& kind, const std::string& name,
+                   Json config, Json measurements) {
+  Json doc = Json::object();
+  doc.set("schema_version", 1);
+  doc.set("kind", kind);
+  doc.set("name", name);
+  doc.set("config", std::move(config));
+  doc.set("environment", environment_json());
+  doc.set("measurements", std::move(measurements));
+  return doc;
+}
+
+// -------------------------------------------------------------- validator
+
+namespace {
+
+bool fail(std::string* error, const std::string& what) {
+  if (error) *error = what;
+  return false;
+}
+
+bool validate_experiment_measurements(const Json& m, std::string* error) {
+  const Json* sections = m.find("sections");
+  if (!sections || !sections->is_array()) {
+    return fail(error, "experiment measurements need a \"sections\" array");
+  }
+  for (size_t s = 0; s < sections->size(); ++s) {
+    const Json& sec = sections->at(s);
+    const std::string where = "sections[" + std::to_string(s) + "]";
+    if (!sec.is_object()) return fail(error, where + " is not an object");
+    const Json* title = sec.find("title");
+    if (!title || !title->is_string()) {
+      return fail(error, where + " needs a string \"title\"");
+    }
+    const Json* tables = sec.find("tables");
+    if (!tables || !tables->is_array()) {
+      return fail(error, where + " needs a \"tables\" array");
+    }
+    for (size_t t = 0; t < tables->size(); ++t) {
+      const Json& table = tables->at(t);
+      const std::string twhere = where + ".tables[" + std::to_string(t) + "]";
+      if (!table.is_object()) return fail(error, twhere + " is not an object");
+      const Json* headers = table.find("headers");
+      const Json* rows = table.find("rows");
+      if (!headers || !headers->is_array() || !rows || !rows->is_array()) {
+        return fail(error, twhere + " needs \"headers\" and \"rows\" arrays");
+      }
+      for (size_t r = 0; r < rows->size(); ++r) {
+        if (!rows->at(r).is_array() ||
+            rows->at(r).size() != headers->size()) {
+          return fail(error, twhere + ".rows[" + std::to_string(r) +
+                                 "] length disagrees with headers");
+        }
+      }
+    }
+    const Json* notes = sec.find("notes");
+    if (!notes || !notes->is_array()) {
+      return fail(error, where + " needs a \"notes\" array");
+    }
+    const Json* fits = sec.find("fits");
+    if (!fits || !fits->is_array()) {
+      return fail(error, where + " needs a \"fits\" array");
+    }
+    for (size_t f = 0; f < fits->size(); ++f) {
+      const Json& fit = fits->at(f);
+      if (!fit.is_object() || !fit.contains("name") ||
+          !fit.contains("slope") || !fit.contains("r2")) {
+        return fail(error, where + ".fits[" + std::to_string(f) +
+                               "] needs name/slope/r2");
+      }
+    }
+    const Json* values = sec.find("values");
+    if (!values || !values->is_object()) {
+      return fail(error, where + " needs a \"values\" object");
+    }
+  }
+  return true;
+}
+
+bool validate_document(const Json& doc, std::string* error, int depth);
+
+bool validate_sweep_measurements(const Json& m, std::string* error) {
+  const Json* runs = m.find("runs");
+  if (!runs || !runs->is_array()) {
+    return fail(error, "experiment_sweep measurements need a \"runs\" array");
+  }
+  for (size_t r = 0; r < runs->size(); ++r) {
+    std::string inner;
+    if (!validate_document(runs->at(r), &inner, 1)) {
+      return fail(error, "runs[" + std::to_string(r) + "]: " + inner);
+    }
+  }
+  return true;
+}
+
+bool validate_document(const Json& doc, std::string* error, int depth) {
+  if (!doc.is_object()) return fail(error, "document is not a JSON object");
+  const Json* version = doc.find("schema_version");
+  if (!version || !version->is_number() || version->as_int() != 1) {
+    return fail(error, "schema_version must be 1");
+  }
+  const Json* kind = doc.find("kind");
+  if (!kind || !kind->is_string()) {
+    return fail(error, "missing string \"kind\"");
+  }
+  const Json* name = doc.find("name");
+  if (!name || !name->is_string() || name->as_string().empty()) {
+    return fail(error, "missing non-empty string \"name\"");
+  }
+  const Json* config = doc.find("config");
+  if (!config || !config->is_object()) {
+    return fail(error, "missing \"config\" object");
+  }
+  const Json* env = doc.find("environment");
+  if (!env || !env->is_object()) {
+    return fail(error, "missing \"environment\" object");
+  }
+  for (const char* key : {"git_sha", "timestamp"}) {
+    const Json* v = env->find(key);
+    if (!v || !v->is_string()) {
+      return fail(error, std::string("environment needs string \"") + key +
+                             "\"");
+    }
+  }
+  if (!env->contains("threads") || !env->at("threads").is_number()) {
+    return fail(error, "environment needs numeric \"threads\"");
+  }
+  const Json* measurements = doc.find("measurements");
+  if (!measurements || !measurements->is_object()) {
+    return fail(error, "missing \"measurements\" object");
+  }
+  const std::string& k = kind->as_string();
+  if (k == "experiment") {
+    return validate_experiment_measurements(*measurements, error);
+  }
+  if (k == "bench") {
+    const Json* results = measurements->find("results");
+    if (!results || !results->is_array()) {
+      return fail(error, "bench measurements need a \"results\" array");
+    }
+    for (size_t r = 0; r < results->size(); ++r) {
+      if (!results->at(r).is_object()) {
+        return fail(error,
+                    "results[" + std::to_string(r) + "] is not an object");
+      }
+    }
+    return true;
+  }
+  if (k == "experiment_sweep") {
+    if (depth > 0) return fail(error, "nested experiment_sweep");
+    return validate_sweep_measurements(*measurements, error);
+  }
+  return fail(error, "unknown kind \"" + k + "\"");
+}
+
+}  // namespace
+
+bool validate_report_json(const Json& doc, std::string* error) {
+  return validate_document(doc, error, 0);
+}
+
+}  // namespace logitdyn::scenario

@@ -1,0 +1,167 @@
+// Experiment Report (DESIGN.md §10): one object that captures everything a
+// registered experiment produces — the aligned stdout tables the bench
+// binaries have always printed, AND a structured JSON document (sections,
+// tables with raw cells, rate fits, named values, seeds, git SHA,
+// timestamp) through the shared support/json writer. The stdout rendering
+// is byte-identical to the pre-registry binaries; the JSON is what the
+// perf/paper tooling diffs across PRs.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/fit.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+namespace logitdyn::scenario {
+
+class Report;
+
+/// A table inside a Report: same fluent cell API as support/table's Table
+/// (identical stdout formatting), plus raw-value capture for the JSON
+/// document. Obtained from Report::table(); print() renders to the
+/// report's echo stream.
+class ReportTable {
+ public:
+  ReportTable& row();
+  ReportTable& cell(const std::string& value);
+  ReportTable& cell(const char* value);
+  ReportTable& cell(double value, int precision = 4);
+  ReportTable& cell(int64_t value);
+  ReportTable& cell(int value) { return cell(int64_t(value)); }
+  ReportTable& cell(size_t value);
+  ReportTable& cell_sci(double value, int precision = 3);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Render the aligned table to the report's echo stream (no-op when the
+  /// report is silenced). May be called once per table, after filling.
+  void print();
+
+  Json to_json() const;
+
+ private:
+  friend class Report;
+  ReportTable(Report* report, std::vector<std::string> headers);
+
+  Report* report_;
+  Table table_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Json>> rows_;
+};
+
+/// Run options shared by every registered experiment (see registry.hpp for
+/// the experiment side). Declared here so Report can serialize them.
+struct RunOptions {
+  /// Master seed override. Experiments fall back to their historical
+  /// hard-coded seeds via seed_or(), so default runs stay bit-identical
+  /// to the pre-registry binaries; every effective seed is recorded in
+  /// the report.
+  std::optional<uint64_t> seed;
+  /// Beta grid override for the experiment's primary sweep (empty = the
+  /// experiment's published grid).
+  std::vector<double> beta_grid;
+  /// Tiny-scenario mode: experiments shrink sizes/grids so a full sweep of
+  /// the registry finishes in seconds (CI smoke, tests).
+  bool smoke = false;
+  /// Thread count for scenario sweeps (0 = ThreadPool::global()).
+  int threads = 0;
+
+  uint64_t seed_or(uint64_t fallback) const {
+    return seed ? *seed : fallback;
+  }
+  std::vector<double> betas_or(std::vector<double> fallback) const {
+    return beta_grid.empty() ? std::move(fallback) : beta_grid;
+  }
+
+  Json to_json() const;
+};
+
+class Report {
+ public:
+  explicit Report(std::string name);
+  // ReportTables hold a back-pointer to their Report, so the object is
+  // pinned: callers construct it in place and pass it by reference.
+  Report(const Report&) = delete;
+  Report& operator=(const Report&) = delete;
+
+  /// Where header/section/table/note render; &std::cout by default,
+  /// nullptr silences stdout entirely (parallel sweeps, tests).
+  void set_echo(std::ostream* os) { echo_ = os; }
+  std::ostream* echo() const { return echo_; }
+
+  // ----------------------------------------------- experiment-facing API
+  /// The banner the bench binaries print: experiment line + claim line.
+  void header(const std::string& title, const std::string& claim);
+  /// Start a new section ("--- title ---"; pass print_banner = false for
+  /// experiments that draw their own section headings). Content recorded
+  /// before the first section() lands in an implicit untitled section.
+  void section(const std::string& title, bool print_banner = true);
+  ReportTable& table(std::vector<std::string> headers);
+  /// One line of prose, echoed verbatim + '\n' and recorded.
+  void note(const std::string& text);
+  /// Record a least-squares rate fit with the paper-predicted rate it is
+  /// compared against (JSON only; experiments print their own prose).
+  void record_fit(const std::string& name, const LineFit& fit,
+                  double predicted_rate);
+  /// Record a named scalar/structured value in the current section.
+  void record_value(const std::string& name, Json value);
+  /// Record an effective RNG seed (JSON config.seeds).
+  void record_seed(const std::string& name, uint64_t seed);
+
+  // --------------------------------------------------------- meta + JSON
+  void set_scenario(Json scenario_json) { scenario_ = std::move(scenario_json); }
+  void set_options(Json options_json) { options_ = std::move(options_json); }
+  /// Record title/claim without echoing a banner (registry metadata for
+  /// experiments that draw their own headings); header() overrides.
+  void set_title_claim(const std::string& title, const std::string& claim) {
+    title_ = title;
+    claim_ = claim;
+  }
+
+  const std::string& name() const { return name_; }
+  const std::string& title() const { return title_; }
+
+  /// The full schema-versioned document (validate_report_json accepts it).
+  Json to_json() const;
+
+ private:
+  friend class ReportTable;
+  struct Section {
+    std::string title;
+    std::vector<std::unique_ptr<ReportTable>> tables;
+    std::vector<std::string> notes;
+    Json fits = Json::array();
+    Json values = Json::object();
+  };
+  Section& current();
+
+  std::string name_;
+  std::string title_, claim_;
+  std::ostream* echo_;
+  Json scenario_;
+  Json options_;
+  Json seeds_ = Json::object();
+  std::vector<Section> sections_;
+};
+
+/// environment block shared by every emitted document: git SHA (the
+/// LOGITDYN_GIT_SHA env var wins over the compiled-in value), UTC
+/// timestamp, hardware thread count.
+Json environment_json();
+
+/// Skeleton shared by experiment reports and the BENCH_* emitters:
+/// {schema_version, kind, name, config, environment, measurements}.
+Json make_document(const std::string& kind, const std::string& name,
+                   Json config, Json measurements);
+
+/// Validate a document emitted by make_document/Report::to_json (kinds:
+/// "experiment", "bench", "experiment_sweep"). Returns true when valid;
+/// otherwise false with a description in *error.
+bool validate_report_json(const Json& doc, std::string* error);
+
+}  // namespace logitdyn::scenario

@@ -1,0 +1,665 @@
+#include "scenario/scenario.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "games/congestion.hpp"
+#include "games/coordination.hpp"
+#include "games/dominant.hpp"
+#include "games/graphical_coordination.hpp"
+#include "games/ising.hpp"
+#include "games/plateau.hpp"
+#include "games/random_potential.hpp"
+#include "games/table_game.hpp"
+#include "graph/builders.hpp"
+#include "rng/rng.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn::scenario {
+
+// ------------------------------------------------------------ ScenarioSpec
+
+Json ScenarioSpec::to_json() const {
+  Json j = Json::object();
+  j.set("family", family);
+  if (n != 0) j.set("n", n);
+  if (params.is_object() && params.size() > 0) j.set("params", params);
+  if (topology.is_object()) j.set("topology", topology);
+  return j;
+}
+
+ScenarioSpec ScenarioSpec::from_json(const Json& j) {
+  if (!j.is_object()) throw Error("scenario spec must be a JSON object");
+  ScenarioSpec spec;
+  spec.family = j.at("family").as_string();
+  for (const auto& [key, value] : j.members()) {
+    if (key == "family") {
+      continue;
+    } else if (key == "n") {
+      spec.n = int(value.as_int());
+    } else if (key == "params") {
+      if (!value.is_object()) throw Error("scenario \"params\" must be an object");
+      spec.params = value;
+    } else if (key == "topology") {
+      if (!value.is_object()) {
+        throw Error("scenario \"topology\" must be an object");
+      }
+      spec.topology = value;
+    } else {
+      throw Error("unknown scenario key \"" + key + "\"");
+    }
+  }
+  return spec;
+}
+
+std::string ScenarioSpec::summary() const {
+  std::ostringstream os;
+  os << family << "(";
+  bool first = true;
+  if (n != 0) {
+    os << "n=" << n;
+    first = false;
+  }
+  if (params.is_object()) {
+    for (const auto& [key, value] : params.members()) {
+      if (!first) os << ", ";
+      first = false;
+      os << key << "=" << value.dump(0);
+    }
+  }
+  if (topology.is_object()) {
+    if (!first) os << ", ";
+    first = false;
+    os << "topology=" << topology_summary(topology, n);
+  }
+  os << ")";
+  return os.str();
+}
+
+// --------------------------------------------------------------- topology
+
+namespace {
+
+int64_t topo_int(const Json& topo, const std::string& key, int64_t fallback) {
+  const Json* v = topo.find(key);
+  return v ? v->as_int() : fallback;
+}
+
+}  // namespace
+
+namespace {
+
+/// Reject typo'd topology keys as loudly as family params are rejected.
+void check_topology_keys(const Json& topology, const std::string& kind,
+                         std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : topology.members()) {
+    (void)value;
+    if (key == "kind") continue;
+    bool ok = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      throw Error("topology \"" + kind + "\" has no parameter \"" + key +
+                  "\"");
+    }
+  }
+}
+
+}  // namespace
+
+Graph build_topology(const Json& topology, uint32_t n) {
+  if (!topology.is_object()) {
+    throw Error("topology must be a JSON object with a \"kind\"");
+  }
+  const std::string kind = topology.at("kind").as_string();
+  if (kind == "grid" || kind == "torus") {
+    check_topology_keys(topology, kind, {"rows", "cols"});
+  } else if (kind == "erdos_renyi") {
+    check_topology_keys(topology, kind, {"n", "p", "seed"});
+  } else if (kind == "random_regular") {
+    check_topology_keys(topology, kind, {"n", "d", "seed"});
+  } else {
+    check_topology_keys(topology, kind, {"n"});
+  }
+  const uint32_t tn = uint32_t(topo_int(topology, "n", int64_t(n)));
+  if (kind == "path") return make_path(tn);
+  if (kind == "ring") return make_ring(tn);
+  if (kind == "clique") return make_clique(tn);
+  if (kind == "star") return make_star(tn);
+  if (kind == "binary_tree") return make_binary_tree(tn);
+  if (kind == "grid" || kind == "torus") {
+    const int64_t rows = topo_int(topology, "rows", 0);
+    const int64_t cols = topo_int(topology, "cols", 0);
+    if (rows <= 0 || cols <= 0) {
+      throw Error("topology \"" + kind + "\" needs positive rows and cols");
+    }
+    return kind == "grid" ? make_grid(uint32_t(rows), uint32_t(cols))
+                          : make_torus(uint32_t(rows), uint32_t(cols));
+  }
+  if (kind == "erdos_renyi") {
+    const Json* p = topology.find("p");
+    if (!p) throw Error("topology \"erdos_renyi\" needs edge probability \"p\"");
+    Rng rng(uint64_t(topo_int(topology, "seed", 1)));
+    return make_erdos_renyi(tn, p->as_double(), rng);
+  }
+  if (kind == "random_regular") {
+    const int64_t d = topo_int(topology, "d", 0);
+    if (d <= 0) throw Error("topology \"random_regular\" needs degree \"d\"");
+    Rng rng(uint64_t(topo_int(topology, "seed", 1)));
+    return make_random_regular(tn, uint32_t(d), rng);
+  }
+  throw Error("unknown topology kind \"" + kind +
+              "\" (expected path|ring|clique|star|grid|torus|binary_tree|"
+              "erdos_renyi|random_regular)");
+}
+
+std::string topology_summary(const Json& topology, int n) {
+  if (!topology.is_object()) return "none";
+  const std::string kind = topology.at("kind").as_string();
+  std::ostringstream os;
+  os << kind;
+  if (kind == "grid" || kind == "torus") {
+    os << "(" << topo_int(topology, "rows", 0) << "x"
+       << topo_int(topology, "cols", 0) << ")";
+  } else {
+    os << "(" << topo_int(topology, "n", n) << ")";
+  }
+  return os.str();
+}
+
+// ------------------------------------------------------------- validation
+
+namespace {
+
+const char* param_type_name(ParamSpec::Type t) {
+  switch (t) {
+    case ParamSpec::Type::kBool: return "bool";
+    case ParamSpec::Type::kInt: return "int";
+    case ParamSpec::Type::kNumber: return "number";
+    case ParamSpec::Type::kString: return "string";
+    case ParamSpec::Type::kArray: return "array";
+  }
+  return "?";
+}
+
+bool param_type_matches(ParamSpec::Type t, const Json& v) {
+  switch (t) {
+    case ParamSpec::Type::kBool: return v.is_bool();
+    case ParamSpec::Type::kInt:
+      return v.is_number() && v.as_double() == std::floor(v.as_double());
+    case ParamSpec::Type::kNumber: return v.is_number();
+    case ParamSpec::Type::kString: return v.is_string();
+    case ParamSpec::Type::kArray: return v.is_array();
+  }
+  return false;
+}
+
+// Shorthand builders for the family tables below.
+ParamSpec num_param(const std::string& name, double def,
+                    const std::string& desc) {
+  return {name, ParamSpec::Type::kNumber, false, Json(def), desc};
+}
+ParamSpec int_param(const std::string& name, int64_t def,
+                    const std::string& desc, double min_value = -1e308) {
+  return {name, ParamSpec::Type::kInt, false, Json(def), desc, min_value};
+}
+
+double pnum(const ScenarioSpec& spec, const std::string& key) {
+  return spec.params.at(key).as_double();
+}
+int64_t pint(const ScenarioSpec& spec, const std::string& key) {
+  return spec.params.at(key).as_int();
+}
+
+Json ring_topology() {
+  Json t = Json::object();
+  t.set("kind", "ring");
+  return t;
+}
+
+// ----------------------------------------------------- family factories
+
+std::unique_ptr<Game> make_coordination(const ScenarioSpec& spec) {
+  if (spec.n != 0 && spec.n != 2) {
+    throw Error("family \"coordination\" is a 2-player game (got n = " +
+                std::to_string(spec.n) + ")");
+  }
+  return std::make_unique<CoordinationGame>(CoordinationPayoffs::from_deltas(
+      pnum(spec, "delta0"), pnum(spec, "delta1")));
+}
+
+std::unique_ptr<Game> make_graphical_coordination(const ScenarioSpec& spec) {
+  return std::make_unique<GraphicalCoordinationGame>(
+      build_topology(spec.topology, uint32_t(spec.n)),
+      CoordinationPayoffs::from_deltas(pnum(spec, "delta0"),
+                                       pnum(spec, "delta1")));
+}
+
+std::unique_ptr<Game> make_ising(const ScenarioSpec& spec) {
+  return std::make_unique<IsingGame>(
+      build_topology(spec.topology, uint32_t(spec.n)),
+      pnum(spec, "coupling"), pnum(spec, "field"));
+}
+
+std::vector<double> param_per_resource(const ScenarioSpec& spec,
+                                       const std::string& key,
+                                       size_t resources) {
+  const Json& v = spec.params.at(key);
+  std::vector<double> out(resources);
+  if (v.is_number()) {
+    for (double& x : out) x = v.as_double();
+    return out;
+  }
+  if (v.size() != resources) {
+    throw Error("congestion param \"" + key + "\" must have one entry per "
+                "link (" + std::to_string(resources) + ")");
+  }
+  for (size_t r = 0; r < resources; ++r) out[r] = v.at(r).as_double();
+  return out;
+}
+
+std::unique_ptr<Game> make_congestion(const ScenarioSpec& spec) {
+  const std::string variant = spec.params.at("variant").as_string();
+  const int n = spec.n;
+  if (variant == "parallel_links") {
+    const size_t links = size_t(pint(spec, "links"));
+    return std::make_unique<CongestionGame>(make_parallel_links_game(
+        n, param_per_resource(spec, "slope", links),
+        param_per_resource(spec, "offset", links)));
+  }
+  if (variant == "routes") {
+    // The bench workload: each player picks one of two route-like subsets
+    // (size route_len, shifted per player) of `resources` shared
+    // resources, with latency[r][k] = 0.25 * (r + 1) * (k + 1).
+    const int r = int(pint(spec, "resources"));
+    const int route_len = int(pint(spec, "route_len"));
+    // The stride-2 construction below visits resources (2k + i) mod r; a
+    // route may not contain a resource twice (loads would double-count
+    // and latency[r] would be read past its n entries), which needs
+    // 2 * route_len <= resources.
+    if (2 * route_len > r) {
+      throw Error("congestion: routes needs 2 * route_len <= resources");
+    }
+    std::vector<std::vector<std::vector<int>>> strategies(
+        static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      std::vector<int> even, odd;
+      for (int k = 0; k < route_len; ++k) {
+        even.push_back((2 * k + i) % r);
+        odd.push_back((2 * k + 1 + i) % r);
+      }
+      strategies[size_t(i)] = {even, odd};
+    }
+    std::vector<std::vector<double>> latency(static_cast<size_t>(r));
+    for (int j = 0; j < r; ++j) {
+      latency[size_t(j)].resize(size_t(n));
+      for (int k = 1; k <= n; ++k) {
+        latency[size_t(j)][size_t(k - 1)] = 0.25 * double(j + 1) * double(k);
+      }
+    }
+    return std::make_unique<CongestionGame>(r, std::move(strategies),
+                                            std::move(latency));
+  }
+  throw Error("congestion variant must be \"parallel_links\" or \"routes\", "
+              "got \"" + variant + "\"");
+}
+
+std::unique_ptr<Game> make_plateau(const ScenarioSpec& spec) {
+  const Json* g = spec.params.find("global_variation");
+  const double gv = g && !g->is_null() ? g->as_double() : double(spec.n) / 2.0;
+  return std::make_unique<PlateauGame>(spec.n, gv,
+                                       pnum(spec, "local_variation"));
+}
+
+std::unique_ptr<Game> make_dominant(const ScenarioSpec& spec) {
+  return std::make_unique<AllOrNothingGame>(
+      spec.n, int32_t(pint(spec, "strategies")));
+}
+
+std::unique_ptr<Game> make_dominance(const ScenarioSpec& spec) {
+  // Guessing game ("beauty contest"): strategies 0..m-1, payoff
+  // -(x_i - factor * mean of the others)^2. With factor < 1 iterated
+  // elimination removes the top strategies round by round and leaves the
+  // all-zeros profile — the classic dominance-solvable family.
+  const int32_t m = int32_t(pint(spec, "strategies"));
+  const double factor = pnum(spec, "factor");
+  if (m < 2) throw Error("dominance: strategies must be >= 2");
+  if (factor <= 0.0 || factor >= 1.0) {
+    throw Error("dominance: factor must be in (0, 1)");
+  }
+  const int n = spec.n;
+  const ProfileSpace space(n, m);
+  return std::make_unique<TableGame>(TableGame::from_function(
+      space,
+      [n, factor](int player, const Profile& x) {
+        double sum = 0.0;
+        for (size_t j = 0; j < x.size(); ++j) {
+          if (int(j) != player) sum += double(x[j]);
+        }
+        const double target = factor * sum / double(std::max(1, n - 1));
+        const double miss = double(x[size_t(player)]) - target;
+        return -miss * miss;
+      },
+      "guessing-" + std::to_string(n) + "p" + std::to_string(m) + "s"));
+}
+
+std::unique_ptr<Game> make_random_potential(const ScenarioSpec& spec) {
+  const ProfileSpace space(spec.n, int32_t(pint(spec, "strategies")));
+  const double range = pnum(spec, "range");
+  Rng rng(uint64_t(pint(spec, "seed")));
+  if (spec.params.at("general").as_bool()) {
+    return std::make_unique<TableGame>(make_random_game(space, range, rng));
+  }
+  return std::make_unique<TablePotentialGame>(
+      make_random_potential_game(space, range, rng));
+}
+
+ProfileSpace table_space(const ScenarioSpec& spec) {
+  const Json& strategies = spec.params.at("strategies");
+  if (strategies.is_number()) {
+    if (spec.n <= 0) throw Error("table: n must be positive");
+    return ProfileSpace(spec.n, int32_t(strategies.as_int()));
+  }
+  std::vector<int32_t> sizes;
+  for (size_t i = 0; i < strategies.size(); ++i) {
+    sizes.push_back(int32_t(strategies.at(i).as_int()));
+  }
+  if (spec.n != 0 && size_t(spec.n) != sizes.size()) {
+    throw Error("table: n disagrees with the strategies array length");
+  }
+  return ProfileSpace(std::move(sizes));
+}
+
+std::unique_ptr<Game> make_table(const ScenarioSpec& spec) {
+  const ProfileSpace space = table_space(spec);
+  const Json* name = spec.params.find("name");
+  const std::string game_name =
+      name && name->is_string() ? name->as_string() : "table-game";
+  const Json* potential = spec.params.find("potential");
+  const Json* utilities = spec.params.find("utilities");
+  if ((potential != nullptr) == (utilities != nullptr)) {
+    throw Error(
+        "table: exactly one of \"potential\" (array of |S| values) or "
+        "\"utilities\" (one array of |S| values per player) is required");
+  }
+  if (potential) {
+    if (potential->size() != space.num_profiles()) {
+      throw Error("table: potential must have |S| = " +
+                  std::to_string(space.num_profiles()) + " entries, got " +
+                  std::to_string(potential->size()));
+    }
+    std::vector<double> phi(space.num_profiles());
+    for (size_t i = 0; i < phi.size(); ++i) phi[i] = potential->at(i).as_double();
+    return std::make_unique<TablePotentialGame>(space, std::move(phi),
+                                                game_name);
+  }
+  if (utilities->size() != size_t(space.num_players())) {
+    throw Error("table: utilities must have one array per player");
+  }
+  std::vector<std::vector<double>> u(utilities->size());
+  for (size_t p = 0; p < u.size(); ++p) {
+    const Json& row = utilities->at(p);
+    if (row.size() != space.num_profiles()) {
+      throw Error("table: utilities[" + std::to_string(p) +
+                  "] must have |S| = " + std::to_string(space.num_profiles()) +
+                  " entries");
+    }
+    u[p].resize(space.num_profiles());
+    for (size_t i = 0; i < u[p].size(); ++i) u[p][i] = row.at(i).as_double();
+  }
+  return std::make_unique<TableGame>(space, std::move(u), game_name);
+}
+
+// ----------------------------------------------------- built-in catalogue
+
+void register_builtin_families(GameRegistry& reg) {
+  reg.register_family(
+      {"coordination",
+       "the paper's 2x2 coordination game (Eq. (10)); always 2 players",
+       {num_param("delta0", 3.0, "equilibrium gap of (0,0): a - d"),
+        num_param("delta1", 1.0, "equilibrium gap of (1,1): b - c")},
+       false,
+       Json(),
+       2,
+       make_coordination});
+  reg.register_family(
+      {"graphical_coordination",
+       "2x2 coordination on every edge of a social graph (paper Sect. 5)",
+       {num_param("delta0", 1.0, "per-edge gap of (0,0)"),
+        num_param("delta1", 1.0, "per-edge gap of (1,1)")},
+       true,
+       ring_topology(),
+       6,
+       make_graphical_coordination});
+  reg.register_family(
+      {"ising",
+       "Ising model on a graph; its Glauber dynamics IS logit dynamics on "
+       "a coordination game with delta0 = delta1 = 2J",
+       {num_param("coupling", 0.8, "ferromagnetic coupling J"),
+        num_param("field", 0.0, "external field h")},
+       true,
+       ring_topology(),
+       6,
+       make_ising});
+  reg.register_family(
+      {"congestion",
+       "congestion game with Rosenthal potential; variant parallel_links "
+       "(n identical players on m linear-latency links) or routes (the "
+       "bench workload: two shifted route subsets per player)",
+       {{"variant", ParamSpec::Type::kString, false, Json("parallel_links"),
+         "parallel_links | routes"},
+        int_param("links", 8, "parallel_links: number of links", 1),
+        {"slope", ParamSpec::Type::kNumber, false, Json(1.0),
+         "parallel_links: latency slope per link (number or array)",
+         -1e308, /*allow_array=*/true},
+        {"offset", ParamSpec::Type::kNumber, false, Json(0.5),
+         "parallel_links: latency offset per link (number or array)",
+         -1e308, /*allow_array=*/true},
+        int_param("resources", 16, "routes: shared resource count", 1),
+        int_param("route_len", 8, "routes: resources per route", 1)},
+       false,
+       Json(),
+       10,
+       make_congestion});
+  reg.register_family(
+      {"plateau",
+       "the Theorem 3.5 lower-bound family: Phi = -l*min{c, |c - w(x)|} on "
+       "{0,1}^n with barrier height g = DeltaPhi",
+       {{"global_variation", ParamSpec::Type::kNumber, false, Json(),
+         "barrier height g (default n/2; g/l must be a positive integer)"},
+        num_param("local_variation", 1.0, "per-move variation l")},
+       false,
+       Json(),
+       6,
+       make_plateau});
+  reg.register_family(
+      {"dominance",
+       "dominance-solvable guessing game: u_i = -(x_i - factor * mean of "
+       "others)^2; iterated elimination leaves all-zeros",
+       {int_param("strategies", 3, "strategies per player", 2),
+        num_param("factor", 0.4, "target factor in (0, 1)")},
+       false,
+       Json(),
+       2,
+       make_dominance});
+  reg.register_family(
+      {"dominant",
+       "the Theorem 4.3 all-or-nothing game: strategy 0 weakly dominant, "
+       "t_mix = Theta(m^{n-1}) yet bounded in beta",
+       {int_param("strategies", 2, "strategies per player m", 2)},
+       false,
+       Json(),
+       6,
+       make_dominant});
+  reg.register_family(
+      {"random_potential",
+       "random table game: i.i.d. Uniform[0, range] potential (or, with "
+       "general=true, i.i.d. utilities — almost surely not potential)",
+       {int_param("strategies", 2, "strategies per player m", 2),
+        num_param("range", 2.0, "potential/utility range"),
+        int_param("seed", 1, "generator seed", 0),
+        {"general", ParamSpec::Type::kBool, false, Json(false),
+         "true: general (non-potential) random game"}},
+       false,
+       Json(),
+       4,
+       make_random_potential});
+  reg.register_family(
+      {"table",
+       "explicit-table game: a potential array (identical-interest) or one "
+       "utility array per player, indexed by the encoded profile",
+       {{"strategies", ParamSpec::Type::kInt, true, Json(),
+         "strategies per player (int, or array of per-player counts)",
+         1.0, /*allow_array=*/true},
+        {"potential", ParamSpec::Type::kArray, false, Json(),
+         "length-|S| potential table"},
+        {"utilities", ParamSpec::Type::kArray, false, Json(),
+         "per-player length-|S| utility tables"},
+        {"name", ParamSpec::Type::kString, false, Json("table-game"),
+         "display name"}},
+       false,
+       Json(),
+       2,
+       make_table});
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ GameRegistry
+
+GameRegistry& GameRegistry::instance() {
+  static GameRegistry* reg = [] {
+    auto* r = new GameRegistry();
+    register_builtin_families(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+void GameRegistry::register_family(FamilyInfo info) {
+  LD_CHECK(!info.name.empty(), "family name must be non-empty");
+  for (const FamilyInfo& existing : families_) {
+    LD_CHECK(existing.name != info.name, "duplicate game family \"",
+             info.name, "\"");
+  }
+  families_.push_back(std::move(info));
+}
+
+bool GameRegistry::contains(const std::string& family) const {
+  for (const FamilyInfo& f : families_) {
+    if (f.name == family) return true;
+  }
+  return false;
+}
+
+const FamilyInfo& GameRegistry::family(const std::string& name) const {
+  for (const FamilyInfo& f : families_) {
+    if (f.name == name) return f;
+  }
+  std::string known;
+  for (const FamilyInfo& f : families_) {
+    if (!known.empty()) known += ", ";
+    known += f.name;
+  }
+  throw Error("unknown game family \"" + name + "\" (known: " + known + ")");
+}
+
+std::vector<std::string> GameRegistry::families() const {
+  std::vector<std::string> names;
+  names.reserve(families_.size());
+  for (const FamilyInfo& f : families_) names.push_back(f.name);
+  return names;
+}
+
+ScenarioSpec GameRegistry::validated(const ScenarioSpec& spec) const {
+  const FamilyInfo& info = family(spec.family);
+  ScenarioSpec out = spec;
+  if (out.n < 0) throw Error("scenario n must be positive");
+  if (!out.params.is_object()) out.params = Json::object();
+
+  // Unknown keys are errors: a typo'd parameter must not silently become
+  // a family default.
+  for (const auto& [key, value] : out.params.members()) {
+    const ParamSpec* match = nullptr;
+    for (const ParamSpec& p : info.params) {
+      if (p.name == key) {
+        match = &p;
+        break;
+      }
+    }
+    if (!match) {
+      throw Error("family \"" + info.name + "\" has no parameter \"" + key +
+                  "\"");
+    }
+    if (!param_type_matches(match->type, value) &&
+        !(match->allow_array && value.is_array())) {
+      throw Error("family \"" + info.name + "\" parameter \"" + key +
+                  "\" must be a " + param_type_name(match->type) + ", got " +
+                  value.dump(0));
+    }
+    if (value.is_number() && value.as_double() < match->min_value) {
+      throw Error("family \"" + info.name + "\" parameter \"" + key +
+                  "\" must be >= " + json_number_to_string(match->min_value,
+                                                           false) +
+                  ", got " + value.dump(0));
+    }
+  }
+  for (const ParamSpec& p : info.params) {
+    if (out.params.contains(p.name)) continue;
+    if (p.required) {
+      throw Error("family \"" + info.name + "\" requires parameter \"" +
+                  p.name + "\"");
+    }
+    if (!p.default_value.is_null()) out.params.set(p.name, p.default_value);
+  }
+
+  if (info.uses_topology) {
+    if (!out.topology.is_object()) out.topology = info.default_topology;
+    // Reconcile n with any size the topology itself pins down, so the
+    // recorded scenario can never describe a different game than the one
+    // built (players == graph vertices for every graph family).
+    int64_t topo_n = 0;
+    const std::string kind = out.topology.at("kind").as_string();
+    if (kind == "grid" || kind == "torus") {
+      const Json* rows = out.topology.find("rows");
+      const Json* cols = out.topology.find("cols");
+      if (rows && cols) topo_n = rows->as_int() * cols->as_int();
+    } else if (const Json* tn = out.topology.find("n")) {
+      topo_n = tn->as_int();
+    }
+    if (topo_n > 0) {
+      if (out.n != 0 && out.n != int(topo_n)) {
+        throw Error("scenario n = " + std::to_string(out.n) +
+                    " disagrees with its topology's " +
+                    std::to_string(topo_n) + " vertices");
+      }
+      out.n = int(topo_n);
+    }
+  } else if (out.topology.is_object()) {
+    throw Error("family \"" + info.name + "\" does not take a topology");
+  }
+  if (out.n == 0) out.n = info.default_n;
+  return out;
+}
+
+std::unique_ptr<Game> GameRegistry::make_game(const ScenarioSpec& spec) const {
+  const ScenarioSpec full = validated(spec);
+  return family(full.family).make(full);
+}
+
+std::unique_ptr<PotentialGame> GameRegistry::make_potential_game(
+    const ScenarioSpec& spec) const {
+  std::unique_ptr<Game> game = make_game(spec);
+  if (dynamic_cast<PotentialGame*>(game.get()) == nullptr) {
+    throw Error("scenario " + spec.summary() +
+                " is not an exact potential game");
+  }
+  return std::unique_ptr<PotentialGame>(
+      static_cast<PotentialGame*>(game.release()));
+}
+
+}  // namespace logitdyn::scenario

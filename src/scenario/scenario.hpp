@@ -1,0 +1,116 @@
+// Declarative scenario layer (DESIGN.md §10): a ScenarioSpec names a game
+// family plus its parameters and (for graph-based families) a topology,
+// and the GameRegistry turns it into a live Game. Every experiment in the
+// harness consumes specs instead of hard-coding game constructors, so new
+// workloads are JSON files, not new binaries.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "games/game.hpp"
+#include "graph/graph.hpp"
+#include "support/json.hpp"
+
+namespace logitdyn::scenario {
+
+/// A declarative game description: {family, n, params, topology}.
+///
+///   family   — registry key, one of the built-in families (see
+///              GameRegistry::families()): congestion, ising,
+///              graphical_coordination, table, plateau, dominance,
+///              dominant, random_potential, coordination.
+///   n        — player/vertex count; 0 means "family default".
+///   params   — JSON object of family-specific parameters (validated,
+///              defaulted, and typed by the registry).
+///   topology — JSON object {"kind": "ring", ...} for families played on
+///              a graph; null otherwise (the registry fills the family
+///              default when omitted).
+struct ScenarioSpec {
+  std::string family;
+  int n = 0;
+  Json params = Json::object();
+  Json topology;
+
+  Json to_json() const;
+  static ScenarioSpec from_json(const Json& j);
+
+  /// One-line human summary, e.g. "plateau(n=32, g=8, l=2)".
+  std::string summary() const;
+};
+
+/// Parameter descriptor for one family parameter (used by validation and
+/// by `logitdyn_lab describe`).
+struct ParamSpec {
+  enum class Type { kBool, kInt, kNumber, kString, kArray };
+  std::string name;
+  Type type = Type::kNumber;
+  bool required = false;
+  Json default_value;  // null when required
+  std::string description;
+  /// Inclusive lower bound enforced on numeric params (validation error
+  /// below it); the default accepts everything.
+  double min_value = -1e308;
+  /// True for scalar params that also accept a JSON array (e.g. the
+  /// congestion per-link slope/offset, the table per-player strategy
+  /// counts); the factory validates element shapes.
+  bool allow_array = false;
+};
+
+/// Everything the registry knows about one game family.
+struct FamilyInfo {
+  std::string name;
+  std::string description;
+  std::vector<ParamSpec> params;
+  bool uses_topology = false;
+  /// Topology object used when the spec omits one (null if !uses_topology).
+  Json default_topology;
+  int default_n = 0;
+  /// Factory: receives the spec with params already validated & defaulted.
+  std::function<std::unique_ptr<Game>(const ScenarioSpec&)> make;
+};
+
+/// String-keyed factory over the game families. Thread-safe for lookups
+/// after the built-in families are registered (which happens on first
+/// instance() call); register_family is not thread-safe and is meant for
+/// start-up time extension.
+class GameRegistry {
+ public:
+  static GameRegistry& instance();
+
+  void register_family(FamilyInfo info);
+
+  bool contains(const std::string& family) const;
+  const FamilyInfo& family(const std::string& name) const;  ///< throws Error
+  std::vector<std::string> families() const;  ///< registration order
+
+  /// Validate `spec` against the family's ParamSpecs (unknown keys,
+  /// missing required params, and type mismatches all throw Error) and
+  /// return a copy with defaults filled in (params, topology, n).
+  ScenarioSpec validated(const ScenarioSpec& spec) const;
+
+  /// validated() + factory call.
+  std::unique_ptr<Game> make_game(const ScenarioSpec& spec) const;
+
+  /// make_game() + downcast; throws Error if the family is not an exact
+  /// potential game (e.g. a general random table game).
+  std::unique_ptr<PotentialGame> make_potential_game(
+      const ScenarioSpec& spec) const;
+
+ private:
+  GameRegistry() = default;
+  std::vector<FamilyInfo> families_;
+};
+
+/// Build a graph from a topology object {"kind": ..., ...}. Kinds map to
+/// graph/builders: path, ring, clique, star, grid (rows/cols), torus
+/// (rows/cols), binary_tree, erdos_renyi (p, seed), random_regular
+/// (d, seed). `n` is used when the object carries no "n" of its own.
+Graph build_topology(const Json& topology, uint32_t n);
+
+/// Human summary of a topology object, e.g. "ring(8)" or "grid(3x4)".
+std::string topology_summary(const Json& topology, int n);
+
+}  // namespace logitdyn::scenario

@@ -1,0 +1,451 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+Json Json::array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::array(std::initializer_list<Json> items) {
+  Json j = array();
+  for (const Json& item : items) j.items_.push_back(item);
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+namespace {
+
+const char* type_name(Json::Type t) {
+  switch (t) {
+    case Json::Type::kNull: return "null";
+    case Json::Type::kBool: return "bool";
+    case Json::Type::kNumber: return "number";
+    case Json::Type::kString: return "string";
+    case Json::Type::kArray: return "array";
+    case Json::Type::kObject: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void type_error(const char* want, Json::Type got) {
+  throw Error(std::string("json: expected ") + want + ", got " +
+              type_name(got));
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+double Json::as_double() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  return num_;
+}
+
+int64_t Json::as_int() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  return int64_t(num_);
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return str_;
+}
+
+Json& Json::push_back(Json v) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  if (type_ != Type::kArray) type_error("array", type_);
+  items_.push_back(std::move(v));
+  return *this;
+}
+
+size_t Json::size() const {
+  if (type_ == Type::kArray) return items_.size();
+  if (type_ == Type::kObject) return members_.size();
+  type_error("array or object", type_);
+}
+
+const Json& Json::at(size_t i) const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  if (i >= items_.size()) {
+    throw Error("json: array index " + std::to_string(i) + " out of range (" +
+                std::to_string(items_.size()) + ")");
+  }
+  return items_[i];
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  if (type_ != Type::kObject) type_error("object", type_);
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+bool Json::contains(const std::string& key) const {
+  return find(key) != nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* found = find(key);
+  if (!found) throw Error("json: missing key \"" + key + "\"");
+  return *found;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return members_;
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kNumber: return num_ == other.num_;
+    case Type::kString: return str_ == other.str_;
+    case Type::kArray: return items_ == other.items_;
+    case Type::kObject: return members_ == other.members_;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------- writing
+
+std::string json_number_to_string(double value, bool is_int) {
+  if (std::isnan(value) || std::isinf(value)) {
+    // JSON has no NaN/Inf; emit null so documents stay parseable, loudly.
+    return "null";
+  }
+  if (is_int || (value == std::floor(value) && std::fabs(value) < 1e15)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", (long long)(value));
+    return buf;
+  }
+  // %.17g round-trips doubles; trim to the shortest representation that
+  // still parses back exactly.
+  for (int prec = 6; prec <= 17; ++prec) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, value);
+    if (std::strtod(buf, nullptr) == value) return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(size_t(indent) * size_t(depth), ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      out += json_number_to_string(num_, is_int_);
+      return;
+    case Type::kString:
+      dump_string(str_, out);
+      return;
+    case Type::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        newline_indent(out, indent, depth + 1);
+        items_[i].dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i) out += ',';
+        newline_indent(out, indent, depth + 1);
+        dump_string(members_[i].first, out);
+        out += indent > 0 ? ": " : ":";
+        members_[i].second.dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// ------------------------------------------------------------- parsing
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("json parse error at offset " + std::to_string(pos_) + ": " +
+                what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const size_t len = std::strlen(lit);
+    if (text_.compare(pos_, len, lit) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Json(parse_string());
+    if (c == 't') {
+      if (consume_literal("true")) return Json(true);
+      fail("bad literal");
+    }
+    if (c == 'f') {
+      if (consume_literal("false")) return Json(false);
+      fail("bad literal");
+    }
+    if (c == 'n') {
+      if (consume_literal("null")) return Json(nullptr);
+      fail("bad literal");
+    }
+    return parse_number();
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      Json value = parse_value();
+      if (obj.contains(key)) fail("duplicate key \"" + key + "\"");
+      obj.set(key, std::move(value));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    if (peek() != '"') fail("expected string");
+    ++pos_;
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      c = text_[pos_++];
+      switch (c) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += unsigned(h - '0');
+            else if (h >= 'a' && h <= 'f') code += unsigned(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += unsigned(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Encode the code point as UTF-8 (basic multilingual plane only;
+          // surrogate pairs are rejected — the harness never emits them).
+          if (code >= 0xD800 && code <= 0xDFFF) fail("surrogate \\u escape");
+          if (code < 0x80) {
+            out += char(code);
+          } else if (code < 0x800) {
+            out += char(0xC0 | (code >> 6));
+            out += char(0x80 | (code & 0x3F));
+          } else {
+            out += char(0xE0 | (code >> 12));
+            out += char(0x80 | ((code >> 6) & 0x3F));
+            out += char(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const size_t start = pos_;
+    bool is_int = true;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      if (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E') {
+        is_int = false;
+      }
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      fail("bad number");
+    }
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("bad number: " + token);
+    if (is_int && std::fabs(value) < 1e15) return Json(int64_t(value));
+    return Json(value);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,97 @@
+// Minimal JSON document model shared by the scenario/experiment harness.
+//
+// One writer serves every machine-readable artifact the project emits —
+// ScenarioSpec round-trips, experiment Reports, and the BENCH_*.json
+// perf-trajectory files — so their schemas stay diffable across PRs
+// (DESIGN.md §10). Objects preserve insertion order (stable dumps, stable
+// diffs); numbers remember whether they were integers so round-tripped
+// specs re-serialize the way they were written.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace logitdyn {
+
+/// A JSON value: null, bool, number, string, array, or object.
+/// Value-semantic; copies are deep.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double v) : type_(Type::kNumber), num_(v) {}
+  Json(int v) : type_(Type::kNumber), num_(double(v)), is_int_(true) {}
+  Json(int64_t v) : type_(Type::kNumber), num_(double(v)), is_int_(true) {}
+  Json(uint64_t v)
+      : type_(Type::kNumber), num_(double(v)), is_int_(true) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+  static Json array();
+  static Json array(std::initializer_list<Json> items);
+  static Json object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw Error on type mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  int64_t as_int() const;
+  const std::string& as_string() const;
+
+  // ------------------------------------------------------------- arrays
+  /// Append to an array (converts a null value into an empty array first).
+  Json& push_back(Json v);
+  size_t size() const;  ///< array length or object member count
+  const Json& at(size_t i) const;
+
+  // ------------------------------------------------------------ objects
+  /// Object member access; inserting via set() converts null -> object.
+  Json& set(const std::string& key, Json v);
+  bool contains(const std::string& key) const;
+  /// Throws Error when the key is absent (schema errors stay loud).
+  const Json& at(const std::string& key) const;
+  /// nullptr when absent.
+  const Json* find(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  // -------------------------------------------------------- serialization
+  /// Render with `indent` spaces per level (0 = compact single line).
+  std::string dump(int indent = 2) const;
+
+  /// Parse a JSON document; throws Error with position info on bad input.
+  static Json parse(const std::string& text);
+
+  bool operator==(const Json& other) const;
+  bool operator!=(const Json& other) const { return !(*this == other); }
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  bool is_int_ = false;
+  std::string str_;
+  std::vector<Json> items_;                            // array
+  std::vector<std::pair<std::string, Json>> members_;  // object
+};
+
+/// Format a double the way the JSON writer does (shortest round-trip-ish
+/// representation; integers without a trailing ".0").
+std::string json_number_to_string(double value, bool is_int);
+
+}  // namespace logitdyn

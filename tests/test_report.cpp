@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace logitdyn {
+namespace {
+
+using scenario::ExperimentRegistry;
+using scenario::Report;
+using scenario::RunOptions;
+using scenario::validate_report_json;
+
+TEST(JsonTest, ParseDumpRoundTrip) {
+  const std::string text =
+      "{\"a\": 1, \"b\": [true, null, -2.5, \"x\\ny\"], \"c\": {\"d\": []}}";
+  const Json doc = Json::parse(text);
+  EXPECT_EQ(Json::parse(doc.dump(2)), doc);
+  EXPECT_EQ(Json::parse(doc.dump(0)), doc);
+  EXPECT_EQ(doc.at("a").as_int(), 1);
+  EXPECT_TRUE(doc.at("b").at(0).as_bool());
+  EXPECT_TRUE(doc.at("b").at(1).is_null());
+  EXPECT_DOUBLE_EQ(doc.at("b").at(2).as_double(), -2.5);
+  EXPECT_EQ(doc.at("b").at(3).as_string(), "x\ny");
+}
+
+TEST(JsonTest, PreservesObjectOrderAndIntegerFormatting) {
+  Json obj = Json::object();
+  obj.set("z", 1);
+  obj.set("a", 2.5);
+  EXPECT_EQ(obj.dump(0), "{\"z\":1,\"a\":2.5}");
+}
+
+TEST(JsonTest, NumbersRoundTripExactly) {
+  for (double v : {0.1, 1e-17, 3.141592653589793, -1234.5678e12}) {
+    const Json parsed = Json::parse(Json(v).dump(0));
+    EXPECT_DOUBLE_EQ(parsed.as_double(), v);
+  }
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_THROW(Json::parse("{"), Error);
+  EXPECT_THROW(Json::parse("[1,]"), Error);
+  EXPECT_THROW(Json::parse("{\"a\": 1, \"a\": 2}"), Error);  // duplicate
+  EXPECT_THROW(Json::parse("nul"), Error);
+  EXPECT_THROW(Json::parse("1 2"), Error);  // trailing content
+  EXPECT_THROW(Json::parse("\"unterminated"), Error);
+}
+
+TEST(JsonTest, TypeMismatchThrows) {
+  const Json j = Json::parse("{\"a\": 1}");
+  EXPECT_THROW(j.at("a").as_string(), Error);
+  EXPECT_THROW(j.at("missing"), Error);
+  EXPECT_THROW(j.at(size_t(0)), Error);
+}
+
+TEST(ReportTest, CapturesTablesNotesFitsAndSeeds) {
+  std::ostringstream echo;
+  Report report("unit_test_report");
+  report.set_echo(&echo);
+  report.header("Title line", "claim line");
+  report.section("first section");
+  auto& table = report.table({"x", "y"});
+  table.row().cell(1).cell(2.5, 2);
+  table.row().cell(3).cell("> budget");
+  table.print();
+  report.note("a note");
+  report.record_fit("rate", LineFit{1.5, 0.0, 0.99}, 2.0);
+  report.record_seed("rng", 42);
+  report.record_value("count", Json(7));
+
+  // stdout rendering keeps the historical bench format.
+  const std::string text = echo.str();
+  EXPECT_NE(text.find("Title line"), std::string::npos);
+  EXPECT_NE(text.find("--- first section ---"), std::string::npos);
+  EXPECT_NE(text.find("a note"), std::string::npos);
+  EXPECT_NE(text.find("> budget"), std::string::npos);
+
+  const Json doc = report.to_json();
+  std::string error;
+  EXPECT_TRUE(validate_report_json(doc, &error)) << error;
+  EXPECT_EQ(doc.at("kind").as_string(), "experiment");
+  EXPECT_EQ(doc.at("name").as_string(), "unit_test_report");
+  EXPECT_EQ(doc.at("config").at("seeds").at("rng").as_int(), 42);
+  const Json& section = doc.at("measurements").at("sections").at(0);
+  EXPECT_EQ(section.at("title").as_string(), "first section");
+  const Json& tj = section.at("tables").at(0);
+  EXPECT_EQ(tj.at("rows").size(), 2u);
+  // Raw values, not formatted strings, land in the JSON cells.
+  EXPECT_DOUBLE_EQ(tj.at("rows").at(0).at(1).as_double(), 2.5);
+  EXPECT_EQ(tj.at("rows").at(1).at(1).as_string(), "> budget");
+  EXPECT_DOUBLE_EQ(
+      section.at("fits").at(0).at("predicted_rate").as_double(), 2.0);
+  EXPECT_EQ(section.at("values").at("count").as_int(), 7);
+  const Json& env = doc.at("environment");
+  EXPECT_TRUE(env.at("git_sha").is_string());
+  EXPECT_TRUE(env.at("timestamp").is_string());
+}
+
+TEST(ReportTest, SilencedReportProducesNoOutput) {
+  Report report("silent");
+  report.set_echo(nullptr);
+  report.header("t", "c");
+  report.section("s");
+  report.table({"a"}).row().cell(1);
+  report.note("hidden");
+  EXPECT_TRUE(validate_report_json(report.to_json(), nullptr));
+}
+
+TEST(ReportValidatorTest, RejectsBrokenDocuments) {
+  std::string error;
+  EXPECT_FALSE(validate_report_json(Json(1.0), &error));
+  EXPECT_FALSE(validate_report_json(Json::parse("{}"), &error));
+
+  Report report("ok");
+  report.set_echo(nullptr);
+  report.section("s");
+  const Json good = report.to_json();
+  EXPECT_TRUE(validate_report_json(good, &error)) << error;
+
+  // schema_version must be 1.
+  Json bad_version = good;
+  bad_version.set("schema_version", 2);
+  EXPECT_FALSE(validate_report_json(bad_version, &error));
+
+  // kind must be known.
+  Json bad_kind = good;
+  bad_kind.set("kind", "mystery");
+  EXPECT_FALSE(validate_report_json(bad_kind, &error));
+
+  // a table row whose length disagrees with its headers is invalid.
+  Json bad_table = Json::parse(good.dump(0));
+  Json table = Json::object();
+  table.set("headers", Json::array({Json("a"), Json("b")}));
+  table.set("rows", Json::array({Json::array({Json(1)})}));
+  Json section = Json::object();
+  section.set("title", "s");
+  section.set("tables", Json::array({table}));
+  section.set("notes", Json::array());
+  section.set("fits", Json::array());
+  section.set("values", Json::object());
+  Json measurements = Json::object();
+  measurements.set("sections", Json::array({section}));
+  bad_table.set("measurements", measurements);
+  EXPECT_FALSE(validate_report_json(bad_table, &error));
+  EXPECT_NE(error.find("length disagrees"), std::string::npos);
+}
+
+TEST(ExperimentRegistryTest, ListsAllBuiltInExperiments) {
+  const ExperimentRegistry& reg = ExperimentRegistry::instance();
+  const std::vector<std::string> names = reg.names();
+  EXPECT_GE(names.size(), 14u);
+  for (const char* name :
+       {"t31_eigenvalues", "t34_potential_upper", "t35_lower_family",
+        "t36_small_beta", "t38_zeta", "t42_dominant", "t51_cutwidth",
+        "t55_clique", "t56_ring", "ablation_methods", "hitting_vs_mixing",
+        "ising_equivalence", "parallel_dynamics", "explore"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+  }
+  EXPECT_THROW(reg.get("unknown_experiment"), Error);
+}
+
+// The acceptance gate for the harness: every registered experiment runs
+// on its tiny smoke scenario and emits a schema-valid JSON document with
+// at least one populated section.
+TEST(ExperimentRegistryTest, EveryExperimentSmokeRunsWithValidJson) {
+  const ExperimentRegistry& reg = ExperimentRegistry::instance();
+  RunOptions opts;
+  opts.smoke = true;
+  opts.seed = 1234;
+  for (const std::string& name : reg.names()) {
+    Report report(name);
+    report.set_echo(nullptr);
+    ASSERT_NO_THROW(reg.run(name, nullptr, opts, report)) << name;
+    const Json doc = report.to_json();
+    std::string error;
+    EXPECT_TRUE(validate_report_json(doc, &error)) << name << ": " << error;
+    EXPECT_GT(doc.at("measurements").at("sections").size(), 0u) << name;
+    // The scenario and the options (with the seed) are recorded.
+    EXPECT_TRUE(doc.at("config").at("scenario").contains("family")) << name;
+    EXPECT_EQ(doc.at("config").at("options").at("seed").as_int(), 1234)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace logitdyn

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include "games/congestion.hpp"
+#include "games/coordination.hpp"
+#include "games/dominance.hpp"
+#include "games/dominant.hpp"
+#include "games/graphical_coordination.hpp"
+#include "games/ising.hpp"
+#include "games/plateau.hpp"
+#include "games/table_game.hpp"
+#include "scenario/scenario.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+using scenario::GameRegistry;
+using scenario::ScenarioSpec;
+
+ScenarioSpec spec_of(const std::string& family) {
+  ScenarioSpec spec;
+  spec.family = family;
+  return spec;
+}
+
+/// One representative, fully-parameterized spec per family (all 9).
+std::vector<ScenarioSpec> representative_specs() {
+  std::vector<ScenarioSpec> specs;
+  {
+    ScenarioSpec s = spec_of("coordination");
+    s.params.set("delta0", 2.0).set("delta1", 0.5);
+    specs.push_back(s);
+  }
+  {
+    ScenarioSpec s = spec_of("graphical_coordination");
+    s.n = 5;
+    s.params.set("delta0", 1.0).set("delta1", 0.5);
+    Json topo = Json::object();
+    topo.set("kind", "ring");
+    s.topology = std::move(topo);
+    specs.push_back(s);
+  }
+  {
+    ScenarioSpec s = spec_of("ising");
+    s.n = 6;
+    s.params.set("coupling", 0.7).set("field", 0.1);
+    Json topo = Json::object();
+    topo.set("kind", "grid");
+    topo.set("rows", 2);
+    topo.set("cols", 3);
+    s.topology = std::move(topo);
+    specs.push_back(s);
+  }
+  {
+    ScenarioSpec s = spec_of("congestion");
+    s.n = 4;
+    s.params.set("links", 3).set("slope", 1.0).set("offset", 0.5);
+    specs.push_back(s);
+  }
+  {
+    ScenarioSpec s = spec_of("plateau");
+    s.n = 8;
+    s.params.set("global_variation", 4.0).set("local_variation", 2.0);
+    specs.push_back(s);
+  }
+  {
+    ScenarioSpec s = spec_of("dominance");
+    s.n = 2;
+    s.params.set("strategies", 3).set("factor", 0.4);
+    specs.push_back(s);
+  }
+  {
+    ScenarioSpec s = spec_of("dominant");
+    s.n = 3;
+    s.params.set("strategies", 3);
+    specs.push_back(s);
+  }
+  {
+    ScenarioSpec s = spec_of("random_potential");
+    s.n = 3;
+    s.params.set("strategies", 2).set("range", 1.5).set("seed", 9);
+    specs.push_back(s);
+  }
+  {
+    ScenarioSpec s = spec_of("table");
+    s.n = 2;
+    s.params.set("strategies", 2);
+    s.params.set("potential", Json::array({Json(0.0), Json(-1.0), Json(0.5),
+                                           Json(-2.0)}));
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+TEST(ScenarioSpecTest, RegistryListsAllNineFamilies) {
+  const std::vector<std::string> families =
+      GameRegistry::instance().families();
+  EXPECT_EQ(families.size(), 9u);
+  for (const char* name :
+       {"congestion", "ising", "graphical_coordination", "table", "plateau",
+        "dominance", "dominant", "random_potential", "coordination"}) {
+    EXPECT_TRUE(GameRegistry::instance().contains(name)) << name;
+  }
+}
+
+TEST(ScenarioSpecTest, JsonRoundTripAllFamilies) {
+  for (const ScenarioSpec& spec : representative_specs()) {
+    const Json j = spec.to_json();
+    // spec -> json -> text -> json -> spec -> json is the identity.
+    const Json reparsed = Json::parse(j.dump(2));
+    const ScenarioSpec back = ScenarioSpec::from_json(reparsed);
+    EXPECT_EQ(back.to_json(), j) << spec.family;
+    // And the round-tripped spec builds a live game of the same shape.
+    const auto game = GameRegistry::instance().make_game(back);
+    const auto direct = GameRegistry::instance().make_game(spec);
+    EXPECT_EQ(game->name(), direct->name()) << spec.family;
+    EXPECT_EQ(game->space().num_profiles(), direct->space().num_profiles());
+  }
+}
+
+TEST(ScenarioSpecTest, FamiliesProduceExpectedGameTypes) {
+  const std::vector<ScenarioSpec> specs = representative_specs();
+  const GameRegistry& reg = GameRegistry::instance();
+  EXPECT_NE(dynamic_cast<CoordinationGame*>(reg.make_game(specs[0]).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<GraphicalCoordinationGame*>(
+                reg.make_game(specs[1]).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<IsingGame*>(reg.make_game(specs[2]).get()), nullptr);
+  EXPECT_NE(dynamic_cast<CongestionGame*>(reg.make_game(specs[3]).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<PlateauGame*>(reg.make_game(specs[4]).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<TableGame*>(reg.make_game(specs[5]).get()), nullptr);
+  EXPECT_NE(dynamic_cast<AllOrNothingGame*>(reg.make_game(specs[6]).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<TablePotentialGame*>(reg.make_game(specs[7]).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<TablePotentialGame*>(reg.make_game(specs[8]).get()),
+            nullptr);
+}
+
+TEST(ScenarioSpecTest, DominanceFamilyIsDominanceSolvable) {
+  ScenarioSpec spec = spec_of("dominance");
+  spec.n = 2;
+  spec.params.set("strategies", 3).set("factor", 0.4);
+  const auto game = GameRegistry::instance().make_game(spec);
+  const DominanceResult r =
+      iterated_dominance(*game, DominanceMode::kWeak);
+  ASSERT_TRUE(r.solvable());
+  for (const auto& surviving : r.surviving) {
+    ASSERT_EQ(surviving.size(), 1u);
+    EXPECT_EQ(surviving[0], 0);  // iterated elimination leaves all-zeros
+  }
+}
+
+TEST(ScenarioSpecTest, IsingEquivalenceThroughRegistry) {
+  // The registry's ising family must agree with its own dictionary: the
+  // equivalent coordination game has delta0 = delta1 = 2J.
+  ScenarioSpec spec = spec_of("ising");
+  spec.n = 5;
+  const auto game = GameRegistry::instance().make_game(spec);
+  const auto* ising = dynamic_cast<IsingGame*>(game.get());
+  ASSERT_NE(ising, nullptr);
+  EXPECT_DOUBLE_EQ(ising->equivalent_coordination_game().delta0(),
+                   2 * ising->coupling());
+}
+
+TEST(ScenarioSpecTest, DefaultsAreFilledByValidation) {
+  ScenarioSpec spec = spec_of("graphical_coordination");
+  const ScenarioSpec full = GameRegistry::instance().validated(spec);
+  EXPECT_EQ(full.n, 6);
+  EXPECT_DOUBLE_EQ(full.params.at("delta0").as_double(), 1.0);
+  EXPECT_EQ(full.topology.at("kind").as_string(), "ring");
+}
+
+TEST(ScenarioSpecTest, UnknownFamilyThrows) {
+  EXPECT_THROW(GameRegistry::instance().make_game(spec_of("nope")), Error);
+}
+
+TEST(ScenarioSpecTest, UnknownParamThrows) {
+  ScenarioSpec spec = spec_of("plateau");
+  spec.params.set("typo_param", 1.0);
+  EXPECT_THROW(GameRegistry::instance().make_game(spec), Error);
+}
+
+TEST(ScenarioSpecTest, MissingRequiredParamThrows) {
+  ScenarioSpec spec = spec_of("table");  // missing "strategies"
+  EXPECT_THROW(GameRegistry::instance().make_game(spec), Error);
+}
+
+TEST(ScenarioSpecTest, WrongParamTypeThrows) {
+  ScenarioSpec spec = spec_of("dominant");
+  spec.params.set("strategies", "two");
+  EXPECT_THROW(GameRegistry::instance().make_game(spec), Error);
+}
+
+TEST(ScenarioSpecTest, InvalidFamilyParamValueThrows) {
+  ScenarioSpec bad_factor = spec_of("dominance");
+  bad_factor.params.set("factor", 1.5);
+  EXPECT_THROW(GameRegistry::instance().make_game(bad_factor), Error);
+
+  ScenarioSpec bad_table = spec_of("table");
+  bad_table.n = 2;
+  bad_table.params.set("strategies", 2);
+  bad_table.params.set("potential", Json::array({Json(0.0)}));  // wrong |S|
+  EXPECT_THROW(GameRegistry::instance().make_game(bad_table), Error);
+
+  ScenarioSpec both = spec_of("table");
+  both.n = 2;
+  both.params.set("strategies", 2);
+  both.params.set("potential", Json::array({Json(0.0), Json(0.0), Json(0.0),
+                                            Json(0.0)}));
+  both.params.set("utilities", Json::array());
+  EXPECT_THROW(GameRegistry::instance().make_game(both), Error);
+}
+
+TEST(ScenarioSpecTest, TopologyOnNonGraphFamilyThrows) {
+  ScenarioSpec spec = spec_of("plateau");
+  Json topo = Json::object();
+  topo.set("kind", "ring");
+  spec.topology = std::move(topo);
+  EXPECT_THROW(GameRegistry::instance().make_game(spec), Error);
+}
+
+TEST(ScenarioSpecTest, TypodTopologyKeyThrows) {
+  ScenarioSpec spec = spec_of("graphical_coordination");
+  Json topo = Json::object();
+  topo.set("kind", "ring");
+  topo.set("p", 0.5);  // an erdos_renyi key on a ring
+  spec.topology = std::move(topo);
+  EXPECT_THROW(GameRegistry::instance().make_game(spec), Error);
+}
+
+TEST(ScenarioSpecTest, IntParamBelowMinimumThrows) {
+  ScenarioSpec links = spec_of("congestion");
+  links.params.set("links", 0);
+  EXPECT_THROW(GameRegistry::instance().make_game(links), Error);
+
+  ScenarioSpec resources = spec_of("congestion");
+  resources.params.set("variant", "routes").set("resources", -4);
+  EXPECT_THROW(GameRegistry::instance().make_game(resources), Error);
+
+  ScenarioSpec strategies = spec_of("dominant");
+  strategies.params.set("strategies", 1);
+  EXPECT_THROW(GameRegistry::instance().make_game(strategies), Error);
+}
+
+TEST(ScenarioSpecTest, UnknownTopologyKindThrows) {
+  ScenarioSpec spec = spec_of("graphical_coordination");
+  Json topo = Json::object();
+  topo.set("kind", "moebius");
+  spec.topology = std::move(topo);
+  EXPECT_THROW(GameRegistry::instance().make_game(spec), Error);
+}
+
+TEST(ScenarioSpecTest, TopologyKindsBuild) {
+  for (const char* kind : {"path", "ring", "clique", "star", "binary_tree"}) {
+    Json topo = Json::object();
+    topo.set("kind", kind);
+    const Graph g = scenario::build_topology(topo, 6);
+    EXPECT_EQ(g.num_vertices(), 6u) << kind;
+  }
+  Json er = Json::object();
+  er.set("kind", "erdos_renyi");
+  er.set("p", 0.5);
+  er.set("seed", 3);
+  EXPECT_EQ(scenario::build_topology(er, 8).num_vertices(), 8u);
+  Json rr = Json::object();
+  rr.set("kind", "random_regular");
+  rr.set("d", 2);
+  EXPECT_EQ(scenario::build_topology(rr, 8).num_vertices(), 8u);
+}
+
+TEST(ScenarioSpecTest, CongestionRoutesVariantMatchesBenchWorkload) {
+  ScenarioSpec spec = spec_of("congestion");
+  spec.n = 4;
+  spec.params.set("variant", "routes").set("resources", 8).set("route_len",
+                                                               4);
+  const auto game = GameRegistry::instance().make_game(spec);
+  EXPECT_EQ(game->space().num_profiles(), 16u);  // two routes per player
+  EXPECT_EQ(game->num_players(), 4);
+}
+
+TEST(ScenarioSpecTest, FromJsonRejectsUnknownKeys) {
+  const Json doc = Json::parse(
+      "{\"family\": \"plateau\", \"players\": 4}");
+  EXPECT_THROW(ScenarioSpec::from_json(doc), Error);
+}
+
+}  // namespace
+}  // namespace logitdyn

@@ -1,0 +1,412 @@
+// logitdyn_lab — the single experiment front end (DESIGN.md §10).
+//
+//   logitdyn_lab list
+//       one line per registered experiment (name, title, default scenario)
+//   logitdyn_lab describe [experiment|family]
+//       parameter reference; with no argument, every game family and
+//       every experiment
+//   logitdyn_lab run <experiment> [options]
+//   logitdyn_lab run --all | --smoke-all [options]
+//       run experiments; --smoke-all runs every experiment on its tiny
+//       smoke scenario and writes one schema-validated JSON per run
+//   logitdyn_lab validate <file.json...>
+//       schema-check documents produced by run / the bench emitters
+//
+// run options:
+//   --scenario FILE   scenario spec JSON; an array of specs sweeps the
+//                     grid in parallel on the ThreadPool
+//   --beta-grid B,... override the experiment's primary beta grid
+//   --seed N          master seed (recorded in the report)
+//   --smoke           tiny-scenario mode
+//   --threads N       worker count for scenario sweeps (0 = hardware)
+//   --json FILE       write the unified JSON document
+//   --json-dir DIR    write one JSON file per run into DIR
+//   --quiet           suppress stdout tables (JSON only)
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
+#include "scenario/scenario.hpp"
+#include "support/error.hpp"
+
+using namespace logitdyn;
+using namespace logitdyn::scenario;
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: logitdyn_lab <command>\n"
+        "  list                         registered experiments\n"
+        "  describe [experiment|family] parameter reference\n"
+        "  run <experiment> [options]   run one experiment\n"
+        "  run --all | --smoke-all      run every experiment\n"
+        "  validate <file.json...>      schema-check emitted documents\n"
+        "run options: [--scenario s.json] [--beta-grid 0.5,1.0] [--seed N]\n"
+        "             [--smoke] [--threads N] [--json out.json]\n"
+        "             [--json-dir DIR] [--quiet]\n";
+  return code;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot read " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const Json& doc) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write " + path);
+  out << doc.dump(2) << "\n";
+}
+
+/// Write + self-validate one document; throws on schema violations so a
+/// writer regression can never ship silently.
+void write_validated(const std::string& path, const Json& doc) {
+  std::string error;
+  if (!validate_report_json(doc, &error)) {
+    throw Error("internal error: emitted JSON fails its own schema (" +
+                error + ")");
+  }
+  write_file(path, doc);
+}
+
+int cmd_list() {
+  const ExperimentRegistry& reg = ExperimentRegistry::instance();
+  size_t width = 0;
+  for (const std::string& name : reg.names()) {
+    width = std::max(width, name.size());
+  }
+  for (const std::string& name : reg.names()) {
+    const ExperimentInfo& info = reg.get(name);
+    std::cout << name << std::string(width - name.size() + 2, ' ')
+              << info.title << "\n"
+              << std::string(width + 2, ' ') << "default scenario: "
+              << info.default_scenario.summary() << "\n";
+  }
+  return 0;
+}
+
+void describe_family(const FamilyInfo& family) {
+  std::cout << "family " << family.name << "\n  " << family.description
+            << "\n";
+  if (family.uses_topology) {
+    std::cout << "  topology: yes (default "
+              << topology_summary(family.default_topology, family.default_n)
+              << ")\n";
+  }
+  std::cout << "  default n: " << family.default_n << "\n";
+  for (const ParamSpec& p : family.params) {
+    std::cout << "  param " << p.name;
+    if (p.required) {
+      std::cout << " (required)";
+    } else if (!p.default_value.is_null()) {
+      std::cout << " (default " << p.default_value.dump(0) << ")";
+    }
+    std::cout << ": " << p.description << "\n";
+  }
+}
+
+void describe_experiment(const ExperimentInfo& info) {
+  std::cout << "experiment " << info.name << "\n  " << info.title << "\n  "
+            << info.claim << "\n  default scenario: "
+            << info.default_scenario.summary() << "\n";
+}
+
+int cmd_describe(const std::vector<std::string>& args) {
+  const GameRegistry& games = GameRegistry::instance();
+  const ExperimentRegistry& experiments = ExperimentRegistry::instance();
+  if (args.empty()) {
+    std::cout << "== game families ==\n";
+    for (const std::string& name : games.families()) {
+      describe_family(games.family(name));
+    }
+    std::cout << "\n== experiments ==\n";
+    for (const std::string& name : experiments.names()) {
+      describe_experiment(experiments.get(name));
+    }
+    return 0;
+  }
+  const std::string& what = args[0];
+  if (games.contains(what)) {
+    describe_family(games.family(what));
+    return 0;
+  }
+  if (experiments.contains(what)) {
+    describe_experiment(experiments.get(what));
+    return 0;
+  }
+  std::cerr << "error: \"" << what
+            << "\" names neither a game family nor an experiment\n";
+  return 1;
+}
+
+struct RunArgs {
+  std::vector<std::string> experiments;
+  bool all = false;
+  bool smoke_all = false;
+  std::string scenario_path;
+  std::string json_path;
+  std::string json_dir;
+  bool quiet = false;
+  RunOptions options;
+};
+
+RunArgs parse_run_args(const std::vector<std::string>& args) {
+  RunArgs out;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&](const char* what) -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw Error(std::string(what) + " needs a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--all") {
+      out.all = true;
+    } else if (arg == "--smoke-all") {
+      out.smoke_all = true;
+    } else if (arg == "--scenario") {
+      out.scenario_path = next("--scenario");
+    } else if (arg == "--beta-grid") {
+      out.options.beta_grid = parse_beta_list(next("--beta-grid"));
+    } else if (arg == "--seed") {
+      const std::string& value = next("--seed");
+      char* end = nullptr;
+      const uint64_t seed = std::strtoull(value.c_str(), &end, 10);
+      if (value.empty() || value[0] == '-' ||
+          end != value.c_str() + value.size()) {
+        throw Error("bad --seed value: " + value);
+      }
+      out.options.seed = seed;
+    } else if (arg == "--smoke") {
+      out.options.smoke = true;
+    } else if (arg == "--threads") {
+      const std::string& value = next("--threads");
+      char* end = nullptr;
+      const long threads = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end != value.c_str() + value.size() ||
+          threads < 0) {
+        throw Error("bad --threads value: " + value);
+      }
+      out.options.threads = int(threads);
+    } else if (arg == "--json") {
+      out.json_path = next("--json");
+    } else if (arg == "--json-dir") {
+      out.json_dir = next("--json-dir");
+    } else if (arg == "--quiet") {
+      out.quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw Error("unknown run option " + arg);
+    } else {
+      out.experiments.push_back(arg);
+    }
+  }
+  return out;
+}
+
+std::vector<ScenarioSpec> load_scenarios(const std::string& path) {
+  const Json doc = Json::parse(read_file(path));
+  std::vector<ScenarioSpec> specs;
+  if (doc.is_array()) {
+    for (size_t i = 0; i < doc.size(); ++i) {
+      specs.push_back(ScenarioSpec::from_json(doc.at(i)));
+    }
+    if (specs.empty()) throw Error(path + ": empty scenario array");
+  } else {
+    specs.push_back(ScenarioSpec::from_json(doc));
+  }
+  return specs;
+}
+
+/// Run `name` over a scenario grid in parallel on the ThreadPool; echoes
+/// a one-line status per finished run (tables go to the JSON document).
+Json run_sweep(const std::string& name, const std::vector<ScenarioSpec>& specs,
+               const RunArgs& run_args) {
+  const ExperimentRegistry& reg = ExperimentRegistry::instance();
+  // threads == 0 means the shared global pool (as RunOptions documents);
+  // a private pool on top of it would oversubscribe the machine, since
+  // the experiments dispatch their own work onto the global pool too
+  // (nested dispatch from a worker runs inline, so this cannot deadlock).
+  std::unique_ptr<ThreadPool> own_pool;
+  if (run_args.options.threads > 0) {
+    own_pool = std::make_unique<ThreadPool>(size_t(run_args.options.threads));
+  }
+  ThreadPool& pool = own_pool ? *own_pool : ThreadPool::global();
+  std::vector<std::unique_ptr<Report>> reports(specs.size());
+  std::vector<std::string> errors(specs.size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    futures.push_back(pool.submit([&, i] {
+      reports[i] = std::make_unique<Report>(name);
+      reports[i]->set_echo(nullptr);
+      try {
+        reg.run(name, &specs[i], run_args.options, *reports[i]);
+      } catch (const std::exception& e) {
+        errors[i] = e.what();
+      }
+    }));
+  }
+  for (std::future<void>& f : futures) f.get();
+
+  Json runs = Json::array();
+  bool failed = false;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (!errors[i].empty()) {
+      failed = true;
+      std::cerr << "[" << i + 1 << "/" << specs.size() << "] "
+                << specs[i].summary() << " FAILED: " << errors[i] << "\n";
+      continue;
+    }
+    if (!run_args.quiet) {
+      std::cout << "[" << i + 1 << "/" << specs.size() << "] "
+                << specs[i].summary() << " done\n";
+    }
+    runs.push_back(reports[i]->to_json());
+  }
+  if (failed) throw Error("scenario sweep had failures");
+  Json config = Json::object();
+  config.set("experiment", name);
+  config.set("scenarios", uint64_t(specs.size()));
+  config.set("options", run_args.options.to_json());
+  Json measurements = Json::object();
+  measurements.set("runs", std::move(runs));
+  return make_document("experiment_sweep", name + "_sweep",
+                       std::move(config), std::move(measurements));
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  RunArgs run_args = parse_run_args(args);
+  const ExperimentRegistry& reg = ExperimentRegistry::instance();
+
+  if (run_args.all || run_args.smoke_all) {
+    if (!run_args.experiments.empty() || !run_args.scenario_path.empty() ||
+        !run_args.json_path.empty()) {
+      throw Error(
+          "--all/--smoke-all runs every experiment on its default scenario "
+          "and takes --json-dir, not experiment names/--scenario/--json");
+    }
+    if (run_args.smoke_all) run_args.options.smoke = true;
+    // --smoke-all exists to produce the CI artifact set, so it writes one
+    // file per run (cwd unless --json-dir); a plain --all only writes
+    // when a --json-dir is requested.
+    const bool write_json = run_args.smoke_all || !run_args.json_dir.empty();
+    const std::string dir =
+        run_args.json_dir.empty() ? "." : run_args.json_dir;
+    for (const std::string& name : reg.names()) {
+      Report report(name);
+      if (run_args.quiet || run_args.smoke_all) report.set_echo(nullptr);
+      reg.run(name, nullptr, run_args.options, report);
+      if (write_json) {
+        const std::string path = dir + "/" + name + ".json";
+        write_validated(path, report.to_json());
+        std::cout << name << ": ok, wrote " << path << "\n";
+      } else {
+        std::cout << name << ": ok\n";
+      }
+    }
+    return 0;
+  }
+
+  if (run_args.experiments.size() != 1) {
+    throw Error("run needs exactly one experiment name (or --all)");
+  }
+  const std::string& name = run_args.experiments[0];
+  if (!reg.contains(name)) reg.get(name);  // throws with the known list
+
+  std::vector<ScenarioSpec> specs;
+  if (!run_args.scenario_path.empty()) {
+    specs = load_scenarios(run_args.scenario_path);
+  }
+
+  if (specs.size() > 1) {
+    const Json doc = run_sweep(name, specs, run_args);
+    if (!run_args.json_path.empty()) write_validated(run_args.json_path, doc);
+    if (!run_args.json_dir.empty()) {
+      for (size_t i = 0; i < doc.at("measurements").at("runs").size(); ++i) {
+        write_validated(run_args.json_dir + "/" + name + "_" +
+                            std::to_string(i) + ".json",
+                        doc.at("measurements").at("runs").at(i));
+      }
+    }
+    if (run_args.json_path.empty() && run_args.json_dir.empty()) {
+      // No sink requested: the sweep's whole product is the document, so
+      // never discard it — print it instead.
+      std::cout << doc.dump(2) << "\n";
+    }
+    return 0;
+  }
+
+  Report report(name);
+  if (run_args.quiet) report.set_echo(nullptr);
+  reg.run(name, specs.empty() ? nullptr : &specs[0], run_args.options,
+          report);
+  if (!run_args.json_path.empty()) {
+    write_validated(run_args.json_path, report.to_json());
+  }
+  if (!run_args.json_dir.empty()) {
+    write_validated(run_args.json_dir + "/" + name + ".json",
+                    report.to_json());
+  }
+  if (run_args.quiet && run_args.json_path.empty() &&
+      run_args.json_dir.empty()) {
+    // --quiet with no JSON sink would discard the whole run; print the
+    // document instead (mirrors the sweep path).
+    std::cout << report.to_json().dump(2) << "\n";
+  }
+  return 0;
+}
+
+int cmd_validate(const std::vector<std::string>& files) {
+  if (files.empty()) throw Error("validate needs at least one file");
+  int failures = 0;
+  for (const std::string& path : files) {
+    try {
+      const Json doc = Json::parse(read_file(path));
+      std::string error;
+      if (validate_report_json(doc, &error)) {
+        std::cout << path << ": ok (kind "
+                  << doc.at("kind").as_string() << ", name \""
+                  << doc.at("name").as_string() << "\")\n";
+      } else {
+        std::cerr << path << ": INVALID — " << error << "\n";
+        ++failures;
+      }
+    } catch (const Error& e) {
+      std::cerr << path << ": INVALID — " << e.what() << "\n";
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage(std::cerr, 1);
+    const std::string command = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    if (command == "list") return cmd_list();
+    if (command == "describe") return cmd_describe(args);
+    if (command == "run") return cmd_run(args);
+    if (command == "validate") return cmd_validate(args);
+    if (command == "--help" || command == "-h" || command == "help") {
+      return usage(std::cout, 0);
+    }
+    std::cerr << "error: unknown command \"" << command << "\"\n";
+    return usage(std::cerr, 1);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -20,6 +20,7 @@
 
 #include "analysis/mixing.hpp"
 #include "analysis/spectral.hpp"
+#include "analysis/tv.hpp"
 #include "core/chain.hpp"
 #include "core/gibbs.hpp"
 #include "core/logit_operator.hpp"
@@ -504,6 +505,218 @@ void write_bench_spectral_json(const std::string& path) {
             << " (t_mix " << health.time << ")\n";
 }
 
+/// Emit BENCH_apply.json: the fast-apply engine (DESIGN.md §11) vs the
+/// retained PR-4 scalar path on operator-scale workloads — batched
+/// apply_many, multi-start TV evolution, and Lanczos spectral runs at
+/// 2^16 states (where the acceptance target is >= 2x), plus the
+/// one-sweep CSR batched apply vs per-vector applies and the certified
+/// worst-start envelope's compaction accounting. `agrees` keys gate CI:
+/// the vectorized kernel must match the scalar cross-check to 1e-6 on
+/// every tracked quantity (it actually agrees to ~1e-12).
+void write_bench_apply_json(const std::string& path) {
+  Json results = Json::array();
+
+  // 2^16-state Ising torus: the oracle is cheap (local fields), so the
+  // softmax inner loop dominates the scalar path — the workload the
+  // vectorized kernel is for.
+  const IsingGame ising(make_torus(4, 4), 0.5);
+  const GibbsMeasure ising_gibbs = gibbs_measure(ising, 1.0);
+  const size_t n_ising = ising.space().num_profiles();
+  const LogitOperator vec_op(ising, 1.0, UpdateKind::kAsynchronous);
+  const LogitOperator scalar_op(ising, 1.0, UpdateKind::kAsynchronous,
+                                nullptr, ApplyMode::kScalarReference);
+  {
+    // Batched apply: 8 vectors through one sweep, both modes.
+    const size_t count = 8;
+    std::vector<double> xs(count * n_ising), yv(count * n_ising),
+        ys(count * n_ising);
+    Rng rng(5);
+    for (double& v : xs) v = rng.uniform();
+    const double vec_ms = time_best_of(5, [&] {
+      vec_op.apply_many(xs, yv, count);
+      benchmark::DoNotOptimize(yv.data());
+    });
+    const double scalar_ms = time_best_of(3, [&] {
+      scalar_op.apply_many(xs, ys, count);
+      benchmark::DoNotOptimize(ys.data());
+    });
+    double max_diff = 0.0;
+    for (size_t i = 0; i < count * n_ising; ++i) {
+      max_diff = std::max(max_diff, std::abs(yv[i] - ys[i]));
+    }
+    Json r = Json::object();
+    r.set("workload", "async_apply_many_x8");
+    r.set("game", ising.name());
+    r.set("states", n_ising);
+    r.set("scalar_ms", scalar_ms);
+    r.set("vectorized_ms", vec_ms);
+    r.set("speedup", scalar_ms / vec_ms);
+    r.set("max_abs_diff", max_diff);
+    r.set("agrees", max_diff <= 1e-6);
+    results.push_back(std::move(r));
+    std::cout << "  async_apply_many_x8: scalar " << scalar_ms
+              << " ms, vectorized " << vec_ms << " ms, speedup "
+              << scalar_ms / vec_ms << "x, |diff| " << max_diff << "\n";
+  }
+  {
+    // Multi-start TV evolution (the mixing workload): 8 unit starts, 24
+    // steps, both modes.
+    const uint64_t steps = 24;
+    const size_t count = 8;
+    std::vector<double> cur(count * n_ising, 0.0), nxt(count * n_ising);
+    auto evolve = [&](const LogitOperator& op) {
+      std::fill(cur.begin(), cur.end(), 0.0);
+      for (size_t b = 0; b < count; ++b) {
+        cur[b * n_ising + b * (n_ising / count)] = 1.0;
+      }
+      for (uint64_t t = 0; t < steps; ++t) {
+        op.apply_many(cur, nxt, count);
+        cur.swap(nxt);
+      }
+    };
+    const double vec_ms = time_best_of(3, [&] {
+      evolve(vec_op);
+      benchmark::DoNotOptimize(cur.data());
+    });
+    std::vector<double> vec_final = cur;
+    const double scalar_ms = time_best_of(2, [&] {
+      evolve(scalar_op);
+      benchmark::DoNotOptimize(cur.data());
+    });
+    double tv_diff = 0.0;
+    for (size_t b = 0; b < count; ++b) {
+      const std::span<const double> pi = ising_gibbs.probabilities;
+      const double tv_v = total_variation(
+          std::span<const double>(vec_final.data() + b * n_ising, n_ising),
+          pi);
+      const double tv_s = total_variation(
+          std::span<const double>(cur.data() + b * n_ising, n_ising), pi);
+      tv_diff = std::max(tv_diff, std::abs(tv_v - tv_s));
+    }
+    Json r = Json::object();
+    r.set("workload", "tv_evolution_8starts_24steps");
+    r.set("game", ising.name());
+    r.set("states", n_ising);
+    r.set("scalar_ms", scalar_ms);
+    r.set("vectorized_ms", vec_ms);
+    r.set("speedup", scalar_ms / vec_ms);
+    r.set("max_tv_diff", tv_diff);
+    r.set("agrees", tv_diff <= 1e-6);
+    results.push_back(std::move(r));
+    std::cout << "  tv_evolution_8starts_24steps: scalar " << scalar_ms
+              << " ms, vectorized " << vec_ms << " ms, speedup "
+              << scalar_ms / vec_ms << "x, |tv diff| " << tv_diff << "\n";
+  }
+  {
+    // Lanczos spectral run at 2^16 (the spectral workload): lambda* from
+    // both modes must agree to 1e-6.
+    LanczosOptions opts;
+    opts.tol = 1e-8;
+    opts.max_iterations = 120;
+    LanczosSpectrum vec_s, scalar_s;
+    const double vec_ms = time_best_of(2, [&] {
+      vec_s = lanczos_spectrum(vec_op, ising_gibbs.probabilities, opts);
+      benchmark::DoNotOptimize(vec_s.lambda2);
+    });
+    const double scalar_ms = time_best_of(1, [&] {
+      scalar_s = lanczos_spectrum(scalar_op, ising_gibbs.probabilities, opts);
+      benchmark::DoNotOptimize(scalar_s.lambda2);
+    });
+    const double diff =
+        std::abs(vec_s.lambda_star() - scalar_s.lambda_star());
+    Json r = Json::object();
+    r.set("workload", "lanczos_spectrum");
+    r.set("game", ising.name());
+    r.set("states", n_ising);
+    r.set("scalar_ms", scalar_ms);
+    r.set("vectorized_ms", vec_ms);
+    r.set("speedup", scalar_ms / vec_ms);
+    r.set("iterations", vec_s.iterations);
+    r.set("lambda_star_diff", diff);
+    r.set("agrees", diff <= 1e-6);
+    results.push_back(std::move(r));
+    std::cout << "  lanczos_spectrum: scalar " << scalar_ms
+              << " ms, vectorized " << vec_ms << " ms, speedup "
+              << scalar_ms / vec_ms << "x (" << vec_s.iterations
+              << " iters), |d lambda*| " << diff << "\n";
+  }
+  {
+    // Single-start fused-TV evolution on a 2^18-state CSR chain (the
+    // cached-transpose gather path): a pure trajectory key for the perf
+    // diff — the batched one-sweep CSR variant was measured slower on
+    // this sparsity and rejected (DESIGN.md §11), so the tracked number
+    // is the per-vector kernel every CSR evolution actually runs.
+    const GraphicalCoordinationGame ring(
+        make_ring(18), CoordinationPayoffs::from_deltas(1.0, 0.5));
+    const LogitChain chain(ring, 1.0);
+    const CsrMatrix p =
+        TransitionBuilder(ring, 1.0, UpdateKind::kAsynchronous).csr();
+    const std::vector<double> pi = chain.stationary();
+    MixingWorkspace ws;
+    MixingResult mix;
+    const double evolve_ms = time_best_of(3, [&] {
+      mix = mixing_time_from_state(p, 0, pi, 1e-9, 64, ws);
+      benchmark::DoNotOptimize(mix.distance);
+    });
+    Json r = Json::object();
+    r.set("workload", "csr_fused_tv_evolution_64steps");
+    r.set("game", ring.name());
+    r.set("states", p.rows());
+    r.set("evolve_ms", evolve_ms);
+    r.set("final_tv", mix.distance);
+    results.push_back(std::move(r));
+    std::cout << "  csr_fused_tv_evolution_64steps: " << evolve_ms
+              << " ms (2^18 states, final TV " << mix.distance << ")\n";
+  }
+  {
+    // Certified worst-start envelope on a metastable 2^10 clique: the
+    // new capability's wall time plus its compaction accounting.
+    const GraphicalCoordinationGame clique(
+        make_clique(10), CoordinationPayoffs::from_deltas(1.2 / 9, 0.8 / 9));
+    const double beta = 2.0;
+    const GibbsMeasure gibbs = gibbs_measure(clique, beta);
+    const LogitOperator op(clique, beta, UpdateKind::kAsynchronous);
+    WorstStartCertificate cert;
+    const double cert_ms = time_best_of(3, [&] {
+      cert = certify_worst_start(op, gibbs.probabilities, 0.25, 1u << 16);
+      benchmark::DoNotOptimize(cert.worst.time);
+    });
+    Json r = Json::object();
+    r.set("workload", "certified_worst_start");
+    r.set("game", clique.name());
+    r.set("states", clique.space().num_profiles());
+    r.set("certify_ms", cert_ms);
+    r.set("t_mix", cert.worst.time);
+    r.set("converged", cert.worst.converged);
+    r.set("vector_steps", cert.vector_steps);
+    r.set("dense_steps", cert.dense_steps);
+    r.set("compaction_x",
+          double(cert.dense_steps) / double(std::max<uint64_t>(
+                                         1, cert.vector_steps)));
+    results.push_back(std::move(r));
+    std::cout << "  certified_worst_start: " << cert_ms << " ms, t_mix "
+              << cert.worst.time << ", compaction "
+              << double(cert.dense_steps) /
+                     double(std::max<uint64_t>(1, cert.vector_steps))
+              << "x\n";
+  }
+
+  Json config = Json::object();
+  config.set("description",
+             "fast-apply engine vs the retained PR-4 scalar path: "
+             "vectorized logit kernel (SoA softmax + fast_exp), one-sweep "
+             "multi-vector applies, certified worst-start envelopes");
+  config.set("target",
+             ">= 2x on at least one 2^16-state mixing or spectral "
+             "workload; agrees gates CI at 1e-6");
+  config.set("unit", "ms");
+  Json measurements = Json::object();
+  measurements.set("results", std::move(results));
+  write_bench_document(path, "fast_apply_vs_scalar", std::move(config),
+                       std::move(measurements));
+  std::cout << "wrote " << path << "\n";
+}
+
 DenseMatrix random_matrix(size_t n, uint64_t seed) {
   Rng rng(seed);
   DenseMatrix m(n, n);
@@ -665,17 +878,20 @@ BENCHMARK(BM_SimulationStepsCongestionNaive);
 // trajectory reads BENCH_oracle.json), then run the google-benchmark
 // suite as usual. --bench_oracle_only keeps its historical behaviour
 // (oracle JSON, then exit); --bench_smoke_only additionally emits
-// BENCH_chain_build.json and BENCH_spectral.json — those emitters are
-// gated behind flags because their numbers only mean something in a
-// Release build (the bench-perf CI job is their consumer);
-// --bench_spectral_only emits just the spectral comparison.
+// BENCH_chain_build.json, BENCH_spectral.json and BENCH_apply.json —
+// those emitters are gated behind flags because their numbers only mean
+// something in a Release build (the bench-perf CI job is their
+// consumer); --bench_spectral_only / --bench_apply_only emit just one
+// comparison.
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_oracle.json";
   std::string chain_build_path = "BENCH_chain_build.json";
   std::string spectral_path = "BENCH_spectral.json";
+  std::string apply_path = "BENCH_apply.json";
   bool exit_after_json = false;
   bool chain_build = false;
   bool spectral = false;
+  bool apply = false;
   bool oracle = true;
   std::vector<char*> passthrough = {argv[0]};
   for (int i = 1; i < argc; ++i) {
@@ -686,11 +902,17 @@ int main(int argc, char** argv) {
       exit_after_json = true;
       chain_build = true;
       spectral = true;
+      apply = true;
     } else if (arg == "--bench_spectral_only") {
       // Spectral emitter alone (the dense rows take minutes; this flag
       // lets CI or a profiler run just them).
       exit_after_json = true;
       spectral = true;
+      oracle = false;
+    } else if (arg == "--bench_apply_only") {
+      // Fast-apply emitter alone: the vectorized-vs-scalar gate.
+      exit_after_json = true;
+      apply = true;
       oracle = false;
     } else if (arg.rfind("--bench_oracle_out=", 0) == 0) {
       json_path = arg.substr(std::string("--bench_oracle_out=").size());
@@ -701,6 +923,8 @@ int main(int argc, char** argv) {
           arg.substr(std::string("--bench_chain_build_out=").size());
     } else if (arg.rfind("--bench_spectral_out=", 0) == 0) {
       spectral_path = arg.substr(std::string("--bench_spectral_out=").size());
+    } else if (arg.rfind("--bench_apply_out=", 0) == 0) {
+      apply_path = arg.substr(std::string("--bench_apply_out=").size());
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -708,6 +932,7 @@ int main(int argc, char** argv) {
   if (oracle) write_bench_oracle_json(json_path);
   if (chain_build) write_bench_chain_build_json(chain_build_path);
   if (spectral) write_bench_spectral_json(spectral_path);
+  if (apply) write_bench_apply_json(apply_path);
   if (exit_after_json) return 0;
   argc = int(passthrough.size());
   argv = passthrough.data();

@@ -10,7 +10,7 @@
 //
 // Prints the chain's spectrum summary, mixing time, and every applicable
 // paper bound. Below the 2^12-state dense cutover everything is exact;
-// above it the operator path takes over (DESIGN.md §9) up to 2^20 states.
+// above it the operator path takes over (DESIGN.md §9) up to 2^22 states.
 #include <cstdlib>
 #include <iostream>
 #include <string>

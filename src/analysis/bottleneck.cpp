@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "analysis/spectral.hpp"
+#include "core/logit_operator.hpp"
 #include "linalg/linear_operator.hpp"
 #include "support/error.hpp"
 
@@ -138,6 +139,38 @@ SweepCutResult best_sweep_cut_lanczos(const CsrMatrix& p,
           const size_t y = pt.col_indices()[k];
           if (y == v || !in_set[y]) continue;
           delta -= pi[y] * pt.values()[k];
+        }
+        return delta;
+      });
+}
+
+SweepCutResult best_sweep_cut_operator(const LogitOperator& op,
+                                       std::span<const double> pi,
+                                       const LanczosOptions& opts) {
+  const size_t n = op.size();
+  LD_CHECK(pi.size() == n, "best_sweep_cut_operator: size mismatch");
+  LD_CHECK(n >= 2, "best_sweep_cut_operator: need at least two states");
+  const std::vector<double> f = lanczos_fiedler_vector(op, pi, opts);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return f[x] < f[y]; });
+
+  // Reversibility turns the in-edge term into out-row mass: when v joins
+  // R, the flow change is
+  //   sum_{y notin R, y != v} pi(v) P(v, y)  -  sum_{y in R} pi(y) P(y, v)
+  // and pi(y) P(y, v) = pi(v) P(v, y), so one row query scores the whole
+  // step. Row buffers are reused across the sweep.
+  std::vector<uint32_t> cols;
+  std::vector<double> vals;
+  return sweep_prefix_cuts(
+      pi, order, [&](size_t v, const std::vector<uint8_t>& in_set) {
+        op.row(v, cols, vals);
+        double delta = 0.0;
+        for (size_t k = 0; k < cols.size(); ++k) {
+          const size_t y = cols[k];
+          if (y == v) continue;
+          delta += in_set[y] ? -pi[v] * vals[k] : pi[v] * vals[k];
         }
         return delta;
       });

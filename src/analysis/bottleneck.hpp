@@ -41,4 +41,18 @@ SweepCutResult best_sweep_cut_lanczos(const CsrMatrix& p,
                                       std::span<const double> pi,
                                       const LanczosOptions& opts = {});
 
+class LogitOperator;
+
+/// Fully matrix-free sweep cut (DESIGN.md §11): Fiedler vector from
+/// Lanczos on the operator, then the incremental sweep scored from
+/// LogitOperator::row alone — reversibility (pi(y) P(y,v) =
+/// pi(v) P(v,y)) folds the in-edge bookkeeping into the out-row, so no
+/// CSR matrix and no transpose is ever materialized. Valid exactly where
+/// the spectral certification is (asynchronous kernel of a potential game
+/// against its Gibbs measure); matches best_sweep_cut_lanczos there
+/// (tested). O(k * apply + |S| * row) work, O(k * |S|) memory.
+SweepCutResult best_sweep_cut_operator(const LogitOperator& op,
+                                       std::span<const double> pi,
+                                       const LanczosOptions& opts = {});
+
 }  // namespace logitdyn

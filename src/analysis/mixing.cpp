@@ -245,10 +245,105 @@ MixingResult mixing_time_from_state(const CsrMatrix& p, size_t start,
   return mixing_time_from_state(p, start, pi, eps, max_steps, workspace);
 }
 
+namespace {
+
+/// The shared batched-evolution core of mixing_time_operator and
+/// certify_worst_start: evolve one delta per entry of `starts` through
+/// `op` with early compaction, writing per-start results into `results`
+/// (parallel to `starts`). When `envelope` is non-null, envelope[t] is
+/// max-merged with the largest TV any still-active start shows at step t
+/// (exact d(t) over these starts while one of them is above eps — TV
+/// against pi is non-increasing per start, so compacted starts can never
+/// retake the max while it exceeds eps). When `vector_steps` is non-null
+/// it accumulates the per-start steps actually evolved (the compaction
+/// accounting). All buffers live in `ws` and are reused across calls;
+/// steady-state steps allocate nothing beyond what `envelope` grows by.
+void evolve_starts(const LinearOperator& op, std::span<const double> pi,
+                   std::span<const size_t> starts, double eps,
+                   uint64_t max_steps, OperatorMixingWorkspace& ws,
+                   std::span<MixingResult> results,
+                   std::vector<double>* envelope, uint64_t* vector_steps) {
+  const size_t n = op.size();
+  auto merge_envelope = [&](uint64_t t, double tv) {
+    if (!envelope) return;
+    if (envelope->size() <= t) envelope->resize(t + 1, 0.0);
+    (*envelope)[t] = std::max((*envelope)[t], tv);
+  };
+
+  // `active[b]` maps row b of the batch buffers to its index in `starts`;
+  // converged starts are compacted away so the batch narrows as fast
+  // starts finish and only the stragglers keep paying per-step work.
+  if (ws.active.size() < starts.size()) ws.active.resize(starts.size());
+  if (ws.prev_tv.size() < starts.size()) ws.prev_tv.resize(starts.size());
+  if (ws.cur.size() < starts.size() * n) ws.cur.resize(starts.size() * n);
+  if (ws.nxt.size() < starts.size() * n) ws.nxt.resize(starts.size() * n);
+  size_t batch = 0;
+  for (size_t b = 0; b < starts.size(); ++b) {
+    std::span<double> row(ws.cur.data() + batch * n, n);
+    std::fill(row.begin(), row.end(), 0.0);
+    row[starts[b]] = 1.0;
+    const double tv = batched_tv(row, pi, ws.partials);
+    merge_envelope(0, tv);
+    if (tv <= eps) {
+      results[b].time = 0;
+      results[b].distance = tv;
+      results[b].converged = true;
+      continue;
+    }
+    ws.active[batch] = b;
+    ws.prev_tv[batch] = tv;
+    ++batch;
+  }
+
+  for (uint64_t t = 1; batch > 0 && t <= max_steps; ++t) {
+    op.apply_many(std::span<const double>(ws.cur.data(), batch * n),
+                  std::span<double>(ws.nxt.data(), batch * n), batch);
+    if (vector_steps) *vector_steps += batch;
+    size_t keep = 0;
+    for (size_t row = 0; row < batch; ++row) {
+      const size_t b = ws.active[row];
+      std::span<const double> dist(ws.nxt.data() + row * n, n);
+      const double tv = batched_tv(dist, pi, ws.partials);
+      merge_envelope(t, tv);
+      if (tv <= eps) {
+        results[b].time = t;
+        results[b].distance = tv;
+        results[b].distance_prev = ws.prev_tv[row];
+        results[b].converged = true;
+        continue;
+      }
+      if (t == max_steps) {
+        results[b].time = max_steps;
+        results[b].distance = tv;
+        results[b].converged = false;
+        continue;
+      }
+      if (keep != row) {
+        std::copy(dist.begin(), dist.end(), ws.nxt.begin() + keep * n);
+      }
+      ws.active[keep] = b;
+      ws.prev_tv[keep] = tv;
+      ++keep;
+    }
+    batch = keep;
+    ws.cur.swap(ws.nxt);
+  }
+}
+
+/// True when `r` is a strictly slower outcome than `worst` (unconverged
+/// beats converged; then larger time wins).
+bool slower_than(const MixingResult& r, const MixingResult& worst) {
+  return (!r.converged && worst.converged) ||
+         (r.converged == worst.converged && r.time > worst.time);
+}
+
+}  // namespace
+
 OperatorMixingResult mixing_time_operator(const LinearOperator& op,
                                           std::span<const double> pi,
                                           std::span<const size_t> starts,
-                                          double eps, uint64_t max_steps) {
+                                          double eps, uint64_t max_steps,
+                                          OperatorMixingWorkspace& workspace) {
   const size_t n = op.size();
   LD_CHECK(pi.size() == n, "mixing_time_operator: pi size mismatch");
   LD_CHECK(!starts.empty(), "mixing_time_operator: need at least one start");
@@ -258,73 +353,73 @@ OperatorMixingResult mixing_time_operator(const LinearOperator& op,
   }
   OperatorMixingResult out;
   out.per_start.resize(starts.size());
-
-  // `active[b]` maps row b of the batch buffers to its index in `starts`;
-  // converged starts are compacted away so the batch narrows as fast
-  // starts finish and only the stragglers keep paying per-step work.
-  std::vector<size_t> active(starts.size());
-  std::vector<double> prev_tv(starts.size());
-  std::vector<double> cur(starts.size() * n, 0.0), nxt(starts.size() * n);
-  std::vector<double> partials;
-  size_t batch = 0;
-  for (size_t b = 0; b < starts.size(); ++b) {
-    std::span<double> row(cur.data() + batch * n, n);
-    std::fill(row.begin(), row.end(), 0.0);
-    row[starts[b]] = 1.0;
-    const double tv = batched_tv(row, pi, partials);
-    if (tv <= eps) {
-      out.per_start[b].time = 0;
-      out.per_start[b].distance = tv;
-      out.per_start[b].converged = true;
-      continue;
-    }
-    active[batch] = b;
-    prev_tv[batch] = tv;
-    ++batch;
-  }
-
-  for (uint64_t t = 1; batch > 0 && t <= max_steps; ++t) {
-    op.apply_many(std::span<const double>(cur.data(), batch * n),
-                  std::span<double>(nxt.data(), batch * n), batch);
-    size_t keep = 0;
-    for (size_t row = 0; row < batch; ++row) {
-      const size_t b = active[row];
-      std::span<const double> dist(nxt.data() + row * n, n);
-      const double tv = batched_tv(dist, pi, partials);
-      if (tv <= eps) {
-        out.per_start[b].time = t;
-        out.per_start[b].distance = tv;
-        out.per_start[b].distance_prev = prev_tv[row];
-        out.per_start[b].converged = true;
-        continue;
-      }
-      if (t == max_steps) {
-        out.per_start[b].time = max_steps;
-        out.per_start[b].distance = tv;
-        out.per_start[b].converged = false;
-        continue;
-      }
-      if (keep != row) {
-        std::copy(dist.begin(), dist.end(), nxt.begin() + keep * n);
-      }
-      active[keep] = b;
-      prev_tv[keep] = tv;
-      ++keep;
-    }
-    batch = keep;
-    cur.swap(nxt);
-  }
+  evolve_starts(op, pi, starts, eps, max_steps, workspace, out.per_start,
+                /*envelope=*/nullptr, /*vector_steps=*/nullptr);
 
   // Worst start: the largest mixing time; any unconverged start wins.
   const MixingResult* worst = &out.per_start.front();
   for (const MixingResult& r : out.per_start) {
-    const bool r_slower =
-        (!r.converged && worst->converged) ||
-        (r.converged == worst->converged && r.time > worst->time);
-    if (r_slower) worst = &r;
+    if (slower_than(r, *worst)) worst = &r;
   }
   out.worst = *worst;
   return out;
+}
+
+OperatorMixingResult mixing_time_operator(const LinearOperator& op,
+                                          std::span<const double> pi,
+                                          std::span<const size_t> starts,
+                                          double eps, uint64_t max_steps) {
+  OperatorMixingWorkspace workspace;
+  return mixing_time_operator(op, pi, starts, eps, max_steps, workspace);
+}
+
+WorstStartCertificate certify_worst_start(const LinearOperator& op,
+                                          std::span<const double> pi,
+                                          double eps, uint64_t max_steps,
+                                          size_t batch,
+                                          double per_step_defect) {
+  const size_t n = op.size();
+  LD_CHECK(pi.size() == n, "certify_worst_start: pi size mismatch");
+  LD_CHECK(eps > 0 && eps < 1, "certify_worst_start: eps in (0,1)");
+  LD_CHECK(batch > 0, "certify_worst_start: batch must be positive");
+  LD_CHECK(per_step_defect >= 0,
+           "certify_worst_start: defect must be non-negative");
+  LD_CHECK(max_steps > 0, "certify_worst_start: max_steps must be positive");
+  WorstStartCertificate cert;
+  cert.per_step_defect = per_step_defect;
+  OperatorMixingWorkspace ws;
+  std::vector<MixingResult> results;
+  bool have_worst = false;
+  for (size_t lo = 0; lo < n; lo += batch) {
+    const size_t hi = std::min(n, lo + batch);
+    results.assign(hi - lo, MixingResult{});  // no stale cross-block slots
+    ws.starts.resize(hi - lo);
+    for (size_t s = lo; s < hi; ++s) ws.starts[s - lo] = s;
+    evolve_starts(op, pi, ws.starts, eps, max_steps, ws,
+                  std::span<MixingResult>(results.data(), hi - lo),
+                  &cert.envelope, &cert.vector_steps);
+    for (size_t b = 0; b < hi - lo; ++b) {
+      if (!have_worst || slower_than(results[b], cert.worst)) {
+        cert.worst = results[b];
+        cert.worst_start = lo + b;
+        have_worst = true;
+      }
+    }
+  }
+  // d(t-1) certifying the crossing: the envelope at the last step the
+  // worst start was still above eps (exact there; see envelope contract).
+  if (cert.worst.time > 0 && cert.worst.time <= cert.envelope.size()) {
+    cert.worst.distance_prev = cert.envelope[size_t(cert.worst.time) - 1];
+  }
+  // The envelope's d(worst.time) may have been recorded by a faster batch
+  // at a larger value than the worst start's own crossing TV; report the
+  // merged maximum (the honest d(t)).
+  if (cert.worst.converged && size_t(cert.worst.time) < cert.envelope.size()) {
+    cert.worst.distance = cert.envelope[size_t(cert.worst.time)];
+  }
+  cert.dense_steps = uint64_t(n) * cert.worst.time;
+  cert.tv_defect_bound = 0.5 * per_step_defect * double(cert.worst.time);
+  return cert;
 }
 
 }  // namespace logitdyn

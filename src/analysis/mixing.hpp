@@ -80,13 +80,79 @@ struct OperatorMixingResult {
   std::vector<MixingResult> per_start;  ///< parallel to `starts`
 };
 
+/// Reusable buffers of the batched operator evolution (the multi-start
+/// loop and the worst-start certification blocks): the two batch
+/// distribution buffers, the compaction index map, previous-step TVs, and
+/// the blocked-reduction partials. Sized on first use, reused afterwards —
+/// steady-state evolution steps allocate nothing (allocation-audit
+/// tested, DESIGN.md §11).
+struct OperatorMixingWorkspace {
+  std::vector<double> cur, nxt;
+  std::vector<double> prev_tv;
+  std::vector<double> partials;
+  std::vector<size_t> active;
+  std::vector<size_t> starts;  ///< certify_worst_start's per-block starts
+};
+
 /// Evolve one delta distribution per entry of `starts` simultaneously —
 /// batched so operators with per-state setup (the logit oracle) pay it
-/// once per state per step regardless of how many starts ride along.
+/// once per state per step regardless of how many starts ride along, with
+/// converged starts compacted out of the batch. The workspace overload
+/// reuses every buffer across calls.
+OperatorMixingResult mixing_time_operator(const LinearOperator& op,
+                                          std::span<const double> pi,
+                                          std::span<const size_t> starts,
+                                          double eps, uint64_t max_steps,
+                                          OperatorMixingWorkspace& workspace);
 OperatorMixingResult mixing_time_operator(const LinearOperator& op,
                                           std::span<const double> pi,
                                           std::span<const size_t> starts,
                                           double eps = 0.25,
                                           uint64_t max_steps = 1u << 22);
+
+/// Certified worst-start mixing at operator scale (DESIGN.md §11): the
+/// result of evolving EVERY delta start through the operator, i.e. the
+/// exact d(t) = max_x ||P^t(x,.) - pi||_TV envelope — no Theorem 2.3
+/// bracket, no multi-start guess.
+struct WorstStartCertificate {
+  MixingResult worst;      ///< the certified worst-case t_mix(eps)
+  size_t worst_start = 0;  ///< encoded state attaining it
+  /// envelope[t] = d(t) for t = 0..worst.time: exact wherever
+  /// d(t) > eps (the certification range); once every start of a batch
+  /// has converged the recorded value is a lower bound that is <= eps
+  /// along with the true d(t).
+  std::vector<double> envelope;
+  /// Per-start evolution steps actually paid after early compaction,
+  /// vs. the |S| * worst.time a dense non-compacting evolution would pay
+  /// — the compaction savings the fast-apply engine banks on metastable
+  /// chains (most starts fall into a well and converge long before the
+  /// stragglers cross the barrier).
+  uint64_t vector_steps = 0;
+  uint64_t dense_steps = 0;
+  /// Defect accounting for sparsified applies (the synchronous kernel
+  /// routed through csr(drop_tol)): callers pass the operator's max
+  /// row-sum defect delta per step, and |d_sparse(t) - d_exact(t)| <=
+  /// t * delta / 2 accumulates linearly; tv_defect_bound is that bound at
+  /// worst.time. Zero for exact operators.
+  double per_step_defect = 0.0;
+  double tv_defect_bound = 0.0;
+};
+
+/// Evolve all |S| unit starts in blocks of `batch`, each block batched
+/// through one state-space sweep per step with early compaction of
+/// converged starts. Memory: 2 * batch * |S| doubles of workspace here,
+/// plus whatever batched-apply scratch the operator itself keeps
+/// (LogitOperator holds another 2 * batch * |S| for its interleaved
+/// views) — size `batch` to the machine, e.g. batch 16 at 2^22 states
+/// is ~2 GiB total. eps-crossing times are exact (TV against the
+/// stationary pi is non-increasing per start, so a converged start
+/// never re-crosses). `per_step_defect` feeds the defect accounting
+/// above.
+WorstStartCertificate certify_worst_start(const LinearOperator& op,
+                                          std::span<const double> pi,
+                                          double eps = 0.25,
+                                          uint64_t max_steps = 1u << 22,
+                                          size_t batch = 64,
+                                          double per_step_defect = 0.0);
 
 }  // namespace logitdyn

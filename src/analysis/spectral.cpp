@@ -5,6 +5,7 @@
 
 #include "analysis/tv.hpp"
 #include "core/logit_operator.hpp"
+#include "core/parallel_dynamics.hpp"
 #include "support/error.hpp"
 #include "support/math.hpp"
 
@@ -108,8 +109,19 @@ SpectralSummary spectral_summary(const Game& game, double beta,
     out.lanczos_iterations = s.iterations;
     return out;
   }
-  const LogitOperator op(game, beta, kind, opts.lanczos.pool);
-  const LanczosSpectrum s = lanczos_spectrum(op, pi, opts.lanczos);
+  LanczosSpectrum s;
+  if (kind == UpdateKind::kSynchronous && opts.sync_drop_tol >= 0.0) {
+    // Sparsified synchronous route: one csr(drop_tol) build, then cheap
+    // CSR applies — the exact synchronous operator costs O(|S|^2 n) per
+    // apply, which at operator scale dwarfs the build.
+    const ParallelLogitChain sync_chain(game, beta);
+    const CsrMatrix sparse = sync_chain.csr_transition(opts.sync_drop_tol);
+    const CsrOperator op(sparse);
+    s = lanczos_spectrum(op, pi, opts.lanczos);
+  } else {
+    const LogitOperator op(game, beta, kind, opts.lanczos.pool);
+    s = lanczos_spectrum(op, pi, opts.lanczos);
+  }
   out.lambda2 = s.lambda2;
   out.lambda_min = s.lambda_min;
   out.via_operator = true;

@@ -64,6 +64,14 @@ inline constexpr size_t kDenseSpectralCutover = size_t(1) << 12;
 struct SpectralOptions {
   size_t dense_cutover = kDenseSpectralCutover;
   LanczosOptions lanczos;
+  /// Synchronous-kernel route above the cutover (DESIGN.md §11): the
+  /// exact synchronous apply is O(|S|^2 n) per step, so a non-negative
+  /// value here builds ParallelLogitChain::csr_transition(sync_drop_tol)
+  /// once and runs Lanczos on the sparsified CsrOperator instead — each
+  /// apply drops to O(nnz), at the price of the quantified per-row
+  /// defect (<= |S| * drop_tol dropped mass per row) the caller accepted.
+  /// Negative (the default) keeps the exact matrix-free operator.
+  double sync_drop_tol = -1.0;
 };
 
 /// lambda_2 / lambda_min of a logit chain by whichever path the size

@@ -44,4 +44,20 @@ void logit_update_rows(const Game& game, double beta, Profile& x,
   }
 }
 
+void logit_update_rows_scalar(const Game& game, double beta, Profile& x,
+                              std::span<double> flat) {
+  LD_CHECK(beta >= 0.0, "logit update: beta must be non-negative");
+  LD_CHECK(flat.size() == game.space().total_strategies(),
+           "logit update rows: output size mismatch");
+  game.utility_rows(x, flat);
+  size_t offset = 0;
+  for (int i = 0; i < game.num_players(); ++i) {
+    const size_t m = size_t(game.num_strategies(i));
+    std::span<double> sigma = flat.subspan(offset, m);
+    for (double& v : sigma) v *= beta;
+    softmax_scalar(sigma, sigma);
+    offset += m;
+  }
+}
+
 }  // namespace logitdyn

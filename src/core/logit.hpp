@@ -3,7 +3,10 @@
 //
 // Computed with a stable softmax (max-subtracted), so beta in the hundreds
 // — deep in the paper's "large beta" regime — neither overflows nor
-// denormalizes.
+// denormalizes. Since the fast-apply engine (DESIGN.md §11) the softmax
+// inner loop runs on the branch-free `fast_exp`; the pre-engine std::exp
+// path is retained verbatim as `logit_update_rows_scalar`, the certified
+// scalar cross-check every vectorized kernel is tested against.
 #pragma once
 
 #include <span>
@@ -31,5 +34,12 @@ std::vector<double> logit_update_distribution(const Game& game, double beta,
 /// rule itself is defined here and in the single-row overload only.
 void logit_update_rows(const Game& game, double beta, Profile& x,
                        std::span<double> flat);
+
+/// The pre-fast-apply batched update rule (std::exp softmax), retained as
+/// the certified scalar reference: the LogitOperator's scalar-reference
+/// mode and the vectorized-vs-scalar cross-check tests run on it. Agrees
+/// with `logit_update_rows` to ~1 ulp per weight, never bit-for-bit.
+void logit_update_rows_scalar(const Game& game, double beta, Profile& x,
+                              std::span<double> flat);
 
 }  // namespace logitdyn

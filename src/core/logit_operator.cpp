@@ -6,15 +6,28 @@
 
 #include "core/logit.hpp"
 #include "support/error.hpp"
+#include "support/math.hpp"
 
 namespace logitdyn {
 
+namespace {
+
+/// Output states evaluated per structure-of-arrays block: the oracle rows
+/// of a whole block land in one contiguous buffer so the softmax
+/// max-subtract + fast_exp transform runs as ONE flat loop over
+/// kStateBlock * total_strategies entries — long enough to vectorize —
+/// instead of one short std::exp loop per player per state.
+constexpr size_t kStateBlock = 32;
+
+}  // namespace
+
 LogitOperator::LogitOperator(const Game& game, double beta, UpdateKind kind,
-                             ThreadPool* pool)
+                             ThreadPool* pool, ApplyMode mode)
     : game_(game),
       beta_(beta),
       kind_(kind),
-      pool_(pool ? pool : &ThreadPool::global()) {
+      pool_(pool ? pool : &ThreadPool::global()),
+      mode_(mode) {
   LD_CHECK(beta >= 0.0, "LogitOperator: beta must be non-negative");
 }
 
@@ -38,7 +51,11 @@ void LogitOperator::apply_many(std::span<const double> xs,
   LD_CHECK(xs.data() != ys.data(), "LogitOperator: aliasing not allowed");
   if (count == 0) return;
   if (kind_ == UpdateKind::kAsynchronous) {
-    apply_async(xs, ys, count);
+    if (mode_ == ApplyMode::kVectorized) {
+      apply_async(xs, ys, count);
+    } else {
+      apply_async_scalar(xs, ys, count);
+    }
   } else {
     apply_sync(xs, ys, count);
   }
@@ -49,12 +66,151 @@ void LogitOperator::apply_async(std::span<const double> xs,
   const ProfileSpace& sp = game_.space();
   const size_t total = sp.num_profiles();
   const int n = sp.num_players();
+  const size_t ts = sp.total_strategies();
   const double inv_n = 1.0 / double(n);
-  // Contiguous output shards, one per worker; each shard owns its decode
-  // scratch and oracle-row buffer. Every output element is produced by
-  // exactly one shard with a fixed reduction order (players ascending,
-  // strategies ascending, then batch), so output is bit-identical for
-  // every pool size.
+  // count > 1 runs on interleaved (state-major) views: one transpose in,
+  // one out, and every neighbour gather inside the kernel becomes a
+  // contiguous count-wide run instead of count loads scattered `total`
+  // apart. count == 1 reads/writes the caller's buffers directly (the
+  // layouts coincide).
+  const bool interleave = count > 1;
+  if (interleave) {
+    if (xq_.size() < count * total) xq_.resize(count * total);
+    if (yq_.size() < count * total) yq_.resize(count * total);
+    blocked_for(*pool_, total, [&](size_t lo, size_t hi) {
+      for (size_t b = 0; b < count; ++b) {
+        const double* src = xs.data() + b * total;
+        for (size_t i = lo; i < hi; ++i) xq_[i * count + b] = src[i];
+      }
+    });
+  }
+  const double* xin = interleave ? xq_.data() : xs.data();
+  double* yout = interleave ? yq_.data() : ys.data();
+  // Contiguous output shards, one per worker; each shard owns reusable
+  // scratch (odometer profile, oracle-row block, accumulators — sized on
+  // first apply, so steady-state applies never allocate). Every output
+  // element is produced by exactly one shard with a fixed reduction order
+  // (players ascending, strategies ascending, per batch vector), so
+  // output is bit-identical for every pool size and every batch width.
+  const size_t shards =
+      std::max<size_t>(1, std::min(pool_->num_threads(), total));
+  const size_t block = (total + shards - 1) / shards;
+  if (scratch_.size() < shards) scratch_.resize(shards);
+  parallel_for(*pool_, 0, shards, [&](size_t shard) {
+    const size_t lo = shard * block;
+    const size_t hi = std::min(total, lo + block);
+    if (lo >= hi) return;
+    ShardScratch& ws = scratch_[shard];
+    ws.rows.resize(kStateBlock * ts);
+    ws.shift.resize(kStateBlock * ts);
+    if (ws.acc.size() < count) ws.acc.resize(count);
+    if (ws.nb.size() < count) ws.nb.resize(count);
+    ws.strat.resize(kStateBlock * size_t(n));
+    // One decode per shard; consecutive states advance by the mixed-radix
+    // odometer (player 0 is the least-significant digit) — O(1) amortized
+    // instead of a full div/mod decode per state.
+    sp.decode_into(lo, ws.x);
+    for (size_t b0 = lo; b0 < hi; b0 += kStateBlock) {
+      const size_t bn = std::min(kStateBlock, hi - b0);
+      // 1) One oracle-row gather per output state, into the SoA block.
+      for (size_t bi = 0; bi < bn; ++bi) {
+        std::copy(ws.x.begin(), ws.x.end(),
+                  ws.strat.begin() + bi * size_t(n));
+        game_.utility_rows(
+            ws.x, std::span<double>(ws.rows.data() + bi * ts, ts));
+        if (b0 + bi + 1 < hi) {
+          for (int p = 0; p < n; ++p) {
+            if (++ws.x[size_t(p)] < sp.num_strategies(p)) break;
+            ws.x[size_t(p)] = 0;
+          }
+        }
+      }
+      // 2) Segmented max, expanded per entry so step 3 stays flat.
+      for (size_t bi = 0; bi < bn; ++bi) {
+        double* row = ws.rows.data() + bi * ts;
+        double* sh = ws.shift.data() + bi * ts;
+        for (int p = 0; p < n; ++p) {
+          const size_t o = sp.strategy_offset(p);
+          const size_t m = size_t(sp.num_strategies(p));
+          double mx = row[o];
+          for (size_t s = 1; s < m; ++s) mx = std::max(mx, row[o + s]);
+          for (size_t s = 0; s < m; ++s) sh[o + s] = mx;
+        }
+      }
+      // 3) The vectorized inner loop: one branch-free fast_exp pass over
+      // the whole block's Gibbs weights.
+      {
+        double* row = ws.rows.data();
+        const double* sh = ws.shift.data();
+        const size_t len = bn * ts;
+        for (size_t k = 0; k < len; ++k) {
+          row[k] = fast_exp(beta_ * (row[k] - sh[k]));
+        }
+      }
+      // 4) Accumulate: sigma_p(j_p | j) = w[j_p] / sum_s w[s], and the
+      // in-neighbour sum over player p's column comes from the stride
+      // identity (no per-neighbour re-encode). Per vector the reduction
+      // order (s ascending within p, then p ascending) is identical in
+      // both layouts, so batches of any width stay bit-identical to
+      // single applies.
+      for (size_t bi = 0; bi < bn; ++bi) {
+        const size_t j = b0 + bi;
+        const double* row = ws.rows.data() + bi * ts;
+        const Strategy* xj = ws.strat.data() + bi * size_t(n);
+        std::fill(ws.acc.begin(), ws.acc.begin() + count, 0.0);
+        for (int p = 0; p < n; ++p) {
+          const size_t o = sp.strategy_offset(p);
+          const size_t m = size_t(sp.num_strategies(p));
+          double seg = 0.0;
+          for (size_t s = 0; s < m; ++s) seg += row[o + s];
+          const double sigma = row[o + size_t(xj[p])] / seg;
+          const size_t stride = sp.stride(p);
+          const size_t base = j - size_t(xj[p]) * stride;
+          if (interleave) {
+            std::fill(ws.nb.begin(), ws.nb.begin() + count, 0.0);
+            for (size_t s = 0; s < m; ++s) {
+              const double* src = xin + (base + s * stride) * count;
+              for (size_t b = 0; b < count; ++b) ws.nb[b] += src[b];
+            }
+            for (size_t b = 0; b < count; ++b) {
+              ws.acc[b] += sigma * ws.nb[b];
+            }
+          } else {
+            double ssum = 0.0;
+            for (size_t s = 0; s < m; ++s) ssum += xin[base + s * stride];
+            ws.acc[0] += sigma * ssum;
+          }
+        }
+        if (interleave) {
+          double* dst = yout + j * count;
+          for (size_t b = 0; b < count; ++b) dst[b] = ws.acc[b] * inv_n;
+        } else {
+          yout[j] = ws.acc[0] * inv_n;
+        }
+      }
+    }
+  });
+  if (interleave) {
+    blocked_for(*pool_, total, [&](size_t lo, size_t hi) {
+      for (size_t b = 0; b < count; ++b) {
+        double* dst = ys.data() + b * total;
+        for (size_t i = lo; i < hi; ++i) dst[i] = yq_[i * count + b];
+      }
+    });
+  }
+}
+
+void LogitOperator::apply_async_scalar(std::span<const double> xs,
+                                       std::span<double> ys,
+                                       size_t count) const {
+  // The PR-4 scalar path, retained verbatim as the certified cross-check
+  // (std::exp softmax via logit_update_rows_scalar, per-neighbour
+  // re-encode): the vectorized kernel must agree with it to ~1e-12 per
+  // output (tested, and gated in CI through BENCH_apply.json).
+  const ProfileSpace& sp = game_.space();
+  const size_t total = sp.num_profiles();
+  const int n = sp.num_players();
+  const double inv_n = 1.0 / double(n);
   const size_t shards =
       std::max<size_t>(1, std::min(pool_->num_threads(), total));
   const size_t block = (total + shards - 1) / shards;
@@ -68,13 +224,15 @@ void LogitOperator::apply_async(std::span<const double> xs,
     std::vector<size_t> nbr(size_t(sp.max_strategies()));
     for (size_t j = lo; j < hi; ++j) {
       sp.decode_into(j, x);
-      logit_update_rows(game_, beta_, x, rows);
+      logit_update_rows_scalar(game_, beta_, x, rows);
       std::fill(acc.begin(), acc.end(), 0.0);
       for (int p = 0; p < n; ++p) {
         const int32_t m = sp.num_strategies(p);
         const double sigma =
             rows[sp.strategy_offset(p) + size_t(x[size_t(p)])];
-        for (Strategy s = 0; s < m; ++s) nbr[size_t(s)] = sp.with_strategy(j, p, s);
+        for (Strategy s = 0; s < m; ++s) {
+          nbr[size_t(s)] = sp.with_strategy(j, p, s);
+        }
         for (size_t b = 0; b < count; ++b) {
           const double* xb = xs.data() + b * total;
           double ssum = 0.0;
@@ -95,33 +253,43 @@ void LogitOperator::apply_sync(std::span<const double> xs,
   const size_t total = sp.num_profiles();
   const int n = sp.num_players();
   std::fill(ys.begin(), ys.end(), 0.0);
-  Profile x;
-  std::vector<double> rows(sp.total_strategies());
-  std::vector<double> weight(count);
+  sync_rows_.resize(sp.total_strategies());
+  if (sync_weight_.size() < count) sync_weight_.resize(count);
   // Sources run sequentially (so each output accumulates contributions in
   // ascending source order — the dense left-multiply order); the O(|S|)
   // target scatter of each source's product row is sharded over disjoint
-  // target ranges, which keeps every pool size bit-identical.
+  // target ranges, which keeps every pool size bit-identical. The mode
+  // only switches the update-rule softmax: the product loop over targets
+  // dominates either way (big synchronous workloads belong on the
+  // sparsified csr(drop_tol) route, DESIGN.md §11).
   for (size_t i = 0; i < total; ++i) {
     bool any = false;
     for (size_t b = 0; b < count; ++b) {
-      weight[b] = xs[b * total + i];
-      any = any || weight[b] != 0.0;
+      sync_weight_[b] = xs[b * total + i];
+      any = any || sync_weight_[b] != 0.0;
     }
     if (!any) continue;
-    sp.decode_into(i, x);
-    logit_update_rows(game_, beta_, x, rows);
+    sp.decode_into(i, sync_x_);
+    if (mode_ == ApplyMode::kVectorized) {
+      logit_update_rows(game_, beta_, sync_x_, sync_rows_);
+    } else {
+      logit_update_rows_scalar(game_, beta_, sync_x_, sync_rows_);
+    }
     parallel_for(
         *pool_, 0, total,
         [&](size_t to) {
           double prob = 1.0;
           for (int p = 0; p < n; ++p) {
-            prob *= rows[sp.strategy_offset(p) + size_t(sp.strategy_of(to, p))];
+            prob *=
+                sync_rows_[sp.strategy_offset(p) +
+                           size_t(sp.strategy_of(to, p))];
             if (prob == 0.0) break;
           }
           if (prob == 0.0) return;
           for (size_t b = 0; b < count; ++b) {
-            if (weight[b] != 0.0) ys[b * total + to] += weight[b] * prob;
+            if (sync_weight_[b] != 0.0) {
+              ys[b * total + to] += sync_weight_[b] * prob;
+            }
           }
         },
         /*min_block=*/1024);
@@ -134,18 +302,22 @@ void LogitOperator::row(size_t idx, std::vector<uint32_t>& cols,
            "LogitOperator::row: asynchronous kernel only");
   const ProfileSpace& sp = game_.space();
   LD_CHECK(idx < sp.num_profiles(), "LogitOperator::row: index out of range");
-  Profile x;
-  sp.decode_into(idx, x);
-  std::vector<double> rows(sp.total_strategies());
-  logit_update_rows(game_, beta_, x, rows);
-  std::vector<std::pair<uint32_t, double>> entries;
-  entries.reserve(sp.total_strategies() + 1);
-  async_row_entries(sp, idx, x, rows, entries);
+  // Member scratch: row-by-row consumers (the matrix-free sweep cut
+  // walks all |S| rows) must not pay three heap allocations per state.
+  sp.decode_into(idx, row_x_);
+  row_rows_.resize(sp.total_strategies());
+  // Always the shared (vectorized-softmax) update rule, never the
+  // scalar-reference one: rows must stay bit-identical to the
+  // TransitionBuilder CSR rows, which run on the same kernel.
+  logit_update_rows(game_, beta_, row_x_, row_rows_);
+  row_entries_.clear();
+  row_entries_.reserve(sp.total_strategies() + 1);
+  async_row_entries(sp, idx, row_x_, row_rows_, row_entries_);
   cols.clear();
   vals.clear();
-  cols.reserve(entries.size());
-  vals.reserve(entries.size());
-  for (const auto& [c, v] : entries) {
+  cols.reserve(row_entries_.size());
+  vals.reserve(row_entries_.size());
+  for (const auto& [c, v] : row_entries_) {
     cols.push_back(c);
     vals.push_back(v);
   }

@@ -1,4 +1,5 @@
-// Matrix-free application of the logit transition kernel (DESIGN.md §9).
+// Matrix-free application of the logit transition kernel (DESIGN.md §9,
+// fast-apply engine §11).
 //
 // The asynchronous kernel (paper Eq. (3)) has a columnar identity that
 // makes x |-> xP pure per-output-state work: the update distribution
@@ -13,7 +14,17 @@
 // per-state cost as one TransitionBuilder row — sharded over the
 // ThreadPool with no write races and no materialized matrix. This is what
 // moves the spectral/mixing state-space ceiling from "dense matrix fits"
-// (~2^11) to "a handful of O(|S|) vectors fit" (2^20+).
+// (~2^11) to "a handful of O(|S|) vectors fit" (2^22).
+//
+// The fast-apply engine evaluates the kernel in structure-of-arrays
+// blocks of output states: the oracle rows of a whole block are gathered
+// into one contiguous buffer, the per-row softmax becomes a segmented
+// max-subtract plus ONE flat branch-free fast_exp pass over the block
+// (the loop that auto-vectorizes), and neighbour indices come from the
+// mixed-radix stride identity x[j : p -> s] = j + (s - j_p)*stride(p)
+// instead of a per-neighbour re-encode. The pre-engine scalar loops are
+// retained behind ApplyMode::kScalarReference as the certified
+// cross-check (agreement gated in CI through BENCH_apply.json).
 #pragma once
 
 #include <cstdint>
@@ -27,26 +38,43 @@
 
 namespace logitdyn {
 
+/// Which apply implementation a LogitOperator runs (DESIGN.md §11).
+enum class ApplyMode {
+  kVectorized,       ///< SoA-blocked fast_exp kernel (the default)
+  kScalarReference,  ///< the retained pre-engine scalar loops (std::exp)
+};
+
 /// One step of the asynchronous or synchronous logit kernel as a
 /// LinearOperator, evaluated from the utility oracle — P is never stored.
 /// Holds a reference: the game must outlive the operator.
 ///
 /// Cost per apply: asynchronous O(|S| * (oracle + sum_i |S_i|));
 /// synchronous O(|S|^2 * n) (its rows are fully dense — the operator
-/// still wins on memory, not on time). Output is bit-identical at every
-/// pool size: each output element is reduced in a fixed order by exactly
-/// one task (asynchronous), or accumulated in ascending source order with
-/// disjoint per-task target ranges (synchronous).
+/// still wins on memory, not on time; route big synchronous workloads
+/// through ParallelLogitChain::csr_transition(drop_tol) + CsrOperator
+/// instead, with the quantified defect bound of DESIGN.md §11). Output is
+/// bit-identical at every pool size AND every batch size: each output
+/// element is reduced in a fixed order by exactly one task
+/// (asynchronous), or accumulated in ascending source order with disjoint
+/// per-task target ranges (synchronous), and per-vector work never
+/// depends on how many vectors ride in the batch.
+///
+/// NOT thread-safe per instance: applies reuse per-shard scratch buffers
+/// (sized on first use, so steady-state applies never allocate — the
+/// allocation-audit tests pin this). Run concurrent applies on separate
+/// operators; they share the game read-only.
 class LogitOperator final : public LinearOperator {
  public:
   /// `pool` defaults to ThreadPool::global().
   LogitOperator(const Game& game, double beta, UpdateKind kind,
-                ThreadPool* pool = nullptr);
+                ThreadPool* pool = nullptr,
+                ApplyMode mode = ApplyMode::kVectorized);
 
   const Game& game() const { return game_; }
   double beta() const { return beta_; }
   void set_beta(double beta);
   UpdateKind kind() const { return kind_; }
+  ApplyMode mode() const { return mode_; }
 
   size_t size() const override;
   void apply(std::span<const double> x, std::span<double> y) const override;
@@ -58,16 +86,29 @@ class LogitOperator final : public LinearOperator {
 
   /// Row `idx` of P as (column, value) pairs, columns ascending — the
   /// matrix-free analogue of one TransitionBuilder CSR row (same shared
-  /// assembly, so the two can never disagree). The building block for a
-  /// fully matrix-free sweep cut; today's best_sweep_cut_lanczos still
-  /// walks a materialized CSR. Asynchronous kernel only (synchronous
-  /// rows are fully dense; build them via TransitionBuilder if needed).
+  /// assembly, so the two can never disagree). The building block of the
+  /// matrix-free sweep cut (best_sweep_cut_operator). Asynchronous kernel
+  /// only (synchronous rows are fully dense; build them via
+  /// TransitionBuilder if needed).
   void row(size_t idx, std::vector<uint32_t>& cols,
            std::vector<double>& vals) const;
 
  private:
+  /// Per-shard reusable buffers of the vectorized asynchronous kernel;
+  /// one entry per shard, sized on first apply and kept across calls.
+  struct ShardScratch {
+    Profile x;
+    std::vector<double> rows;    ///< block's oracle rows / exp weights
+    std::vector<double> shift;   ///< per-entry softmax max, expanded flat
+    std::vector<double> acc;     ///< per-vector accumulators
+    std::vector<double> nb;      ///< per-vector neighbour sums
+    std::vector<Strategy> strat; ///< decoded strategies of the block
+  };
+
   void apply_async(std::span<const double> xs, std::span<double> ys,
                    size_t count) const;
+  void apply_async_scalar(std::span<const double> xs, std::span<double> ys,
+                          size_t count) const;
   void apply_sync(std::span<const double> xs, std::span<double> ys,
                   size_t count) const;
 
@@ -75,6 +116,21 @@ class LogitOperator final : public LinearOperator {
   double beta_;
   UpdateKind kind_;
   ThreadPool* pool_;
+  ApplyMode mode_;
+  mutable std::vector<ShardScratch> scratch_;  // async kernel, per shard
+  // Interleaved (state-major) views of the batch for count > 1: the
+  // neighbour gather of state j reads the count values of each neighbour
+  // as one contiguous run instead of count loads scattered size() apart
+  // — the cache-blocking that makes wide batches actually pay
+  // (DESIGN.md §11). Sized on first batched apply, reused afterwards.
+  mutable std::vector<double> xq_, yq_;
+  // Synchronous-kernel scratch (sequential over sources).
+  mutable Profile sync_x_;
+  mutable std::vector<double> sync_rows_, sync_weight_;
+  // row() scratch — the sweep cut calls row() once per state.
+  mutable Profile row_x_;
+  mutable std::vector<double> row_rows_;
+  mutable std::vector<std::pair<uint32_t, double>> row_entries_;
 };
 
 }  // namespace logitdyn

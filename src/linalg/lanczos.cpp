@@ -45,17 +45,79 @@ void par_scale(ThreadPool& pool, double c, std::span<double> x) {
   });
 }
 
-/// w -= (u . w) u for the stationary direction and every stored basis
-/// vector; two passes make classical "full reorthogonalization" robust
-/// against the O(sqrt(eps)) drift single-pass Gram-Schmidt leaves.
+/// All coefficients of one reorthogonalization pass in ONE fused sweep:
+/// out[0] = phi . w, out[1 + i] = basis[i] . w. Per vector the partials
+/// use the same fixed kReduceBlock association as par_dot, so each
+/// coefficient is bit-identical to an individual blocked dot — the fusion
+/// only collapses k+1 passes over w and the basis into one
+/// (DESIGN.md §11). `partials` is the caller's reusable scratch, laid out
+/// (k+1) coefficients x blocks.
+void par_dot_all(ThreadPool& pool, std::span<const double> phi,
+                 const std::vector<std::vector<double>>& basis,
+                 std::span<const double> w, std::span<double> out,
+                 std::vector<double>& partials) {
+  const size_t n = w.size();
+  const size_t vecs = basis.size() + 1;
+  if (n <= kReduceBlock) {
+    for (size_t v = 0; v < vecs; ++v) {
+      const double* u = v == 0 ? phi.data() : basis[v - 1].data();
+      double s = 0.0;
+      for (size_t i = 0; i < n; ++i) s += u[i] * w[i];
+      out[v] = s;
+    }
+    return;
+  }
+  const size_t blocks = (n + kReduceBlock - 1) / kReduceBlock;
+  partials.assign(vecs * blocks, 0.0);
+  parallel_for(pool, 0, blocks, [&](size_t blk) {
+    const size_t lo = blk * kReduceBlock;
+    const size_t hi = std::min(n, lo + kReduceBlock);
+    for (size_t v = 0; v < vecs; ++v) {
+      const double* u = v == 0 ? phi.data() : basis[v - 1].data();
+      double s = 0.0;
+      for (size_t i = lo; i < hi; ++i) s += u[i] * w[i];
+      partials[v * blocks + blk] = s;
+    }
+  });
+  for (size_t v = 0; v < vecs; ++v) {
+    double s = 0.0;
+    for (size_t blk = 0; blk < blocks; ++blk) {
+      s += partials[v * blocks + blk];
+    }
+    out[v] = s;
+  }
+}
+
+/// w -= sum_v coeffs[v] * u_v in one fused element sweep; per element the
+/// subtractions run in the same vector order as sequential axpys, so the
+/// fusion is bit-identical to them.
+void par_update_all(ThreadPool& pool, std::span<const double> phi,
+                    const std::vector<std::vector<double>>& basis,
+                    std::span<const double> coeffs, std::span<double> w) {
+  blocked_for(pool, w.size(), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      double t = w[i] - coeffs[0] * phi[i];
+      for (size_t v = 0; v < basis.size(); ++v) {
+        t -= coeffs[v + 1] * basis[v][i];
+      }
+      w[i] = t;
+    }
+  });
+}
+
+/// Full reorthogonalization against the stationary direction and every
+/// stored basis vector: two classical Gram-Schmidt passes ("twice is
+/// enough"), each one fused dot sweep + one fused update sweep — O(1)
+/// passes over the O(k |S|) basis per call instead of the O(k) passes of
+/// the per-vector modified-Gram-Schmidt loop this replaces.
 void reorthogonalize(ThreadPool& pool, std::span<const double> phi,
                      const std::vector<std::vector<double>>& basis,
-                     std::span<double> w, std::vector<double>& partials) {
+                     std::span<double> w, std::vector<double>& coeffs,
+                     std::vector<double>& partials) {
+  coeffs.resize(basis.size() + 1);
   for (int pass = 0; pass < 2; ++pass) {
-    par_axpy(pool, -par_dot(pool, phi, w, partials), phi, w);
-    for (const std::vector<double>& u : basis) {
-      par_axpy(pool, -par_dot(pool, u, w, partials), u, w);
-    }
+    par_dot_all(pool, phi, basis, w, coeffs, partials);
+    par_update_all(pool, phi, basis, coeffs, w);
   }
 }
 
@@ -100,6 +162,7 @@ LanczosRun run_lanczos(const LinearOperator& op, std::span<const double> pi,
   ThreadPool& pool = opts.pool ? *opts.pool : ThreadPool::global();
   const SymmetrizedOperator sym(op, pi);
   std::vector<double> partials;  // shared scratch of every reduction
+  std::vector<double> coeffs;    // reorthogonalization coefficients
 
   // Unit stationary direction of the symmetrized chain.
   std::vector<double> phi = sym.sqrt_pi();
@@ -142,7 +205,7 @@ LanczosRun run_lanczos(const LinearOperator& op, std::span<const double> pi,
     alpha.push_back(a);
     par_axpy(pool, -a, basis[j], w);
     if (j > 0) par_axpy(pool, -beta[j - 1], basis[j - 1], w);
-    reorthogonalize(pool, phi, basis, w, partials);
+    reorthogonalize(pool, phi, basis, w, coeffs, partials);
     const double b = std::sqrt(par_dot(pool, w, w, partials));
 
     // Happy breakdown (b ~ 0) means the Krylov space is invariant, so

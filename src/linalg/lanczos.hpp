@@ -1,9 +1,11 @@
 // Thread-pool-parallel symmetric Lanczos on the pi-symmetrized view of a
 // transition operator (DESIGN.md §9).
 //
-// Full reorthogonalization (two modified-Gram-Schmidt passes against the
-// deflated stationary direction sqrt(pi) and every stored basis vector)
-// plus a small tridiagonal QL solve yield the extreme eigenvalues
+// Full reorthogonalization (two classical-Gram-Schmidt passes against the
+// deflated stationary direction sqrt(pi) and every stored basis vector,
+// each pass one fused multi-vector dot sweep + one fused update sweep —
+// DESIGN.md §11) plus a small tridiagonal QL solve yield the extreme
+// eigenvalues
 // lambda_2 and lambda_min — hence lambda*, spectral_gap and t_rel — in
 // O(k * cost(apply) + k^2 * |S|) work and O(k * |S|) memory, replacing
 // the O(|S|^3) dense eigendecomposition everywhere the full spectrum is

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "parallel/thread_pool.hpp"
 #include "support/error.hpp"
 
 namespace logitdyn {
@@ -16,6 +17,19 @@ void LinearOperator::apply_many(std::span<const double> xs,
   }
 }
 
+void LinearOperator::apply_block(std::span<const double> xs,
+                                 std::span<double> ys, size_t count,
+                                 size_t block) const {
+  const size_t n = size();
+  LD_CHECK(xs.size() == count * n && ys.size() == count * n,
+           "apply_block: size mismatch");
+  if (block == 0) block = kDefaultApplyBlock;
+  for (size_t b0 = 0; b0 < count; b0 += block) {
+    const size_t bn = std::min(block, count - b0);
+    apply_many(xs.subspan(b0 * n, bn * n), ys.subspan(b0 * n, bn * n), bn);
+  }
+}
+
 DenseOperator::DenseOperator(const DenseMatrix& m) : m_(m) {
   LD_CHECK(m.rows() == m.cols(), "DenseOperator: square matrix required");
 }
@@ -27,13 +41,51 @@ void DenseOperator::apply(std::span<const double> x,
   vec_mat(x, m_, y);
 }
 
-CsrOperator::CsrOperator(const CsrMatrix& m) : m_(m) {
+void DenseOperator::apply_many(std::span<const double> xs,
+                               std::span<double> ys, size_t count) const {
+  const size_t n = m_.rows();
+  LD_CHECK(xs.size() == count * n && ys.size() == count * n,
+           "DenseOperator: size mismatch");
+  LD_CHECK(xs.data() != ys.data(), "DenseOperator: aliasing not allowed");
+  // Source-row outer loop, exactly vec_mat's accumulation order per
+  // vector (including the zero-source skip), but each matrix row is read
+  // once for the whole batch.
+  std::fill(ys.begin(), ys.end(), 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = m_.row(i).data();
+    for (size_t b = 0; b < count; ++b) {
+      const double xi = xs[b * n + i];
+      if (xi == 0.0) continue;
+      double* yb = ys.data() + b * n;
+      for (size_t j = 0; j < n; ++j) yb[j] += xi * row[j];
+    }
+  }
+}
+
+CsrOperator::CsrOperator(const CsrMatrix& m)
+    : m_(m), transpose_(m.transposed_view()) {
   LD_CHECK(m.rows() == m.cols(), "CsrOperator: square matrix required");
 }
 
 void CsrOperator::apply(std::span<const double> x,
                         std::span<double> y) const {
-  m_.left_multiply(x, y);
+  LD_CHECK(x.size() == m_.rows() && y.size() == m_.cols(),
+           "CsrOperator: size mismatch");
+  LD_CHECK(x.data() != y.data(), "CsrOperator: aliasing not allowed");
+  // Gather over the construction-time transpose: same kernel as
+  // CsrMatrix::left_multiply, minus the per-apply cache lookup.
+  transpose_.right_multiply(x, y);
+}
+
+void CsrOperator::apply_many(std::span<const double> xs,
+                             std::span<double> ys, size_t count) const {
+  const size_t n = m_.rows();
+  LD_CHECK(xs.size() == count * n && ys.size() == count * n,
+           "CsrOperator: size mismatch");
+  LD_CHECK(xs.data() != ys.data(), "CsrOperator: aliasing not allowed");
+  for (size_t b = 0; b < count; ++b) {
+    transpose_.right_multiply(xs.subspan(b * n, n), ys.subspan(b * n, n));
+  }
 }
 
 SymmetrizedOperator::SymmetrizedOperator(const LinearOperator& op,

@@ -37,10 +37,28 @@ class LinearOperator {
   /// Batched apply: `count` row vectors stored contiguously (row-major,
   /// stride size()) in xs, outputs to ys. The default loops `apply`;
   /// implementations whose per-state setup dominates (the logit oracle)
-  /// override it to pay that setup once per state for all vectors.
+  /// or whose matrix traffic dominates (dense/CSR views) override it to
+  /// pay that cost once per state for all vectors — k vectors through P
+  /// in ~one state-space sweep (DESIGN.md §11).
   virtual void apply_many(std::span<const double> xs, std::span<double> ys,
                           size_t count) const;
+
+  /// Cache-blocked batched apply: partitions the `count` vectors into
+  /// blocks of at most `block` (0 = kDefaultApplyBlock) and runs
+  /// apply_many on each, bounding the batch working set (block * size()
+  /// doubles live per sweep) while keeping the one-sweep sharing inside
+  /// each block. Bit-identical to apply_many and to `count` single
+  /// applies at every block size: per-vector work never depends on its
+  /// batch neighbours. (certify_worst_start blocks its start set the
+  /// same way, one converged-compacted batch at a time.)
+  void apply_block(std::span<const double> xs, std::span<double> ys,
+                   size_t count, size_t block = 0) const;
 };
+
+/// Default vector-block width of apply_block: wide enough to amortize the
+/// per-state setup, small enough that a block of 2^22-state vectors still
+/// fits in memory comfortably.
+inline constexpr size_t kDefaultApplyBlock = 64;
 
 /// LinearOperator view of a materialized dense transition matrix.
 class DenseOperator final : public LinearOperator {
@@ -50,23 +68,41 @@ class DenseOperator final : public LinearOperator {
 
   size_t size() const override { return m_.rows(); }
   void apply(std::span<const double> x, std::span<double> y) const override;
+  /// One sweep of the matrix for all `count` vectors (each row of P is
+  /// read once per batch instead of once per vector); per-vector results
+  /// bit-identical to `apply`.
+  void apply_many(std::span<const double> xs, std::span<double> ys,
+                  size_t count) const override;
 
  private:
   const DenseMatrix& m_;
 };
 
 /// LinearOperator view of a CSR transition matrix; apply is the sharded
-/// gather left-multiply (bit-identical at every pool size).
+/// gather left-multiply (bit-identical at every pool size). The
+/// counting-sort transpose the gather walks is resolved ONCE at
+/// construction and held for the operator's lifetime, so repeated applies
+/// (evolution loops, Lanczos) never touch the transpose cache's lock.
 class CsrOperator final : public LinearOperator {
  public:
   /// Holds a reference: `m` must be square and outlive the operator.
+  /// Builds (or reuses) m.transposed_view() eagerly.
   explicit CsrOperator(const CsrMatrix& m);
 
   size_t size() const override { return m_.rows(); }
   void apply(std::span<const double> x, std::span<double> y) const override;
+  /// Per-vector gathers over the construction-cached transpose. Batched
+  /// one-sweep CSR kernels were measured and REJECTED (DESIGN.md §11):
+  /// on transition-matrix sparsity a single vector stays cache-resident
+  /// while the matrix streams, so re-walking the matrix per vector beats
+  /// any layout that scatters the batch — the one-sweep win belongs to
+  /// operators whose per-state setup dominates (LogitOperator).
+  void apply_many(std::span<const double> xs, std::span<double> ys,
+                  size_t count) const override;
 
  private:
   const CsrMatrix& m_;
+  const CsrMatrix& transpose_;  ///< m_.transposed_view(), cached at ctor
 };
 
 /// The pi-symmetrized view A = D^{1/2} P D^{-1/2}, D = diag(pi), applied

@@ -65,83 +65,4 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void parallel_for(ThreadPool& pool, size_t begin, size_t end,
-                  const std::function<void(size_t)>& fn, size_t min_block) {
-  if (begin >= end) return;
-  if (pool.on_worker_thread()) {
-    // Nested dispatch from one of this pool's own workers would block on
-    // futures no free worker can run — execute inline instead (same
-    // fallback the sharded builders use).
-    for (size_t i = begin; i < end; ++i) fn(i);
-    return;
-  }
-  const size_t n = end - begin;
-  const size_t workers = pool.num_threads();
-  const size_t block =
-      std::max(min_block, (n + workers - 1) / std::max<size_t>(1, workers));
-  if (block >= n) {  // not worth dispatching
-    for (size_t i = begin; i < end; ++i) fn(i);
-    return;
-  }
-  std::vector<std::future<void>> futures;
-  for (size_t lo = begin; lo < end; lo += block) {
-    const size_t hi = std::min(end, lo + block);
-    futures.push_back(pool.submit([lo, hi, &fn] {
-      for (size_t i = lo; i < hi; ++i) fn(i);
-    }));
-  }
-  // Drain EVERY future before rethrowing: an early rethrow would unwind
-  // the caller's stack while still-queued tasks hold references into it
-  // (fn and its captures) — a use-after-free once a worker picks them up.
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
-}
-
-void parallel_for(size_t begin, size_t end,
-                  const std::function<void(size_t)>& fn, size_t min_block) {
-  parallel_for(ThreadPool::global(), begin, end, fn, min_block);
-}
-
-double blocked_sum(ThreadPool& pool, size_t n,
-                   const std::function<double(size_t, size_t)>& block_fn,
-                   std::vector<double>& partials) {
-  if (n <= kReduceBlock) return n == 0 ? 0.0 : block_fn(0, n);
-  const size_t blocks = (n + kReduceBlock - 1) / kReduceBlock;
-  partials.assign(blocks, 0.0);
-  parallel_for(pool, 0, blocks, [&](size_t blk) {
-    const size_t lo = blk * kReduceBlock;
-    partials[blk] = block_fn(lo, std::min(n, lo + kReduceBlock));
-  });
-  double sum = 0.0;
-  for (double p : partials) sum += p;
-  return sum;
-}
-
-double blocked_sum(ThreadPool& pool, size_t n,
-                   const std::function<double(size_t, size_t)>& block_fn) {
-  std::vector<double> partials;
-  return blocked_sum(pool, n, block_fn, partials);
-}
-
-void blocked_for(ThreadPool& pool, size_t n,
-                 const std::function<void(size_t, size_t)>& block_fn) {
-  if (n == 0) return;
-  if (n <= kReduceBlock) {
-    block_fn(0, n);
-    return;
-  }
-  const size_t blocks = (n + kReduceBlock - 1) / kReduceBlock;
-  parallel_for(pool, 0, blocks, [&](size_t blk) {
-    const size_t lo = blk * kReduceBlock;
-    block_fn(lo, std::min(n, lo + kReduceBlock));
-  });
-}
-
 }  // namespace logitdyn

@@ -5,6 +5,7 @@
 // trajectory lengths) and for builds without OpenMP.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -12,6 +13,7 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace logitdyn {
@@ -55,14 +57,59 @@ class ThreadPool {
 /// Blocks until all iterations complete; rethrows the first task exception.
 /// Safe to call from one of the pool's own workers: nested calls run
 /// inline instead of deadlocking on sub-task futures.
-void parallel_for(ThreadPool& pool, size_t begin, size_t end,
-                  const std::function<void(size_t)>& fn,
-                  size_t min_block = 1);
+///
+/// A template (not std::function) on purpose: the hot evolution loops
+/// call these helpers once per step, and type-erasing a capturing lambda
+/// heap-allocates its closure — the exact per-call allocation the
+/// fast-apply engine's audit forbids (DESIGN.md §11). The inline paths
+/// (empty/small ranges, nested dispatch) now never touch the heap; only
+/// an actual pool dispatch pays for its task objects.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, size_t begin, size_t end, Fn&& fn,
+                  size_t min_block = 1) {
+  if (begin >= end) return;
+  if (pool.on_worker_thread()) {
+    // Nested dispatch from one of this pool's own workers would block on
+    // futures no free worker can run — execute inline instead (same
+    // fallback the sharded builders use).
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const size_t n = end - begin;
+  const size_t workers = pool.num_threads();
+  const size_t block =
+      std::max(min_block, (n + workers - 1) / std::max<size_t>(1, workers));
+  if (block >= n) {  // not worth dispatching
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  for (size_t lo = begin; lo < end; lo += block) {
+    const size_t hi = std::min(end, lo + block);
+    futures.push_back(pool.submit([lo, hi, &fn] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    }));
+  }
+  // Drain EVERY future before rethrowing: an early rethrow would unwind
+  // the caller's stack while still-queued tasks hold references into it
+  // (fn and its captures) — a use-after-free once a worker picks them up.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
 
 /// parallel_for on the global pool.
-void parallel_for(size_t begin, size_t end,
-                  const std::function<void(size_t)>& fn,
-                  size_t min_block = 1);
+template <typename Fn>
+void parallel_for(size_t begin, size_t end, Fn&& fn, size_t min_block = 1) {
+  parallel_for(ThreadPool::global(), begin, end, std::forward<Fn>(fn),
+               min_block);
+}
 
 /// Block size of every deterministic parallel reduction in the library
 /// (Lanczos dot products, fused TV passes). Fixed — never derived from
@@ -75,20 +122,46 @@ inline constexpr size_t kReduceBlock = 8192;
 /// callback may also write to disjoint per-index outputs — fused
 /// map+reduce), and sum the partials sequentially in block order.
 /// `partials` is caller-owned scratch, resized as needed and reusable
-/// across calls.
-double blocked_sum(ThreadPool& pool, size_t n,
-                   const std::function<double(size_t, size_t)>& block_fn,
-                   std::vector<double>& partials);
+/// across calls. Allocation-free below one block (see parallel_for on
+/// why these are templates).
+template <typename BlockFn>
+double blocked_sum(ThreadPool& pool, size_t n, BlockFn&& block_fn,
+                   std::vector<double>& partials) {
+  if (n <= kReduceBlock) return n == 0 ? 0.0 : block_fn(0, n);
+  const size_t blocks = (n + kReduceBlock - 1) / kReduceBlock;
+  partials.assign(blocks, 0.0);
+  parallel_for(pool, 0, blocks, [&](size_t blk) {
+    const size_t lo = blk * kReduceBlock;
+    partials[blk] = block_fn(lo, std::min(n, lo + kReduceBlock));
+  });
+  double sum = 0.0;
+  for (double p : partials) sum += p;
+  return sum;
+}
 
 /// Allocating convenience overload.
-double blocked_sum(ThreadPool& pool, size_t n,
-                   const std::function<double(size_t, size_t)>& block_fn);
+template <typename BlockFn>
+double blocked_sum(ThreadPool& pool, size_t n, BlockFn&& block_fn) {
+  std::vector<double> partials;
+  return blocked_sum(pool, n, std::forward<BlockFn>(block_fn), partials);
+}
 
 /// Non-reducing sibling of blocked_sum: run block_fn(lo, hi) over the
 /// same fixed kReduceBlock partition (inline below one block). For
 /// element-wise kernels (axpy, scale) that share the deterministic
 /// blocking policy without producing a value.
-void blocked_for(ThreadPool& pool, size_t n,
-                 const std::function<void(size_t, size_t)>& block_fn);
+template <typename BlockFn>
+void blocked_for(ThreadPool& pool, size_t n, BlockFn&& block_fn) {
+  if (n == 0) return;
+  if (n <= kReduceBlock) {
+    block_fn(0, n);
+    return;
+  }
+  const size_t blocks = (n + kReduceBlock - 1) / kReduceBlock;
+  parallel_for(pool, 0, blocks, [&](size_t blk) {
+    const size_t lo = blk * kReduceBlock;
+    block_fn(lo, std::min(n, lo + kReduceBlock));
+  });
+}
 
 }  // namespace logitdyn

@@ -17,6 +17,7 @@ void register_builtin_experiments(ExperimentRegistry& registry) {
   register_ising_equivalence(registry);
   register_parallel_dynamics(registry);
   register_explore(registry);
+  register_worst_start(registry);
 }
 
 }  // namespace logitdyn::scenario

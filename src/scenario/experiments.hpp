@@ -22,5 +22,6 @@ void register_hitting_vs_mixing(ExperimentRegistry& reg);
 void register_ising_equivalence(ExperimentRegistry& reg);
 void register_parallel_dynamics(ExperimentRegistry& reg);
 void register_explore(ExperimentRegistry& reg);
+void register_worst_start(ExperimentRegistry& reg);
 
 }  // namespace logitdyn::scenario

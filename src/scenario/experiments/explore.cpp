@@ -2,8 +2,9 @@
 // example: one scenario spec + a beta grid in, the chain's spectrum
 // summary, mixing time, and every applicable paper bound out. Below the
 // 2^12-state dense cutover everything is exact; above it the operator
-// path (DESIGN.md §9) takes over up to 2^20 states. The mixing_explorer
-// binary is now a thin shim over this experiment (stdout unchanged).
+// path (DESIGN.md §9, fast-apply engine §11) takes over up to 2^22
+// states. The mixing_explorer binary is now a thin shim over this
+// experiment (stdout unchanged).
 #include <algorithm>
 #include <memory>
 #include <sstream>
@@ -76,9 +77,10 @@ void explore_beta(const ScenarioSpec& spec, Report& report, LogitChain& chain,
   } else {
     // Operator scale: Theorem 2.3 bracket plus the evolved lower bound
     // from the two extreme profiles. Each apply is O(|S|) oracle work
-    // (seconds at 2^20 states), so the step budget shrinks with size —
-    // metastable runs print "> budget" and the bracket still localizes
-    // t_mix.
+    // (seconds at 2^22 states on the vectorized kernel), so the step
+    // budget shrinks with size — metastable runs print "> budget" and the
+    // bracket still localizes t_mix. Certified worst-start envelopes live
+    // in the `worst_start` experiment.
     const LogitOperator op(chain.game(), beta, UpdateKind::kAsynchronous);
     const size_t starts[] = {0, pi.size() - 1};
     const uint64_t step_cap =
@@ -136,9 +138,10 @@ void run(const ScenarioSpec& spec, const RunOptions& opts, Report& report) {
       GameRegistry::instance().make_potential_game(spec);
   // Below the dense cutover the explorer is fully exact; above it the
   // operator path (Lanczos + multi-start evolution, DESIGN.md §9) takes
-  // over, so the ceiling is memory for O(k) state-space vectors.
-  if (game->space().num_profiles() > (size_t(1) << 20)) {
-    throw Error("state space too large (use |S| <= 2^20)");
+  // over, so the ceiling is memory for O(k) state-space vectors — the
+  // fast-apply engine (§11) moved it from 2^20 to 2^22.
+  if (game->space().num_profiles() > (size_t(1) << 22)) {
+    throw Error("state space too large (use |S| <= 2^22)");
   }
   // One chain serves the whole beta sweep (beta is mutable on Dynamics),
   // and the beta-independent potential summaries are computed once.
@@ -163,7 +166,7 @@ void register_explore(ExperimentRegistry& reg) {
            "scenario explorer: spectrum, mixing time, and every applicable "
            "paper bound for one scenario across a beta grid",
            "exact below the 2^12 dense cutover, Lanczos + Theorem 2.3 "
-           "bracket up to 2^20 states",
+           "bracket up to 2^22 states",
            spec, run});
 }
 

@@ -19,6 +19,22 @@ double log_sum_exp(std::span<const double> v) {
 void softmax(std::span<const double> v, std::span<double> out) {
   LD_CHECK(v.size() == out.size(), "softmax size mismatch");
   LD_CHECK(!v.empty(), "softmax of empty span");
+  // Three flat branch-free loops (max reduce, fast_exp, normalize) so the
+  // compiler can vectorize each; see softmax_scalar for the retained
+  // std::exp reference.
+  double m = v[0];
+  for (size_t i = 1; i < v.size(); ++i) m = std::max(m, v[i]);
+  double s = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    out[i] = fast_exp(v[i] - m);
+    s += out[i];
+  }
+  for (double& x : out) x /= s;
+}
+
+void softmax_scalar(std::span<const double> v, std::span<double> out) {
+  LD_CHECK(v.size() == out.size(), "softmax size mismatch");
+  LD_CHECK(!v.empty(), "softmax of empty span");
   const double m = *std::max_element(v.begin(), v.end());
   double s = 0.0;
   for (size_t i = 0; i < v.size(); ++i) {

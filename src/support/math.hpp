@@ -1,6 +1,7 @@
 // Numerically careful scalar helpers used throughout the library.
 #pragma once
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <span>
@@ -12,9 +13,76 @@ namespace logitdyn {
 /// by factoring out the maximum. Returns -inf for an empty input.
 double log_sum_exp(std::span<const double> v);
 
-/// In-place softmax: w[i] <- exp(v[i]) / sum_j exp(v[j]), computed stably.
-/// The input and output may alias.
+/// Branch-free double-precision exp (DESIGN.md §11): Cephes-style range
+/// reduction x = n*ln2 + r, a rational minimax approximation of exp(r)
+/// on |r| <= ln2/2, and a bit-shift 2^n scaling. Accurate to ~2 ulp of
+/// std::exp over the clamped domain. No branches or table lookups, so
+/// flat loops over it auto-vectorize — the softmax inner loop of every
+/// logit kernel runs on this.
+///
+/// The argument is clamped to [-708, 709]: the range where both exp(x)
+/// and the 2^n exponent bit-shift stay inside positive normal doubles.
+/// Below -708 the true value is subnormal-or-zero and this returns
+/// exp(-708) ~ 3.3e-308 instead (a relative error that only affects
+/// Gibbs-weight ratios beyond ~1e308, which the softmax callers cannot
+/// represent anyway); above 709 it returns exp(709) instead of
+/// overflowing to inf. Finite inputs only (NaN/inf are not handled).
+inline double fast_exp(double x) {
+  constexpr double kLog2E = 1.4426950408889634073599;  // 1/ln 2
+  // ln2 split hi/lo so x - n*ln2 is computed to full precision.
+  constexpr double kLn2Hi = 6.93145751953125e-1;
+  constexpr double kLn2Lo = 1.42860682030941723212e-6;
+  // Round-to-nearest via the 1.5*2^52 magic constant: adding it pushes
+  // the fraction bits out of the mantissa (exact for |v| < 2^51), so the
+  // subtraction recovers round(v) with two adds — no std::floor libcall.
+  // The integer n is read straight out of the sum's mantissa field
+  // (low 52 bits = 2^51 + n, two's-complement via the borrowed 2^51
+  // bit), so no double<->int64 conversion ever runs: every operation in
+  // this function has a packed SSE2 form, which is what lets the flat
+  // softmax loops auto-vectorize on baseline x86-64.
+  constexpr double kRound = 6755399441055744.0;  // 1.5 * 2^52
+  x = x < -708.0 ? -708.0 : x;
+  x = x > 709.0 ? 709.0 : x;
+  const double z = kLog2E * x + kRound;
+  const double nf = z - kRound;
+  double r = x - nf * kLn2Hi;
+  r -= nf * kLn2Lo;
+  // exp(r) = 1 + 2 r P(r^2) / (Q(r^2) - r P(r^2)), the Cephes rational.
+  const double rr = r * r;
+  const double p =
+      r * (((1.26177193074810590878e-4 * rr + 3.02994407707441961300e-2) *
+            rr) +
+           9.99999999999999999910e-1);
+  const double q =
+      ((3.00198505138664455042e-6 * rr + 2.52448340349684104192e-3) * rr +
+       2.27265548208155028766e-1) *
+          rr +
+      2.00000000000000000005e0;
+  const double e = 1.0 + 2.0 * p / (q - p);
+  // 2^n via the exponent field; n is in [-1021, 1023] after the clamp,
+  // so low52 + 1023 - 2^51 = n + 1023 lands in [2, 2046] — a normal
+  // double's exponent.
+  const uint64_t low52 =
+      std::bit_cast<uint64_t>(z) & ((uint64_t(1) << 52) - 1);
+  const double scale =
+      std::bit_cast<double>((low52 + 1023 - (uint64_t(1) << 51)) << 52);
+  return e * scale;
+}
+
+/// In-place softmax: w[i] <- exp(v[i]) / sum_j exp(v[j]), computed stably
+/// (max-subtracted, branch-free max reduction, fast_exp inner loop). The
+/// input and output may alias. This is the update-rule softmax: every
+/// logit kernel (chain step, transition build, operator apply, replica
+/// stepping) shares these numerics, so cross-path bit-identity guarantees
+/// are preserved (DESIGN.md §11).
 void softmax(std::span<const double> v, std::span<double> out);
+
+/// The pre-fast-apply softmax (std::exp inner loop), retained verbatim as
+/// the certified scalar cross-check: `logit_update_rows_scalar` and the
+/// LogitOperator scalar-reference mode run on it, and the fast path must
+/// agree with it to ~1 ulp per weight (tested, and gated in CI through
+/// BENCH_apply.json).
+void softmax_scalar(std::span<const double> v, std::span<double> out);
 
 /// Relative-or-absolute closeness test: |a-b| <= atol + rtol*max(|a|,|b|).
 bool almost_equal(double a, double b, double rtol = 1e-9, double atol = 1e-12);

@@ -1,0 +1,112 @@
+// Allocation audit of the hot evolution loops (DESIGN.md §11): the
+// fast-apply engine's contract is that steady-state operator applies and
+// TV-evolution steps reuse workspace buffers and never allocate. The
+// global operator new is replaced with a counting forwarder (correct for
+// the whole test binary — it only adds an atomic increment), and the
+// audits measure the count strictly around the hot calls, on small state
+// spaces and single-thread pools so every parallel helper takes its
+// inline path (pool dispatch itself allocates futures by design; that is
+// the scheduling layer, not a per-call buffer).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "analysis/mixing.hpp"
+#include "core/logit_operator.hpp"
+#include "core/transition_builder.hpp"
+#include "games/graphical_coordination.hpp"
+#include "games/ising.hpp"
+#include "core/gibbs.hpp"
+#include "graph/builders.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace logitdyn {
+namespace {
+
+uint64_t alloc_count() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+TEST(AllocAuditTest, VectorizedApplySteadyStateAllocatesNothing) {
+  const IsingGame game(make_ring(8), 0.7);  // 256 states
+  ThreadPool one(1);                        // inline parallel_for path
+  const LogitOperator op(game, 1.1, UpdateKind::kAsynchronous, &one);
+  const size_t n = op.size();
+  const size_t count = 4;
+  std::vector<double> xs(count * n, 1.0 / double(n)), ys(count * n);
+  // Warm the per-shard scratch to its high-water mark.
+  op.apply_many(xs, ys, count);
+  op.apply_many(xs, ys, count);
+  const uint64_t before = alloc_count();
+  for (int rep = 0; rep < 16; ++rep) op.apply_many(xs, ys, count);
+  EXPECT_EQ(alloc_count() - before, 0u)
+      << "steady-state apply_many must reuse every buffer";
+}
+
+TEST(AllocAuditTest, FusedTvEvolutionSteadyStateAllocatesNothing) {
+  const GraphicalCoordinationGame game(
+      make_ring(8), CoordinationPayoffs::from_deltas(1.0, 0.5));
+  const CsrMatrix p =
+      TransitionBuilder(game, 1.3, UpdateKind::kAsynchronous).csr();
+  const GibbsMeasure gibbs = gibbs_measure(game, 1.3);
+  MixingWorkspace ws;
+  // Warm: sizes the workspace and builds the cached transpose.
+  mixing_time_from_state(p, 0, gibbs.probabilities, 1e-12, 64, ws);
+  const uint64_t before = alloc_count();
+  const MixingResult r =
+      mixing_time_from_state(p, 1, gibbs.probabilities, 1e-12, 64, ws);
+  EXPECT_EQ(alloc_count() - before, 0u)
+      << "warmed single-start evolution must not allocate";
+  EXPECT_FALSE(r.converged);  // eps=1e-12 keeps the loop hot for 64 steps
+}
+
+TEST(AllocAuditTest, OperatorEvolutionAllocationsIndependentOfStepCount) {
+  // The batched multi-start loop: allocation count must not grow with the
+  // number of steps taken — per-call setup may allocate (workspace
+  // high-water, result vectors), per-step work may not.
+  const IsingGame game(make_ring(8), 0.6);
+  ThreadPool one(1);
+  const LogitOperator op(game, 1.0, UpdateKind::kAsynchronous, &one);
+  const GibbsMeasure gibbs = gibbs_measure(game, 1.0);
+  const std::vector<size_t> starts = {0, 37, 255};
+  OperatorMixingWorkspace ws;
+  auto allocs_for = [&](uint64_t max_steps) {
+    const uint64_t before = alloc_count();
+    mixing_time_operator(op, gibbs.probabilities, starts, 1e-12, max_steps,
+                         ws);
+    return alloc_count() - before;
+  };
+  allocs_for(8);  // warm the workspace high-water marks
+  const uint64_t short_run = allocs_for(32);
+  const uint64_t long_run = allocs_for(256);
+  EXPECT_EQ(short_run, long_run)
+      << "per-step allocation detected in the evolution loop";
+}
+
+}  // namespace
+}  // namespace logitdyn

@@ -1,0 +1,309 @@
+// The fast-apply engine (DESIGN.md §11): vectorized-vs-scalar kernel
+// agreement, apply_block / apply_many bit-identity across backends, pool
+// sizes and block sizes, certified worst-start envelopes against the
+// exact dense answers, the sparsified synchronous route's defect bound,
+// and the matrix-free sweep cut.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/bottleneck.hpp"
+#include "analysis/mixing.hpp"
+#include "analysis/tv.hpp"
+#include "core/gibbs.hpp"
+#include "core/logit_operator.hpp"
+#include "core/parallel_dynamics.hpp"
+#include "core/transition_builder.hpp"
+#include "games/congestion.hpp"
+#include "games/coordination.hpp"
+#include "games/graphical_coordination.hpp"
+#include "games/ising.hpp"
+#include "games/plateau.hpp"
+#include "games/random_potential.hpp"
+#include "games/table_game.hpp"
+#include "graph/builders.hpp"
+#include "linalg/linear_operator.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/rng.hpp"
+#include "support/math.hpp"
+
+namespace logitdyn {
+namespace {
+
+struct FastApplyCase {
+  std::string label;
+  std::shared_ptr<const Game> game;
+};
+
+std::ostream& operator<<(std::ostream& os, const FastApplyCase& c) {
+  return os << c.label;
+}
+
+std::vector<FastApplyCase> fast_apply_cases() {
+  Rng rng(29);
+  std::vector<FastApplyCase> cases;
+  cases.push_back({"plateau", std::make_shared<PlateauGame>(5, 2.0, 1.0)});
+  cases.push_back({"ising", std::make_shared<IsingGame>(make_ring(5), 0.7)});
+  cases.push_back({"graphical_coordination",
+                   std::make_shared<GraphicalCoordinationGame>(
+                       make_path(4), CoordinationPayoffs::from_deltas(1.0, 0.5))});
+  cases.push_back(
+      {"congestion",
+       std::make_shared<CongestionGame>(make_parallel_links_game(
+           4, {1.0, 0.5, 0.25}, {0.2, 0.1, 0.3}))});
+  cases.push_back(
+      {"random_table", std::make_shared<TableGame>(make_random_game(
+                           ProfileSpace(3, 3), 1.0, rng))});
+  return cases;
+}
+
+std::vector<double> random_batch(size_t len, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(len);
+  for (double& v : x) v = rng.uniform() - 0.3;
+  return x;
+}
+
+TEST(FastExpTest, MatchesStdExpToUlps) {
+  // Dense sample over the softmax-relevant range plus the clamp edges.
+  for (double x = -700.0; x <= 700.0; x += 0.37) {
+    const double want = std::exp(x);
+    const double got = fast_exp(x);
+    EXPECT_NEAR(got, want, 4e-15 * want) << "x = " << x;
+  }
+  EXPECT_GT(fast_exp(-1000.0), 0.0);   // clamped, never zero or negative
+  EXPECT_TRUE(std::isfinite(fast_exp(1000.0)));
+  EXPECT_DOUBLE_EQ(fast_exp(0.0), 1.0);
+}
+
+TEST(FastExpTest, SoftmaxAgreesWithScalarSoftmax) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> v(7), fast(7), scalar(7);
+    for (double& x : v) x = 40.0 * (rng.uniform() - 0.5);
+    softmax(v, fast);
+    softmax_scalar(v, scalar);
+    double sum = 0.0;
+    for (size_t i = 0; i < v.size(); ++i) {
+      EXPECT_NEAR(fast[i], scalar[i], 1e-14) << "i " << i;
+      sum += fast[i];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+class FastApplyTest : public ::testing::TestWithParam<FastApplyCase> {};
+
+TEST_P(FastApplyTest, VectorizedAgreesWithScalarReference) {
+  const Game& game = *GetParam().game;
+  const double beta = 1.4;
+  for (UpdateKind kind :
+       {UpdateKind::kAsynchronous, UpdateKind::kSynchronous}) {
+    const LogitOperator vec(game, beta, kind);
+    const LogitOperator scalar(game, beta, kind, nullptr,
+                               ApplyMode::kScalarReference);
+    const size_t n = vec.size();
+    const size_t count = 3;
+    const std::vector<double> xs = random_batch(count * n, 11);
+    std::vector<double> yv(count * n), ys(count * n);
+    vec.apply_many(xs, yv, count);
+    scalar.apply_many(xs, ys, count);
+    for (size_t i = 0; i < count * n; ++i) {
+      EXPECT_NEAR(yv[i], ys[i], 1e-12) << "kind " << int(kind) << " i " << i;
+    }
+  }
+}
+
+TEST_P(FastApplyTest, ApplyBlockBitIdenticalAcrossBackendsPoolsAndBlocks) {
+  const Game& game = *GetParam().game;
+  const double beta = 0.9;
+  ThreadPool one(1), four(4);
+  for (UpdateKind kind :
+       {UpdateKind::kAsynchronous, UpdateKind::kSynchronous}) {
+    const TransitionBuilder builder(game, beta, kind);
+    const DenseMatrix dense = builder.dense();
+    const CsrMatrix csr = builder.csr();
+    const DenseOperator dense_op(dense);
+    const CsrOperator csr_op(csr);
+    const LogitOperator logit1(game, beta, kind, &one);
+    const LogitOperator logit4(game, beta, kind, &four);
+    const LinearOperator* backends[] = {&dense_op, &csr_op, &logit1,
+                                        &logit4};
+    const size_t n = dense.rows();
+    const size_t count = 10;  // > the CSR batch chunk of 8
+    const std::vector<double> xs = random_batch(count * n, 17);
+    for (const LinearOperator* op : backends) {
+      std::vector<double> expected(count * n), got(count * n);
+      for (size_t b = 0; b < count; ++b) {
+        op->apply(std::span<const double>(xs.data() + b * n, n),
+                  std::span<double>(expected.data() + b * n, n));
+      }
+      for (size_t block : {size_t(1), size_t(2), size_t(3), size_t(0)}) {
+        std::fill(got.begin(), got.end(), -1.0);
+        op->apply_block(xs, got, count, block);
+        for (size_t i = 0; i < count * n; ++i) {
+          EXPECT_EQ(got[i], expected[i])
+              << "kind " << int(kind) << " block " << block << " i " << i;
+        }
+      }
+      std::fill(got.begin(), got.end(), -1.0);
+      op->apply_many(xs, got, count);
+      for (size_t i = 0; i < count * n; ++i) {
+        EXPECT_EQ(got[i], expected[i]) << "apply_many i " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGames, FastApplyTest,
+                         ::testing::ValuesIn(fast_apply_cases()),
+                         [](const auto& info) { return info.param.label; });
+
+TEST(CertifyWorstStartTest, MatchesDenseDoublingOnSmallChain) {
+  const PlateauGame game(7, 3.0, 1.0);
+  const double beta = 1.5;
+  const TransitionBuilder builder(game, beta, UpdateKind::kAsynchronous);
+  const DenseMatrix p = builder.dense();
+  const GibbsMeasure gibbs = gibbs_measure(game, beta);
+  const MixingResult dense = mixing_time_doubling(p, gibbs.probabilities);
+  ASSERT_TRUE(dense.converged);
+
+  const LogitOperator op(game, beta, UpdateKind::kAsynchronous);
+  const WorstStartCertificate cert =
+      certify_worst_start(op, gibbs.probabilities, 0.25, 1u << 20,
+                          /*batch=*/19);  // deliberately not a power of two
+  ASSERT_TRUE(cert.worst.converged);
+  EXPECT_EQ(cert.worst.time, dense.time);
+  EXPECT_NEAR(cert.worst.distance, dense.distance, 1e-9);
+
+  // The envelope must be the exact d(t) curve wherever d(t) > eps: check
+  // against explicit matrix powers.
+  ASSERT_EQ(cert.envelope.size(), size_t(cert.worst.time) + 1);
+  DenseMatrix power = DenseMatrix::identity(p.rows());
+  for (uint64_t t = 0; t < cert.worst.time; ++t) {
+    const double d_t = worst_row_tv(power, gibbs.probabilities);
+    EXPECT_NEAR(cert.envelope[size_t(t)], d_t, 1e-9) << "t = " << t;
+    EXPECT_GT(cert.envelope[size_t(t)], 0.25) << "t = " << t;
+    power = matmul(power, p);
+  }
+  EXPECT_LE(cert.envelope.back(), 0.25);
+  // Monotone non-increasing within the certification range.
+  for (size_t t = 0; t + 1 < cert.envelope.size(); ++t) {
+    EXPECT_GE(cert.envelope[t] + 1e-12, cert.envelope[t + 1]) << "t " << t;
+  }
+  // Compaction accounting: never more work than the dense evolution.
+  EXPECT_EQ(cert.dense_steps, uint64_t(p.rows()) * cert.worst.time);
+  EXPECT_LE(cert.vector_steps, cert.dense_steps);
+  EXPECT_GT(cert.vector_steps, 0u);
+  EXPECT_EQ(cert.tv_defect_bound, 0.0);
+}
+
+TEST(CertifyWorstStartTest, BatchSizeDoesNotChangeTheCertificate) {
+  const IsingGame game(make_ring(6), 0.8);
+  const double beta = 1.2;
+  const GibbsMeasure gibbs = gibbs_measure(game, beta);
+  const LogitOperator op(game, beta, UpdateKind::kAsynchronous);
+  const WorstStartCertificate a =
+      certify_worst_start(op, gibbs.probabilities, 0.25, 1u << 20, 7);
+  const WorstStartCertificate b =
+      certify_worst_start(op, gibbs.probabilities, 0.25, 1u << 20, 64);
+  EXPECT_EQ(a.worst.time, b.worst.time);
+  EXPECT_EQ(a.worst_start, b.worst_start);
+  ASSERT_EQ(a.envelope.size(), b.envelope.size());
+  for (size_t t = 0; t < a.envelope.size(); ++t) {
+    EXPECT_EQ(a.envelope[t], b.envelope[t]) << "t " << t;
+  }
+}
+
+TEST(CertifyWorstStartTest, SparsifiedSyncKernelStaysWithinDefectBound) {
+  const CoordinationGame game(CoordinationPayoffs::from_deltas(2.0, 1.0));
+  const double beta = 2.0;
+  const ParallelLogitChain sync_chain(game, beta);
+  const std::vector<double> pi = sync_chain.stationary();
+
+  // Exact envelope from the dense synchronous kernel.
+  const LogitOperator exact_op(game, beta, UpdateKind::kSynchronous);
+  const WorstStartCertificate exact =
+      certify_worst_start(exact_op, pi, 0.25, 1u << 16);
+
+  const double drop_tol = 1e-6;
+  const CsrMatrix sparse = sync_chain.csr_transition(drop_tol);
+  double defect = 0.0;
+  for (double s : sparse.row_sums()) {
+    defect = std::max(defect, std::abs(1.0 - s));
+  }
+  const CsrOperator sparse_op(sparse);
+  const WorstStartCertificate approx = certify_worst_start(
+      sparse_op, pi, 0.25, 1u << 16, /*batch=*/64, defect);
+  ASSERT_TRUE(exact.worst.converged);
+  ASSERT_TRUE(approx.worst.converged);
+  EXPECT_EQ(approx.per_step_defect, defect);
+  EXPECT_NEAR(approx.tv_defect_bound,
+              0.5 * defect * double(approx.worst.time), 1e-15);
+  // Every shared envelope point agrees within the accumulated bound.
+  const size_t shared =
+      std::min(exact.envelope.size(), approx.envelope.size());
+  for (size_t t = 0; t < shared; ++t) {
+    EXPECT_NEAR(approx.envelope[t], exact.envelope[t],
+                0.5 * defect * double(t) + 1e-12)
+        << "t " << t;
+  }
+}
+
+TEST(MixingWorkspaceTest, ReusedWorkspaceMatchesFreshRuns) {
+  const PlateauGame game(6, 3.0, 1.0);
+  const GibbsMeasure gibbs = gibbs_measure(game, 1.0);
+  const LogitOperator op(game, 1.0, UpdateKind::kAsynchronous);
+  OperatorMixingWorkspace ws;
+  const std::vector<size_t> starts_a = {0, 5, 60};
+  const std::vector<size_t> starts_b = {63, 1};
+  const OperatorMixingResult warm_a =
+      mixing_time_operator(op, gibbs.probabilities, starts_a, 0.25,
+                           1u << 20, ws);
+  const OperatorMixingResult warm_b =
+      mixing_time_operator(op, gibbs.probabilities, starts_b, 0.25,
+                           1u << 20, ws);
+  const OperatorMixingResult fresh_a =
+      mixing_time_operator(op, gibbs.probabilities, starts_a);
+  const OperatorMixingResult fresh_b =
+      mixing_time_operator(op, gibbs.probabilities, starts_b);
+  for (size_t s = 0; s < starts_a.size(); ++s) {
+    EXPECT_EQ(warm_a.per_start[s].time, fresh_a.per_start[s].time);
+    EXPECT_EQ(warm_a.per_start[s].distance, fresh_a.per_start[s].distance);
+  }
+  for (size_t s = 0; s < starts_b.size(); ++s) {
+    EXPECT_EQ(warm_b.per_start[s].time, fresh_b.per_start[s].time);
+    EXPECT_EQ(warm_b.per_start[s].distance, fresh_b.per_start[s].distance);
+  }
+}
+
+TEST(SweepCutOperatorTest, MatchesCsrSweepOnReversibleChains) {
+  Rng rng(41);
+  const std::vector<std::shared_ptr<const PotentialGame>> games = {
+      std::make_shared<PlateauGame>(6, 3.0, 1.0),
+      std::make_shared<IsingGame>(make_ring(6), 0.9),
+      std::make_shared<GraphicalCoordinationGame>(
+          make_clique(5), CoordinationPayoffs::from_deltas(1.0, 0.5)),
+  };
+  for (const auto& game : games) {
+    const double beta = 1.8;
+    const GibbsMeasure gibbs = gibbs_measure(*game, beta);
+    const CsrMatrix csr =
+        TransitionBuilder(*game, beta, UpdateKind::kAsynchronous).csr();
+    LanczosOptions opts;
+    opts.tol = 1e-12;
+    const SweepCutResult via_csr =
+        best_sweep_cut_lanczos(csr, gibbs.probabilities, opts);
+    const LogitOperator op(*game, beta, UpdateKind::kAsynchronous);
+    const SweepCutResult via_op =
+        best_sweep_cut_operator(op, gibbs.probabilities, opts);
+    EXPECT_NEAR(via_op.ratio, via_csr.ratio, 1e-9 + 0.01 * via_csr.ratio)
+        << game->name();
+  }
+}
+
+}  // namespace
+}  // namespace logitdyn

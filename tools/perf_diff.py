@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: diff BENCH_*.json artifacts against a baseline.
+
+Usage: perf_diff.py BASELINE_DIR CURRENT_DIR [--max-regression 0.20]
+                    [--min-abs-ms 0.5]
+
+Every BENCH_*.json present in BOTH directories is compared row by row
+(rows are matched on their identity keys: workload/game/states/n/
+replicas/steps/beta). Keys ending in `_ms` are tracked wall times: the
+gate fails when current > baseline * (1 + max-regression) AND the
+absolute slowdown exceeds --min-abs-ms (sub-millisecond rows are pure
+scheduling noise). Files or rows present on only one side are reported
+but never fail the gate — that is how new benches seed the trajectory.
+
+Exit codes: 0 ok, 1 regression, 2 usage/parse error.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+IDENTITY_KEYS = ("workload", "game", "states", "n", "replicas", "steps",
+                 "beta")
+
+
+def row_identity(row):
+    return tuple((k, row[k]) for k in IDENTITY_KEYS if k in row)
+
+
+def result_rows(doc):
+    """The rows of a unified bench document (measurements.results)."""
+    try:
+        rows = doc["measurements"]["results"]
+    except (KeyError, TypeError):
+        return []
+    return [r for r in rows if isinstance(r, dict)]
+
+
+def compare_file(name, base_doc, cur_doc, max_regression, min_abs_ms):
+    regressions, notes = [], []
+    base_rows = {row_identity(r): r for r in result_rows(base_doc)}
+    for cur in result_rows(cur_doc):
+        ident = row_identity(cur)
+        base = base_rows.get(ident)
+        label = f"{name} :: " + " ".join(f"{k}={v}" for k, v in ident)
+        if base is None:
+            notes.append(f"  new row (seeds trajectory): {label}")
+            continue
+        for key, cur_val in cur.items():
+            if not key.endswith("_ms"):
+                continue
+            base_val = base.get(key)
+            if not isinstance(base_val, (int, float)) or not isinstance(
+                    cur_val, (int, float)):
+                continue
+            if base_val <= 0:
+                continue
+            ratio = cur_val / base_val
+            if ratio > 1.0 + max_regression and (cur_val -
+                                                 base_val) > min_abs_ms:
+                regressions.append(
+                    f"  {label} :: {key}: {base_val:.3f} -> {cur_val:.3f} ms "
+                    f"({(ratio - 1.0) * 100:.1f}% slower)")
+    return regressions, notes
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline_dir", type=pathlib.Path)
+    parser.add_argument("current_dir", type=pathlib.Path)
+    parser.add_argument("--max-regression", type=float, default=0.20)
+    parser.add_argument("--min-abs-ms", type=float, default=0.5)
+    args = parser.parse_args()
+
+    if not args.baseline_dir.is_dir() or not args.current_dir.is_dir():
+        print("perf_diff: baseline or current directory missing",
+              file=sys.stderr)
+        return 2
+
+    current_files = sorted(args.current_dir.glob("BENCH_*.json"))
+    if not current_files:
+        print("perf_diff: no BENCH_*.json in current directory",
+              file=sys.stderr)
+        return 2
+
+    all_regressions = []
+    compared = 0
+    for cur_path in current_files:
+        base_path = args.baseline_dir / cur_path.name
+        if not base_path.exists():
+            print(f"no baseline for {cur_path.name} (seeds trajectory)")
+            continue
+        try:
+            base_doc = json.loads(base_path.read_text())
+            cur_doc = json.loads(cur_path.read_text())
+        except json.JSONDecodeError as err:
+            print(f"perf_diff: cannot parse {cur_path.name}: {err}",
+                  file=sys.stderr)
+            return 2
+        regressions, notes = compare_file(cur_path.name, base_doc, cur_doc,
+                                          args.max_regression,
+                                          args.min_abs_ms)
+        compared += 1
+        for note in notes:
+            print(note)
+        if regressions:
+            all_regressions.extend(regressions)
+        else:
+            print(f"{cur_path.name}: no tracked wall-time regression "
+                  f"(> {args.max_regression * 100:.0f}%)")
+
+    if all_regressions:
+        print(f"\nperf_diff: {len(all_regressions)} wall-time "
+              f"regression(s) beyond {args.max_regression * 100:.0f}%:")
+        for line in all_regressions:
+            print(line)
+        return 1
+    print(f"perf_diff: {compared} file(s) compared, gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <functional>
 #include <iomanip>
@@ -26,8 +27,10 @@
 #include "core/logit_operator.hpp"
 #include "core/simulator.hpp"
 #include "core/transition_builder.hpp"
+#include "linalg/chebyshev.hpp"
 #include "linalg/lanczos.hpp"
 #include "parallel/thread_pool.hpp"
+#include "support/isa.hpp"
 #include "games/congestion.hpp"
 #include "games/graphical_coordination.hpp"
 #include "games/ising.hpp"
@@ -701,11 +704,86 @@ void write_bench_apply_json(const std::string& path) {
               << "x\n";
   }
 
+  {
+    // Filtered Chebyshev evolution vs exact stepwise on a 2^20-state
+    // Ising torus at t = 10 * t_rel (DESIGN.md §12): the monomial filter
+    // reaches P^t in O(sqrt(t log(1/eps))) applies, and the certified
+    // truncation bound must cover the observed TV deviation — the
+    // acceptance row for the filtered engine.
+    const IsingGame big(make_torus(4, 5), 0.5);
+    const double beta = 0.4;
+    const GibbsMeasure gibbs = gibbs_measure(big, beta);
+    const size_t n_big = big.space().num_profiles();
+    const LogitOperator op(big, beta, UpdateKind::kAsynchronous);
+    LanczosOptions lopts;
+    lopts.tol = 1e-8;
+    lopts.max_iterations = 200;
+    const LanczosSpectrum spec =
+        lanczos_spectrum(op, gibbs.probabilities, lopts);
+    const SpectralInterval iv = deviation_interval(spec);
+    const double t_rel = 1.0 / (1.0 - spec.lambda_star());
+    const uint64_t t = uint64_t(std::ceil(10.0 * t_rel));
+
+    const size_t count = 2;  // the two extreme delta starts
+    std::vector<double> xs(count * n_big, 0.0);
+    xs[0] = 1.0;
+    xs[n_big + (n_big - 1)] = 1.0;
+    std::vector<double> ys_step(count * n_big), ys_cheb(count * n_big),
+        nxt(count * n_big);
+    const double stepwise_ms = time_best_of(1, [&] {
+      std::copy(xs.begin(), xs.end(), ys_step.begin());
+      for (uint64_t s = 0; s < t; ++s) {
+        op.apply_many(ys_step, nxt, count);
+        ys_step.swap(nxt);
+      }
+      benchmark::DoNotOptimize(ys_step.data());
+    });
+    ChebyshevEvolver evolver(op, gibbs.probabilities, iv);
+    ChebyshevEvolver::Result res;
+    const double cheb_ms = time_best_of(2, [&] {
+      res = evolver.evolve(xs, ys_cheb, count, t, 1e-8);
+      benchmark::DoNotOptimize(ys_cheb.data());
+    });
+    double tv_diff = 0.0, defect_bound = 0.0;
+    bool within_bound = true;
+    for (size_t b = 0; b < count; ++b) {
+      const double tv_s = total_variation(
+          std::span<const double>(ys_step.data() + b * n_big, n_big),
+          gibbs.probabilities);
+      const double d = std::abs(res.tv[b] - tv_s);
+      tv_diff = std::max(tv_diff, d);
+      defect_bound = std::max(defect_bound, res.tv_defect_bound[b]);
+      within_bound = within_bound && d <= res.tv_defect_bound[b] + 1e-9;
+    }
+    Json r = Json::object();
+    r.set("workload", "chebyshev_vs_stepwise_10trel");
+    r.set("game", big.name());
+    r.set("states", n_big);
+    r.set("t", t);
+    r.set("t_rel", t_rel);
+    r.set("degree", res.degree);
+    r.set("stepwise_ms", stepwise_ms);
+    r.set("chebyshev_ms", cheb_ms);
+    r.set("speedup", stepwise_ms / cheb_ms);
+    r.set("max_tv_diff", tv_diff);
+    r.set("tv_defect_bound", defect_bound);
+    r.set("within_bound", within_bound);
+    results.push_back(std::move(r));
+    std::cout << "  chebyshev_vs_stepwise_10trel: t=" << t << " (t_rel "
+              << t_rel << "), degree " << res.degree << ", stepwise "
+              << stepwise_ms << " ms, chebyshev " << cheb_ms
+              << " ms, speedup " << stepwise_ms / cheb_ms << "x, |tv diff| "
+              << tv_diff << " (bound " << defect_bound
+              << ", within=" << within_bound << ")\n";
+  }
+
   Json config = Json::object();
   config.set("description",
              "fast-apply engine vs the retained PR-4 scalar path: "
              "vectorized logit kernel (SoA softmax + fast_exp), one-sweep "
-             "multi-vector applies, certified worst-start envelopes");
+             "multi-vector applies, certified worst-start envelopes; plus "
+             "the Chebyshev filter vs exact stepwise at t = 10 t_rel on "
+             "2^20 states (within_bound gates the certified defect)");
   config.set("target",
              ">= 2x on at least one 2^16-state mixing or spectral "
              "workload; agrees gates CI at 1e-6");
@@ -713,6 +791,188 @@ void write_bench_apply_json(const std::string& path) {
   Json measurements = Json::object();
   measurements.set("results", std::move(results));
   write_bench_document(path, "fast_apply_vs_scalar", std::move(config),
+                       std::move(measurements));
+  std::cout << "wrote " << path << "\n";
+}
+
+/// Least-squares slope of log(ms) against log(threads), negated: the
+/// fitted strong-scaling exponent e in wall ~ threads^{-e} (1.0 = ideal
+/// linear scaling, 0 = no scaling). Needs >= 2 distinct thread counts.
+double fitted_scaling_exponent(const std::vector<size_t>& threads,
+                               const std::vector<double>& wall_ms) {
+  const size_t m = threads.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < m; ++i) {
+    const double x = std::log(double(threads[i]));
+    const double y = std::log(std::max(wall_ms[i], 1e-9));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = double(m) * sxx - sx * sx;
+  if (denom <= 0) return 0.0;
+  return -(double(m) * sxy - sx * sy) / denom;
+}
+
+/// Emit BENCH_scaling.json: strong-scaling sweeps of the pool-parallel
+/// kernels across threads in {1, 2, 4, ...} (DESIGN.md §12). Every
+/// (workload, threads) cell records wall_ms plus bit_identical against
+/// the threads=1 output — the blocked-reduction determinism contract
+/// (DESIGN.md §11) makes pool size invisible to results, and this is
+/// where that claim is continuously measured. Per-workload summary rows
+/// carry the fitted strong-scaling exponent (wall ~ threads^{-e}); CI
+/// fails when an exponent drops > 20% against the baseline. On a 1-core
+/// container the sweep still runs {1, 2} and the exponent hovers near 0,
+/// which the gate's absolute floor ignores; multi-core runners record
+/// the real curve.
+void write_bench_scaling_json(const std::string& path, size_t max_threads) {
+  if (max_threads == 0) {
+    max_threads = std::max<size_t>(2, std::thread::hardware_concurrency());
+  }
+  std::vector<size_t> counts;
+  for (size_t c = 1; c <= max_threads; c *= 2) counts.push_back(c);
+  if (counts.back() != max_threads) counts.push_back(max_threads);
+
+  // Each workload runs the kernel under one pool and returns an exact
+  // floating-point signature of its output; bit-identity across pool
+  // sizes is signature equality.
+  struct Workload {
+    std::string name;
+    std::string game;
+    size_t states;
+    int reps;
+    std::function<double(ThreadPool&, std::vector<double>&)> run;
+  };
+  std::vector<Workload> workloads;
+
+  // Pool-parallel batched apply on the 2^16 Ising torus: the kernel
+  // behind every operator-scale mixing and spectral run.
+  const IsingGame ising(make_torus(4, 4), 0.5);
+  const size_t n_ising = ising.space().num_profiles();
+  const size_t apply_count = 4;
+  std::vector<double> apply_xs(apply_count * n_ising);
+  {
+    Rng rng(17);
+    for (double& v : apply_xs) v = rng.uniform();
+  }
+  workloads.push_back(
+      {"logit_apply_many_x4", ising.name(), n_ising, 3,
+       [&](ThreadPool& pool, std::vector<double>& sig) {
+         const LogitOperator op(ising, 1.0, UpdateKind::kAsynchronous,
+                                &pool);
+         std::vector<double> ys(apply_count * n_ising);
+         const double ms = time_best_of(3, [&] {
+           op.apply_many(apply_xs, ys, apply_count);
+           benchmark::DoNotOptimize(ys.data());
+         });
+         sig = std::move(ys);
+         return ms;
+       }});
+
+  // Sharded CSR transition build on the 1024-state congestion instance.
+  const CongestionGame congestion = make_congestion_bench(10);
+  const TransitionBuilder builder(congestion, 1.0,
+                                  UpdateKind::kAsynchronous);
+  workloads.push_back(
+      {"csr_build", congestion.name(), congestion.space().num_profiles(), 3,
+       [&](ThreadPool& pool, std::vector<double>& sig) {
+         CsrMatrix p;
+         const double ms = time_best_of(3, [&] {
+           p = builder.csr(pool);
+           benchmark::DoNotOptimize(p.values().data());
+         });
+         sig.clear();
+         sig.reserve(p.nnz() * 2 + p.rows() + 1);
+         for (size_t r = 0; r <= p.rows(); ++r) {
+           sig.push_back(double(p.row_offsets()[r]));
+         }
+         for (size_t k = 0; k < p.nnz(); ++k) {
+           sig.push_back(double(p.col_indices()[k]));
+           sig.push_back(p.values()[k]);
+         }
+         return ms;
+       }});
+
+  // Lanczos on the 2^16 operator: pool-parallel applies plus blocked
+  // inner products — the reduction path the determinism contract covers.
+  const GibbsMeasure ising_gibbs = gibbs_measure(ising, 1.0);
+  workloads.push_back(
+      {"lanczos_spectrum", ising.name(), n_ising, 2,
+       [&](ThreadPool& pool, std::vector<double>& sig) {
+         const LogitOperator op(ising, 1.0, UpdateKind::kAsynchronous,
+                                &pool);
+         LanczosOptions opts;
+         opts.tol = 1e-8;
+         opts.max_iterations = 60;
+         opts.pool = &pool;
+         LanczosSpectrum s;
+         const double ms = time_best_of(2, [&] {
+           s = lanczos_spectrum(op, ising_gibbs.probabilities, opts);
+           benchmark::DoNotOptimize(s.lambda2);
+         });
+         sig = {s.lambda2, s.lambda_min, double(s.iterations)};
+         return ms;
+       }});
+
+  Json results = Json::array();
+  std::cout << "scaling sweep, threads in {";
+  for (size_t i = 0; i < counts.size(); ++i) {
+    std::cout << (i ? "," : "") << counts[i];
+  }
+  std::cout << "}:\n";
+  for (Workload& w : workloads) {
+    std::vector<double> walls;
+    std::vector<double> ref_sig;
+    bool all_identical = true;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      ThreadPool pool(counts[i]);
+      std::vector<double> sig;
+      const double ms = w.run(pool, sig);
+      walls.push_back(ms);
+      bool identical = true;
+      if (i == 0) {
+        ref_sig = std::move(sig);
+      } else {
+        identical = sig == ref_sig;
+        all_identical = all_identical && identical;
+      }
+      Json r = Json::object();
+      r.set("workload", w.name);
+      r.set("game", w.game);
+      r.set("states", w.states);
+      r.set("threads", counts[i]);
+      r.set("wall_ms", ms);
+      r.set("bit_identical", identical);
+      results.push_back(std::move(r));
+      std::cout << "  " << w.name << " threads=" << counts[i] << ": " << ms
+                << " ms, bit_identical=" << identical << "\n";
+    }
+    const double exponent = fitted_scaling_exponent(counts, walls);
+    Json r = Json::object();
+    r.set("workload", w.name);
+    r.set("game", w.game);
+    r.set("states", w.states);
+    r.set("scaling_exponent", exponent);
+    r.set("bit_identical_all", all_identical);
+    results.push_back(std::move(r));
+    std::cout << "  " << w.name << " scaling_exponent=" << exponent
+              << ", bit_identical_all=" << all_identical << "\n";
+  }
+
+  Json config = Json::object();
+  config.set("description",
+             "strong-scaling sweep of the pool-parallel kernels: wall_ms "
+             "per (workload, threads) cell with bit-identity against the "
+             "threads=1 output; summary rows carry the fitted scaling "
+             "exponent (wall ~ threads^-e)");
+  config.set("unit", "ms");
+  config.set("max_threads", max_threads);
+  config.set("hardware_concurrency",
+             size_t(std::thread::hardware_concurrency()));
+  Json measurements = Json::object();
+  measurements.set("results", std::move(results));
+  write_bench_document(path, "strong_scaling", std::move(config),
                        std::move(measurements));
   std::cout << "wrote " << path << "\n";
 }
@@ -888,11 +1148,14 @@ int main(int argc, char** argv) {
   std::string chain_build_path = "BENCH_chain_build.json";
   std::string spectral_path = "BENCH_spectral.json";
   std::string apply_path = "BENCH_apply.json";
+  std::string scaling_path = "BENCH_scaling.json";
   bool exit_after_json = false;
   bool chain_build = false;
   bool spectral = false;
   bool apply = false;
+  bool scaling = false;
   bool oracle = true;
+  size_t scaling_max_threads = 0;  // 0 = max(2, hardware_concurrency)
   std::vector<char*> passthrough = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -903,6 +1166,17 @@ int main(int argc, char** argv) {
       chain_build = true;
       spectral = true;
       apply = true;
+      scaling = true;
+    } else if (arg == "--bench_scaling_only") {
+      // Scaling sweep alone: the threads-axis CI leg runs just this.
+      exit_after_json = true;
+      scaling = true;
+      oracle = false;
+    } else if (arg.rfind("--bench_scaling_max_threads=", 0) == 0) {
+      scaling_max_threads = size_t(std::stoul(
+          arg.substr(std::string("--bench_scaling_max_threads=").size())));
+    } else if (arg.rfind("--bench_scaling_out=", 0) == 0) {
+      scaling_path = arg.substr(std::string("--bench_scaling_out=").size());
     } else if (arg == "--bench_spectral_only") {
       // Spectral emitter alone (the dense rows take minutes; this flag
       // lets CI or a profiler run just them).
@@ -933,6 +1207,7 @@ int main(int argc, char** argv) {
   if (chain_build) write_bench_chain_build_json(chain_build_path);
   if (spectral) write_bench_spectral_json(spectral_path);
   if (apply) write_bench_apply_json(apply_path);
+  if (scaling) write_bench_scaling_json(scaling_path, scaling_max_threads);
   if (exit_after_json) return 0;
   argc = int(passthrough.size());
   argv = passthrough.data();

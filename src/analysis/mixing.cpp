@@ -422,4 +422,265 @@ WorstStartCertificate certify_worst_start(const LinearOperator& op,
   return cert;
 }
 
+// -------------------------------------------------- filtered (Chebyshev)
+
+FilteredMixingResult mixing_time_filtered(const LinearOperator& op,
+                                          std::span<const double> pi,
+                                          std::span<const size_t> starts,
+                                          SpectralInterval interval,
+                                          double eps, uint64_t max_steps,
+                                          const FilteredMixingOptions& opts) {
+  const size_t n = op.size();
+  LD_CHECK(pi.size() == n, "mixing_time_filtered: pi size mismatch");
+  LD_CHECK(!starts.empty(), "mixing_time_filtered: need at least one start");
+  LD_CHECK(eps > 0 && eps < 1, "mixing_time_filtered: eps in (0,1)");
+  LD_CHECK(max_steps > 0, "mixing_time_filtered: max_steps must be positive");
+  for (size_t s : starts) {
+    LD_CHECK(s < n, "mixing_time_filtered: start out of range");
+  }
+  FilteredMixingResult out;
+  const size_t count = starts.size();
+  ThreadPool& pool = opts.pool ? *opts.pool : ThreadPool::global();
+
+  // The delta batch, kept pristine: every Chebyshev probe re-evolves from
+  // t = 0 (that is the point — no intermediate state to carry).
+  std::vector<double> deltas(count * n, 0.0);
+  for (size_t v = 0; v < count; ++v) deltas[v * n + starts[v]] = 1.0;
+
+  // d(0) = max_v (1 - pi[start_v]), exactly.
+  double d_prev = 0.0;
+  size_t arg_prev = 0;
+  for (size_t v = 0; v < count; ++v) {
+    const double tv = 1.0 - pi[starts[v]];
+    if (tv > d_prev) {
+      d_prev = tv;
+      arg_prev = v;
+    }
+  }
+  if (d_prev <= eps) {
+    out.worst.time = 0;
+    out.worst.distance = d_prev;
+    out.worst.converged = true;
+    out.worst_start = arg_prev;
+    return out;
+  }
+
+  // Warmup: exact stepwise evolution with d(t) checked at every step, so
+  // fast-mixing chains never pay for a filter they do not need.
+  std::vector<double> cur(deltas), nxt(count * n);
+  std::vector<double> partials;
+  const uint64_t warm_end = std::min<uint64_t>(opts.warmup_steps, max_steps);
+  for (uint64_t t = 1; t <= warm_end; ++t) {
+    op.apply_many(std::span<const double>(cur.data(), count * n),
+                  std::span<double>(nxt.data(), count * n), count);
+    out.applies += 1;
+    cur.swap(nxt);
+    double d_max = 0.0;
+    size_t arg = 0;
+    for (size_t v = 0; v < count; ++v) {
+      const double tv = batched_tv(
+          std::span<const double>(cur.data() + v * n, n), pi, partials);
+      if (tv > d_max) {
+        d_max = tv;
+        arg = v;
+      }
+    }
+    if (d_max <= eps) {  // resolved exactly, filter never engaged
+      out.worst.time = t;
+      out.worst.distance = d_max;
+      out.worst.distance_prev = d_prev;
+      out.worst.converged = true;
+      out.worst_start = arg;
+      return out;
+    }
+    d_prev = d_max;
+    arg_prev = arg;
+  }
+  if (warm_end >= max_steps) {
+    out.worst.time = max_steps;
+    out.worst.distance = d_prev;
+    out.worst.converged = false;
+    out.worst_start = arg_prev;
+    return out;
+  }
+
+  // Probing phase: doubling then bisection on the Chebyshev estimates.
+  out.used_chebyshev = true;
+  ChebyshevEvolver evolver(op, pi, interval, &pool, opts.max_degree);
+  std::vector<double> ys(count * n);
+  auto probe = [&](uint64_t t) {
+    const ChebyshevEvolver::Result r =
+        evolver.evolve(deltas, ys, count, t, opts.probe_tol);
+    out.applies += r.degree;
+    out.max_degree_used = std::max(out.max_degree_used, r.degree);
+    double d_max = 0.0;
+    size_t arg = 0;
+    for (size_t v = 0; v < count; ++v) {
+      out.tv_defect_bound =
+          std::max(out.tv_defect_bound, r.tv_defect_bound[v]);
+      if (r.tv[v] > d_max) {
+        d_max = r.tv[v];
+        arg = v;
+      }
+    }
+    out.probes.emplace_back(t, d_max);
+    return std::pair<double, size_t>(d_max, arg);
+  };
+
+  uint64_t lo = warm_end;  // d(warm_end) > eps — the warmup established it
+  uint64_t hi = 0;
+  double d_hi = 0.0;
+  size_t hi_arg = 0;
+  uint64_t t = std::max<uint64_t>(1, warm_end * 2);
+  for (;;) {
+    t = std::min(t, max_steps);
+    const auto [d_t, arg] = probe(t);
+    if (d_t <= eps) {
+      hi = t;
+      d_hi = d_t;
+      hi_arg = arg;
+      break;
+    }
+    lo = t;
+    d_prev = d_t;
+    if (t >= max_steps) {
+      out.worst.time = max_steps;
+      out.worst.distance = d_t;
+      out.worst.converged = false;
+      out.worst_start = arg;
+      return out;
+    }
+    t *= 2;
+  }
+  while (hi - lo > 1) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    const auto [d_mid, arg] = probe(mid);
+    if (d_mid <= eps) {
+      hi = mid;
+      d_hi = d_mid;
+      hi_arg = arg;
+    } else {
+      lo = mid;
+      d_prev = d_mid;
+    }
+  }
+  out.worst.time = hi;
+  out.worst.distance = d_hi;
+  out.worst.distance_prev = d_prev;
+  out.worst.converged = true;
+  out.worst_start = hi_arg;
+  return out;
+}
+
+FilteredWorstStartCertificate certify_worst_start_filtered(
+    const LinearOperator& op, std::span<const double> pi,
+    SpectralInterval interval, double eps, uint64_t max_steps, size_t batch,
+    const FilteredMixingOptions& opts) {
+  const size_t n = op.size();
+  LD_CHECK(pi.size() == n, "certify_worst_start_filtered: pi size mismatch");
+  LD_CHECK(eps > 0 && eps < 1, "certify_worst_start_filtered: eps in (0,1)");
+  LD_CHECK(batch > 0, "certify_worst_start_filtered: batch must be positive");
+  LD_CHECK(max_steps > 0,
+           "certify_worst_start_filtered: max_steps must be positive");
+  FilteredWorstStartCertificate cert;
+  ThreadPool& pool = opts.pool ? *opts.pool : ThreadPool::global();
+  ChebyshevEvolver evolver(op, pi, interval, &pool, opts.max_degree);
+  std::vector<double> xs(batch * n), ys(batch * n);
+
+  // One probe = every delta start evolved to horizon t in blocks of
+  // `batch` (5 * batch * n doubles of working set, counting the
+  // evolver's three recurrence buffers). Returns the exact-over-starts
+  // max of the estimates and the start attaining it.
+  auto probe = [&](uint64_t t) {
+    double d_max = 0.0;
+    size_t arg = 0;
+    size_t degree = 0;
+    for (size_t blk = 0; blk < n; blk += batch) {
+      const size_t count = std::min(batch, n - blk);
+      std::fill(xs.begin(), xs.begin() + count * n, 0.0);
+      for (size_t b = 0; b < count; ++b) xs[b * n + blk + b] = 1.0;
+      const ChebyshevEvolver::Result r = evolver.evolve(
+          std::span<const double>(xs.data(), count * n),
+          std::span<double>(ys.data(), count * n), count, t, opts.probe_tol);
+      degree = r.degree;  // same plan for every block of this horizon
+      for (size_t b = 0; b < count; ++b) {
+        cert.tv_defect_bound =
+            std::max(cert.tv_defect_bound, r.tv_defect_bound[b]);
+        if (r.tv[b] > d_max) {
+          d_max = r.tv[b];
+          arg = blk + b;
+        }
+      }
+    }
+    cert.vector_steps += uint64_t(degree) * uint64_t(n);
+    cert.max_degree_used = std::max(cert.max_degree_used, degree);
+    cert.probes.emplace_back(t, d_max);
+    return std::pair<double, size_t>(d_max, arg);
+  };
+
+  // d(0) = 1 - min_s pi[s], exactly — no evolution needed.
+  double d_prev = 0.0;
+  size_t arg_prev = 0;
+  for (size_t s = 0; s < n; ++s) {
+    if (1.0 - pi[s] > d_prev) {
+      d_prev = 1.0 - pi[s];
+      arg_prev = s;
+    }
+  }
+  cert.probes.emplace_back(0, d_prev);
+  if (d_prev <= eps) {
+    cert.worst.time = 0;
+    cert.worst.distance = d_prev;
+    cert.worst.converged = true;
+    cert.worst_start = arg_prev;
+    return cert;
+  }
+
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  double d_hi = 0.0;
+  size_t hi_arg = 0;
+  uint64_t t = 1;
+  for (;;) {
+    t = std::min(t, max_steps);
+    const auto [d_t, arg] = probe(t);
+    if (d_t <= eps) {
+      hi = t;
+      d_hi = d_t;
+      hi_arg = arg;
+      break;
+    }
+    lo = t;
+    d_prev = d_t;
+    if (t >= max_steps) {
+      cert.worst.time = max_steps;
+      cert.worst.distance = d_t;
+      cert.worst.converged = false;
+      cert.worst_start = arg;
+      cert.dense_steps = uint64_t(n) * max_steps;
+      return cert;
+    }
+    t *= 2;
+  }
+  while (hi - lo > 1) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    const auto [d_mid, arg] = probe(mid);
+    if (d_mid <= eps) {
+      hi = mid;
+      d_hi = d_mid;
+      hi_arg = arg;
+    } else {
+      lo = mid;
+      d_prev = d_mid;
+    }
+  }
+  cert.worst.time = hi;
+  cert.worst.distance = d_hi;
+  cert.worst.distance_prev = d_prev;
+  cert.worst.converged = true;
+  cert.worst_start = hi_arg;
+  cert.dense_steps = uint64_t(n) * cert.worst.time;
+  return cert;
+}
+
 }  // namespace logitdyn

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "analysis/spectral.hpp"
+#include "linalg/chebyshev.hpp"
 #include "linalg/dense_matrix.hpp"
 #include "linalg/linear_operator.hpp"
 #include "linalg/sparse_matrix.hpp"
@@ -154,5 +155,84 @@ WorstStartCertificate certify_worst_start(const LinearOperator& op,
                                           uint64_t max_steps = 1u << 22,
                                           size_t batch = 64,
                                           double per_step_defect = 0.0);
+
+// -------------------------------------------------- filtered (Chebyshev)
+//
+// The large-t alternative to stepwise evolution (DESIGN.md §12): probe
+// d(t) directly at doubling/bisection horizons through ChebyshevEvolver
+// — O(degree) applies per probe with degree ~ sqrt(2 t ln(1/eta)) —
+// instead of paying every intermediate step. Each probe carries the
+// evolver's certified truncation bound; the reported tv_defect_bound is
+// the worst bound of any probe the bracketing decisions used, the same
+// accounting contract as WorstStartCertificate::tv_defect_bound. The
+// stepwise paths above remain the certified reference (the filter's
+// certificate additionally assumes reversibility and the margined Ritz
+// interval, see linalg/chebyshev.hpp).
+
+struct FilteredMixingOptions {
+  /// Stepwise steps evolved before any probing: fast-mixing chains
+  /// resolve exactly in this phase (d(t) checked at every step) and the
+  /// filter only engages past it, where its degree economics pay.
+  uint64_t warmup_steps = 64;
+  /// Target certified truncation TV bound per probe. Loose enough to be
+  /// cheap, tight enough that eps-decisions at the default eps = 0.25
+  /// are unaffected.
+  double probe_tol = 1e-6;
+  /// Degree cap per probe; when it binds, probes report the (larger)
+  /// achieved bound instead of probe_tol.
+  size_t max_degree = size_t(1) << 15;
+  /// Pool for the evolver's elementwise/reduction passes; nullptr =
+  /// ThreadPool::global().
+  ThreadPool* pool = nullptr;
+};
+
+struct FilteredMixingResult {
+  MixingResult worst;       ///< first t with max-over-starts d_hat(t) <= eps
+  size_t worst_start = 0;   ///< index INTO `starts` attaining it
+  /// Certified |d_true - d_hat| bound: max truncation TV bound over every
+  /// probe (0 when the warmup phase resolved the crossing exactly).
+  double tv_defect_bound = 0.0;
+  uint64_t applies = 0;     ///< per-vector applies paid (warmup + degrees)
+  size_t max_degree_used = 0;
+  bool used_chebyshev = false;
+  /// Probe log in evaluation order: (t, max-over-starts d_hat(t)).
+  std::vector<std::pair<uint64_t, double>> probes;
+};
+
+/// Mixing time over `starts` (delta starts, as mixing_time_operator) with
+/// Chebyshev probes past the warmup phase. The crossing is bracketed to
+/// hi = lo + 1 exactly as the stepwise paths do, on the probe estimates;
+/// the estimates are within tv_defect_bound of the true d(t).
+FilteredMixingResult mixing_time_filtered(
+    const LinearOperator& op, std::span<const double> pi,
+    std::span<const size_t> starts, SpectralInterval interval,
+    double eps = 0.25, uint64_t max_steps = 1u << 22,
+    const FilteredMixingOptions& opts = {});
+
+/// certify_worst_start through the filter: ALL |S| delta starts probed in
+/// blocks of `batch` at doubling/bisection horizons, so the certified
+/// worst-start envelope costs |S| * degree applies per probe instead of
+/// |S| * t stepwise steps — the win on metastable chains where t_mix
+/// dwarfs the saturated degree. No warmup phase: a probe at small t has
+/// degree t (the expansion is exact there), so early probes already cost
+/// what stepping would.
+struct FilteredWorstStartCertificate {
+  MixingResult worst;
+  size_t worst_start = 0;  ///< encoded state attaining it
+  double tv_defect_bound = 0.0;
+  /// Per-start applies actually paid vs the |S| * worst.time a stepwise
+  /// dense evolution would pay — the filtered analogue of the compaction
+  /// accounting in WorstStartCertificate.
+  uint64_t vector_steps = 0;
+  uint64_t dense_steps = 0;
+  size_t max_degree_used = 0;
+  std::vector<std::pair<uint64_t, double>> probes;  ///< (t, d_hat(t))
+};
+
+FilteredWorstStartCertificate certify_worst_start_filtered(
+    const LinearOperator& op, std::span<const double> pi,
+    SpectralInterval interval, double eps = 0.25,
+    uint64_t max_steps = 1u << 22, size_t batch = 16,
+    const FilteredMixingOptions& opts = {});
 
 }  // namespace logitdyn

@@ -107,6 +107,7 @@ SpectralSummary spectral_summary(const Game& game, double beta,
     out.via_operator = true;
     out.converged = s.converged;
     out.lanczos_iterations = s.iterations;
+    out.residual = s.residual;
     return out;
   }
   LanczosSpectrum s;
@@ -127,6 +128,7 @@ SpectralSummary spectral_summary(const Game& game, double beta,
   out.via_operator = true;
   out.converged = s.converged;
   out.lanczos_iterations = s.iterations;
+  out.residual = s.residual;
   // No symmetry check is possible without the matrix: reversibility (and
   // with it the meaning of the Ritz values as chain eigenvalues) is
   // certified only where theory provides it — the asynchronous kernel of

@@ -85,6 +85,9 @@ struct SpectralSummary {
   bool converged = true;          ///< Lanczos residual met tol (dense: true)
   bool certified = false;
   size_t lanczos_iterations = 0;  ///< 0 on the dense path
+  /// Lanczos exit residual (0 on the dense path): what margins the
+  /// Chebyshev filter's spectral interval (deviation_interval).
+  double residual = 0.0;
 
   double lambda_star() const;
   double spectral_gap() const { return 1.0 - lambda_star(); }

@@ -6,6 +6,7 @@
 
 #include "core/logit.hpp"
 #include "support/error.hpp"
+#include "support/isa.hpp"
 #include "support/math.hpp"
 
 namespace logitdyn {
@@ -138,15 +139,10 @@ void LogitOperator::apply_async(std::span<const double> xs,
         }
       }
       // 3) The vectorized inner loop: one branch-free fast_exp pass over
-      // the whole block's Gibbs weights.
-      {
-        double* row = ws.rows.data();
-        const double* sh = ws.shift.data();
-        const size_t len = bn * ts;
-        for (size_t k = 0; k < len; ++k) {
-          row[k] = fast_exp(beta_ * (row[k] - sh[k]));
-        }
-      }
+      // the whole block's Gibbs weights, dispatched to the widest ISA
+      // the CPU supports (bit-identical on every path, DESIGN.md §12).
+      isa_kernels().exp_affine_span(ws.rows.data(), ws.shift.data(), beta_,
+                                    bn * ts);
       // 4) Accumulate: sigma_p(j_p | j) = w[j_p] / sum_s w[s], and the
       // in-neighbour sum over player p's column comes from the stride
       // identity (no per-neighbour re-encode). Per vector the reduction

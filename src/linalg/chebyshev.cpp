@@ -1,0 +1,270 @@
+#include "linalg/chebyshev.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "parallel/thread_pool.hpp"
+#include "support/error.hpp"
+#include "support/isa.hpp"
+
+namespace logitdyn {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// log of the Bernstein-ellipse truncation bound at ellipse parameter
+/// rho > 1 and degree d:
+///   4 * M(rho) * rho^-d / (rho - 1),   M(rho) = max_{E_rho} |z^t|
+/// where the affine image of the rho-ellipse has max modulus
+/// |beta| + alpha * (rho + 1/rho) / 2 (the semi-major axis offset by the
+/// interval centre). Evaluated in log space: t * log(M) would overflow
+/// long before the bound itself is meaningful.
+double log_ellipse_bound(double t, double alpha, double beta_c, double rho,
+                         double degree) {
+  const double radius = std::abs(beta_c) + alpha * 0.5 * (rho + 1.0 / rho);
+  return std::log(4.0) + t * std::log(radius) - degree * std::log(rho) -
+         std::log(rho - 1.0);
+}
+
+/// min over rho > 1 (geometric grid of log rho) of the log bound above.
+/// The minimand is smooth and unimodal in log rho (penalty -> +inf at
+/// both ends for d < t), so a few hundred grid points locate the minimum
+/// to far better accuracy than the degree search needs.
+double log_truncation_bound(double t, double alpha, double beta_c,
+                            double degree) {
+  constexpr int kGrid = 400;
+  constexpr double kLogRhoMin = 1e-7;  // rho -> 1: bound -> +inf
+  constexpr double kLogRhoMax = 16.0;  // rho ~ 9e6: far past any optimum
+  const double step = std::log(kLogRhoMax / kLogRhoMin) / (kGrid - 1);
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < kGrid; ++i) {
+    const double log_rho = kLogRhoMin * std::exp(step * i);
+    const double rho = std::exp(log_rho);
+    best = std::min(best, log_ellipse_bound(t, alpha, beta_c, rho, degree));
+  }
+  return best;
+}
+
+void check_interval(SpectralInterval iv, const char* who) {
+  LD_CHECK(iv.a >= -1.0 && iv.b <= 1.0 && iv.b > iv.a, who,
+           ": need -1 <= a < b <= 1, got [", iv.a, ", ", iv.b, "]");
+}
+
+}  // namespace
+
+SpectralInterval deviation_interval(const LanczosSpectrum& spectrum,
+                                    double min_margin, double margin_scale) {
+  const double margin =
+      std::max(min_margin, margin_scale * std::abs(spectrum.residual));
+  SpectralInterval iv;
+  iv.a = std::max(-1.0, spectrum.lambda_min - margin);
+  iv.b = std::min(1.0, spectrum.lambda2 + margin);
+  // Degenerate Ritz data (lambda2 == lambda_min after clipping) still
+  // yields a usable interval: widen to at least the margin.
+  if (iv.b <= iv.a) iv.b = std::min(1.0, iv.a + margin);
+  if (iv.b <= iv.a) iv.a = std::max(-1.0, iv.b - margin);
+  return iv;
+}
+
+double monomial_truncation_bound(uint64_t t, SpectralInterval interval,
+                                 size_t degree) {
+  check_interval(interval, "monomial_truncation_bound");
+  if (degree >= t) return 0.0;  // z^t IS a degree-t polynomial
+  const double alpha = 0.5 * (interval.b - interval.a);
+  const double beta_c = 0.5 * (interval.a + interval.b);
+  const double log_bound =
+      log_truncation_bound(double(t), alpha, beta_c, double(degree));
+  if (log_bound > 700.0) return std::numeric_limits<double>::infinity();
+  return std::exp(log_bound);
+}
+
+size_t chebyshev_degree(uint64_t t, SpectralInterval interval, double tol,
+                        size_t max_degree) {
+  check_interval(interval, "chebyshev_degree");
+  LD_CHECK(tol > 0.0, "chebyshev_degree: tol must be positive");
+  const size_t cap = size_t(std::min<uint64_t>(t, max_degree));
+  if (monomial_truncation_bound(t, interval, cap) > tol) {
+    return cap;  // capped: the caller sees the achieved bound in the plan
+  }
+  // Minimal d with bound(d) <= tol; the bound is monotone non-increasing
+  // in d, so plain binary search.
+  size_t lo = 0, hi = cap;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (monomial_truncation_bound(t, interval, mid) <= tol) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi;
+}
+
+bool chebyshev_profitable(uint64_t t, SpectralInterval interval, double tol,
+                          double cutover, size_t max_degree) {
+  const size_t degree = chebyshev_degree(t, interval, tol, max_degree);
+  return double(degree) < cutover * double(t);
+}
+
+ChebyshevPlan plan_monomial(uint64_t t, SpectralInterval interval, double tol,
+                            size_t max_degree) {
+  check_interval(interval, "plan_monomial");
+  ChebyshevPlan plan;
+  plan.t = t;
+  plan.interval = interval;
+  if (t == 0) {  // P^0 = I: p(z) = 1 exactly
+    plan.coeff = {1.0};
+    plan.truncation_bound = 0.0;
+    return plan;
+  }
+  const size_t d = chebyshev_degree(t, interval, tol, max_degree);
+  plan.truncation_bound = monomial_truncation_bound(t, interval, d);
+
+  // Interpolation at the d+1 Chebyshev roots w_j = cos(pi (j+1/2)/(d+1)):
+  //   c_k = (2 - [k=0]) / (d+1) * sum_j f(w_j) T_k(w_j)
+  // with f(w) = (alpha w + beta)^t, T_k(w_j) by the three-term recurrence
+  // per node. O(d^2) scalar work.
+  const size_t m = d + 1;
+  const double alpha = 0.5 * (interval.b - interval.a);
+  const double beta_c = 0.5 * (interval.a + interval.b);
+  plan.coeff.assign(m, 0.0);
+  for (size_t j = 0; j < m; ++j) {
+    const double theta = kPi * (double(j) + 0.5) / double(m);
+    const double w = std::cos(theta);
+    const double f = std::pow(alpha * w + beta_c, double(t));
+    plan.coeff[0] += f;
+    if (d >= 1) plan.coeff[1] += f * w;
+    double tkm1 = 1.0, tk = w;
+    for (size_t k = 2; k <= d; ++k) {
+      const double tnext = 2.0 * w * tk - tkm1;
+      plan.coeff[k] += f * tnext;
+      tkm1 = tk;
+      tk = tnext;
+    }
+  }
+  for (double& c : plan.coeff) c *= 2.0 / double(m);
+  plan.coeff[0] *= 0.5;
+  return plan;
+}
+
+ChebyshevEvolver::ChebyshevEvolver(const LinearOperator& op,
+                                   std::span<const double> pi,
+                                   SpectralInterval interval, ThreadPool* pool,
+                                   size_t max_degree)
+    : op_(op),
+      pi_(pi.begin(), pi.end()),
+      interval_(interval),
+      pool_(pool ? pool : &ThreadPool::global()),
+      max_degree_(max_degree) {
+  LD_CHECK(pi.size() == op.size(), "ChebyshevEvolver: pi size mismatch");
+  check_interval(interval, "ChebyshevEvolver");
+  for (double p : pi_) {
+    LD_CHECK(p > 0.0, "ChebyshevEvolver: pi must be positive everywhere");
+  }
+}
+
+size_t ChebyshevEvolver::planned_degree(uint64_t t, double tol) const {
+  return chebyshev_degree(t, interval_, tol, max_degree_);
+}
+
+ChebyshevEvolver::Result ChebyshevEvolver::evolve(std::span<const double> xs,
+                                                  std::span<double> ys,
+                                                  size_t count, uint64_t t,
+                                                  double tol) {
+  const size_t n = op_.size();
+  const size_t total = count * n;
+  LD_CHECK(count > 0, "ChebyshevEvolver::evolve: count must be positive");
+  LD_CHECK(xs.size() >= total && ys.size() >= total,
+           "ChebyshevEvolver::evolve: batch buffers too small");
+  LD_CHECK(xs.data() != ys.data(),
+           "ChebyshevEvolver::evolve: xs and ys must not alias");
+
+  const ChebyshevPlan plan = plan_monomial(t, interval_, tol, max_degree_);
+  const size_t d = plan.degree();
+  Result res;
+  res.degree = d;
+  res.truncation_bound = plan.truncation_bound;
+  res.tv.assign(count, 0.0);
+  res.tv_defect_bound.assign(count, 0.0);
+
+  if (cur_.size() < total) cur_.resize(total);
+  if (prev_.size() < total) prev_.resize(total);
+  if (applied_.size() < total) applied_.resize(total);
+  ThreadPool& pool = *pool_;
+
+  // T_0 = dev = x - pi. The accumulator lives in ys (ys = c_0 * dev), and
+  // the same fused pass computes the pi-weighted deviation norm feeding
+  // the certified TV bound. Blocked reductions in fixed kReduceBlock
+  // order: bit-identical at every pool size.
+  const double c0 = plan.coeff[0];
+  for (size_t v = 0; v < count; ++v) {
+    const double* x = xs.data() + v * n;
+    double* dev = cur_.data() + v * n;
+    double* acc = ys.data() + v * n;
+    const double norm_sq = blocked_sum(
+        pool, n,
+        [&](size_t lo, size_t hi) {
+          double s = 0.0;
+          for (size_t i = lo; i < hi; ++i) {
+            const double dv = x[i] - pi_[i];
+            dev[i] = dv;
+            acc[i] = c0 * dv;
+            s += dv * dv / pi_[i];
+          }
+          return s;
+        },
+        partials_);
+    res.tv_defect_bound[v] = 0.5 * plan.truncation_bound * std::sqrt(norm_sq);
+  }
+
+  if (d >= 1) {
+    std::fill(prev_.begin(), prev_.begin() + total, 0.0);
+    const double alpha = 0.5 * (interval_.b - interval_.a);
+    const double beta_c = 0.5 * (interval_.a + interval_.b);
+    const IsaKernels& kern = isa_kernels();
+    for (size_t k = 1; k <= d; ++k) {
+      // applied = T_{k-1}(dev-space) * P, batched: one state sweep for
+      // the whole batch on oracle-backed operators.
+      op_.apply_many(std::span<const double>(cur_.data(), total),
+                     std::span<double>(applied_.data(), total), count);
+      // Three-term step, fused with the accumulator update:
+      //   T_k = s * (T_{k-1} P) + u * T_{k-1} - T_{k-2},  ys += c_k T_k
+      // (k = 1 starts from T_{-1} := 0, s halved — the first recurrence
+      // step is affine, not doubled).
+      const double s = (k == 1 ? 1.0 : 2.0) / alpha;
+      const double u = -s * beta_c;
+      const double c = plan.coeff[k];
+      blocked_for(pool, total, [&](size_t lo, size_t hi) {
+        kern.cheb_step_span(applied_.data() + lo, cur_.data() + lo,
+                            prev_.data() + lo, ys.data() + lo, s, u, c,
+                            hi - lo);
+      });
+      std::swap(prev_, cur_);
+    }
+  }
+
+  // ys = pi + accumulator, with the TV against pi fused into the same
+  // pass (|acc| directly — identical to |y - pi| up to the one rounding
+  // the addition would reintroduce).
+  for (size_t v = 0; v < count; ++v) {
+    double* y = ys.data() + v * n;
+    const double abs_sum = blocked_sum(
+        pool, n,
+        [&](size_t lo, size_t hi) {
+          double s = 0.0;
+          for (size_t i = lo; i < hi; ++i) {
+            const double a = y[i];
+            y[i] = pi_[i] + a;
+            s += std::abs(a);
+          }
+          return s;
+        },
+        partials_);
+    res.tv[v] = 0.5 * abs_sum;
+  }
+  return res;
+}
+
+}  // namespace logitdyn

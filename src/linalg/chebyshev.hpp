@@ -1,0 +1,143 @@
+// Filtered polynomial evolution: x·P^t in O(degree) operator applies with
+// degree ~ sqrt(2 t ln(1/eta)) instead of t (DESIGN.md §12).
+//
+// The monomial z^t is expanded in Chebyshev polynomials on the chain's
+// non-unit spectral interval [a, b] (from Lanczos Ritz values, safety-
+// margined): x·P^t = pi + sum_k c_k T_k(dev·P) where dev = x - pi is the
+// deviation from stationarity. Evolving the DEVIATION is what makes a
+// polynomial filter sound at all — dev is orthogonal to the stationary
+// direction in the pi-symmetrized view, so the unit eigenvalue (which no
+// polynomial on [a, b] with b < 1 can match) never enters, and the
+// approximation only has to be good on [a, b] ∋ spectrum \ {1}.
+//
+// Every evolution carries a CERTIFIED truncation bound, the same
+// accounting idiom as certify_worst_start's t·delta/2 sparsification
+// bound: eta = sup_{[a,b]} |z^t - p(z)| is bounded through the Bernstein
+// ellipse (tail + aliasing <= 4 M(rho) rho^-degree / (rho - 1), minimized
+// over rho), and the induced TV error of vector x is
+//     || x·P^t - x·p(P) ||_TV <= (1/2) eta sqrt(sum_i dev_i^2 / pi_i)
+// (Cauchy-Schwarz against sqrt(pi), using ||sqrt(pi)||_2 = 1). The bound
+// is rigorous GIVEN reversibility of (P, pi) and spectrum \ {1} ⊆ [a, b];
+// the Ritz interval plus margin makes the latter an assumption with the
+// same status as Lanczos convergence itself (DESIGN.md §9), which is why
+// exact stepwise evolution remains the certified reference everywhere.
+//
+// Degree economics: when b < 1 strictly, the optimal rho stays bounded
+// away from 1 and the required degree SATURATES in t (the filter is then
+// exponentially cheaper than stepping); as b -> 1 the degree grows like
+// sqrt(2 t ln(1/eta)) — still a quadratic win. For d >= t the expansion
+// is exact (z^t is a degree-t polynomial), so a Chebyshev probe is never
+// asymptotically worse than stepping.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/lanczos.hpp"
+#include "linalg/linear_operator.hpp"
+
+namespace logitdyn {
+
+class ThreadPool;
+
+/// The interval [a, b] ⊆ [-1, 1] assumed to contain every non-unit
+/// eigenvalue of P.
+struct SpectralInterval {
+  double a = -1.0;
+  double b = 1.0;
+};
+
+/// Safety-margined interval from a Lanczos run: [lambda_min - m,
+/// lambda2 + m] clipped to [-1, 1], with m = max(min_margin,
+/// margin_scale * residual) — the Ritz values bracket the true extremes
+/// only up to the residual, so the margin covers the uncertainty.
+SpectralInterval deviation_interval(const LanczosSpectrum& spectrum,
+                                    double min_margin = 1e-6,
+                                    double margin_scale = 10.0);
+
+/// A truncated Chebyshev expansion of z^t on [a, b]: coefficients
+/// c_0..c_degree of p(z) = sum_k c_k T_k((2z - a - b) / (b - a)) plus the
+/// certified sup-norm truncation bound eta >= sup_{[a,b]} |z^t - p(z)|.
+struct ChebyshevPlan {
+  uint64_t t = 0;
+  SpectralInterval interval;
+  std::vector<double> coeff;
+  double truncation_bound = 0.0;
+  size_t degree() const { return coeff.empty() ? 0 : coeff.size() - 1; }
+};
+
+/// Certified sup-norm bound for approximating z^t on `interval` with a
+/// degree-`degree` Chebyshev interpolant: 0 when degree >= t (exact),
+/// otherwise the Bernstein-ellipse bound minimized over the ellipse
+/// parameter. Monotone non-increasing in degree.
+double monomial_truncation_bound(uint64_t t, SpectralInterval interval,
+                                 size_t degree);
+
+/// Minimal degree whose certified bound is <= tol, capped at max_degree
+/// (and never above t, where the expansion is exact).
+size_t chebyshev_degree(uint64_t t, SpectralInterval interval, double tol,
+                        size_t max_degree);
+
+/// Cutover heuristic (DESIGN.md §12): a Chebyshev probe at horizon t
+/// beats stepwise evolution when its degree is below cutover * t. The
+/// cutover fraction < 1 absorbs the filter's extra per-apply traffic
+/// (three-term recurrence buffers vs one) and the cost of re-probing.
+bool chebyshev_profitable(uint64_t t, SpectralInterval interval, double tol,
+                          double cutover, size_t max_degree);
+
+/// Build the minimal plan meeting `tol` (capped at max_degree; the
+/// achieved bound is reported either way). Coefficients come from
+/// interpolation at the degree+1 Chebyshev roots — O(degree^2) scalar
+/// work, negligible next to the operator applies they steer.
+ChebyshevPlan plan_monomial(uint64_t t, SpectralInterval interval, double tol,
+                            size_t max_degree = size_t(1) << 15);
+
+/// Batched filtered evolution engine. Holds pi and the workspace buffers
+/// (three recurrence buffers of count * size doubles, reused across
+/// calls); evolve() runs the three-term recurrence with ONE batched
+/// operator apply per degree. All elementwise passes run through the
+/// ISA-dispatched cheb_step kernel and all reductions use the fixed
+/// kReduceBlock partition, so results are bit-identical at every pool
+/// size and on every ISA path (DESIGN.md §12).
+class ChebyshevEvolver {
+ public:
+  struct Result {
+    size_t degree = 0;              ///< applies paid by this evolution
+    double truncation_bound = 0.0;  ///< certified eta of the plan used
+    std::vector<double> tv;         ///< per-vector ||y - pi||_TV estimate
+    /// Per-vector certified |tv_true - tv| bound:
+    /// (1/2) * truncation_bound * sqrt(sum_i dev_i^2 / pi_i).
+    std::vector<double> tv_defect_bound;
+  };
+
+  /// Holds references to `op`; copies pi (must be positive, length
+  /// op.size()). `pool` defaults to ThreadPool::global().
+  ChebyshevEvolver(const LinearOperator& op, std::span<const double> pi,
+                   SpectralInterval interval, ThreadPool* pool = nullptr,
+                   size_t max_degree = size_t(1) << 15);
+
+  /// ys = xs · P^t for `count` contiguous row vectors, through the plan
+  /// meeting `tol` (or the max_degree-capped plan — check the returned
+  /// truncation_bound). xs and ys must not alias.
+  Result evolve(std::span<const double> xs, std::span<double> ys,
+                size_t count, uint64_t t, double tol);
+
+  /// The applies evolve() would pay for horizon t at tolerance tol.
+  size_t planned_degree(uint64_t t, double tol) const;
+
+  const SpectralInterval& interval() const { return interval_; }
+
+ private:
+  const LinearOperator& op_;
+  std::vector<double> pi_;
+  SpectralInterval interval_;
+  ThreadPool* pool_;
+  size_t max_degree_;
+  // Recurrence workspace (count * size each), sized on first use.
+  std::vector<double> cur_, prev_, applied_;
+  std::vector<double> partials_;  ///< blocked-reduction scratch
+};
+
+}  // namespace logitdyn

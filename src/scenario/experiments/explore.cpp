@@ -23,6 +23,16 @@
 namespace logitdyn::scenario {
 namespace {
 
+/// Size heuristic for folding the certified worst-start envelope into the
+/// operator path: all-|S|-starts evolution costs |S| vectors before
+/// compaction, which stays interactive up to 2^14 states; beyond that the
+/// dedicated `worst_start` experiment (with its own budget knobs) owns it.
+inline constexpr size_t kExploreCertifyCeiling = size_t(1) << 14;
+/// Step budget for the folded-in certificate — modest on purpose: at the
+/// ceiling size a metastable chain would otherwise dominate the explore
+/// run; "> budget" plus the Thm 2.3 bracket is the honest answer there.
+inline constexpr uint64_t kExploreCertifySteps = uint64_t(1) << 14;
+
 /// The short workload label the explorer has always printed: the topology
 /// kind for graph games ("ring", "clique", ...), the family otherwise.
 std::string explore_label(const ScenarioSpec& spec) {
@@ -79,16 +89,45 @@ void explore_beta(const ScenarioSpec& spec, Report& report, LogitChain& chain,
     // from the two extreme profiles. Each apply is O(|S|) oracle work
     // (seconds at 2^22 states on the vectorized kernel), so the step
     // budget shrinks with size — metastable runs print "> budget" and the
-    // bracket still localizes t_mix. Certified worst-start envelopes live
-    // in the `worst_start` experiment.
+    // bracket still localizes t_mix.
     const LogitOperator op(chain.game(), beta, UpdateKind::kAsynchronous);
     const size_t starts[] = {0, pi.size() - 1};
     const uint64_t step_cap =
         pi.size() >= (size_t(1) << 16) ? (1 << 16) : (1 << 20);
-    const OperatorMixingResult mix =
-        mixing_time_operator(op, pi, starts, 0.25, step_cap);
-    out.row().cell("t_mix from extreme states").cell(
-        mix.worst.converged ? std::to_string(mix.worst.time) : "> budget");
+
+    // Cutover heuristic (DESIGN.md §12): with a converged Ritz interval,
+    // probe the step-budget horizon — if a Chebyshev probe there costs
+    // under half the stepwise applies, the filtered driver takes over
+    // (exact stepwise warmup still resolves fast chains inside it).
+    SpectralInterval interval;
+    bool use_filter = false;
+    if (spec_summary.converged && spec_summary.certified) {
+      LanczosSpectrum ritz;
+      ritz.lambda2 = spec_summary.lambda2;
+      ritz.lambda_min = spec_summary.lambda_min;
+      ritz.residual = spec_summary.residual;
+      interval = deviation_interval(ritz);
+      use_filter = chebyshev_profitable(step_cap, interval, 1e-6,
+                                        /*cutover=*/0.5, size_t(1) << 15);
+    }
+    if (use_filter) {
+      const FilteredMixingResult mix = mixing_time_filtered(
+          op, pi, starts, interval, 0.25, step_cap);
+      out.row().cell("t_mix from extreme states").cell(
+          (mix.worst.converged ? std::to_string(mix.worst.time)
+                               : std::string("> budget")) +
+          (mix.used_chebyshev ? " (chebyshev filtered)" : ""));
+      if (mix.used_chebyshev) {
+        out.row().cell("filter degree / defect bound").cell(
+            std::to_string(mix.max_degree_used) + " / " +
+            format_sci(mix.tv_defect_bound));
+      }
+    } else {
+      const OperatorMixingResult mix =
+          mixing_time_operator(op, pi, starts, 0.25, step_cap);
+      out.row().cell("t_mix from extreme states").cell(
+          mix.worst.converged ? std::to_string(mix.worst.time) : "> budget");
+    }
     if (spec_summary.converged) {
       const double pi_min_b = *std::min_element(pi.begin(), pi.end());
       const Theorem23Bracket bracket = tmix_bracket_from_relaxation(
@@ -101,6 +140,27 @@ void explore_beta(const ScenarioSpec& spec, Report& report, LogitChain& chain,
       // built from it could exclude the true t_mix, so don't print one.
       out.row().cell("Thm 2.3 bracket on t_mix").cell(
           "n/a (lanczos unconverged)");
+    }
+    // Certified worst-start envelope, folded in behind a size heuristic
+    // (above the ceiling it remains the dedicated `worst_start`
+    // experiment's job): ALL |S| delta starts evolved with compaction —
+    // the exact d(t) envelope, not a two-start lower bound.
+    if (pi.size() <= kExploreCertifyCeiling) {
+      const WorstStartCertificate cert =
+          certify_worst_start(op, pi, 0.25, kExploreCertifySteps);
+      out.row().cell("t_mix(1/4) certified worst-start").cell(
+          cert.worst.converged ? std::to_string(cert.worst.time)
+                               : "> budget");
+      if (cert.worst.converged) {
+        const double dense = double(cert.dense_steps);
+        out.row().cell("worst start / compaction").cell(
+            std::to_string(cert.worst_start) + " / " +
+            format_double(cert.vector_steps > 0
+                              ? dense / double(cert.vector_steps)
+                              : 1.0,
+                          2) +
+            "x");
+      }
     }
   }
   const int m = int(chain.space().max_strategies());

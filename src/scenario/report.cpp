@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "support/error.hpp"
+#include "support/isa.hpp"
 
 #ifndef LOGITDYN_GIT_SHA
 #define LOGITDYN_GIT_SHA "unknown"
@@ -203,6 +204,10 @@ Json environment_json() {
   env.set("timestamp", std::string(buf));
   env.set("threads",
           uint64_t(std::max(1u, std::thread::hardware_concurrency())));
+  // The ISA tier the dispatched kernels actually ran at (DESIGN.md §12):
+  // wall times from different tiers are not comparable, so perf_diff
+  // skips wall-time gates when this differs between runs.
+  env.set("simd_isa", std::string(isa_path_name(active_isa_path())));
   return env;
 }
 

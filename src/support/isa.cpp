@@ -1,0 +1,122 @@
+#include "support/isa.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace logitdyn {
+
+// The three tables, each defined in its own per-flag TU
+// (isa_kernels_{sse2,avx2,avx512}.cpp).
+extern const IsaKernels kIsaKernelsSse2;
+extern const IsaKernels kIsaKernelsAvx2;
+extern const IsaKernels kIsaKernelsAvx512;
+
+const char* isa_path_name(IsaPath path) {
+  switch (path) {
+    case IsaPath::kSse2:
+      return "sse2";
+    case IsaPath::kAvx2:
+      return "avx2";
+    case IsaPath::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool isa_path_supported(IsaPath path) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (path) {
+    case IsaPath::kSse2:
+      return true;  // x86-64 baseline
+    case IsaPath::kAvx2:
+      return __builtin_cpu_supports("avx2");
+    case IsaPath::kAvx512:
+      // Exactly the features the AVX-512 TU is compiled with.
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512vl");
+  }
+  return false;
+#else
+  // Non-x86 builds: the "sse2" TU is just the portable baseline.
+  return path == IsaPath::kSse2;
+#endif
+}
+
+std::vector<IsaPath> supported_isa_paths() {
+  std::vector<IsaPath> paths;
+  for (IsaPath p : {IsaPath::kSse2, IsaPath::kAvx2, IsaPath::kAvx512}) {
+    if (isa_path_supported(p)) paths.push_back(p);
+  }
+  return paths;
+}
+
+const IsaKernels& isa_kernels_for(IsaPath path) {
+  switch (path) {
+    case IsaPath::kSse2:
+      return kIsaKernelsSse2;
+    case IsaPath::kAvx2:
+      return kIsaKernelsAvx2;
+    case IsaPath::kAvx512:
+      return kIsaKernelsAvx512;
+  }
+  LD_CHECK(false, "isa_kernels_for: invalid path");
+}
+
+IsaPath resolve_isa_path(const char* override_value) {
+  if (override_value != nullptr && override_value[0] != '\0') {
+    IsaPath forced;
+    if (std::strcmp(override_value, "sse2") == 0) {
+      forced = IsaPath::kSse2;
+    } else if (std::strcmp(override_value, "avx2") == 0) {
+      forced = IsaPath::kAvx2;
+    } else if (std::strcmp(override_value, "avx512") == 0) {
+      forced = IsaPath::kAvx512;
+    } else {
+      LD_CHECK(false, "LOGITDYN_FORCE_ISA: unknown path '", override_value,
+               "' (expected sse2|avx2|avx512)");
+    }
+    // A forced path the CPU cannot execute is a loud error, not a silent
+    // fallback: the override exists precisely so tests/debugging know
+    // which code ran.
+    LD_CHECK(isa_path_supported(forced), "LOGITDYN_FORCE_ISA=",
+             override_value, " requested but the CPU does not support it");
+    return forced;
+  }
+  IsaPath best = IsaPath::kSse2;
+  for (IsaPath p : {IsaPath::kAvx2, IsaPath::kAvx512}) {
+    if (isa_path_supported(p)) best = p;
+  }
+  return best;
+}
+
+namespace detail {
+const IsaKernels* volatile g_active_kernels = nullptr;
+IsaPath g_active_path = IsaPath::kSse2;
+
+const IsaKernels& resolve_and_cache_kernels() {
+  // Benign race: concurrent first calls resolve to the same table (the
+  // env var and CPUID are stable), so the last writer wins harmlessly.
+  const IsaPath path = resolve_isa_path(std::getenv("LOGITDYN_FORCE_ISA"));
+  g_active_path = path;
+  g_active_kernels = &isa_kernels_for(path);
+  return *g_active_kernels;
+}
+}  // namespace detail
+
+IsaPath active_isa_path() {
+  if (detail::g_active_kernels == nullptr) detail::resolve_and_cache_kernels();
+  return detail::g_active_path;
+}
+
+void force_isa_path(IsaPath path) {
+  LD_CHECK(isa_path_supported(path), "force_isa_path: CPU does not support ",
+           isa_path_name(path));
+  detail::g_active_path = path;
+  detail::g_active_kernels = &isa_kernels_for(path);
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,108 @@
+// Runtime ISA dispatch for the flat SIMD-friendly kernels (DESIGN.md §12).
+//
+// The fast-apply engine's hot loops — the softmax fast_exp pass, the
+// LogitOperator SoA-block transform, the Chebyshev evolution axpy — are
+// branch-free flat loops that GCC auto-vectorizes, but a single library
+// build only vectorizes them at the baseline ISA (SSE2 on x86-64). This
+// layer compiles the SAME portable loops into three translation units
+// with per-file flags (baseline SSE2, AVX2, AVX-512) and resolves ONE
+// function-pointer table at first use from CPUID, so one binary runs
+// 2/4/8 lanes wide depending on the machine it lands on.
+//
+// Contracts:
+//  * Every kernel is ELEMENTWISE over its span (no reductions), and the
+//    per-element formula is identical in all three TUs (compiled with
+//    -ffp-contract=off so no path fuses a*b+c into an FMA). Outputs are
+//    therefore BIT-IDENTICAL across all ISA paths — dispatch changes
+//    wall time, never a single bit of any result, so every cross-path
+//    bit-identity guarantee (DESIGN.md §7, §8, §11) survives unchanged.
+//  * The scalar std::exp path (softmax_scalar / logit_update_rows_scalar
+//    / ApplyMode::kScalarReference) remains the certified reference and
+//    never routes through this table.
+//  * LOGITDYN_FORCE_ISA=sse2|avx2|avx512 overrides the CPUID choice at
+//    startup (loud error if the CPU lacks the forced path), so any
+//    machine can run every path its hardware supports — the
+//    dispatch-parity tests force each one in turn.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace logitdyn {
+
+/// The compiled ISA tiers, lowest first. kSse2 is the x86-64 baseline
+/// (always supported); the others are selected only when CPUID agrees.
+enum class IsaPath { kSse2 = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// The dispatched kernel table. All kernels are elementwise flat loops;
+/// `n` may be zero; in-place aliasing is allowed exactly where noted.
+struct IsaKernels {
+  /// y[i] = fast_exp(x[i]). x == y allowed.
+  void (*exp_span)(const double* x, double* y, size_t n);
+  /// out[i] = fast_exp(v[i] - shift) — the softmax inner transform
+  /// (max-subtracted weights). v == out allowed.
+  void (*exp_shift_span)(const double* v, double shift, double* out,
+                         size_t n);
+  /// row[i] = fast_exp(scale * (row[i] - shift[i])) — the LogitOperator
+  /// SoA-block Gibbs-weight transform (scale = beta). In place on `row`.
+  void (*exp_affine_span)(double* row, const double* shift, double scale,
+                          size_t n);
+  /// Fused Chebyshev three-term step + accumulate (linalg/chebyshev.cpp):
+  ///   next = s*applied[i] + u*cur[i] - prev_next[i]
+  ///   prev_next[i] = next; acc[i] += c*next
+  /// prev_next must not alias applied/cur/acc.
+  void (*cheb_step_span)(const double* applied, const double* cur,
+                         double* prev_next, double* acc, double s, double u,
+                         double c, size_t n);
+};
+
+/// Display name of a path ("sse2", "avx2", "avx512").
+const char* isa_path_name(IsaPath path);
+
+/// True when the running CPU can execute `path`.
+bool isa_path_supported(IsaPath path);
+
+/// Every path the running CPU supports, lowest tier first. Always
+/// contains kSse2 — what the dispatch-parity tests iterate over.
+std::vector<IsaPath> supported_isa_paths();
+
+/// The kernel table of one specific path, independent of the active
+/// selection. The caller must ensure isa_path_supported(path).
+const IsaKernels& isa_kernels_for(IsaPath path);
+
+/// Pure resolution policy (exposed for tests): highest supported tier,
+/// unless `override_value` (the LOGITDYN_FORCE_ISA string, may be null)
+/// names a path — unknown names and unsupported forced paths throw.
+IsaPath resolve_isa_path(const char* override_value);
+
+/// The active path: resolved once from CPUID + LOGITDYN_FORCE_ISA on
+/// first use, then cached for the process lifetime.
+IsaPath active_isa_path();
+
+/// The active kernel table — what every dispatching call site uses.
+inline const IsaKernels& isa_kernels();
+
+/// Re-point the active path (must be supported). A test seam for
+/// exercising every compiled path inside one process; production code
+/// selects only through LOGITDYN_FORCE_ISA.
+void force_isa_path(IsaPath path);
+
+namespace detail {
+/// Resolved-once table pointer; read on every dispatch, written by the
+/// first resolution and by force_isa_path.
+extern const IsaKernels* volatile g_active_kernels;
+const IsaKernels& resolve_and_cache_kernels();
+}  // namespace detail
+
+inline const IsaKernels& isa_kernels() {
+  const IsaKernels* k = detail::g_active_kernels;
+  return k ? *k : detail::resolve_and_cache_kernels();
+}
+
+/// Spans shorter than this are not worth an indirect dispatch call: the
+/// per-strategy softmax rows of chain stepping are 2-8 entries, where
+/// the call overhead would swamp the lane win. Call sites below the
+/// threshold run the inline fast_exp loop (same values, bit-identical).
+inline constexpr size_t kIsaDispatchMin = 16;
+
+}  // namespace logitdyn

@@ -1,0 +1,6 @@
+// AVX2 kernel TU (4 double lanes): compiled with -mavx2 (and
+// -ffp-contract=off so no FMA contraction changes a single bit vs the
+// baseline path) via set_source_files_properties in CMakeLists.txt.
+// Selected at runtime only when CPUID reports AVX2.
+#define LOGITDYN_ISA_TABLE kIsaKernelsAvx2
+#include "support/isa_kernels_impl.hpp"

@@ -1,0 +1,6 @@
+// AVX-512 kernel TU (8 double lanes): compiled with -mavx512f
+// -mavx512dq -mavx512vl (and -ffp-contract=off) via
+// set_source_files_properties in CMakeLists.txt. Selected at runtime
+// only when CPUID reports all three features.
+#define LOGITDYN_ISA_TABLE kIsaKernelsAvx512
+#include "support/isa_kernels_impl.hpp"

@@ -1,0 +1,57 @@
+// The ONE portable implementation of the dispatched kernels (DESIGN.md
+// §12). This header is included by exactly the three per-ISA translation
+// units (isa_kernels_{sse2,avx2,avx512}.cpp), each of which defines
+// LOGITDYN_ISA_TABLE to the name of the table it exports and is compiled
+// with its tier's -m flags plus -ffp-contract=off. The loops below are
+// plain scalar C++ — the ISA difference is purely what GCC's
+// auto-vectorizer emits for them — so the per-element value computed is
+// identical on every path, bit for bit.
+//
+// Rules for code in this file (they are what make cross-path
+// bit-identity hold):
+//  * elementwise only — no reductions, no reassociation-sensitive sums;
+//  * every callee must be force-inlined (fast_exp is always_inline) so
+//    no vague-linkage symbol compiled at this TU's ISA level escapes;
+//  * no std library calls that could differ per ISA (no libm).
+#ifndef LOGITDYN_ISA_TABLE
+#error "isa_kernels_impl.hpp must be included by a per-ISA TU"
+#endif
+
+#include "support/isa.hpp"
+#include "support/math.hpp"
+
+namespace logitdyn {
+namespace {
+
+void exp_span(const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] = fast_exp(x[i]);
+}
+
+void exp_shift_span(const double* v, double shift, double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = fast_exp(v[i] - shift);
+}
+
+void exp_affine_span(double* row, const double* shift, double scale,
+                     size_t n) {
+  for (size_t i = 0; i < n; ++i) row[i] = fast_exp(scale * (row[i] - shift[i]));
+}
+
+void cheb_step_span(const double* applied, const double* cur,
+                    double* prev_next, double* acc, double s, double u,
+                    double c, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const double next = s * applied[i] + u * cur[i] - prev_next[i];
+    prev_next[i] = next;
+    acc[i] += c * next;
+  }
+}
+
+}  // namespace
+
+// extern first: a namespace-scope const has internal linkage by default,
+// and support/isa.cpp must see this TU's table.
+extern const IsaKernels LOGITDYN_ISA_TABLE;
+const IsaKernels LOGITDYN_ISA_TABLE = {exp_span, exp_shift_span,
+                                       exp_affine_span, cheb_step_span};
+
+}  // namespace logitdyn

@@ -1,0 +1,4 @@
+// Baseline kernel TU: no extra -m flags, so GCC vectorizes at the
+// x86-64 baseline (SSE2, 2 double lanes). Always supported.
+#define LOGITDYN_ISA_TABLE kIsaKernelsSse2
+#include "support/isa_kernels_impl.hpp"

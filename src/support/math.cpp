@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "support/error.hpp"
+#include "support/isa.hpp"
 
 namespace logitdyn {
 
@@ -24,11 +25,17 @@ void softmax(std::span<const double> v, std::span<double> out) {
   // std::exp reference.
   double m = v[0];
   for (size_t i = 1; i < v.size(); ++i) m = std::max(m, v[i]);
-  double s = 0.0;
-  for (size_t i = 0; i < v.size(); ++i) {
-    out[i] = fast_exp(v[i] - m);
-    s += out[i];
+  // Long spans take the ISA-dispatched fast_exp pass (same formula, so
+  // bit-identical to the inline loop); short per-strategy rows (2-8
+  // entries in chain stepping) keep the inline loop where an indirect
+  // call would cost more than the lanes win.
+  if (v.size() >= kIsaDispatchMin) {
+    isa_kernels().exp_shift_span(v.data(), m, out.data(), v.size());
+  } else {
+    for (size_t i = 0; i < v.size(); ++i) out[i] = fast_exp(v[i] - m);
   }
+  double s = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) s += out[i];
   for (double& x : out) x /= s;
 }
 

@@ -27,7 +27,14 @@ double log_sum_exp(std::span<const double> v);
 /// Gibbs-weight ratios beyond ~1e308, which the softmax callers cannot
 /// represent anyway); above 709 it returns exp(709) instead of
 /// overflowing to inf. Finite inputs only (NaN/inf are not handled).
-inline double fast_exp(double x) {
+///
+/// always_inline is load-bearing, not an optimization hint: the ISA
+/// dispatch TUs (support/isa_kernels_*.cpp) compile this header with
+/// AVX2/AVX-512 flags, and an out-of-line vague-linkage copy emitted
+/// there could be the one the linker keeps for the whole program —
+/// which would execute AVX instructions on a baseline-SSE2 machine.
+/// Forcing inlining guarantees no such copy exists.
+[[gnu::always_inline]] inline double fast_exp(double x) {
   constexpr double kLog2E = 1.4426950408889634073599;  // 1/ln 2
   // ln2 split hi/lo so x - n*ln2 is computed to full precision.
   constexpr double kLn2Hi = 6.93145751953125e-1;

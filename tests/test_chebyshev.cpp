@@ -1,0 +1,283 @@
+// Filtered Chebyshev evolution (DESIGN.md §12): plan exactness for
+// degree >= t, numerically verified certified truncation bounds,
+// ChebyshevEvolver vs exact stepwise evolution on dense-checkable sizes
+// (including the tv_defect_bound accounting), and the filtered mixing /
+// worst-start drivers against their stepwise references.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/mixing.hpp"
+#include "analysis/tv.hpp"
+#include "core/gibbs.hpp"
+#include "core/logit_operator.hpp"
+#include "games/ising.hpp"
+#include "graph/builders.hpp"
+#include "linalg/chebyshev.hpp"
+#include "linalg/lanczos.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn {
+namespace {
+
+/// p(z) of a plan via Clenshaw recurrence on the mapped argument.
+double eval_plan(const ChebyshevPlan& plan, double z) {
+  const double alpha = 0.5 * (plan.interval.b - plan.interval.a);
+  const double beta_c = 0.5 * (plan.interval.a + plan.interval.b);
+  const double w = (z - beta_c) / alpha;
+  double bk1 = 0.0, bk2 = 0.0;
+  for (size_t k = plan.coeff.size(); k-- > 1;) {
+    const double bk = 2.0 * w * bk1 - bk2 + plan.coeff[k];
+    bk2 = bk1;
+    bk1 = bk;
+  }
+  return w * bk1 - bk2 + plan.coeff[0];
+}
+
+TEST(ChebyshevPlanTest, ExactForDegreeAtLeastT) {
+  const SpectralInterval iv{-0.6, 0.85};
+  for (uint64_t t : {uint64_t(0), uint64_t(1), uint64_t(5), uint64_t(12)}) {
+    // tol = 0 is invalid; a tolerance far below reachable forces d = t.
+    const ChebyshevPlan plan = plan_monomial(t, iv, 1e-300, 64);
+    EXPECT_EQ(plan.degree(), size_t(t));
+    EXPECT_EQ(plan.truncation_bound, 0.0);
+    for (double z = iv.a; z <= iv.b; z += 0.037) {
+      EXPECT_NEAR(eval_plan(plan, z), std::pow(z, double(t)), 1e-12)
+          << "t=" << t << " z=" << z;
+    }
+  }
+}
+
+TEST(ChebyshevPlanTest, TruncationBoundIsCertified) {
+  // Large t, truncated degree: the measured sup error on a dense grid
+  // must sit below the certified bound (which is a true upper bound, not
+  // an estimate).
+  const SpectralInterval iv{-0.4, 0.9};
+  const uint64_t t = 400;
+  for (double tol : {1e-3, 1e-6, 1e-10}) {
+    const ChebyshevPlan plan = plan_monomial(t, iv, tol, 1 << 12);
+    ASSERT_LT(plan.degree(), size_t(t)) << "tol=" << tol;
+    EXPECT_LE(plan.truncation_bound, tol);
+    double sup = 0.0;
+    for (double z = iv.a; z <= iv.b; z += 1e-3) {
+      sup = std::max(sup,
+                     std::abs(eval_plan(plan, z) - std::pow(z, double(t))));
+    }
+    EXPECT_LE(sup, plan.truncation_bound + 1e-14) << "tol=" << tol;
+  }
+}
+
+TEST(ChebyshevPlanTest, BoundMonotoneAndDegreeMinimal) {
+  const SpectralInterval iv{-0.3, 0.95};
+  const uint64_t t = 1000;
+  double prev = monomial_truncation_bound(t, iv, 10);
+  for (size_t d = 20; d <= 200; d += 10) {
+    const double b = monomial_truncation_bound(t, iv, d);
+    EXPECT_LE(b, prev) << "d=" << d;
+    prev = b;
+  }
+  const size_t d = chebyshev_degree(t, iv, 1e-6, 1 << 12);
+  EXPECT_LE(monomial_truncation_bound(t, iv, d), 1e-6);
+  if (d > 0) {
+    EXPECT_GT(monomial_truncation_bound(t, iv, d - 1), 1e-6);
+  }
+}
+
+TEST(ChebyshevPlanTest, DegreeGrowsSublinearlyInT) {
+  // Near b -> 1 the degree scales like sqrt(t): t x 100 should cost
+  // about 10x the degree, nowhere near 100x.
+  const SpectralInterval near_one{-0.5, 0.9999};
+  const size_t d1 = chebyshev_degree(1000, near_one, 1e-8, 1 << 15);
+  const size_t d2 = chebyshev_degree(100000, near_one, 1e-8, 1 << 15);
+  EXPECT_GT(d1, size_t(0));
+  EXPECT_LT(d2, 15 * d1);          // sqrt-like, not linear
+  EXPECT_LT(d2, size_t(100000) / 20);  // and vastly below t
+
+  // With a real gap (b = 0.995) the degree saturates and then COLLAPSES:
+  // once b^t < tol the monomial is numerically zero on the interval and
+  // degree 0 suffices — the certified bound covers exactly this.
+  const SpectralInterval gapped{-0.5, 0.995};
+  const size_t dg = chebyshev_degree(2000, gapped, 1e-8, 1 << 15);
+  EXPECT_GT(dg, size_t(0));
+  EXPECT_LT(dg, size_t(400));
+  EXPECT_EQ(chebyshev_degree(20000, gapped, 1e-8, 1 << 15), size_t(0));
+  EXPECT_LE(monomial_truncation_bound(20000, gapped, 0), 1e-8);
+}
+
+TEST(ChebyshevPlanTest, InvalidIntervalsThrow) {
+  EXPECT_THROW(plan_monomial(5, SpectralInterval{0.5, 0.5}, 1e-6, 16), Error);
+  EXPECT_THROW(plan_monomial(5, SpectralInterval{-1.5, 0.5}, 1e-6, 16),
+               Error);
+  EXPECT_THROW(plan_monomial(5, SpectralInterval{-0.5, 1.5}, 1e-6, 16),
+               Error);
+}
+
+TEST(ChebyshevPlanTest, DeviationIntervalMarginsRitzValues) {
+  LanczosSpectrum spec;
+  spec.lambda2 = 0.95;
+  spec.lambda_min = -0.4;
+  spec.residual = 1e-9;
+  const SpectralInterval iv = deviation_interval(spec);
+  EXPECT_GE(iv.b, 0.95 + 1e-6 - 1e-12);  // min_margin floor applies
+  EXPECT_LE(iv.a, -0.4 - 1e-6 + 1e-12);
+  EXPECT_LE(iv.b, 1.0);
+  EXPECT_GE(iv.a, -1.0);
+  spec.residual = 0.01;  // unconverged run: margin scales with residual
+  const SpectralInterval wide = deviation_interval(spec);
+  EXPECT_NEAR(wide.b, std::min(1.0, 0.95 + 0.1), 1e-12);
+}
+
+/// Shared fixture: a dense-checkable Ising chain with its operator, pi,
+/// and margined Lanczos interval.
+struct SmallChain {
+  IsingGame game;
+  GibbsMeasure gibbs;
+  LogitOperator op;
+  SpectralInterval interval;
+
+  SmallChain(size_t spins, double beta)
+      : game(make_ring(spins), 1.0),
+        gibbs(gibbs_measure(game, beta)),
+        op(game, beta, UpdateKind::kAsynchronous) {
+    LanczosOptions lopts;
+    lopts.tol = 1e-10;
+    interval =
+        deviation_interval(lanczos_spectrum(op, gibbs.probabilities, lopts));
+  }
+};
+
+TEST(ChebyshevEvolverTest, MatchesStepwiseEvolutionWithinBound) {
+  SmallChain chain(8, 0.7);
+  const size_t n = chain.op.size();
+  const uint64_t t = 60;
+
+  // Two delta starts batched.
+  std::vector<double> xs(2 * n, 0.0), ys(2 * n);
+  xs[0] = 1.0;          // all spins down
+  xs[n + n - 1] = 1.0;  // all spins up
+  ChebyshevEvolver evolver(chain.op, chain.gibbs.probabilities,
+                           chain.interval);
+  const auto res = evolver.evolve(xs, ys, 2, t, 1e-8);
+  EXPECT_LE(res.truncation_bound, 1e-8);
+  EXPECT_LT(res.degree, size_t(t));  // the filter actually truncated
+
+  // Exact stepwise reference.
+  std::vector<double> cur(xs), nxt(2 * n);
+  for (uint64_t s = 0; s < t; ++s) {
+    chain.op.apply_many(cur, nxt, 2);
+    cur.swap(nxt);
+  }
+  for (size_t v = 0; v < 2; ++v) {
+    const double tv_exact =
+        total_variation(std::span<const double>(cur.data() + v * n, n),
+                        chain.gibbs.probabilities);
+    // The TV estimate agrees with the exact TV within the certified
+    // defect bound (plus fp slack far below the bound's scale).
+    EXPECT_LE(std::abs(res.tv[v] - tv_exact),
+              res.tv_defect_bound[v] + 1e-12)
+        << "vector " << v;
+    // And the evolved distribution itself is close entrywise.
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(ys[v * n + i], cur[v * n + i], 1e-8) << "entry " << i;
+    }
+  }
+}
+
+TEST(ChebyshevEvolverTest, DefectBoundAccountsDeltaStartNorm) {
+  // For a delta start at s, sum_i dev_i^2 / pi_i = 1/pi_s - 1: the
+  // reported bound must be exactly (eta/2) sqrt(1/pi_s - 1).
+  SmallChain chain(6, 0.5);
+  const size_t n = chain.op.size();
+  std::vector<double> xs(n, 0.0), ys(n);
+  xs[3] = 1.0;
+  ChebyshevEvolver evolver(chain.op, chain.gibbs.probabilities,
+                           chain.interval);
+  const auto res = evolver.evolve(xs, ys, 1, 200, 1e-6);
+  const double pi_s = chain.gibbs.probabilities[3];
+  const double want =
+      0.5 * res.truncation_bound * std::sqrt(1.0 / pi_s - 1.0);
+  EXPECT_NEAR(res.tv_defect_bound[0], want, 1e-9 * std::max(want, 1e-30));
+}
+
+TEST(ChebyshevEvolverTest, ExactAtSmallTAndIdentityAtZero) {
+  SmallChain chain(6, 0.5);
+  const size_t n = chain.op.size();
+  std::vector<double> xs(n, 0.0), ys(n);
+  xs[5] = 1.0;
+  ChebyshevEvolver evolver(chain.op, chain.gibbs.probabilities,
+                           chain.interval);
+
+  const auto r0 = evolver.evolve(xs, ys, 1, 0, 1e-8);
+  EXPECT_EQ(r0.degree, size_t(0));
+  EXPECT_EQ(r0.truncation_bound, 0.0);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(ys[i], xs[i], 1e-15);
+
+  const auto r3 = evolver.evolve(xs, ys, 1, 3, 1e-14);
+  EXPECT_EQ(r3.truncation_bound, 0.0);  // degree 3 >= t: exact expansion
+  std::vector<double> cur(xs), nxt(n);
+  for (int s = 0; s < 3; ++s) {
+    chain.op.apply(cur, nxt);
+    cur.swap(nxt);
+  }
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(ys[i], cur[i], 1e-12);
+}
+
+TEST(FilteredMixingTest, MatchesStepwiseOperatorMixing) {
+  SmallChain chain(8, 0.9);
+  const size_t n = chain.op.size();
+  const std::vector<size_t> starts = {0, n - 1};
+  const auto exact = mixing_time_operator(
+      chain.op, chain.gibbs.probabilities, starts, 0.25, 1 << 16);
+  ASSERT_TRUE(exact.worst.converged);
+
+  // Tiny warmup forces the Chebyshev probes to resolve the crossing.
+  FilteredMixingOptions fopts;
+  fopts.warmup_steps = 2;
+  const auto filtered =
+      mixing_time_filtered(chain.op, chain.gibbs.probabilities, starts,
+                           chain.interval, 0.25, 1 << 16, fopts);
+  ASSERT_TRUE(filtered.worst.converged);
+  EXPECT_TRUE(filtered.used_chebyshev);
+  EXPECT_EQ(filtered.worst.time, exact.worst.time);
+  EXPECT_NEAR(filtered.worst.distance, exact.worst.distance,
+              filtered.tv_defect_bound + 1e-12);
+  EXPECT_GT(filtered.worst.distance_prev, 0.25 - filtered.tv_defect_bound);
+  EXPECT_FALSE(filtered.probes.empty());
+}
+
+TEST(FilteredMixingTest, WarmupResolvesFastChainsExactly) {
+  SmallChain chain(6, 0.2);  // high temperature: mixes in a few steps
+  const size_t n = chain.op.size();
+  const std::vector<size_t> starts = {0, n - 1};
+  const auto exact = mixing_time_operator(
+      chain.op, chain.gibbs.probabilities, starts, 0.25, 1 << 12);
+  const auto filtered = mixing_time_filtered(
+      chain.op, chain.gibbs.probabilities, starts, chain.interval);
+  ASSERT_TRUE(filtered.worst.converged);
+  EXPECT_FALSE(filtered.used_chebyshev);  // warmup (64 steps) covered it
+  EXPECT_EQ(filtered.worst.time, exact.worst.time);
+  EXPECT_EQ(filtered.tv_defect_bound, 0.0);
+}
+
+TEST(FilteredMixingTest, CertifiedWorstStartMatchesStepwiseCertificate) {
+  SmallChain chain(7, 0.9);
+  const auto exact =
+      certify_worst_start(chain.op, chain.gibbs.probabilities, 0.25, 1 << 16);
+  ASSERT_TRUE(exact.worst.converged);
+  const auto filtered = certify_worst_start_filtered(
+      chain.op, chain.gibbs.probabilities, chain.interval, 0.25, 1 << 16,
+      /*batch=*/16);
+  ASSERT_TRUE(filtered.worst.converged);
+  EXPECT_EQ(filtered.worst.time, exact.worst.time);
+  EXPECT_NEAR(filtered.worst.distance, exact.worst.distance,
+              filtered.tv_defect_bound + 1e-12);
+  // The probe log brackets the crossing: last bisection probes at
+  // time-1 (above eps) and time (below).
+  EXPECT_GT(filtered.worst.distance_prev, 0.25 - filtered.tv_defect_bound);
+  EXPECT_EQ(filtered.dense_steps,
+            uint64_t(chain.op.size()) * filtered.worst.time);
+}
+
+}  // namespace
+}  // namespace logitdyn

@@ -1,0 +1,240 @@
+// Runtime ISA dispatch (DESIGN.md §12): resolution policy, forced-path
+// override, and — the load-bearing part — parity of every compiled ISA
+// path against the scalar std::exp reference (1e-12 relative) AND
+// bit-identity of every path against the portable fast_exp loop. The
+// suite iterates supported_isa_paths(): a lesser machine simply tests
+// fewer tiers (it cannot execute the others).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/logit_operator.hpp"
+#include "games/ising.hpp"
+#include "graph/builders.hpp"
+#include "rng/rng.hpp"
+#include "support/error.hpp"
+#include "support/isa.hpp"
+#include "support/math.hpp"
+
+namespace logitdyn {
+namespace {
+
+/// RAII guard: forces one path for a test body, restores the default
+/// resolution on exit so test order never leaks a forced path.
+class ScopedIsaPath {
+ public:
+  explicit ScopedIsaPath(IsaPath path) : saved_(active_isa_path()) {
+    force_isa_path(path);
+  }
+  ~ScopedIsaPath() { force_isa_path(saved_); }
+
+ private:
+  IsaPath saved_;
+};
+
+std::vector<double> random_span(size_t n, uint64_t seed, double scale) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = scale * (rng.uniform() - 0.5);
+  return v;
+}
+
+TEST(IsaResolveTest, BaselineAlwaysSupported) {
+  EXPECT_TRUE(isa_path_supported(IsaPath::kSse2));
+  const auto paths = supported_isa_paths();
+  ASSERT_FALSE(paths.empty());
+  EXPECT_EQ(paths.front(), IsaPath::kSse2);
+}
+
+TEST(IsaResolveTest, DefaultPicksHighestSupportedTier) {
+  const auto paths = supported_isa_paths();
+  EXPECT_EQ(resolve_isa_path(nullptr), paths.back());
+  EXPECT_EQ(resolve_isa_path(""), paths.back());
+}
+
+TEST(IsaResolveTest, OverrideSelectsNamedPath) {
+  EXPECT_EQ(resolve_isa_path("sse2"), IsaPath::kSse2);
+  for (IsaPath p : supported_isa_paths()) {
+    EXPECT_EQ(resolve_isa_path(isa_path_name(p)), p);
+  }
+}
+
+TEST(IsaResolveTest, UnknownOverrideThrows) {
+  EXPECT_THROW(resolve_isa_path("avx9000"), Error);
+  EXPECT_THROW(resolve_isa_path("SSE2"), Error);  // names are lowercase
+}
+
+TEST(IsaResolveTest, UnsupportedForcedPathThrows) {
+  for (IsaPath p : {IsaPath::kAvx2, IsaPath::kAvx512}) {
+    if (!isa_path_supported(p)) {
+      EXPECT_THROW(resolve_isa_path(isa_path_name(p)), Error);
+      EXPECT_THROW(force_isa_path(p), Error);
+    }
+  }
+}
+
+TEST(IsaResolveTest, PathNamesAreStable) {
+  EXPECT_STREQ(isa_path_name(IsaPath::kSse2), "sse2");
+  EXPECT_STREQ(isa_path_name(IsaPath::kAvx2), "avx2");
+  EXPECT_STREQ(isa_path_name(IsaPath::kAvx512), "avx512");
+}
+
+// Every compiled path agrees with scalar std::exp to 1e-12 relative, and
+// is BIT-identical to the portable inline fast_exp loop (same formula,
+// contraction forbidden — so the lanes change, the bits do not).
+TEST(IsaParityTest, ExpSpanMatchesScalarReference) {
+  const auto x = random_span(1013, 7, 1400.0);  // spans the clamp edges too
+  std::vector<double> want(x.size()), portable(x.size()), got(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    want[i] = std::exp(std::min(709.0, std::max(-708.0, x[i])));
+    portable[i] = fast_exp(x[i]);
+  }
+  for (IsaPath p : supported_isa_paths()) {
+    isa_kernels_for(p).exp_span(x.data(), got.data(), x.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+      EXPECT_NEAR(got[i], want[i], 1e-12 * want[i])
+          << isa_path_name(p) << " at " << x[i];
+      EXPECT_EQ(std::bit_cast<uint64_t>(got[i]),
+                std::bit_cast<uint64_t>(portable[i]))
+          << isa_path_name(p) << " not bit-identical at " << x[i];
+    }
+  }
+}
+
+TEST(IsaParityTest, ExpShiftSpanMatchesScalarReference) {
+  const auto v = random_span(517, 11, 40.0);
+  const double shift = 3.25;
+  std::vector<double> got(v.size());
+  for (IsaPath p : supported_isa_paths()) {
+    isa_kernels_for(p).exp_shift_span(v.data(), shift, got.data(), v.size());
+    for (size_t i = 0; i < v.size(); ++i) {
+      const double want = std::exp(v[i] - shift);
+      EXPECT_NEAR(got[i], want, 1e-12 * want) << isa_path_name(p);
+      EXPECT_EQ(std::bit_cast<uint64_t>(got[i]),
+                std::bit_cast<uint64_t>(fast_exp(v[i] - shift)))
+          << isa_path_name(p);
+    }
+  }
+}
+
+TEST(IsaParityTest, ExpAffineSpanMatchesScalarReference) {
+  const auto base = random_span(731, 13, 20.0);
+  const auto shift = random_span(731, 17, 20.0);
+  const double beta = 0.8125;
+  std::vector<double> row(base);
+  for (IsaPath p : supported_isa_paths()) {
+    row = base;
+    isa_kernels_for(p).exp_affine_span(row.data(), shift.data(), beta,
+                                       row.size());
+    for (size_t i = 0; i < row.size(); ++i) {
+      const double want = std::exp(beta * (base[i] - shift[i]));
+      EXPECT_NEAR(row[i], want, 1e-12 * want) << isa_path_name(p);
+      EXPECT_EQ(std::bit_cast<uint64_t>(row[i]),
+                std::bit_cast<uint64_t>(fast_exp(beta * (base[i] - shift[i]))))
+          << isa_path_name(p);
+    }
+  }
+}
+
+TEST(IsaParityTest, ChebStepSpanBitIdenticalAcrossPaths) {
+  const size_t n = 613;
+  const auto applied = random_span(n, 19, 2.0);
+  const auto cur = random_span(n, 23, 2.0);
+  const auto prev0 = random_span(n, 29, 2.0);
+  const auto acc0 = random_span(n, 31, 2.0);
+  const double s = 2.0 / 0.97, u = -2.0 * 0.01 / 0.97, c = 0.123;
+  // Reference: the same formula in plain scalar code (this TU is
+  // baseline-compiled, so no contraction here either).
+  std::vector<double> prev_want(prev0), acc_want(acc0);
+  for (size_t i = 0; i < n; ++i) {
+    const double next = s * applied[i] + u * cur[i] - prev_want[i];
+    prev_want[i] = next;
+    acc_want[i] += c * next;
+  }
+  for (IsaPath p : supported_isa_paths()) {
+    std::vector<double> prev(prev0), acc(acc0);
+    isa_kernels_for(p).cheb_step_span(applied.data(), cur.data(), prev.data(),
+                                      acc.data(), s, u, c, n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(std::bit_cast<uint64_t>(prev[i]),
+                std::bit_cast<uint64_t>(prev_want[i]))
+          << isa_path_name(p);
+      EXPECT_EQ(std::bit_cast<uint64_t>(acc[i]),
+                std::bit_cast<uint64_t>(acc_want[i]))
+          << isa_path_name(p);
+    }
+  }
+}
+
+// End-to-end through the public entry points: softmax and a LogitOperator
+// apply, forced onto each path in turn, must agree with the scalar
+// std::exp reference to 1e-12 and be bit-identical across paths.
+TEST(IsaForcedPathTest, SoftmaxAgreesOnEveryPath) {
+  const auto v = random_span(96, 37, 30.0);  // above kIsaDispatchMin
+  std::vector<double> ref(v.size());
+  softmax_scalar(v, ref);
+  std::vector<std::vector<double>> per_path;
+  for (IsaPath p : supported_isa_paths()) {
+    ScopedIsaPath forced(p);
+    std::vector<double> out(v.size());
+    softmax(v, out);
+    for (size_t i = 0; i < v.size(); ++i) {
+      EXPECT_NEAR(out[i], ref[i], 1e-12 * std::max(ref[i], 1e-300))
+          << isa_path_name(p);
+    }
+    per_path.push_back(std::move(out));
+  }
+  for (size_t k = 1; k < per_path.size(); ++k) {
+    for (size_t i = 0; i < v.size(); ++i) {
+      EXPECT_EQ(std::bit_cast<uint64_t>(per_path[k][i]),
+                std::bit_cast<uint64_t>(per_path[0][i]))
+          << "softmax differs between paths at entry " << i;
+    }
+  }
+}
+
+TEST(IsaForcedPathTest, LogitOperatorApplyBitIdenticalAcrossPaths) {
+  const IsingGame game(make_ring(8), 0.9);
+  const size_t n = game.space().num_profiles();
+  Rng rng(41);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.uniform();
+  double s = 0.0;
+  for (double v : x) s += v;
+  for (double& v : x) v /= s;
+
+  std::vector<std::vector<double>> per_path;
+  std::vector<double> ref;
+  for (IsaPath p : supported_isa_paths()) {
+    ScopedIsaPath forced(p);
+    LogitOperator op(game, 1.3, UpdateKind::kAsynchronous, nullptr,
+                     ApplyMode::kVectorized);
+    std::vector<double> y(n);
+    op.apply(x, y);
+    if (ref.empty()) {
+      LogitOperator scalar_op(game, 1.3, UpdateKind::kAsynchronous, nullptr,
+                              ApplyMode::kScalarReference);
+      ref.resize(n);
+      scalar_op.apply(x, ref);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(y[i], ref[i], 1e-12 * std::max(std::abs(ref[i]), 1e-300))
+          << isa_path_name(p) << " vs scalar reference at state " << i;
+    }
+    per_path.push_back(std::move(y));
+  }
+  for (size_t k = 1; k < per_path.size(); ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(std::bit_cast<uint64_t>(per_path[k][i]),
+                std::bit_cast<uint64_t>(per_path[0][i]))
+          << "apply differs between ISA paths at state " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace logitdyn

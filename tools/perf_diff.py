@@ -6,11 +6,20 @@ Usage: perf_diff.py BASELINE_DIR CURRENT_DIR [--max-regression 0.20]
 
 Every BENCH_*.json present in BOTH directories is compared row by row
 (rows are matched on their identity keys: workload/game/states/n/
-replicas/steps/beta). Keys ending in `_ms` are tracked wall times: the
-gate fails when current > baseline * (1 + max-regression) AND the
-absolute slowdown exceeds --min-abs-ms (sub-millisecond rows are pure
-scheduling noise). Files or rows present on only one side are reported
-but never fail the gate — that is how new benches seed the trajectory.
+replicas/steps/beta/threads). Keys ending in `_ms` are tracked wall
+times: the gate fails when current > baseline * (1 + max-regression)
+AND the absolute slowdown exceeds --min-abs-ms (sub-millisecond rows
+are pure scheduling noise). Wall times are only comparable between
+like-for-like runs, so when the two documents' recorded environments
+disagree on thread count or SIMD ISA the `_ms` comparison for that
+file is skipped (with a note) — a 2-thread AVX-512 runner must not
+gate a 1-thread SSE2 one. `scaling_exponent` keys (BENCH_scaling.json
+summary rows) are environment-independent fits and gate regardless:
+the gate fails when the fitted strong-scaling exponent drops more
+than --max-exponent-drop (default 20%) below a baseline exponent of
+at least 0.1 (below that the machine never scaled to begin with).
+Files or rows present on only one side are reported but never fail
+the gate — that is how new benches seed the trajectory.
 
 Exit codes: 0 ok, 1 regression, 2 usage/parse error.
 """
@@ -21,7 +30,16 @@ import pathlib
 import sys
 
 IDENTITY_KEYS = ("workload", "game", "states", "n", "replicas", "steps",
-                 "beta")
+                 "beta", "threads")
+
+# environment keys that make wall times incomparable when they differ
+# between the baseline and current documents.
+ENVIRONMENT_WALL_KEYS = ("threads", "simd_isa")
+
+# The exponent gate only bites when the baseline machine actually
+# scaled: below this the fit is measuring scheduler noise on a box
+# with no parallelism to lose.
+MIN_GATED_EXPONENT = 0.1
 
 
 def row_identity(row):
@@ -37,8 +55,26 @@ def result_rows(doc):
     return [r for r in rows if isinstance(r, dict)]
 
 
-def compare_file(name, base_doc, cur_doc, max_regression, min_abs_ms):
+def environment_mismatch(base_doc, cur_doc):
+    """The ENVIRONMENT_WALL_KEYS on which the two documents disagree."""
+    base_env = base_doc.get("environment", {})
+    cur_env = cur_doc.get("environment", {})
+    if not isinstance(base_env, dict) or not isinstance(cur_env, dict):
+        return []
+    return [
+        k for k in ENVIRONMENT_WALL_KEYS
+        if base_env.get(k) != cur_env.get(k)
+    ]
+
+
+def compare_file(name, base_doc, cur_doc, max_regression, min_abs_ms,
+                 max_exponent_drop):
     regressions, notes = [], []
+    mismatched = environment_mismatch(base_doc, cur_doc)
+    if mismatched:
+        notes.append(
+            f"  {name}: environment differs on "
+            f"{', '.join(mismatched)} — wall-time keys not compared")
     base_rows = {row_identity(r): r for r in result_rows(base_doc)}
     for cur in result_rows(cur_doc):
         ident = row_identity(cur)
@@ -48,7 +84,7 @@ def compare_file(name, base_doc, cur_doc, max_regression, min_abs_ms):
             notes.append(f"  new row (seeds trajectory): {label}")
             continue
         for key, cur_val in cur.items():
-            if not key.endswith("_ms"):
+            if not key.endswith("_ms") or mismatched:
                 continue
             base_val = base.get(key)
             if not isinstance(base_val, (int, float)) or not isinstance(
@@ -62,6 +98,16 @@ def compare_file(name, base_doc, cur_doc, max_regression, min_abs_ms):
                 regressions.append(
                     f"  {label} :: {key}: {base_val:.3f} -> {cur_val:.3f} ms "
                     f"({(ratio - 1.0) * 100:.1f}% slower)")
+        base_exp = base.get("scaling_exponent")
+        cur_exp = cur.get("scaling_exponent")
+        if (isinstance(base_exp, (int, float))
+                and isinstance(cur_exp, (int, float))
+                and base_exp >= MIN_GATED_EXPONENT
+                and cur_exp < base_exp * (1.0 - max_exponent_drop)):
+            regressions.append(
+                f"  {label} :: scaling_exponent: {base_exp:.3f} -> "
+                f"{cur_exp:.3f} "
+                f"({(1.0 - cur_exp / base_exp) * 100:.1f}% drop)")
     return regressions, notes
 
 
@@ -71,6 +117,7 @@ def main():
     parser.add_argument("current_dir", type=pathlib.Path)
     parser.add_argument("--max-regression", type=float, default=0.20)
     parser.add_argument("--min-abs-ms", type=float, default=0.5)
+    parser.add_argument("--max-exponent-drop", type=float, default=0.20)
     args = parser.parse_args()
 
     if not args.baseline_dir.is_dir() or not args.current_dir.is_dir():
@@ -100,7 +147,8 @@ def main():
             return 2
         regressions, notes = compare_file(cur_path.name, base_doc, cur_doc,
                                           args.max_regression,
-                                          args.min_abs_ms)
+                                          args.min_abs_ms,
+                                          args.max_exponent_drop)
         compared += 1
         for note in notes:
             print(note)

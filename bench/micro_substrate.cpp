@@ -29,6 +29,7 @@
 #include "core/transition_builder.hpp"
 #include "linalg/chebyshev.hpp"
 #include "linalg/lanczos.hpp"
+#include "local/replica_fleet.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/isa.hpp"
 #include "games/congestion.hpp"
@@ -977,6 +978,148 @@ void write_bench_scaling_json(const std::string& path, size_t max_threads) {
   std::cout << "wrote " << path << "\n";
 }
 
+/// Emit BENCH_local.json: sampling-scale throughput of the src/local/
+/// kernels (DESIGN.md §13) on a 512x512 graphical-coordination torus.
+/// Rows: players/sec per (workload, threads) with bit-identity against
+/// the threads=1 trajectory; summary rows carry the fitted scaling
+/// exponent. "players/sec" counts revision opportunities: one per async
+/// step, one per player per concurrent round.
+void write_bench_local_json(const std::string& path) {
+  const Graph graph = make_torus(512, 512);
+  const local::LocalTopology topo(graph);
+  const local::BinaryLocalRule rule =
+      local::BinaryLocalRule::graphical_coordination(
+          CoordinationPayoffs::from_deltas(2.0, 1.0));
+  const size_t n = topo.num_vertices();
+  const double beta = 1.0;
+  const uint64_t master_seed = 20110604;
+  const std::vector<size_t> counts = {1, 2, 4};
+
+  struct Workload {
+    std::string name;
+    std::string kernel;
+    double opportunities;  // per run, for players/sec
+    // Returns wall ms; fills a trajectory signature for bit-identity.
+    std::function<double(ThreadPool&, std::vector<double>&)> run;
+  };
+  std::vector<Workload> workloads;
+
+  // Async fleet: 4 replicas, 2 sweeps each, parallel ACROSS replicas —
+  // the async kernel itself is a single sequential stream.
+  const uint32_t fleet_replicas = 4;
+  const uint64_t fleet_steps = 2 * uint64_t(n);
+  workloads.push_back(
+      {"local_async_fleet", "async",
+       double(fleet_replicas) * double(fleet_steps),
+       [&](ThreadPool& pool, std::vector<double>& sig) {
+         local::LocalDynamics dyn(&topo, &rule, beta, &pool);
+         local::FleetOptions fopts;
+         fopts.replicas = fleet_replicas;
+         fopts.kernel = local::Kernel::kAsync;
+         fopts.horizon = fleet_steps;
+         fopts.cadence = fleet_steps;  // endpoints only
+         const local::ReplicaFleet fleet(&dyn, fopts);
+         local::FleetSummary summary;
+         const double ms = time_best_of(2, [&] {
+           summary = fleet.run(master_seed);
+           benchmark::DoNotOptimize(summary.total_flips);
+         });
+         sig.clear();
+         sig.push_back(double(summary.total_flips));
+         for (double m : summary.final_magnetization) sig.push_back(m);
+         for (double p : summary.phi_mean) sig.push_back(p);
+         return ms;
+       }});
+
+  // Concurrent kernel: 8 rounds at p = 0.5 on one trajectory, sharded
+  // over the pool — the §13 determinism contract under timing.
+  const uint64_t rounds = 8;
+  workloads.push_back(
+      {"local_concurrent", "concurrent", double(rounds) * double(n),
+       [&](ThreadPool& pool, std::vector<double>& sig) {
+         local::LocalDynamics dyn(&topo, &rule, beta, &pool);
+         local::LocalState state = dyn.make_state();
+         uint64_t flips = 0;
+         const double ms = time_best_of(2, [&] {
+           Rng init(local::replica_seed(master_seed, 0));
+           state.randomize(0.5, init);
+           flips = dyn.run_concurrent(state, rounds, 0.5,
+                                      local::replica_seed(master_seed, 0));
+           benchmark::DoNotOptimize(flips);
+         });
+         const uint64_t hash = local::strategy_hash(state.strategies());
+         sig = {double(flips), double(state.ones()),
+                double(uint32_t(hash)), double(hash >> 32),
+                state.potential(&pool)};
+         return ms;
+       }});
+
+  Json results = Json::array();
+  std::cout << "local kernels on torus(512x512), n=" << n << ":\n";
+  for (Workload& w : workloads) {
+    std::vector<double> walls;
+    std::vector<double> ref_sig;
+    bool all_identical = true;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      ThreadPool pool(counts[i]);
+      std::vector<double> sig;
+      const double ms = w.run(pool, sig);
+      walls.push_back(ms);
+      bool identical = true;
+      if (i == 0) {
+        ref_sig = std::move(sig);
+      } else {
+        identical = sig == ref_sig;
+        all_identical = all_identical && identical;
+      }
+      const double players_per_sec =
+          ms > 0 ? w.opportunities / (ms / 1e3) : 0.0;
+      Json r = Json::object();
+      r.set("workload", w.name);
+      r.set("game", "graphical-coordination");
+      r.set("kernel", w.kernel);
+      r.set("topology", "torus(512x512)");
+      r.set("n", n);
+      r.set("threads", counts[i]);
+      r.set("wall_ms", ms);
+      r.set("players_per_sec", players_per_sec);
+      r.set("bit_identical", identical);
+      results.push_back(std::move(r));
+      std::cout << "  " << w.name << " threads=" << counts[i] << ": " << ms
+                << " ms, " << players_per_sec << " players/s, bit_identical="
+                << identical << "\n";
+    }
+    const double exponent = fitted_scaling_exponent(counts, walls);
+    Json r = Json::object();
+    r.set("workload", w.name);
+    r.set("game", "graphical-coordination");
+    r.set("kernel", w.kernel);
+    r.set("topology", "torus(512x512)");
+    r.set("n", n);
+    r.set("scaling_exponent", exponent);
+    r.set("bit_identical_all", all_identical);
+    results.push_back(std::move(r));
+    std::cout << "  " << w.name << " scaling_exponent=" << exponent
+              << ", bit_identical_all=" << all_identical << "\n";
+  }
+
+  Json config = Json::object();
+  config.set("description",
+             "sampling-scale local-dynamics kernels (src/local): "
+             "players/sec per (workload, threads) cell — one revision "
+             "opportunity per async step, one per player per concurrent "
+             "round — with bit-identity against the threads=1 trajectory "
+             "and fitted scaling exponents (wall ~ threads^-e)");
+  config.set("unit", "ms");
+  config.set("beta", beta);
+  config.set("revise_prob", 0.5);
+  Json measurements = Json::object();
+  measurements.set("results", std::move(results));
+  write_bench_document(path, "local_dynamics", std::move(config),
+                       std::move(measurements));
+  std::cout << "wrote " << path << "\n";
+}
+
 DenseMatrix random_matrix(size_t n, uint64_t seed) {
   Rng rng(seed);
   DenseMatrix m(n, n);
@@ -1149,11 +1292,13 @@ int main(int argc, char** argv) {
   std::string spectral_path = "BENCH_spectral.json";
   std::string apply_path = "BENCH_apply.json";
   std::string scaling_path = "BENCH_scaling.json";
+  std::string local_path = "BENCH_local.json";
   bool exit_after_json = false;
   bool chain_build = false;
   bool spectral = false;
   bool apply = false;
   bool scaling = false;
+  bool local_bench = false;
   bool oracle = true;
   size_t scaling_max_threads = 0;  // 0 = max(2, hardware_concurrency)
   std::vector<char*> passthrough = {argv[0]};
@@ -1167,6 +1312,14 @@ int main(int argc, char** argv) {
       spectral = true;
       apply = true;
       scaling = true;
+      local_bench = true;
+    } else if (arg == "--bench_local_only") {
+      // Sampling-scale local kernels alone (players/sec + bit-identity).
+      exit_after_json = true;
+      local_bench = true;
+      oracle = false;
+    } else if (arg.rfind("--bench_local_out=", 0) == 0) {
+      local_path = arg.substr(std::string("--bench_local_out=").size());
     } else if (arg == "--bench_scaling_only") {
       // Scaling sweep alone: the threads-axis CI leg runs just this.
       exit_after_json = true;
@@ -1208,6 +1361,7 @@ int main(int argc, char** argv) {
   if (spectral) write_bench_spectral_json(spectral_path);
   if (apply) write_bench_apply_json(apply_path);
   if (scaling) write_bench_scaling_json(scaling_path, scaling_max_threads);
+  if (local_bench) write_bench_local_json(local_path);
   if (exit_after_json) return 0;
   argc = int(passthrough.size());
   argv = passthrough.data();

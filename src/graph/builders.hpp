@@ -30,12 +30,15 @@ Graph make_torus(uint32_t rows, uint32_t cols);
 /// Complete binary tree with n vertices (heap indexing).
 Graph make_binary_tree(uint32_t n);
 
-/// Erdos-Renyi G(n, p); each pair independently an edge.
+/// Erdos-Renyi G(n, p); each pair independently an edge. Sampled by
+/// Batagelj-Brandes geometric skipping — O(n + |E|) expected, so sparse
+/// 10^6-vertex graphs build in milliseconds.
 Graph make_erdos_renyi(uint32_t n, double p, Rng& rng);
 
-/// Random d-regular graph by the configuration model with rejection of
-/// self-loops/multi-edges (retries until simple; requires n*d even and
-/// d < n).
+/// Random d-regular simple graph by the configuration model with local
+/// repair: colliding stubs are re-paired (not the whole matching), and a
+/// stuck residue is resolved by degree-preserving edge swaps. Expected
+/// O(n * d) work; requires n*d even and d < n. Exactly d-regular.
 Graph make_random_regular(uint32_t n, uint32_t d, Rng& rng);
 
 }  // namespace logitdyn

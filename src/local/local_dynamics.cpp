@@ -1,0 +1,134 @@
+#include "local/local_dynamics.hpp"
+
+#include <algorithm>
+
+#include "parallel/thread_pool.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn::local {
+
+Rng shard_stream(uint64_t seed, uint64_t round, uint64_t shard) {
+  // Three chained SplitMix64 applications decorrelate the (seed, round,
+  // shard) axes; the odd constants keep (round, shard) and (shard, round)
+  // from colliding. Pure function of its arguments — the whole
+  // determinism contract rests on that.
+  SplitMix64 a(seed);
+  SplitMix64 b(a() ^ (round + 0x632BE59BD9B4E019ULL));
+  SplitMix64 c(b() ^ (shard + 0x9E3779B97F4A7C15ULL));
+  return Rng(c());
+}
+
+uint64_t replica_seed(uint64_t master_seed, uint64_t replica) {
+  SplitMix64 a(master_seed);
+  SplitMix64 b(a() ^ (replica + 0xD1B54A32D192ED03ULL));
+  return b();
+}
+
+ObservableRecorder::ObservableRecorder(uint64_t cadence, size_t measure_blocks)
+    : cadence_(cadence), measure_blocks_(measure_blocks) {
+  LD_CHECK(cadence >= 1, "ObservableRecorder: cadence must be >= 1");
+}
+
+void ObservableRecorder::observe(uint64_t step, const LocalState& state,
+                                 ThreadPool* pool) {
+  // Consensus is a two-integer test — track it on every opportunity even
+  // between samples, so consensus_step is exact, not cadence-rounded.
+  if (!consensus_step_ && state.consensus()) consensus_step_ = step;
+  if (++seen_ % cadence_ != 0) return;
+  steps_.push_back(double(step));
+  magnetization_.push_back(state.magnetization());
+  potential_.push_back(state.potential(pool));
+  if (measure_blocks_ > 0) {
+    const size_t base = block_measures_.size();
+    block_measures_.resize(base + measure_blocks_);
+    state.block_measure(
+        std::span<double>(block_measures_.data() + base, measure_blocks_));
+  }
+}
+
+LocalDynamics::LocalDynamics(const LocalTopology* topology,
+                             const BinaryLocalRule* rule, double beta,
+                             ThreadPool* pool)
+    : topology_(topology),
+      rule_(rule),
+      table_(*rule, topology->degrees(), beta),
+      pool_(pool) {}
+
+LocalState LocalDynamics::make_state() const {
+  LocalState state(topology_, rule_);
+  state.assign(uint8_t(0));
+  return state;
+}
+
+void LocalDynamics::set_update_weights(std::span<const double> weights) {
+  LD_CHECK(weights.size() == topology_->num_vertices(),
+           "LocalDynamics: one update weight per vertex");
+  vertex_picker_ = AliasTable(weights);
+}
+
+uint64_t LocalDynamics::run_async(LocalState& state, uint64_t steps, Rng& rng,
+                                  ObservableRecorder* recorder) const {
+  const uint64_t n = topology_->num_vertices();
+  uint64_t flips = 0;
+  for (uint64_t t = 0; t < steps; ++t) {
+    const uint32_t v = vertex_picker_.size() > 0
+                           ? uint32_t(vertex_picker_.sample(rng))
+                           : uint32_t(rng.uniform_int(n));
+    const double p1 = table_.prob_one(topology_->degree(v), state.field(v));
+    const uint8_t drawn = rng.uniform() < p1 ? 1 : 0;
+    if (drawn != state.strategy(v)) {
+      state.flip(v);
+      ++flips;
+    }
+    if (recorder) recorder->observe(t + 1, state, pool_);
+  }
+  return flips;
+}
+
+uint64_t LocalDynamics::run_concurrent(LocalState& state, uint64_t rounds,
+                                       double revise_prob, uint64_t seed,
+                                       ObservableRecorder* recorder,
+                                       uint64_t first_round) const {
+  LD_CHECK(revise_prob >= 0.0 && revise_prob <= 1.0,
+           "LocalDynamics: revise_prob out of [0,1]");
+  const size_t n = topology_->num_vertices();
+  const size_t shards = (n + kReduceBlock - 1) / kReduceBlock;
+  std::vector<uint8_t> next(n);
+  std::vector<uint64_t> shard_flips(shards);
+  uint64_t flips = 0;
+  for (uint64_t r = 0; r < rounds; ++r) {
+    const uint64_t round = first_round + r;
+    auto run_shard = [&](size_t shard) {
+      const size_t lo = shard * kReduceBlock;
+      const size_t hi = std::min(n, lo + kReduceBlock);
+      Rng rng = shard_stream(seed, round, shard);
+      uint64_t local_flips = 0;
+      for (size_t v = lo; v < hi; ++v) {
+        // Fixed draw order (pinned by the bit-identity tests): one
+        // bernoulli(p) per vertex, then one uniform iff revising.
+        uint8_t s = state.strategy(uint32_t(v));
+        if (rng.bernoulli(revise_prob)) {
+          const double p1 = table_.prob_one(topology_->degree(uint32_t(v)),
+                                            state.field(uint32_t(v)));
+          s = rng.uniform() < p1 ? 1 : 0;
+        }
+        next[v] = s;
+        local_flips += s != state.strategy(uint32_t(v));
+      }
+      shard_flips[shard] = local_flips;
+    };
+    if (pool_ != nullptr) {
+      parallel_for(*pool_, 0, shards, run_shard);
+    } else {
+      for (size_t shard = 0; shard < shards; ++shard) run_shard(shard);
+    }
+    for (uint64_t f : shard_flips) flips += f;
+    // All reads above were against the round-r state; commit the round and
+    // recount fields (sharded over the same fixed partition).
+    state.adopt(next, pool_);
+    if (recorder) recorder->observe(round + 1, state, pool_);
+  }
+  return flips;
+}
+
+}  // namespace logitdyn::local

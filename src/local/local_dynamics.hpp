@@ -1,0 +1,128 @@
+// LocalDynamics (DESIGN.md §13): the two sampling kernels of the local
+// layer.
+//
+//  * run_async — the paper's asynchronous logit dynamics (one uniformly
+//    chosen player revises per step), driven by an alias table so a
+//    non-uniform revision schedule costs the same O(1) per pick.
+//  * run_concurrent — the concurrent-updates dynamics of arXiv:1207.2908:
+//    every vertex independently revises with probability p each round.
+//    Executed on the ThreadPool over FIXED kReduceBlock-vertex shards with
+//    per-(seed, round, shard) RNG streams, so trajectories are
+//    bit-identical at every pool size (the §7/§8 determinism contract).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "local/local_state.hpp"
+#include "rng/alias_table.hpp"
+
+namespace logitdyn {
+class ThreadPool;
+}
+
+namespace logitdyn::local {
+
+/// Derive the deterministic RNG stream of shard `shard` in round `round`
+/// of a run keyed by `seed`. Shards are the fixed kReduceBlock-vertex
+/// partition — NEVER derived from the pool size — so the stream a vertex
+/// draws from does not depend on how many workers execute the round.
+Rng shard_stream(uint64_t seed, uint64_t round, uint64_t shard);
+
+/// Derive replica r's trajectory seed from a fleet master seed. The
+/// ReplicaFleet feeds these to shard_stream / Rng, so a fleet run is
+/// REPLAYABLE one replica at a time: an independent run_concurrent with
+/// replica_seed(master, r) reproduces fleet replica r bit for bit.
+uint64_t replica_seed(uint64_t master_seed, uint64_t replica);
+
+/// Streaming observable recorder: samples (step, magnetization, potential,
+/// per-block measure) every `cadence` recording opportunities and tracks
+/// the first step at which the state hits consensus. The sampling-scale
+/// replacement for the operator layer's exact TV trajectories.
+class ObservableRecorder {
+ public:
+  /// `cadence` >= 1: record every cadence-th opportunity (opportunity =
+  /// one async step or one concurrent round). `measure_blocks` = number of
+  /// contiguous vertex blocks in the empirical measure (0 disables it).
+  explicit ObservableRecorder(uint64_t cadence, size_t measure_blocks = 0);
+
+  /// Called by the kernels after each step/round with the step index.
+  /// `pool` (nullable) parallelizes the potential reduction.
+  void observe(uint64_t step, const LocalState& state, ThreadPool* pool);
+
+  std::span<const double> steps() const { return steps_; }
+  std::span<const double> magnetization() const { return magnetization_; }
+  std::span<const double> potential() const { return potential_; }
+  /// Row-major samples x measure_blocks (empty when blocks == 0).
+  std::span<const double> block_measures() const { return block_measures_; }
+  size_t measure_blocks() const { return measure_blocks_; }
+
+  /// First step index at which consensus was observed, if ever.
+  std::optional<uint64_t> consensus_step() const { return consensus_step_; }
+
+ private:
+  uint64_t cadence_;
+  size_t measure_blocks_;
+  uint64_t seen_ = 0;
+  std::vector<double> steps_;
+  std::vector<double> magnetization_;
+  std::vector<double> potential_;
+  std::vector<double> block_measures_;
+  std::optional<uint64_t> consensus_step_;
+};
+
+/// The engine: shared topology + flip table + optional pool. Stateless
+/// across calls except for the beta stored in the flip table (§8 set_beta
+/// sweep idiom); every trajectory lives in a caller-owned LocalState.
+class LocalDynamics {
+ public:
+  /// `pool` may be null (sequential execution; concurrent rounds still
+  /// use the same sharded streams, so results match pooled runs bit for
+  /// bit).
+  LocalDynamics(const LocalTopology* topology, const BinaryLocalRule* rule,
+                double beta, ThreadPool* pool = nullptr);
+
+  const LocalTopology& topology() const { return *topology_; }
+  const BinaryLocalRule& rule() const { return *rule_; }
+  const LogitFlipTable& flip_table() const { return table_; }
+  double beta() const { return table_.beta(); }
+  void set_beta(double beta) { table_.set_beta(beta); }
+  ThreadPool* pool() const { return pool_; }
+
+  /// Fresh all-zeros state wired to this engine's topology/rule.
+  LocalState make_state() const;
+
+  /// Non-uniform revision schedule: player v is picked with probability
+  /// proportional to weights[v]. Default is uniform.
+  void set_update_weights(std::span<const double> weights);
+
+  /// Run `steps` asynchronous single-site logit steps on `state` using
+  /// `rng` (two draws per step: vertex pick, strategy draw; alias-table
+  /// picks draw twice). Returns the number of strategy changes (flips).
+  /// `recorder` (nullable) is offered the state after every step.
+  uint64_t run_async(LocalState& state, uint64_t steps, Rng& rng,
+                     ObservableRecorder* recorder = nullptr) const;
+
+  /// Run `rounds` concurrent-update rounds: each vertex independently
+  /// revises with probability `revise_prob`; revising vertices redraw from
+  /// the logit rule AGAINST THE CURRENT ROUND'S state (all reads before
+  /// any write; double-buffered). Draw order within a shard is vertices
+  /// ascending, bernoulli(p) first then (if revising) one strategy draw —
+  /// fixed, documented, and pinned by the bit-identity tests. Rounds are
+  /// numbered from `first_round` so a caller can continue a trajectory
+  /// without replaying streams. Returns the number of strategy changes.
+  uint64_t run_concurrent(LocalState& state, uint64_t rounds,
+                          double revise_prob, uint64_t seed,
+                          ObservableRecorder* recorder = nullptr,
+                          uint64_t first_round = 0) const;
+
+ private:
+  const LocalTopology* topology_;
+  const BinaryLocalRule* rule_;
+  LogitFlipTable table_;
+  ThreadPool* pool_;
+  AliasTable vertex_picker_;  // empty => uniform
+};
+
+}  // namespace logitdyn::local

@@ -1,0 +1,89 @@
+#include "local/local_rule.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace logitdyn::local {
+
+BinaryLocalRule BinaryLocalRule::graphical_coordination(
+    const CoordinationPayoffs& payoffs) {
+  LD_CHECK(payoffs.delta0() > 0 && payoffs.delta1() > 0,
+           "BinaryLocalRule: need delta0, delta1 > 0");
+  BinaryLocalRule r;
+  // u(0) = (d - k) * a + k * c, u(1) = (d - k) * d_pay + k * b.
+  r.util_k[0] = payoffs.c - payoffs.a;
+  r.util_d[0] = payoffs.a;
+  r.util_k[1] = payoffs.b - payoffs.d;
+  r.util_d[1] = payoffs.d;
+  for (int s = 0; s < 2; ++s) {
+    for (int t = 0; t < 2; ++t) {
+      r.edge_phi[s][t] = CoordinationGame::edge_potential(
+          payoffs, Strategy(s), Strategy(t));
+    }
+  }
+  r.name = "graphical-coordination";
+  return r;
+}
+
+BinaryLocalRule BinaryLocalRule::ising(double coupling, double field) {
+  LD_CHECK(coupling > 0, "BinaryLocalRule: ferromagnetic J > 0 required");
+  BinaryLocalRule r;
+  // sigma(s) = 2s - 1; local energy of v is -sigma_v * (J * m + h) with
+  // m = sum of neighbour spins = 2k - d, so
+  //   u(s) = sigma(s) * (J * (2k - d) + h).
+  for (int s = 0; s < 2; ++s) {
+    const double sigma = double(2 * s - 1);
+    r.util_k[s] = 2.0 * coupling * sigma;
+    r.util_d[s] = -coupling * sigma;
+    r.util_c[s] = field * sigma;
+    r.vertex_phi[s] = -field * sigma;
+    for (int t = 0; t < 2; ++t) {
+      r.edge_phi[s][t] = -coupling * double((2 * s - 1) * (2 * t - 1));
+    }
+  }
+  r.name = "ising";
+  return r;
+}
+
+LogitFlipTable::LogitFlipTable(const BinaryLocalRule& rule,
+                               std::span<const uint32_t> degrees, double beta)
+    : rule_(rule), beta_(beta) {
+  LD_CHECK(beta >= 0.0, "LogitFlipTable: beta must be non-negative");
+  LD_CHECK(!degrees.empty(), "LogitFlipTable: empty degree set");
+  uint32_t max_degree = 0;
+  for (uint32_t d : degrees) max_degree = std::max(max_degree, d);
+  offset_.assign(size_t(max_degree) + 1, -1);
+  size_t total = 0;
+  for (uint32_t d : degrees) {
+    if (offset_[d] < 0) {
+      offset_[d] = int64_t(total);
+      total += size_t(d) + 1;
+    }
+  }
+  prob_.resize(total);
+  rebuild();
+}
+
+void LogitFlipTable::set_beta(double beta) {
+  LD_CHECK(beta >= 0.0, "LogitFlipTable: beta must be non-negative");
+  beta_ = beta;
+  rebuild();
+}
+
+void LogitFlipTable::rebuild() {
+  for (uint32_t d = 0; d < offset_.size(); ++d) {
+    if (offset_[d] < 0) continue;
+    for (uint32_t k = 0; k <= d; ++k) {
+      // Stable two-strategy softmax: sigma(beta * gap) evaluated through
+      // exp(-|z|) only, so beta in the hundreds neither overflows nor
+      // loses the tiny branch.
+      const double z = beta_ * rule_.utility_gap(k, d);
+      const double e = std::exp(-std::abs(z));
+      const double p_major = 1.0 / (1.0 + e);
+      prob_[size_t(offset_[d]) + k] = z >= 0.0 ? p_major : 1.0 - p_major;
+    }
+  }
+}
+
+}  // namespace logitdyn::local

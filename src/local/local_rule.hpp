@@ -1,0 +1,117 @@
+// The sampling-scale local layer (DESIGN.md §13) simulates logit dynamics
+// on local-interaction games with 10^5-10^7 *players*, never touching the
+// 2^n global state space. It is restricted to binary-strategy games whose
+// payoff to a vertex depends on its neighbourhood only through the COUNT
+// of neighbours playing strategy 1 — which covers both families the paper
+// studies at scale: graphical coordination games (Section 5) and the
+// Ising/Glauber dictionary (Section 1/5).
+//
+// This header defines that restriction as data: a BinaryLocalRule holds
+// the affine coefficients of u(s; k, d) in the neighbour-1 count k and the
+// degree d, plus the per-edge/per-vertex potential terms the streaming
+// observables need. A LogitFlipTable precomputes the logit flip
+// probability for every (degree, count) pair present in the topology, so
+// a single-site update is two RNG draws and one table read — O(1), with
+// the O(degree) cost paid only when a flip actually lands.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "games/coordination.hpp"
+
+namespace logitdyn::local {
+
+/// A binary-strategy local-interaction rule. For a vertex of degree `d`
+/// with `k` neighbours playing 1:
+///
+///   u(s; k, d) = util_k[s] * k + util_d[s] * d + util_c[s]
+///
+/// and the game potential decomposes as
+///
+///   Phi(x) = sum_{(u,v) in E} edge_phi[x_u][x_v] + sum_v vertex_phi[x_v]
+///
+/// with a SYMMETRIC edge term (edge_phi[s][t] == edge_phi[t][s]), so Phi
+/// is computable from the maintained fields alone in O(n), no edge scan.
+///
+/// For graphical coordination games u(s) matches Game::utility_row up to
+/// floating-point association (the row oracle accumulates per-edge payoffs
+/// in neighbour order; the rule multiplies counts). For Ising games u(s)
+/// differs from the PotentialGame row by a state-wide constant (the energy
+/// of the rest of the system), which cancels from the logit distribution —
+/// the cross-check contract is therefore on UPDATE DISTRIBUTIONS, not raw
+/// utilities (see update_rule_defect).
+struct BinaryLocalRule {
+  double util_k[2] = {0.0, 0.0};
+  double util_d[2] = {0.0, 0.0};
+  double util_c[2] = {0.0, 0.0};
+  double edge_phi[2][2] = {{0.0, 0.0}, {0.0, 0.0}};
+  double vertex_phi[2] = {0.0, 0.0};
+  std::string name = "binary-local";
+
+  double utility(int s, uint32_t ones, uint32_t degree) const {
+    return util_k[s] * double(ones) + util_d[s] * double(degree) + util_c[s];
+  }
+
+  /// u(1; k, d) - u(0; k, d): the only quantity the logit flip needs.
+  double utility_gap(uint32_t ones, uint32_t degree) const {
+    return utility(1, ones, degree) - utility(0, ones, degree);
+  }
+
+  /// Graphical coordination game (paper Section 5): each incident edge
+  /// pays the 2x2 coordination payoff; edge potential from
+  /// CoordinationGame::edge_potential.
+  static BinaryLocalRule graphical_coordination(
+      const CoordinationPayoffs& payoffs);
+
+  /// Ising model: H = -J sum sigma_u sigma_v - h sum sigma_v with spins
+  /// sigma = 2x - 1; u(s) is the (negated) local energy term.
+  static BinaryLocalRule ising(double coupling, double field = 0.0);
+};
+
+/// Precomputed logit flip probabilities: prob_one(d, k) is the probability
+/// that a revising vertex of degree d with k neighbours at 1 redraws
+/// strategy 1,
+///
+///   sigma(beta * (u(1) - u(0))) = 1 / (1 + exp(-beta * gap))
+///
+/// — exactly the two-strategy softmax of core/logit.hpp. Tables are built
+/// only for degrees that actually occur (O(sum over distinct degrees of
+/// d + 1) memory), via std::exp: the table is built once per beta, so it
+/// stays on the certified scalar path rather than fast_exp (§11).
+class LogitFlipTable {
+ public:
+  /// `degrees`: the per-vertex degree array of the topology (only the set
+  /// of distinct values matters).
+  LogitFlipTable(const BinaryLocalRule& rule,
+                 std::span<const uint32_t> degrees, double beta);
+
+  /// Rebuild the table in place for a new inverse temperature (the §8
+  /// set_beta idiom: sweeps reuse one engine).
+  void set_beta(double beta);
+  double beta() const { return beta_; }
+  const BinaryLocalRule& rule() const { return rule_; }
+
+  /// O(1); `degree` must occur in the construction degree set and
+  /// `ones <= degree`.
+  double prob_one(uint32_t degree, uint32_t ones) const {
+    return prob_[size_t(offset_[degree]) + ones];
+  }
+
+  /// True when `degree` has a table (for LD_CHECKs in callers/tests).
+  bool has_degree(uint32_t degree) const {
+    return degree < offset_.size() && offset_[degree] >= 0;
+  }
+
+ private:
+  void rebuild();
+
+  BinaryLocalRule rule_;
+  double beta_;
+  std::vector<int64_t> offset_;  // indexed by degree; -1 = absent
+  std::vector<double> prob_;
+};
+
+}  // namespace logitdyn::local

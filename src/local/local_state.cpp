@@ -1,0 +1,222 @@
+#include "local/local_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logit.hpp"
+#include "games/game.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn::local {
+
+LocalTopology::LocalTopology(const Graph& graph) {
+  const uint32_t n = graph.num_vertices();
+  LD_CHECK(n > 0, "LocalTopology: empty graph");
+  degree_.resize(n);
+  offsets_.resize(size_t(n) + 1);
+  offsets_[0] = 0;
+  for (uint32_t v = 0; v < n; ++v) {
+    degree_[v] = graph.degree(v);
+    offsets_[v + 1] = offsets_[v] + degree_[v];
+    max_degree_ = std::max(max_degree_, degree_[v]);
+  }
+  neighbors_.resize(offsets_[n]);
+  for (uint32_t v = 0; v < n; ++v) {
+    auto nbrs = graph.neighbors(v);
+    std::copy(nbrs.begin(), nbrs.end(), neighbors_.begin() + ptrdiff_t(offsets_[v]));
+  }
+}
+
+LocalState::LocalState(const LocalTopology* topology,
+                       const BinaryLocalRule* rule)
+    : topology_(topology), rule_(rule) {
+  LD_CHECK(topology != nullptr && rule != nullptr,
+           "LocalState: null topology or rule");
+  strategy_.assign(topology_->num_vertices(), 0);
+  field_.assign(topology_->num_vertices(), 0);
+}
+
+void LocalState::assign(uint8_t s) {
+  LD_CHECK(s <= 1, "LocalState: binary strategies only");
+  std::fill(strategy_.begin(), strategy_.end(), s);
+  rebuild_fields();
+}
+
+void LocalState::assign(std::span<const uint8_t> strategies) {
+  LD_CHECK(strategies.size() == strategy_.size(),
+           "LocalState: strategy vector size mismatch");
+  std::copy(strategies.begin(), strategies.end(), strategy_.begin());
+  rebuild_fields();
+}
+
+void LocalState::randomize(double p_one, Rng& rng) {
+  LD_CHECK(p_one >= 0.0 && p_one <= 1.0, "LocalState: p_one out of [0,1]");
+  for (auto& s : strategy_) s = rng.bernoulli(p_one) ? 1 : 0;
+  rebuild_fields();
+}
+
+double LocalState::magnetization() const {
+  const double n = double(num_players());
+  return (2.0 * double(ones_) - n) / n;
+}
+
+void LocalState::flip(uint32_t v) {
+  const uint8_t now = strategy_[v] ^ uint8_t(1);
+  strategy_[v] = now;
+  // Switching v to 1 raises every neighbour's count by 1; to 0, lowers it.
+  const int32_t delta = now ? 1 : -1;
+  for (uint32_t w : topology_->neighbors(v)) {
+    field_[w] = uint32_t(int64_t(field_[w]) + delta);
+  }
+  ones_ += delta;
+}
+
+void LocalState::adopt(std::span<const uint8_t> next, ThreadPool* pool) {
+  LD_CHECK(next.size() == strategy_.size(),
+           "LocalState: adopt size mismatch");
+  std::copy(next.begin(), next.end(), strategy_.begin());
+  rebuild_fields(pool);
+}
+
+void LocalState::rebuild_fields(ThreadPool* pool) {
+  const size_t n = strategy_.size();
+  auto recount = [&](size_t lo, size_t hi) {
+    int64_t local_ones = 0;
+    for (size_t v = lo; v < hi; ++v) {
+      uint32_t k = 0;
+      for (uint32_t w : topology_->neighbors(uint32_t(v))) k += strategy_[w];
+      field_[v] = k;
+      local_ones += strategy_[v];
+    }
+    return double(local_ones);
+  };
+  if (pool == nullptr) {
+    ones_ = int64_t(recount(0, n));
+    return;
+  }
+  // Fields are per-vertex writes (disjoint across blocks); the ones count
+  // is integer-valued so the blocked double reduction is still exact
+  // (counts are far below 2^53).
+  ones_ = int64_t(blocked_sum(*pool, n, recount));
+}
+
+void LocalState::rebuild_fields_grouped(std::span<LocalState* const> states,
+                                        ThreadPool* pool) {
+  if (states.empty()) return;
+  const LocalTopology& topo = *states[0]->topology_;
+  for (const LocalState* s : states) {
+    LD_CHECK(s->topology_ == states[0]->topology_,
+             "rebuild_fields_grouped: states must share one topology");
+  }
+  const size_t n = topo.num_vertices();
+  const size_t replicas = states.size();
+  const size_t blocks = (n + kReduceBlock - 1) / kReduceBlock;
+  // Per-(block, replica) ones partials, summed in block order afterwards —
+  // integer counts, so the result is exact and pool-size independent.
+  std::vector<int64_t> partial(blocks * replicas, 0);
+  auto run_block = [&](size_t blk) {
+    const size_t lo = blk * kReduceBlock;
+    const size_t hi = std::min(n, lo + kReduceBlock);
+    for (size_t v = lo; v < hi; ++v) {
+      auto nbrs = topo.neighbors(uint32_t(v));
+      for (size_t r = 0; r < replicas; ++r) {
+        LocalState& st = *states[r];
+        uint32_t k = 0;
+        for (uint32_t w : nbrs) k += st.strategy_[w];
+        st.field_[v] = k;
+        partial[blk * replicas + r] += st.strategy_[v];
+      }
+    }
+  };
+  if (pool != nullptr) {
+    parallel_for(*pool, 0, blocks, run_block);
+  } else {
+    for (size_t blk = 0; blk < blocks; ++blk) run_block(blk);
+  }
+  for (size_t r = 0; r < replicas; ++r) {
+    int64_t ones = 0;
+    for (size_t blk = 0; blk < blocks; ++blk) ones += partial[blk * replicas + r];
+    states[r]->ones_ = ones;
+  }
+}
+
+void LocalState::adopt_grouped(std::span<LocalState* const> states,
+                               std::span<const std::vector<uint8_t>> next,
+                               ThreadPool* pool) {
+  LD_CHECK(states.size() == next.size(),
+           "adopt_grouped: one next buffer per state");
+  for (size_t r = 0; r < states.size(); ++r) {
+    LD_CHECK(next[r].size() == states[r]->strategy_.size(),
+             "adopt_grouped: next buffer size mismatch");
+    std::copy(next[r].begin(), next[r].end(), states[r]->strategy_.begin());
+  }
+  rebuild_fields_grouped(states, pool);
+}
+
+double LocalState::potential(ThreadPool* pool) const {
+  const size_t n = strategy_.size();
+  const BinaryLocalRule& r = *rule_;
+  auto block = [&](size_t lo, size_t hi) {
+    double phi = 0.0;
+    for (size_t v = lo; v < hi; ++v) {
+      const int s = strategy_[v];
+      const double k = double(field_[v]);
+      const double d = double(topology_->degree(uint32_t(v)));
+      phi += 0.5 * ((d - k) * r.edge_phi[s][0] + k * r.edge_phi[s][1]) +
+             r.vertex_phi[s];
+    }
+    return phi;
+  };
+  if (pool == nullptr) return block(0, n);
+  return blocked_sum(*pool, n, block);
+}
+
+void LocalState::block_measure(std::span<double> out) const {
+  LD_CHECK(!out.empty(), "LocalState: block_measure needs >= 1 block");
+  const size_t n = strategy_.size();
+  const size_t blocks = out.size();
+  for (size_t b = 0; b < blocks; ++b) {
+    const size_t lo = b * n / blocks;
+    const size_t hi = (b + 1) * n / blocks;
+    int64_t count = 0;
+    for (size_t v = lo; v < hi; ++v) count += strategy_[v];
+    out[b] = hi > lo ? double(count) / double(hi - lo) : 0.0;
+  }
+}
+
+Profile LocalState::to_profile() const {
+  Profile x(strategy_.size());
+  for (size_t v = 0; v < strategy_.size(); ++v) x[v] = Strategy(strategy_[v]);
+  return x;
+}
+
+double update_rule_defect(const LocalState& state, const LogitFlipTable& table,
+                          const Game& game) {
+  const uint32_t n = state.num_players();
+  LD_CHECK(game.space().num_players() == int(n),
+           "update_rule_defect: player count mismatch");
+  LD_CHECK(game.space().max_strategies() == 2,
+           "update_rule_defect: binary games only");
+  Profile x = state.to_profile();
+  std::vector<double> sigma(2);
+  double defect = 0.0;
+  for (uint32_t v = 0; v < n; ++v) {
+    logit_update_distribution(game, table.beta(), int(v), x, sigma);
+    const double p1 =
+        table.prob_one(state.topology().degree(v), state.field(v));
+    defect = std::max(defect, std::abs(p1 - sigma[1]));
+  }
+  return defect;
+}
+
+uint64_t strategy_hash(std::span<const uint8_t> strategies) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (uint8_t s : strategies) {
+    h ^= s;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace logitdyn::local

@@ -1,0 +1,157 @@
+// LocalState (DESIGN.md §13): the per-vertex strategy array plus the
+// incrementally maintained local fields of the sampling-scale engine.
+//
+// The field of vertex v is the COUNT of neighbours currently playing 1 —
+// exactly the sufficient statistic BinaryLocalRule needs — maintained in
+// O(degree) per move via the PR-1 oracle idiom (update only what a move
+// touches, never rescan). Integer counts make maintenance EXACT: after any
+// move sequence the fields equal a fresh recount bit-for-bit, which is
+// what the randomized agreement tests pin.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "games/profile.hpp"
+#include "graph/graph.hpp"
+#include "local/local_rule.hpp"
+#include "rng/rng.hpp"
+
+namespace logitdyn {
+class ThreadPool;
+class Game;
+}  // namespace logitdyn
+
+namespace logitdyn::local {
+
+/// Flat CSR view of the social graph: one offsets array, one neighbour
+/// array, one degree array. Built once from graph/builders output and
+/// shared (by const reference) across every replica — at 10^6 vertices the
+/// adjacency is the dominant allocation and must not be per-replica.
+class LocalTopology {
+ public:
+  explicit LocalTopology(const Graph& graph);
+
+  uint32_t num_vertices() const { return uint32_t(degree_.size()); }
+  size_t num_edges() const { return neighbors_.size() / 2; }
+
+  std::span<const uint32_t> neighbors(uint32_t v) const {
+    return {neighbors_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+  uint32_t degree(uint32_t v) const { return degree_[v]; }
+  std::span<const uint32_t> degrees() const { return degree_; }
+  uint32_t max_degree() const { return max_degree_; }
+
+ private:
+  std::vector<size_t> offsets_;     // n + 1
+  std::vector<uint32_t> neighbors_; // 2 * |E|, sorted within each vertex
+  std::vector<uint32_t> degree_;    // n
+  uint32_t max_degree_ = 0;
+};
+
+/// Strategies + fields of one replica. Holds const pointers to the shared
+/// topology and rule (both must outlive the state). Memory: n bytes of
+/// strategies + 4n bytes of fields per replica.
+class LocalState {
+ public:
+  LocalState(const LocalTopology* topology, const BinaryLocalRule* rule);
+
+  const LocalTopology& topology() const { return *topology_; }
+  const BinaryLocalRule& rule() const { return *rule_; }
+  uint32_t num_players() const { return topology_->num_vertices(); }
+
+  // ------------------------------------------------------- initialization
+  /// Monochromatic start (every vertex plays `s`).
+  void assign(uint8_t s);
+  /// Copy an explicit strategy vector (size must match).
+  void assign(std::span<const uint8_t> strategies);
+  /// Independent Bernoulli(p_one) strategies, one uniform draw per vertex
+  /// in vertex order.
+  void randomize(double p_one, Rng& rng);
+
+  // --------------------------------------------------------------- access
+  std::span<const uint8_t> strategies() const { return strategy_; }
+  uint8_t strategy(uint32_t v) const { return strategy_[v]; }
+  /// Number of neighbours of `v` currently playing 1.
+  uint32_t field(uint32_t v) const { return field_[v]; }
+  std::span<const uint32_t> fields() const { return field_; }
+  /// Number of vertices currently playing 1.
+  int64_t ones() const { return ones_; }
+  /// Mean spin (2 * ones - n) / n in [-1, 1] — the magnetization of the
+  /// Ising dictionary; for coordination games, the adoption imbalance.
+  double magnetization() const;
+  bool consensus() const {
+    return ones_ == 0 || ones_ == int64_t(num_players());
+  }
+
+  // ---------------------------------------------------------------- moves
+  /// Flip vertex `v` to the opposite strategy: O(degree(v)) — updates the
+  /// neighbour fields, the ones count, and nothing else.
+  void flip(uint32_t v);
+
+  /// Overwrite the strategy array wholesale (concurrent rounds build the
+  /// next round in a separate buffer) and recount every field/one —
+  /// O(sum degree), sharded over `pool` in fixed kReduceBlock blocks when
+  /// a pool is given, so the recount is bit-identical at every pool size.
+  void adopt(std::span<const uint8_t> next, ThreadPool* pool);
+
+  /// Recount fields + ones from the current strategies (exact reference
+  /// for the incremental maintenance; also the initializer's worker).
+  void rebuild_fields(ThreadPool* pool = nullptr);
+
+  /// Grouped recount for a replica fleet: ONE topology traversal serves
+  /// every state (all must share the same topology) — the neighbour index
+  /// list of each vertex is loaded once and charged against R strategy
+  /// arrays. Per-state results are bit-identical to rebuild_fields().
+  static void rebuild_fields_grouped(std::span<LocalState* const> states,
+                                     ThreadPool* pool);
+
+  /// Grouped adopt: copy next[r] into states[r] and grouped-recount.
+  static void adopt_grouped(std::span<LocalState* const> states,
+                            std::span<const std::vector<uint8_t>> next,
+                            ThreadPool* pool);
+
+  // ---------------------------------------------------------- observables
+  /// Game potential from the maintained fields in O(n), no edge scan:
+  ///   Phi = 1/2 sum_v [(d_v - k_v) phi(s_v, 0) + k_v phi(s_v, 1)]
+  ///         + sum_v psi(s_v)
+  /// (the 1/2 un-double-counts the symmetric edge term). Deterministic
+  /// blocked reduction when a pool is given.
+  double potential(ThreadPool* pool = nullptr) const;
+
+  /// Per-block empirical measure: fraction of vertices playing 1 in each
+  /// of `out.size()` contiguous vertex blocks (the streaming stand-in for
+  /// the exact per-block occupation measures of the operator layer).
+  void block_measure(std::span<double> out) const;
+
+  /// Decode into the operator-scale Profile representation (small
+  /// instances only — this is the bridge the exact cross-checks use).
+  Profile to_profile() const;
+
+ private:
+  const LocalTopology* topology_;
+  const BinaryLocalRule* rule_;
+  std::vector<uint8_t> strategy_;
+  std::vector<uint32_t> field_;
+  int64_t ones_ = 0;
+};
+
+/// Exact cross-check against the operator-scale oracle (DESIGN.md §13):
+/// max over vertices of |table.prob_one(d_v, k_v) - sigma_v(1 | x)| where
+/// sigma is core/logit's update distribution on `game` at the table's
+/// beta. Zero up to rounding for any correctly maintained state; the
+/// contract is on distributions, not utilities, because potential-side
+/// oracles (Ising) report rows shifted by a state-wide constant. Small
+/// instances only (materializes a Profile and calls the O(degree) oracle
+/// per vertex).
+double update_rule_defect(const LocalState& state, const LogitFlipTable& table,
+                          const Game& game);
+
+/// FNV-1a hash of a strategy array — the compact trajectory fingerprint
+/// the bit-identity checks (tests, BENCH_local, local_mix) compare across
+/// pool sizes.
+uint64_t strategy_hash(std::span<const uint8_t> strategies);
+
+}  // namespace logitdyn::local

@@ -1,0 +1,179 @@
+#include "local/replica_fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/thread_pool.hpp"
+#include "support/error.hpp"
+#include "support/fit.hpp"
+#include "support/timer.hpp"
+
+namespace logitdyn::local {
+
+ReplicaFleet::ReplicaFleet(const LocalDynamics* dynamics, FleetOptions options)
+    : dynamics_(dynamics), options_(options) {
+  LD_CHECK(dynamics != nullptr, "ReplicaFleet: null dynamics");
+  LD_CHECK(options.replicas >= 1, "ReplicaFleet: need >= 1 replica");
+  LD_CHECK(options.cadence >= 1, "ReplicaFleet: cadence must be >= 1");
+}
+
+FleetSummary ReplicaFleet::run(uint64_t master_seed) const {
+  const uint32_t replicas = options_.replicas;
+  const uint64_t horizon = options_.horizon;
+  ThreadPool* pool = dynamics_->pool();
+
+  std::vector<LocalState> states;
+  states.reserve(replicas);
+  for (uint32_t r = 0; r < replicas; ++r) states.push_back(dynamics_->make_state());
+  std::vector<ObservableRecorder> recorders(
+      replicas, ObservableRecorder(options_.cadence, options_.measure_blocks));
+  std::vector<uint64_t> flips(replicas, 0);
+
+  Timer timer;
+  if (options_.kernel == Kernel::kAsync) {
+    // Replica r's whole trajectory (init draw included) comes from one
+    // stream seeded with replica_seed(master, r) — exactly what a
+    // standalone run would use, so fleets are replayable per replica.
+    auto run_replica = [&](size_t r) {
+      Rng rng(replica_seed(master_seed, r));
+      states[r].randomize(options_.init_p_one, rng);
+      // The recorder's potential() reductions run inline here (nested
+      // pool dispatch falls back) over the same fixed block partition, so
+      // values are bit-identical to a sequential run.
+      flips[r] = dynamics_->run_async(states[r], horizon, rng, &recorders[r]);
+    };
+    if (pool != nullptr) {
+      parallel_for(*pool, 0, replicas, run_replica);
+    } else {
+      for (size_t r = 0; r < replicas; ++r) run_replica(r);
+    }
+  } else {
+    // Concurrent replicas advance in lock-step so each round's field
+    // rebuild traverses the topology once for all R strategy arrays.
+    std::vector<uint64_t> seeds(replicas);
+    for (uint32_t r = 0; r < replicas; ++r) {
+      seeds[r] = replica_seed(master_seed, r);
+      Rng init(seeds[r]);
+      states[r].randomize(options_.init_p_one, init);
+    }
+    const LocalTopology& topo = dynamics_->topology();
+    const LogitFlipTable& table = dynamics_->flip_table();
+    const size_t n = topo.num_vertices();
+    const size_t shards = (n + kReduceBlock - 1) / kReduceBlock;
+    std::vector<std::vector<uint8_t>> next(replicas,
+                                           std::vector<uint8_t>(n));
+    std::vector<LocalState*> state_ptrs(replicas);
+    for (uint32_t r = 0; r < replicas; ++r) state_ptrs[r] = &states[r];
+    std::vector<uint64_t> shard_flips(shards * replicas);
+    for (uint64_t round = 0; round < horizon; ++round) {
+      auto run_shard = [&](size_t shard) {
+        const size_t lo = shard * kReduceBlock;
+        const size_t hi = std::min(n, lo + kReduceBlock);
+        // Per-replica streams, each consumed in ascending-vertex order —
+        // the same sequence a standalone run_concurrent would draw.
+        std::vector<Rng> rngs;
+        rngs.reserve(replicas);
+        for (uint32_t r = 0; r < replicas; ++r) {
+          rngs.push_back(shard_stream(seeds[r], round, shard));
+        }
+        for (size_t v = lo; v < hi; ++v) {
+          const uint32_t degree = topo.degree(uint32_t(v));
+          for (uint32_t r = 0; r < replicas; ++r) {
+            uint8_t s = states[r].strategy(uint32_t(v));
+            if (rngs[r].bernoulli(options_.revise_prob)) {
+              const double p1 =
+                  table.prob_one(degree, states[r].field(uint32_t(v)));
+              s = rngs[r].uniform() < p1 ? 1 : 0;
+            }
+            next[r][v] = s;
+            shard_flips[shard * replicas + r] +=
+                s != states[r].strategy(uint32_t(v));
+          }
+        }
+      };
+      if (pool != nullptr) {
+        parallel_for(*pool, 0, shards, run_shard);
+      } else {
+        for (size_t shard = 0; shard < shards; ++shard) run_shard(shard);
+      }
+      LocalState::adopt_grouped(state_ptrs, next, pool);
+      for (uint32_t r = 0; r < replicas; ++r) {
+        recorders[r].observe(round + 1, states[r], pool);
+      }
+    }
+    for (size_t shard = 0; shard < shards; ++shard) {
+      for (uint32_t r = 0; r < replicas; ++r) {
+        flips[r] += shard_flips[shard * replicas + r];
+      }
+    }
+  }
+  const double wall = timer.seconds();
+
+  FleetSummary summary = aggregate(recorders, states);
+  for (uint64_t f : flips) summary.total_flips += f;
+  summary.wall_seconds = wall;
+  const double opportunities =
+      options_.kernel == Kernel::kAsync
+          ? double(horizon) * double(replicas)
+          : double(horizon) * double(replicas) *
+                double(dynamics_->topology().num_vertices());
+  summary.players_per_sec = wall > 0.0 ? opportunities / wall : 0.0;
+  return summary;
+}
+
+FleetSummary ReplicaFleet::aggregate(
+    const std::vector<ObservableRecorder>& recorders,
+    const std::vector<LocalState>& states) const {
+  FleetSummary s;
+  const size_t replicas = recorders.size();
+  const size_t samples = recorders[0].steps().size();
+  for (const auto& rec : recorders) {
+    LD_CHECK(rec.steps().size() == samples,
+             "ReplicaFleet: replicas recorded different sample counts");
+  }
+  s.steps.assign(recorders[0].steps().begin(), recorders[0].steps().end());
+  s.mag_mean.resize(samples);
+  s.mag_var.resize(samples);
+  s.phi_mean.resize(samples);
+  s.phi_var.resize(samples);
+  s.survival.resize(samples);
+  for (size_t i = 0; i < samples; ++i) {
+    double mag_sum = 0.0, mag_sq = 0.0, phi_sum = 0.0, phi_sq = 0.0;
+    size_t alive = 0;
+    for (const auto& rec : recorders) {
+      const double m = rec.magnetization()[i];
+      const double p = rec.potential()[i];
+      mag_sum += m;
+      mag_sq += m * m;
+      phi_sum += p;
+      phi_sq += p * p;
+      const auto hit = rec.consensus_step();
+      alive += !(hit && double(*hit) <= rec.steps()[i]);
+    }
+    const double r = double(replicas);
+    s.mag_mean[i] = mag_sum / r;
+    s.mag_var[i] = std::max(0.0, mag_sq / r - s.mag_mean[i] * s.mag_mean[i]);
+    s.phi_mean[i] = phi_sum / r;
+    s.phi_var[i] = std::max(0.0, phi_sq / r - s.phi_mean[i] * s.phi_mean[i]);
+    s.survival[i] = double(alive) / r;
+  }
+  for (const auto& rec : recorders) s.consensus_count += rec.consensus_step().has_value();
+  s.final_magnetization.reserve(states.size());
+  for (const auto& st : states) s.final_magnetization.push_back(st.magnetization());
+
+  // Online tail estimate of time-to-consensus: slope of log S(t) over the
+  // strictly-decaying part of the survival curve.
+  std::vector<double> tx, ty;
+  for (size_t i = 0; i < samples; ++i) {
+    if (s.survival[i] > 0.0 && s.survival[i] < 1.0) {
+      tx.push_back(s.steps[i]);
+      ty.push_back(s.survival[i]);
+    }
+  }
+  if (tx.size() >= 2 && tx.front() < tx.back()) {
+    s.tail_rate = -fit_exponential_rate(tx, ty).slope;
+  }
+  return s;
+}
+
+}  // namespace logitdyn::local

@@ -1,0 +1,93 @@
+// ReplicaFleet (DESIGN.md §13): R independent trajectories of one
+// LocalDynamics engine with mean/variance aggregation of the streaming
+// observables — the sampling-scale sibling of core's ReplicaEnsemble.
+//
+// Async replicas parallelize ACROSS replicas (uneven trajectory work, one
+// pool task per replica). Concurrent replicas advance in lock-step rounds
+// with GROUPED field updates: each round traverses the topology once and
+// charges the neighbour lists against all R strategy arrays
+// (LocalState::rebuild_fields_grouped), amortizing the dominant memory
+// traffic. Either way, replica r is bit-identical to a standalone run
+// seeded with replica_seed(master_seed, r) — pinned by tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "local/local_dynamics.hpp"
+
+namespace logitdyn::local {
+
+enum class Kernel : uint8_t {
+  kAsync,       ///< one uniformly chosen player revises per step
+  kConcurrent,  ///< every player revises independently w.p. p per round
+};
+
+inline const char* kernel_name(Kernel k) {
+  return k == Kernel::kAsync ? "async" : "concurrent";
+}
+
+struct FleetOptions {
+  uint32_t replicas = 8;
+  Kernel kernel = Kernel::kAsync;
+  /// Concurrent kernels only: per-round independent revision probability.
+  double revise_prob = 0.5;
+  /// Async: single-site steps per replica. Concurrent: rounds per replica.
+  uint64_t horizon = 1000;
+  /// Observable sampling cadence (in steps/rounds).
+  uint64_t cadence = 100;
+  /// Blocks of the per-block empirical measure (0 disables).
+  size_t measure_blocks = 0;
+  /// Initial Bernoulli(p) strategy draw per vertex.
+  double init_p_one = 0.5;
+};
+
+/// Cross-replica aggregates. All per-sample vectors are indexed like
+/// `steps` (one entry per recorded cadence tick); variances are population
+/// variances across replicas.
+struct FleetSummary {
+  std::vector<double> steps;
+  std::vector<double> mag_mean;
+  std::vector<double> mag_var;
+  std::vector<double> phi_mean;
+  std::vector<double> phi_var;
+  /// Fraction of replicas NOT yet at consensus by each sample step — the
+  /// empirical survival function of the time-to-consensus.
+  std::vector<double> survival;
+  uint32_t consensus_count = 0;
+  /// Exponential tail rate of the survival function (slope of log S(t)),
+  /// fitted online over samples with 0 < S(t) < 1; absent when fewer than
+  /// two such samples exist.
+  std::optional<double> tail_rate;
+  /// Final per-replica magnetizations (for stationary estimates).
+  std::vector<double> final_magnetization;
+  uint64_t total_flips = 0;
+  double wall_seconds = 0.0;
+  /// Player-update opportunities per second: async counts one per step,
+  /// concurrent counts n per round (every player draws its revision coin),
+  /// summed over replicas. The BENCH_local throughput unit.
+  double players_per_sec = 0.0;
+};
+
+class ReplicaFleet {
+ public:
+  /// `dynamics` must outlive the fleet; its pool (possibly null) supplies
+  /// all parallelism.
+  ReplicaFleet(const LocalDynamics* dynamics, FleetOptions options);
+
+  const FleetOptions& options() const { return options_; }
+
+  /// Run all replicas from fresh randomized states and aggregate.
+  FleetSummary run(uint64_t master_seed) const;
+
+ private:
+  FleetSummary aggregate(
+      const std::vector<ObservableRecorder>& recorders,
+      const std::vector<LocalState>& states) const;
+
+  const LocalDynamics* dynamics_;
+  FleetOptions options_;
+};
+
+}  // namespace logitdyn::local

@@ -16,6 +16,7 @@ void register_builtin_experiments(ExperimentRegistry& registry) {
   register_hitting_vs_mixing(registry);
   register_ising_equivalence(registry);
   register_parallel_dynamics(registry);
+  register_local_mix(registry);
   register_explore(registry);
   register_worst_start(registry);
 }

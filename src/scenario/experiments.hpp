@@ -21,6 +21,7 @@ void register_ablation_methods(ExperimentRegistry& reg);
 void register_hitting_vs_mixing(ExperimentRegistry& reg);
 void register_ising_equivalence(ExperimentRegistry& reg);
 void register_parallel_dynamics(ExperimentRegistry& reg);
+void register_local_mix(ExperimentRegistry& reg);
 void register_explore(ExperimentRegistry& reg);
 void register_worst_start(ExperimentRegistry& reg);
 

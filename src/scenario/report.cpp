@@ -3,7 +3,9 @@
 #include <chrono>
 #include <cstdlib>
 #include <ctime>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <thread>
 
 #include "support/error.hpp"
@@ -208,6 +210,20 @@ Json environment_json() {
   // wall times from different tiers are not comparable, so perf_diff
   // skips wall-time gates when this differs between runs.
   env.set("simd_isa", std::string(isa_path_name(active_isa_path())));
+  // Peak resident set size — the context that makes sampling-scale BENCH
+  // rows (10^6+ players) interpretable. Linux-only (/proc/self/status
+  // VmHWM); the key is simply absent elsewhere, and the validator treats
+  // it as an additive field.
+  if (std::ifstream status("/proc/self/status"); status) {
+    std::string line;
+    while (std::getline(status, line)) {
+      if (line.rfind("VmHWM:", 0) != 0) continue;
+      std::istringstream fields(line.substr(6));
+      double kb = 0.0;
+      if (fields >> kb && kb > 0.0) env.set("peak_rss_mb", kb / 1024.0);
+      break;
+    }
+  }
   return env;
 }
 

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "graph/builders.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/graph.hpp"
@@ -89,6 +91,59 @@ TEST(BuildersTest, RandomRegularHasCorrectDegrees) {
   const Graph g = make_random_regular(12, 3, rng);
   for (uint32_t v = 0; v < 12; ++v) EXPECT_EQ(g.degree(v), 3u);
   EXPECT_THROW(make_random_regular(5, 3, rng), Error);  // n*d odd
+}
+
+TEST(BuildersTest, ErdosRenyiEdgeCountMatchesExpectation) {
+  // Geometric-skip sampler: |E| ~ Binomial(n(n-1)/2, p). Five std
+  // deviations of slack keeps the seeded check deterministic-safe.
+  Rng rng(29);
+  const uint32_t n = 20'000;
+  const double p = 4.0 / double(n);
+  const Graph g = make_erdos_renyi(n, p, rng);
+  const double pairs = 0.5 * double(n) * double(n - 1);
+  const double mean = pairs * p;
+  const double sd = std::sqrt(pairs * p * (1.0 - p));
+  EXPECT_NEAR(double(g.num_edges()), mean, 5.0 * sd);
+  for (const Edge& e : g.edges()) {
+    EXPECT_LT(e.u, e.v);
+    EXPECT_LT(e.v, n);
+  }
+}
+
+// The sampling-scale invariants of ISSUE 7: 10^5+-vertex builds must be
+// O(n * deg) — these run in milliseconds, and would time out (minutes)
+// with a quadratic pair scan or whole-matching rejection.
+TEST(BuildersTest, TorusAtScaleIsFourRegularAndConnected) {
+  const Graph g = make_torus(400, 250);  // n = 10^5
+  ASSERT_EQ(g.num_vertices(), 100'000u);
+  EXPECT_EQ(g.num_edges(), 200'000u);
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(g.degree(v), 4u) << "vertex " << v;
+  }
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(BuildersTest, RandomRegularAtScaleIsExactlyRegularAndConnected) {
+  Rng rng(7);
+  const uint32_t n = 100'000;
+  const Graph g = make_random_regular(n, 4, rng);
+  ASSERT_EQ(g.num_vertices(), n);
+  ASSERT_EQ(g.num_edges(), size_t(n) * 2);
+  for (uint32_t v = 0; v < n; ++v) {
+    ASSERT_EQ(g.degree(v), 4u) << "vertex " << v;
+  }
+  // A random 4-regular graph is connected with probability 1 - O(1/n);
+  // the seed is fixed, so this is a deterministic check.
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(BuildersTest, ErdosRenyiAtScaleBuildsSparse) {
+  Rng rng(13);
+  const uint32_t n = 100'000;
+  const Graph g = make_erdos_renyi(n, 3.0 / double(n), rng);
+  ASSERT_EQ(g.num_vertices(), n);
+  EXPECT_GT(g.num_edges(), 100'000u);
+  EXPECT_LT(g.num_edges(), 200'000u);
 }
 
 TEST(ConnectivityTest, ComponentsOfDisconnectedGraph) {

@@ -99,6 +99,13 @@ TEST(ReportTest, CapturesTablesNotesFitsAndSeeds) {
   const Json& env = doc.at("environment");
   EXPECT_TRUE(env.at("git_sha").is_string());
   EXPECT_TRUE(env.at("timestamp").is_string());
+#ifdef __linux__
+  // Peak RSS (satellite of ISSUE 7): read from /proc/self/status on
+  // Linux, omitted elsewhere — essential context for sampling-scale
+  // BENCH rows.
+  ASSERT_NE(env.find("peak_rss_mb"), nullptr);
+  EXPECT_GT(env.at("peak_rss_mb").as_double(), 0.0);
+#endif
 }
 
 TEST(ReportTest, SilencedReportProducesNoOutput) {

@@ -22,15 +22,20 @@ Files or rows present on only one side are reported but never fail
 the gate — that is how new benches seed the trajectory.
 
 Exit codes: 0 ok, 1 regression, 2 usage/parse error.
+
+`perf_diff.py --self-test` runs the built-in unit checks (new-row and
+new-file seeding, regression detection, environment-mismatch skip,
+exponent gate) and exits 0/1 — CI invokes it before trusting the gate.
 """
 
 import argparse
 import json
 import pathlib
 import sys
+import tempfile
 
-IDENTITY_KEYS = ("workload", "game", "states", "n", "replicas", "steps",
-                 "beta", "threads")
+IDENTITY_KEYS = ("workload", "game", "kernel", "topology", "states", "n",
+                 "replicas", "steps", "beta", "threads")
 
 # environment keys that make wall times incomparable when they differ
 # between the baseline and current documents.
@@ -111,14 +116,105 @@ def compare_file(name, base_doc, cur_doc, max_regression, min_abs_ms,
     return regressions, notes
 
 
-def main():
+def _bench_doc(rows, env=None):
+    doc = {"measurements": {"results": rows}}
+    if env is not None:
+        doc["environment"] = env
+    return doc
+
+
+def self_test():
+    """Unit checks of the gate's own semantics. Returns an exit code."""
+    failures = []
+
+    def check(name, condition):
+        if not condition:
+            failures.append(name)
+
+    # 1. A row present only in the new run is an informational note, never
+    #    a regression (how BENCH_local.json seeds the trajectory).
+    base = _bench_doc([{"workload": "w", "threads": 1, "wall_ms": 10.0}])
+    cur = _bench_doc([
+        {"workload": "w", "threads": 1, "wall_ms": 10.0},
+        {"workload": "local_concurrent", "kernel": "concurrent",
+         "threads": 1, "wall_ms": 50.0},
+    ])
+    regressions, notes = compare_file("t", base, cur, 0.20, 0.5, 0.20)
+    check("new row is not a failure", not regressions)
+    check("new row is noted", any("new row" in n for n in notes))
+
+    # 2. A tracked wall-time regression (> threshold, > min-abs) gates.
+    cur = _bench_doc([{"workload": "w", "threads": 1, "wall_ms": 20.0}])
+    regressions, _ = compare_file("t", base, cur, 0.20, 0.5, 0.20)
+    check("2x slowdown gates", len(regressions) == 1)
+
+    # 3. Sub-threshold and sub-millisecond slowdowns do not gate.
+    cur = _bench_doc([{"workload": "w", "threads": 1, "wall_ms": 11.0}])
+    regressions, _ = compare_file("t", base, cur, 0.20, 0.5, 0.20)
+    check("10% slowdown passes", not regressions)
+    tiny_base = _bench_doc([{"workload": "w", "wall_ms": 0.1}])
+    tiny_cur = _bench_doc([{"workload": "w", "wall_ms": 0.3}])
+    regressions, _ = compare_file("t", tiny_base, tiny_cur, 0.20, 0.5, 0.20)
+    check("sub-ms noise passes", not regressions)
+
+    # 4. Environment mismatch on thread count / ISA skips wall gating.
+    base_env = _bench_doc([{"workload": "w", "wall_ms": 10.0}],
+                          env={"threads": 8, "simd_isa": "avx512"})
+    cur_env = _bench_doc([{"workload": "w", "wall_ms": 40.0}],
+                         env={"threads": 2, "simd_isa": "sse2"})
+    regressions, notes = compare_file("t", base_env, cur_env, 0.20, 0.5, 0.20)
+    check("env mismatch skips wall gate", not regressions)
+    check("env mismatch is noted", any("environment differs" in n
+                                       for n in notes))
+
+    # 5. Scaling-exponent drops gate even across environments; rows with
+    #    distinct identity (kernel/topology) never cross-match.
+    base = _bench_doc([
+        {"workload": "w", "kernel": "concurrent", "scaling_exponent": 0.8},
+        {"workload": "w", "kernel": "async", "scaling_exponent": 0.1},
+    ])
+    cur = _bench_doc([
+        {"workload": "w", "kernel": "concurrent", "scaling_exponent": 0.3},
+        {"workload": "w", "kernel": "async", "scaling_exponent": 0.1},
+    ])
+    regressions, _ = compare_file("t", base, cur, 0.20, 0.5, 0.20)
+    check("exponent drop gates once", len(regressions) == 1)
+
+    # 6. End-to-end: a BENCH file present only in the current directory
+    #    seeds the trajectory (exit 0); a regressing file exits 1.
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        (root / "base").mkdir()
+        (root / "cur").mkdir()
+        shared = _bench_doc([{"workload": "w", "wall_ms": 10.0}])
+        (root / "base" / "BENCH_a.json").write_text(json.dumps(shared))
+        (root / "cur" / "BENCH_a.json").write_text(json.dumps(shared))
+        (root / "cur" / "BENCH_local.json").write_text(json.dumps(
+            _bench_doc([{"workload": "local_concurrent", "wall_ms": 5.0}])))
+        check("new file seeds trajectory",
+              run_diff([str(root / "base"), str(root / "cur")]) == 0)
+        (root / "cur" / "BENCH_a.json").write_text(json.dumps(
+            _bench_doc([{"workload": "w", "wall_ms": 30.0}])))
+        check("regressing file exits 1",
+              run_diff([str(root / "base"), str(root / "cur")]) == 1)
+
+    if failures:
+        print("perf_diff --self-test FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("perf_diff --self-test: all checks passed")
+    return 0
+
+
+def run_diff(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline_dir", type=pathlib.Path)
     parser.add_argument("current_dir", type=pathlib.Path)
     parser.add_argument("--max-regression", type=float, default=0.20)
     parser.add_argument("--min-abs-ms", type=float, default=0.5)
     parser.add_argument("--max-exponent-drop", type=float, default=0.20)
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
 
     if not args.baseline_dir.is_dir() or not args.current_dir.is_dir():
         print("perf_diff: baseline or current directory missing",
@@ -166,6 +262,12 @@ def main():
         return 1
     print(f"perf_diff: {compared} file(s) compared, gate passed")
     return 0
+
+
+def main():
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
+    return run_diff(sys.argv[1:])
 
 
 if __name__ == "__main__":

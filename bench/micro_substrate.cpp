@@ -46,6 +46,7 @@
 #include "scenario/report.hpp"
 #include "scenario/scenario.hpp"
 #include "support/error.hpp"
+#include "support/io.hpp"
 #include "support/json.hpp"
 #include "support/timer.hpp"
 
@@ -87,9 +88,8 @@ void write_bench_document(const std::string& path, const std::string& name,
   if (!scenario::validate_report_json(doc, &error)) {
     throw Error("BENCH JSON fails its own schema: " + error);
   }
-  std::ofstream out(path);
-  if (!out) throw Error("cannot write " + path);
-  out << doc.dump(2) << "\n";
+  // Atomic (DESIGN.md §14): perf_diff.py never sees a truncated artifact.
+  write_file_atomic(path, doc.dump(2) + "\n");
 }
 
 double time_best_of(int reps, const std::function<void()>& body) {

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "analysis/tv.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/error.hpp"
+#include "support/fault_injection.hpp"
+#include "support/run_control.hpp"
 
 namespace logitdyn {
 
@@ -60,13 +63,18 @@ double evolve_step_fused_tv(const CsrMatrix& t, std::span<const double> pi,
       },
       ws.tv_partials);
   ws.dist.swap(ws.next);
+  if (!std::isfinite(sum)) {
+    throw NumericalError(
+        "evolve_step_fused_tv: non-finite TV reduction — the evolved "
+        "distribution contains NaN/Inf");
+  }
   return 0.5 * sum;
 }
 
 /// Blocked TV of one length-n row of a batched buffer against pi.
 double batched_tv(std::span<const double> row, std::span<const double> pi,
                   std::vector<double>& partials) {
-  const double sum = blocked_sum(
+  double sum = blocked_sum(
       ThreadPool::global(), row.size(),
       [&](size_t lo, size_t hi) {
         double acc = 0.0;
@@ -74,6 +82,17 @@ double batched_tv(std::span<const double> row, std::span<const double> pi,
         return acc;
       },
       partials);
+  if (fault::any_armed() && fault::should_fire(fault::Point::kTvNaN)) {
+    sum = std::numeric_limits<double>::quiet_NaN();
+  }
+  // Health guard (DESIGN.md §14): a NaN in the evolved distribution would
+  // otherwise masquerade as "tv > eps forever" and burn the whole step
+  // budget before reporting non-convergence.
+  if (!std::isfinite(sum)) {
+    throw NumericalError(
+        "batched_tv: non-finite TV reduction — the evolved distribution "
+        "contains NaN/Inf");
+  }
   return 0.5 * sum;
 }
 
@@ -81,7 +100,7 @@ double batched_tv(std::span<const double> row, std::span<const double> pi,
 
 MixingResult mixing_time_doubling(const DenseMatrix& p,
                                   std::span<const double> pi, double eps,
-                                  uint64_t max_time) {
+                                  uint64_t max_time, RunControl* control) {
   LD_CHECK(p.rows() == p.cols(), "mixing_time_doubling: square required");
   LD_CHECK(pi.size() == p.rows(), "mixing_time_doubling: pi size mismatch");
   LD_CHECK(eps > 0 && eps < 1, "mixing_time_doubling: eps in (0,1)");
@@ -105,6 +124,16 @@ MixingResult mixing_time_doubling(const DenseMatrix& p,
       result.time = t;
       result.distance = d_hi;
       result.converged = false;
+      return result;
+    }
+    // Cancellation point: one poll per O(|S|^3) squaring. On interrupt
+    // report the last certified power as the (unconverged) partial.
+    if (control != nullptr &&
+        control->poll("doubling") != RunStatus::kCompleted) {
+      result.time = t;
+      result.distance = d_hi;
+      result.converged = false;
+      result.interrupted = true;
       return result;
     }
     DenseMatrix sq = matmul(powers.back(), powers.back());
@@ -133,6 +162,17 @@ MixingResult mixing_time_doubling(const DenseMatrix& p,
   }
   double d_best = d_hi;
   for (size_t j = k - 1; j-- > 0;) {
+    if (control != nullptr &&
+        control->poll("doubling") != RunStatus::kCompleted) {
+      // Mid-bisection interrupt: t is bracketed in (lo, lo + 2^{j+1}];
+      // hand back the certified upper end of the bracket, unconverged.
+      result.time = lo + (uint64_t(1) << (j + 1));
+      result.distance = d_best;
+      result.distance_prev = d_lo;
+      result.converged = false;
+      result.interrupted = true;
+      return result;
+    }
     DenseMatrix probe = matmul(m_lo, powers[j]);
     result.max_row_defect =
         std::max(result.max_row_defect, renormalize_rows(probe));
@@ -204,7 +244,8 @@ MixingResult mixing_time_spectral(const SpectralEvaluator& evaluator,
 MixingResult mixing_time_from_state(const CsrMatrix& p, size_t start,
                                     std::span<const double> pi, double eps,
                                     uint64_t max_steps,
-                                    MixingWorkspace& workspace) {
+                                    MixingWorkspace& workspace,
+                                    RunControl* control) {
   const size_t n = p.rows();
   LD_CHECK(p.cols() == n, "mixing_time_from_state: square required");
   LD_CHECK(start < n, "mixing_time_from_state: start out of range");
@@ -222,6 +263,14 @@ MixingResult mixing_time_from_state(const CsrMatrix& p, size_t start,
   }
   const CsrMatrix& transpose = p.transposed_view();
   for (uint64_t t = 1; t <= max_steps; ++t) {
+    if (control != nullptr &&
+        control->poll("evolve_single") != RunStatus::kCompleted) {
+      result.time = t - 1;
+      result.distance = prev_tv;
+      result.converged = false;
+      result.interrupted = true;
+      return result;
+    }
     const double tv = evolve_step_fused_tv(transpose, pi, workspace);
     if (tv <= eps) {
       result.time = t;
@@ -240,9 +289,10 @@ MixingResult mixing_time_from_state(const CsrMatrix& p, size_t start,
 
 MixingResult mixing_time_from_state(const CsrMatrix& p, size_t start,
                                     std::span<const double> pi, double eps,
-                                    uint64_t max_steps) {
+                                    uint64_t max_steps, RunControl* control) {
   MixingWorkspace workspace;
-  return mixing_time_from_state(p, start, pi, eps, max_steps, workspace);
+  return mixing_time_from_state(p, start, pi, eps, max_steps, workspace,
+                                control);
 }
 
 namespace {
@@ -262,7 +312,8 @@ void evolve_starts(const LinearOperator& op, std::span<const double> pi,
                    std::span<const size_t> starts, double eps,
                    uint64_t max_steps, OperatorMixingWorkspace& ws,
                    std::span<MixingResult> results,
-                   std::vector<double>* envelope, uint64_t* vector_steps) {
+                   std::vector<double>* envelope, uint64_t* vector_steps,
+                   RunControl* control = nullptr) {
   const size_t n = op.size();
   auto merge_envelope = [&](uint64_t t, double tv) {
     if (!envelope) return;
@@ -296,6 +347,19 @@ void evolve_starts(const LinearOperator& op, std::span<const double> pi,
   }
 
   for (uint64_t t = 1; batch > 0 && t <= max_steps; ++t) {
+    // Cancellation point (DESIGN.md §14): one poll per batched evolution
+    // step. Interrupted starts report the last step they actually took.
+    if (control != nullptr &&
+        control->poll("evolve", batch) != RunStatus::kCompleted) {
+      for (size_t row = 0; row < batch; ++row) {
+        const size_t b = ws.active[row];
+        results[b].time = t - 1;
+        results[b].distance = ws.prev_tv[row];
+        results[b].converged = false;
+        results[b].interrupted = true;
+      }
+      return;
+    }
     op.apply_many(std::span<const double>(ws.cur.data(), batch * n),
                   std::span<double>(ws.nxt.data(), batch * n), batch);
     if (vector_steps) *vector_steps += batch;
@@ -343,7 +407,8 @@ OperatorMixingResult mixing_time_operator(const LinearOperator& op,
                                           std::span<const double> pi,
                                           std::span<const size_t> starts,
                                           double eps, uint64_t max_steps,
-                                          OperatorMixingWorkspace& workspace) {
+                                          OperatorMixingWorkspace& workspace,
+                                          RunControl* control) {
   const size_t n = op.size();
   LD_CHECK(pi.size() == n, "mixing_time_operator: pi size mismatch");
   LD_CHECK(!starts.empty(), "mixing_time_operator: need at least one start");
@@ -354,7 +419,7 @@ OperatorMixingResult mixing_time_operator(const LinearOperator& op,
   OperatorMixingResult out;
   out.per_start.resize(starts.size());
   evolve_starts(op, pi, starts, eps, max_steps, workspace, out.per_start,
-                /*envelope=*/nullptr, /*vector_steps=*/nullptr);
+                /*envelope=*/nullptr, /*vector_steps=*/nullptr, control);
 
   // Worst start: the largest mixing time; any unconverged start wins.
   const MixingResult* worst = &out.per_start.front();
@@ -368,16 +433,19 @@ OperatorMixingResult mixing_time_operator(const LinearOperator& op,
 OperatorMixingResult mixing_time_operator(const LinearOperator& op,
                                           std::span<const double> pi,
                                           std::span<const size_t> starts,
-                                          double eps, uint64_t max_steps) {
+                                          double eps, uint64_t max_steps,
+                                          RunControl* control) {
   OperatorMixingWorkspace workspace;
-  return mixing_time_operator(op, pi, starts, eps, max_steps, workspace);
+  return mixing_time_operator(op, pi, starts, eps, max_steps, workspace,
+                              control);
 }
 
 WorstStartCertificate certify_worst_start(const LinearOperator& op,
                                           std::span<const double> pi,
                                           double eps, uint64_t max_steps,
                                           size_t batch,
-                                          double per_step_defect) {
+                                          double per_step_defect,
+                                          RunControl* control) {
   const size_t n = op.size();
   LD_CHECK(pi.size() == n, "certify_worst_start: pi size mismatch");
   LD_CHECK(eps > 0 && eps < 1, "certify_worst_start: eps in (0,1)");
@@ -397,7 +465,7 @@ WorstStartCertificate certify_worst_start(const LinearOperator& op,
     for (size_t s = lo; s < hi; ++s) ws.starts[s - lo] = s;
     evolve_starts(op, pi, ws.starts, eps, max_steps, ws,
                   std::span<MixingResult>(results.data(), hi - lo),
-                  &cert.envelope, &cert.vector_steps);
+                  &cert.envelope, &cert.vector_steps, control);
     for (size_t b = 0; b < hi - lo; ++b) {
       if (!have_worst || slower_than(results[b], cert.worst)) {
         cert.worst = results[b];
@@ -405,6 +473,9 @@ WorstStartCertificate certify_worst_start(const LinearOperator& op,
         have_worst = true;
       }
     }
+    // Once interrupted, later blocks would stop at their first poll
+    // anyway; the partial certificate covers the blocks evolved so far.
+    if (control != nullptr && control->interrupted()) break;
   }
   // d(t-1) certifying the crossing: the envelope at the last step the
   // worst start was still above eps (exact there; see envelope contract).
@@ -471,6 +542,15 @@ FilteredMixingResult mixing_time_filtered(const LinearOperator& op,
   std::vector<double> partials;
   const uint64_t warm_end = std::min<uint64_t>(opts.warmup_steps, max_steps);
   for (uint64_t t = 1; t <= warm_end; ++t) {
+    if (opts.control != nullptr &&
+        opts.control->poll("filtered_warmup") != RunStatus::kCompleted) {
+      out.worst.time = t - 1;  // d_prev/arg_prev describe step t - 1
+      out.worst.distance = d_prev;
+      out.worst.converged = false;
+      out.worst.interrupted = true;
+      out.worst_start = arg_prev;
+      return out;
+    }
     op.apply_many(std::span<const double>(cur.data(), count * n),
                   std::span<double>(nxt.data(), count * n), count);
     out.applies += 1;
@@ -507,6 +587,7 @@ FilteredMixingResult mixing_time_filtered(const LinearOperator& op,
   // Probing phase: doubling then bisection on the Chebyshev estimates.
   out.used_chebyshev = true;
   ChebyshevEvolver evolver(op, pi, interval, &pool, opts.max_degree);
+  evolver.set_control(opts.control);
   std::vector<double> ys(count * n);
   auto probe = [&](uint64_t t) {
     const ChebyshevEvolver::Result r =
@@ -528,48 +609,62 @@ FilteredMixingResult mixing_time_filtered(const LinearOperator& op,
   };
 
   uint64_t lo = warm_end;  // d(warm_end) > eps — the warmup established it
-  uint64_t hi = 0;
-  double d_hi = 0.0;
-  size_t hi_arg = 0;
-  uint64_t t = std::max<uint64_t>(1, warm_end * 2);
-  for (;;) {
-    t = std::min(t, max_steps);
-    const auto [d_t, arg] = probe(t);
-    if (d_t <= eps) {
-      hi = t;
-      d_hi = d_t;
-      hi_arg = arg;
-      break;
+  try {
+    uint64_t hi = 0;
+    double d_hi = 0.0;
+    size_t hi_arg = 0;
+    uint64_t t = std::max<uint64_t>(1, warm_end * 2);
+    for (;;) {
+      t = std::min(t, max_steps);
+      const auto [d_t, arg] = probe(t);
+      if (d_t <= eps) {
+        hi = t;
+        d_hi = d_t;
+        hi_arg = arg;
+        break;
+      }
+      lo = t;
+      d_prev = d_t;
+      arg_prev = arg;
+      if (t >= max_steps) {
+        out.worst.time = max_steps;
+        out.worst.distance = d_t;
+        out.worst.converged = false;
+        out.worst_start = arg;
+        return out;
+      }
+      t *= 2;
     }
-    lo = t;
-    d_prev = d_t;
-    if (t >= max_steps) {
-      out.worst.time = max_steps;
-      out.worst.distance = d_t;
-      out.worst.converged = false;
-      out.worst_start = arg;
-      return out;
+    while (hi - lo > 1) {
+      const uint64_t mid = lo + (hi - lo) / 2;
+      const auto [d_mid, arg] = probe(mid);
+      if (d_mid <= eps) {
+        hi = mid;
+        d_hi = d_mid;
+        hi_arg = arg;
+      } else {
+        lo = mid;
+        d_prev = d_mid;
+        arg_prev = arg;
+      }
     }
-    t *= 2;
+    out.worst.time = hi;
+    out.worst.distance = d_hi;
+    out.worst.distance_prev = d_prev;
+    out.worst.converged = true;
+    out.worst_start = hi_arg;
+    return out;
+  } catch (const InterruptedError&) {
+    // A probe was unwound mid-recurrence by the evolver's cancellation
+    // point. lo is the last horizon KNOWN to sit above eps — report the
+    // bracket as the partial result (DESIGN.md §14).
+    out.worst.time = lo;
+    out.worst.distance = d_prev;
+    out.worst.converged = false;
+    out.worst.interrupted = true;
+    out.worst_start = arg_prev;
+    return out;
   }
-  while (hi - lo > 1) {
-    const uint64_t mid = lo + (hi - lo) / 2;
-    const auto [d_mid, arg] = probe(mid);
-    if (d_mid <= eps) {
-      hi = mid;
-      d_hi = d_mid;
-      hi_arg = arg;
-    } else {
-      lo = mid;
-      d_prev = d_mid;
-    }
-  }
-  out.worst.time = hi;
-  out.worst.distance = d_hi;
-  out.worst.distance_prev = d_prev;
-  out.worst.converged = true;
-  out.worst_start = hi_arg;
-  return out;
 }
 
 FilteredWorstStartCertificate certify_worst_start_filtered(
@@ -585,6 +680,7 @@ FilteredWorstStartCertificate certify_worst_start_filtered(
   FilteredWorstStartCertificate cert;
   ThreadPool& pool = opts.pool ? *opts.pool : ThreadPool::global();
   ChebyshevEvolver evolver(op, pi, interval, &pool, opts.max_degree);
+  evolver.set_control(opts.control);
   std::vector<double> xs(batch * n), ys(batch * n);
 
   // One probe = every delta start evolved to horizon t in blocks of
@@ -637,50 +733,64 @@ FilteredWorstStartCertificate certify_worst_start_filtered(
   }
 
   uint64_t lo = 0;
-  uint64_t hi = 0;
-  double d_hi = 0.0;
-  size_t hi_arg = 0;
-  uint64_t t = 1;
-  for (;;) {
-    t = std::min(t, max_steps);
-    const auto [d_t, arg] = probe(t);
-    if (d_t <= eps) {
-      hi = t;
-      d_hi = d_t;
-      hi_arg = arg;
-      break;
+  try {
+    uint64_t hi = 0;
+    double d_hi = 0.0;
+    size_t hi_arg = 0;
+    uint64_t t = 1;
+    for (;;) {
+      t = std::min(t, max_steps);
+      const auto [d_t, arg] = probe(t);
+      if (d_t <= eps) {
+        hi = t;
+        d_hi = d_t;
+        hi_arg = arg;
+        break;
+      }
+      lo = t;
+      d_prev = d_t;
+      arg_prev = arg;
+      if (t >= max_steps) {
+        cert.worst.time = max_steps;
+        cert.worst.distance = d_t;
+        cert.worst.converged = false;
+        cert.worst_start = arg;
+        cert.dense_steps = uint64_t(n) * max_steps;
+        return cert;
+      }
+      t *= 2;
     }
-    lo = t;
-    d_prev = d_t;
-    if (t >= max_steps) {
-      cert.worst.time = max_steps;
-      cert.worst.distance = d_t;
-      cert.worst.converged = false;
-      cert.worst_start = arg;
-      cert.dense_steps = uint64_t(n) * max_steps;
-      return cert;
+    while (hi - lo > 1) {
+      const uint64_t mid = lo + (hi - lo) / 2;
+      const auto [d_mid, arg] = probe(mid);
+      if (d_mid <= eps) {
+        hi = mid;
+        d_hi = d_mid;
+        hi_arg = arg;
+      } else {
+        lo = mid;
+        d_prev = d_mid;
+        arg_prev = arg;
+      }
     }
-    t *= 2;
+    cert.worst.time = hi;
+    cert.worst.distance = d_hi;
+    cert.worst.distance_prev = d_prev;
+    cert.worst.converged = true;
+    cert.worst_start = hi_arg;
+    cert.dense_steps = uint64_t(n) * cert.worst.time;
+    return cert;
+  } catch (const InterruptedError&) {
+    // Probe unwound mid-recurrence; lo is the last horizon certified to
+    // sit above eps. Partial certificate over the probes already paid.
+    cert.worst.time = lo;
+    cert.worst.distance = d_prev;
+    cert.worst.converged = false;
+    cert.worst.interrupted = true;
+    cert.worst_start = arg_prev;
+    cert.dense_steps = uint64_t(n) * cert.worst.time;
+    return cert;
   }
-  while (hi - lo > 1) {
-    const uint64_t mid = lo + (hi - lo) / 2;
-    const auto [d_mid, arg] = probe(mid);
-    if (d_mid <= eps) {
-      hi = mid;
-      d_hi = d_mid;
-      hi_arg = arg;
-    } else {
-      lo = mid;
-      d_prev = d_mid;
-    }
-  }
-  cert.worst.time = hi;
-  cert.worst.distance = d_hi;
-  cert.worst.distance_prev = d_prev;
-  cert.worst.converged = true;
-  cert.worst_start = hi_arg;
-  cert.dense_steps = uint64_t(n) * cert.worst.time;
-  return cert;
 }
 
 }  // namespace logitdyn

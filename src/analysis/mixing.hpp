@@ -28,11 +28,17 @@
 
 namespace logitdyn {
 
+class RunControl;
+
 struct MixingResult {
   uint64_t time = 0;          ///< t_mix(eps): first t with d(t) <= eps
   double distance = 0.0;      ///< d(t_mix)
   double distance_prev = 1.0; ///< d(t_mix - 1) (> eps, certifies tightness)
   bool converged = false;     ///< false if max_time was hit
+  /// Stopped early by a RunControl interrupt (DESIGN.md §14): `time` and
+  /// `distance` describe the last step actually evolved (or, for the
+  /// bracketing drivers, the best-known bound), converged is false.
+  bool interrupted = false;
   /// Numerical-health telemetry: the largest row-sum defect |1 - sum_j
   /// P^t(x, j)| that renormalization corrected during repeated dense
   /// squaring (0 for the evolution paths, which never square).
@@ -40,10 +46,12 @@ struct MixingResult {
 };
 
 /// Worst-case-start mixing time by matrix-power doubling + bisection.
+/// `control` (nullable) is polled once per squaring / bisection probe.
 MixingResult mixing_time_doubling(const DenseMatrix& p,
                                   std::span<const double> pi,
                                   double eps = 0.25,
-                                  uint64_t max_time = uint64_t(1) << 34);
+                                  uint64_t max_time = uint64_t(1) << 34,
+                                  RunControl* control = nullptr);
 
 /// Worst-case-start mixing time via a prebuilt spectral evaluator.
 MixingResult mixing_time_spectral(const SpectralEvaluator& evaluator,
@@ -67,11 +75,13 @@ struct MixingWorkspace {
 MixingResult mixing_time_from_state(const CsrMatrix& p, size_t start,
                                     std::span<const double> pi,
                                     double eps, uint64_t max_steps,
-                                    MixingWorkspace& workspace);
+                                    MixingWorkspace& workspace,
+                                    RunControl* control = nullptr);
 MixingResult mixing_time_from_state(const CsrMatrix& p, size_t start,
                                     std::span<const double> pi,
                                     double eps = 0.25,
-                                    uint64_t max_steps = 100000000);
+                                    uint64_t max_steps = 100000000,
+                                    RunControl* control = nullptr);
 
 /// Multi-start TV evolution through a LinearOperator.
 struct OperatorMixingResult {
@@ -104,12 +114,14 @@ OperatorMixingResult mixing_time_operator(const LinearOperator& op,
                                           std::span<const double> pi,
                                           std::span<const size_t> starts,
                                           double eps, uint64_t max_steps,
-                                          OperatorMixingWorkspace& workspace);
+                                          OperatorMixingWorkspace& workspace,
+                                          RunControl* control = nullptr);
 OperatorMixingResult mixing_time_operator(const LinearOperator& op,
                                           std::span<const double> pi,
                                           std::span<const size_t> starts,
                                           double eps = 0.25,
-                                          uint64_t max_steps = 1u << 22);
+                                          uint64_t max_steps = 1u << 22,
+                                          RunControl* control = nullptr);
 
 /// Certified worst-start mixing at operator scale (DESIGN.md §11): the
 /// result of evolving EVERY delta start through the operator, i.e. the
@@ -154,7 +166,8 @@ WorstStartCertificate certify_worst_start(const LinearOperator& op,
                                           double eps = 0.25,
                                           uint64_t max_steps = 1u << 22,
                                           size_t batch = 64,
-                                          double per_step_defect = 0.0);
+                                          double per_step_defect = 0.0,
+                                          RunControl* control = nullptr);
 
 // -------------------------------------------------- filtered (Chebyshev)
 //
@@ -184,6 +197,11 @@ struct FilteredMixingOptions {
   /// Pool for the evolver's elementwise/reduction passes; nullptr =
   /// ThreadPool::global().
   ThreadPool* pool = nullptr;
+  /// Cooperative cancellation (DESIGN.md §14): polled per warmup step and
+  /// per probe, and handed to the ChebyshevEvolver so a mid-recurrence
+  /// interrupt unwinds too. The drivers return a partial result with
+  /// worst.interrupted = true.
+  RunControl* control = nullptr;
 };
 
 struct FilteredMixingResult {

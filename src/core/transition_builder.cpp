@@ -7,10 +7,16 @@
 
 #include "core/logit.hpp"
 #include "support/error.hpp"
+#include "support/run_control.hpp"
 
 namespace logitdyn {
 
 namespace {
+
+/// Cancellation stride inside a build shard: rows between control polls.
+/// Row enumeration is one batched oracle call plus O(total_strategies)
+/// arithmetic, so a few hundred rows amortize the poll to noise.
+constexpr size_t kBuildPollStride = 512;
 
 size_t shard_count(ThreadPool& pool, size_t total) {
   return std::max<size_t>(1, std::min(pool.num_threads(), total));
@@ -81,6 +87,9 @@ void TransitionBuilder::build_dense_rows(size_t lo, size_t hi,
   Profile x;
   std::vector<double> rows(sp.total_strategies());
   for (size_t idx = lo; idx < hi; ++idx) {
+    if (control_ != nullptr && (idx - lo) % kBuildPollStride == 0) {
+      control_->checkpoint("build", std::min(kBuildPollStride, hi - idx));
+    }
     sp.decode_into(idx, x);
     // One batched update-rule call per state: every player's
     // sigma_i(. | x) in a single oracle pass (Eq. (2) per row).
@@ -127,6 +136,9 @@ void TransitionBuilder::build_csr_rows(size_t lo, size_t hi, double drop_tol,
   std::vector<std::pair<uint32_t, double>> entries;
   entries.reserve(sp.total_strategies() + 1);
   for (size_t idx = lo; idx < hi; ++idx) {
+    if (control_ != nullptr && (idx - lo) % kBuildPollStride == 0) {
+      control_->checkpoint("build", std::min(kBuildPollStride, hi - idx));
+    }
     sp.decode_into(idx, x);
     logit_update_rows(game_, beta_, x, rows);
     size_t nnz = 0;

@@ -22,6 +22,8 @@
 
 namespace logitdyn {
 
+class RunControl;
+
 /// Which one-step kernel to enumerate.
 enum class UpdateKind {
   kAsynchronous,  ///< Eq. (3): one uniformly chosen player revises.
@@ -62,6 +64,13 @@ class TransitionBuilder {
   CsrMatrix csr(double drop_tol = 0.0) const;
   CsrMatrix csr(ThreadPool& pool, double drop_tol = 0.0) const;
 
+  /// Cooperative cancellation (DESIGN.md §14): builds become cancellation
+  /// points, polled every few hundred rows per shard. An interrupt throws
+  /// InterruptedError on the shard worker; parallel_for rethrows it on
+  /// the calling thread, so a cancelled build unwinds cleanly with no
+  /// partial matrix escaping.
+  void set_control(RunControl* control) { control_ = control; }
+
  private:
   /// One shard's CSR output: rows [lo, hi) in order, columns sorted.
   struct CsrShard {
@@ -77,6 +86,7 @@ class TransitionBuilder {
   const Game& game_;
   double beta_;
   UpdateKind kind_;
+  RunControl* control_ = nullptr;
 };
 
 }  // namespace logitdyn

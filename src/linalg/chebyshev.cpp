@@ -7,6 +7,7 @@
 #include "parallel/thread_pool.hpp"
 #include "support/error.hpp"
 #include "support/isa.hpp"
+#include "support/run_control.hpp"
 
 namespace logitdyn {
 
@@ -109,7 +110,7 @@ bool chebyshev_profitable(uint64_t t, SpectralInterval interval, double tol,
 }
 
 ChebyshevPlan plan_monomial(uint64_t t, SpectralInterval interval, double tol,
-                            size_t max_degree) {
+                            size_t max_degree, RunControl* control) {
   check_interval(interval, "plan_monomial");
   ChebyshevPlan plan;
   plan.t = t;
@@ -131,6 +132,7 @@ ChebyshevPlan plan_monomial(uint64_t t, SpectralInterval interval, double tol,
   const double beta_c = 0.5 * (interval.a + interval.b);
   plan.coeff.assign(m, 0.0);
   for (size_t j = 0; j < m; ++j) {
+    if (control != nullptr) control->checkpoint("cheb_plan");
     const double theta = kPi * (double(j) + 0.5) / double(m);
     const double w = std::cos(theta);
     const double f = std::pow(alpha * w + beta_c, double(t));
@@ -181,7 +183,8 @@ ChebyshevEvolver::Result ChebyshevEvolver::evolve(std::span<const double> xs,
   LD_CHECK(xs.data() != ys.data(),
            "ChebyshevEvolver::evolve: xs and ys must not alias");
 
-  const ChebyshevPlan plan = plan_monomial(t, interval_, tol, max_degree_);
+  const ChebyshevPlan plan =
+      plan_monomial(t, interval_, tol, max_degree_, control_);
   const size_t d = plan.degree();
   Result res;
   res.degree = d;
@@ -225,6 +228,7 @@ ChebyshevEvolver::Result ChebyshevEvolver::evolve(std::span<const double> xs,
     const double beta_c = 0.5 * (interval_.a + interval_.b);
     const IsaKernels& kern = isa_kernels();
     for (size_t k = 1; k <= d; ++k) {
+      if (control_ != nullptr) control_->checkpoint("cheb");
       // applied = T_{k-1}(dev-space) * P, batched: one state sweep for
       // the whole batch on oracle-backed operators.
       op_.apply_many(std::span<const double>(cur_.data(), total),

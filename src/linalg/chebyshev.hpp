@@ -41,6 +41,7 @@
 namespace logitdyn {
 
 class ThreadPool;
+class RunControl;
 
 /// The interval [a, b] ⊆ [-1, 1] assumed to contain every non-unit
 /// eigenvalue of P.
@@ -90,9 +91,12 @@ bool chebyshev_profitable(uint64_t t, SpectralInterval interval, double tol,
 /// Build the minimal plan meeting `tol` (capped at max_degree; the
 /// achieved bound is reported either way). Coefficients come from
 /// interpolation at the degree+1 Chebyshev roots — O(degree^2) scalar
-/// work, negligible next to the operator applies they steer.
+/// work, negligible next to the operator applies they steer. `control`
+/// (nullable) is a cancellation point, polled once per interpolation
+/// node; an interrupt unwinds as InterruptedError (DESIGN.md §14).
 ChebyshevPlan plan_monomial(uint64_t t, SpectralInterval interval, double tol,
-                            size_t max_degree = size_t(1) << 15);
+                            size_t max_degree = size_t(1) << 15,
+                            RunControl* control = nullptr);
 
 /// Batched filtered evolution engine. Holds pi and the workspace buffers
 /// (three recurrence buffers of count * size doubles, reused across
@@ -129,12 +133,19 @@ class ChebyshevEvolver {
 
   const SpectralInterval& interval() const { return interval_; }
 
+  /// Cooperative cancellation (DESIGN.md §14): evolve() becomes a
+  /// cancellation point, polled once per recurrence apply (each apply is
+  /// a full batched state-space sweep, so the poll cost is noise). An
+  /// interrupt unwinds the recurrence as InterruptedError.
+  void set_control(RunControl* control) { control_ = control; }
+
  private:
   const LinearOperator& op_;
   std::vector<double> pi_;
   SpectralInterval interval_;
   ThreadPool* pool_;
   size_t max_degree_;
+  RunControl* control_ = nullptr;
   // Recurrence workspace (count * size each), sized on first use.
   std::vector<double> cur_, prev_, applied_;
   std::vector<double> partials_;  ///< blocked-reduction scratch

@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
+#include <string>
 
 #include "linalg/symmetric_eigen.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rng/rng.hpp"
 #include "support/error.hpp"
+#include "support/fault_injection.hpp"
 #include "support/math.hpp"
+#include "support/run_control.hpp"
 
 namespace logitdyn {
 
@@ -193,6 +197,8 @@ LanczosRun run_lanczos(const LinearOperator& op, std::span<const double> pi,
   TridiagonalEigen eig;
   double residual = 0.0;
   bool converged = false;
+  bool interrupted = false;
+  bool eig_fresh = false;
 
   // Residuals are checked every kCheckStride iterations (and at every
   // exit point): the QL solve with accumulated vectors is O(k^3), so an
@@ -201,12 +207,24 @@ LanczosRun run_lanczos(const LinearOperator& op, std::span<const double> pi,
   constexpr size_t kCheckStride = 8;
   for (size_t j = 0; j < max_iters; ++j) {
     sym.apply(basis[j], w);
+    if (fault::any_armed() &&
+        fault::should_fire(fault::Point::kLanczosNaN)) {
+      w[0] = std::numeric_limits<double>::quiet_NaN();
+    }
     const double a = par_dot(pool, basis[j], w, partials);
     alpha.push_back(a);
     par_axpy(pool, -a, basis[j], w);
     if (j > 0) par_axpy(pool, -beta[j - 1], basis[j - 1], w);
     reorthogonalize(pool, phi, basis, w, coeffs, partials);
     const double b = std::sqrt(par_dot(pool, w, w, partials));
+    // Health guard (DESIGN.md §14): a NaN/Inf recurrence coefficient
+    // would silently corrupt every later Ritz value; fail typed instead.
+    if (!std::isfinite(a) || !std::isfinite(b)) {
+      throw NumericalError(
+          "lanczos: non-finite recurrence coefficient at iteration " +
+          std::to_string(j) + " — the operator produced NaN/Inf");
+    }
+    eig_fresh = false;
 
     // Happy breakdown (b ~ 0) means the Krylov space is invariant, so
     // the Ritz values are exact for the subspace the start reaches.
@@ -214,6 +232,7 @@ LanczosRun run_lanczos(const LinearOperator& op, std::span<const double> pi,
     const bool last = j + 1 == max_iters;
     if (breakdown || last || (j + 1) % kCheckStride == 0) {
       eig = solve_tridiagonal(alpha, beta);
+      eig_fresh = true;
       const size_t k = alpha.size();
       const double res_low = std::abs(b * eig.vectors(k - 1, 0));
       const double res_high = std::abs(b * eig.vectors(k - 1, k - 1));
@@ -228,10 +247,19 @@ LanczosRun run_lanczos(const LinearOperator& op, std::span<const double> pi,
       break;
     }
     if (last) break;  // eig is fresh: the `last` branch above solved it
+    // Cancellation point (DESIGN.md §14): one poll per Krylov iteration.
+    // On interrupt the partial tridiagonal is still a valid (unconverged)
+    // Ritz estimate — hand it back instead of throwing work away.
+    if (opts.control != nullptr &&
+        opts.control->poll("lanczos") != RunStatus::kCompleted) {
+      interrupted = true;
+      break;
+    }
     beta.push_back(b);
     basis.emplace_back(n);
     for (size_t i = 0; i < n; ++i) basis[j + 1][i] = w[i] / b;
   }
+  if (!eig_fresh) eig = solve_tridiagonal(alpha, beta);
 
   LanczosRun out;
   out.spectrum.ritz_values = eig.values;
@@ -239,6 +267,7 @@ LanczosRun run_lanczos(const LinearOperator& op, std::span<const double> pi,
   out.spectrum.lambda_min = eig.values.front();
   out.spectrum.iterations = alpha.size();
   out.spectrum.converged = converged;
+  out.spectrum.interrupted = interrupted;
   out.spectrum.residual = residual;
 
   if (want_fiedler) {

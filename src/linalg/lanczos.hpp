@@ -23,6 +23,7 @@
 namespace logitdyn {
 
 class ThreadPool;
+class RunControl;
 
 struct LanczosOptions {
   /// Krylov-dimension cap (clamped to |S| - 1, the dimension of the
@@ -34,6 +35,10 @@ struct LanczosOptions {
   uint64_t seed = 20110604;
   /// Pool for dot/axpy sharding; nullptr = ThreadPool::global().
   ThreadPool* pool = nullptr;
+  /// Cooperative cancellation point, polled once per Lanczos iteration
+  /// (DESIGN.md §14). On interrupt the run stops and returns the partial
+  /// Ritz spectrum with converged=false and interrupted=true.
+  RunControl* control = nullptr;
 };
 
 /// Extreme eigenvalues of the symmetrized chain, after deflating the unit
@@ -43,6 +48,7 @@ struct LanczosSpectrum {
   double lambda_min = 0.0;  ///< smallest eigenvalue
   size_t iterations = 0;    ///< Krylov dimension actually built
   bool converged = false;   ///< both extreme residuals fell below tol
+  bool interrupted = false;  ///< stopped early by RunControl; values partial
   double residual = 0.0;    ///< max of the two extreme residuals at exit
   std::vector<double> ritz_values;  ///< all Ritz values, ascending
 

@@ -1,0 +1,225 @@
+#include "local/checkpoint.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "local/local_state.hpp"
+#include "support/error.hpp"
+#include "support/io.hpp"
+
+namespace logitdyn::local {
+
+namespace {
+
+std::string u64_to_string(uint64_t v) { return std::to_string(v); }
+
+uint64_t u64_from_json(const Json& j, const char* what) {
+  LD_CHECK(j.is_string(), "checkpoint: ", what,
+           " must be a decimal string (64-bit exactness)");
+  const std::string& s = j.as_string();
+  LD_CHECK(!s.empty(), "checkpoint: empty ", what);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  LD_CHECK(errno == 0 && end == s.c_str() + s.size(), "checkpoint: bad ",
+           what, " '", s, "'");
+  return uint64_t(v);
+}
+
+/// Binary strategies bit-packed into hex text: nibble j carries vertices
+/// [4j, 4j+4), vertex 4j+k at bit k. Text length is ceil(n / 4).
+std::string pack_strategies(std::span<const uint8_t> s) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve((s.size() + 3) / 4);
+  for (size_t j = 0; j < s.size(); j += 4) {
+    unsigned nibble = 0;
+    for (size_t k = 0; k < 4 && j + k < s.size(); ++k) {
+      LD_CHECK(s[j + k] <= 1, "checkpoint: binary strategies only");
+      nibble |= unsigned(s[j + k]) << k;
+    }
+    out.push_back(kHex[nibble]);
+  }
+  return out;
+}
+
+std::vector<uint8_t> unpack_strategies(const std::string& text, size_t n) {
+  LD_CHECK(text.size() == (n + 3) / 4,
+           "checkpoint: strategy text length mismatch (got ", text.size(),
+           " nibbles for ", n, " vertices)");
+  std::vector<uint8_t> out(n);
+  for (size_t j = 0; j < n; j += 4) {
+    const char c = text[j / 4];
+    unsigned nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = unsigned(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = unsigned(c - 'a') + 10;
+    } else {
+      LD_CHECK(false, "checkpoint: bad strategy hex digit '", c, "'");
+    }
+    for (size_t k = 0; k < 4 && j + k < n; ++k) {
+      out[j + k] = uint8_t((nibble >> k) & 1u);
+    }
+  }
+  return out;
+}
+
+Json doubles_to_json(std::span<const double> v) {
+  Json arr = Json::array();
+  for (double x : v) arr.push_back(Json(format_hex_double(x)));
+  return arr;
+}
+
+std::vector<double> doubles_from_json(const Json& j, const char* what) {
+  LD_CHECK(j.is_array(), "checkpoint: ", what, " must be an array");
+  std::vector<double> out;
+  out.reserve(j.size());
+  for (size_t i = 0; i < j.size(); ++i) {
+    out.push_back(parse_hex_double(j.at(i).as_string()));
+  }
+  return out;
+}
+
+Json options_to_json(const FleetOptions& o) {
+  Json j = Json::object();
+  j.set("replicas", Json(uint64_t(o.replicas)));
+  j.set("kernel", Json(kernel_name(o.kernel)));
+  j.set("revise_prob", Json(format_hex_double(o.revise_prob)));
+  j.set("horizon", Json(u64_to_string(o.horizon)));
+  j.set("cadence", Json(u64_to_string(o.cadence)));
+  j.set("measure_blocks", Json(uint64_t(o.measure_blocks)));
+  j.set("init_p_one", Json(format_hex_double(o.init_p_one)));
+  return j;
+}
+
+FleetOptions options_from_json(const Json& j) {
+  FleetOptions o;
+  o.replicas = uint32_t(j.at("replicas").as_int());
+  const std::string& kernel = j.at("kernel").as_string();
+  if (kernel == kernel_name(Kernel::kAsync)) {
+    o.kernel = Kernel::kAsync;
+  } else if (kernel == kernel_name(Kernel::kConcurrent)) {
+    o.kernel = Kernel::kConcurrent;
+  } else {
+    LD_CHECK(false, "checkpoint: unknown kernel '", kernel, "'");
+  }
+  o.revise_prob = parse_hex_double(j.at("revise_prob").as_string());
+  o.horizon = u64_from_json(j.at("horizon"), "horizon");
+  o.cadence = u64_from_json(j.at("cadence"), "cadence");
+  o.measure_blocks = size_t(j.at("measure_blocks").as_int());
+  o.init_p_one = parse_hex_double(j.at("init_p_one").as_string());
+  return o;
+}
+
+Json recorder_to_json(const ObservableRecorder::Snapshot& r) {
+  Json j = Json::object();
+  j.set("cadence", Json(u64_to_string(r.cadence)));
+  j.set("measure_blocks", Json(r.measure_blocks));
+  j.set("seen", Json(u64_to_string(r.seen)));
+  if (r.consensus_step) {
+    j.set("consensus_step", Json(u64_to_string(*r.consensus_step)));
+  }
+  j.set("steps", doubles_to_json(r.steps));
+  j.set("magnetization", doubles_to_json(r.magnetization));
+  j.set("potential", doubles_to_json(r.potential));
+  j.set("block_measures", doubles_to_json(r.block_measures));
+  return j;
+}
+
+ObservableRecorder::Snapshot recorder_from_json(const Json& j) {
+  ObservableRecorder::Snapshot r;
+  r.cadence = u64_from_json(j.at("cadence"), "recorder cadence");
+  r.measure_blocks = uint64_t(j.at("measure_blocks").as_int());
+  r.seen = u64_from_json(j.at("seen"), "recorder seen");
+  if (const Json* hit = j.find("consensus_step")) {
+    r.consensus_step = u64_from_json(*hit, "consensus_step");
+  }
+  r.steps = doubles_from_json(j.at("steps"), "steps");
+  r.magnetization = doubles_from_json(j.at("magnetization"), "magnetization");
+  r.potential = doubles_from_json(j.at("potential"), "potential");
+  r.block_measures =
+      doubles_from_json(j.at("block_measures"), "block_measures");
+  return r;
+}
+
+}  // namespace
+
+Json FleetCheckpoint::to_json() const {
+  Json doc = Json::object();
+  doc.set("schema", Json("logitdyn-fleet-checkpoint"));
+  doc.set("version", Json(kVersion));
+  doc.set("master_seed", Json(u64_to_string(master_seed)));
+  doc.set("options", options_to_json(options));
+  doc.set("num_vertices", Json(num_vertices));
+  doc.set("progress", Json(u64_to_string(progress)));
+  Json reps = Json::array();
+  for (const ReplicaSnapshot& r : replicas) {
+    Json j = Json::object();
+    j.set("strategies", Json(pack_strategies(r.strategies)));
+    j.set("strategy_hash", Json(u64_to_string(strategy_hash(r.strategies))));
+    if (r.has_rng) {
+      Json st = Json::array();
+      for (uint64_t w : r.rng_state) st.push_back(Json(u64_to_string(w)));
+      j.set("rng_state", std::move(st));
+    }
+    j.set("recorder", recorder_to_json(r.recorder));
+    reps.push_back(std::move(j));
+  }
+  doc.set("replicas", std::move(reps));
+  return doc;
+}
+
+FleetCheckpoint FleetCheckpoint::from_json(const Json& doc) {
+  LD_CHECK(doc.is_object(), "checkpoint: document must be an object");
+  LD_CHECK(doc.contains("schema") &&
+               doc.at("schema").as_string() == "logitdyn-fleet-checkpoint",
+           "checkpoint: not a fleet checkpoint document");
+  const int64_t version = doc.at("version").as_int();
+  LD_CHECK(version == kVersion, "checkpoint: unsupported version ", version,
+           " (this build reads version ", kVersion,
+           "; older readers must refuse newer snapshots)");
+  FleetCheckpoint ck;
+  ck.master_seed = u64_from_json(doc.at("master_seed"), "master_seed");
+  ck.options = options_from_json(doc.at("options"));
+  ck.num_vertices = uint64_t(doc.at("num_vertices").as_int());
+  ck.progress = u64_from_json(doc.at("progress"), "progress");
+  const Json& reps = doc.at("replicas");
+  LD_CHECK(reps.is_array(), "checkpoint: replicas must be an array");
+  LD_CHECK(reps.size() == ck.options.replicas,
+           "checkpoint: replica count mismatch (", reps.size(), " vs ",
+           ck.options.replicas, " in options)");
+  ck.replicas.reserve(reps.size());
+  for (size_t i = 0; i < reps.size(); ++i) {
+    const Json& j = reps.at(i);
+    ReplicaSnapshot r;
+    r.strategies = unpack_strategies(j.at("strategies").as_string(),
+                                     size_t(ck.num_vertices));
+    const uint64_t want = u64_from_json(j.at("strategy_hash"),
+                                        "strategy_hash");
+    const uint64_t got = strategy_hash(r.strategies);
+    LD_CHECK(got == want, "checkpoint: replica ", i,
+             " strategy hash mismatch (corrupt or hand-edited snapshot)");
+    if (const Json* st = j.find("rng_state")) {
+      LD_CHECK(st->is_array() && st->size() == 4,
+               "checkpoint: rng_state must hold 4 words");
+      for (size_t w = 0; w < 4; ++w) {
+        r.rng_state[w] = u64_from_json(st->at(w), "rng_state word");
+      }
+      r.has_rng = true;
+    }
+    r.recorder = recorder_from_json(j.at("recorder"));
+    ck.replicas.push_back(std::move(r));
+  }
+  return ck;
+}
+
+void save_checkpoint(const FleetCheckpoint& ck, const std::string& path) {
+  write_file_atomic(path, ck.to_json().dump(0) + "\n");
+}
+
+FleetCheckpoint load_checkpoint(const std::string& path) {
+  return FleetCheckpoint::from_json(Json::parse(read_file(path)));
+}
+
+}  // namespace logitdyn::local

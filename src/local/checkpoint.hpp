@@ -1,0 +1,58 @@
+// Versioned fleet snapshots (DESIGN.md §14): everything a ReplicaFleet
+// run mutates — per-replica strategies, async RNG stream positions, and
+// recorder state — captured at a step/round boundary so a resumed run is
+// bit-identical to one that never stopped, at every pool size.
+//
+// The JSON encoding is exact, not pretty: 64-bit integers (seeds, RNG
+// words) travel as decimal strings because Json numbers are doubles, and
+// every floating-point observable travels as a C99 hexfloat string
+// (support/io). Strategies are bit-packed into hex text (binary rules
+// only, enforced on load). Each replica carries its strategy FNV hash as
+// an integrity check; version and option mismatches fail loudly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "local/local_dynamics.hpp"
+#include "local/replica_fleet.hpp"
+#include "support/json.hpp"
+
+namespace logitdyn::local {
+
+/// One replica's resume state at a snapshot boundary.
+struct ReplicaSnapshot {
+  std::vector<uint8_t> strategies;
+  /// Async kernels only: the replica's sequential RNG mid-stream (the
+  /// concurrent kernel's streams are pure functions of (seed, round,
+  /// shard) and need no storage).
+  std::array<uint64_t, 4> rng_state{};
+  bool has_rng = false;
+  ObservableRecorder::Snapshot recorder;
+};
+
+/// A whole fleet at `progress` steps (async) / rounds (concurrent) into
+/// its horizon, plus the run identity (master seed, options, topology
+/// size) so resuming against the wrong run fails instead of diverging.
+struct FleetCheckpoint {
+  static constexpr int64_t kVersion = 1;
+
+  uint64_t master_seed = 0;
+  FleetOptions options;
+  uint64_t num_vertices = 0;
+  uint64_t progress = 0;
+  std::vector<ReplicaSnapshot> replicas;
+
+  Json to_json() const;
+  /// Throws Error on version/schema/integrity problems.
+  static FleetCheckpoint from_json(const Json& doc);
+};
+
+/// Serialize and atomically write (support/io::write_file_atomic — a kill
+/// mid-write leaves the previous snapshot intact).
+void save_checkpoint(const FleetCheckpoint& ck, const std::string& path);
+FleetCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace logitdyn::local

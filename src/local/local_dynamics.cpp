@@ -4,8 +4,16 @@
 
 #include "parallel/thread_pool.hpp"
 #include "support/error.hpp"
+#include "support/run_control.hpp"
 
 namespace logitdyn::local {
+
+namespace {
+/// Async cancellation stride: single-site steps between control polls.
+/// One step is a handful of table lookups, so thousands amortize the
+/// poll's atomic loads to noise.
+constexpr uint64_t kAsyncPollStride = 8192;
+}  // namespace
 
 Rng shard_stream(uint64_t seed, uint64_t round, uint64_t shard) {
   // Three chained SplitMix64 applications decorrelate the (seed, round,
@@ -46,6 +54,30 @@ void ObservableRecorder::observe(uint64_t step, const LocalState& state,
   }
 }
 
+ObservableRecorder::Snapshot ObservableRecorder::snapshot() const {
+  Snapshot snap;
+  snap.cadence = cadence_;
+  snap.measure_blocks = measure_blocks_;
+  snap.seen = seen_;
+  snap.consensus_step = consensus_step_;
+  snap.steps = steps_;
+  snap.magnetization = magnetization_;
+  snap.potential = potential_;
+  snap.block_measures = block_measures_;
+  return snap;
+}
+
+ObservableRecorder ObservableRecorder::restore(const Snapshot& snap) {
+  ObservableRecorder rec(snap.cadence, size_t(snap.measure_blocks));
+  rec.seen_ = snap.seen;
+  rec.consensus_step_ = snap.consensus_step;
+  rec.steps_ = snap.steps;
+  rec.magnetization_ = snap.magnetization;
+  rec.potential_ = snap.potential;
+  rec.block_measures_ = snap.block_measures;
+  return rec;
+}
+
 LocalDynamics::LocalDynamics(const LocalTopology* topology,
                              const BinaryLocalRule* rule, double beta,
                              ThreadPool* pool)
@@ -67,10 +99,17 @@ void LocalDynamics::set_update_weights(std::span<const double> weights) {
 }
 
 uint64_t LocalDynamics::run_async(LocalState& state, uint64_t steps, Rng& rng,
-                                  ObservableRecorder* recorder) const {
+                                  ObservableRecorder* recorder,
+                                  uint64_t first_step,
+                                  RunControl* control) const {
   const uint64_t n = topology_->num_vertices();
   uint64_t flips = 0;
   for (uint64_t t = 0; t < steps; ++t) {
+    if (control != nullptr && t % kAsyncPollStride == 0 &&
+        control->poll("local_async", std::min(kAsyncPollStride, steps - t)) !=
+            RunStatus::kCompleted) {
+      break;
+    }
     const uint32_t v = vertex_picker_.size() > 0
                            ? uint32_t(vertex_picker_.sample(rng))
                            : uint32_t(rng.uniform_int(n));
@@ -80,7 +119,7 @@ uint64_t LocalDynamics::run_async(LocalState& state, uint64_t steps, Rng& rng,
       state.flip(v);
       ++flips;
     }
-    if (recorder) recorder->observe(t + 1, state, pool_);
+    if (recorder) recorder->observe(first_step + t + 1, state, pool_);
   }
   return flips;
 }
@@ -88,7 +127,8 @@ uint64_t LocalDynamics::run_async(LocalState& state, uint64_t steps, Rng& rng,
 uint64_t LocalDynamics::run_concurrent(LocalState& state, uint64_t rounds,
                                        double revise_prob, uint64_t seed,
                                        ObservableRecorder* recorder,
-                                       uint64_t first_round) const {
+                                       uint64_t first_round,
+                                       RunControl* control) const {
   LD_CHECK(revise_prob >= 0.0 && revise_prob <= 1.0,
            "LocalDynamics: revise_prob out of [0,1]");
   const size_t n = topology_->num_vertices();
@@ -97,6 +137,10 @@ uint64_t LocalDynamics::run_concurrent(LocalState& state, uint64_t rounds,
   std::vector<uint64_t> shard_flips(shards);
   uint64_t flips = 0;
   for (uint64_t r = 0; r < rounds; ++r) {
+    if (control != nullptr &&
+        control->poll("local_round") != RunStatus::kCompleted) {
+      break;  // round boundary: state/recorder are consistent here
+    }
     const uint64_t round = first_round + r;
     auto run_shard = [&](size_t shard) {
       const size_t lo = shard * kReduceBlock;

@@ -20,6 +20,7 @@
 
 namespace logitdyn {
 class ThreadPool;
+class RunControl;
 }
 
 namespace logitdyn::local {
@@ -61,6 +62,23 @@ class ObservableRecorder {
   /// First step index at which consensus was observed, if ever.
   std::optional<uint64_t> consensus_step() const { return consensus_step_; }
 
+  /// Serializable recorder state (checkpoint/resume, DESIGN.md §14):
+  /// everything observe() mutates plus the construction parameters, so
+  /// restore(snapshot()) followed by the remaining observe() calls is
+  /// bit-identical to a recorder that never stopped.
+  struct Snapshot {
+    uint64_t cadence = 1;
+    uint64_t measure_blocks = 0;
+    uint64_t seen = 0;
+    std::optional<uint64_t> consensus_step;
+    std::vector<double> steps;
+    std::vector<double> magnetization;
+    std::vector<double> potential;
+    std::vector<double> block_measures;
+  };
+  Snapshot snapshot() const;
+  static ObservableRecorder restore(const Snapshot& snap);
+
  private:
   uint64_t cadence_;
   size_t measure_blocks_;
@@ -100,9 +118,15 @@ class LocalDynamics {
   /// Run `steps` asynchronous single-site logit steps on `state` using
   /// `rng` (two draws per step: vertex pick, strategy draw; alias-table
   /// picks draw twice). Returns the number of strategy changes (flips).
-  /// `recorder` (nullable) is offered the state after every step.
+  /// `recorder` (nullable) is offered the state after every step. Steps
+  /// are numbered from `first_step` so a resumed trajectory (same rng
+  /// stream position, same state) records globally consistent indices.
+  /// `control` (nullable) is polled every few thousand steps; on
+  /// interrupt the run stops early (check control->interrupted()).
   uint64_t run_async(LocalState& state, uint64_t steps, Rng& rng,
-                     ObservableRecorder* recorder = nullptr) const;
+                     ObservableRecorder* recorder = nullptr,
+                     uint64_t first_step = 0,
+                     RunControl* control = nullptr) const;
 
   /// Run `rounds` concurrent-update rounds: each vertex independently
   /// revises with probability `revise_prob`; revising vertices redraw from
@@ -112,10 +136,13 @@ class LocalDynamics {
   /// fixed, documented, and pinned by the bit-identity tests. Rounds are
   /// numbered from `first_round` so a caller can continue a trajectory
   /// without replaying streams. Returns the number of strategy changes.
+  /// `control` (nullable) is polled once per round; on interrupt the run
+  /// stops at the round boundary (check control->interrupted()).
   uint64_t run_concurrent(LocalState& state, uint64_t rounds,
                           double revise_prob, uint64_t seed,
                           ObservableRecorder* recorder = nullptr,
-                          uint64_t first_round = 0) const;
+                          uint64_t first_round = 0,
+                          RunControl* control = nullptr) const;
 
  private:
   const LocalTopology* topology_;

@@ -3,12 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "local/checkpoint.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/error.hpp"
 #include "support/fit.hpp"
+#include "support/run_control.hpp"
 #include "support/timer.hpp"
 
 namespace logitdyn::local {
+
+namespace {
+
+// Lock-step chunk caps when only a RunControl (no checkpoint cadence)
+// bounds the chunk: how stale the deadline/cancel check may get. Async
+// steps are single-site flips — tens of thousands amortize the chunk
+// barrier; concurrent rounds are full n-vertex sweeps.
+constexpr uint64_t kAsyncControlChunk = 65536;
+constexpr uint64_t kConcurrentControlChunk = 64;
+
+}  // namespace
 
 ReplicaFleet::ReplicaFleet(const LocalDynamics* dynamics, FleetOptions options)
     : dynamics_(dynamics), options_(options) {
@@ -18,9 +31,18 @@ ReplicaFleet::ReplicaFleet(const LocalDynamics* dynamics, FleetOptions options)
 }
 
 FleetSummary ReplicaFleet::run(uint64_t master_seed) const {
+  return run(master_seed, FleetRunOptions{});
+}
+
+FleetSummary ReplicaFleet::run(uint64_t master_seed,
+                               const FleetRunOptions& run_opts) const {
   const uint32_t replicas = options_.replicas;
   const uint64_t horizon = options_.horizon;
   ThreadPool* pool = dynamics_->pool();
+  RunControl* control = run_opts.control;
+  const bool async = options_.kernel == Kernel::kAsync;
+  const LocalTopology& topo = dynamics_->topology();
+  const size_t n = topo.num_vertices();
 
   std::vector<LocalState> states;
   states.reserve(replicas);
@@ -28,79 +50,175 @@ FleetSummary ReplicaFleet::run(uint64_t master_seed) const {
   std::vector<ObservableRecorder> recorders(
       replicas, ObservableRecorder(options_.cadence, options_.measure_blocks));
   std::vector<uint64_t> flips(replicas, 0);
+  std::vector<uint64_t> seeds(replicas);
+  for (uint32_t r = 0; r < replicas; ++r) {
+    seeds[r] = replica_seed(master_seed, r);
+  }
+  // Async: replica r's whole trajectory (init draw included) comes from
+  // one PERSISTENT stream seeded with replica_seed(master, r) — exactly
+  // what a standalone run would use, so fleets are replayable per replica
+  // and resumable mid-stream. Concurrent streams are pure functions of
+  // (seed, round, shard) and need no carrying.
+  std::vector<Rng> rngs;
+  uint64_t done = 0;
 
-  Timer timer;
-  if (options_.kernel == Kernel::kAsync) {
-    // Replica r's whole trajectory (init draw included) comes from one
-    // stream seeded with replica_seed(master, r) — exactly what a
-    // standalone run would use, so fleets are replayable per replica.
-    auto run_replica = [&](size_t r) {
-      Rng rng(replica_seed(master_seed, r));
-      states[r].randomize(options_.init_p_one, rng);
-      // The recorder's potential() reductions run inline here (nested
-      // pool dispatch falls back) over the same fixed block partition, so
-      // values are bit-identical to a sequential run.
-      flips[r] = dynamics_->run_async(states[r], horizon, rng, &recorders[r]);
-    };
-    if (pool != nullptr) {
-      parallel_for(*pool, 0, replicas, run_replica);
-    } else {
-      for (size_t r = 0; r < replicas; ++r) run_replica(r);
+  if (run_opts.resume != nullptr) {
+    const FleetCheckpoint& ck = *run_opts.resume;
+    LD_CHECK(ck.master_seed == master_seed,
+             "fleet resume: master seed mismatch (snapshot ", ck.master_seed,
+             ", run ", master_seed, ")");
+    LD_CHECK(ck.num_vertices == n, "fleet resume: topology size mismatch");
+    LD_CHECK(ck.options.replicas == options_.replicas &&
+                 ck.options.kernel == options_.kernel &&
+                 ck.options.revise_prob == options_.revise_prob &&
+                 ck.options.horizon == options_.horizon &&
+                 ck.options.cadence == options_.cadence &&
+                 ck.options.measure_blocks == options_.measure_blocks &&
+                 ck.options.init_p_one == options_.init_p_one,
+             "fleet resume: FleetOptions mismatch — a snapshot only resumes "
+             "the exact run that wrote it");
+    LD_CHECK(ck.progress <= horizon,
+             "fleet resume: snapshot is past this run's horizon");
+    done = ck.progress;
+    recorders.clear();
+    for (uint32_t r = 0; r < replicas; ++r) {
+      const ReplicaSnapshot& rs = ck.replicas[r];
+      states[r].assign(std::span<const uint8_t>(rs.strategies));
+      recorders.push_back(ObservableRecorder::restore(rs.recorder));
+      if (async) {
+        LD_CHECK(rs.has_rng,
+                 "fleet resume: async snapshot missing replica RNG state");
+        Rng rng(0);
+        rng.set_state(rs.rng_state);
+        rngs.push_back(rng);
+      }
     }
   } else {
-    // Concurrent replicas advance in lock-step so each round's field
-    // rebuild traverses the topology once for all R strategy arrays.
-    std::vector<uint64_t> seeds(replicas);
     for (uint32_t r = 0; r < replicas; ++r) {
-      seeds[r] = replica_seed(master_seed, r);
-      Rng init(seeds[r]);
-      states[r].randomize(options_.init_p_one, init);
+      Rng rng(seeds[r]);
+      states[r].randomize(options_.init_p_one, rng);
+      if (async) rngs.push_back(rng);
     }
-    const LocalTopology& topo = dynamics_->topology();
-    const LogitFlipTable& table = dynamics_->flip_table();
-    const size_t n = topo.num_vertices();
-    const size_t shards = (n + kReduceBlock - 1) / kReduceBlock;
-    std::vector<std::vector<uint8_t>> next(replicas,
-                                           std::vector<uint8_t>(n));
-    std::vector<LocalState*> state_ptrs(replicas);
+  }
+
+  // Concurrent lock-step workspace (each round's field rebuild traverses
+  // the topology once for all R strategy arrays).
+  const LogitFlipTable& table = dynamics_->flip_table();
+  const size_t shards = (n + kReduceBlock - 1) / kReduceBlock;
+  std::vector<std::vector<uint8_t>> next;
+  std::vector<LocalState*> state_ptrs(replicas);
+  std::vector<uint64_t> shard_flips;
+  if (!async) {
+    next.assign(replicas, std::vector<uint8_t>(n));
+    shard_flips.assign(shards * replicas, 0);
     for (uint32_t r = 0; r < replicas; ++r) state_ptrs[r] = &states[r];
-    std::vector<uint64_t> shard_flips(shards * replicas);
-    for (uint64_t round = 0; round < horizon; ++round) {
-      auto run_shard = [&](size_t shard) {
-        const size_t lo = shard * kReduceBlock;
-        const size_t hi = std::min(n, lo + kReduceBlock);
-        // Per-replica streams, each consumed in ascending-vertex order —
-        // the same sequence a standalone run_concurrent would draw.
-        std::vector<Rng> rngs;
-        rngs.reserve(replicas);
-        for (uint32_t r = 0; r < replicas; ++r) {
-          rngs.push_back(shard_stream(seeds[r], round, shard));
-        }
-        for (size_t v = lo; v < hi; ++v) {
-          const uint32_t degree = topo.degree(uint32_t(v));
-          for (uint32_t r = 0; r < replicas; ++r) {
-            uint8_t s = states[r].strategy(uint32_t(v));
-            if (rngs[r].bernoulli(options_.revise_prob)) {
-              const double p1 =
-                  table.prob_one(degree, states[r].field(uint32_t(v)));
-              s = rngs[r].uniform() < p1 ? 1 : 0;
-            }
-            next[r][v] = s;
-            shard_flips[shard * replicas + r] +=
-                s != states[r].strategy(uint32_t(v));
-          }
-        }
+  }
+
+  auto take_snapshot = [&]() {
+    FleetCheckpoint ck;
+    ck.master_seed = master_seed;
+    ck.options = options_;
+    ck.num_vertices = n;
+    ck.progress = done;
+    ck.replicas.resize(replicas);
+    for (uint32_t r = 0; r < replicas; ++r) {
+      ReplicaSnapshot& rs = ck.replicas[r];
+      rs.strategies.assign(states[r].strategies().begin(),
+                           states[r].strategies().end());
+      if (async) {
+        rs.rng_state = rngs[r].state();
+        rs.has_rng = true;
+      }
+      rs.recorder = recorders[r].snapshot();
+    }
+    if (!run_opts.checkpoint_path.empty()) {
+      save_checkpoint(ck, run_opts.checkpoint_path);
+    }
+    if (run_opts.capture != nullptr) *run_opts.capture = std::move(ck);
+  };
+
+  const uint64_t ck_every = run_opts.checkpoint_every;
+  const uint64_t control_chunk =
+      async ? kAsyncControlChunk : kConcurrentControlChunk;
+  const char* phase = async ? "fleet_async" : "fleet_round";
+
+  Timer timer;
+  bool interrupted =
+      control != nullptr && control->poll(phase, 0) != RunStatus::kCompleted;
+  // The run advances in chunks whose boundaries are COMMON to every
+  // replica — snapshot cadence first, control staleness cap second — so
+  // interrupts and snapshots always land with equal per-replica progress
+  // (aggregate() requires equal sample counts, and a snapshot taken at a
+  // ragged boundary could not resume bit-identically).
+  while (!interrupted && done < horizon) {
+    uint64_t chunk = horizon - done;
+    if (ck_every > 0) chunk = std::min(chunk, ck_every - done % ck_every);
+    if (control != nullptr) chunk = std::min(chunk, control_chunk);
+
+    if (async) {
+      auto run_replica = [&](size_t r) {
+        // The recorder's potential() reductions run inline here (nested
+        // pool dispatch falls back) over the same fixed block partition,
+        // so values are bit-identical to a sequential run.
+        flips[r] +=
+            dynamics_->run_async(states[r], chunk, rngs[r], &recorders[r], done);
       };
       if (pool != nullptr) {
-        parallel_for(*pool, 0, shards, run_shard);
+        parallel_for(*pool, 0, replicas, run_replica);
       } else {
-        for (size_t shard = 0; shard < shards; ++shard) run_shard(shard);
+        for (size_t r = 0; r < replicas; ++r) run_replica(r);
       }
-      LocalState::adopt_grouped(state_ptrs, next, pool);
-      for (uint32_t r = 0; r < replicas; ++r) {
-        recorders[r].observe(round + 1, states[r], pool);
+    } else {
+      for (uint64_t rr = 0; rr < chunk; ++rr) {
+        const uint64_t round = done + rr;
+        auto run_shard = [&](size_t shard) {
+          const size_t lo = shard * kReduceBlock;
+          const size_t hi = std::min(n, lo + kReduceBlock);
+          // Per-replica streams, each consumed in ascending-vertex order —
+          // the same sequence a standalone run_concurrent would draw.
+          std::vector<Rng> round_rngs;
+          round_rngs.reserve(replicas);
+          for (uint32_t r = 0; r < replicas; ++r) {
+            round_rngs.push_back(shard_stream(seeds[r], round, shard));
+          }
+          for (size_t v = lo; v < hi; ++v) {
+            const uint32_t degree = topo.degree(uint32_t(v));
+            for (uint32_t r = 0; r < replicas; ++r) {
+              uint8_t s = states[r].strategy(uint32_t(v));
+              if (round_rngs[r].bernoulli(options_.revise_prob)) {
+                const double p1 =
+                    table.prob_one(degree, states[r].field(uint32_t(v)));
+                s = round_rngs[r].uniform() < p1 ? 1 : 0;
+              }
+              next[r][v] = s;
+              shard_flips[shard * replicas + r] +=
+                  s != states[r].strategy(uint32_t(v));
+            }
+          }
+        };
+        if (pool != nullptr) {
+          parallel_for(*pool, 0, shards, run_shard);
+        } else {
+          for (size_t shard = 0; shard < shards; ++shard) run_shard(shard);
+        }
+        LocalState::adopt_grouped(state_ptrs, next, pool);
+        for (uint32_t r = 0; r < replicas; ++r) {
+          recorders[r].observe(round + 1, states[r], pool);
+        }
       }
     }
+    done += chunk;
+
+    if (control != nullptr &&
+        control->poll(phase, chunk) != RunStatus::kCompleted) {
+      interrupted = true;
+      break;
+    }
+    if (ck_every > 0 && done % ck_every == 0 && done < horizon) {
+      take_snapshot();
+    }
+  }
+  if (!async) {
     for (size_t shard = 0; shard < shards; ++shard) {
       for (uint32_t r = 0; r < replicas; ++r) {
         flips[r] += shard_flips[shard * replicas + r];
@@ -113,11 +231,15 @@ FleetSummary ReplicaFleet::run(uint64_t master_seed) const {
   for (uint64_t f : flips) summary.total_flips += f;
   summary.wall_seconds = wall;
   const double opportunities =
-      options_.kernel == Kernel::kAsync
-          ? double(horizon) * double(replicas)
-          : double(horizon) * double(replicas) *
-                double(dynamics_->topology().num_vertices());
+      async ? double(done) * double(replicas)
+            : double(done) * double(replicas) * double(n);
   summary.players_per_sec = wall > 0.0 ? opportunities / wall : 0.0;
+  summary.progress = done;
+  summary.interrupted = interrupted;
+  summary.final_strategy_hash.reserve(replicas);
+  for (const LocalState& st : states) {
+    summary.final_strategy_hash.push_back(strategy_hash(st.strategies()));
+  }
   return summary;
 }
 

@@ -13,11 +13,14 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "local/local_dynamics.hpp"
 
 namespace logitdyn::local {
+
+struct FleetCheckpoint;  // local/checkpoint.hpp
 
 enum class Kernel : uint8_t {
   kAsync,       ///< one uniformly chosen player revises per step
@@ -41,6 +44,30 @@ struct FleetOptions {
   size_t measure_blocks = 0;
   /// Initial Bernoulli(p) strategy draw per vertex.
   double init_p_one = 0.5;
+};
+
+/// Run-control knobs of one fleet run (DESIGN.md §14). All default to
+/// "off": a default-constructed FleetRunOptions reproduces the plain
+/// run(master_seed) behavior bit for bit.
+struct FleetRunOptions {
+  /// Cooperative cancellation/deadline handle (nullable). Polled at chunk
+  /// boundaries COMMON to all replicas, so an interrupted fleet still has
+  /// equal per-replica sample counts and aggregates cleanly as a partial.
+  RunControl* control = nullptr;
+  /// Snapshot every N steps (async) / rounds (concurrent); 0 = never.
+  /// Boundaries also bound the lock-step chunk size, so replicas arrive
+  /// at each snapshot together.
+  uint64_t checkpoint_every = 0;
+  /// Non-empty: each snapshot is atomically written here (the file always
+  /// holds the latest complete snapshot, even across a mid-write kill).
+  std::string checkpoint_path;
+  /// Non-null: each snapshot is also copied here (in-memory resume tests
+  /// use this to round-trip without touching disk).
+  FleetCheckpoint* capture = nullptr;
+  /// Non-null: resume from this snapshot instead of fresh randomized
+  /// states. Identity (master seed, options, topology size) must match
+  /// the run being resumed — mismatches throw instead of diverging.
+  const FleetCheckpoint* resume = nullptr;
 };
 
 /// Cross-replica aggregates. All per-sample vectors are indexed like
@@ -68,6 +95,14 @@ struct FleetSummary {
   /// concurrent counts n per round (every player draws its revision coin),
   /// summed over replicas. The BENCH_local throughput unit.
   double players_per_sec = 0.0;
+  /// Steps (async) / rounds (concurrent) actually completed per replica —
+  /// equals the horizon unless the run was interrupted.
+  uint64_t progress = 0;
+  /// Stopped early by a RunControl interrupt; aggregates cover `progress`.
+  bool interrupted = false;
+  /// Per-replica FNV strategy fingerprints at exit — the bit-identity
+  /// handle the checkpoint/resume checks compare.
+  std::vector<uint64_t> final_strategy_hash;
 };
 
 class ReplicaFleet {
@@ -80,6 +115,12 @@ class ReplicaFleet {
 
   /// Run all replicas from fresh randomized states and aggregate.
   FleetSummary run(uint64_t master_seed) const;
+
+  /// Run with deadlines/cancellation/checkpointing. A resumed run (same
+  /// master seed and options, snapshot from run_opts.checkpoint_every
+  /// boundary) is bit-identical to an uninterrupted one at every pool
+  /// size — trajectories, recorder samples, and aggregates.
+  FleetSummary run(uint64_t master_seed, const FleetRunOptions& run_opts) const;
 
  private:
   FleetSummary aggregate(

@@ -50,6 +50,12 @@ void Xoshiro256::jump() {
   s_[3] = s3;
 }
 
+void Xoshiro256::set_state(const std::array<uint64_t, 4>& s) {
+  LD_CHECK(s[0] != 0 || s[1] != 0 || s[2] != 0 || s[3] != 0,
+           "Xoshiro256::set_state: all-zero state is the fixed point");
+  for (int i = 0; i < 4; ++i) s_[i] = s[i];
+}
+
 Rng Rng::for_replica(uint64_t master_seed, uint64_t id) {
   // Mix (seed, id) through SplitMix64 twice so that consecutive replica ids
   // land in statistically unrelated regions of the seed space.

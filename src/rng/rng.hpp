@@ -5,6 +5,7 @@
 // regardless of the thread schedule.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -48,6 +49,12 @@ class Xoshiro256 {
   static constexpr uint64_t min() { return 0; }
   static constexpr uint64_t max() { return ~0ULL; }
 
+  /// Full 256-bit state, for checkpoint/resume (DESIGN.md §14): restoring
+  /// a saved state continues the exact output sequence. The all-zero
+  /// state is the generator's fixed point and is rejected.
+  std::array<uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<uint64_t, 4>& s);
+
  private:
   uint64_t s_[4];
 };
@@ -78,6 +85,10 @@ class Rng {
   uint64_t next_u64() { return gen_(); }
 
   Xoshiro256& generator() { return gen_; }
+
+  /// Checkpoint/resume passthrough to the underlying generator state.
+  std::array<uint64_t, 4> state() const { return gen_.state(); }
+  void set_state(const std::array<uint64_t, 4>& s) { gen_.set_state(s); }
 
  private:
   Xoshiro256 gen_;

@@ -19,6 +19,8 @@
 #include "core/logit_operator.hpp"
 #include "scenario/experiments.hpp"
 #include "support/error.hpp"
+#include "support/fault_injection.hpp"
+#include "support/run_control.hpp"
 
 namespace logitdyn::scenario {
 namespace {
@@ -42,9 +44,11 @@ std::string explore_label(const ScenarioSpec& spec) {
   return spec.family;
 }
 
-void explore_beta(const ScenarioSpec& spec, Report& report, LogitChain& chain,
+void explore_beta(const ScenarioSpec& spec, const RunOptions& opts,
+                  Report& report, LogitChain& chain,
                   const PotentialStats& stats, double zeta,
                   const std::string& label, int n, double beta) {
+  RunControl* control = opts.control;
   std::ostringstream heading;
   heading << label << ", n = " << n << ", beta = " << beta;
   report.section(heading.str(), /*print_banner=*/false);
@@ -63,10 +67,20 @@ void explore_beta(const ScenarioSpec& spec, Report& report, LogitChain& chain,
     spec_summary.lambda2 = cs.lambda2();
     spec_summary.lambda_min = cs.lambda_min();
     spec_summary.certified = true;
-    dense_mix = mixing_time_doubling(p, pi, 0.25);
+    dense_mix = mixing_time_doubling(p, pi, 0.25, uint64_t(1) << 34, control);
+    if (control != nullptr && dense_mix.converged) {
+      control->note_certified("t_mix_beta_" + format_double(beta, 3),
+                              double(dense_mix.time));
+    }
   } else {
-    spec_summary =
-        spectral_summary(chain.game(), beta, UpdateKind::kAsynchronous, pi);
+    SpectralOptions sopts;
+    sopts.lanczos.control = control;
+    spec_summary = spectral_summary(chain.game(), beta,
+                                    UpdateKind::kAsynchronous, pi, sopts);
+    if (control != nullptr && spec_summary.converged) {
+      control->note_certified("lambda2_beta_" + format_double(beta, 3),
+                              spec_summary.lambda2);
+    }
   }
 
   ReportTable& out = report.table({"quantity", "value"});
@@ -101,7 +115,19 @@ void explore_beta(const ScenarioSpec& spec, Report& report, LogitChain& chain,
     // (exact stepwise warmup still resolves fast chains inside it).
     SpectralInterval interval;
     bool use_filter = false;
-    if (spec_summary.converged && spec_summary.certified) {
+    bool ritz_certified = spec_summary.converged && spec_summary.certified;
+    // Degradation ladder (DESIGN.md §14): a failed Ritz certification —
+    // injected here via the cheb_uncertified fault point, organically via
+    // converged/certified above — drops the filter and keeps the certified
+    // stepwise path, with the report marked degraded.
+    if (ritz_certified && fault::should_fire(fault::Point::kChebUncertified)) {
+      ritz_certified = false;
+      report.set_run_status(
+          RunStatus::kDegraded,
+          "chebyshev spectral certification failed — certified stepwise "
+          "evolution at beta " + format_double(beta, 3));
+    }
+    if (ritz_certified) {
       LanczosSpectrum ritz;
       ritz.lambda2 = spec_summary.lambda2;
       ritz.lambda_min = spec_summary.lambda_min;
@@ -111,8 +137,14 @@ void explore_beta(const ScenarioSpec& spec, Report& report, LogitChain& chain,
                                         /*cutover=*/0.5, size_t(1) << 15);
     }
     if (use_filter) {
+      FilteredMixingOptions fopts;
+      fopts.control = control;
       const FilteredMixingResult mix = mixing_time_filtered(
-          op, pi, starts, interval, 0.25, step_cap);
+          op, pi, starts, interval, 0.25, step_cap, fopts);
+      if (control != nullptr && mix.worst.converged) {
+        control->note_certified("t_mix_beta_" + format_double(beta, 3),
+                                double(mix.worst.time));
+      }
       out.row().cell("t_mix from extreme states").cell(
           (mix.worst.converged ? std::to_string(mix.worst.time)
                                : std::string("> budget")) +
@@ -124,9 +156,13 @@ void explore_beta(const ScenarioSpec& spec, Report& report, LogitChain& chain,
       }
     } else {
       const OperatorMixingResult mix =
-          mixing_time_operator(op, pi, starts, 0.25, step_cap);
+          mixing_time_operator(op, pi, starts, 0.25, step_cap, control);
       out.row().cell("t_mix from extreme states").cell(
           mix.worst.converged ? std::to_string(mix.worst.time) : "> budget");
+      if (control != nullptr && mix.worst.converged) {
+        control->note_certified("t_mix_beta_" + format_double(beta, 3),
+                                double(mix.worst.time));
+      }
     }
     if (spec_summary.converged) {
       const double pi_min_b = *std::min_element(pi.begin(), pi.end());
@@ -147,7 +183,8 @@ void explore_beta(const ScenarioSpec& spec, Report& report, LogitChain& chain,
     // the exact d(t) envelope, not a two-start lower bound.
     if (pi.size() <= kExploreCertifyCeiling) {
       const WorstStartCertificate cert =
-          certify_worst_start(op, pi, 0.25, kExploreCertifySteps);
+          certify_worst_start(op, pi, 0.25, kExploreCertifySteps, 64,
+                              /*per_step_defect=*/0.0, control);
       out.row().cell("t_mix(1/4) certified worst-start").cell(
           cert.worst.converged ? std::to_string(cert.worst.time)
                                : "> budget");
@@ -212,7 +249,14 @@ void run(const ScenarioSpec& spec, const RunOptions& opts, Report& report) {
   const std::string label = explore_label(spec);
   const int n = game->num_players();
   for (double beta : opts.betas_or({1.0})) {
-    explore_beta(spec, report, chain, stats, zeta, label, n, beta);
+    // Per-beta cancellation point: an expired deadline stops BEFORE the
+    // next section opens, so every emitted section is complete and the
+    // partial document validates (DESIGN.md §14).
+    if (opts.control != nullptr &&
+        opts.control->poll("explore_beta") != RunStatus::kCompleted) {
+      break;
+    }
+    explore_beta(spec, opts, report, chain, stats, zeta, label, n, beta);
   }
 }
 

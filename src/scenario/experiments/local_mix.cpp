@@ -14,6 +14,7 @@
 #include "games/graphical_coordination.hpp"
 #include "games/ising.hpp"
 #include "graph/builders.hpp"
+#include "local/checkpoint.hpp"
 #include "local/replica_fleet.hpp"
 #include "parallel/thread_pool.hpp"
 #include "scenario/experiments.hpp"
@@ -23,13 +24,33 @@ namespace logitdyn::scenario {
 namespace {
 
 using local::BinaryLocalRule;
+using local::FleetCheckpoint;
 using local::FleetOptions;
+using local::FleetRunOptions;
 using local::FleetSummary;
 using local::Kernel;
 using local::LocalDynamics;
 using local::LocalState;
 using local::LocalTopology;
 using local::ReplicaFleet;
+
+/// FNV-fold of the per-replica strategy fingerprints: one value that only
+/// matches when every replica's final strategies match — what the CI
+/// kill/resume leg greps out of the report and diffs.
+uint64_t fold_hashes(const std::vector<uint64_t>& hashes) {
+  uint64_t h = 1469598103934665603ull;
+  for (uint64_t x : hashes) {
+    h ^= x;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex_string(uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
 
 /// The spec's family decides the local rule AND the small-instance oracle
 /// game used by the exact cross-checks.
@@ -245,7 +266,19 @@ void run(const ScenarioSpec& spec, const RunOptions& opts, Report& report) {
     fopts.cadence = opts.smoke ? 2 : 5;
     fopts.measure_blocks = 4;
     ReplicaFleet fleet(&dyn, fopts);
-    const FleetSummary summary = fleet.run(master_seed);
+    // Run-control plumbing (DESIGN.md §14): deadline/cancel handle plus
+    // the checkpoint/resume knobs from the CLI — this is the section the
+    // CI kill/resume leg exercises.
+    FleetRunOptions fleet_run;
+    fleet_run.control = opts.control;
+    fleet_run.checkpoint_every = opts.checkpoint_every;
+    fleet_run.checkpoint_path = opts.checkpoint_path;
+    FleetCheckpoint resume_ck;
+    if (!opts.resume_path.empty()) {
+      resume_ck = local::load_checkpoint(opts.resume_path);
+      fleet_run.resume = &resume_ck;
+    }
+    const FleetSummary summary = fleet.run(master_seed, fleet_run);
     ReportTable& table = report.table({"round", "mag mean", "mag var",
                                        "Phi mean", "survival"});
     const size_t stride = std::max<size_t>(1, summary.steps.size() / 8);
@@ -260,6 +293,11 @@ void run(const ScenarioSpec& spec, const RunOptions& opts, Report& report) {
     table.print();
     report.record_value("consensus_count", Json(int64_t(summary.consensus_count)));
     report.record_value("fleet_players_per_sec", Json(summary.players_per_sec));
+    report.record_value("fleet_progress", Json(int64_t(summary.progress)));
+    report.record_value("fleet_interrupted", Json(summary.interrupted));
+    report.record_value(
+        "fleet_final_hash",
+        Json(hex_string(fold_hashes(summary.final_strategy_hash))));
     if (summary.tail_rate) {
       report.record_value("consensus_tail_rate", Json(*summary.tail_rate));
       report.note("survival tail rate (slope of -log S(t)): " +
@@ -268,6 +306,74 @@ void run(const ScenarioSpec& spec, const RunOptions& opts, Report& report) {
       report.note("survival curve never partially decayed in-horizon; no "
                   "tail rate fitted.");
     }
+  }
+
+  {
+    report.section("checkpoint/resume: snapshot round-trip bit-identity "
+                   "across pool sizes");
+    // For both kernels and pools {1, 2, 4}: run a small fleet to the end,
+    // run it again capturing the mid-horizon snapshot, round-trip that
+    // snapshot through its JSON codec in memory, resume from it, and
+    // demand the resumed run's strategies AND recorded observables match
+    // the uninterrupted run bit for bit (DESIGN.md §14).
+    const Graph graph = make_torus(20, 20);
+    const LocalTopology topo(graph);
+    const uint64_t seed = local::replica_seed(master_seed, 5);
+    bool all_identical = true;
+    ReportTable& table = report.table(
+        {"kernel", "pool threads", "full hash", "resumed hash", "identical"});
+    for (int kernel = 0; kernel < 2; ++kernel) {
+      for (size_t threads : {size_t(1), size_t(2), size_t(4)}) {
+        ThreadPool small_pool(threads);
+        LocalDynamics dyn(&topo, &fam.rule, 1.2, &small_pool);
+        FleetOptions fopts;
+        fopts.replicas = 3;
+        fopts.kernel = kernel == 0 ? Kernel::kAsync : Kernel::kConcurrent;
+        fopts.revise_prob = 0.5;
+        fopts.horizon = kernel == 0 ? 2000 : 8;
+        fopts.cadence = kernel == 0 ? 200 : 2;
+        fopts.measure_blocks = 2;
+        ReplicaFleet fleet(&dyn, fopts);
+
+        const FleetSummary full = fleet.run(seed);
+
+        FleetCheckpoint captured;
+        FleetRunOptions snapshotting;
+        snapshotting.checkpoint_every = fopts.horizon / 2;
+        snapshotting.capture = &captured;
+        fleet.run(seed, snapshotting);
+
+        const FleetCheckpoint restored =
+            FleetCheckpoint::from_json(Json::parse(captured.to_json().dump(0)));
+        FleetRunOptions resuming;
+        resuming.resume = &restored;
+        const FleetSummary resumed = fleet.run(seed, resuming);
+
+        const bool identical =
+            full.final_strategy_hash == resumed.final_strategy_hash &&
+            full.steps == resumed.steps &&
+            full.mag_mean == resumed.mag_mean &&
+            full.mag_var == resumed.mag_var &&
+            full.phi_mean == resumed.phi_mean &&
+            full.survival == resumed.survival;
+        all_identical = all_identical && identical;
+        table.row()
+            .cell(kernel == 0 ? "async" : "concurrent")
+            .cell(int64_t(threads))
+            .cell(hex_string(fold_hashes(full.final_strategy_hash)))
+            .cell(hex_string(fold_hashes(resumed.final_strategy_hash)))
+            .cell(identical ? "yes" : "NO");
+      }
+    }
+    table.print();
+    report.record_value("resume_bit_identical", Json(all_identical));
+    report.note(all_identical
+                    ? "a run resumed from a mid-horizon snapshot is "
+                      "bit-identical to the uninterrupted run — "
+                      "trajectories, observables, and flip counts — at "
+                      "every pool size and for both kernels."
+                    : "RESUME DIVERGENCE: a resumed run differs from the "
+                      "uninterrupted one.");
   }
 
   {

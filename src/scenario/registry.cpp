@@ -2,8 +2,11 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "support/error.hpp"
+#include "support/math.hpp"
+#include "support/run_control.hpp"
 
 namespace logitdyn::scenario {
 
@@ -64,7 +67,43 @@ void ExperimentRegistry::run(const std::string& name,
   report.set_scenario(full.to_json());
   report.set_options(opts.to_json());
   report.set_title_claim(info.title, info.claim);
-  info.run(full, opts, report);
+
+  // Run-control plumbing (DESIGN.md §14): arm a deadline when asked, run
+  // the fast_exp defect gate so degraded kernels are reported as such, and
+  // turn an interrupt anywhere inside the experiment into a partial report
+  // with a status block instead of a lost run.
+  RunOptions effective = opts;
+  std::unique_ptr<RunControl> owned;
+  if (effective.control == nullptr && effective.deadline_s > 0.0) {
+    owned = std::make_unique<RunControl>();
+    effective.control = owned.get();
+  }
+  if (effective.control != nullptr && effective.deadline_s > 0.0 &&
+      !effective.control->has_deadline()) {
+    effective.control->set_deadline_after(effective.deadline_s);
+  }
+  if (!fast_exp_gate_ok()) {
+    report.set_run_status(
+        RunStatus::kDegraded,
+        "fast_exp defect gate tripped — softmax on scalar reference");
+  }
+  try {
+    info.run(full, effective, report);
+  } catch (const InterruptedError& e) {
+    report.set_run_status(e.status(), e.what());
+  }
+  if (effective.control != nullptr) {
+    if (effective.control->interrupted()) {
+      report.set_run_status(effective.control->interrupt_status(),
+                            effective.control->interrupt_detail());
+    }
+    report.set_status_counters(effective.control->work_json(),
+                               effective.control->certified_json());
+  }
+  // Registry-run reports always carry a status block, even on the happy
+  // path (set_run_status is a no-op on severity once anything worse than
+  // kCompleted was merged above).
+  report.set_run_status(RunStatus::kCompleted);
 }
 
 std::vector<double> parse_beta_list(const std::string& arg) {

@@ -71,6 +71,11 @@ Json ReportTable::to_json() const {
   for (const std::string& h : headers_) headers.push_back(Json(h));
   Json rows = Json::array();
   for (const std::vector<Json>& row : rows_) {
+    // A row abandoned mid-fill (a RunControl interrupt unwound the
+    // experiment between cells) would disagree with the headers and fail
+    // validation — drop it; the completed rows stand as the partial
+    // result (DESIGN.md §14).
+    if (row.size() != headers_.size()) continue;
     Json r = Json::array();
     for (const Json& cell : row) r.push_back(cell);
     rows.push_back(std::move(r));
@@ -93,6 +98,10 @@ Json RunOptions::to_json() const {
   }
   j.set("smoke", smoke);
   if (threads != 0) j.set("threads", threads);
+  if (deadline_s > 0.0) j.set("deadline_s", deadline_s);
+  if (!checkpoint_path.empty()) j.set("checkpoint_path", checkpoint_path);
+  if (checkpoint_every > 0) j.set("checkpoint_every", checkpoint_every);
+  if (!resume_path.empty()) j.set("resume_path", resume_path);
   return j;
 }
 
@@ -158,6 +167,18 @@ void Report::record_seed(const std::string& name, uint64_t seed) {
   }
 }
 
+void Report::set_run_status(RunStatus status, const std::string& detail) {
+  status_set_ = true;
+  if (uint8_t(status) > uint8_t(status_)) status_ = status;
+  if (!detail.empty()) status_detail_.push_back(detail);
+}
+
+void Report::set_status_counters(Json work, Json certified) {
+  status_set_ = true;
+  status_work_ = std::move(work);
+  status_certified_ = std::move(certified);
+}
+
 Json Report::to_json() const {
   Json config = Json::object();
   config.set("title", title_);
@@ -187,8 +208,27 @@ Json Report::to_json() const {
   }
   Json measurements = Json::object();
   measurements.set("sections", std::move(sections));
-  return make_document("experiment", name_, std::move(config),
-                       std::move(measurements));
+  Json doc = make_document("experiment", name_, std::move(config),
+                           std::move(measurements));
+  // Status block (DESIGN.md §14): additive — the validator accepts its
+  // absence, so pre-§14 readers and goldens are untouched.
+  if (status_set_) {
+    Json status = Json::object();
+    status.set("state", run_status_name(status_));
+    if (!status_detail_.empty()) {
+      Json detail = Json::array();
+      for (const std::string& d : status_detail_) detail.push_back(Json(d));
+      status.set("detail", std::move(detail));
+    }
+    if (status_work_.is_object() && status_work_.size() > 0) {
+      status.set("work", status_work_);
+    }
+    if (status_certified_.is_object() && status_certified_.size() > 0) {
+      status.set("last_certified", status_certified_);
+    }
+    doc.set("status", std::move(status));
+  }
+  return doc;
 }
 
 // ------------------------------------------------------ shared documents
@@ -357,6 +397,32 @@ bool validate_document(const Json& doc, std::string* error, int depth) {
   const Json* measurements = doc.find("measurements");
   if (!measurements || !measurements->is_object()) {
     return fail(error, "missing \"measurements\" object");
+  }
+  // Optional status block (DESIGN.md §14) — absent on pre-§14 documents.
+  if (const Json* status = doc.find("status")) {
+    if (!status->is_object()) {
+      return fail(error, "\"status\" must be an object");
+    }
+    const Json* state = status->find("state");
+    if (!state || !state->is_string()) {
+      return fail(error, "status needs a string \"state\"");
+    }
+    const std::string& s = state->as_string();
+    if (s != "completed" && s != "degraded" && s != "deadline" &&
+        s != "cancelled" && s != "failed") {
+      return fail(error, "unknown status.state \"" + s + "\"");
+    }
+    if (const Json* detail = status->find("detail")) {
+      if (!detail->is_array()) {
+        return fail(error, "status.detail must be an array");
+      }
+      for (size_t d = 0; d < detail->size(); ++d) {
+        if (!detail->at(d).is_string()) {
+          return fail(error,
+                      "status.detail[" + std::to_string(d) + "] not a string");
+        }
+      }
+    }
   }
   const std::string& k = kind->as_string();
   if (k == "experiment") {

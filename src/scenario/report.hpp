@@ -15,6 +15,7 @@
 
 #include "support/fit.hpp"
 #include "support/json.hpp"
+#include "support/run_control.hpp"
 #include "support/table.hpp"
 
 namespace logitdyn::scenario {
@@ -70,6 +71,22 @@ struct RunOptions {
   bool smoke = false;
   /// Thread count for scenario sweeps (0 = ThreadPool::global()).
   int threads = 0;
+  /// Wall-clock budget in seconds (0 = none). ExperimentRegistry::run
+  /// arms a RunControl with it; an expired run still emits a schema-valid
+  /// report, with status.state == "deadline" and partial measurements
+  /// (DESIGN.md §14).
+  double deadline_s = 0.0;
+  /// Fleet checkpoint/resume (experiments with a sampling-scale fleet
+  /// phase, i.e. local_mix): snapshot file + cadence in steps/rounds, and
+  /// a snapshot file to resume from. Empty/0 = off.
+  std::string checkpoint_path;
+  uint64_t checkpoint_every = 0;
+  std::string resume_path;
+  /// The cancellation handle experiments thread through their long loops
+  /// (nullable). Installed by ExperimentRegistry::run (created there when
+  /// deadline_s > 0); external harnesses may pre-install their own and
+  /// cancel() it from another thread.
+  RunControl* control = nullptr;
 
   uint64_t seed_or(uint64_t fallback) const {
     return seed ? *seed : fallback;
@@ -113,6 +130,15 @@ class Report {
   /// Record an effective RNG seed (JSON config.seeds).
   void record_seed(const std::string& name, uint64_t seed);
 
+  /// Merge a run status into the report's status block (DESIGN.md §14):
+  /// the worst (highest-severity) state seen wins; a non-empty `detail`
+  /// appends one line regardless. Before the first call no status block
+  /// is emitted, so pre-§14 documents are byte-identical.
+  void set_run_status(RunStatus status, const std::string& detail = "");
+  /// Attach a RunControl's work/certified counters to the status block.
+  void set_status_counters(Json work, Json certified);
+  RunStatus run_status() const { return status_; }
+
   // --------------------------------------------------------- meta + JSON
   void set_scenario(Json scenario_json) { scenario_ = std::move(scenario_json); }
   void set_options(Json options_json) { options_ = std::move(options_json); }
@@ -147,6 +173,11 @@ class Report {
   Json options_;
   Json seeds_ = Json::object();
   std::vector<Section> sections_;
+  RunStatus status_ = RunStatus::kCompleted;
+  bool status_set_ = false;
+  std::vector<std::string> status_detail_;
+  Json status_work_;
+  Json status_certified_;
 };
 
 /// environment block shared by every emitted document: git SHA (the

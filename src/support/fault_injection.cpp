@@ -1,0 +1,136 @@
+#include "support/fault_injection.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "support/error.hpp"
+
+namespace logitdyn::fault {
+
+namespace {
+
+constexpr size_t kPoints = size_t(Point::kCount);
+
+struct Slot {
+  std::atomic<uint64_t> fire_at{0};  // 0 = disarmed
+  std::atomic<uint64_t> hits{0};
+};
+
+Slot g_slots[kPoints];
+std::once_flag g_env_once;
+
+const char* const kNames[kPoints] = {
+    "timeout",     "snapshot_kill", "apply_nan",       "lanczos_nan",
+    "tv_nan",      "isa_gate",      "cheb_uncertified",
+};
+
+void recompute_any_armed() {
+  bool any = false;
+  for (const Slot& s : g_slots) {
+    any = any || s.fire_at.load(std::memory_order_relaxed) != 0;
+  }
+  detail::g_any_armed.store(any, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_any_armed{false};
+
+void init_from_env() {
+  std::call_once(g_env_once, [] {
+    const char* spec = std::getenv("LOGITDYN_FAULT");
+    if (spec == nullptr || *spec == '\0') return;
+    for (const auto& [point, at_hit] : parse_spec(spec)) arm(point, at_hit);
+  });
+}
+
+}  // namespace detail
+
+const char* point_name(Point p) {
+  LD_CHECK(size_t(p) < kPoints, "fault::point_name: bad point");
+  return kNames[size_t(p)];
+}
+
+void arm(Point p, uint64_t at_hit) {
+  LD_CHECK(size_t(p) < kPoints, "fault::arm: bad point");
+  LD_CHECK(at_hit >= 1, "fault::arm: at_hit is 1-based");
+  g_slots[size_t(p)].hits.store(0, std::memory_order_relaxed);
+  g_slots[size_t(p)].fire_at.store(at_hit, std::memory_order_relaxed);
+  detail::g_any_armed.store(true, std::memory_order_relaxed);
+}
+
+void disarm(Point p) {
+  LD_CHECK(size_t(p) < kPoints, "fault::disarm: bad point");
+  g_slots[size_t(p)].fire_at.store(0, std::memory_order_relaxed);
+  recompute_any_armed();
+}
+
+void disarm_all() {
+  for (Slot& s : g_slots) {
+    s.fire_at.store(0, std::memory_order_relaxed);
+    s.hits.store(0, std::memory_order_relaxed);
+  }
+  detail::g_any_armed.store(false, std::memory_order_relaxed);
+}
+
+bool armed(Point p) {
+  detail::init_from_env();
+  LD_CHECK(size_t(p) < kPoints, "fault::armed: bad point");
+  return g_slots[size_t(p)].fire_at.load(std::memory_order_relaxed) != 0;
+}
+
+uint64_t hits(Point p) {
+  LD_CHECK(size_t(p) < kPoints, "fault::hits: bad point");
+  return g_slots[size_t(p)].hits.load(std::memory_order_relaxed);
+}
+
+bool should_fire(Point p) {
+  if (!any_armed()) return false;
+  LD_CHECK(size_t(p) < kPoints, "fault::should_fire: bad point");
+  Slot& slot = g_slots[size_t(p)];
+  const uint64_t fire_at = slot.fire_at.load(std::memory_order_relaxed);
+  if (fire_at == 0) return false;
+  const uint64_t hit = slot.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (hit != fire_at) return false;
+  slot.fire_at.store(0, std::memory_order_relaxed);
+  recompute_any_armed();
+  return true;
+}
+
+std::vector<std::pair<Point, uint64_t>> parse_spec(const std::string& spec) {
+  std::vector<std::pair<Point, uint64_t>> out;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    uint64_t at_hit = 1;
+    const size_t eq = item.find('=');
+    if (eq != std::string::npos) {
+      const std::string count = item.substr(eq + 1);
+      item.resize(eq);
+      char* tail = nullptr;
+      at_hit = std::strtoull(count.c_str(), &tail, 10);
+      LD_CHECK(tail != nullptr && *tail == '\0' && at_hit >= 1,
+               "fault::parse_spec: bad hit count '", count, "'");
+    }
+    bool known = false;
+    for (size_t i = 0; i < kPoints; ++i) {
+      if (item == kNames[i]) {
+        out.emplace_back(Point(i), at_hit);
+        known = true;
+        break;
+      }
+    }
+    LD_CHECK(known, "fault::parse_spec: unknown fault point '", item,
+             "' (known: timeout, snapshot_kill, apply_nan, lanczos_nan, "
+             "tv_nan, isa_gate, cheb_uncertified)");
+  }
+  return out;
+}
+
+}  // namespace logitdyn::fault

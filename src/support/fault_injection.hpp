@@ -1,0 +1,78 @@
+// Deterministic fault-injection harness (DESIGN.md §14).
+//
+// Each injection point is a named site in production code that consults
+// `should_fire(point)` — a deterministic hit counter, not a coin flip.
+// Points are armed either programmatically (tests: arm/disarm_all) or via
+// the LOGITDYN_FAULT environment variable (CI kill/resume legs):
+//
+//     LOGITDYN_FAULT="snapshot_kill"          fire at the 1st hit
+//     LOGITDYN_FAULT="timeout=5"              fire at the 5th hit
+//     LOGITDYN_FAULT="timeout=3,apply_nan"    several points at once
+//
+// A point fires exactly once (at the armed hit index) and then disarms —
+// the intended degradation path runs deterministically and the rest of
+// the process proceeds unpoisoned. Unknown point names in the env spec
+// throw loudly rather than silently injecting nothing.
+//
+// The unarmed cost is one relaxed atomic load (`any_armed`), cheap enough
+// for the softmax hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace logitdyn::fault {
+
+enum class Point : uint8_t {
+  kForcedTimeout = 0,  ///< RunControl::poll reports kDeadline at the k-th poll
+  kSnapshotKill,       ///< write_file_atomic exits(42) after fsync, pre-rename
+  kApplyNaN,           ///< softmax weight sum poisoned to NaN
+  kLanczosNaN,         ///< Lanczos iterate poisoned after an operator apply
+  kTvNaN,              ///< batched TV reduction poisoned to NaN
+  kIsaGateTrip,        ///< runtime fast_exp defect gate reports failure
+  kChebUncertified,    ///< spectral certification reported as failed
+  kCount,
+};
+
+/// Stable point name, as accepted by LOGITDYN_FAULT ("timeout",
+/// "snapshot_kill", "apply_nan", "lanczos_nan", "tv_nan", "isa_gate",
+/// "cheb_uncertified").
+const char* point_name(Point p);
+
+/// Arm `p` to fire at its `at_hit`-th future hit (1-based; resets the hit
+/// counter). Thread-safe.
+void arm(Point p, uint64_t at_hit = 1);
+
+/// Disarm one point / all points (tests call disarm_all in teardown).
+void disarm(Point p);
+void disarm_all();
+
+bool armed(Point p);
+
+/// Hits recorded against `p` since it was last armed.
+uint64_t hits(Point p);
+
+namespace detail {
+extern std::atomic<bool> g_any_armed;
+void init_from_env();
+}  // namespace detail
+
+/// Fast path for hot loops: false unless at least one point is armed
+/// (env spec included — parsed once, on first call).
+inline bool any_armed() {
+  detail::init_from_env();
+  return detail::g_any_armed.load(std::memory_order_relaxed);
+}
+
+/// Count a hit at point `p`; true exactly at the armed hit index, after
+/// which the point disarms. Deterministic and thread-safe.
+bool should_fire(Point p);
+
+/// Parse a LOGITDYN_FAULT-style spec into (point, at_hit) pairs. Throws
+/// logitdyn::Error on unknown names or malformed counts. Exposed for
+/// tests; `init_from_env` uses it on the real environment variable.
+std::vector<std::pair<Point, uint64_t>> parse_spec(const std::string& spec);
+
+}  // namespace logitdyn::fault

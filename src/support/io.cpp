@@ -1,0 +1,94 @@
+#include "support/io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/fault_injection.hpp"
+
+namespace logitdyn {
+
+namespace {
+
+void sync_parent_directory(const std::string& path) {
+  // Renames are only durable once the directory entry is on disk; failure
+  // here is a durability (not atomicity) concern, so it stays best-effort.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  LD_CHECK(fd >= 0, "write_file_atomic: cannot open ", tmp, ": ",
+           std::strerror(errno));
+  size_t written = 0;
+  bool ok = true;
+  while (ok && written < text.size()) {
+    const ssize_t n =
+        ::write(fd, text.data() + written, text.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+    } else {
+      written += size_t(n);
+    }
+  }
+  ok = ok && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    LD_CHECK(false, "write_file_atomic: short write to ", tmp, ": ",
+             std::strerror(errno));
+  }
+  if (fault::any_armed() &&
+      fault::should_fire(fault::Point::kSnapshotKill)) {
+    // Simulated crash in the atomicity window: the durable .tmp exists,
+    // the rename has not happened, the target is whatever it was before.
+    std::_Exit(42);
+  }
+  LD_CHECK(::rename(tmp.c_str(), path.c_str()) == 0,
+           "write_file_atomic: rename ", tmp, " -> ", path, ": ",
+           std::strerror(errno));
+  sync_parent_directory(path);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  LD_CHECK(in.good(), "read_file: cannot open ", path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string format_hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+double parse_hex_double(const std::string& s) {
+  char* tail = nullptr;
+  const double v = std::strtod(s.c_str(), &tail);
+  LD_CHECK(tail != nullptr && tail != s.c_str() && *tail == '\0',
+           "parse_hex_double: bad hexfloat '", s, "'");
+  return v;
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,30 @@
+// Durable file output + bit-exact double text round-trips (DESIGN.md §14).
+//
+// Every JSON artifact the project emits (reports, BENCH files, fleet
+// snapshots) goes through write_file_atomic: the bytes land in
+// `<path>.tmp`, are fsync'd, and only then renamed over `<path>` — so a
+// killed process leaves either the old complete file or the new complete
+// file, never a truncated one for perf_diff.py / CI / resume to choke on.
+#pragma once
+
+#include <string>
+
+namespace logitdyn {
+
+/// Atomically replace `path` with `text`: write <path>.tmp, fsync, rename.
+/// The snapshot_kill fault point (support/fault_injection) fires between
+/// the fsync and the rename — the exact window a crash-consistency test
+/// cares about — and terminates the process with exit code 42.
+/// Throws Error on I/O failure.
+void write_file_atomic(const std::string& path, const std::string& text);
+
+/// Read a whole file; throws Error when it cannot be opened.
+std::string read_file(const std::string& path);
+
+/// Bit-exact double <-> text: C99 hexfloat ("%a"). json_number_to_string
+/// is only round-trip-ish, so snapshot payloads that must resume
+/// bit-identically store their doubles through these instead.
+std::string format_hex_double(double v);
+double parse_hex_double(const std::string& s);
+
+}  // namespace logitdyn

@@ -1,12 +1,58 @@
 #include "support/math.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
 #include "support/error.hpp"
+#include "support/fault_injection.hpp"
 #include "support/isa.hpp"
+#include "support/run_control.hpp"
 
 namespace logitdyn {
+
+namespace {
+// Sticky process-wide degradation flag: set when the runtime defect gate
+// trips, read (one relaxed load) at the top of every softmax call.
+std::atomic<bool> g_fast_exp_tripped{false};
+std::atomic<bool> g_fast_exp_probed{false};
+}  // namespace
+
+bool fast_exp_gate_ok(bool recheck) {
+  if (!recheck && g_fast_exp_probed.load(std::memory_order_relaxed)) {
+    return !g_fast_exp_tripped.load(std::memory_order_relaxed);
+  }
+  // Probe grid spanning the clamped domain, denser near 0 where the
+  // softmax arguments live. 1e-6 matches the CI cross-check gate; the
+  // kernel's true defect is ~2 ulp, so a trip means a broken build or
+  // dispatch, not noise.
+  bool ok = true;
+  for (double x = -700.0; x <= 700.0; x += 0.5) {
+    const double ref = std::exp(x);
+    const double got = fast_exp(x);
+    if (std::abs(got - ref) > 1e-6 * std::abs(ref)) {
+      ok = false;
+      break;
+    }
+  }
+  if (fault::any_armed() && fault::should_fire(fault::Point::kIsaGateTrip)) {
+    ok = false;
+  }
+  if (!ok) g_fast_exp_tripped.store(true, std::memory_order_relaxed);
+  g_fast_exp_probed.store(true, std::memory_order_relaxed);
+  return ok;
+}
+
+bool fast_exp_gate_tripped() {
+  return g_fast_exp_tripped.load(std::memory_order_relaxed);
+}
+
+namespace math_detail {
+void reset_fast_exp_gate() {
+  g_fast_exp_tripped.store(false, std::memory_order_relaxed);
+  g_fast_exp_probed.store(false, std::memory_order_relaxed);
+}
+}  // namespace math_detail
 
 double log_sum_exp(std::span<const double> v) {
   if (v.empty()) return -std::numeric_limits<double>::infinity();
@@ -20,6 +66,12 @@ double log_sum_exp(std::span<const double> v) {
 void softmax(std::span<const double> v, std::span<double> out) {
   LD_CHECK(v.size() == out.size(), "softmax size mismatch");
   LD_CHECK(!v.empty(), "softmax of empty span");
+  // Degradation ladder (DESIGN.md §14): once the runtime defect gate has
+  // tripped, every softmax runs on the certified scalar reference.
+  if (g_fast_exp_tripped.load(std::memory_order_relaxed)) {
+    softmax_scalar(v, out);
+    return;
+  }
   // Three flat branch-free loops (max reduce, fast_exp, normalize) so the
   // compiler can vectorize each; see softmax_scalar for the retained
   // std::exp reference.
@@ -36,6 +88,16 @@ void softmax(std::span<const double> v, std::span<double> out) {
   }
   double s = 0.0;
   for (size_t i = 0; i < v.size(); ++i) s += out[i];
+  if (fault::any_armed() && fault::should_fire(fault::Point::kApplyNaN)) {
+    s = std::numeric_limits<double>::quiet_NaN();
+  }
+  // Health guard: a NaN/Inf utility (or a poisoned apply) must surface as
+  // a typed error here, not as garbage weights certified downstream.
+  if (!std::isfinite(s) || s <= 0.0) {
+    throw NumericalError(
+        "softmax: non-finite or non-positive weight sum — a NaN/Inf "
+        "utility reached the update rule");
+  }
   for (double& x : out) x /= s;
 }
 
@@ -47,6 +109,11 @@ void softmax_scalar(std::span<const double> v, std::span<double> out) {
   for (size_t i = 0; i < v.size(); ++i) {
     out[i] = std::exp(v[i] - m);
     s += out[i];
+  }
+  if (!std::isfinite(s) || s <= 0.0) {
+    throw NumericalError(
+        "softmax_scalar: non-finite or non-positive weight sum — a "
+        "NaN/Inf utility reached the update rule");
   }
   for (double& x : out) x /= s;
 }

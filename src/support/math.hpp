@@ -91,6 +91,25 @@ void softmax(std::span<const double> v, std::span<double> out);
 /// BENCH_apply.json).
 void softmax_scalar(std::span<const double> v, std::span<double> out);
 
+/// Runtime defect gate on the vectorized exp path (DESIGN.md §14): probe
+/// fast_exp against std::exp over the clamped domain; if the max relative
+/// defect exceeds 1e-6 (a miscompiled/misdispatched kernel — or the
+/// isa_gate fault point), every subsequent softmax() degrades to the
+/// certified softmax_scalar reference, process-wide and sticky. Returns
+/// true while the fast path is trusted. The probe runs once per process
+/// (idempotent thereafter); `recheck` re-runs it (test seam). The
+/// ExperimentRegistry runs the gate before each experiment so degraded
+/// runs are reported as such.
+bool fast_exp_gate_ok(bool recheck = false);
+
+/// True once the gate has tripped (softmax now routes to softmax_scalar).
+bool fast_exp_gate_tripped();
+
+namespace math_detail {
+/// Test seam: restore the untripped, unprobed state.
+void reset_fast_exp_gate();
+}  // namespace math_detail
+
 /// Relative-or-absolute closeness test: |a-b| <= atol + rtol*max(|a|,|b|).
 bool almost_equal(double a, double b, double rtol = 1e-9, double atol = 1e-12);
 

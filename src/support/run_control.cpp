@@ -1,0 +1,131 @@
+#include "support/run_control.hpp"
+
+#include <sstream>
+
+#include "support/fault_injection.hpp"
+
+namespace logitdyn {
+
+const char* run_status_name(RunStatus s) {
+  switch (s) {
+    case RunStatus::kCompleted: return "completed";
+    case RunStatus::kDegraded: return "degraded";
+    case RunStatus::kDeadline: return "deadline";
+    case RunStatus::kCancelled: return "cancelled";
+    case RunStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+void RunControl::set_deadline_after(double seconds) {
+  LD_CHECK(seconds > 0.0, "RunControl: deadline must be > 0 seconds");
+  deadline_seconds_ = seconds;
+  deadline_at_ = std::chrono::steady_clock::now() +
+                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(seconds));
+  has_deadline_ = true;
+}
+
+void RunControl::set_heartbeat(HeartbeatFn sink, uint64_t stride) {
+  LD_CHECK(stride >= 1, "RunControl: heartbeat stride must be >= 1");
+  std::lock_guard<std::mutex> lock(mu_);
+  heartbeat_ = std::move(sink);
+  heartbeat_stride_ = stride;
+  last_beat_ = 0;
+}
+
+RunStatus RunControl::poll(const char* phase, uint64_t units) {
+  const uint64_t total = work_.fetch_add(units, std::memory_order_relaxed)
+                         + units;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool found = false;
+    for (auto& [name, count] : phase_units_) {
+      if (name == phase) {
+        count += units;
+        found = true;
+        break;
+      }
+    }
+    if (!found) phase_units_.emplace_back(phase, units);
+    if (heartbeat_ && total / heartbeat_stride_ > last_beat_) {
+      last_beat_ = total / heartbeat_stride_;
+      heartbeat_(RunProgress{phase, total});
+    }
+  }
+  // Sticky: the first interrupt wins; later polls just report it.
+  RunStatus current = interrupt_status();
+  if (current != RunStatus::kCompleted) return current;
+  if (fault::any_armed() &&
+      fault::should_fire(fault::Point::kForcedTimeout)) {
+    mark_interrupt(RunStatus::kDeadline, phase, total);
+  } else if (cancel_requested()) {
+    mark_interrupt(RunStatus::kCancelled, phase, total);
+  } else if (has_deadline_ &&
+             std::chrono::steady_clock::now() >= deadline_at_) {
+    mark_interrupt(RunStatus::kDeadline, phase, total);
+  }
+  return interrupt_status();
+}
+
+void RunControl::checkpoint(const char* phase, uint64_t units) {
+  const RunStatus status = poll(phase, units);
+  if (status != RunStatus::kCompleted) {
+    throw InterruptedError(status, interrupt_detail());
+  }
+}
+
+void RunControl::mark_interrupt(RunStatus status, const char* phase,
+                                uint64_t units) {
+  uint8_t expected = uint8_t(RunStatus::kCompleted);
+  if (!interrupt_.compare_exchange_strong(expected, uint8_t(status),
+                                          std::memory_order_relaxed)) {
+    return;  // someone else interrupted first; keep their record
+  }
+  std::ostringstream os;
+  if (status == RunStatus::kCancelled) {
+    os << "cancelled in phase '" << phase << "' after " << units
+       << " work units";
+  } else {
+    os << "deadline";
+    if (has_deadline_) os << " (" << deadline_seconds_ << " s)";
+    os << " expired in phase '" << phase << "' after " << units
+       << " work units";
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  interrupt_detail_ = os.str();
+}
+
+std::string RunControl::interrupt_detail() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return interrupt_detail_;
+}
+
+void RunControl::note_certified(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, stored] : certified_) {
+    if (key == name) {
+      stored = value;
+      return;
+    }
+  }
+  certified_.emplace_back(name, value);
+}
+
+Json RunControl::work_json() const {
+  Json out = Json::object();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, count] : phase_units_) {
+    out.set(name, Json(count));
+  }
+  return out;
+}
+
+Json RunControl::certified_json() const {
+  Json out = Json::object();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, value] : certified_) out.set(name, Json(value));
+  return out;
+}
+
+}  // namespace logitdyn

@@ -1,0 +1,146 @@
+// Run control (DESIGN.md §14): deadlines, cooperative cancellation, and
+// progress accounting for every long loop in the library.
+//
+// A RunControl is a passive handle: the owning harness configures a
+// deadline and/or cancels it from any thread; the compute loops call
+// `poll()` (returns the interrupt status — loops that can hand back a
+// partial result stop and mark it) or `checkpoint()` (throws
+// InterruptedError — loops whose partial state is useless) once per
+// iteration of their OUTER loop, so the overhead is one clock read per
+// O(apply)-sized unit of work. The first interrupt observed is sticky:
+// every later poll reports the same status, so nested loops unwind
+// consistently and the harness can turn the whole thing into a partial
+// Report with a structured status block.
+//
+// All methods are thread-safe; poll/checkpoint may be called from pool
+// workers (TransitionBuilder shards do).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace logitdyn {
+
+/// Terminal disposition of a run, ordered by severity (a Report keeps the
+/// worst status it has seen).
+enum class RunStatus : uint8_t {
+  kCompleted = 0,  ///< ran to the end, no degradation
+  kDegraded,       ///< completed on a fallback path (see status detail)
+  kDeadline,       ///< wall-clock budget expired; results are partial
+  kCancelled,      ///< cooperatively cancelled; results are partial
+  kFailed,         ///< unrecoverable error; results are partial at best
+};
+
+const char* run_status_name(RunStatus s);
+
+/// Thrown by RunControl::checkpoint() at call sites that cannot return a
+/// partial result (mid-shard builders, mid-recurrence evolvers). Carries
+/// the interrupt status so the harness can report deadline vs cancelled.
+class InterruptedError : public Error {
+ public:
+  InterruptedError(RunStatus status, const std::string& what)
+      : Error(what), status_(status) {}
+  RunStatus status() const { return status_; }
+
+ private:
+  RunStatus status_;
+};
+
+/// Thrown by the NaN/Inf health guards (softmax weight sums, Lanczos
+/// recurrence coefficients, TV reductions) instead of letting non-finite
+/// values propagate into certified results.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// Progress heartbeat payload: total work units counted so far and the
+/// phase label of the poll that crossed the stride.
+struct RunProgress {
+  const char* phase = "";
+  uint64_t work_units = 0;
+};
+
+class RunControl {
+ public:
+  using HeartbeatFn = std::function<void(const RunProgress&)>;
+
+  RunControl() = default;
+  RunControl(const RunControl&) = delete;
+  RunControl& operator=(const RunControl&) = delete;
+
+  /// Arm a wall-clock deadline `seconds` from now (must be > 0).
+  void set_deadline_after(double seconds);
+  bool has_deadline() const { return has_deadline_; }
+  double deadline_seconds() const { return deadline_seconds_; }
+
+  /// Request cooperative cancellation (sticky; any thread).
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Install a heartbeat sink invoked (under the control's lock) whenever
+  /// the cumulative work counter crosses a multiple of `stride` units.
+  void set_heartbeat(HeartbeatFn sink, uint64_t stride = 1);
+
+  /// THE cancellation point. Counts `units` of work under `phase`, beats
+  /// the heart, checks cancellation and the deadline, and returns the
+  /// sticky interrupt status — kCompleted means keep going. Call once per
+  /// outer-loop iteration.
+  RunStatus poll(const char* phase, uint64_t units = 1);
+
+  /// poll(), but throws InterruptedError instead of returning a non-
+  /// kCompleted status — for loops that cannot hand back partial work.
+  void checkpoint(const char* phase, uint64_t units = 1);
+
+  /// First interrupt observed (kCompleted if the run was never stopped).
+  RunStatus interrupt_status() const {
+    return RunStatus(interrupt_.load(std::memory_order_relaxed));
+  }
+  bool interrupted() const {
+    return interrupt_status() != RunStatus::kCompleted;
+  }
+  /// Human-readable account of the interrupt ("" while running).
+  std::string interrupt_detail() const;
+
+  /// Record the most recent certified/partial result by name ("t_mix",
+  /// "lambda2", ...) so a partial report can say how far the run got.
+  void note_certified(const std::string& name, double value);
+
+  uint64_t work_units() const {
+    return work_.load(std::memory_order_relaxed);
+  }
+  /// {"phase": units, ...} counters for the report status block.
+  Json work_json() const;
+  /// {"name": value, ...} of note_certified entries (empty object if none).
+  Json certified_json() const;
+
+ private:
+  void mark_interrupt(RunStatus status, const char* phase, uint64_t units);
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<uint8_t> interrupt_{uint8_t(RunStatus::kCompleted)};
+  bool has_deadline_ = false;
+  double deadline_seconds_ = 0.0;
+  std::chrono::steady_clock::time_point deadline_at_{};
+  std::atomic<uint64_t> work_{0};
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, uint64_t>> phase_units_;
+  std::vector<std::pair<std::string, double>> certified_;
+  std::string interrupt_detail_;
+  HeartbeatFn heartbeat_;
+  uint64_t heartbeat_stride_ = 0;
+  uint64_t last_beat_ = 0;
+};
+
+}  // namespace logitdyn

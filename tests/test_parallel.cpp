@@ -71,5 +71,30 @@ TEST(ParallelForTest, RespectsMinBlockByStillCoveringRange) {
   for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
 }
 
+// Pins the exception contract the run-control layer leans on (DESIGN.md
+// §14): a worker throwing mid-range (e.g. RunControl::checkpoint inside a
+// TransitionBuilder shard) drains EVERY future first, then rethrows the
+// first exception on the calling thread — no detached worker still
+// touching shard state, and the pool stays usable afterwards.
+TEST(ParallelForTest, RethrowsFirstWorkerExceptionAfterDrainingAll) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(256);
+  EXPECT_THROW(
+      parallel_for(pool, 0, hits.size(),
+                   [&](size_t i) {
+                     hits[i].fetch_add(1);
+                     if (i == 40) throw std::runtime_error("shard 40 died");
+                   }),
+      std::runtime_error);
+  // Every iteration either ran exactly once or (for blocks abandoned
+  // after the throw) not at all — never twice.
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_LE(hits[i].load(), 1);
+  EXPECT_EQ(hits[40].load(), 1);
+  // The pool survives: a follow-up dispatch completes normally.
+  std::atomic<int> after{0};
+  parallel_for(pool, 0, size_t(64), [&](size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 64);
+}
+
 }  // namespace
 }  // namespace logitdyn

@@ -1,0 +1,627 @@
+// Run-control layer tests (DESIGN.md §14): RunControl semantics (polling,
+// cancellation, deadlines, work accounting), the deterministic
+// fault-injection harness, interrupt partials from Lanczos / the mixing
+// drivers / TransitionBuilder, fleet checkpoint/resume bit-identity at
+// every pool size, atomic file writes under a mid-write kill, NaN health
+// guards, the fast_exp degradation ladder, and the partial-report status
+// block an expired deadline produces.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "analysis/mixing.hpp"
+#include "core/chain.hpp"
+#include "core/logit_operator.hpp"
+#include "core/transition_builder.hpp"
+#include "games/coordination.hpp"
+#include "games/plateau.hpp"
+#include "graph/builders.hpp"
+#include "linalg/lanczos.hpp"
+#include "local/checkpoint.hpp"
+#include "local/local_dynamics.hpp"
+#include "local/local_rule.hpp"
+#include "local/replica_fleet.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/rng.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
+#include "support/fault_injection.hpp"
+#include "support/io.hpp"
+#include "support/isa.hpp"
+#include "support/math.hpp"
+#include "support/run_control.hpp"
+
+namespace logitdyn {
+namespace {
+
+// Every test that arms a fault point must leave the harness clean.
+class FaultGuard {
+ public:
+  FaultGuard() { fault::disarm_all(); }
+  ~FaultGuard() { fault::disarm_all(); }
+};
+
+// ------------------------------------------------------------ RunControl
+
+TEST(RunControlTest, PollCountsWorkByPhase) {
+  RunControl control;
+  EXPECT_EQ(control.poll("alpha", 3), RunStatus::kCompleted);
+  EXPECT_EQ(control.poll("alpha", 2), RunStatus::kCompleted);
+  EXPECT_EQ(control.poll("beta", 7), RunStatus::kCompleted);
+  EXPECT_EQ(control.work_units(), 12u);
+  const Json work = control.work_json();
+  ASSERT_TRUE(work.is_object());
+  EXPECT_EQ(work.at("alpha").as_int(), 5);
+  EXPECT_EQ(work.at("beta").as_int(), 7);
+  EXPECT_FALSE(control.interrupted());
+  EXPECT_EQ(control.interrupt_detail(), "");
+}
+
+TEST(RunControlTest, CancelIsStickyAndCheckpointThrows) {
+  RunControl control;
+  control.cancel();
+  EXPECT_EQ(control.poll("work"), RunStatus::kCancelled);
+  // Sticky: every later poll reports the same first interrupt.
+  EXPECT_EQ(control.poll("other"), RunStatus::kCancelled);
+  EXPECT_TRUE(control.interrupted());
+  EXPECT_EQ(control.interrupt_status(), RunStatus::kCancelled);
+  EXPECT_NE(control.interrupt_detail(), "");
+  try {
+    control.checkpoint("work");
+    FAIL() << "checkpoint() must throw once interrupted";
+  } catch (const InterruptedError& e) {
+    EXPECT_EQ(e.status(), RunStatus::kCancelled);
+  }
+}
+
+TEST(RunControlTest, ExpiredDeadlineReportsDeadline) {
+  RunControl control;
+  control.set_deadline_after(1e-9);
+  EXPECT_TRUE(control.has_deadline());
+  EXPECT_EQ(control.poll("work"), RunStatus::kDeadline);
+  EXPECT_EQ(control.interrupt_status(), RunStatus::kDeadline);
+}
+
+TEST(RunControlTest, HeartbeatFiresOnStrideCrossings) {
+  RunControl control;
+  std::vector<uint64_t> beats;
+  control.set_heartbeat(
+      [&](const RunProgress& p) { beats.push_back(p.work_units); },
+      /*stride=*/10);
+  for (int i = 0; i < 5; ++i) control.poll("work", 5);
+  // 25 units crossed the 10- and 20-unit marks.
+  ASSERT_EQ(beats.size(), 2u);
+  EXPECT_GE(beats[0], 10u);
+  EXPECT_GE(beats[1], 20u);
+}
+
+TEST(RunControlTest, NoteCertifiedLandsInJson) {
+  RunControl control;
+  EXPECT_EQ(control.certified_json().size(), 0u);
+  control.note_certified("t_mix", 42.0);
+  control.note_certified("lambda2", 0.75);
+  control.note_certified("t_mix", 43.0);  // latest value wins
+  const Json certified = control.certified_json();
+  EXPECT_EQ(certified.at("t_mix").as_double(), 43.0);
+  EXPECT_EQ(certified.at("lambda2").as_double(), 0.75);
+}
+
+TEST(RunControlTest, ForcedTimeoutFaultFiresAtArmedPoll) {
+  FaultGuard guard;
+  RunControl control;  // no deadline, never cancelled
+  fault::arm(fault::Point::kForcedTimeout, /*at_hit=*/3);
+  EXPECT_EQ(control.poll("work"), RunStatus::kCompleted);
+  EXPECT_EQ(control.poll("work"), RunStatus::kCompleted);
+  EXPECT_EQ(control.poll("work"), RunStatus::kDeadline);
+  // Single-shot: the point disarmed, but the interrupt is sticky anyway.
+  EXPECT_EQ(control.poll("work"), RunStatus::kDeadline);
+}
+
+// ------------------------------------------------------- fault injection
+
+TEST(FaultInjectionTest, SingleShotSemantics) {
+  FaultGuard guard;
+  fault::arm(fault::Point::kApplyNaN, /*at_hit=*/2);
+  EXPECT_TRUE(fault::armed(fault::Point::kApplyNaN));
+  EXPECT_FALSE(fault::should_fire(fault::Point::kApplyNaN));
+  EXPECT_TRUE(fault::should_fire(fault::Point::kApplyNaN));
+  // Fired once, then disarmed.
+  EXPECT_FALSE(fault::armed(fault::Point::kApplyNaN));
+  EXPECT_FALSE(fault::should_fire(fault::Point::kApplyNaN));
+}
+
+TEST(FaultInjectionTest, ParseSpecAcceptsNamesAndCounts) {
+  const auto spec = fault::parse_spec("timeout=3,apply_nan");
+  ASSERT_EQ(spec.size(), 2u);
+  EXPECT_EQ(spec[0].first, fault::Point::kForcedTimeout);
+  EXPECT_EQ(spec[0].second, 3u);
+  EXPECT_EQ(spec[1].first, fault::Point::kApplyNaN);
+  EXPECT_EQ(spec[1].second, 1u);
+  EXPECT_THROW(fault::parse_spec("no_such_point"), Error);
+  EXPECT_THROW(fault::parse_spec("timeout=zero"), Error);
+}
+
+// ---------------------------------------------------------- atomic write
+
+TEST(AtomicWriteTest, RoundTripsAndReplacesAtomically) {
+  const std::string path = testing::TempDir() + "ld_atomic_write.json";
+  write_file_atomic(path, "first\n");
+  EXPECT_EQ(read_file(path), "first\n");
+  write_file_atomic(path, "second\n");
+  EXPECT_EQ(read_file(path), "second\n");
+  // The staging file never survives a successful write.
+  EXPECT_THROW(read_file(path + ".tmp"), Error);
+}
+
+TEST(AtomicWriteDeathTest, SnapshotKillLeavesPreviousFileIntact) {
+  const std::string path = testing::TempDir() + "ld_snapshot_kill.json";
+  write_file_atomic(path, "old snapshot\n");
+  // The fault fires between the .tmp fsync and the rename — the exact
+  // window a mid-write kill cares about — and exits 42.
+  EXPECT_EXIT(
+      {
+        fault::arm(fault::Point::kSnapshotKill);
+        write_file_atomic(path, "new snapshot\n");
+      },
+      testing::ExitedWithCode(42), "");
+  EXPECT_EQ(read_file(path), "old snapshot\n");
+}
+
+TEST(HexDoubleTest, BitExactRoundTrip) {
+  for (double v : {0.0, -0.0, 1.0, -1.5, 0.1, 3.141592653589793,
+                   1e-300, -2.2250738585072014e-308, 1e300}) {
+    const double back = parse_hex_double(format_hex_double(v));
+    EXPECT_EQ(std::signbit(back), std::signbit(v));
+    EXPECT_EQ(back, v);
+  }
+}
+
+// ------------------------------------------------------ NaN health guards
+
+TEST(NumericalGuardTest, PoisonedSoftmaxThrowsTyped) {
+  FaultGuard guard;
+  const std::vector<double> v = {0.1, 0.7, -0.3, 0.2};
+  std::vector<double> out(v.size());
+  fault::arm(fault::Point::kApplyNaN);
+  EXPECT_THROW(softmax(v, out), NumericalError);
+  // Unpoisoned calls work again (single-shot fault).
+  softmax(v, out);
+  double sum = 0.0;
+  for (double x : out) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(NumericalGuardTest, PoisonedLanczosThrowsTyped) {
+  FaultGuard guard;
+  const PlateauGame game(5, 2.0, 1.0);
+  LogitChain chain(game, 1.0);
+  const std::vector<double> pi = chain.stationary();
+  const LogitOperator op(game, 1.0, UpdateKind::kAsynchronous);
+  fault::arm(fault::Point::kLanczosNaN);
+  EXPECT_THROW(lanczos_spectrum(op, pi), NumericalError);
+}
+
+TEST(NumericalGuardTest, PoisonedTvReductionThrowsTyped) {
+  FaultGuard guard;
+  const PlateauGame game(4, 2.0, 1.0);
+  LogitChain chain(game, 1.0);
+  const std::vector<double> pi = chain.stationary();
+  const LogitOperator op(game, 1.0, UpdateKind::kAsynchronous);
+  const size_t starts[] = {0};
+  fault::arm(fault::Point::kTvNaN);
+  EXPECT_THROW(mixing_time_operator(op, pi, starts, 0.25, 1 << 12),
+               NumericalError);
+}
+
+// --------------------------------------------------- degradation ladder
+
+TEST(DegradationTest, TrippedFastExpGateRoutesSoftmaxToScalar) {
+  FaultGuard guard;
+  math_detail::reset_fast_exp_gate();
+  fault::arm(fault::Point::kIsaGateTrip);
+  EXPECT_FALSE(fast_exp_gate_ok(/*recheck=*/true));
+  EXPECT_TRUE(fast_exp_gate_tripped());
+  // Degraded softmax must be the certified scalar reference, bit for bit
+  // (a span above kIsaDispatchMin, where the fast path would differ).
+  std::vector<double> v(64);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = std::sin(double(i)) * 10.0;
+  std::vector<double> via_softmax(v.size()), via_scalar(v.size());
+  softmax(v, via_softmax);
+  softmax_scalar(v, via_scalar);
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(via_softmax[i], via_scalar[i]) << "i=" << i;
+  }
+  // Restore the trusted fast path for the rest of the process.
+  math_detail::reset_fast_exp_gate();
+  EXPECT_TRUE(fast_exp_gate_ok(/*recheck=*/true));
+  EXPECT_FALSE(fast_exp_gate_tripped());
+}
+
+TEST(DegradationTest, ResolveIsaPathIsLoudOnBadOverrides) {
+  EXPECT_THROW(resolve_isa_path("pentium"), Error);
+  // Empty/absent override means auto-select, never a throw.
+  EXPECT_TRUE(isa_path_supported(resolve_isa_path("")));
+  EXPECT_TRUE(isa_path_supported(resolve_isa_path(nullptr)));
+  EXPECT_EQ(resolve_isa_path("sse2"), IsaPath::kSse2);
+  // Forcing a path the CPU lacks must throw, not silently fall back.
+  if (!isa_path_supported(IsaPath::kAvx512)) {
+    EXPECT_THROW(resolve_isa_path("avx512"), Error);
+  } else {
+    EXPECT_EQ(resolve_isa_path("avx512"), IsaPath::kAvx512);
+  }
+}
+
+// --------------------------------------------------- interrupt partials
+
+TEST(InterruptTest, LanczosReturnsPartialSpectrum) {
+  const PlateauGame game(5, 2.0, 1.0);
+  LogitChain chain(game, 1.0);
+  const std::vector<double> pi = chain.stationary();
+  const LogitOperator op(game, 1.0, UpdateKind::kAsynchronous);
+  RunControl control;
+  control.cancel();
+  LanczosOptions opts;
+  opts.control = &control;
+  const LanczosSpectrum spectrum = lanczos_spectrum(op, pi, opts);
+  EXPECT_TRUE(spectrum.interrupted);
+  EXPECT_FALSE(spectrum.converged);
+}
+
+TEST(InterruptTest, LanczosNonConvergenceIsHonest) {
+  const PlateauGame game(5, 2.0, 1.0);
+  LogitChain chain(game, 1.0);
+  const std::vector<double> pi = chain.stationary();
+  const LogitOperator op(game, 1.0, UpdateKind::kAsynchronous);
+  LanczosOptions opts;
+  opts.max_iterations = 3;
+  opts.tol = 1e-30;  // unreachable: iteration cap binds first
+  const LanczosSpectrum spectrum = lanczos_spectrum(op, pi, opts);
+  EXPECT_FALSE(spectrum.converged);
+  EXPECT_FALSE(spectrum.interrupted);
+  EXPECT_GT(spectrum.residual, 0.0);
+  EXPECT_LE(spectrum.iterations, 3u);
+}
+
+TEST(InterruptTest, MixingDoublingReturnsPartial) {
+  const PlateauGame game(4, 2.0, 1.0);
+  LogitChain chain(game, 1.0);
+  const std::vector<double> pi = chain.stationary();
+  const DenseMatrix p = chain.dense_transition();
+  RunControl control;
+  control.cancel();
+  const MixingResult mix =
+      mixing_time_doubling(p, pi, 0.25, uint64_t(1) << 34, &control);
+  EXPECT_TRUE(mix.interrupted);
+  EXPECT_FALSE(mix.converged);
+}
+
+TEST(InterruptTest, OperatorMixingReturnsPartial) {
+  const PlateauGame game(4, 2.0, 1.0);
+  LogitChain chain(game, 1.0);
+  const std::vector<double> pi = chain.stationary();
+  const LogitOperator op(game, 1.0, UpdateKind::kAsynchronous);
+  const size_t starts[] = {0, pi.size() - 1};
+  RunControl control;
+  control.cancel();
+  const OperatorMixingResult mix =
+      mixing_time_operator(op, pi, starts, 0.25, 1 << 12, &control);
+  EXPECT_TRUE(mix.worst.interrupted);
+  EXPECT_FALSE(mix.worst.converged);
+}
+
+TEST(InterruptTest, CancelledBuilderThrowsCleanly) {
+  const PlateauGame game(6, 2.0, 1.0);
+  TransitionBuilder builder(game, 1.0, UpdateKind::kAsynchronous);
+  RunControl control;
+  control.cancel();
+  builder.set_control(&control);
+  EXPECT_THROW(builder.dense(), InterruptedError);
+  EXPECT_THROW(builder.csr(), InterruptedError);
+  // The same builder with the control detached works again.
+  builder.set_control(nullptr);
+  const DenseMatrix p = builder.dense();
+  EXPECT_EQ(p.rows(), game.space().num_profiles());
+}
+
+// ------------------------------------------------- checkpoint / resume
+
+local::FleetOptions tiny_fleet_options(local::Kernel kernel) {
+  local::FleetOptions opts;
+  opts.replicas = 3;
+  opts.kernel = kernel;
+  opts.revise_prob = 0.5;
+  opts.horizon = kernel == local::Kernel::kAsync ? 800 : 12;
+  opts.cadence = kernel == local::Kernel::kAsync ? 100 : 3;
+  opts.measure_blocks = 2;
+  return opts;
+}
+
+const local::BinaryLocalRule& tiny_rule() {
+  static const local::BinaryLocalRule rule =
+      local::BinaryLocalRule::graphical_coordination(
+          CoordinationPayoffs::from_deltas(2.0, 1.0));
+  return rule;
+}
+
+TEST(CheckpointTest, JsonRoundTripIsExact) {
+  const Graph ring = make_ring(30);
+  const local::LocalTopology topo(ring);
+  local::LocalDynamics dyn(&topo, &tiny_rule(), 1.1, nullptr);
+  const local::ReplicaFleet fleet(&dyn,
+                                  tiny_fleet_options(local::Kernel::kAsync));
+  local::FleetCheckpoint captured;
+  local::FleetRunOptions run_opts;
+  run_opts.checkpoint_every = 400;
+  run_opts.capture = &captured;
+  fleet.run(77, run_opts);
+
+  const local::FleetCheckpoint restored = local::FleetCheckpoint::from_json(
+      Json::parse(captured.to_json().dump(0)));
+  EXPECT_EQ(restored.master_seed, captured.master_seed);
+  EXPECT_EQ(restored.progress, captured.progress);
+  EXPECT_EQ(restored.num_vertices, captured.num_vertices);
+  ASSERT_EQ(restored.replicas.size(), captured.replicas.size());
+  for (size_t r = 0; r < restored.replicas.size(); ++r) {
+    EXPECT_EQ(restored.replicas[r].strategies,
+              captured.replicas[r].strategies);
+    EXPECT_EQ(restored.replicas[r].has_rng, captured.replicas[r].has_rng);
+    EXPECT_EQ(restored.replicas[r].rng_state,
+              captured.replicas[r].rng_state);
+    EXPECT_EQ(restored.replicas[r].recorder.seen,
+              captured.replicas[r].recorder.seen);
+    EXPECT_EQ(restored.replicas[r].recorder.magnetization,
+              captured.replicas[r].recorder.magnetization);
+    EXPECT_EQ(restored.replicas[r].recorder.potential,
+              captured.replicas[r].recorder.potential);
+  }
+}
+
+TEST(CheckpointTest, NewerVersionIsRefused) {
+  const Graph ring = make_ring(12);
+  const local::LocalTopology topo(ring);
+  local::LocalDynamics dyn(&topo, &tiny_rule(), 1.1, nullptr);
+  const local::ReplicaFleet fleet(
+      &dyn, tiny_fleet_options(local::Kernel::kConcurrent));
+  local::FleetCheckpoint captured;
+  local::FleetRunOptions run_opts;
+  run_opts.checkpoint_every = 6;
+  run_opts.capture = &captured;
+  fleet.run(5, run_opts);
+
+  Json doc = captured.to_json();
+  doc.set("version", Json(int64_t(local::FleetCheckpoint::kVersion + 1)));
+  EXPECT_THROW(local::FleetCheckpoint::from_json(doc), Error);
+}
+
+TEST(CheckpointTest, TamperedStrategiesAreRefused) {
+  const Graph ring = make_ring(12);
+  const local::LocalTopology topo(ring);
+  local::LocalDynamics dyn(&topo, &tiny_rule(), 1.1, nullptr);
+  const local::ReplicaFleet fleet(
+      &dyn, tiny_fleet_options(local::Kernel::kConcurrent));
+  local::FleetCheckpoint captured;
+  local::FleetRunOptions run_opts;
+  run_opts.checkpoint_every = 6;
+  run_opts.capture = &captured;
+  fleet.run(5, run_opts);
+
+  // Json nested access is read-only, so rebuild the document with one
+  // nibble of replica 0's packed strategies flipped.
+  const Json doc = captured.to_json();
+  Json tampered;
+  for (const auto& [key, value] : doc.members()) {
+    if (key != "replicas") {
+      tampered.set(key, value);
+      continue;
+    }
+    Json replicas;
+    for (size_t r = 0; r < value.size(); ++r) {
+      Json replica;
+      for (const auto& [rk, rv] : value.at(r).members()) {
+        if (r == 0 && rk == "strategies") {
+          std::string text = rv.as_string();
+          ASSERT_FALSE(text.empty());
+          text[0] = text[0] == '0' ? '1' : '0';
+          replica.set(rk, Json(text));
+        } else {
+          replica.set(rk, rv);
+        }
+      }
+      replicas.push_back(std::move(replica));
+    }
+    tampered.set(key, std::move(replicas));
+  }
+  EXPECT_THROW(local::FleetCheckpoint::from_json(tampered), Error);
+}
+
+TEST(CheckpointTest, ResumeAgainstWrongRunIsRefused) {
+  const Graph ring = make_ring(12);
+  const local::LocalTopology topo(ring);
+  local::LocalDynamics dyn(&topo, &tiny_rule(), 1.1, nullptr);
+  const local::ReplicaFleet fleet(
+      &dyn, tiny_fleet_options(local::Kernel::kConcurrent));
+  local::FleetCheckpoint captured;
+  local::FleetRunOptions run_opts;
+  run_opts.checkpoint_every = 6;
+  run_opts.capture = &captured;
+  fleet.run(5, run_opts);
+
+  local::FleetRunOptions resume_opts;
+  resume_opts.resume = &captured;
+  // Wrong master seed: refusing beats silently diverging.
+  EXPECT_THROW(fleet.run(6, resume_opts), Error);
+}
+
+TEST(FleetResumeTest, ResumedRunIsBitIdenticalAtEveryPoolSize) {
+  const Graph torus = make_torus(12, 12);
+  const local::LocalTopology topo(torus);
+  for (local::Kernel kernel :
+       {local::Kernel::kAsync, local::Kernel::kConcurrent}) {
+    const local::FleetOptions fopts = tiny_fleet_options(kernel);
+    for (size_t threads : {size_t(1), size_t(2), size_t(4)}) {
+      ThreadPool pool(threads);
+      local::LocalDynamics dyn(&topo, &tiny_rule(), 1.2, &pool);
+      const local::ReplicaFleet fleet(&dyn, fopts);
+
+      const local::FleetSummary full = fleet.run(99);
+      ASSERT_FALSE(full.interrupted);
+      ASSERT_EQ(full.progress, fopts.horizon);
+
+      local::FleetCheckpoint captured;
+      local::FleetRunOptions snapshotting;
+      snapshotting.checkpoint_every = fopts.horizon / 2;
+      snapshotting.capture = &captured;
+      fleet.run(99, snapshotting);
+      ASSERT_EQ(captured.progress, fopts.horizon / 2);
+
+      // Round-trip through the serialized form, as a real resume would.
+      const local::FleetCheckpoint restored =
+          local::FleetCheckpoint::from_json(
+              Json::parse(captured.to_json().dump(0)));
+      local::FleetRunOptions resuming;
+      resuming.resume = &restored;
+      const local::FleetSummary resumed = fleet.run(99, resuming);
+
+      const std::string where = std::string(kernel_name(kernel)) +
+                                " threads=" + std::to_string(threads);
+      EXPECT_EQ(resumed.final_strategy_hash, full.final_strategy_hash)
+          << where;
+      EXPECT_EQ(resumed.steps, full.steps) << where;
+      EXPECT_EQ(resumed.mag_mean, full.mag_mean) << where;
+      EXPECT_EQ(resumed.mag_var, full.mag_var) << where;
+      EXPECT_EQ(resumed.phi_mean, full.phi_mean) << where;
+      EXPECT_EQ(resumed.survival, full.survival) << where;
+    }
+  }
+}
+
+TEST(FleetResumeTest, InterruptedFleetReportsProgressAndAggregates) {
+  const Graph ring = make_ring(40);
+  const local::LocalTopology topo(ring);
+  local::LocalDynamics dyn(&topo, &tiny_rule(), 1.1, nullptr);
+  local::FleetOptions fopts = tiny_fleet_options(local::Kernel::kConcurrent);
+  const local::ReplicaFleet fleet(&dyn, fopts);
+  RunControl control;
+  control.cancel();
+  local::FleetRunOptions run_opts;
+  run_opts.control = &control;
+  const local::FleetSummary summary = fleet.run(7, run_opts);
+  EXPECT_TRUE(summary.interrupted);
+  EXPECT_EQ(summary.progress, 0u);
+  EXPECT_EQ(summary.final_strategy_hash.size(), fopts.replicas);
+}
+
+// --------------------------------------------------- report status block
+
+TEST(ReportStatusTest, DeadlineExpiredExploreEmitsValidPartialReport) {
+  scenario::Report report("explore");
+  report.set_echo(nullptr);
+  scenario::RunOptions opts;
+  opts.smoke = true;
+  opts.deadline_s = 1e-9;  // expired before the first beta section
+  scenario::ExperimentRegistry::instance().run("explore", nullptr, opts,
+                                               report);
+  const Json doc = report.to_json();
+  std::string error;
+  EXPECT_TRUE(scenario::validate_report_json(doc, &error)) << error;
+  ASSERT_TRUE(doc.contains("status"));
+  EXPECT_EQ(doc.at("status").at("state").as_string(), "deadline");
+  EXPECT_TRUE(doc.at("status").contains("work"));
+  EXPECT_EQ(report.run_status(), RunStatus::kDeadline);
+}
+
+TEST(ReportStatusTest, CompletedRegistryRunCarriesCompletedStatus) {
+  scenario::Report report("explore");
+  report.set_echo(nullptr);
+  scenario::RunOptions opts;
+  opts.smoke = true;
+  opts.beta_grid = {0.5};
+  scenario::ExperimentRegistry::instance().run("explore", nullptr, opts,
+                                               report);
+  const Json doc = report.to_json();
+  std::string error;
+  EXPECT_TRUE(scenario::validate_report_json(doc, &error)) << error;
+  ASSERT_TRUE(doc.contains("status"));
+  EXPECT_EQ(doc.at("status").at("state").as_string(), "completed");
+}
+
+TEST(ReportStatusTest, WorstStatusWinsAndDetailAccumulates) {
+  scenario::Report report("t");
+  report.set_echo(nullptr);
+  report.set_run_status(RunStatus::kDegraded, "fallback engaged");
+  report.set_run_status(RunStatus::kDeadline, "budget expired");
+  report.set_run_status(RunStatus::kCompleted);  // must not downgrade
+  EXPECT_EQ(report.run_status(), RunStatus::kDeadline);
+  const Json doc = report.to_json();
+  EXPECT_EQ(doc.at("status").at("state").as_string(), "deadline");
+  const Json& detail = doc.at("status").at("detail");
+  ASSERT_EQ(detail.size(), 2u);
+  EXPECT_EQ(detail.at(0).as_string(), "fallback engaged");
+  EXPECT_EQ(detail.at(1).as_string(), "budget expired");
+}
+
+// Json nested access is read-only: rebuild `doc` with status.`field`
+// replaced (or inserted) so the validator sees a malformed block.
+Json with_status_field(const Json& doc, const std::string& field,
+                       const Json& value) {
+  Json out;
+  for (const auto& [key, v] : doc.members()) {
+    if (key != "status") {
+      out.set(key, v);
+      continue;
+    }
+    Json status;
+    bool replaced = false;
+    for (const auto& [sk, sv] : v.members()) {
+      if (sk == field) {
+        status.set(sk, value);
+        replaced = true;
+      } else {
+        status.set(sk, sv);
+      }
+    }
+    if (!replaced) status.set(field, value);
+    out.set(key, std::move(status));
+  }
+  return out;
+}
+
+TEST(ReportStatusTest, ValidatorChecksStatusBlockShape) {
+  scenario::Report report("t");
+  report.set_echo(nullptr);
+  report.set_run_status(RunStatus::kCancelled, "stopped");
+  const Json doc = report.to_json();
+  std::string error;
+  ASSERT_TRUE(scenario::validate_report_json(doc, &error)) << error;
+  ASSERT_TRUE(doc.contains("status"));
+
+  EXPECT_FALSE(scenario::validate_report_json(
+      with_status_field(doc, "state", Json("exploded")), &error));
+  EXPECT_FALSE(scenario::validate_report_json(
+      with_status_field(doc, "detail", Json("not an array")), &error));
+}
+
+TEST(ReportStatusTest, TruncatedDocumentsFailLoudly) {
+  // Truncated bytes: the parser throws a typed error.
+  EXPECT_THROW(Json::parse("{\"schema_version\": 1, \"kind\": \"exper"),
+               Error);
+  // Parseable but structurally truncated: validation fails with a reason.
+  Json doc = Json::parse("{\"schema_version\": 1, \"kind\": \"experiment\", "
+                         "\"name\": \"t\", \"config\": {}}");
+  std::string error;
+  EXPECT_FALSE(scenario::validate_report_json(doc, &error));
+  EXPECT_NE(error, "");
+}
+
+TEST(ReportStatusTest, RunStatusNamesAreStable) {
+  EXPECT_STREQ(run_status_name(RunStatus::kCompleted), "completed");
+  EXPECT_STREQ(run_status_name(RunStatus::kDegraded), "degraded");
+  EXPECT_STREQ(run_status_name(RunStatus::kDeadline), "deadline");
+  EXPECT_STREQ(run_status_name(RunStatus::kCancelled), "cancelled");
+  EXPECT_STREQ(run_status_name(RunStatus::kFailed), "failed");
+}
+
+}  // namespace
+}  // namespace logitdyn

@@ -22,6 +22,10 @@
 //   --json FILE       write the unified JSON document
 //   --json-dir DIR    write one JSON file per run into DIR
 //   --quiet           suppress stdout tables (JSON only)
+//   --deadline-s SEC  wall-clock budget; an expired run still writes a
+//                     schema-valid partial document (status "deadline")
+//   --fleet-checkpoint FILE / --fleet-checkpoint-every N / --fleet-resume
+//                     FILE: fleet snapshotting knobs (local_mix)
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -35,6 +39,7 @@
 #include "scenario/report.hpp"
 #include "scenario/scenario.hpp"
 #include "support/error.hpp"
+#include "support/io.hpp"
 
 using namespace logitdyn;
 using namespace logitdyn::scenario;
@@ -50,33 +55,22 @@ int usage(std::ostream& os, int code) {
         "  validate <file.json...>      schema-check emitted documents\n"
         "run options: [--scenario s.json] [--beta-grid 0.5,1.0] [--seed N]\n"
         "             [--smoke] [--threads N] [--json out.json]\n"
-        "             [--json-dir DIR] [--quiet]\n";
+        "             [--json-dir DIR] [--quiet] [--deadline-s SEC]\n"
+        "             [--fleet-checkpoint FILE] [--fleet-checkpoint-every N]\n"
+        "             [--fleet-resume FILE]\n";
   return code;
 }
 
-std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw Error("cannot read " + path);
-  std::ostringstream os;
-  os << in.rdbuf();
-  return os.str();
-}
-
-void write_file(const std::string& path, const Json& doc) {
-  std::ofstream out(path);
-  if (!out) throw Error("cannot write " + path);
-  out << doc.dump(2) << "\n";
-}
-
 /// Write + self-validate one document; throws on schema violations so a
-/// writer regression can never ship silently.
+/// writer regression can never ship silently. Atomic (DESIGN.md §14): a
+/// kill mid-write leaves the previous file intact, never a truncation.
 void write_validated(const std::string& path, const Json& doc) {
   std::string error;
   if (!validate_report_json(doc, &error)) {
     throw Error("internal error: emitted JSON fails its own schema (" +
                 error + ")");
   }
-  write_file(path, doc);
+  write_file_atomic(path, doc.dump(2) + "\n");
 }
 
 int cmd_list() {
@@ -202,6 +196,28 @@ RunArgs parse_run_args(const std::vector<std::string>& args) {
       out.json_path = next("--json");
     } else if (arg == "--json-dir") {
       out.json_dir = next("--json-dir");
+    } else if (arg == "--deadline-s") {
+      const std::string& value = next("--deadline-s");
+      char* end = nullptr;
+      const double seconds = std::strtod(value.c_str(), &end);
+      if (value.empty() || end != value.c_str() + value.size() ||
+          seconds <= 0.0) {
+        throw Error("bad --deadline-s value: " + value);
+      }
+      out.options.deadline_s = seconds;
+    } else if (arg == "--fleet-checkpoint") {
+      out.options.checkpoint_path = next("--fleet-checkpoint");
+    } else if (arg == "--fleet-checkpoint-every") {
+      const std::string& value = next("--fleet-checkpoint-every");
+      char* end = nullptr;
+      const uint64_t every = std::strtoull(value.c_str(), &end, 10);
+      if (value.empty() || value[0] == '-' ||
+          end != value.c_str() + value.size() || every == 0) {
+        throw Error("bad --fleet-checkpoint-every value: " + value);
+      }
+      out.options.checkpoint_every = every;
+    } else if (arg == "--fleet-resume") {
+      out.options.resume_path = next("--fleet-resume");
     } else if (arg == "--quiet") {
       out.quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -348,8 +364,18 @@ int cmd_run(const std::vector<std::string>& args) {
 
   Report report(name);
   if (run_args.quiet) report.set_echo(nullptr);
-  reg.run(name, specs.empty() ? nullptr : &specs[0], run_args.options,
-          report);
+  int exit_code = 0;
+  try {
+    reg.run(name, specs.empty() ? nullptr : &specs[0], run_args.options,
+            report);
+  } catch (const std::exception& e) {
+    // A run that died mid-way still ships whatever it recorded: mark the
+    // document failed and write it to the requested sinks before exiting
+    // nonzero (DESIGN.md §14).
+    report.set_run_status(RunStatus::kFailed, e.what());
+    std::cerr << "error: " << e.what() << "\n";
+    exit_code = 1;
+  }
   if (!run_args.json_path.empty()) {
     write_validated(run_args.json_path, report.to_json());
   }
@@ -363,7 +389,7 @@ int cmd_run(const std::vector<std::string>& args) {
     // document instead (mirrors the sweep path).
     std::cout << report.to_json().dump(2) << "\n";
   }
-  return 0;
+  return exit_code;
 }
 
 int cmd_validate(const std::vector<std::string>& files) {

@@ -21,6 +21,13 @@ at least 0.1 (below that the machine never scaled to begin with).
 Files or rows present on only one side are reported but never fail
 the gate — that is how new benches seed the trajectory.
 
+The baseline side degrades gracefully: a missing baseline directory,
+an unreadable/corrupt baseline file, or a baseline document without
+results rows warns and seeds the trajectory instead of failing —
+only a REAL regression against a readable baseline exits nonzero.
+Corruption on the CURRENT side stays a hard error (exit 2): the
+artifact this run just produced must always parse.
+
 Exit codes: 0 ok, 1 regression, 2 usage/parse error.
 
 `perf_diff.py --self-test` runs the built-in unit checks (new-row and
@@ -75,6 +82,10 @@ def environment_mismatch(base_doc, cur_doc):
 def compare_file(name, base_doc, cur_doc, max_regression, min_abs_ms,
                  max_exponent_drop):
     regressions, notes = [], []
+    if not result_rows(base_doc) and result_rows(cur_doc):
+        notes.append(
+            f"  {name}: baseline has no results rows (schema mismatch?) "
+            "— current rows seed the trajectory")
     mismatched = environment_mismatch(base_doc, cur_doc)
     if mismatched:
         notes.append(
@@ -198,6 +209,34 @@ def self_test():
         check("regressing file exits 1",
               run_diff([str(root / "base"), str(root / "cur")]) == 1)
 
+    # 7. Degraded baselines never block the gate (graceful degradation,
+    #    DESIGN.md §14): corrupt baseline file, schema-mismatched baseline
+    #    document, and missing baseline directory all warn and seed.
+    #    Corruption on the CURRENT side stays a hard usage error.
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        (root / "base").mkdir()
+        (root / "cur").mkdir()
+        good = _bench_doc([{"workload": "w", "wall_ms": 10.0}])
+        (root / "cur" / "BENCH_a.json").write_text(json.dumps(good))
+        (root / "base" / "BENCH_a.json").write_text("{ truncated")
+        check("corrupt baseline seeds trajectory",
+              run_diff([str(root / "base"), str(root / "cur")]) == 0)
+        (root / "base" / "BENCH_a.json").write_text(json.dumps(
+            {"measurements": "not-an-object"}))
+        check("schema-mismatched baseline seeds trajectory",
+              run_diff([str(root / "base"), str(root / "cur")]) == 0)
+        _, mismatch_notes = compare_file(
+            "t", {"measurements": "not-an-object"}, good, 0.20, 0.5, 0.20)
+        check("schema mismatch is noted",
+              any("schema mismatch" in n for n in mismatch_notes))
+        check("missing baseline dir seeds trajectory",
+              run_diff([str(root / "missing"), str(root / "cur")]) == 0)
+        (root / "base" / "BENCH_a.json").write_text(json.dumps(good))
+        (root / "cur" / "BENCH_a.json").write_text("{ truncated")
+        check("corrupt current is a usage error",
+              run_diff([str(root / "base"), str(root / "cur")]) == 2)
+
     if failures:
         print("perf_diff --self-test FAILED:")
         for f in failures:
@@ -216,10 +255,13 @@ def run_diff(argv):
     parser.add_argument("--max-exponent-drop", type=float, default=0.20)
     args = parser.parse_args(argv)
 
-    if not args.baseline_dir.is_dir() or not args.current_dir.is_dir():
-        print("perf_diff: baseline or current directory missing",
-              file=sys.stderr)
+    if not args.current_dir.is_dir():
+        print("perf_diff: current directory missing", file=sys.stderr)
         return 2
+    if not args.baseline_dir.is_dir():
+        print(f"perf_diff: baseline directory {args.baseline_dir} missing "
+              "— nothing to gate against, current run seeds the trajectory")
+        return 0
 
     current_files = sorted(args.current_dir.glob("BENCH_*.json"))
     if not current_files:
@@ -236,8 +278,13 @@ def run_diff(argv):
             continue
         try:
             base_doc = json.loads(base_path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"perf_diff: baseline {cur_path.name} unreadable ({err}) "
+                  "— skipped, current run seeds the trajectory")
+            continue
+        try:
             cur_doc = json.loads(cur_path.read_text())
-        except json.JSONDecodeError as err:
+        except (OSError, json.JSONDecodeError) as err:
             print(f"perf_diff: cannot parse {cur_path.name}: {err}",
                   file=sys.stderr)
             return 2

@@ -7,8 +7,10 @@
 // sharded-vs-sequential TransitionBuilder + grouped-vs-naive
 // ReplicaEnsemble comparison (BENCH_chain_build.json, DESIGN.md §8).
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <functional>
@@ -45,6 +47,8 @@
 #include "rng/rng.hpp"
 #include "scenario/report.hpp"
 #include "scenario/scenario.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
 #include "support/error.hpp"
 #include "support/io.hpp"
 #include "support/json.hpp"
@@ -1120,6 +1124,175 @@ void write_bench_local_json(const std::string& path) {
   std::cout << "wrote " << path << "\n";
 }
 
+/// Emit BENCH_service.json: requests/sec and p50/p99 latency of an
+/// in-process logitdynd on a fixed 4-scenario explore mix (DESIGN.md
+/// §15), for clients in {1,4} x threads in {1,2,4}, cold cache (fresh
+/// daemon) vs warm cache (identical mix resubmitted). The warm pass is
+/// the artifact cache's whole value proposition; the summary row's
+/// warm_speedup_ok (min warm/cold requests-per-sec ratio >= 5) is what
+/// CI gates on.
+void write_bench_service_json(const std::string& path) {
+  using service::Client;
+  using service::Daemon;
+  using service::ServiceRequest;
+
+  const std::string socket =
+      "/tmp/logitdynd_bench_" + std::to_string(::getpid()) + ".sock";
+
+  // The fixed scenario mix: four dense-path explore runs (|S| <= 2^8 —
+  // big enough that a cold request pays a real transition build + exact
+  // spectrum + doubling ladder, small enough that the full cold pass
+  // stays CI-sized), where a warm request reuses all three artifacts.
+  std::vector<Json> mix;
+  {
+    scenario::ScenarioSpec ising;
+    ising.family = "ising";
+    ising.n = 8;
+    mix.push_back(ising.to_json());
+    scenario::ScenarioSpec coord;
+    coord.family = "graphical_coordination";
+    coord.n = 8;
+    mix.push_back(coord.to_json());
+    scenario::ScenarioSpec plateau;
+    plateau.family = "plateau";
+    plateau.n = 8;
+    mix.push_back(plateau.to_json());
+    scenario::ScenarioSpec dominant;
+    dominant.family = "dominant";
+    dominant.n = 6;
+    mix.push_back(dominant.to_json());
+  }
+  Json request_options = Json::object();
+  request_options.set("beta_grid", Json::array({Json(0.5), Json(1.0)}));
+
+  const std::vector<int> client_counts = {1, 4};
+  const std::vector<int> thread_counts = {1, 2, 4};
+  Json results = Json::array();
+  double min_speedup = 1e300;
+
+  for (const int threads : thread_counts) {
+    for (const int clients : client_counts) {
+      Daemon::Config dc;
+      dc.socket_path = socket;
+      dc.engine.max_active = clients;
+      dc.engine.default_threads = threads;
+      // Throughput measurement, not streaming: no progress frames.
+      dc.engine.heartbeat_stride = uint64_t(1) << 62;
+      Daemon daemon(dc);
+      std::thread server([&daemon] { daemon.run(); });
+      // The listener may not be bound yet; connectability IS readiness.
+      for (int spin = 0;; ++spin) {
+        try {
+          net::connect_unix(socket);
+          break;
+        } catch (const Error&) {
+          if (spin > 500) throw;
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      }
+
+      // One pass = every client submits the whole mix (distinct request
+      // ids, identical scenarios). Latency is submit -> final per
+      // request; throughput is total requests over the pass wall time.
+      const auto run_pass = [&](const char* cache_state) {
+        std::vector<std::thread> workers;
+        std::vector<std::vector<double>> lat(static_cast<size_t>(clients));
+        Timer wall;
+        for (int c = 0; c < clients; ++c) {
+          workers.emplace_back([&, c] {
+            Client client(socket);
+            for (size_t m = 0; m < mix.size(); ++m) {
+              ServiceRequest req;
+              req.id = std::string(cache_state) + "-c" +
+                       std::to_string(c) + "-m" + std::to_string(m);
+              req.experiment = "explore";
+              req.scenario = mix[m];
+              req.options = request_options;
+              Timer t;
+              const Json outcome = client.run(req);
+              if (outcome.contains("error")) {
+                throw Error("bench request failed: " +
+                            outcome.at("error").as_string());
+              }
+              lat[size_t(c)].push_back(t.millis());
+            }
+          });
+        }
+        for (std::thread& w : workers) w.join();
+        const double wall_ms = wall.millis();
+        std::vector<double> all;
+        for (const auto& per_client : lat) {
+          all.insert(all.end(), per_client.begin(), per_client.end());
+        }
+        std::sort(all.begin(), all.end());
+        struct Pass {
+          double rps, p50_ms, p99_ms;
+        };
+        const auto pct = [&](double q) {
+          const size_t idx = std::min(
+              all.size() - 1, size_t(std::ceil(q * double(all.size()))) - 1);
+          return all[idx];
+        };
+        return Pass{double(all.size()) / (wall_ms / 1000.0), pct(0.50),
+                    pct(0.99)};
+      };
+
+      const auto cold = run_pass("cold");
+      const auto warm = run_pass("warm");
+      daemon.stop();
+      server.join();
+
+      for (const auto* pass : {&cold, &warm}) {
+        Json r = Json::object();
+        r.set("workload", "service_mix");
+        r.set("clients", clients);
+        r.set("threads", threads);
+        r.set("cache_state", pass == &cold ? "cold" : "warm");
+        r.set("requests", uint64_t(size_t(clients) * mix.size()));
+        r.set("requests_per_sec", pass->rps);
+        r.set("p50_ms", pass->p50_ms);
+        r.set("p99_ms", pass->p99_ms);
+        results.push_back(std::move(r));
+      }
+      const double speedup = warm.rps / cold.rps;
+      min_speedup = std::min(min_speedup, speedup);
+      Json r = Json::object();
+      r.set("workload", "service_warm_speedup");
+      r.set("clients", clients);
+      r.set("threads", threads);
+      r.set("warm_speedup", speedup);
+      results.push_back(std::move(r));
+      std::cout << "  service clients=" << clients << " threads=" << threads
+                << ": cold " << cold.rps << " req/s (p99 " << cold.p99_ms
+                << " ms), warm " << warm.rps << " req/s (p99 "
+                << warm.p99_ms << " ms), speedup " << speedup << "x\n";
+    }
+  }
+
+  Json summary = Json::object();
+  summary.set("workload", "service_summary");
+  summary.set("min_warm_speedup", min_speedup);
+  summary.set("warm_speedup_ok", min_speedup >= 5.0);
+  results.push_back(std::move(summary));
+
+  Json config = Json::object();
+  config.set("description",
+             "logitdynd daemon throughput on a fixed 4-scenario explore "
+             "mix: requests/sec and p50/p99 submit-to-final latency per "
+             "(clients, threads, cache_state); cold = fresh daemon, warm "
+             "= identical mix resubmitted against the populated artifact "
+             "cache. warm_speedup_ok gates min(warm/cold rps) >= 5");
+  config.set("unit", "requests/sec, ms");
+  config.set("experiment", "explore");
+  config.set("mix_size", uint64_t(mix.size()));
+  config.set("beta_grid", request_options.at("beta_grid"));
+  Json measurements = Json::object();
+  measurements.set("results", std::move(results));
+  write_bench_document(path, "service_throughput", std::move(config),
+                       std::move(measurements));
+  std::cout << "wrote " << path << "\n";
+}
+
 DenseMatrix random_matrix(size_t n, uint64_t seed) {
   Rng rng(seed);
   DenseMatrix m(n, n);
@@ -1281,11 +1454,11 @@ BENCHMARK(BM_SimulationStepsCongestionNaive);
 // trajectory reads BENCH_oracle.json), then run the google-benchmark
 // suite as usual. --bench_oracle_only keeps its historical behaviour
 // (oracle JSON, then exit); --bench_smoke_only additionally emits
-// BENCH_chain_build.json, BENCH_spectral.json and BENCH_apply.json —
-// those emitters are gated behind flags because their numbers only mean
+// BENCH_chain_build.json, BENCH_spectral.json, BENCH_apply.json,
+// BENCH_scaling.json, BENCH_local.json and BENCH_service.json — those
+// emitters are gated behind flags because their numbers only mean
 // something in a Release build (the bench-perf CI job is their
-// consumer); --bench_spectral_only / --bench_apply_only emit just one
-// comparison.
+// consumer); the --bench_*_only flags emit just one comparison.
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_oracle.json";
   std::string chain_build_path = "BENCH_chain_build.json";
@@ -1293,12 +1466,14 @@ int main(int argc, char** argv) {
   std::string apply_path = "BENCH_apply.json";
   std::string scaling_path = "BENCH_scaling.json";
   std::string local_path = "BENCH_local.json";
+  std::string service_path = "BENCH_service.json";
   bool exit_after_json = false;
   bool chain_build = false;
   bool spectral = false;
   bool apply = false;
   bool scaling = false;
   bool local_bench = false;
+  bool service_bench = false;
   bool oracle = true;
   size_t scaling_max_threads = 0;  // 0 = max(2, hardware_concurrency)
   std::vector<char*> passthrough = {argv[0]};
@@ -1313,6 +1488,14 @@ int main(int argc, char** argv) {
       apply = true;
       scaling = true;
       local_bench = true;
+      service_bench = true;
+    } else if (arg == "--bench_service_only") {
+      // Daemon throughput alone: the service CI leg runs just this.
+      exit_after_json = true;
+      service_bench = true;
+      oracle = false;
+    } else if (arg.rfind("--bench_service_out=", 0) == 0) {
+      service_path = arg.substr(std::string("--bench_service_out=").size());
     } else if (arg == "--bench_local_only") {
       // Sampling-scale local kernels alone (players/sec + bit-identity).
       exit_after_json = true;
@@ -1362,6 +1545,7 @@ int main(int argc, char** argv) {
   if (apply) write_bench_apply_json(apply_path);
   if (scaling) write_bench_scaling_json(scaling_path, scaling_max_threads);
   if (local_bench) write_bench_local_json(local_path);
+  if (service_bench) write_bench_service_json(service_path);
   if (exit_after_json) return 0;
   argc = int(passthrough.size());
   argv = passthrough.data();

@@ -1,0 +1,65 @@
+// Artifact-cache seam between experiments and the service daemon
+// (DESIGN.md §15). The scenario layer cannot depend on src/service/, so
+// experiments see only this abstract get-or-build interface; RunOptions
+// carries a nullable pointer to it. CLI runs leave it null (zero cost);
+// the daemon installs service::ArtifactCache so overlapping requests
+// share expensive build products (stationary vectors, transition
+// matrices, spectra, certified mixing envelopes) keyed by the validated
+// spec's canonical hash.
+//
+// Publication policy: an artifact built during a degraded or interrupted
+// run must never be served to a later request — the builder reports
+// `publish = false` and the value is returned to its own run but not
+// retained. Keys must therefore name EVERYTHING the value depends on
+// (spec hash, beta, kind, budgets); the typed helper below additionally
+// guards against kind collisions with a type check.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace logitdyn::scenario {
+
+class ArtifactCacheBase {
+ public:
+  /// A freshly built artifact: the (type-erased) value, its approximate
+  /// retained size for the cache's byte accounting, and whether the value
+  /// is publishable (certified, built by an uninterrupted run).
+  struct Built {
+    std::shared_ptr<void> value;
+    size_t bytes = 0;
+    bool publish = true;
+  };
+  using BuildFn = std::function<Built()>;
+
+  virtual ~ArtifactCacheBase() = default;
+
+  /// Return the cached value for `key`, or invoke `build` and (when the
+  /// result says publish) retain it. Implementations must coalesce
+  /// concurrent builds of the same key: the second caller blocks on the
+  /// first build instead of recomputing.
+  virtual std::shared_ptr<void> get_or_build(const std::string& key,
+                                             const BuildFn& build) = 0;
+};
+
+/// Typed convenience over get_or_build: `build` returns a shared_ptr<T>
+/// and `bytes(value)`/`publish()` are evaluated after the build. A null
+/// cache just builds — experiments call this unconditionally.
+template <typename T, typename BuildFn, typename BytesFn, typename PublishFn>
+std::shared_ptr<const T> cached_artifact(ArtifactCacheBase* cache,
+                                         const std::string& key,
+                                         BuildFn&& build, BytesFn&& bytes,
+                                         PublishFn&& publish) {
+  if (cache == nullptr) {
+    return std::shared_ptr<const T>(build());
+  }
+  std::shared_ptr<void> value =
+      cache->get_or_build(key, [&]() -> ArtifactCacheBase::Built {
+        std::shared_ptr<T> built = build();
+        return {built, bytes(*built), publish()};
+      });
+  return std::static_pointer_cast<const T>(std::move(value));
+}
+
+}  // namespace logitdyn::scenario

@@ -17,6 +17,7 @@
 #include "core/chain.hpp"
 #include "core/gibbs.hpp"
 #include "core/logit_operator.hpp"
+#include "scenario/artifacts.hpp"
 #include "scenario/experiments.hpp"
 #include "support/error.hpp"
 #include "support/fault_injection.hpp"
@@ -35,6 +36,15 @@ inline constexpr size_t kExploreCertifyCeiling = size_t(1) << 14;
 /// run; "> budget" plus the Thm 2.3 bracket is the honest answer there.
 inline constexpr uint64_t kExploreCertifySteps = uint64_t(1) << 14;
 
+/// Dense-path build product worth sharing across requests (DESIGN.md
+/// §15): the transition matrix plus its exact spectrum, both functions
+/// of (validated spec, beta) alone.
+struct DenseExplore {
+  DenseMatrix p;
+  double lambda2 = 0.0;
+  double lambda_min = 0.0;
+};
+
 /// The short workload label the explorer has always printed: the topology
 /// kind for graph games ("ring", "clique", ...), the family otherwise.
 std::string explore_label(const ScenarioSpec& spec) {
@@ -47,14 +57,36 @@ std::string explore_label(const ScenarioSpec& spec) {
 void explore_beta(const ScenarioSpec& spec, const RunOptions& opts,
                   Report& report, LogitChain& chain,
                   const PotentialStats& stats, double zeta,
-                  const std::string& label, int n, double beta) {
+                  const std::string& label, int n, double beta,
+                  const std::string& key_base) {
   RunControl* control = opts.control;
+  ArtifactCacheBase* cache = opts.artifacts;
+  // Publication gate (§15): artifacts from a run that is degraded (e.g.
+  // the fast_exp fallback changed the numbers) or interrupted must not
+  // outlive their own request. Evaluated AFTER each build.
+  const auto publishable = [&report, control] {
+    return report.run_status() == RunStatus::kCompleted &&
+           (control == nullptr || !control->interrupted());
+  };
+  const std::string beta_key =
+      key_base + "|beta=" + json_number_to_string(beta, /*is_int=*/false);
+
   std::ostringstream heading;
   heading << label << ", n = " << n << ", beta = " << beta;
   report.section(heading.str(), /*print_banner=*/false);
   report.note("\n### " + heading.str() + " ###");
   chain.set_beta(beta);
-  const std::vector<double> pi = chain.stationary();
+  const std::shared_ptr<const std::vector<double>> pi_ptr =
+      cached_artifact<std::vector<double>>(
+          cache, beta_key + "|pi",
+          [&] {
+            return std::make_shared<std::vector<double>>(chain.stationary());
+          },
+          [](const std::vector<double>& v) {
+            return v.size() * sizeof(double);
+          },
+          publishable);
+  const std::vector<double>& pi = *pi_ptr;
   const bool dense_path = pi.size() < kDenseSpectralCutover;
 
   // Dense path: one matrix build serves spectrum and doubling; operator
@@ -62,21 +94,50 @@ void explore_beta(const ScenarioSpec& spec, const RunOptions& opts,
   SpectralSummary spec_summary;
   MixingResult dense_mix;
   if (dense_path) {
-    const DenseMatrix p = chain.dense_transition();
-    const ChainSpectrum cs = chain_spectrum(p, pi);
-    spec_summary.lambda2 = cs.lambda2();
-    spec_summary.lambda_min = cs.lambda_min();
+    const std::shared_ptr<const DenseExplore> dense =
+        cached_artifact<DenseExplore>(
+            cache, beta_key + "|dense",
+            [&] {
+              auto d = std::make_shared<DenseExplore>();
+              d->p = chain.dense_transition();
+              const ChainSpectrum cs = chain_spectrum(d->p, pi);
+              d->lambda2 = cs.lambda2();
+              d->lambda_min = cs.lambda_min();
+              return d;
+            },
+            [](const DenseExplore& d) {
+              return d.p.rows() * d.p.cols() * sizeof(double);
+            },
+            publishable);
+    spec_summary.lambda2 = dense->lambda2;
+    spec_summary.lambda_min = dense->lambda_min;
     spec_summary.certified = true;
-    dense_mix = mixing_time_doubling(p, pi, 0.25, uint64_t(1) << 34, control);
+    // The doubling ladder is deterministic in (spec, beta) — its budget
+    // is a compile-time constant — so the certified result is cacheable
+    // alongside the matrix it was derived from.
+    dense_mix = *cached_artifact<MixingResult>(
+        cache, beta_key + "|dense_mix",
+        [&] {
+          return std::make_shared<MixingResult>(mixing_time_doubling(
+              dense->p, pi, 0.25, uint64_t(1) << 34, control));
+        },
+        [](const MixingResult&) { return sizeof(MixingResult); },
+        publishable);
     if (control != nullptr && dense_mix.converged) {
       control->note_certified("t_mix_beta_" + format_double(beta, 3),
                               double(dense_mix.time));
     }
   } else {
-    SpectralOptions sopts;
-    sopts.lanczos.control = control;
-    spec_summary = spectral_summary(chain.game(), beta,
-                                    UpdateKind::kAsynchronous, pi, sopts);
+    spec_summary = *cached_artifact<SpectralSummary>(
+        cache, beta_key + "|spectrum",
+        [&] {
+          SpectralOptions sopts;
+          sopts.lanczos.control = control;
+          return std::make_shared<SpectralSummary>(spectral_summary(
+              chain.game(), beta, UpdateKind::kAsynchronous, pi, sopts));
+        },
+        [](const SpectralSummary&) { return sizeof(SpectralSummary); },
+        publishable);
     if (control != nullptr && spec_summary.converged) {
       control->note_certified("lambda2_beta_" + format_double(beta, 3),
                               spec_summary.lambda2);
@@ -182,9 +243,18 @@ void explore_beta(const ScenarioSpec& spec, const RunOptions& opts,
     // experiment's job): ALL |S| delta starts evolved with compaction —
     // the exact d(t) envelope, not a two-start lower bound.
     if (pi.size() <= kExploreCertifyCeiling) {
-      const WorstStartCertificate cert =
-          certify_worst_start(op, pi, 0.25, kExploreCertifySteps, 64,
-                              /*per_step_defect=*/0.0, control);
+      const WorstStartCertificate cert = *cached_artifact<WorstStartCertificate>(
+          cache, beta_key + "|worst_start",
+          [&] {
+            return std::make_shared<WorstStartCertificate>(
+                certify_worst_start(op, pi, 0.25, kExploreCertifySteps, 64,
+                                    /*per_step_defect=*/0.0, control));
+          },
+          [](const WorstStartCertificate& c) {
+            return sizeof(WorstStartCertificate) +
+                   c.envelope.size() * sizeof(double);
+          },
+          publishable);
       out.row().cell("t_mix(1/4) certified worst-start").cell(
           cert.worst.converged ? std::to_string(cert.worst.time)
                                : "> budget");
@@ -248,6 +318,10 @@ void run(const ScenarioSpec& spec, const RunOptions& opts, Report& report) {
   const double zeta = max_potential_climb(game->space(), phi);
   const std::string label = explore_label(spec);
   const int n = game->num_players();
+  // Cache key base: the spec reaching an experiment is already validated
+  // (defaults filled), so its canonical hash is THE artifact-cache
+  // identity for this game (DESIGN.md §15).
+  const std::string key_base = "explore|" + spec.canonical_hash();
   for (double beta : opts.betas_or({1.0})) {
     // Per-beta cancellation point: an expired deadline stops BEFORE the
     // next section opens, so every emitted section is complete and the
@@ -256,7 +330,8 @@ void run(const ScenarioSpec& spec, const RunOptions& opts, Report& report) {
         opts.control->poll("explore_beta") != RunStatus::kCompleted) {
       break;
     }
-    explore_beta(spec, opts, report, chain, stats, zeta, label, n, beta);
+    explore_beta(spec, opts, report, chain, stats, zeta, label, n, beta,
+                 key_base);
   }
 }
 

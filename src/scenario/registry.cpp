@@ -14,12 +14,19 @@ ExperimentRegistry& ExperimentRegistry::instance() {
   static ExperimentRegistry* reg = [] {
     auto* r = new ExperimentRegistry();
     register_builtin_experiments(*r);
+    // Freeze before the magic-static guard releases: every later caller —
+    // including the service scheduler's concurrent run() workers — sees an
+    // immutable registry (DESIGN.md §15).
+    r->freeze();
     return r;
   }();
   return *reg;
 }
 
 void ExperimentRegistry::add(ExperimentInfo info) {
+  LD_CHECK(!frozen_,
+           "ExperimentRegistry is frozen (register experiments before the "
+           "first instance() lookup)");
   LD_CHECK(!info.name.empty(), "experiment name must be non-empty");
   LD_CHECK(static_cast<bool>(info.run), "experiment \"", info.name,
            "\" has no run function");

@@ -5,6 +5,7 @@
 // registering a function, not writing a binary.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <iosfwd>
 #include <string>
@@ -26,12 +27,19 @@ struct ExperimentInfo {
   ExperimentFn run;
 };
 
+/// Frozen-after-construction like GameRegistry (DESIGN.md §15): instance()
+/// registers the built-ins and freezes, after which contains/get/names/run
+/// are const over immutable deque storage and safe under concurrent run()
+/// calls from the service scheduler's workers. add() on a frozen registry
+/// throws.
 class ExperimentRegistry {
  public:
   /// The singleton, with all built-in experiments registered.
   static ExperimentRegistry& instance();
 
-  void add(ExperimentInfo info);  ///< throws Error on duplicate names
+  void add(ExperimentInfo info);  ///< throws on duplicates or once frozen
+  void freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
 
   bool contains(const std::string& name) const;
   const ExperimentInfo& get(const std::string& name) const;  ///< throws
@@ -45,7 +53,8 @@ class ExperimentRegistry {
 
  private:
   ExperimentRegistry() = default;
-  std::vector<ExperimentInfo> experiments_;
+  std::deque<ExperimentInfo> experiments_;
+  bool frozen_ = false;
 };
 
 /// Entry point for the thin bench shims: run `name` on its default

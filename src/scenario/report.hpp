@@ -20,6 +20,7 @@
 
 namespace logitdyn::scenario {
 
+class ArtifactCacheBase;  // scenario/artifacts.hpp
 class Report;
 
 /// A table inside a Report: same fluent cell API as support/table's Table
@@ -87,6 +88,10 @@ struct RunOptions {
   /// deadline_s > 0); external harnesses may pre-install their own and
   /// cancel() it from another thread.
   RunControl* control = nullptr;
+  /// Shared artifact cache (nullable; DESIGN.md §15). Installed by the
+  /// service daemon so repeated/overlapping requests reuse expensive
+  /// build products; CLI runs leave it null and experiments build inline.
+  ArtifactCacheBase* artifacts = nullptr;
 
   uint64_t seed_or(uint64_t fallback) const {
     return seed ? *seed : fallback;

@@ -1,6 +1,7 @@
 #include "scenario/scenario.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "games/congestion.hpp"
@@ -50,6 +51,21 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
     }
   }
   return spec;
+}
+
+std::string ScenarioSpec::canonical_hash() const {
+  // FNV-1a 64 over the canonical serialization (sorted keys, value-level
+  // number formatting) — the same fingerprint family the local layer uses
+  // for trajectories (local/local_state strategy_hash).
+  const std::string text = to_json().canonical_dump();
+  uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : text) {
+    h ^= uint64_t(c);
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", (unsigned long long)h);
+  return buf;
 }
 
 std::string ScenarioSpec::summary() const {
@@ -532,15 +548,22 @@ void register_builtin_families(GameRegistry& reg) {
 // ------------------------------------------------------------ GameRegistry
 
 GameRegistry& GameRegistry::instance() {
+  // Magic-static initialization is thread-safe; the freeze() at the end
+  // makes every later lookup a read over immutable storage, so concurrent
+  // validated()/make_game() calls (the daemon's scheduler workers) need
+  // no locking.
   static GameRegistry* reg = [] {
     auto* r = new GameRegistry();
     register_builtin_families(*r);
+    r->freeze();
     return r;
   }();
   return *reg;
 }
 
 void GameRegistry::register_family(FamilyInfo info) {
+  LD_CHECK(!frozen_, "GameRegistry is frozen (register families before the "
+                     "first instance() lookup)");
   LD_CHECK(!info.name.empty(), "family name must be non-empty");
   for (const FamilyInfo& existing : families_) {
     LD_CHECK(existing.name != info.name, "duplicate game family \"",

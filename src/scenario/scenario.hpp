@@ -5,6 +5,7 @@
 // workloads are JSON files, not new binaries.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -39,6 +40,15 @@ struct ScenarioSpec {
 
   /// One-line human summary, e.g. "plateau(n=32, g=8, l=2)".
   std::string summary() const;
+
+  /// Content hash of THIS spec (16 lowercase hex chars, FNV-1a 64 over the
+  /// canonical JSON serialization): independent of params/topology key
+  /// order and of number formatting (2 vs 2.0), but NOT of defaults — two
+  /// specs that differ only in an explicitly-spelled default value hash
+  /// differently. Hash `GameRegistry::validated(spec)` (all defaults
+  /// filled) when two ways of writing the same game must collide — that is
+  /// the artifact-cache key (DESIGN.md §15).
+  std::string canonical_hash() const;
 };
 
 /// Parameter descriptor for one family parameter (used by validation and
@@ -72,15 +82,22 @@ struct FamilyInfo {
   std::function<std::unique_ptr<Game>(const ScenarioSpec&)> make;
 };
 
-/// String-keyed factory over the game families. Thread-safe for lookups
-/// after the built-in families are registered (which happens on first
-/// instance() call); register_family is not thread-safe and is meant for
-/// start-up time extension.
+/// String-keyed factory over the game families. instance() freezes the
+/// registry after the built-ins are registered (construction-time freeze,
+/// DESIGN.md §15): every lookup and run entry point (contains/family/
+/// families/validated/make_game) is const over immutable storage and safe
+/// to call from any number of threads concurrently — the service daemon
+/// is the first concurrent caller. register_family on a frozen registry
+/// throws; start-up extension must happen before the first instance()
+/// lookup (i.e. inside registration hooks). Storage is a deque so the
+/// references family() hands out are never invalidated by registration.
 class GameRegistry {
  public:
   static GameRegistry& instance();
 
-  void register_family(FamilyInfo info);
+  void register_family(FamilyInfo info);  ///< throws Error once frozen
+  void freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
 
   bool contains(const std::string& family) const;
   const FamilyInfo& family(const std::string& name) const;  ///< throws Error
@@ -101,7 +118,8 @@ class GameRegistry {
 
  private:
   GameRegistry() = default;
-  std::vector<FamilyInfo> families_;
+  std::deque<FamilyInfo> families_;
+  bool frozen_ = false;
 };
 
 /// Build a graph from a topology object {"kind": ..., ...}. Kinds map to

@@ -1,0 +1,110 @@
+#include "service/artifact_cache.hpp"
+
+namespace logitdyn::service {
+
+ArtifactCache::ArtifactCache(size_t max_bytes) : max_bytes_(max_bytes) {}
+
+std::shared_ptr<void> ArtifactCache::get_or_build(const std::string& key,
+                                                  const BuildFn& build) {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.value;
+    }
+    auto fl = in_flight_.find(key);
+    if (fl == in_flight_.end()) break;  // we become the builder
+    // Someone is building this key right now: wait for them, then loop —
+    // the re-read turns into a hit when they published, or into our own
+    // build when they did not (per-run artifacts must not be shared).
+    ++coalesced_;
+    const int epoch = fl->second;
+    build_done_.wait(lk, [&] {
+      auto now = in_flight_.find(key);
+      return now == in_flight_.end() || now->second != epoch;
+    });
+  }
+  ++misses_;
+  static int epoch_counter = 0;
+  in_flight_[key] = ++epoch_counter;
+  lk.unlock();
+
+  Built built;
+  bool threw = true;
+  try {
+    built = build();
+    threw = false;
+  } catch (...) {
+    lk.lock();
+    in_flight_.erase(key);
+    build_done_.notify_all();
+    throw;
+  }
+  (void)threw;
+
+  lk.lock();
+  if (built.publish && built.value && built.bytes <= max_bytes_) {
+    evict_to_fit_locked(built.bytes);
+    lru_.push_front(key);
+    entries_[key] = Entry{built.value, built.bytes, lru_.begin()};
+    bytes_used_ += built.bytes;
+    ++inserts_;
+  } else {
+    ++unpublished_;
+  }
+  in_flight_.erase(key);
+  build_done_.notify_all();
+  return built.value;
+}
+
+void ArtifactCache::evict_to_fit_locked(size_t incoming_bytes) {
+  while (!lru_.empty() && bytes_used_ + incoming_bytes > max_bytes_) {
+    const std::string& victim = lru_.back();
+    auto it = entries_.find(victim);
+    bytes_used_ -= it->second.bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.inserts = inserts_;
+  s.evictions = evictions_;
+  s.coalesced = coalesced_;
+  s.unpublished = unpublished_;
+  s.bytes_used = bytes_used_;
+  s.bytes_limit = max_bytes_;
+  s.entries = entries_.size();
+  return s;
+}
+
+Json ArtifactCache::stats_json() const {
+  const Stats s = stats();
+  Json j = Json::object();
+  j.set("hits", s.hits);
+  j.set("misses", s.misses);
+  j.set("inserts", s.inserts);
+  j.set("evictions", s.evictions);
+  j.set("coalesced", s.coalesced);
+  j.set("unpublished", s.unpublished);
+  j.set("bytes_used", uint64_t(s.bytes_used));
+  j.set("bytes_limit", uint64_t(s.bytes_limit));
+  j.set("entries", uint64_t(s.entries));
+  return j;
+}
+
+void ArtifactCache::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.clear();
+  lru_.clear();
+  bytes_used_ = 0;
+}
+
+}  // namespace logitdyn::service

@@ -1,0 +1,79 @@
+// Bounded LRU artifact cache (DESIGN.md §15): the concrete
+// scenario::ArtifactCacheBase the daemon installs into every request's
+// RunOptions. Keys are opaque strings the experiments compose from the
+// validated spec's canonical hash plus whatever else the value depends
+// on (beta, artifact kind); values are type-erased shared_ptrs whose
+// approximate retained size feeds the byte budget.
+//
+// Concurrency: one mutex over the whole index. Builds run OUTSIDE the
+// lock; concurrent get_or_build calls for the same key coalesce — the
+// second caller waits for the first build instead of recomputing, then
+// re-reads the index (a hit when the build published, its own build
+// otherwise). Per the §15 publication policy, a build that reports
+// publish = false (degraded/interrupted run) is handed back to its own
+// caller but never retained, so later requests cannot observe it.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "scenario/artifacts.hpp"
+#include "support/json.hpp"
+
+namespace logitdyn::service {
+
+class ArtifactCache final : public scenario::ArtifactCacheBase {
+ public:
+  /// `max_bytes` bounds the sum of retained entry sizes; inserting past
+  /// the bound evicts least-recently-used entries (values stay alive for
+  /// holders of the shared_ptr — eviction drops the cache's reference).
+  /// An artifact larger than the whole budget is returned but not
+  /// retained.
+  explicit ArtifactCache(size_t max_bytes);
+
+  std::shared_ptr<void> get_or_build(const std::string& key,
+                                     const BuildFn& build) override;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+    uint64_t coalesced = 0;    ///< waits piggybacked on an in-flight build
+    uint64_t unpublished = 0;  ///< builds returned but not retained
+    size_t bytes_used = 0;
+    size_t bytes_limit = 0;
+    size_t entries = 0;
+  };
+  Stats stats() const;
+  Json stats_json() const;
+
+  /// Drop every entry (tests; counters survive).
+  void clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<void> value;
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  void evict_to_fit_locked(size_t incoming_bytes);
+
+  const size_t max_bytes_;
+  mutable std::mutex mu_;
+  std::condition_variable build_done_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  ///< front = most recently used
+  std::map<std::string, int> in_flight_;  ///< key -> waiter epoch marker
+  size_t bytes_used_ = 0;
+  uint64_t hits_ = 0, misses_ = 0, inserts_ = 0, evictions_ = 0;
+  uint64_t coalesced_ = 0, unpublished_ = 0;
+};
+
+}  // namespace logitdyn::service

@@ -1,0 +1,63 @@
+#include "service/client.hpp"
+
+#include "support/error.hpp"
+
+namespace logitdyn::service {
+
+Client::Client(const std::string& socket_path)
+    : sock_(net::connect_unix(socket_path)) {}
+
+void Client::send(const Json& frame) {
+  LD_CHECK(sock_.send_all(frame_line(frame)), "daemon hung up");
+}
+
+bool Client::next_frame(Json* frame, int timeout_ms) {
+  std::string line;
+  char buf[64 << 10];
+  while (true) {
+    if (frames_.next(&line)) {
+      *frame = Json::parse(line);
+      return true;
+    }
+    if (timeout_ms >= 0 && !sock_.wait_readable(timeout_ms)) return false;
+    const long n = sock_.recv_some(buf, sizeof(buf));
+    if (n <= 0) return false;
+    frames_.append(buf, size_t(n));
+  }
+}
+
+Json Client::run(const ServiceRequest& request,
+                 const std::function<bool(const Json&)>& on_frame) {
+  send(request.to_json());
+  bool cancel_sent = false;
+  Json frame;
+  while (next_frame(&frame)) {
+    const Json* id = frame.find("id");
+    if (id == nullptr || !id->is_string() ||
+        id->as_string() != request.id) {
+      continue;  // interleaved frames for other requests on this socket
+    }
+    if (on_frame && !on_frame(frame) && !cancel_sent) {
+      ServiceRequest cancel;
+      cancel.id = request.id;
+      cancel.cancel = true;
+      send(cancel.to_json());
+      cancel_sent = true;
+    }
+    if (frame.contains("final") || frame.contains("error") ||
+        frame.contains("stats")) {
+      return frame;
+    }
+  }
+  throw Error("daemon hung up before the final frame of \"" + request.id +
+              "\"");
+}
+
+Json Client::stats() {
+  ServiceRequest req;
+  req.id = "stats";
+  req.stats = true;
+  return run(req);
+}
+
+}  // namespace logitdyn::service

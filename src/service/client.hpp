@@ -1,0 +1,46 @@
+// Client side of the logitdynd protocol (DESIGN.md §15): connect, send
+// frames, read frames back. Used by `logitdyn_lab client`, the service
+// bench axis, and the daemon e2e tests — all of which need the same
+// submit/stream/cancel/stats plumbing and none of which should re-write
+// NDJSON framing.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "support/net.hpp"
+
+namespace logitdyn::service {
+
+class Client {
+ public:
+  /// Connect to a running daemon; throws Error when nothing listens at
+  /// `socket_path`.
+  explicit Client(const std::string& socket_path);
+
+  /// Send one frame; throws Error once the daemon hung up.
+  void send(const Json& frame);
+
+  /// Read the next frame (blocking; `timeout_ms` < 0 waits forever).
+  /// Returns false on orderly daemon hang-up or timeout.
+  bool next_frame(Json* frame, int timeout_ms = -1);
+
+  /// submit + stream to completion: sends the request, invokes
+  /// `on_frame` for every frame carrying this request's id until the
+  /// final/error frame arrives, and returns it. `on_frame` may return
+  /// false to request cancellation (the stream still runs on until the
+  /// daemon's state=cancelled final arrives). Throws Error when the
+  /// daemon hangs up mid-stream.
+  Json run(const ServiceRequest& request,
+           const std::function<bool(const Json&)>& on_frame = {});
+
+  /// One-shot stats round-trip.
+  Json stats();
+
+ private:
+  net::Socket sock_;
+  FrameBuffer frames_;
+};
+
+}  // namespace logitdyn::service

@@ -1,0 +1,103 @@
+#include "service/daemon.hpp"
+
+#include <exception>
+
+#include "support/error.hpp"
+
+namespace logitdyn::service {
+
+Daemon::Daemon(const Config& config)
+    : config_(config), engine_(config.engine) {}
+
+Daemon::~Daemon() { stop(); }
+
+void Daemon::send_frame(const std::shared_ptr<Connection>& conn,
+                        const Json& frame) {
+  const std::string line = frame_line(frame);
+  std::lock_guard<std::mutex> lk(conn->write_mu);
+  if (conn->dead) return;
+  if (!conn->sock.send_all(line)) conn->dead = true;
+}
+
+void Daemon::serve_connection(std::shared_ptr<Connection> conn) {
+  FrameBuffer frames;
+  char buf[64 << 10];
+  std::string line;
+  while (true) {
+    const long n = conn->sock.recv_some(buf, sizeof(buf));
+    if (n <= 0) break;  // EOF or error: peer is gone
+    try {
+      frames.append(buf, size_t(n));
+    } catch (const std::exception& e) {
+      // Oversized garbage: this peer is not speaking the protocol.
+      send_frame(conn, make_error_frame("", e.what()));
+      break;
+    }
+    while (frames.next(&line)) {
+      ServiceRequest req;
+      try {
+        req = ServiceRequest::from_json(Json::parse(line));
+      } catch (const std::exception& e) {
+        // Line framing survives a bad frame: report and keep reading.
+        send_frame(conn, make_error_frame("", e.what()));
+        continue;
+      }
+      if (!req.cancel && !req.stats) {
+        std::lock_guard<std::mutex> lk(conn->write_mu);
+        conn->submitted.push_back(req.id);
+      }
+      engine_.handle(req, conn->name,
+                     [this, conn](const Json& frame) {
+                       send_frame(conn, frame);
+                     });
+    }
+  }
+  // Disconnect: nothing will read this client's frames again, so stop
+  // paying for its outstanding requests.
+  {
+    std::lock_guard<std::mutex> lk(conn->write_mu);
+    conn->dead = true;
+  }
+  for (const std::string& id : conn->submitted) engine_.cancel_quiet(id);
+}
+
+void Daemon::run() {
+  net::UnixListener listener(config_.socket_path);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int ready =
+        net::wait_readable2(listener.fd(), stop_pipe_.read_fd(), -1);
+    if (stopping_.load(std::memory_order_relaxed) || (ready & 2)) break;
+    if ((ready & 1) == 0) continue;
+    net::Socket sock = listener.accept();
+    if (!sock.valid()) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->sock = std::move(sock);
+    {
+      std::lock_guard<std::mutex> lk(conns_mu_);
+      conn->name = "client-" + std::to_string(next_client_++);
+      conns_.push_back(conn);
+      readers_.emplace_back(
+          [this, conn] { serve_connection(std::move(conn)); });
+    }
+  }
+  stop_pipe_.drain();
+  // Ordered shutdown: engine first, so cancelled finals are written to
+  // connections that are still open; only then wake and join readers.
+  engine_.shutdown();
+  std::vector<std::shared_ptr<Connection>> conns;
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    conns.swap(conns_);
+    readers.swap(readers_);
+  }
+  for (const auto& conn : conns) conn->sock.shutdown_rdwr();
+  for (std::thread& t : readers) t.join();
+}
+
+void Daemon::stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  stop_pipe_.notify();
+}
+
+}  // namespace logitdyn::service

@@ -1,0 +1,71 @@
+// logitdynd (DESIGN.md §15): the persistent daemon. Listens on an
+// AF_UNIX socket, speaks the NDJSON protocol, and drives one Engine.
+// Thread-per-connection: the accept loop polls {listener, stop-pipe};
+// each accepted connection gets a reader thread that parses frames and
+// hands them to the engine with a sink that serializes writes back onto
+// that connection (progress frames arrive from scheduler workers, finals
+// from wherever the run ends — a per-connection write mutex keeps frames
+// whole).
+//
+// Shutdown (SIGTERM/SIGINT or stop()) is ordered for clean delivery:
+// stop accepting, engine.shutdown() — which cancels every queued and
+// active request and WAITS for the workers, so state=cancelled finals
+// still reach connected clients — then wake and join the readers.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/engine.hpp"
+#include "support/net.hpp"
+
+namespace logitdyn::service {
+
+class Daemon {
+ public:
+  struct Config {
+    std::string socket_path;
+    Engine::Config engine;
+  };
+
+  explicit Daemon(const Config& config);
+  ~Daemon();
+
+  /// Bind, listen and serve until stop(). Throws Error when the socket
+  /// path cannot be bound. Call from the thread that owns the daemon's
+  /// lifetime (main, or a test's server thread).
+  void run();
+
+  /// Request shutdown from any thread — or a signal handler: the
+  /// fast path is one async-signal-safe write to the stop pipe.
+  void stop();
+
+  Engine& engine() { return engine_; }
+
+ private:
+  struct Connection {
+    net::Socket sock;
+    std::string name;  ///< fairness key: "client-<n>"
+    std::mutex write_mu;
+    bool dead = false;                  ///< peer gone; drop frames
+    std::vector<std::string> submitted; ///< ids to cancel on disconnect
+  };
+
+  void serve_connection(std::shared_ptr<Connection> conn);
+  void send_frame(const std::shared_ptr<Connection>& conn, const Json& frame);
+
+  Config config_;
+  Engine engine_;
+  net::SelfPipe stop_pipe_;
+  std::atomic<bool> stopping_{false};
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> readers_;
+  int next_client_ = 0;
+};
+
+}  // namespace logitdyn::service

@@ -1,0 +1,148 @@
+#include "service/engine.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
+#include "scenario/scenario.hpp"
+#include "support/error.hpp"
+
+namespace logitdyn::service {
+
+scenario::RunOptions parse_service_options(const Json& options,
+                                           double default_deadline_s) {
+  scenario::RunOptions opts;
+  opts.deadline_s = default_deadline_s;
+  if (options.is_null()) return opts;
+  LD_CHECK(options.is_object(), "request options must be an object");
+  for (const auto& [key, value] : options.members()) {
+    if (key == "seed") {
+      opts.seed = uint64_t(value.as_int());
+    } else if (key == "beta_grid") {
+      LD_CHECK(value.is_array(), "options.beta_grid must be an array");
+      for (size_t i = 0; i < value.size(); ++i) {
+        opts.beta_grid.push_back(value.at(i).as_double());
+      }
+    } else if (key == "smoke") {
+      opts.smoke = value.as_bool();
+    } else if (key == "threads") {
+      opts.threads = int(value.as_int());
+    } else if (key == "deadline_s") {
+      opts.deadline_s = value.as_double();
+    } else {
+      // A typoed option must fail the request, not silently run defaults.
+      throw Error("unknown request option \"" + key +
+                  "\" (accepted: seed, beta_grid, smoke, threads, "
+                  "deadline_s)");
+    }
+  }
+  return opts;
+}
+
+Engine::Engine(const Config& config)
+    : config_(config),
+      cache_(config.cache_bytes),
+      scheduler_(config.max_active) {}
+
+Engine::~Engine() { shutdown(); }
+
+void Engine::handle(const ServiceRequest& request, const std::string& client,
+                    FrameSink sink) {
+  if (request.stats) {
+    sink(make_stats_frame(request.id, stats_json()));
+    return;
+  }
+  if (request.cancel) {
+    if (scheduler_.cancel(request.id)) {
+      sink(make_cancel_ack_frame(request.id));
+    } else {
+      sink(make_error_frame(request.id, "unknown request id \"" +
+                                            request.id +
+                                            "\" (already finished?)"));
+    }
+    return;
+  }
+  submit(request, client, std::move(sink));
+}
+
+void Engine::submit(const ServiceRequest& request, const std::string& client,
+                    FrameSink sink) {
+  // Validate everything BEFORE the request enters a queue: an error frame
+  // right away beats a job that dies on a worker minutes later.
+  std::shared_ptr<scenario::ScenarioSpec> spec;
+  scenario::RunOptions opts;
+  try {
+    auto& experiments = scenario::ExperimentRegistry::instance();
+    experiments.get(request.experiment);  // throws with the known-name list
+    if (!request.scenario.is_null()) {
+      spec = std::make_shared<scenario::ScenarioSpec>(
+          scenario::ScenarioSpec::from_json(request.scenario));
+      scenario::GameRegistry::instance().validated(*spec);
+    }
+    opts = parse_service_options(request.options,
+                                 config_.default_deadline_s);
+    if (opts.threads == 0) opts.threads = config_.default_threads;
+  } catch (const std::exception& e) {
+    sink(make_error_frame(request.id, e.what()));
+    return;
+  }
+
+  auto control = std::make_shared<RunControl>();
+  const std::string id = request.id;
+  const std::string experiment = request.experiment;
+  control->set_heartbeat(
+      [sink, id](const RunProgress& p) {
+        sink(make_progress_frame(id, p.phase, p.work_units));
+      },
+      config_.heartbeat_stride);
+
+  Scheduler::Job job;
+  job.id = id;
+  job.client = client;
+  job.control = control;
+  // The deadline is armed by ExperimentRegistry::run at DISPATCH time
+  // (opts.deadline_s + an unarmed control), so queue wait under a busy
+  // scheduler does not consume the request's compute budget.
+  job.run = [this, id, experiment, spec, opts,
+             sink](RunControl& control) mutable {
+    scenario::Report report(experiment);
+    report.set_echo(nullptr);
+    opts.control = &control;
+    opts.artifacts = &cache_;
+    try {
+      scenario::ExperimentRegistry::instance().run(experiment, spec.get(),
+                                                   opts, report);
+      sink(make_final_frame(id, report.to_json()));
+    } catch (const std::exception& e) {
+      sink(make_error_frame(id, e.what()));
+    }
+  };
+  job.cancelled_in_queue = [id, experiment, sink]() {
+    // Never dispatched: no measurements, but the same schema-valid report
+    // shape a mid-run cancellation produces (status.state = "cancelled").
+    scenario::Report report(experiment);
+    report.set_echo(nullptr);
+    report.set_run_status(RunStatus::kCancelled,
+                          "cancelled while queued (never dispatched)");
+    sink(make_final_frame(id, report.to_json()));
+  };
+  try {
+    scheduler_.submit(std::move(job));
+  } catch (const std::exception& e) {
+    sink(make_error_frame(id, e.what()));
+  }
+}
+
+void Engine::cancel_quiet(const std::string& id) { scheduler_.cancel(id); }
+
+void Engine::shutdown() { scheduler_.drain(); }
+
+Json Engine::stats_json() const {
+  Json j = Json::object();
+  j.set("scheduler", scheduler_.stats_json());
+  j.set("cache", cache_.stats_json());
+  return j;
+}
+
+}  // namespace logitdyn::service

@@ -1,0 +1,74 @@
+// The daemon's request engine (DESIGN.md §15): owns the artifact cache
+// and the fair scheduler, and turns parsed ServiceRequests into frames.
+// Transport-agnostic — the daemon hands it a per-request frame sink
+// (socket writer), the tests hand it a vector collector. One Engine per
+// daemon; safe to call from any number of connection threads.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "scenario/report.hpp"
+#include "service/artifact_cache.hpp"
+#include "service/protocol.hpp"
+#include "service/scheduler.hpp"
+#include "support/json.hpp"
+
+namespace logitdyn::service {
+
+class Engine {
+ public:
+  struct Config {
+    int max_active = 2;          ///< concurrent requests (scheduler workers)
+    size_t cache_bytes = size_t(256) << 20;  ///< artifact-cache budget
+    double default_deadline_s = 0.0;  ///< applied when options omit one
+    int default_threads = 0;          ///< applied when options omit threads
+    uint64_t heartbeat_stride = 1;    ///< work units per progress frame
+  };
+
+  explicit Engine(const Config& config);
+  ~Engine();
+
+  /// Frame delivery callback; invoked from scheduler workers and from the
+  /// submitting thread (validation errors, queue-cancelled finals). Must
+  /// be internally synchronized by the caller and must not throw.
+  using FrameSink = std::function<void(const Json& frame)>;
+
+  /// Dispatch one parsed frame. Submits queue the request under `client`
+  /// (the fairness key); cancel/stats act immediately. Every outcome —
+  /// including validation failure — is reported through `sink`.
+  void handle(const ServiceRequest& request, const std::string& client,
+              FrameSink sink);
+
+  /// Best-effort cancel without a reply frame (connection teardown: the
+  /// client is gone, nobody is listening for the error-on-unknown-id).
+  void cancel_quiet(const std::string& id);
+
+  /// Cancel every in-flight request and wait for workers to unwind.
+  void shutdown();
+
+  /// {"scheduler": {...}, "cache": {...}} — the stats-frame payload.
+  Json stats_json() const;
+
+  ArtifactCache& cache() { return cache_; }
+
+ private:
+  void submit(const ServiceRequest& request, const std::string& client,
+              FrameSink sink);
+
+  Config config_;
+  ArtifactCache cache_;
+  Scheduler scheduler_;
+};
+
+/// Accepted request options (a strict subset of RunOptions, parsed from
+/// the submit frame's "options" object): seed, beta_grid, smoke,
+/// threads, deadline_s. Unknown keys throw — a typoed option must not
+/// silently run the default. Exposed for the client-side validation path
+/// and the tests.
+scenario::RunOptions parse_service_options(const Json& options,
+                                           double default_deadline_s);
+
+}  // namespace logitdyn::service

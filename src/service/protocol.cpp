@@ -1,0 +1,122 @@
+#include "service/protocol.hpp"
+
+#include "support/error.hpp"
+
+namespace logitdyn::service {
+
+ServiceRequest ServiceRequest::from_json(const Json& j) {
+  LD_CHECK(j.is_object(), "frame must be a JSON object");
+  ServiceRequest req;
+  if (const Json* id = j.find("id")) {
+    LD_CHECK(id->is_string(), "frame \"id\" must be a string");
+    req.id = id->as_string();
+  }
+  if (const Json* cancel = j.find("cancel")) {
+    LD_CHECK(cancel->is_bool(), "frame \"cancel\" must be a bool");
+    req.cancel = cancel->as_bool();
+  }
+  if (const Json* stats = j.find("stats")) {
+    LD_CHECK(stats->is_bool(), "frame \"stats\" must be a bool");
+    req.stats = stats->as_bool();
+  }
+  if (const Json* experiment = j.find("experiment")) {
+    LD_CHECK(experiment->is_string(), "frame \"experiment\" must be a string");
+    req.experiment = experiment->as_string();
+  }
+  if (const Json* scenario = j.find("scenario")) req.scenario = *scenario;
+  if (const Json* options = j.find("options")) {
+    LD_CHECK(options->is_null() || options->is_object(),
+             "frame \"options\" must be an object");
+    req.options = *options;
+  }
+
+  if (req.cancel || req.stats) {
+    LD_CHECK(!req.cancel || !req.stats,
+             "frame cannot be both a cancel and a stats request");
+    LD_CHECK(req.experiment.empty() && req.scenario.is_null() &&
+                 req.options.is_null(),
+             "cancel/stats frames carry no submit body");
+    LD_CHECK(req.stats || !req.id.empty(), "cancel frame needs an \"id\"");
+  } else {
+    LD_CHECK(!req.id.empty(), "submit frame needs an \"id\"");
+    LD_CHECK(!req.experiment.empty(), "submit frame needs an \"experiment\"");
+  }
+  return req;
+}
+
+Json ServiceRequest::to_json() const {
+  Json j = Json::object();
+  if (!id.empty()) j.set("id", id);
+  if (cancel) {
+    j.set("cancel", true);
+    return j;
+  }
+  if (stats) {
+    j.set("stats", true);
+    return j;
+  }
+  j.set("experiment", experiment);
+  if (!scenario.is_null()) j.set("scenario", scenario);
+  if (!options.is_null()) j.set("options", options);
+  return j;
+}
+
+Json make_progress_frame(const std::string& id, const std::string& phase,
+                         uint64_t work) {
+  Json j = Json::object();
+  j.set("id", id);
+  j.set("progress", true);
+  j.set("phase", phase);
+  j.set("work", work);
+  return j;
+}
+
+Json make_final_frame(const std::string& id, Json report) {
+  Json j = Json::object();
+  j.set("id", id);
+  j.set("final", true);
+  j.set("report", std::move(report));
+  return j;
+}
+
+Json make_stats_frame(const std::string& id, Json stats) {
+  Json j = Json::object();
+  j.set("id", id);
+  j.set("stats", std::move(stats));
+  return j;
+}
+
+Json make_cancel_ack_frame(const std::string& id) {
+  Json j = Json::object();
+  j.set("id", id);
+  j.set("cancelled", true);
+  return j;
+}
+
+Json make_error_frame(const std::string& id, const std::string& message) {
+  Json j = Json::object();
+  j.set("id", id);
+  j.set("error", message);
+  return j;
+}
+
+std::string frame_line(const Json& frame) { return frame.dump(0) + "\n"; }
+
+void FrameBuffer::append(const char* data, size_t len) {
+  buffer_.append(data, len);
+  if (buffer_.size() > max_frame_bytes_ &&
+      buffer_.find('\n') == std::string::npos) {
+    throw Error("service frame exceeds " + std::to_string(max_frame_bytes_) +
+                " bytes without a newline");
+  }
+}
+
+bool FrameBuffer::next(std::string* line) {
+  const std::string::size_type nl = buffer_.find('\n');
+  if (nl == std::string::npos) return false;
+  line->assign(buffer_, 0, nl);
+  buffer_.erase(0, nl + 1);
+  return true;
+}
+
+}  // namespace logitdyn::service

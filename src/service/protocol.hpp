@@ -1,0 +1,79 @@
+// logitdynd wire protocol (DESIGN.md §15): newline-delimited JSON over an
+// AF_UNIX stream socket. One JSON object per line, compact-dumped, in
+// both directions.
+//
+// Client -> daemon frames:
+//   {"id", "experiment", "scenario"?, "options"?}   submit a request
+//   {"id", "cancel": true}                          cancel a request
+//   {"id", "stats": true}                           ask for daemon stats
+//
+// Daemon -> client frames (all carry the request "id"):
+//   {"id", "progress": true, "phase", "work"}       RunControl heartbeat
+//   {"id", "final": true, "report": {...}}          the full Report doc
+//   {"id", "stats": {...}}                          stats reply
+//   {"id", "cancelled": true}                       cancel acknowledged
+//   {"id", "error": "..."}                          request-level failure
+//
+// The cancel ack goes to the connection that SENT the cancel frame; the
+// state=cancelled final report still goes to the connection that
+// submitted the request (they may differ).
+//
+// The report inside a final frame is the same schema-versioned document
+// validate_report_json accepts; degraded/deadline/cancelled runs arrive
+// as schema-valid reports with the status block intact, NOT as error
+// frames — error frames are reserved for requests that never ran
+// (unknown experiment, malformed spec, daemon shutting down).
+#pragma once
+
+#include <string>
+
+#include "support/json.hpp"
+
+namespace logitdyn::service {
+
+/// A parsed client -> daemon frame.
+struct ServiceRequest {
+  std::string id;
+  std::string experiment;
+  Json scenario;             ///< null = the experiment's default scenario
+  Json options;              ///< null/object; see Engine for accepted keys
+  bool cancel = false;
+  bool stats = false;
+
+  /// Parse one frame; throws Error on shape violations (non-object, bad
+  /// types, missing id, cancel/stats combined with a submit body).
+  static ServiceRequest from_json(const Json& j);
+  Json to_json() const;
+};
+
+// ---------------------------------------------------------------- frames
+Json make_progress_frame(const std::string& id, const std::string& phase,
+                         uint64_t work);
+Json make_final_frame(const std::string& id, Json report);
+Json make_stats_frame(const std::string& id, Json stats);
+Json make_cancel_ack_frame(const std::string& id);
+Json make_error_frame(const std::string& id, const std::string& message);
+
+/// Serialize a frame for the wire: compact dump + '\n'.
+std::string frame_line(const Json& frame);
+
+/// Incremental newline splitter for the receive side: feed raw bytes with
+/// append(), pull complete lines with next(). Oversized frames (no
+/// newline within `max_frame_bytes`) throw Error — a peer speaking a
+/// different protocol must not make the daemon buffer forever.
+class FrameBuffer {
+ public:
+  explicit FrameBuffer(size_t max_frame_bytes = size_t(64) << 20)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void append(const char* data, size_t len);
+  /// Pop the next complete line into *line (newline stripped). False when
+  /// no complete frame is buffered.
+  bool next(std::string* line);
+
+ private:
+  std::string buffer_;
+  size_t max_frame_bytes_;
+};
+
+}  // namespace logitdyn::service

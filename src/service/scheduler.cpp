@@ -1,0 +1,150 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace logitdyn::service {
+
+Scheduler::Scheduler(int max_active)
+    : max_active_(std::max(1, max_active)),
+      pool_(size_t(std::max(1, max_active))) {}
+
+Scheduler::~Scheduler() { drain(); }
+
+void Scheduler::submit(Job job) {
+  LD_CHECK(static_cast<bool>(job.run), "scheduler job has no run function");
+  LD_CHECK(job.control != nullptr, "scheduler job has no RunControl");
+  std::unique_lock<std::mutex> lk(mu_);
+  LD_CHECK(!shutdown_, "scheduler is shutting down");
+  const bool queued_dup = [&] {
+    for (const auto& [client, q] : queues_) {
+      for (const Job& j : q.fifo) {
+        if (j.id == job.id) return true;
+      }
+    }
+    return false;
+  }();
+  LD_CHECK(!queued_dup && active_.find(job.id) == active_.end(),
+           "duplicate request id \"", job.id, "\"");
+  auto [it, fresh] = queues_.try_emplace(job.client);
+  if (fresh) rr_order_.push_back(job.client);
+  it->second.fifo.push_back(std::move(job));
+  ++queued_;
+  ++submitted_;
+  pump_locked(lk);
+}
+
+bool Scheduler::pick_next_locked(Job* out) {
+  // Deficit round-robin, unit request cost: visit clients in a fixed
+  // cyclic order, add the quantum (1) to the visited client's deficit,
+  // and serve its head request when the deficit covers the cost (always,
+  // with unit costs — the counters exist so a future weighted cost model
+  // only has to change the two constants).
+  if (queued_ == 0) return false;
+  const size_t n = rr_order_.size();
+  for (size_t step = 0; step < n; ++step) {
+    ClientQueue& q = queues_[rr_order_[rr_cursor_]];
+    rr_cursor_ = (rr_cursor_ + 1) % n;
+    if (q.fifo.empty()) {
+      q.deficit = 0;  // idle clients accumulate no credit
+      continue;
+    }
+    q.deficit += 1;
+    if (q.deficit >= 1) {
+      q.deficit -= 1;
+      *out = std::move(q.fifo.front());
+      q.fifo.pop_front();
+      --queued_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Scheduler::pump_locked(std::unique_lock<std::mutex>& lk) {
+  Job job;
+  while (active_.size() < size_t(max_active_) && pick_next_locked(&job)) {
+    active_.emplace(job.id, job.control);
+    ++dispatched_;
+    auto shared = std::make_shared<Job>(std::move(job));
+    lk.unlock();
+    pool_.submit([this, shared] {
+      shared->run(*shared->control);
+      std::unique_lock<std::mutex> inner(mu_);
+      active_.erase(shared->id);
+      ++completed_;
+      if (shared->control->interrupt_status() == RunStatus::kCancelled) {
+        ++cancelled_active_;
+      }
+      pump_locked(inner);
+      if (inner.owns_lock()) {
+        idle_.notify_all();
+        inner.unlock();
+      }
+    });
+    lk.lock();
+  }
+}
+
+bool Scheduler::cancel(const std::string& id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (auto& [client, q] : queues_) {
+    for (auto it = q.fifo.begin(); it != q.fifo.end(); ++it) {
+      if (it->id != id) continue;
+      Job job = std::move(*it);
+      q.fifo.erase(it);
+      --queued_;
+      ++cancelled_queued_;
+      job.control->cancel();
+      lk.unlock();
+      if (job.cancelled_in_queue) job.cancelled_in_queue();
+      return true;
+    }
+  }
+  auto act = active_.find(id);
+  if (act != active_.end()) {
+    act->second->cancel();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  shutdown_ = true;
+  // Queued jobs never run: fire their cancelled callbacks outside the
+  // lock, then wait for the active set to unwind through its polls.
+  std::vector<Job> dropped;
+  for (auto& [client, q] : queues_) {
+    for (Job& j : q.fifo) dropped.push_back(std::move(j));
+    q.fifo.clear();
+  }
+  queued_ = 0;
+  cancelled_queued_ += dropped.size();
+  for (auto& [id, control] : active_) control->cancel();
+  lk.unlock();
+  for (Job& j : dropped) {
+    j.control->cancel();
+    if (j.cancelled_in_queue) j.cancelled_in_queue();
+  }
+  lk.lock();
+  idle_.wait(lk, [&] { return active_.empty(); });
+}
+
+Json Scheduler::stats_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Json j = Json::object();
+  j.set("max_active", int64_t(max_active_));
+  j.set("active", uint64_t(active_.size()));
+  j.set("queued", uint64_t(queued_));
+  j.set("clients", uint64_t(queues_.size()));
+  j.set("submitted", submitted_);
+  j.set("dispatched", dispatched_);
+  j.set("completed", completed_);
+  j.set("cancelled_queued", cancelled_queued_);
+  j.set("cancelled_active", cancelled_active_);
+  return j;
+}
+
+}  // namespace logitdyn::service

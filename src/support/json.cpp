@@ -1,5 +1,6 @@
 #include "support/json.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -246,6 +247,57 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
 std::string Json::dump(int indent) const {
   std::string out;
   dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+void canonical_dump_to(const Json& v, std::string& out) {
+  switch (v.type()) {
+    case Json::Type::kNull:
+    case Json::Type::kBool:
+    case Json::Type::kNumber:
+    case Json::Type::kString:
+      // Scalars already serialize canonically: json_number_to_string
+      // prints by value (the is_int presentation flag only matters for
+      // non-integral doubles, which have one shortest form).
+      out += v.dump(0);
+      return;
+    case Json::Type::kArray:
+      out += '[';
+      for (size_t i = 0; i < v.size(); ++i) {
+        if (i) out += ',';
+        canonical_dump_to(v.at(i), out);
+      }
+      out += ']';
+      return;
+    case Json::Type::kObject: {
+      std::vector<const std::pair<std::string, Json>*> sorted;
+      sorted.reserve(v.members().size());
+      for (const auto& m : v.members()) sorted.push_back(&m);
+      std::sort(sorted.begin(), sorted.end(),
+                [](const auto* a, const auto* b) { return a->first < b->first; });
+      out += '{';
+      bool first = true;
+      for (const auto* m : sorted) {
+        if (!first) out += ',';
+        first = false;
+        Json key(m->first);
+        out += key.dump(0);
+        out += ':';
+        canonical_dump_to(m->second, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Json::canonical_dump() const {
+  std::string out;
+  canonical_dump_to(*this, out);
   return out;
 }
 

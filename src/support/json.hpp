@@ -72,6 +72,14 @@ class Json {
   /// Render with `indent` spaces per level (0 = compact single line).
   std::string dump(int indent = 2) const;
 
+  /// Canonical serialization for content hashing (DESIGN.md §15): compact,
+  /// object members sorted bytewise by key at every depth (insertion order
+  /// is a presentation detail, not content), numbers rendered by value
+  /// alone (the writer already prints 2, 2.0 and 2e0 identically). Two
+  /// documents with equal content dump to equal bytes, whatever their key
+  /// order or number spelling was on the way in.
+  std::string canonical_dump() const;
+
   /// Parse a JSON document; throws Error with position info on bad input.
   static Json parse(const std::string& text);
 

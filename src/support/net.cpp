@@ -1,0 +1,162 @@
+#include "support/net.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/error.hpp"
+
+namespace logitdyn::net {
+
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::shutdown_rdwr() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Socket::send_all(const char* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a vanished peer must surface as a return value the
+    // daemon can handle per-connection, not as a process-wide SIGPIPE.
+    const ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += size_t(n);
+  }
+  return true;
+}
+
+long Socket::recv_some(char* buf, size_t len) {
+  while (true) {
+    const ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return long(n);
+  }
+}
+
+bool Socket::wait_readable(int timeout_ms) const {
+  struct pollfd pfd = {fd_, POLLIN, 0};
+  while (true) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    return rc > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+  }
+}
+
+UnixListener::UnixListener(const std::string& path) : path_(path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  LD_CHECK(path.size() < sizeof(addr.sun_path),
+           "socket path too long (", path.size(), " bytes, max ",
+           sizeof(addr.sun_path) - 1, "): ", path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw Error(errno_text("socket"));
+  fd_ = Socket(fd);
+  ::unlink(path.c_str());  // stale endpoint from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw Error(errno_text(("bind " + path).c_str()));
+  }
+  if (::listen(fd, 64) != 0) {
+    throw Error(errno_text(("listen " + path).c_str()));
+  }
+}
+
+UnixListener::~UnixListener() { ::unlink(path_.c_str()); }
+
+Socket UnixListener::accept() {
+  while (true) {
+    const int fd = ::accept(fd_.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    return Socket();
+  }
+}
+
+Socket connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  LD_CHECK(path.size() < sizeof(addr.sun_path), "socket path too long: ",
+           path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw Error(errno_text("socket"));
+  Socket sock(fd);
+  while (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)) != 0) {
+    if (errno == EINTR) continue;
+    throw Error(errno_text(("connect " + path).c_str()));
+  }
+  return sock;
+}
+
+SelfPipe::SelfPipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) throw Error(errno_text("pipe"));
+  read_end_ = Socket(fds[0]);
+  write_end_ = Socket(fds[1]);
+  // Non-blocking on both ends: notify() from a signal handler must never
+  // block on a full pipe, and drain() must stop at "empty".
+  ::fcntl(fds[0], F_SETFL, ::fcntl(fds[0], F_GETFL) | O_NONBLOCK);
+  ::fcntl(fds[1], F_SETFL, ::fcntl(fds[1], F_GETFL) | O_NONBLOCK);
+}
+
+void SelfPipe::notify() {
+  const char byte = 1;
+  // Best-effort: a full pipe already guarantees a pending wake-up.
+  [[maybe_unused]] const ssize_t rc = ::write(write_end_.fd(), &byte, 1);
+}
+
+void SelfPipe::drain() {
+  char buf[64];
+  while (::read(read_end_.fd(), buf, sizeof(buf)) > 0) {
+  }
+}
+
+int wait_readable2(int a, int b, int timeout_ms) {
+  struct pollfd pfds[2] = {{a, POLLIN, 0}, {b, POLLIN, 0}};
+  while (true) {
+    const int rc = ::poll(pfds, 2, timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) return 0;
+    int mask = 0;
+    if (pfds[0].revents & (POLLIN | POLLHUP | POLLERR)) mask |= 1;
+    if (pfds[1].revents & (POLLIN | POLLHUP | POLLERR)) mask |= 2;
+    return mask;
+  }
+}
+
+}  // namespace logitdyn::net

@@ -1,0 +1,101 @@
+// Thin RAII wrappers over the POSIX sockets the service layer needs
+// (DESIGN.md §15): AF_UNIX stream sockets, a listener, and a self-pipe
+// for waking a poll() loop from signal handlers and worker threads.
+// Deliberately minimal — blocking I/O plus poll() on the accept side is
+// all the daemon's thread-per-connection model requires, and nothing
+// here knows about frames or JSON (that is service/protocol).
+#pragma once
+
+#include <string>
+
+namespace logitdyn::net {
+
+/// Move-only owner of one socket/pipe file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// shutdown(2) both directions without closing the fd: wakes a thread
+  /// blocked in recv_some (it sees EOF) while the descriptor stays valid
+  /// for that thread to finish with. The daemon's shutdown path uses this
+  /// to stop per-connection reader threads safely.
+  void shutdown_rdwr();
+
+  /// Write the whole buffer (retrying short writes / EINTR). Returns false
+  /// once the peer is gone (EPIPE/ECONNRESET) — callers treat that as a
+  /// disconnect, not an error. SIGPIPE is suppressed per-call.
+  bool send_all(const char* data, size_t len);
+  bool send_all(const std::string& data) {
+    return send_all(data.data(), data.size());
+  }
+
+  /// Blocking read of up to `len` bytes. Returns bytes read, 0 on orderly
+  /// EOF, -1 on error (EINTR retried internally).
+  long recv_some(char* buf, size_t len);
+
+  /// Block until the fd is readable or `timeout_ms` elapses (negative =
+  /// forever). Returns true when readable.
+  bool wait_readable(int timeout_ms) const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening AF_UNIX stream socket bound to a filesystem path. The
+/// constructor unlinks any stale socket file at `path` first (daemons
+/// restart); the destructor unlinks it again so ls doesn't accumulate
+/// dead endpoints. Throws Error when bind/listen fail.
+class UnixListener {
+ public:
+  explicit UnixListener(const std::string& path);
+  ~UnixListener();
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  int fd() const { return fd_.fd(); }
+  const std::string& path() const { return path_; }
+
+  /// Accept one connection (blocking). Returns an invalid Socket when the
+  /// listener was closed under us or accept fails transiently.
+  Socket accept();
+
+ private:
+  Socket fd_;
+  std::string path_;
+};
+
+/// Connect to a UnixListener's path. Throws Error (with errno text) when
+/// nothing is listening there.
+Socket connect_unix(const std::string& path);
+
+/// A pipe whose read end can sit in a poll() set: notify() makes the
+/// poll wake up, drain() resets it. notify() is async-signal-safe (a
+/// single write()), which is the whole point — the daemon's SIGTERM
+/// handler calls it.
+class SelfPipe {
+ public:
+  SelfPipe();
+  int read_fd() const { return read_end_.fd(); }
+  void notify();
+  void drain();
+
+ private:
+  Socket read_end_;
+  Socket write_end_;
+};
+
+/// poll() over {a, b} for readability (negative timeout = forever).
+/// Returns a bitmask: 1 = `a` readable, 2 = `b` readable, 0 = timeout.
+int wait_readable2(int a, int b, int timeout_ms);
+
+}  // namespace logitdyn::net

@@ -1,0 +1,836 @@
+// Service layer tests (DESIGN.md §15): canonical spec hashing (the
+// artifact-cache key), the bounded LRU ArtifactCache (byte accounting,
+// eviction, coalescing, the publication policy), registry freezing and
+// concurrent registry use, the deficit-round-robin Scheduler (fairness,
+// queued vs active cancellation), the NDJSON protocol layer, and
+// end-to-end daemon runs over a real AF_UNIX socket: cache hits on
+// repeated requests, schema-valid state=cancelled / state=deadline
+// reports, and two simultaneous clients.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "scenario/registry.hpp"
+#include "scenario/report.hpp"
+#include "scenario/scenario.hpp"
+#include "service/artifact_cache.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "service/engine.hpp"
+#include "service/protocol.hpp"
+#include "service/scheduler.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/run_control.hpp"
+
+namespace logitdyn {
+namespace {
+
+using scenario::ScenarioSpec;
+using service::ArtifactCache;
+using service::Client;
+using service::Daemon;
+using service::Engine;
+using service::Scheduler;
+using service::ServiceRequest;
+
+// ------------------------------------------------------- canonical hash
+
+TEST(CanonicalHashTest, IndependentOfKeyOrderAndNumberFormatting) {
+  const ScenarioSpec a = ScenarioSpec::from_json(Json::parse(
+      R"({"family": "plateau", "n": 6, "params": {"g": 2, "l": 1}})"));
+  const ScenarioSpec b = ScenarioSpec::from_json(Json::parse(
+      R"({"params": {"l": 1.0, "g": 2.0}, "n": 6, "family": "plateau"})"));
+  EXPECT_EQ(a.canonical_hash(), b.canonical_hash());
+  EXPECT_EQ(a.canonical_hash().size(), 16u);
+  for (char c : a.canonical_hash()) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+}
+
+TEST(CanonicalHashTest, ValidationMakesSpelledDefaultsCollide) {
+  // Raw specs: omitting a default vs spelling it out hash differently…
+  ScenarioSpec bare;
+  bare.family = "ising";
+  bare.n = 6;
+  ScenarioSpec spelled = bare;
+  // The family default, written explicitly.
+  spelled.params.set("field", 0.0);
+  EXPECT_NE(bare.canonical_hash(), spelled.canonical_hash());
+  // …but the validated (defaults-filled) forms — the cache key — collide.
+  const auto& games = scenario::GameRegistry::instance();
+  EXPECT_EQ(games.validated(bare).canonical_hash(),
+            games.validated(spelled).canonical_hash());
+}
+
+TEST(CanonicalHashTest, ParameterChangesChangeTheHash) {
+  ScenarioSpec a;
+  a.family = "ising";
+  a.n = 6;
+  ScenarioSpec b = a;
+  b.n = 7;
+  EXPECT_NE(a.canonical_hash(), b.canonical_hash());
+  ScenarioSpec c = a;
+  c.params.set("field", 0.25);
+  EXPECT_NE(a.canonical_hash(), c.canonical_hash());
+  const auto& games = scenario::GameRegistry::instance();
+  EXPECT_NE(games.validated(a).canonical_hash(),
+            games.validated(c).canonical_hash());
+}
+
+// -------------------------------------------------------- artifact cache
+
+ArtifactCache::Stats cache_stats(const ArtifactCache& cache) {
+  return cache.stats();
+}
+
+std::shared_ptr<int> make_value(int v) { return std::make_shared<int>(v); }
+
+TEST(ArtifactCacheTest, MissBuildsThenHitsWithByteAccounting) {
+  ArtifactCache cache(1024);
+  int builds = 0;
+  const auto build = [&]() -> scenario::ArtifactCacheBase::Built {
+    ++builds;
+    return {make_value(7), 100, true};
+  };
+  const auto first = cache.get_or_build("k", build);
+  const auto second = cache.get_or_build("k", build);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(*std::static_pointer_cast<int>(first), 7);
+  const auto s = cache_stats(cache);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.inserts, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes_used, 100u);
+  EXPECT_EQ(s.bytes_limit, 1024u);
+}
+
+TEST(ArtifactCacheTest, LruEvictionDropsTheColdestEntry) {
+  ArtifactCache cache(250);
+  const auto built = [](int v) {
+    return [v]() -> scenario::ArtifactCacheBase::Built {
+      return {make_value(v), 100, true};
+    };
+  };
+  cache.get_or_build("a", built(1));
+  cache.get_or_build("b", built(2));
+  cache.get_or_build("a", built(1));  // refresh a: b is now the LRU tail
+  cache.get_or_build("c", built(3));  // 300 bytes > 250: evicts b
+  auto s = cache_stats(cache);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.bytes_used, 200u);
+  int rebuilds = 0;
+  cache.get_or_build("a", [&]() -> scenario::ArtifactCacheBase::Built {
+    ++rebuilds;
+    return {make_value(0), 100, true};
+  });
+  cache.get_or_build("b", [&]() -> scenario::ArtifactCacheBase::Built {
+    ++rebuilds;
+    return {make_value(0), 100, true};
+  });
+  EXPECT_EQ(rebuilds, 1);  // a survived, b did not
+}
+
+TEST(ArtifactCacheTest, UnpublishedBuildsAreReturnedButNeverRetained) {
+  ArtifactCache cache(1024);
+  int builds = 0;
+  const auto degraded = [&]() -> scenario::ArtifactCacheBase::Built {
+    ++builds;
+    return {make_value(13), 100, /*publish=*/false};
+  };
+  const auto first = cache.get_or_build("k", degraded);
+  EXPECT_EQ(*std::static_pointer_cast<int>(first), 13);
+  // A later caller must rebuild: the degraded value was not cached.
+  cache.get_or_build("k", degraded);
+  EXPECT_EQ(builds, 2);
+  const auto s = cache_stats(cache);
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.bytes_used, 0u);
+  EXPECT_EQ(s.unpublished, 2u);
+  EXPECT_EQ(s.inserts, 0u);
+}
+
+TEST(ArtifactCacheTest, OversizedArtifactIsNotRetained) {
+  ArtifactCache cache(100);
+  const auto huge = []() -> scenario::ArtifactCacheBase::Built {
+    return {make_value(1), 1000, true};
+  };
+  EXPECT_NE(cache.get_or_build("big", huge), nullptr);
+  EXPECT_EQ(cache_stats(cache).entries, 0u);
+  EXPECT_EQ(cache_stats(cache).bytes_used, 0u);
+}
+
+TEST(ArtifactCacheTest, ConcurrentBuildsOfOneKeyCoalesce) {
+  ArtifactCache cache(size_t(1) << 20);
+  std::atomic<int> builds{0};
+  const auto slow_build = [&]() -> scenario::ArtifactCacheBase::Built {
+    ++builds;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return {make_value(42), 64, true};
+  };
+  std::vector<std::shared_ptr<void>> got(4);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < got.size(); ++t) {
+    threads.emplace_back(
+        [&, t] { got[t] = cache.get_or_build("shared", slow_build); });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(builds.load(), 1);
+  for (const auto& v : got) EXPECT_EQ(v.get(), got[0].get());
+  const auto s = cache_stats(cache);
+  EXPECT_EQ(s.inserts, 1u);
+  EXPECT_GE(s.coalesced + s.hits, 3u);  // the other three piggybacked
+}
+
+TEST(ArtifactCacheTest, ClearDropsEntriesButKeepsCounters) {
+  ArtifactCache cache(1024);
+  cache.get_or_build("k", []() -> scenario::ArtifactCacheBase::Built {
+    return {make_value(1), 10, true};
+  });
+  cache.clear();
+  EXPECT_EQ(cache_stats(cache).entries, 0u);
+  EXPECT_EQ(cache_stats(cache).bytes_used, 0u);
+  EXPECT_EQ(cache_stats(cache).inserts, 1u);
+  const Json j = cache.stats_json();
+  EXPECT_EQ(j.at("inserts").as_int(), 1);
+  EXPECT_EQ(j.at("entries").as_int(), 0);
+}
+
+// ----------------------------------------------------- frozen registries
+
+TEST(RegistryFreezeTest, BothSingletonsAreFrozenAndRejectLateAdds) {
+  auto& games = scenario::GameRegistry::instance();
+  EXPECT_TRUE(games.frozen());
+  scenario::FamilyInfo family;
+  family.name = "late_family";
+  EXPECT_THROW(games.register_family(std::move(family)), Error);
+
+  auto& experiments = scenario::ExperimentRegistry::instance();
+  EXPECT_TRUE(experiments.frozen());
+  scenario::ExperimentInfo info;
+  info.name = "late_experiment";
+  EXPECT_THROW(experiments.add(std::move(info)), Error);
+}
+
+TEST(RegistryFreezeTest, ConcurrentLookupsAndRunsAreSafe) {
+  // The service scheduler is the first concurrent caller of the
+  // registries; this smoke drives every const entry point from four
+  // threads at once (TSan builds make it a real data-race check).
+  auto& games = scenario::GameRegistry::instance();
+  auto& experiments = scenario::ExperimentRegistry::instance();
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        for (int rep = 0; rep < 8; ++rep) {
+          ScenarioSpec spec;
+          spec.family = "plateau";
+          // Even n only: the default barrier height g = n/2 must be
+          // integral or validation (correctly) refuses the spec.
+          spec.n = 4 + 2 * ((t + rep) % 2);
+          const ScenarioSpec full = games.validated(spec);
+          (void)full.canonical_hash();
+          (void)games.make_game(spec);
+          (void)games.families();
+          (void)experiments.names();
+          (void)experiments.get("explore");
+        }
+        scenario::Report report("explore");
+        report.set_echo(nullptr);
+        scenario::RunOptions opts;
+        opts.smoke = true;
+        opts.beta_grid = {0.5};
+        ScenarioSpec spec;
+        spec.family = "plateau";
+        spec.n = 4;
+        experiments.run("explore", &spec, opts, report);
+        if (report.run_status() != RunStatus::kCompleted) ++failures;
+      } catch (...) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// -------------------------------------------------------------- scheduler
+
+Scheduler::Job make_job(const std::string& id, const std::string& client,
+                        std::function<void(RunControl&)> run,
+                        std::function<void()> cancelled_in_queue = {}) {
+  Scheduler::Job job;
+  job.id = id;
+  job.client = client;
+  job.control = std::make_shared<RunControl>();
+  job.run = std::move(run);
+  job.cancelled_in_queue = std::move(cancelled_in_queue);
+  return job;
+}
+
+void wait_until(const std::function<bool()>& pred, int timeout_ms = 10000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (!pred()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "timed out waiting for condition";
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+TEST(SchedulerTest, DrrInterleavesClientsInsteadOfDrainingOneQueue) {
+  Scheduler scheduler(/*max_active=*/1);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::mutex mu;
+  std::vector<std::string> order;
+  const auto record = [&](const std::string& id) {
+    return [&, id](RunControl&) {
+      if (id == "blocker") gate.wait();
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(id);
+    };
+  };
+  // Client a fills its queue while the single slot is blocked; client b
+  // then queues one request. Fairness contract: b1 must not wait behind
+  // ALL of a's backlog.
+  scheduler.submit(make_job("blocker", "a", record("blocker")));
+  scheduler.submit(make_job("a1", "a", record("a1")));
+  scheduler.submit(make_job("a2", "a", record("a2")));
+  scheduler.submit(make_job("a3", "a", record("a3")));
+  scheduler.submit(make_job("b1", "b", record("b1")));
+  release.set_value();
+  wait_until([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return order.size() == 5u;
+  });
+  std::lock_guard<std::mutex> lock(mu);
+  size_t b1_pos = 0, a3_pos = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == "b1") b1_pos = i;
+    if (order[i] == "a3") a3_pos = i;
+  }
+  EXPECT_LT(b1_pos, a3_pos) << "client b starved behind client a's backlog";
+  const Json stats = scheduler.stats_json();
+  EXPECT_EQ(stats.at("submitted").as_int(), 5);
+  EXPECT_EQ(stats.at("completed").as_int(), 5);
+}
+
+TEST(SchedulerTest, CancelQueuedFiresCallbackWithoutRunning) {
+  Scheduler scheduler(/*max_active=*/1);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  scheduler.submit(make_job("blocker", "a",
+                            [gate](RunControl&) { gate.wait(); }));
+  std::atomic<bool> ran{false};
+  std::atomic<bool> cancel_cb{false};
+  scheduler.submit(make_job(
+      "victim", "a", [&](RunControl&) { ran = true; },
+      [&] { cancel_cb = true; }));
+  EXPECT_TRUE(scheduler.cancel("victim"));
+  EXPECT_TRUE(cancel_cb.load());
+  // A cancelled queued id is forgotten immediately.
+  EXPECT_FALSE(scheduler.cancel("victim"));
+  release.set_value();
+  wait_until([&] {
+    return scheduler.stats_json().at("completed").as_int() == 1;
+  });
+  EXPECT_FALSE(ran.load());
+  EXPECT_EQ(scheduler.stats_json().at("cancelled_queued").as_int(), 1);
+}
+
+TEST(SchedulerTest, CancelActiveTripsTheRunControl) {
+  Scheduler scheduler(/*max_active=*/1);
+  std::atomic<bool> saw_interrupt{false};
+  scheduler.submit(make_job("spinner", "a", [&](RunControl& control) {
+    while (control.poll("spin") == RunStatus::kCompleted) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    saw_interrupt = control.interrupt_status() == RunStatus::kCancelled;
+  }));
+  wait_until([&] {
+    return scheduler.stats_json().at("active").as_int() == 1;
+  });
+  EXPECT_TRUE(scheduler.cancel("spinner"));
+  wait_until([&] {
+    return scheduler.stats_json().at("completed").as_int() == 1;
+  });
+  EXPECT_TRUE(saw_interrupt.load());
+  EXPECT_EQ(scheduler.stats_json().at("cancelled_active").as_int(), 1);
+  EXPECT_FALSE(scheduler.cancel("spinner"));  // finished = unknown
+}
+
+TEST(SchedulerTest, DuplicateIdsAndUnknownCancelsAreRejected) {
+  Scheduler scheduler(/*max_active=*/1);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  scheduler.submit(make_job("dup", "a", [gate](RunControl&) { gate.wait(); }));
+  EXPECT_THROW(scheduler.submit(make_job("dup", "b", [](RunControl&) {})),
+               Error);
+  EXPECT_FALSE(scheduler.cancel("never-submitted"));
+  release.set_value();
+}
+
+TEST(SchedulerTest, DrainCancelsQueuedAndActiveAndRejectsLateSubmits) {
+  Scheduler scheduler(/*max_active=*/1);
+  std::atomic<bool> queued_cb{false};
+  scheduler.submit(make_job("active", "a", [](RunControl& control) {
+    while (control.poll("spin") == RunStatus::kCompleted) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }));
+  wait_until([&] {
+    return scheduler.stats_json().at("active").as_int() == 1;
+  });
+  scheduler.submit(make_job("queued", "a", [](RunControl&) {},
+                            [&] { queued_cb = true; }));
+  scheduler.drain();
+  EXPECT_TRUE(queued_cb.load());
+  EXPECT_EQ(scheduler.stats_json().at("active").as_int(), 0);
+  EXPECT_THROW(scheduler.submit(make_job("late", "a", [](RunControl&) {})),
+               Error);
+}
+
+// --------------------------------------------------------------- protocol
+
+TEST(ProtocolTest, SubmitFrameRoundTrips) {
+  ServiceRequest req;
+  req.id = "r1";
+  req.experiment = "explore";
+  req.scenario = Json::parse(R"({"family": "ising", "n": 6})");
+  Json options = Json::object();
+  options.set("smoke", true);
+  req.options = options;
+  const ServiceRequest back = ServiceRequest::from_json(
+      Json::parse(req.to_json().dump(0)));
+  EXPECT_EQ(back.id, "r1");
+  EXPECT_EQ(back.experiment, "explore");
+  EXPECT_EQ(back.scenario.at("family").as_string(), "ising");
+  EXPECT_TRUE(back.options.at("smoke").as_bool());
+  EXPECT_FALSE(back.cancel);
+  EXPECT_FALSE(back.stats);
+}
+
+TEST(ProtocolTest, CancelAndStatsFramesRoundTrip) {
+  ServiceRequest cancel;
+  cancel.id = "r1";
+  cancel.cancel = true;
+  EXPECT_TRUE(ServiceRequest::from_json(cancel.to_json()).cancel);
+  ServiceRequest stats;
+  stats.stats = true;
+  EXPECT_TRUE(ServiceRequest::from_json(stats.to_json()).stats);
+}
+
+TEST(ProtocolTest, MalformedFramesThrowTyped) {
+  EXPECT_THROW(ServiceRequest::from_json(Json::parse("[1,2]")), Error);
+  // Submit without id / without experiment.
+  EXPECT_THROW(ServiceRequest::from_json(
+                   Json::parse(R"({"experiment": "explore"})")),
+               Error);
+  EXPECT_THROW(ServiceRequest::from_json(Json::parse(R"({"id": "x"})")),
+               Error);
+  // cancel + stats combined, cancel with a submit body, cancel sans id.
+  EXPECT_THROW(ServiceRequest::from_json(Json::parse(
+                   R"({"id": "x", "cancel": true, "stats": true})")),
+               Error);
+  EXPECT_THROW(
+      ServiceRequest::from_json(Json::parse(
+          R"({"id": "x", "cancel": true, "experiment": "explore"})")),
+      Error);
+  EXPECT_THROW(ServiceRequest::from_json(Json::parse(R"({"cancel": true})")),
+               Error);
+}
+
+TEST(ProtocolTest, FrameBufferSplitsLinesAndBoundsFrameSize) {
+  service::FrameBuffer frames(/*max_frame_bytes=*/64);
+  const std::string wire = "{\"id\":\"a\"}\n{\"id\":";
+  frames.append(wire.data(), wire.size());
+  std::string line;
+  ASSERT_TRUE(frames.next(&line));
+  EXPECT_EQ(line, "{\"id\":\"a\"}");
+  EXPECT_FALSE(frames.next(&line));  // second frame incomplete
+  const std::string rest = "\"b\"}\n";
+  frames.append(rest.data(), rest.size());
+  ASSERT_TRUE(frames.next(&line));
+  EXPECT_EQ(line, "{\"id\":\"b\"}");
+  // A newline-free flood past the bound throws instead of buffering.
+  const std::string flood(100, 'x');
+  EXPECT_THROW(frames.append(flood.data(), flood.size()), Error);
+}
+
+TEST(ProtocolTest, ParseServiceOptionsIsStrict) {
+  Json options = Json::object();
+  options.set("beta_grid", Json::array({Json(0.5), Json(1.0)}));
+  options.set("threads", 2);
+  const scenario::RunOptions opts =
+      service::parse_service_options(options, /*default_deadline_s=*/9.0);
+  ASSERT_EQ(opts.beta_grid.size(), 2u);
+  EXPECT_EQ(opts.beta_grid[1], 1.0);
+  EXPECT_EQ(opts.threads, 2);
+  EXPECT_EQ(opts.deadline_s, 9.0);  // default survives when unspecified
+  Json typo = Json::object();
+  typo.set("beta_gird", Json::array({Json(0.5)}));
+  EXPECT_THROW(service::parse_service_options(typo, 0.0), Error);
+}
+
+// ------------------------------------------------- engine (no socket)
+
+/// Collects every frame an Engine emits and lets tests block until a
+/// frame matching a predicate arrives.
+class FrameCollector {
+ public:
+  Engine::FrameSink sink() {
+    return [this](const Json& frame) {
+      std::lock_guard<std::mutex> lock(mu_);
+      frames_.push_back(frame);
+      arrived_.notify_all();
+    };
+  }
+
+  Json wait_for(const std::function<bool(const Json&)>& pred,
+                int timeout_ms = 30000) {
+    std::unique_lock<std::mutex> lock(mu_);
+    size_t scanned = 0;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (true) {
+      for (; scanned < frames_.size(); ++scanned) {
+        if (pred(frames_[scanned])) return frames_[scanned];
+      }
+      if (arrived_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        ADD_FAILURE() << "timed out waiting for frame";
+        return Json();
+      }
+    }
+  }
+
+  size_t count(const std::function<bool(const Json&)>& pred) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (const Json& f : frames_) {
+      if (pred(f)) ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable arrived_;
+  std::vector<Json> frames_;
+};
+
+bool is_final_for(const Json& frame, const std::string& id) {
+  return frame.contains("final") && frame.at("id").as_string() == id;
+}
+
+ServiceRequest small_explore(const std::string& id, int n = 4) {
+  ServiceRequest req;
+  req.id = id;
+  req.experiment = "explore";
+  ScenarioSpec spec;
+  spec.family = "plateau";
+  spec.n = n;
+  req.scenario = spec.to_json();
+  Json options = Json::object();
+  options.set("smoke", true);
+  options.set("beta_grid", Json::array({Json(0.5)}));
+  req.options = options;
+  return req;
+}
+
+std::string final_state(const Json& final_frame) {
+  return final_frame.at("report").at("status").at("state").as_string();
+}
+
+void expect_valid_report(const Json& final_frame) {
+  std::string error;
+  EXPECT_TRUE(
+      scenario::validate_report_json(final_frame.at("report"), &error))
+      << error;
+}
+
+TEST(EngineTest, InvalidRequestsGetErrorFramesNotJobs) {
+  Engine::Config config;
+  config.max_active = 1;
+  Engine engine(config);
+  FrameCollector frames;
+  ServiceRequest req = small_explore("bad");
+  req.experiment = "no_such_experiment";
+  engine.handle(req, "c", frames.sink());
+  const Json err = frames.wait_for(
+      [](const Json& f) { return f.contains("error"); });
+  EXPECT_NE(err.at("error").as_string().find("no_such_experiment"),
+            std::string::npos);
+  // Bad option spelling: rejected before it ever queues.
+  ServiceRequest typo = small_explore("typo");
+  Json options = Json::object();
+  options.set("bogus", 1);
+  typo.options = options;
+  engine.handle(typo, "c", frames.sink());
+  frames.wait_for([](const Json& f) {
+    return f.contains("error") && f.at("id").as_string() == "typo";
+  });
+  EXPECT_EQ(engine.stats_json().at("scheduler").at("submitted").as_int(), 0);
+}
+
+TEST(EngineTest, RunStreamsProgressThenSchemaValidFinal) {
+  Engine::Config config;
+  config.max_active = 1;
+  config.heartbeat_stride = 1;  // every poll heartbeats: progress frames
+  Engine engine(config);
+  FrameCollector frames;
+  engine.handle(small_explore("r1"), "c", frames.sink());
+  const Json final_frame = frames.wait_for(
+      [](const Json& f) { return is_final_for(f, "r1"); });
+  EXPECT_EQ(final_state(final_frame), "completed");
+  expect_valid_report(final_frame);
+  EXPECT_GE(frames.count([](const Json& f) { return f.contains("progress"); }),
+            1u);
+}
+
+TEST(EngineTest, DeadlineMidRunYieldsSchemaValidPartial) {
+  Engine::Config config;
+  config.max_active = 1;
+  Engine engine(config);
+  FrameCollector frames;
+  ServiceRequest req = small_explore("dl");
+  Json options = Json::object();
+  options.set("smoke", true);
+  options.set("deadline_s", 1e-9);
+  req.options = options;
+  engine.handle(req, "c", frames.sink());
+  const Json final_frame = frames.wait_for(
+      [](const Json& f) { return is_final_for(f, "dl"); });
+  EXPECT_EQ(final_state(final_frame), "deadline");
+  expect_valid_report(final_frame);
+}
+
+TEST(EngineTest, InterruptedRunPublishesNoArtifactsLaterRunsDo) {
+  Engine::Config config;
+  config.max_active = 1;
+  Engine engine(config);
+  FrameCollector frames;
+  // Run 1 dies on an expired deadline: §15 publication policy says none
+  // of its artifacts may be served to anyone else.
+  ServiceRequest degraded = small_explore("deg");
+  Json options = Json::object();
+  options.set("smoke", true);
+  options.set("deadline_s", 1e-9);
+  degraded.options = options;
+  engine.handle(degraded, "c", frames.sink());
+  frames.wait_for([](const Json& f) { return is_final_for(f, "deg"); });
+  const Json after_degraded = engine.stats_json().at("cache");
+  EXPECT_EQ(after_degraded.at("entries").as_int(), 0);
+  EXPECT_EQ(after_degraded.at("inserts").as_int(), 0);
+
+  // Run 2 (same spec, no deadline) completes and seeds the cache…
+  engine.handle(small_explore("ok1"), "c", frames.sink());
+  frames.wait_for([](const Json& f) { return is_final_for(f, "ok1"); });
+  const Json after_first = engine.stats_json().at("cache");
+  EXPECT_GT(after_first.at("inserts").as_int(), 0);
+  EXPECT_EQ(after_first.at("hits").as_int(), 0);
+
+  // …and run 3 is served from it.
+  engine.handle(small_explore("ok2"), "c", frames.sink());
+  const Json final_frame = frames.wait_for(
+      [](const Json& f) { return is_final_for(f, "ok2"); });
+  EXPECT_EQ(final_state(final_frame), "completed");
+  EXPECT_GT(engine.stats_json().at("cache").at("hits").as_int(), 0);
+}
+
+// ------------------------------------------------------ daemon e2e
+
+class DaemonFixture {
+ public:
+  explicit DaemonFixture(Engine::Config engine_config,
+                         const std::string& tag) {
+    config_.socket_path = testing::TempDir() + "ld_" + tag + "_" +
+                          std::to_string(::getpid()) + ".sock";
+    config_.engine = engine_config;
+    daemon_ = std::make_unique<Daemon>(config_);
+    server_ = std::thread([this] { daemon_->run(); });
+    for (int spin = 0;; ++spin) {
+      try {
+        net::connect_unix(config_.socket_path);
+        break;
+      } catch (const Error&) {
+        if (spin > 500) throw;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+  }
+
+  ~DaemonFixture() {
+    daemon_->stop();
+    server_.join();
+  }
+
+  const std::string& socket() const { return config_.socket_path; }
+  Daemon& daemon() { return *daemon_; }
+
+ private:
+  Daemon::Config config_;
+  std::unique_ptr<Daemon> daemon_;
+  std::thread server_;
+};
+
+TEST(DaemonTest, SecondIdenticalRequestHitsTheArtifactCache) {
+  Engine::Config engine;
+  engine.max_active = 1;
+  engine.heartbeat_stride = 1 << 20;
+  DaemonFixture fixture(engine, "cache");
+  Client client(fixture.socket());
+  ServiceRequest first = small_explore("warmup");
+  const Json r1 = client.run(first);
+  ASSERT_TRUE(r1.contains("final")) << r1.dump(0);
+  EXPECT_EQ(final_state(r1), "completed");
+  ServiceRequest second = small_explore("served");
+  const Json r2 = client.run(second);
+  ASSERT_TRUE(r2.contains("final")) << r2.dump(0);
+  expect_valid_report(r2);
+  // The completed counter increments AFTER the final frame is sent, so
+  // poll rather than assert the first stats reply.
+  wait_until([&] {
+    const Json stats = client.stats().at("stats");
+    return stats.at("scheduler").at("completed").as_int() == 2;
+  });
+  EXPECT_GT(client.stats().at("stats").at("cache").at("hits").as_int(), 0);
+}
+
+TEST(DaemonTest, QueuedAndMidRunCancellationsProduceCancelledReports) {
+  Engine::Config engine;
+  engine.max_active = 1;
+  engine.heartbeat_stride = 1;
+  DaemonFixture fixture(engine, "cancel");
+  Client client(fixture.socket());
+
+  // A slow request occupies the single slot…
+  ServiceRequest slow;
+  slow.id = "slow";
+  slow.experiment = "explore";
+  ScenarioSpec spec;
+  spec.family = "ising";
+  spec.n = 9;
+  slow.scenario = spec.to_json();
+  Json options = Json::object();
+  options.set("beta_grid", Json::array({Json(0.5), Json(1.0)}));
+  slow.options = options;
+  client.send(slow.to_json());
+
+  // …wait until it is actually running (first progress frame)…
+  Json frame;
+  while (true) {
+    ASSERT_TRUE(client.next_frame(&frame, 30000));
+    if (frame.contains("progress") && frame.at("id").as_string() == "slow") {
+      break;
+    }
+  }
+
+  // …queue a second request behind it and cancel that one while queued.
+  client.send(small_explore("queued").to_json());
+  ServiceRequest cancel_queued;
+  cancel_queued.id = "queued";
+  cancel_queued.cancel = true;
+  client.send(cancel_queued.to_json());
+
+  // Then cancel the active one mid-run.
+  ServiceRequest cancel_slow;
+  cancel_slow.id = "slow";
+  cancel_slow.cancel = true;
+  client.send(cancel_slow.to_json());
+
+  Json queued_final, slow_final;
+  while (queued_final.is_null() || slow_final.is_null()) {
+    ASSERT_TRUE(client.next_frame(&frame, 60000));
+    if (is_final_for(frame, "queued")) queued_final = frame;
+    if (is_final_for(frame, "slow")) slow_final = frame;
+  }
+  EXPECT_EQ(final_state(queued_final), "cancelled");
+  expect_valid_report(queued_final);
+  // Never dispatched: the report carries no sections.
+  const Json* sections = queued_final.at("report").find("sections");
+  EXPECT_TRUE(sections == nullptr || sections->size() == 0u);
+  EXPECT_EQ(final_state(slow_final), "cancelled");
+  expect_valid_report(slow_final);
+
+  wait_until([&] {
+    const Json sched = client.stats().at("stats").at("scheduler");
+    return sched.at("cancelled_queued").as_int() == 1 &&
+           sched.at("cancelled_active").as_int() == 1;
+  });
+}
+
+TEST(DaemonTest, TwoSimultaneousClientsBothComplete) {
+  Engine::Config engine;
+  engine.max_active = 2;
+  engine.heartbeat_stride = 1 << 20;
+  DaemonFixture fixture(engine, "pair");
+  std::atomic<int> completed{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      Client client(fixture.socket());
+      const Json final_frame =
+          client.run(small_explore("pair-" + std::to_string(c), 4 + 2 * c));
+      if (final_frame.contains("final") &&
+          final_state(final_frame) == "completed") {
+        ++completed;
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  EXPECT_EQ(completed.load(), 2);
+}
+
+TEST(DaemonTest, DisconnectCancelsThatClientsOutstandingRequests) {
+  Engine::Config engine;
+  engine.max_active = 1;
+  engine.heartbeat_stride = 1;
+  DaemonFixture fixture(engine, "hangup");
+  {
+    Client doomed(fixture.socket());
+    ServiceRequest slow;
+    slow.id = "orphan";
+    slow.experiment = "explore";
+    ScenarioSpec spec;
+    spec.family = "ising";
+    spec.n = 9;
+    slow.scenario = spec.to_json();
+    doomed.send(slow.to_json());
+    Json frame;
+    while (true) {
+      ASSERT_TRUE(doomed.next_frame(&frame, 30000));
+      if (frame.contains("progress")) break;
+    }
+  }  // client destructor closes the socket mid-run
+  Client observer(fixture.socket());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (true) {
+    const Json sched = observer.stats().at("stats").at("scheduler");
+    if (sched.at("cancelled_active").as_int() == 1 &&
+        sched.at("active").as_int() == 0) {
+      break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "orphaned request was never cancelled: " << sched.dump(0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+}  // namespace
+}  // namespace logitdyn

@@ -11,6 +11,13 @@
 //       smoke scenario and writes one schema-validated JSON per run
 //   logitdyn_lab validate <file.json...>
 //       schema-check documents produced by run / the bench emitters
+//   logitdyn_lab client submit <experiment> --socket PATH [options]
+//   logitdyn_lab client cancel <id> --socket PATH
+//   logitdyn_lab client stats --socket PATH
+//       front end to a running logitdynd (DESIGN.md §15): submit streams
+//       progress frames and the final report; --cancel-after-frames K
+//       sends a cancel after K progress frames (the stream still runs to
+//       the daemon's state=cancelled final)
 //
 // run options:
 //   --scenario FILE   scenario spec JSON; an array of specs sweeps the
@@ -26,6 +33,8 @@
 //                     schema-valid partial document (status "deadline")
 //   --fleet-checkpoint FILE / --fleet-checkpoint-every N / --fleet-resume
 //                     FILE: fleet snapshotting knobs (local_mix)
+#include <unistd.h>
+
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -38,6 +47,7 @@
 #include "scenario/registry.hpp"
 #include "scenario/report.hpp"
 #include "scenario/scenario.hpp"
+#include "service/client.hpp"
 #include "support/error.hpp"
 #include "support/io.hpp"
 
@@ -53,6 +63,10 @@ int usage(std::ostream& os, int code) {
         "  run <experiment> [options]   run one experiment\n"
         "  run --all | --smoke-all      run every experiment\n"
         "  validate <file.json...>      schema-check emitted documents\n"
+        "  client submit|cancel|stats   talk to a running logitdynd\n"
+        "                               (--socket PATH; submit also takes\n"
+        "                               run options, --id ID and\n"
+        "                               --cancel-after-frames K)\n"
         "run options: [--scenario s.json] [--beta-grid 0.5,1.0] [--seed N]\n"
         "             [--smoke] [--threads N] [--json out.json]\n"
         "             [--json-dir DIR] [--quiet] [--deadline-s SEC]\n"
@@ -71,6 +85,27 @@ void write_validated(const std::string& path, const Json& doc) {
                 error + ")");
   }
   write_file_atomic(path, doc.dump(2) + "\n");
+}
+
+/// Canonical hash of the (validated) scenario a document ran — the
+/// --json-dir filename suffix, so two runs of the same experiment on
+/// different scenarios land in different files instead of silently
+/// overwriting each other. "nospec" for documents without a scenario
+/// (e.g. a run that failed before validation recorded one).
+std::string doc_spec_hash(const Json& doc) {
+  if (const Json* config = doc.find("config")) {
+    if (const Json* scenario = config->find("scenario")) {
+      if (scenario->is_object()) {
+        return ScenarioSpec::from_json(*scenario).canonical_hash();
+      }
+    }
+  }
+  return "nospec";
+}
+
+std::string json_dir_path(const std::string& dir, const std::string& stem,
+                          const Json& doc) {
+  return dir + "/" + stem + "_" + doc_spec_hash(doc) + ".json";
 }
 
 int cmd_list() {
@@ -152,6 +187,10 @@ struct RunArgs {
   std::string json_dir;
   bool quiet = false;
   RunOptions options;
+  // client-subcommand options (rejected by plain `run`)
+  std::string socket;
+  std::string request_id;
+  long cancel_after_frames = -1;
 };
 
 RunArgs parse_run_args(const std::vector<std::string>& args) {
@@ -218,6 +257,18 @@ RunArgs parse_run_args(const std::vector<std::string>& args) {
       out.options.checkpoint_every = every;
     } else if (arg == "--fleet-resume") {
       out.options.resume_path = next("--fleet-resume");
+    } else if (arg == "--socket") {
+      out.socket = next("--socket");
+    } else if (arg == "--id") {
+      out.request_id = next("--id");
+    } else if (arg == "--cancel-after-frames") {
+      const std::string& value = next("--cancel-after-frames");
+      char* end = nullptr;
+      const long k = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end != value.c_str() + value.size() || k < 0) {
+        throw Error("bad --cancel-after-frames value: " + value);
+      }
+      out.cancel_after_frames = k;
     } else if (arg == "--quiet") {
       out.quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -302,6 +353,12 @@ Json run_sweep(const std::string& name, const std::vector<ScenarioSpec>& specs,
 
 int cmd_run(const std::vector<std::string>& args) {
   RunArgs run_args = parse_run_args(args);
+  if (!run_args.socket.empty() || !run_args.request_id.empty() ||
+      run_args.cancel_after_frames >= 0) {
+    throw Error(
+        "--socket/--id/--cancel-after-frames are `client` options; use "
+        "`logitdyn_lab client submit ...`");
+  }
   const ExperimentRegistry& reg = ExperimentRegistry::instance();
 
   if (run_args.all || run_args.smoke_all) {
@@ -323,8 +380,9 @@ int cmd_run(const std::vector<std::string>& args) {
       if (run_args.quiet || run_args.smoke_all) report.set_echo(nullptr);
       reg.run(name, nullptr, run_args.options, report);
       if (write_json) {
-        const std::string path = dir + "/" + name + ".json";
-        write_validated(path, report.to_json());
+        const Json doc = report.to_json();
+        const std::string path = json_dir_path(dir, name, doc);
+        write_validated(path, doc);
         std::cout << name << ": ok, wrote " << path << "\n";
       } else {
         std::cout << name << ": ok\n";
@@ -349,9 +407,13 @@ int cmd_run(const std::vector<std::string>& args) {
     if (!run_args.json_path.empty()) write_validated(run_args.json_path, doc);
     if (!run_args.json_dir.empty()) {
       for (size_t i = 0; i < doc.at("measurements").at("runs").size(); ++i) {
-        write_validated(run_args.json_dir + "/" + name + "_" +
-                            std::to_string(i) + ".json",
-                        doc.at("measurements").at("runs").at(i));
+        // Index keeps duplicate specs in one sweep distinct; the hash
+        // keeps different sweeps into the same directory distinct.
+        const Json& run_doc = doc.at("measurements").at("runs").at(i);
+        write_validated(json_dir_path(run_args.json_dir,
+                                      name + "_" + std::to_string(i),
+                                      run_doc),
+                        run_doc);
       }
     }
     if (run_args.json_path.empty() && run_args.json_dir.empty()) {
@@ -380,8 +442,8 @@ int cmd_run(const std::vector<std::string>& args) {
     write_validated(run_args.json_path, report.to_json());
   }
   if (!run_args.json_dir.empty()) {
-    write_validated(run_args.json_dir + "/" + name + ".json",
-                    report.to_json());
+    const Json doc = report.to_json();
+    write_validated(json_dir_path(run_args.json_dir, name, doc), doc);
   }
   if (run_args.quiet && run_args.json_path.empty() &&
       run_args.json_dir.empty()) {
@@ -390,6 +452,130 @@ int cmd_run(const std::vector<std::string>& args) {
     std::cout << report.to_json().dump(2) << "\n";
   }
   return exit_code;
+}
+
+// ------------------------------------------------------- client command
+
+int client_submit(const RunArgs& args) {
+  if (args.experiments.size() != 1) {
+    throw Error("client submit needs exactly one experiment name");
+  }
+  const std::string& name = args.experiments[0];
+  service::ServiceRequest req;
+  req.id = args.request_id.empty()
+               ? name + "-" + std::to_string(::getpid())
+               : args.request_id;
+  req.experiment = name;
+  if (!args.scenario_path.empty()) {
+    const std::vector<ScenarioSpec> specs =
+        load_scenarios(args.scenario_path);
+    if (specs.size() != 1) {
+      throw Error("client submit takes a single-spec scenario file");
+    }
+    req.scenario = specs[0].to_json();
+  }
+  Json options = Json::object();
+  if (args.options.seed) options.set("seed", *args.options.seed);
+  if (!args.options.beta_grid.empty()) {
+    Json grid = Json::array();
+    for (double b : args.options.beta_grid) grid.push_back(Json(b));
+    options.set("beta_grid", std::move(grid));
+  }
+  if (args.options.smoke) options.set("smoke", true);
+  if (args.options.threads > 0) options.set("threads", args.options.threads);
+  if (args.options.deadline_s > 0.0) {
+    options.set("deadline_s", args.options.deadline_s);
+  }
+  if (options.size() > 0) req.options = std::move(options);
+
+  service::Client client(args.socket);
+  long progress_seen = 0;
+  const Json outcome = client.run(req, [&](const Json& frame) {
+    if (frame.contains("progress")) {
+      ++progress_seen;
+      if (!args.quiet) {
+        std::cout << req.id << ": progress phase="
+                  << frame.at("phase").as_string() << " work="
+                  << frame.at("work").as_int() << "\n";
+      }
+      if (args.cancel_after_frames >= 0 &&
+          progress_seen >= args.cancel_after_frames) {
+        return false;  // Client::run sends the cancel frame once
+      }
+    }
+    return true;
+  });
+  if (const Json* error = outcome.find("error")) {
+    std::cerr << "error: " << req.id << ": " << error->as_string() << "\n";
+    return 1;
+  }
+  const Json& report = outcome.at("report");
+  std::string state = "completed";
+  if (const Json* status = report.find("status")) {
+    state = status->at("state").as_string();
+  }
+  std::cout << req.id << ": final state=" << state << "\n";
+  if (!args.json_path.empty()) write_validated(args.json_path, report);
+  if (!args.json_dir.empty()) {
+    write_validated(json_dir_path(args.json_dir, name, report), report);
+  }
+  if (args.quiet && args.json_path.empty() && args.json_dir.empty()) {
+    std::cout << report.dump(2) << "\n";
+  }
+  return 0;
+}
+
+int client_cancel(const RunArgs& args) {
+  if (args.experiments.size() != 1) {
+    throw Error("client cancel needs exactly one request id");
+  }
+  const std::string& id = args.experiments[0];
+  service::ServiceRequest req;
+  req.id = id;
+  req.cancel = true;
+  service::Client client(args.socket);
+  client.send(req.to_json());
+  Json frame;
+  while (client.next_frame(&frame, /*timeout_ms=*/10000)) {
+    const Json* frame_id = frame.find("id");
+    if (frame_id == nullptr || !frame_id->is_string() ||
+        frame_id->as_string() != id) {
+      continue;
+    }
+    if (frame.contains("cancelled")) {
+      std::cout << id << ": cancelled\n";
+      return 0;
+    }
+    if (const Json* error = frame.find("error")) {
+      std::cerr << "error: " << id << ": " << error->as_string() << "\n";
+      return 1;
+    }
+  }
+  std::cerr << "error: no cancel acknowledgement for \"" << id << "\"\n";
+  return 1;
+}
+
+int client_stats(const RunArgs& args) {
+  service::Client client(args.socket);
+  std::cout << client.stats().at("stats").dump(2) << "\n";
+  return 0;
+}
+
+int cmd_client(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    throw Error("client needs a subcommand: submit, cancel, or stats");
+  }
+  const std::string sub = args[0];
+  RunArgs rest =
+      parse_run_args(std::vector<std::string>(args.begin() + 1, args.end()));
+  if (rest.socket.empty()) {
+    throw Error("client needs --socket PATH (a running logitdynd)");
+  }
+  if (sub == "submit") return client_submit(rest);
+  if (sub == "cancel") return client_cancel(rest);
+  if (sub == "stats") return client_stats(rest);
+  throw Error("unknown client subcommand \"" + sub +
+              "\" (submit, cancel, stats)");
 }
 
 int cmd_validate(const std::vector<std::string>& files) {
@@ -426,6 +612,7 @@ int main(int argc, char** argv) {
     if (command == "describe") return cmd_describe(args);
     if (command == "run") return cmd_run(args);
     if (command == "validate") return cmd_validate(args);
+    if (command == "client") return cmd_client(args);
     if (command == "--help" || command == "-h" || command == "help") {
       return usage(std::cout, 0);
     }

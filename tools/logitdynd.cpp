@@ -1,0 +1,77 @@
+// logitdynd — the persistent logitdyn daemon (DESIGN.md §15).
+//
+//   logitdynd --socket PATH [--max-active N] [--cache-mb N]
+//             [--threads N] [--default-deadline-s S]
+//             [--heartbeat-stride N]
+//
+// Binds an AF_UNIX socket at PATH and serves the NDJSON protocol until
+// SIGTERM/SIGINT. `logitdyn_lab client --socket PATH ...` is the
+// matching front end.
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "service/daemon.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+logitdyn::service::Daemon* g_daemon = nullptr;
+
+// Only the async-signal-safe stop pipe write happens here.
+void handle_signal(int) {
+  if (g_daemon != nullptr) g_daemon->stop();
+}
+
+int usage() {
+  std::cerr
+      << "usage: logitdynd --socket PATH [--max-active N] [--cache-mb N]\n"
+         "                 [--threads N] [--default-deadline-s S]\n"
+         "                 [--heartbeat-stride N]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using logitdyn::service::Daemon;
+  Daemon::Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--socket" && has_value) {
+      config.socket_path = argv[++i];
+    } else if (arg == "--max-active" && has_value) {
+      config.engine.max_active = std::atoi(argv[++i]);
+    } else if (arg == "--cache-mb" && has_value) {
+      config.engine.cache_bytes = size_t(std::atoll(argv[++i])) << 20;
+    } else if (arg == "--threads" && has_value) {
+      config.engine.default_threads = std::atoi(argv[++i]);
+    } else if (arg == "--default-deadline-s" && has_value) {
+      config.engine.default_deadline_s = std::atof(argv[++i]);
+    } else if (arg == "--heartbeat-stride" && has_value) {
+      config.engine.heartbeat_stride = uint64_t(std::atoll(argv[++i]));
+    } else {
+      return usage();
+    }
+  }
+  if (config.socket_path.empty()) return usage();
+
+  try {
+    Daemon daemon(config);
+    g_daemon = &daemon;
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+    std::cout << "logitdynd listening on " << config.socket_path
+              << " (max-active " << config.engine.max_active << ", cache "
+              << (config.engine.cache_bytes >> 20) << " MiB)" << std::endl;
+    daemon.run();
+    std::cout << "logitdynd: clean shutdown" << std::endl;
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "logitdynd: " << e.what() << "\n";
+    return 1;
+  }
+}

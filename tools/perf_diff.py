@@ -42,7 +42,8 @@ import sys
 import tempfile
 
 IDENTITY_KEYS = ("workload", "game", "kernel", "topology", "states", "n",
-                 "replicas", "steps", "beta", "threads")
+                 "replicas", "steps", "beta", "threads", "clients",
+                 "cache_state")
 
 # environment keys that make wall times incomparable when they differ
 # between the baseline and current documents.
@@ -177,6 +178,33 @@ def self_test():
     check("env mismatch skips wall gate", not regressions)
     check("env mismatch is noted", any("environment differs" in n
                                        for n in notes))
+
+    # 4b. Service rows: cold and warm passes of the same workload are
+    #     distinct identities (BENCH_service.json) — a warm-cache p99
+    #     must never be gated against the cold-cache baseline row.
+    base = _bench_doc([
+        {"workload": "service_mix", "clients": 1, "threads": 1,
+         "cache_state": "cold", "p99_ms": 200.0},
+        {"workload": "service_mix", "clients": 1, "threads": 1,
+         "cache_state": "warm", "p99_ms": 1.0},
+    ])
+    cur = _bench_doc([
+        {"workload": "service_mix", "clients": 1, "threads": 1,
+         "cache_state": "cold", "p99_ms": 210.0},
+        {"workload": "service_mix", "clients": 1, "threads": 1,
+         "cache_state": "warm", "p99_ms": 1.1},
+    ])
+    regressions, _ = compare_file("t", base, cur, 0.20, 0.5, 0.20)
+    check("cold/warm rows match like for like", not regressions)
+    cur = _bench_doc([
+        {"workload": "service_mix", "clients": 1, "threads": 1,
+         "cache_state": "cold", "p99_ms": 200.0},
+        {"workload": "service_mix", "clients": 1, "threads": 1,
+         "cache_state": "warm", "p99_ms": 150.0},
+    ])
+    regressions, _ = compare_file("t", base, cur, 0.20, 0.5, 0.20)
+    check("warm-cache regression gates against the warm row",
+          len(regressions) == 1 and "cache_state=warm" in regressions[0])
 
     # 5. Scaling-exponent drops gate even across environments; rows with
     #    distinct identity (kernel/topology) never cross-match.

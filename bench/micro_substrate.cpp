@@ -7,6 +7,7 @@
 // sharded-vs-sequential TransitionBuilder + grouped-vs-naive
 // ReplicaEnsemble comparison (BENCH_chain_build.json, DESIGN.md §8).
 #include <benchmark/benchmark.h>
+#include <dirent.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -1130,7 +1131,9 @@ void write_bench_local_json(const std::string& path) {
 /// daemon) vs warm cache (identical mix resubmitted). The warm pass is
 /// the artifact cache's whole value proposition; the summary row's
 /// warm_speedup_ok (min warm/cold requests-per-sec ratio >= 5) is what
-/// CI gates on.
+/// CI gates on. A final journal on/off cold pass (DESIGN.md §16) bounds
+/// the write-ahead journal's fsync cost: journal_overhead_ok gates
+/// rps_on >= 0.85 * rps_off.
 void write_bench_service_json(const std::string& path) {
   using service::Client;
   using service::Daemon;
@@ -1269,10 +1272,83 @@ void write_bench_service_json(const std::string& path) {
     }
   }
 
+  // Journal overhead axis (DESIGN.md §16): one cold pass on a fresh
+  // daemon with the write-ahead journal off vs on (fsync per lifecycle
+  // transition), clients=1 / threads=2. Cold is the worst case — every
+  // request pays its journal appends while doing real work exactly once
+  // — so the gate bounds what durability costs anybody.
+  const auto cold_rps_with_journal = [&](const std::string& journal_dir) {
+    Daemon::Config dc;
+    dc.socket_path = socket;
+    dc.engine.max_active = 1;
+    dc.engine.default_threads = 2;
+    dc.engine.heartbeat_stride = uint64_t(1) << 62;
+    dc.engine.journal_dir = journal_dir;
+    Daemon daemon(dc);
+    std::thread server([&daemon] { daemon.run(); });
+    for (int spin = 0;; ++spin) {
+      try {
+        net::connect_unix(socket);
+        break;
+      } catch (const Error&) {
+        if (spin > 500) throw;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    Client client(socket);
+    Timer wall;
+    for (size_t m = 0; m < mix.size(); ++m) {
+      ServiceRequest req;
+      req.id = "journal-m" + std::to_string(m);
+      req.experiment = "explore";
+      req.scenario = mix[m];
+      req.options = request_options;
+      const Json outcome = client.run(req);
+      if (outcome.contains("error")) {
+        throw Error("bench request failed: " +
+                    outcome.at("error").as_string());
+      }
+    }
+    const double rps = double(mix.size()) / (wall.millis() / 1000.0);
+    daemon.stop();
+    server.join();
+    return rps;
+  };
+  const std::string journal_dir = socket + ".journal";
+  const double rps_journal_off = cold_rps_with_journal("");
+  const double rps_journal_on = cold_rps_with_journal(journal_dir);
+  if (DIR* d = ::opendir(journal_dir.c_str())) {
+    while (const dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name != "." && name != "..") {
+        ::unlink((journal_dir + "/" + name).c_str());
+      }
+    }
+    ::closedir(d);
+    ::rmdir(journal_dir.c_str());
+  }
+  for (const bool on : {false, true}) {
+    Json r = Json::object();
+    r.set("workload", "service_journal");
+    r.set("clients", 1);
+    r.set("threads", 2);
+    r.set("cache_state", "cold");
+    r.set("journal", on ? "on" : "off");
+    r.set("requests", uint64_t(mix.size()));
+    r.set("requests_per_sec", on ? rps_journal_on : rps_journal_off);
+    results.push_back(std::move(r));
+  }
+  const double journal_cost = rps_journal_on / rps_journal_off;
+  std::cout << "  service journal off " << rps_journal_off
+            << " req/s, on " << rps_journal_on << " req/s (ratio "
+            << journal_cost << ")\n";
+
   Json summary = Json::object();
   summary.set("workload", "service_summary");
   summary.set("min_warm_speedup", min_speedup);
   summary.set("warm_speedup_ok", min_speedup >= 5.0);
+  summary.set("journal_rps_ratio", journal_cost);
+  summary.set("journal_overhead_ok", journal_cost >= 0.85);
   results.push_back(std::move(summary));
 
   Json config = Json::object();
@@ -1281,7 +1357,10 @@ void write_bench_service_json(const std::string& path) {
              "mix: requests/sec and p50/p99 submit-to-final latency per "
              "(clients, threads, cache_state); cold = fresh daemon, warm "
              "= identical mix resubmitted against the populated artifact "
-             "cache. warm_speedup_ok gates min(warm/cold rps) >= 5");
+             "cache. warm_speedup_ok gates min(warm/cold rps) >= 5; the "
+             "service_journal rows compare a cold pass with the "
+             "write-ahead journal off vs on and journal_overhead_ok "
+             "gates rps_on >= 0.85 * rps_off");
   config.set("unit", "requests/sec, ms");
   config.set("experiment", "explore");
   config.set("mix_size", uint64_t(mix.size()));

@@ -133,6 +133,9 @@ FleetSummary ReplicaFleet::run(uint64_t master_seed,
     }
     if (!run_opts.checkpoint_path.empty()) {
       save_checkpoint(ck, run_opts.checkpoint_path);
+      // Only after the atomic write: the callback's contract is "a
+      // complete snapshot is durable at this path".
+      if (run_opts.on_checkpoint) run_opts.on_checkpoint(run_opts.checkpoint_path);
     }
     if (run_opts.capture != nullptr) *run_opts.capture = std::move(ck);
   };

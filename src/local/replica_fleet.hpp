@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -61,6 +62,10 @@ struct FleetRunOptions {
   /// Non-empty: each snapshot is atomically written here (the file always
   /// holds the latest complete snapshot, even across a mid-write kill).
   std::string checkpoint_path;
+  /// Called after each checkpoint_path write is durable, with the path.
+  /// The service journal records the transition here so a restarted
+  /// daemon knows a resume point exists (DESIGN.md §16). Nullable.
+  std::function<void(const std::string&)> on_checkpoint;
   /// Non-null: each snapshot is also copied here (in-memory resume tests
   /// use this to round-trip without touching disk).
   FleetCheckpoint* capture = nullptr;

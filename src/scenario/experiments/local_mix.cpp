@@ -273,10 +273,14 @@ void run(const ScenarioSpec& spec, const RunOptions& opts, Report& report) {
     fleet_run.control = opts.control;
     fleet_run.checkpoint_every = opts.checkpoint_every;
     fleet_run.checkpoint_path = opts.checkpoint_path;
+    fleet_run.on_checkpoint = opts.on_checkpoint;
     FleetCheckpoint resume_ck;
     if (!opts.resume_path.empty()) {
       resume_ck = local::load_checkpoint(opts.resume_path);
       fleet_run.resume = &resume_ck;
+      // Resume provenance in the status block (DESIGN.md §16): a
+      // restarted daemon's report says which snapshot it picked up.
+      report.set_resumed_from(opts.resume_path);
     }
     const FleetSummary summary = fleet.run(master_seed, fleet_run);
     ReportTable& table = report.table({"round", "mag mean", "mag var",

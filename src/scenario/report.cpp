@@ -179,6 +179,11 @@ void Report::set_status_counters(Json work, Json certified) {
   status_certified_ = std::move(certified);
 }
 
+void Report::set_resumed_from(const std::string& path) {
+  status_set_ = true;
+  status_resumed_from_ = path;
+}
+
 Json Report::to_json() const {
   Json config = Json::object();
   config.set("title", title_);
@@ -215,6 +220,9 @@ Json Report::to_json() const {
   if (status_set_) {
     Json status = Json::object();
     status.set("state", run_status_name(status_));
+    if (!status_resumed_from_.empty()) {
+      status.set("resumed_from", status_resumed_from_);
+    }
     if (!status_detail_.empty()) {
       Json detail = Json::array();
       for (const std::string& d : status_detail_) detail.push_back(Json(d));
@@ -421,6 +429,13 @@ bool validate_document(const Json& doc, std::string* error, int depth) {
           return fail(error,
                       "status.detail[" + std::to_string(d) + "] not a string");
         }
+      }
+    }
+    // Optional resume provenance (DESIGN.md §16): the checkpoint file a
+    // restarted daemon resumed this run from.
+    if (const Json* resumed = status->find("resumed_from")) {
+      if (!resumed->is_string() || resumed->as_string().empty()) {
+        return fail(error, "status.resumed_from must be a non-empty string");
       }
     }
   }

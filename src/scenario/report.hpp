@@ -7,6 +7,7 @@
 // perf/paper tooling diffs across PRs.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <optional>
@@ -83,6 +84,11 @@ struct RunOptions {
   std::string checkpoint_path;
   uint64_t checkpoint_every = 0;
   std::string resume_path;
+  /// Called after each fleet checkpoint is durably on disk, with the
+  /// checkpoint path (nullable; not serialized). The service journal
+  /// hooks this to record a `checkpointed` transition so a restarted
+  /// daemon resumes instead of rerunning (DESIGN.md §16).
+  std::function<void(const std::string&)> on_checkpoint;
   /// The cancellation handle experiments thread through their long loops
   /// (nullable). Installed by ExperimentRegistry::run (created there when
   /// deadline_s > 0); external harnesses may pre-install their own and
@@ -142,6 +148,9 @@ class Report {
   void set_run_status(RunStatus status, const std::string& detail = "");
   /// Attach a RunControl's work/certified counters to the status block.
   void set_status_counters(Json work, Json certified);
+  /// Record that this run resumed from a durable checkpoint (emitted as
+  /// status.resumed_from; forces the status block like set_run_status).
+  void set_resumed_from(const std::string& path);
   RunStatus run_status() const { return status_; }
 
   // --------------------------------------------------------- meta + JSON
@@ -181,6 +190,7 @@ class Report {
   RunStatus status_ = RunStatus::kCompleted;
   bool status_set_ = false;
   std::vector<std::string> status_detail_;
+  std::string status_resumed_from_;
   Json status_work_;
   Json status_certified_;
 };

@@ -1,8 +1,32 @@
 #include "service/client.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
 #include "support/error.hpp"
+#include "support/timer.hpp"
 
 namespace logitdyn::service {
+
+double retry_delay_s(const RetryPolicy& policy, int attempt,
+                     uint64_t jitter_word) {
+  double delay = policy.base_delay_s;
+  for (int i = 0; i < attempt && delay < policy.max_delay_s; ++i) delay *= 2;
+  delay = std::min(delay, policy.max_delay_s);
+  // splitmix64 finisher over (word, attempt): well-spread jitter without
+  // any global RNG state, so the schedule is a pure function.
+  uint64_t z = jitter_word + uint64_t(attempt) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  const double unit = double(z >> 11) * 0x1.0p-53;  // [0, 1)
+  return delay * (0.75 + 0.5 * unit);
+}
 
 Client::Client(const std::string& socket_path)
     : sock_(net::connect_unix(socket_path)) {}
@@ -58,6 +82,52 @@ Json Client::stats() {
   req.id = "stats";
   req.stats = true;
   return run(req);
+}
+
+Json Client::run_with_retry(const std::string& socket_path,
+                            const ServiceRequest& request,
+                            const RetryPolicy& policy,
+                            const std::function<bool(const Json&)>& on_frame) {
+  if (!policy.enabled) {
+    Client client(socket_path);
+    return client.run(request, on_frame);
+  }
+  const uint64_t jitter_word =
+      uint64_t(::getpid()) * 0x9e3779b97f4a7c15ull +
+      uint64_t(std::hash<std::string>{}(request.id));
+  int attempt = 0;
+  Timer outage;  // time since the daemon was last known reachable
+  std::string last_error = "daemon unreachable";
+  while (true) {
+    int err = 0;
+    net::Socket sock = net::try_connect_unix(socket_path, &err);
+    if (sock.valid()) {
+      outage.restart();
+      attempt = 0;
+      Client client(std::move(sock));
+      try {
+        return client.run(request, on_frame);
+      } catch (const Error& e) {
+        // The daemon died mid-stream (EPIPE on send, EOF before the final
+        // frame). Reconnect and resubmit the identical request — against
+        // a journaling daemon the canonical-hash dedupe key attaches the
+        // resubmit to the replayed original, so the work never runs twice.
+        last_error = e.what();
+        outage.restart();
+      }
+    } else {
+      const bool retryable = err == ECONNREFUSED || err == ENOENT ||
+                             err == ECONNRESET || err == EAGAIN;
+      LD_CHECK(retryable, "connect ", socket_path, ": ",
+               std::strerror(err));
+      last_error = std::string("connect: ") + std::strerror(err);
+    }
+    LD_CHECK(outage.seconds() < policy.max_outage_s,
+             "daemon unreachable for ", policy.max_outage_s,
+             "s; giving up on \"", request.id, "\" (", last_error, ")");
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        retry_delay_s(policy, attempt++, jitter_word)));
+  }
 }
 
 }  // namespace logitdyn::service

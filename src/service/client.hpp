@@ -13,6 +13,26 @@
 
 namespace logitdyn::service {
 
+/// Reconnect/retry policy for riding out a daemon restart (DESIGN.md
+/// §16): bounded exponential backoff with jitter on connect failures
+/// (ECONNREFUSED / ENOENT while the daemon is down) and on mid-stream
+/// hang-ups (EPIPE / EOF when it died). Resubmitting the same request
+/// after a reconnect is idempotent against a journaling daemon — the
+/// canonical-hash dedupe key attaches the resubmit to the replayed
+/// original instead of running it twice.
+struct RetryPolicy {
+  bool enabled = false;
+  double max_outage_s = 30.0;  ///< give up after this long with no daemon
+  double base_delay_s = 0.05;  ///< first backoff step
+  double max_delay_s = 2.0;    ///< backoff ceiling
+};
+
+/// Deterministic backoff schedule: base * 2^attempt clamped to
+/// [base, max], then jittered to 75–125% by `jitter_word` (a pure
+/// function, pinned by tests; callers pass something process-unique).
+double retry_delay_s(const RetryPolicy& policy, int attempt,
+                     uint64_t jitter_word);
+
 class Client {
  public:
   /// Connect to a running daemon; throws Error when nothing listens at
@@ -38,7 +58,20 @@ class Client {
   /// One-shot stats round-trip.
   Json stats();
 
+  /// run() that rides daemon outages: connects (with backoff while the
+  /// daemon is down), submits, and on a mid-stream hang-up reconnects and
+  /// resubmits the SAME request until a final/error frame arrives or the
+  /// daemon stays unreachable past policy.max_outage_s. With
+  /// policy.enabled == false this is exactly connect + run().
+  static Json run_with_retry(const std::string& socket_path,
+                             const ServiceRequest& request,
+                             const RetryPolicy& policy,
+                             const std::function<bool(const Json&)>& on_frame =
+                                 {});
+
  private:
+  explicit Client(net::Socket sock) : sock_(std::move(sock)) {}
+
   net::Socket sock_;
   FrameBuffer frames_;
 };

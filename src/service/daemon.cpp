@@ -63,6 +63,11 @@ void Daemon::serve_connection(std::shared_ptr<Connection> conn) {
 
 void Daemon::run() {
   net::UnixListener listener(config_.socket_path);
+  // Recovery happens with the socket bound but the accept loop not yet
+  // running: early clients connect (the backlog holds them) but cannot
+  // submit until every pre-crash request is back in the queue in its
+  // original order — replays always sort before resubmits.
+  engine_.recover_and_replay();
   while (!stopping_.load(std::memory_order_relaxed)) {
     const int ready =
         net::wait_readable2(listener.fd(), stop_pipe_.read_fd(), -1);

@@ -1,5 +1,8 @@
 #include "service/engine.hpp"
 
+#include <unistd.h>
+
+#include <cstdlib>
 #include <exception>
 #include <utility>
 
@@ -7,6 +10,8 @@
 #include "scenario/report.hpp"
 #include "scenario/scenario.hpp"
 #include "support/error.hpp"
+#include "support/fault_injection.hpp"
+#include "support/io.hpp"
 
 namespace logitdyn::service {
 
@@ -43,7 +48,14 @@ scenario::RunOptions parse_service_options(const Json& options,
 Engine::Engine(const Config& config)
     : config_(config),
       cache_(config.cache_bytes),
-      scheduler_(config.max_active) {}
+      scheduler_(config.max_active) {
+  if (!config_.journal_dir.empty()) {
+    Journal::Options jopts;
+    jopts.dir = config_.journal_dir;
+    jopts.segment_max_bytes = config_.journal_segment_bytes;
+    journal_ = std::make_unique<Journal>(std::move(jopts));
+  }
+}
 
 Engine::~Engine() { shutdown(); }
 
@@ -63,11 +75,56 @@ void Engine::handle(const ServiceRequest& request, const std::string& client,
     }
     return;
   }
-  submit(request, client, std::move(sink));
+  submit(request, client, std::move(sink), /*resume_path=*/"",
+         /*replayed=*/false);
+}
+
+std::string Engine::checkpoint_path_for(const std::string& id) const {
+  // Hash, never the raw id: ids are client-chosen and must not be able to
+  // name a path outside the journal directory.
+  return config_.journal_dir + "/ck-" + fnv1a_hex(id) + ".json";
+}
+
+void Engine::journal_terminal(const std::string& id,
+                              const std::string& state) {
+  if (journal_ == nullptr) return;
+  if (state == "cancelled") {
+    journal_->cancelled(id);
+  } else {
+    journal_->completed(id, state);
+  }
+  // The resume point is dead weight once the entry is terminal.
+  ::unlink(checkpoint_path_for(id).c_str());
 }
 
 void Engine::submit(const ServiceRequest& request, const std::string& client,
-                    FrameSink sink) {
+                    FrameSink sink, const std::string& resume_path,
+                    bool replayed) {
+  // Duplicate suppression (DESIGN.md §16), replay entries only: a client
+  // that resubmits after riding out a daemon restart attaches to the
+  // replayed original instead of running the work twice. Checked before
+  // validation — the original already validated this exact content.
+  std::string dedupe;
+  if (journal_ != nullptr) {
+    dedupe = canonical_request_hash(request);
+    if (!replayed) {
+      std::unique_lock<std::mutex> lock(replay_mu_);
+      auto it = replay_.find(dedupe);
+      if (it != replay_.end()) {
+        dedupe_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (it->second.done) {
+          Json frame = it->second.frame;
+          lock.unlock();
+          frame.set("id", request.id);
+          sink(frame);
+        } else {
+          it->second.waiters.emplace_back(request.id, std::move(sink));
+        }
+        return;
+      }
+    }
+  }
+
   // Validate everything BEFORE the request enters a queue: an error frame
   // right away beats a job that dies on a worker minutes later.
   std::shared_ptr<scenario::ScenarioSpec> spec;
@@ -84,8 +141,20 @@ void Engine::submit(const ServiceRequest& request, const std::string& client,
                                  config_.default_deadline_s);
     if (opts.threads == 0) opts.threads = config_.default_threads;
   } catch (const std::exception& e) {
+    // A replayed entry that no longer validates (registry changed across
+    // the restart) must go terminal, or every future restart retries it.
+    if (journal_ != nullptr && replayed) {
+      journal_terminal(request.id, "failed");
+    }
     sink(make_error_frame(request.id, e.what()));
     return;
+  }
+
+  // The write-ahead point: once `accepted` is durable, this request
+  // survives any crash. Replayed entries are already in the journal (the
+  // compacted segment re-wrote them), so only fresh submits append.
+  if (journal_ != nullptr && !replayed) {
+    journal_->accepted(request.id, client, dedupe, request.to_json());
   }
 
   auto control = std::make_shared<RunControl>();
@@ -104,8 +173,30 @@ void Engine::submit(const ServiceRequest& request, const std::string& client,
   // The deadline is armed by ExperimentRegistry::run at DISPATCH time
   // (opts.deadline_s + an unarmed control), so queue wait under a busy
   // scheduler does not consume the request's compute budget.
-  job.run = [this, id, experiment, spec, opts,
-             sink](RunControl& control) mutable {
+  job.run = [this, id, experiment, spec, opts, sink,
+             resume_path](RunControl& control) mutable {
+    if (journal_ != nullptr) {
+      journal_->dispatched(id);
+      // Every journaled request gets a resume point: checkpoint under the
+      // journal dir at a forced cadence (no-op for experiments without a
+      // fleet phase), journaling each durable snapshot so a restart knows
+      // where to pick up. kill_post_dispatch fires here — right after the
+      // k-th checkpointed record, the post-dispatch crash window where a
+      // resume point is guaranteed to exist.
+      opts.checkpoint_path = checkpoint_path_for(id);
+      if (opts.checkpoint_every == 0) {
+        opts.checkpoint_every = config_.journal_checkpoint_every;
+      }
+      opts.resume_path = resume_path;
+      Journal* journal = journal_.get();
+      opts.on_checkpoint = [journal, id](const std::string& path) {
+        journal->checkpointed(id, path);
+        if (fault::any_armed() &&
+            fault::should_fire(fault::Point::kKillPostDispatch)) {
+          std::_Exit(42);
+        }
+      };
+    }
     scenario::Report report(experiment);
     report.set_echo(nullptr);
     opts.control = &control;
@@ -113,12 +204,16 @@ void Engine::submit(const ServiceRequest& request, const std::string& client,
     try {
       scenario::ExperimentRegistry::instance().run(experiment, spec.get(),
                                                    opts, report);
+      // Result delivery first, then the terminal record: losing the
+      // terminal append to a crash merely reruns the request on restart.
       sink(make_final_frame(id, report.to_json()));
+      journal_terminal(id, run_status_name(report.run_status()));
     } catch (const std::exception& e) {
       sink(make_error_frame(id, e.what()));
+      journal_terminal(id, "failed");
     }
   };
-  job.cancelled_in_queue = [id, experiment, sink]() {
+  job.cancelled_in_queue = [this, id, experiment, sink]() {
     // Never dispatched: no measurements, but the same schema-valid report
     // shape a mid-run cancellation produces (status.state = "cancelled").
     scenario::Report report(experiment);
@@ -126,12 +221,78 @@ void Engine::submit(const ServiceRequest& request, const std::string& client,
     report.set_run_status(RunStatus::kCancelled,
                           "cancelled while queued (never dispatched)");
     sink(make_final_frame(id, report.to_json()));
+    journal_terminal(id, "cancelled");
   };
   try {
     scheduler_.submit(std::move(job));
   } catch (const std::exception& e) {
+    if (journal_ != nullptr) journal_terminal(id, "failed");
     sink(make_error_frame(id, e.what()));
   }
+}
+
+Engine::FrameSink Engine::make_replay_sink(const std::string& dedupe) {
+  // Replayed requests have no connection: progress frames go nowhere, and
+  // the final/error frame parks in the replay slot, fanning out to every
+  // resubmitting client that attached while the rerun was in flight.
+  return [this, dedupe](const Json& frame) {
+    if (frame.find("progress") != nullptr) return;
+    std::vector<std::pair<std::string, FrameSink>> waiters;
+    {
+      std::lock_guard<std::mutex> lock(replay_mu_);
+      ReplaySlot& slot = replay_[dedupe];
+      slot.done = true;
+      slot.frame = frame;
+      waiters.swap(slot.waiters);
+    }
+    for (auto& [waiter_id, waiter_sink] : waiters) {
+      Json copy = frame;
+      copy.set("id", waiter_id);
+      waiter_sink(copy);
+    }
+  };
+}
+
+Json Engine::recover_and_replay() {
+  Json summary = Json::object();
+  if (journal_ == nullptr) {
+    summary.set("enabled", false);
+    return summary;
+  }
+  const Journal::Recovery rec = journal_->recover_and_compact();
+  for (const JournalEntry& entry : rec.incomplete) {
+    ServiceRequest request;
+    try {
+      request = ServiceRequest::from_json(entry.request);
+    } catch (const std::exception&) {
+      // Unreadable payload (foreign writer?): terminal, not a retry loop.
+      journal_terminal(entry.id, "failed");
+      continue;
+    }
+    std::string resume_path;
+    if (!entry.checkpoint_path.empty()) {
+      // Resume only from a snapshot that is still there and loads; a
+      // missing/garbled file means a fresh (but journaled) rerun.
+      try {
+        (void)read_file(entry.checkpoint_path);
+        resume_path = entry.checkpoint_path;
+        resumed_.fetch_add(1, std::memory_order_relaxed);
+      } catch (const std::exception&) {
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(replay_mu_);
+      replay_[entry.dedupe].original_id = entry.id;
+    }
+    replayed_.fetch_add(1, std::memory_order_relaxed);
+    submit(request, entry.client.empty() ? "replay" : entry.client,
+           make_replay_sink(entry.dedupe), resume_path, /*replayed=*/true);
+  }
+  summary.set("enabled", true);
+  summary.set("replayed", replayed_.load());
+  summary.set("resumed", resumed_.load());
+  summary.set("torn_tail_dropped", rec.torn_tail_dropped);
+  return summary;
 }
 
 void Engine::cancel_quiet(const std::string& id) { scheduler_.cancel(id); }
@@ -142,6 +303,12 @@ Json Engine::stats_json() const {
   Json j = Json::object();
   j.set("scheduler", scheduler_.stats_json());
   j.set("cache", cache_.stats_json());
+  Json journal = journal_ != nullptr ? journal_->stats_json() : Json::object();
+  journal.set("enabled", journal_ != nullptr);
+  journal.set("replayed", replayed_.load(std::memory_order_relaxed));
+  journal.set("resumed", resumed_.load(std::memory_order_relaxed));
+  journal.set("dedupe_hits", dedupe_hits_.load(std::memory_order_relaxed));
+  j.set("journal", journal);
   return j;
 }
 

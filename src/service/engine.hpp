@@ -5,13 +5,18 @@
 // daemon; safe to call from any number of connection threads.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "scenario/report.hpp"
 #include "service/artifact_cache.hpp"
+#include "service/journal.hpp"
 #include "service/protocol.hpp"
 #include "service/scheduler.hpp"
 #include "support/json.hpp"
@@ -26,6 +31,14 @@ class Engine {
     double default_deadline_s = 0.0;  ///< applied when options omit one
     int default_threads = 0;          ///< applied when options omit threads
     uint64_t heartbeat_stride = 1;    ///< work units per progress frame
+    /// Write-ahead request journal directory (DESIGN.md §16). Empty = no
+    /// journal: submits are accepted in memory only, exactly the pre-§16
+    /// behavior (tests and benches that want a throwaway daemon).
+    std::string journal_dir;
+    /// Fleet checkpoint cadence forced onto journaled requests whose
+    /// options carry none, so long fleet runs always have a resume point.
+    uint64_t journal_checkpoint_every = 200;
+    size_t journal_segment_bytes = size_t(1) << 20;  ///< rotation threshold
   };
 
   explicit Engine(const Config& config);
@@ -42,6 +55,16 @@ class Engine {
   void handle(const ServiceRequest& request, const std::string& client,
               FrameSink sink);
 
+  /// Journal recovery (DESIGN.md §16): compact the journal, re-enqueue
+  /// every incomplete request in original submit order (fleet runs with a
+  /// recorded checkpoint resume from it), and register each under its
+  /// dedupe key so reconnecting clients that resubmit attach to — or
+  /// immediately receive — the original's result. The daemon calls this
+  /// once, after binding the socket and before accepting connections.
+  /// No-op without a journal. Returns a summary for logging:
+  /// {"enabled", "replayed", "resumed", "torn_tail_dropped"}.
+  Json recover_and_replay();
+
   /// Best-effort cancel without a reply frame (connection teardown: the
   /// client is gone, nobody is listening for the error-on-unknown-id).
   void cancel_quiet(const std::string& id);
@@ -49,17 +72,40 @@ class Engine {
   /// Cancel every in-flight request and wait for workers to unwind.
   void shutdown();
 
-  /// {"scheduler": {...}, "cache": {...}} — the stats-frame payload.
+  /// {"scheduler": {...}, "cache": {...}, "journal": {...}} — the
+  /// stats-frame payload.
   Json stats_json() const;
 
   ArtifactCache& cache() { return cache_; }
+  Journal* journal() { return journal_.get(); }
 
  private:
+  /// One journal-replayed request awaiting (or holding) its result,
+  /// keyed by canonical request hash. Slots are created only during
+  /// recovery — steady-state submits are never deduped, so identical
+  /// fresh requests still run (and hit the artifact cache) as before.
+  struct ReplaySlot {
+    std::string original_id;
+    bool done = false;
+    Json frame;  ///< the original's final/error frame, once done
+    std::vector<std::pair<std::string, FrameSink>> waiters;
+  };
+
   void submit(const ServiceRequest& request, const std::string& client,
-              FrameSink sink);
+              FrameSink sink, const std::string& resume_path, bool replayed);
+  FrameSink make_replay_sink(const std::string& dedupe);
+  std::string checkpoint_path_for(const std::string& id) const;
+  /// Journal the terminal transition + drop the request's checkpoint file.
+  void journal_terminal(const std::string& id, const std::string& state);
 
   Config config_;
   ArtifactCache cache_;
+  std::unique_ptr<Journal> journal_;  // outlives scheduler_: workers append
+  std::mutex replay_mu_;
+  std::map<std::string, ReplaySlot> replay_;
+  std::atomic<uint64_t> replayed_{0};
+  std::atomic<uint64_t> resumed_{0};
+  std::atomic<uint64_t> dedupe_hits_{0};
   Scheduler scheduler_;
 };
 

@@ -1,0 +1,456 @@
+#include "service/journal.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
+#include "service/protocol.hpp"
+#include "support/error.hpp"
+#include "support/fault_injection.hpp"
+#include "support/io.hpp"
+
+namespace logitdyn::service {
+
+namespace {
+
+constexpr const char* kSegmentPrefix = "seg-";
+constexpr const char* kSegmentSuffix = ".ndjson";
+
+std::string segment_path(const std::string& dir, uint64_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%06llu.ndjson",
+                static_cast<unsigned long long>(index));
+  return dir + "/" + name;
+}
+
+/// Segment indices present under `dir`, ascending.
+std::vector<uint64_t> list_segments(const std::string& dir) {
+  std::vector<uint64_t> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return out;
+  const size_t prefix_len = std::strlen(kSegmentPrefix);
+  const size_t suffix_len = std::strlen(kSegmentSuffix);
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.size() <= prefix_len + suffix_len) continue;
+    if (name.compare(0, prefix_len, kSegmentPrefix) != 0) continue;
+    if (name.compare(name.size() - suffix_len, suffix_len, kSegmentSuffix) !=
+        0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+    char* tail = nullptr;
+    const uint64_t index = std::strtoull(digits.c_str(), &tail, 10);
+    if (tail == nullptr || *tail != '\0') continue;
+    out.push_back(index);
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void make_dirs(const std::string& path) {
+  std::string prefix;
+  size_t pos = 0;
+  while (pos <= path.size()) {
+    size_t slash = path.find('/', pos);
+    if (slash == std::string::npos) slash = path.size();
+    prefix = path.substr(0, slash);
+    pos = slash + 1;
+    if (prefix.empty() || prefix == ".") continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      LD_CHECK(false, "journal: cannot create directory ", prefix, ": ",
+               std::strerror(errno));
+    }
+  }
+}
+
+void write_all(int fd, const char* data, size_t size, const char* what) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      LD_CHECK(false, "journal: write failed (", what, "): ",
+               std::strerror(errno));
+    }
+    written += size_t(n);
+  }
+}
+
+}  // namespace
+
+std::string fnv1a_hex(const std::string& text) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : text) {
+    h ^= uint64_t(uint8_t(c));
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string canonical_request_hash(const ServiceRequest& request) {
+  Json j = Json::object();
+  j.set("experiment", request.experiment);
+  j.set("scenario", request.scenario);
+  j.set("options", request.options);
+  return fnv1a_hex(j.canonical_dump());
+}
+
+const char* journal_event_name(JournalEvent e) {
+  switch (e) {
+    case JournalEvent::kAccepted: return "accepted";
+    case JournalEvent::kDispatched: return "dispatched";
+    case JournalEvent::kCheckpointed: return "checkpointed";
+    case JournalEvent::kCompleted: return "completed";
+    case JournalEvent::kCancelled: return "cancelled";
+  }
+  LD_CHECK(false, "journal_event_name: bad event");
+  return "";
+}
+
+namespace {
+
+JournalEvent event_from_name(const std::string& name) {
+  for (const JournalEvent e :
+       {JournalEvent::kAccepted, JournalEvent::kDispatched,
+        JournalEvent::kCheckpointed, JournalEvent::kCompleted,
+        JournalEvent::kCancelled}) {
+    if (name == journal_event_name(e)) return e;
+  }
+  LD_CHECK(false, "journal: unknown event '", name, "'");
+  return JournalEvent::kAccepted;
+}
+
+}  // namespace
+
+std::string JournalRecord::encode() const {
+  Json j = Json::object();
+  j.set("v", kVersion);
+  j.set("seq", seq);
+  j.set("event", journal_event_name(event));
+  j.set("id", id);
+  switch (event) {
+    case JournalEvent::kAccepted:
+      j.set("client", client);
+      j.set("dedupe", dedupe);
+      j.set("request", request);
+      break;
+    case JournalEvent::kCheckpointed:
+      j.set("checkpoint_path", checkpoint_path);
+      break;
+    case JournalEvent::kCompleted:
+      j.set("state", state);
+      break;
+    case JournalEvent::kDispatched:
+    case JournalEvent::kCancelled:
+      break;
+  }
+  const std::string body = j.dump(0);
+  return fnv1a_hex(body) + " " + body + "\n";
+}
+
+JournalRecord JournalRecord::decode(const std::string& line) {
+  std::string text = line;
+  if (!text.empty() && text.back() == '\n') text.pop_back();
+  const size_t space = text.find(' ');
+  LD_CHECK(space == 16, "journal record: missing checksum prefix");
+  const std::string sum = text.substr(0, space);
+  const std::string body = text.substr(space + 1);
+  LD_CHECK(fnv1a_hex(body) == sum, "journal record: checksum mismatch");
+  const Json j = Json::parse(body);
+  LD_CHECK(j.at("v").as_int() == kVersion,
+           "journal record: unsupported version ", j.at("v").as_int(),
+           " (this build reads version ", kVersion, ")");
+  JournalRecord rec;
+  rec.seq = uint64_t(j.at("seq").as_int());
+  rec.event = event_from_name(j.at("event").as_string());
+  rec.id = j.at("id").as_string();
+  switch (rec.event) {
+    case JournalEvent::kAccepted:
+      rec.client = j.at("client").as_string();
+      rec.dedupe = j.at("dedupe").as_string();
+      rec.request = j.at("request");
+      break;
+    case JournalEvent::kCheckpointed:
+      rec.checkpoint_path = j.at("checkpoint_path").as_string();
+      break;
+    case JournalEvent::kCompleted:
+      rec.state = j.at("state").as_string();
+      break;
+    case JournalEvent::kDispatched:
+    case JournalEvent::kCancelled:
+      break;
+  }
+  return rec;
+}
+
+Journal::Journal(Options opts) : opts_(std::move(opts)) {
+  LD_CHECK(!opts_.dir.empty(), "journal: empty directory");
+  make_dirs(opts_.dir);
+  // Position appends after any existing tail. Sequence numbers are only
+  // made collision-safe by recover_and_compact(), which every daemon runs
+  // before accepting work; a fresh directory needs neither.
+  const std::vector<uint64_t> segs = list_segments(opts_.dir);
+  open_segment(segs.empty() ? 1 : segs.back());
+}
+
+Journal::~Journal() { close_segment(); }
+
+void Journal::open_segment(uint64_t index) {
+  close_segment();
+  const std::string path = segment_path(opts_.dir, index);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  LD_CHECK(fd_ >= 0, "journal: cannot open segment ", path, ": ",
+           std::strerror(errno));
+  struct stat st {};
+  LD_CHECK(::fstat(fd_, &st) == 0, "journal: fstat ", path, ": ",
+           std::strerror(errno));
+  segment_index_ = index;
+  segment_bytes_ = size_t(st.st_size);
+  // A crash must not lose the directory entry of a just-created segment.
+  sync_parent_directory(path);
+}
+
+void Journal::close_segment() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Journal::append(JournalRecord rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rec.seq = next_seq_++;
+  const std::string line = rec.encode();
+  if (fault::any_armed()) {
+    if (fault::should_fire(fault::Point::kJournalTornTail)) {
+      // Crash mid-append: a durable prefix of the record and no newline —
+      // the exact tail recovery must tolerate.
+      write_all(fd_, line.data(), line.size() / 2, "torn tail fault");
+      ::fsync(fd_);
+      std::_Exit(42);
+    }
+    if (fault::should_fire(fault::Point::kJournalKillPreFsync)) {
+      // Crash after the write but before fsync: the record may or may not
+      // survive; recovery must cope with either.
+      write_all(fd_, line.data(), line.size(), "pre-fsync fault");
+      std::_Exit(42);
+    }
+  }
+  write_all(fd_, line.data(), line.size(), journal_event_name(rec.event));
+  LD_CHECK(::fsync(fd_) == 0, "journal: fsync segment ",
+           segment_path(opts_.dir, segment_index_), ": ",
+           std::strerror(errno));
+  segment_bytes_ += line.size();
+  ++appends_;
+  if (segment_bytes_ >= opts_.segment_max_bytes) {
+    open_segment(segment_index_ + 1);
+    ++rotations_;
+  }
+}
+
+void Journal::accepted(const std::string& id, const std::string& client,
+                       const std::string& dedupe, const Json& request) {
+  JournalRecord rec;
+  rec.event = JournalEvent::kAccepted;
+  rec.id = id;
+  rec.client = client;
+  rec.dedupe = dedupe;
+  rec.request = request;
+  append(std::move(rec));
+}
+
+void Journal::dispatched(const std::string& id) {
+  JournalRecord rec;
+  rec.event = JournalEvent::kDispatched;
+  rec.id = id;
+  append(std::move(rec));
+}
+
+void Journal::checkpointed(const std::string& id, const std::string& path) {
+  JournalRecord rec;
+  rec.event = JournalEvent::kCheckpointed;
+  rec.id = id;
+  rec.checkpoint_path = path;
+  append(std::move(rec));
+}
+
+void Journal::completed(const std::string& id, const std::string& state) {
+  JournalRecord rec;
+  rec.event = JournalEvent::kCompleted;
+  rec.id = id;
+  rec.state = state;
+  append(std::move(rec));
+}
+
+void Journal::cancelled(const std::string& id) {
+  JournalRecord rec;
+  rec.event = JournalEvent::kCancelled;
+  rec.id = id;
+  append(std::move(rec));
+}
+
+Journal::Recovery Journal::scan(const std::string& dir) {
+  Recovery out;
+  struct EntryState {
+    JournalEntry entry;
+    bool terminal = false;
+  };
+  std::vector<EntryState> entries;
+  std::unordered_map<std::string, size_t> by_id;
+  uint64_t max_seq = 0;
+
+  const std::vector<uint64_t> segs = list_segments(dir);
+  for (size_t si = 0; si < segs.size(); ++si) {
+    const bool last_segment = si + 1 == segs.size();
+    const std::string path = segment_path(dir, segs[si]);
+    const std::string text = read_file(path);
+    ++out.segments_scanned;
+    size_t pos = 0;
+    while (pos < text.size()) {
+      size_t nl = text.find('\n', pos);
+      const bool terminated = nl != std::string::npos;
+      if (!terminated) nl = text.size();
+      const std::string line = text.substr(pos, nl - pos);
+      const bool final_line = last_segment && nl + 1 >= text.size();
+      pos = nl + 1;
+      if (line.empty() && terminated) continue;
+      JournalRecord rec;
+      try {
+        rec = JournalRecord::decode(line);
+      } catch (const Error& e) {
+        // Only the final record of the final segment can be the victim of
+        // a crash mid-append; any damage there (short line, bad checksum)
+        // is indistinguishable from a torn write and is dropped. Damage
+        // anywhere else is corruption and refused.
+        if (final_line) {
+          ++out.torn_tail_dropped;
+          break;
+        }
+        LD_CHECK(false, "journal: corrupt record in ", path, ": ", e.what());
+      }
+      ++out.records;
+      max_seq = std::max(max_seq, rec.seq);
+      auto it = by_id.find(rec.id);
+      if (rec.event == JournalEvent::kAccepted) {
+        // First acceptance wins; duplicates are replays of an interrupted
+        // compaction and merge idempotently.
+        if (it == by_id.end()) {
+          EntryState st;
+          st.entry.seq = rec.seq;
+          st.entry.id = rec.id;
+          st.entry.client = rec.client;
+          st.entry.dedupe = rec.dedupe;
+          st.entry.request = rec.request;
+          by_id.emplace(rec.id, entries.size());
+          entries.push_back(std::move(st));
+        }
+        continue;
+      }
+      if (it == by_id.end()) continue;  // event for an already-compacted id
+      EntryState& st = entries[it->second];
+      switch (rec.event) {
+        case JournalEvent::kDispatched:
+          st.entry.dispatched = true;
+          break;
+        case JournalEvent::kCheckpointed:
+          st.entry.checkpoint_path = rec.checkpoint_path;
+          break;
+        case JournalEvent::kCompleted:
+        case JournalEvent::kCancelled:
+          st.terminal = true;
+          break;
+        case JournalEvent::kAccepted:
+          break;
+      }
+    }
+  }
+
+  for (EntryState& st : entries) {
+    if (st.terminal) {
+      ++out.terminal;
+    } else {
+      out.incomplete.push_back(std::move(st.entry));
+    }
+  }
+  std::sort(out.incomplete.begin(), out.incomplete.end(),
+            [](const JournalEntry& a, const JournalEntry& b) {
+              return a.seq < b.seq;
+            });
+  out.max_seq = max_seq;
+  return out;
+}
+
+Journal::Recovery Journal::recover_and_compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  close_segment();
+  Recovery rec = scan(opts_.dir);
+
+  const std::vector<uint64_t> segs = list_segments(opts_.dir);
+  const uint64_t new_index = segs.empty() ? 1 : segs.back() + 1;
+
+  std::string compacted;
+  for (const JournalEntry& e : rec.incomplete) {
+    JournalRecord acc;
+    acc.seq = e.seq;
+    acc.event = JournalEvent::kAccepted;
+    acc.id = e.id;
+    acc.client = e.client;
+    acc.dedupe = e.dedupe;
+    acc.request = e.request;
+    compacted += acc.encode();
+    if (!e.checkpoint_path.empty()) {
+      JournalRecord ck;
+      ck.seq = e.seq;
+      ck.event = JournalEvent::kCheckpointed;
+      ck.id = e.id;
+      ck.checkpoint_path = e.checkpoint_path;
+      compacted += ck.encode();
+    }
+  }
+  // Dispatch/terminal records are deliberately not carried over: replay
+  // re-dispatches every live entry and journals fresh transitions.
+
+  // The new segment becomes durable before the old ones disappear — a
+  // crash between the two steps leaves duplicates, which scan() merges.
+  if (!compacted.empty()) {
+    write_file_atomic(segment_path(opts_.dir, new_index), compacted);
+  }
+  for (const uint64_t s : segs) {
+    ::unlink(segment_path(opts_.dir, s).c_str());
+  }
+  sync_parent_directory(segment_path(opts_.dir, new_index));
+
+  open_segment(new_index);
+  next_seq_ = rec.max_seq + 1;
+  recovered_incomplete_ = rec.incomplete.size();
+  torn_tail_dropped_ = rec.torn_tail_dropped;
+  return rec;
+}
+
+Json Journal::stats_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json j = Json::object();
+  j.set("appends", appends_);
+  j.set("rotations", rotations_);
+  j.set("segment_index", segment_index_);
+  j.set("segment_bytes", uint64_t(segment_bytes_));
+  j.set("replay_incomplete", recovered_incomplete_);
+  j.set("torn_tail_dropped", torn_tail_dropped_);
+  return j;
+}
+
+}  // namespace logitdyn::service

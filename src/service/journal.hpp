@@ -1,0 +1,160 @@
+// Write-ahead request journal for logitdynd (DESIGN.md §16).
+//
+// One NDJSON record per request lifecycle transition — accepted,
+// dispatched, checkpointed, completed, cancelled — appended to a segment
+// file and fsync'd before the transition is acted on. Each line carries
+// its own FNV-1a 64 checksum:
+//
+//     <16 lowercase hex chars> <compact json>\n
+//
+// so recovery can tell a torn tail (the one record a crash mid-append may
+// leave half-written — tolerated, dropped, counted) from corruption
+// anywhere else (refused loudly). Segments rotate at a byte threshold;
+// recovery compacts every live entry into a fresh segment and deletes the
+// old ones, so the journal stays proportional to the set of incomplete
+// requests rather than to daemon lifetime.
+//
+// Crash windows are drivable from tests/CI via support/fault_injection:
+// `journal_torn_tail` (prefix write + fsync + _Exit(42)) and
+// `journal_kill_pre_fsync` (full write, no fsync, _Exit(42)).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace logitdyn::service {
+
+struct ServiceRequest;
+
+/// FNV-1a 64 over `text`, rendered as 16 lowercase hex chars — the same
+/// hash family (and rendering) as ScenarioSpec::canonical_hash().
+std::string fnv1a_hex(const std::string& text);
+
+/// Canonical request hash used as the replay dedupe key: FNV-1a 64 of the
+/// canonical dump of {experiment, scenario, options} — deliberately NOT
+/// the request id, so a reconnecting client that resubmits the same work
+/// under any id lands on the original journal entry.
+std::string canonical_request_hash(const ServiceRequest& request);
+
+enum class JournalEvent : uint8_t {
+  kAccepted = 0,   ///< request validated and queued; payload = full request
+  kDispatched,     ///< scheduler handed the request to a worker
+  kCheckpointed,   ///< a fleet checkpoint for the request is durable on disk
+  kCompleted,      ///< terminal: run finished (completed/degraded/failed/...)
+  kCancelled,      ///< terminal: cancelled (queued or active)
+};
+
+const char* journal_event_name(JournalEvent e);
+
+/// One journal line, decoded. Which fields are meaningful depends on the
+/// event: accepted carries client/dedupe/request, checkpointed carries
+/// checkpoint_path, completed carries the final report state.
+struct JournalRecord {
+  static constexpr int64_t kVersion = 1;
+
+  uint64_t seq = 0;  ///< monotone per-journal sequence; orders replay
+  JournalEvent event = JournalEvent::kAccepted;
+  std::string id;
+  std::string client;           // accepted only
+  std::string dedupe;           // accepted only
+  Json request;                 // accepted only
+  std::string checkpoint_path;  // checkpointed only
+  std::string state;            // completed only
+
+  /// `<fnv16> <compact json>\n`.
+  std::string encode() const;
+
+  /// Inverse of encode (newline optional). Throws Error on checksum
+  /// mismatch, malformed JSON, unknown record version, or a bad event
+  /// name — recovery decides whether a failure is a tolerable torn tail.
+  static JournalRecord decode(const std::string& line);
+};
+
+/// A live (non-terminal) request reconstructed by recovery, in original
+/// submit order.
+struct JournalEntry {
+  uint64_t seq = 0;  ///< seq of the accepted record
+  std::string id;
+  std::string client;
+  std::string dedupe;
+  Json request;
+  std::string checkpoint_path;  ///< last durable fleet checkpoint ("" = none)
+  bool dispatched = false;
+};
+
+class Journal {
+ public:
+  struct Options {
+    std::string dir;
+    size_t segment_max_bytes = size_t(1) << 20;
+  };
+
+  struct Recovery {
+    std::vector<JournalEntry> incomplete;  ///< original submit order
+    uint64_t records = 0;           ///< valid records scanned
+    uint64_t terminal = 0;          ///< entries dropped as completed/cancelled
+    uint64_t torn_tail_dropped = 0; ///< 0 or 1: the crash-torn final record
+    uint64_t segments_scanned = 0;
+    uint64_t max_seq = 0;           ///< highest sequence number seen
+  };
+
+  /// Creates `opts.dir` (and parents) if needed. Appends go to the
+  /// highest-numbered segment; call recover_and_compact() first on a
+  /// journal that may hold pre-crash state.
+  explicit Journal(Options opts);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Scan every segment in order (state machine per request id), compact
+  /// the live entries into a fresh segment, delete the old ones, and
+  /// position the journal to append after the compacted tail. Duplicate
+  /// records (an interrupted earlier compaction) merge idempotently.
+  /// Throws Error on mid-journal corruption; tolerates one torn final
+  /// record.
+  Recovery recover_and_compact();
+
+  // Lifecycle appends. Each encodes one record, appends it to the active
+  // segment, and fsyncs before returning — the caller may act on the
+  // transition only once these return.
+  void accepted(const std::string& id, const std::string& client,
+                const std::string& dedupe, const Json& request);
+  void dispatched(const std::string& id);
+  void checkpointed(const std::string& id, const std::string& path);
+  void completed(const std::string& id, const std::string& state);
+  void cancelled(const std::string& id);
+
+  const std::string& dir() const { return opts_.dir; }
+
+  /// {"appends":N,"rotations":N,"segment_index":N,"segment_bytes":N,
+  ///  "replay_incomplete":N,"torn_tail_dropped":N}
+  Json stats_json() const;
+
+  /// Pure scan of the segments under `dir` — the recovery state machine
+  /// without the compaction side effects. Exposed for tests and reused by
+  /// recover_and_compact().
+  static Recovery scan(const std::string& dir);
+
+ private:
+  void append(JournalRecord rec);
+  void open_segment(uint64_t index);
+  void close_segment();
+
+  Options opts_;
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  uint64_t segment_index_ = 0;
+  size_t segment_bytes_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t appends_ = 0;
+  uint64_t rotations_ = 0;
+  uint64_t recovered_incomplete_ = 0;
+  uint64_t torn_tail_dropped_ = 0;
+};
+
+}  // namespace logitdyn::service

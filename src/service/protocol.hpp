@@ -14,6 +14,11 @@
 //   {"id", "cancelled": true}                       cancel acknowledged
 //   {"id", "error": "..."}                          request-level failure
 //
+// The stats payload carries {"scheduler", "cache", "journal"} blocks; the
+// journal block (DESIGN.md §16) reports write-ahead-journal counters —
+// appends/rotations plus replayed/resumed/dedupe_hits from the last
+// restart — or {"enabled": false} on a journal-less daemon.
+//
 // The cancel ack goes to the connection that SENT the cancel frame; the
 // state=cancelled final report still goes to the connection that
 // submitted the request (they may differ).

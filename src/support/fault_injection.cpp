@@ -20,8 +20,9 @@ Slot g_slots[kPoints];
 std::once_flag g_env_once;
 
 const char* const kNames[kPoints] = {
-    "timeout",     "snapshot_kill", "apply_nan",       "lanczos_nan",
-    "tv_nan",      "isa_gate",      "cheb_uncertified",
+    "timeout",     "snapshot_kill", "apply_nan",        "lanczos_nan",
+    "tv_nan",      "isa_gate",      "cheb_uncertified", "journal_torn_tail",
+    "journal_kill_pre_fsync", "kill_post_dispatch",
 };
 
 void recompute_any_armed() {
@@ -128,7 +129,8 @@ std::vector<std::pair<Point, uint64_t>> parse_spec(const std::string& spec) {
     }
     LD_CHECK(known, "fault::parse_spec: unknown fault point '", item,
              "' (known: timeout, snapshot_kill, apply_nan, lanczos_nan, "
-             "tv_nan, isa_gate, cheb_uncertified)");
+             "tv_nan, isa_gate, cheb_uncertified, journal_torn_tail, "
+             "journal_kill_pre_fsync, kill_post_dispatch)");
   }
   return out;
 }

@@ -33,12 +33,16 @@ enum class Point : uint8_t {
   kTvNaN,              ///< batched TV reduction poisoned to NaN
   kIsaGateTrip,        ///< runtime fast_exp defect gate reports failure
   kChebUncertified,    ///< spectral certification reported as failed
+  kJournalTornTail,    ///< journal append writes a record prefix, then _Exit(42)
+  kJournalKillPreFsync,  ///< journal append writes the record, skips fsync, _Exit(42)
+  kKillPostDispatch,   ///< daemon _Exit(42)s right after the k-th checkpointed record
   kCount,
 };
 
 /// Stable point name, as accepted by LOGITDYN_FAULT ("timeout",
 /// "snapshot_kill", "apply_nan", "lanczos_nan", "tv_nan", "isa_gate",
-/// "cheb_uncertified").
+/// "cheb_uncertified", "journal_torn_tail", "journal_kill_pre_fsync",
+/// "kill_post_dispatch").
 const char* point_name(Point p);
 
 /// Arm `p` to fire at its `at_hit`-th future hit (1-based; resets the hit

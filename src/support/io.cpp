@@ -15,8 +15,6 @@
 
 namespace logitdyn {
 
-namespace {
-
 void sync_parent_directory(const std::string& path) {
   // Renames are only durable once the directory entry is on disk; failure
   // here is a durability (not atomicity) concern, so it stays best-effort.
@@ -30,8 +28,6 @@ void sync_parent_directory(const std::string& path) {
     ::close(fd);
   }
 }
-
-}  // namespace
 
 void write_file_atomic(const std::string& path, const std::string& text) {
   const std::string tmp = path + ".tmp";

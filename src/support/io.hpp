@@ -21,6 +21,12 @@ void write_file_atomic(const std::string& path, const std::string& text);
 /// Read a whole file; throws Error when it cannot be opened.
 std::string read_file(const std::string& path);
 
+/// fsync the directory containing `path` so a just-created or renamed
+/// entry survives power loss. Best-effort (durability, not atomicity):
+/// errors are swallowed. Used by write_file_atomic and the service
+/// journal's segment lifecycle.
+void sync_parent_directory(const std::string& path);
+
 /// Bit-exact double <-> text: C99 hexfloat ("%a"). json_number_to_string
 /// is only round-trip-ish, so snapshot payloads that must resume
 /// bit-identically store their doubles through these instead.

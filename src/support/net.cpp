@@ -5,6 +5,7 @@
 
 #include <fcntl.h>
 #include <poll.h>
+#include <sys/file.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -49,6 +50,10 @@ bool Socket::send_all(const char* data, size_t len) {
     const ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        wait_writable(-1);
+        continue;
+      }
       return false;
     }
     sent += size_t(n);
@@ -60,6 +65,10 @@ long Socket::recv_some(char* buf, size_t len) {
   while (true) {
     const ssize_t n = ::recv(fd_, buf, len, 0);
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      wait_readable(-1);
+      continue;
+    }
     return long(n);
   }
 }
@@ -73,7 +82,17 @@ bool Socket::wait_readable(int timeout_ms) const {
   }
 }
 
-UnixListener::UnixListener(const std::string& path) : path_(path) {
+bool Socket::wait_writable(int timeout_ms) const {
+  struct pollfd pfd = {fd_, POLLOUT, 0};
+  while (true) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    return rc > 0 && (pfd.revents & (POLLOUT | POLLHUP | POLLERR)) != 0;
+  }
+}
+
+UnixListener::UnixListener(const std::string& path)
+    : path_(path), lock_path_(path + ".lock") {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   LD_CHECK(path.size() < sizeof(addr.sun_path),
@@ -81,10 +100,26 @@ UnixListener::UnixListener(const std::string& path) : path_(path) {
            sizeof(addr.sun_path) - 1, "): ", path);
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
 
+  // Liveness first: flock the lockfile before touching the socket path.
+  // The kernel releases the lock when the holder dies (SIGKILL included),
+  // so "lock held" means a live daemon owns this endpoint and "lock free
+  // but socket file present" means the previous owner crashed and its
+  // socket is stale.
+  const int lfd =
+      ::open(lock_path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (lfd < 0) throw Error(errno_text(("open " + lock_path_).c_str()));
+  lock_ = Socket(lfd);
+  while (::flock(lfd, LOCK_EX | LOCK_NB) != 0) {
+    if (errno == EINTR) continue;
+    throw Error("socket " + path +
+                " is owned by a live daemon (lockfile " + lock_path_ +
+                " is flock'd); refusing to unlink it");
+  }
+
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) throw Error(errno_text("socket"));
   fd_ = Socket(fd);
-  ::unlink(path.c_str());  // stale endpoint from a previous run
+  ::unlink(path.c_str());  // stale endpoint from a crashed previous owner
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     throw Error(errno_text(("bind " + path).c_str()));
@@ -94,7 +129,12 @@ UnixListener::UnixListener(const std::string& path) : path_(path) {
   }
 }
 
-UnixListener::~UnixListener() { ::unlink(path_.c_str()); }
+UnixListener::~UnixListener() {
+  ::unlink(path_.c_str());
+  // The lockfile stays on disk: unlinking it would open a race where a
+  // daemon flocks the doomed inode while a third creates a fresh file.
+  // Closing lock_ releases the flock.
+}
 
 Socket UnixListener::accept() {
   while (true) {
@@ -105,7 +145,8 @@ Socket UnixListener::accept() {
   }
 }
 
-Socket connect_unix(const std::string& path) {
+Socket try_connect_unix(const std::string& path, int* err_out) {
+  if (err_out != nullptr) *err_out = 0;
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   LD_CHECK(path.size() < sizeof(addr.sun_path), "socket path too long: ",
@@ -118,6 +159,17 @@ Socket connect_unix(const std::string& path) {
   while (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                    sizeof(addr)) != 0) {
     if (errno == EINTR) continue;
+    if (err_out != nullptr) *err_out = errno;
+    return Socket();
+  }
+  return sock;
+}
+
+Socket connect_unix(const std::string& path) {
+  int err = 0;
+  Socket sock = try_connect_unix(path, &err);
+  if (!sock.valid()) {
+    errno = err;
     throw Error(errno_text(("connect " + path).c_str()));
   }
   return sock;

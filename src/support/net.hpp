@@ -31,8 +31,9 @@ class Socket {
   /// to stop per-connection reader threads safely.
   void shutdown_rdwr();
 
-  /// Write the whole buffer (retrying short writes / EINTR). Returns false
-  /// once the peer is gone (EPIPE/ECONNRESET) — callers treat that as a
+  /// Write the whole buffer (retrying short writes, EINTR, and — should
+  /// the fd ever be non-blocking — EAGAIN via poll). Returns false once
+  /// the peer is gone (EPIPE/ECONNRESET) — callers treat that as a
   /// disconnect, not an error. SIGPIPE is suppressed per-call.
   bool send_all(const char* data, size_t len);
   bool send_all(const std::string& data) {
@@ -47,14 +48,25 @@ class Socket {
   /// forever). Returns true when readable.
   bool wait_readable(int timeout_ms) const;
 
+  /// Block until the fd is writable (same contract as wait_readable).
+  bool wait_writable(int timeout_ms) const;
+
  private:
   int fd_ = -1;
 };
 
-/// Listening AF_UNIX stream socket bound to a filesystem path. The
-/// constructor unlinks any stale socket file at `path` first (daemons
-/// restart); the destructor unlinks it again so ls doesn't accumulate
-/// dead endpoints. Throws Error when bind/listen fail.
+/// Listening AF_UNIX stream socket bound to a filesystem path.
+///
+/// Crash-safe startup (DESIGN.md §16): a SIGKILL'd daemon leaves its
+/// socket file behind, and blindly unlinking it would let a second
+/// daemon steal a *live* daemon's endpoint. The constructor therefore
+/// takes `flock(LOCK_EX | LOCK_NB)` on `<path>.lock` first — the kernel
+/// drops the lock the instant the holder dies, however it dies — and
+/// only with the lock held unlinks whatever stale socket file remains
+/// and binds. When the lock is already held, construction throws: a live
+/// daemon owns the path. The lock is held (and the lockfile left in
+/// place) for the listener's lifetime; the destructor unlinks the socket
+/// so ls doesn't accumulate dead endpoints.
 class UnixListener {
  public:
   explicit UnixListener(const std::string& path);
@@ -64,6 +76,7 @@ class UnixListener {
 
   int fd() const { return fd_.fd(); }
   const std::string& path() const { return path_; }
+  const std::string& lock_path() const { return lock_path_; }
 
   /// Accept one connection (blocking). Returns an invalid Socket when the
   /// listener was closed under us or accept fails transiently.
@@ -71,12 +84,19 @@ class UnixListener {
 
  private:
   Socket fd_;
+  Socket lock_;  // flock'd <path>.lock, held for the listener's lifetime
   std::string path_;
+  std::string lock_path_;
 };
 
 /// Connect to a UnixListener's path. Throws Error (with errno text) when
 /// nothing is listening there.
 Socket connect_unix(const std::string& path);
+
+/// Non-throwing connect_unix: an invalid Socket plus `*err_out = errno`
+/// when the connect fails. The client retry loop keys off the errno
+/// (ECONNREFUSED / ENOENT = daemon down or restarting).
+Socket try_connect_unix(const std::string& path, int* err_out);
 
 /// A pipe whose read end can sit in a poll() set: notify() makes the
 /// poll wake up, drain() resets it. notify() is async-signal-safe (a

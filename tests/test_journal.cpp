@@ -1,0 +1,328 @@
+// Write-ahead request journal tests (DESIGN.md §16): the per-record
+// checksum codec, the recovery scan's state machine (torn final record
+// tolerated, corruption anywhere else refused, unknown versions
+// refused), segment rotation, compaction (submit order preserved,
+// terminal entries dropped, checkpoint paths carried over, interrupted
+// compactions merged idempotently), and the two crash-window fault
+// points that CI drives via LOGITDYN_FAULT.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "service/journal.hpp"
+#include "service/protocol.hpp"
+#include "support/error.hpp"
+#include "support/fault_injection.hpp"
+#include "support/io.hpp"
+#include "support/json.hpp"
+
+namespace logitdyn {
+namespace {
+
+using service::Journal;
+using service::JournalEntry;
+using service::JournalEvent;
+using service::JournalRecord;
+using service::ServiceRequest;
+
+/// A fresh journal directory under the gtest temp root. Never reused
+/// across tests: every name embeds the pid and a per-process counter.
+std::string fresh_dir(const std::string& tag) {
+  static int counter = 0;
+  return testing::TempDir() + "ld_journal_" + tag + "_" +
+         std::to_string(::getpid()) + "_" + std::to_string(counter++);
+}
+
+Json tiny_request() {
+  Json req = Json::object();
+  req.set("id", "r1");
+  req.set("experiment", "explore");
+  return req;
+}
+
+// ------------------------------------------------------------ the codec
+
+TEST(JournalCodecTest, EveryEventRoundTrips) {
+  JournalRecord acc;
+  acc.seq = 7;
+  acc.event = JournalEvent::kAccepted;
+  acc.id = "r1";
+  acc.client = "client-3";
+  acc.dedupe = "00deadbeef00face";
+  acc.request = tiny_request();
+  JournalRecord disp;
+  disp.seq = 8;
+  disp.event = JournalEvent::kDispatched;
+  disp.id = "r1";
+  JournalRecord ck;
+  ck.seq = 9;
+  ck.event = JournalEvent::kCheckpointed;
+  ck.id = "r1";
+  ck.checkpoint_path = "/tmp/ck.json";
+  JournalRecord done;
+  done.seq = 10;
+  done.event = JournalEvent::kCompleted;
+  done.id = "r1";
+  done.state = "completed";
+  JournalRecord gone;
+  gone.seq = 11;
+  gone.event = JournalEvent::kCancelled;
+  gone.id = "r2";
+
+  for (const JournalRecord* rec : {&acc, &disp, &ck, &done, &gone}) {
+    const std::string line = rec->encode();
+    ASSERT_EQ(line.back(), '\n');
+    const JournalRecord back = JournalRecord::decode(line);
+    EXPECT_EQ(back.seq, rec->seq);
+    EXPECT_EQ(back.event, rec->event);
+    EXPECT_EQ(back.id, rec->id);
+    EXPECT_EQ(back.client, rec->client);
+    EXPECT_EQ(back.dedupe, rec->dedupe);
+    EXPECT_EQ(back.checkpoint_path, rec->checkpoint_path);
+    EXPECT_EQ(back.state, rec->state);
+    EXPECT_TRUE(back.request == rec->request);
+  }
+}
+
+TEST(JournalCodecTest, TamperedRecordsAreRefused) {
+  JournalRecord rec;
+  rec.seq = 1;
+  rec.event = JournalEvent::kDispatched;
+  rec.id = "r1";
+  std::string line = rec.encode();
+  // Flip one payload byte: the checksum must catch it.
+  line[line.size() / 2] ^= 1;
+  EXPECT_THROW(JournalRecord::decode(line), Error);
+  EXPECT_THROW(JournalRecord::decode("not a journal line"), Error);
+  EXPECT_THROW(JournalRecord::decode(""), Error);
+}
+
+TEST(JournalCodecTest, UnknownVersionIsRefusedNotGuessed) {
+  // A well-formed, correctly checksummed record from a hypothetical
+  // future format: the refusal must be about the version, not the sum.
+  const std::string body =
+      R"({"event":"dispatched","id":"r1","seq":1,"v":2})";
+  const std::string line = service::fnv1a_hex(body) + " " + body + "\n";
+  try {
+    JournalRecord::decode(line);
+    FAIL() << "decode accepted an unknown record version";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported version"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JournalCodecTest, CanonicalRequestHashIgnoresTheRequestId) {
+  ServiceRequest a;
+  a.id = "first-submit";
+  a.experiment = "explore";
+  a.options = Json::parse(R"({"smoke": true})");
+  ServiceRequest b = a;
+  b.id = "resubmit-after-reconnect";
+  EXPECT_EQ(service::canonical_request_hash(a),
+            service::canonical_request_hash(b));
+  b.options = Json::parse(R"({"smoke": false})");
+  EXPECT_NE(service::canonical_request_hash(a),
+            service::canonical_request_hash(b));
+}
+
+// ------------------------------------------------------ scan + recovery
+
+TEST(JournalScanTest, LifecycleStateMachineYieldsIncompleteInSubmitOrder) {
+  const std::string dir = fresh_dir("scan");
+  {
+    Journal journal({dir});
+    journal.accepted("r1", "c1", "d1", tiny_request());
+    journal.accepted("r2", "c1", "d2", tiny_request());
+    journal.accepted("r3", "c2", "d3", tiny_request());
+    journal.dispatched("r1");
+    journal.checkpointed("r1", dir + "/ck-r1.json");
+    journal.completed("r2", "completed");
+    journal.cancelled("r3");
+  }
+  const Journal::Recovery rec = Journal::scan(dir);
+  EXPECT_EQ(rec.records, 7u);
+  EXPECT_EQ(rec.terminal, 2u);
+  EXPECT_EQ(rec.torn_tail_dropped, 0u);
+  ASSERT_EQ(rec.incomplete.size(), 1u);
+  EXPECT_EQ(rec.incomplete[0].id, "r1");
+  EXPECT_TRUE(rec.incomplete[0].dispatched);
+  EXPECT_EQ(rec.incomplete[0].checkpoint_path, dir + "/ck-r1.json");
+  EXPECT_EQ(rec.incomplete[0].client, "c1");
+  EXPECT_EQ(rec.incomplete[0].dedupe, "d1");
+}
+
+TEST(JournalScanTest, TornFinalRecordIsToleratedAndCounted) {
+  const std::string dir = fresh_dir("torn");
+  {
+    Journal journal({dir});
+    journal.accepted("r1", "c1", "d1", tiny_request());
+    journal.accepted("r2", "c1", "d2", tiny_request());
+  }
+  // Tear the tail the way a crash mid-append would: keep a prefix of the
+  // final line, no newline.
+  const std::string seg = dir + "/seg-000001.ndjson";
+  const std::string text = read_file(seg);
+  const size_t last_line_start = text.rfind('\n', text.size() - 2) + 1;
+  write_file_atomic(seg,
+                    text.substr(0, last_line_start + 10));
+  const Journal::Recovery rec = Journal::scan(dir);
+  EXPECT_EQ(rec.torn_tail_dropped, 1u);
+  ASSERT_EQ(rec.incomplete.size(), 1u);
+  EXPECT_EQ(rec.incomplete[0].id, "r1");
+}
+
+TEST(JournalScanTest, CorruptionAnywhereElseIsRefused) {
+  const std::string dir = fresh_dir("corrupt");
+  {
+    Journal journal({dir});
+    journal.accepted("r1", "c1", "d1", tiny_request());
+    journal.accepted("r2", "c1", "d2", tiny_request());
+    journal.accepted("r3", "c1", "d3", tiny_request());
+  }
+  const std::string seg = dir + "/seg-000001.ndjson";
+  std::string text = read_file(seg);
+  // Damage the SECOND record: not the final line, so not a torn tail.
+  const size_t second = text.find('\n') + 1;
+  text[second + 20] ^= 1;
+  write_file_atomic(seg, text);
+  EXPECT_THROW(Journal::scan(dir), Error);
+}
+
+TEST(JournalScanTest, RotationSpreadsRecordsAcrossSegments) {
+  const std::string dir = fresh_dir("rotate");
+  Journal::Options opts;
+  opts.dir = dir;
+  opts.segment_max_bytes = 128;  // every append overflows: one per segment
+  {
+    Journal journal(opts);
+    for (int i = 0; i < 4; ++i) {
+      journal.accepted("r" + std::to_string(i), "c", "d" + std::to_string(i),
+                       tiny_request());
+    }
+    EXPECT_EQ(journal.stats_json().at("rotations").as_int(), 4);
+  }
+  const Journal::Recovery rec = Journal::scan(dir);
+  EXPECT_GE(rec.segments_scanned, 4u);
+  ASSERT_EQ(rec.incomplete.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(rec.incomplete[size_t(i)].id, "r" + std::to_string(i));
+  }
+}
+
+TEST(JournalRecoveryTest, CompactionDropsTerminalKeepsOrderAndCheckpoints) {
+  const std::string dir = fresh_dir("compact");
+  {
+    Journal journal({dir});
+    journal.accepted("done", "c", "d0", tiny_request());
+    journal.accepted("live1", "c", "d1", tiny_request());
+    journal.accepted("live2", "c", "d2", tiny_request());
+    journal.dispatched("live1");
+    journal.checkpointed("live1", dir + "/ck-live1.json");
+    journal.completed("done", "completed");
+  }
+  Journal journal({dir});
+  const Journal::Recovery rec = journal.recover_and_compact();
+  ASSERT_EQ(rec.incomplete.size(), 2u);
+  EXPECT_EQ(rec.incomplete[0].id, "live1");
+  EXPECT_EQ(rec.incomplete[1].id, "live2");
+  EXPECT_EQ(rec.incomplete[0].checkpoint_path, dir + "/ck-live1.json");
+
+  // The compacted journal stands alone: a second recovery (fresh object,
+  // as after another restart) sees the same live set, still in order, and
+  // the terminal entry is gone from disk for good.
+  Journal again({dir});
+  const Journal::Recovery rec2 = again.recover_and_compact();
+  ASSERT_EQ(rec2.incomplete.size(), 2u);
+  EXPECT_EQ(rec2.incomplete[0].id, "live1");
+  EXPECT_EQ(rec2.incomplete[0].checkpoint_path, dir + "/ck-live1.json");
+  EXPECT_EQ(rec2.terminal, 0u);
+}
+
+TEST(JournalRecoveryTest, PostCompactionAppendsNeverReuseSequenceNumbers) {
+  const std::string dir = fresh_dir("seq");
+  {
+    Journal journal({dir});
+    journal.accepted("r1", "c", "d1", tiny_request());
+    journal.accepted("r2", "c", "d2", tiny_request());
+  }
+  Journal journal({dir});
+  const Journal::Recovery rec = journal.recover_and_compact();
+  EXPECT_EQ(rec.max_seq, 2u);
+  journal.accepted("r3", "c", "d3", tiny_request());
+  const Journal::Recovery after = Journal::scan(dir);
+  ASSERT_EQ(after.incomplete.size(), 3u);
+  // The fresh append sorts after both compacted entries.
+  EXPECT_EQ(after.incomplete[2].id, "r3");
+  EXPECT_GT(after.incomplete[2].seq, rec.max_seq);
+}
+
+TEST(JournalRecoveryTest, InterruptedCompactionDuplicatesMergeIdempotently) {
+  const std::string dir = fresh_dir("dup");
+  {
+    Journal journal({dir});
+    journal.accepted("r1", "c", "d1", tiny_request());
+  }
+  // A crash between writing the compacted segment and unlinking the old
+  // ones leaves the same accepted record in two segments.
+  const std::string text = read_file(dir + "/seg-000001.ndjson");
+  write_file_atomic(dir + "/seg-000002.ndjson", text);
+  Journal journal({dir});
+  const Journal::Recovery rec = journal.recover_and_compact();
+  ASSERT_EQ(rec.incomplete.size(), 1u);
+  EXPECT_EQ(rec.incomplete[0].id, "r1");
+}
+
+// ------------------------------------------------- crash-window faults
+
+TEST(JournalDeathTest, TornTailFaultLeavesARecoverableJournal) {
+  const std::string dir = fresh_dir("fault_torn");
+  {
+    Journal journal({dir});
+    journal.accepted("r1", "c", "d1", tiny_request());
+  }
+  EXPECT_EXIT(
+      {
+        Journal journal({dir});
+        journal.recover_and_compact();
+        fault::arm(fault::Point::kJournalTornTail);
+        journal.accepted("r2", "c", "d2", tiny_request());
+      },
+      testing::ExitedWithCode(42), "");
+  // The torn r2 record is dropped; the durable r1 survives.
+  Journal journal({dir});
+  const Journal::Recovery rec = journal.recover_and_compact();
+  EXPECT_EQ(rec.torn_tail_dropped, 1u);
+  ASSERT_EQ(rec.incomplete.size(), 1u);
+  EXPECT_EQ(rec.incomplete[0].id, "r1");
+}
+
+TEST(JournalDeathTest, PreFsyncKillLosesAtMostTheLastRecord) {
+  const std::string dir = fresh_dir("fault_fsync");
+  {
+    Journal journal({dir});
+    journal.accepted("r1", "c", "d1", tiny_request());
+  }
+  EXPECT_EXIT(
+      {
+        Journal journal({dir});
+        journal.recover_and_compact();
+        fault::arm(fault::Point::kJournalKillPreFsync);
+        journal.accepted("r2", "c", "d2", tiny_request());
+      },
+      testing::ExitedWithCode(42), "");
+  // The unsynced r2 record either survived whole or vanished — recovery
+  // must accept both outcomes, and r1 must survive either way.
+  Journal journal({dir});
+  const Journal::Recovery rec = journal.recover_and_compact();
+  ASSERT_GE(rec.incomplete.size(), 1u);
+  ASSERT_LE(rec.incomplete.size(), 2u);
+  EXPECT_EQ(rec.incomplete[0].id, "r1");
+}
+
+}  // namespace
+}  // namespace logitdyn

@@ -157,6 +157,32 @@ TEST(ReportValidatorTest, RejectsBrokenDocuments) {
   EXPECT_NE(error.find("length disagrees"), std::string::npos);
 }
 
+TEST(ReportValidatorTest, ResumedFromIsOptionalButMustBeANonEmptyString) {
+  std::string error;
+  // A resumed run (DESIGN.md §16) records where it picked up from.
+  Report resumed("ok");
+  resumed.set_echo(nullptr);
+  resumed.section("s");
+  resumed.set_resumed_from("/tmp/ck.json");
+  const Json good = resumed.to_json();
+  ASSERT_TRUE(validate_report_json(good, &error)) << error;
+  EXPECT_EQ(good.at("status").at("resumed_from").as_string(),
+            "/tmp/ck.json");
+
+  Json bad_type = good;
+  Json status = good.at("status");
+  status.set("resumed_from", 7);
+  bad_type.set("status", status);
+  EXPECT_FALSE(validate_report_json(bad_type, &error));
+  EXPECT_NE(error.find("resumed_from"), std::string::npos);
+
+  Json empty = good;
+  status = good.at("status");
+  status.set("resumed_from", "");
+  empty.set("status", status);
+  EXPECT_FALSE(validate_report_json(empty, &error));
+}
+
 TEST(ExperimentRegistryTest, ListsAllBuiltInExperiments) {
   const ExperimentRegistry& reg = ExperimentRegistry::instance();
   const std::vector<std::string> names = reg.names();

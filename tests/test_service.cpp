@@ -7,11 +7,16 @@
 // repeated requests, schema-valid state=cancelled / state=deadline
 // reports, and two simultaneous clients.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
+#include <cstdio>
+#include <cstring>
 #include <functional>
 #include <future>
 #include <memory>
@@ -27,6 +32,7 @@
 #include "service/client.hpp"
 #include "service/daemon.hpp"
 #include "service/engine.hpp"
+#include "service/journal.hpp"
 #include "service/protocol.hpp"
 #include "service/scheduler.hpp"
 #include "support/error.hpp"
@@ -41,6 +47,7 @@ using service::ArtifactCache;
 using service::Client;
 using service::Daemon;
 using service::Engine;
+using service::Journal;
 using service::Scheduler;
 using service::ServiceRequest;
 
@@ -472,6 +479,33 @@ TEST(ProtocolTest, FrameBufferSplitsLinesAndBoundsFrameSize) {
   EXPECT_THROW(frames.append(flood.data(), flood.size()), Error);
 }
 
+TEST(ProtocolTest, FrameBufferReassemblesUnderArbitraryChunking) {
+  // A client that crashes and reconnects mid-frame, a kernel that
+  // returns one byte per recv — the framing layer must reassemble the
+  // identical frame sequence no matter how the wire bytes are sliced.
+  std::vector<std::string> expected;
+  std::string wire;
+  for (int i = 0; i < 17; ++i) {
+    Json f = Json::object();
+    f.set("id", "req-" + std::to_string(i));
+    f.set("payload", std::string(size_t(i * 7), 'x'));
+    expected.push_back(f.dump(0));
+    wire += f.dump(0) + "\n";
+  }
+  for (const size_t chunk : {size_t(1), size_t(2), size_t(3), size_t(7),
+                             size_t(13), size_t(64), wire.size()}) {
+    service::FrameBuffer frames;
+    std::vector<std::string> got;
+    std::string line;
+    for (size_t pos = 0; pos < wire.size(); pos += chunk) {
+      frames.append(wire.data() + pos, std::min(chunk, wire.size() - pos));
+      while (frames.next(&line)) got.push_back(line);
+    }
+    EXPECT_EQ(got, expected) << "chunk size " << chunk;
+    EXPECT_FALSE(frames.next(&line));  // nothing buffered past the frames
+  }
+}
+
 TEST(ProtocolTest, ParseServiceOptionsIsStrict) {
   Json options = Json::object();
   options.set("beta_grid", Json::array({Json(0.5), Json(1.0)}));
@@ -829,6 +863,164 @@ TEST(DaemonTest, DisconnectCancelsThatClientsOutstandingRequests) {
     ASSERT_LT(std::chrono::steady_clock::now(), deadline)
         << "orphaned request was never cancelled: " << sched.dump(0);
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+// --------------------------------------------- crash-safe startup (§16)
+
+TEST(UnixListenerTest, ReclaimsAStaleSocketButRefusesALiveOne) {
+  const std::string path = testing::TempDir() + "ld_stale_" +
+                           std::to_string(::getpid()) + ".sock";
+  // A SIGKILL'd daemon's leftovers: a bound socket file whose owner is
+  // gone (so nothing holds the flock). Bind raw and close without unlink.
+  {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    ASSERT_LT(path.size(), sizeof(addr.sun_path));
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0)
+        << std::strerror(errno);
+    ::close(fd);
+  }
+  // Regression: before the flock gate this threw EADDRINUSE; now the
+  // stale file is reclaimed…
+  net::UnixListener reclaimed(path);
+  EXPECT_EQ(reclaimed.path(), path);
+  // …while a second listener on the SAME path sees the held lock and
+  // refuses — it must never unlink a live daemon's endpoint.
+  try {
+    net::UnixListener thief(path);
+    FAIL() << "second listener stole a live socket";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("live daemon"), std::string::npos)
+        << e.what();
+  }
+  ::unlink(reclaimed.lock_path().c_str());
+}
+
+// ------------------------------------------------- client retry (§16)
+
+TEST(RetryPolicyTest, DelayScheduleIsDeterministicBoundedAndClamped) {
+  service::RetryPolicy policy;
+  policy.enabled = true;
+  for (const uint64_t word : {uint64_t(1), uint64_t(42), uint64_t(1u << 20)}) {
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      const double d = service::retry_delay_s(policy, attempt, word);
+      // Pure function: same inputs, same delay.
+      EXPECT_EQ(d, service::retry_delay_s(policy, attempt, word));
+      const double nominal = std::min(
+          policy.base_delay_s * std::pow(2.0, attempt), policy.max_delay_s);
+      EXPECT_GE(d, 0.75 * nominal) << "attempt " << attempt;
+      EXPECT_LE(d, 1.25 * nominal) << "attempt " << attempt;
+    }
+  }
+  // The jitter word actually jitters: two clients retrying the same
+  // attempt must not thunder in lockstep.
+  EXPECT_NE(service::retry_delay_s(policy, 3, 1),
+            service::retry_delay_s(policy, 3, 2));
+}
+
+TEST(RetryPolicyTest, RunWithRetryGivesUpAfterMaxOutage) {
+  const std::string nowhere = testing::TempDir() + "ld_no_daemon_" +
+                              std::to_string(::getpid()) + ".sock";
+  ServiceRequest req = small_explore("hopeless");
+  service::RetryPolicy policy;
+  policy.enabled = true;
+  policy.max_outage_s = 0.05;
+  policy.base_delay_s = 0.005;
+  policy.max_delay_s = 0.01;
+  EXPECT_THROW(Client::run_with_retry(nowhere, req, policy), Error);
+  // Disabled policy = plain connect + run: the connect error surfaces
+  // immediately instead of a backoff loop.
+  policy.enabled = false;
+  EXPECT_THROW(Client::run_with_retry(nowhere, req, policy), Error);
+}
+
+// ------------------------------------------- journal replay + dedupe
+
+TEST(EngineReplayTest, IncompleteEntriesReplayAndResubmitsAttach) {
+  const std::string dir = testing::TempDir() + "ld_replay_" +
+                          std::to_string(::getpid());
+  // A pre-crash journal: one request accepted and dispatched, never
+  // finished. Written directly — this test stands in for the daemon that
+  // died.
+  ServiceRequest orig = small_explore("orig");
+  {
+    service::Journal journal({dir});
+    journal.accepted("orig", "client-1",
+                     service::canonical_request_hash(orig), orig.to_json());
+    journal.dispatched("orig");
+  }
+
+  Engine::Config config;
+  config.max_active = 1;
+  config.heartbeat_stride = 1 << 20;
+  config.journal_dir = dir;
+  Engine engine(config);
+  const Json summary = engine.recover_and_replay();
+  EXPECT_TRUE(summary.at("enabled").as_bool());
+  EXPECT_EQ(summary.at("replayed").as_int(), 1);
+
+  // A reconnecting client resubmits the same content under a fresh id:
+  // it must attach to the replayed original, not run the work twice.
+  FrameCollector frames;
+  ServiceRequest resubmit = small_explore("resubmit-after-restart");
+  engine.handle(resubmit, "client-2", frames.sink());
+  const Json final_frame = frames.wait_for(
+      [](const Json& f) { return is_final_for(f, "resubmit-after-restart"); });
+  EXPECT_EQ(final_state(final_frame), "completed");
+  expect_valid_report(final_frame);
+
+  const Json jstats = engine.stats_json().at("journal");
+  EXPECT_TRUE(jstats.at("enabled").as_bool());
+  EXPECT_EQ(jstats.at("replayed").as_int(), 1);
+  EXPECT_EQ(jstats.at("dedupe_hits").as_int(), 1);
+
+  // The replayed entry goes terminal in the journal (the terminal append
+  // races the waiter's frame by a hair, so poll).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!Journal::scan(dir).incomplete.empty()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "replayed entry never went terminal";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+TEST(EngineReplayTest, SteadyStateSubmitsAreJournaledButNeverDeduped) {
+  const std::string dir = testing::TempDir() + "ld_nodedupe_" +
+                          std::to_string(::getpid());
+  Engine::Config config;
+  config.max_active = 1;
+  config.heartbeat_stride = 1 << 20;
+  config.journal_dir = dir;
+  Engine engine(config);
+  engine.recover_and_replay();
+
+  // Two identical fresh submits both run (the second rides the artifact
+  // cache, which is the intended fast path) — dedupe is a replay-only
+  // mechanism, so a warm-cache benchmark still measures the cache.
+  FrameCollector frames;
+  engine.handle(small_explore("fresh-1"), "c", frames.sink());
+  frames.wait_for([](const Json& f) { return is_final_for(f, "fresh-1"); });
+  engine.handle(small_explore("fresh-2"), "c", frames.sink());
+  frames.wait_for([](const Json& f) { return is_final_for(f, "fresh-2"); });
+
+  const Json stats = engine.stats_json();
+  EXPECT_EQ(stats.at("scheduler").at("submitted").as_int(), 2);
+  EXPECT_EQ(stats.at("journal").at("dedupe_hits").as_int(), 0);
+  // Both lifecycles were journaled and both go terminal (the terminal
+  // append trails the final frame by a hair, so poll).
+  EXPECT_GE(stats.at("journal").at("appends").as_int(), 4);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!Journal::scan(dir).incomplete.empty()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "journaled submits never went terminal";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
 }
 

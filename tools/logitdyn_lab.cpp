@@ -65,8 +65,9 @@ int usage(std::ostream& os, int code) {
         "  validate <file.json...>      schema-check emitted documents\n"
         "  client submit|cancel|stats   talk to a running logitdynd\n"
         "                               (--socket PATH; submit also takes\n"
-        "                               run options, --id ID and\n"
-        "                               --cancel-after-frames K)\n"
+        "                               run options, --id ID,\n"
+        "                               --cancel-after-frames K, --retry\n"
+        "                               and --retry-max-s SEC)\n"
         "run options: [--scenario s.json] [--beta-grid 0.5,1.0] [--seed N]\n"
         "             [--smoke] [--threads N] [--json out.json]\n"
         "             [--json-dir DIR] [--quiet] [--deadline-s SEC]\n"
@@ -191,6 +192,7 @@ struct RunArgs {
   std::string socket;
   std::string request_id;
   long cancel_after_frames = -1;
+  service::RetryPolicy retry;  // --retry / --retry-max-s (DESIGN.md §16)
 };
 
 RunArgs parse_run_args(const std::vector<std::string>& args) {
@@ -269,6 +271,18 @@ RunArgs parse_run_args(const std::vector<std::string>& args) {
         throw Error("bad --cancel-after-frames value: " + value);
       }
       out.cancel_after_frames = k;
+    } else if (arg == "--retry") {
+      out.retry.enabled = true;
+    } else if (arg == "--retry-max-s") {
+      const std::string& value = next("--retry-max-s");
+      char* end = nullptr;
+      const double seconds = std::strtod(value.c_str(), &end);
+      if (value.empty() || end != value.c_str() + value.size() ||
+          seconds <= 0.0) {
+        throw Error("bad --retry-max-s value: " + value);
+      }
+      out.retry.enabled = true;
+      out.retry.max_outage_s = seconds;
     } else if (arg == "--quiet") {
       out.quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -354,10 +368,10 @@ Json run_sweep(const std::string& name, const std::vector<ScenarioSpec>& specs,
 int cmd_run(const std::vector<std::string>& args) {
   RunArgs run_args = parse_run_args(args);
   if (!run_args.socket.empty() || !run_args.request_id.empty() ||
-      run_args.cancel_after_frames >= 0) {
+      run_args.cancel_after_frames >= 0 || run_args.retry.enabled) {
     throw Error(
-        "--socket/--id/--cancel-after-frames are `client` options; use "
-        "`logitdyn_lab client submit ...`");
+        "--socket/--id/--cancel-after-frames/--retry are `client` options; "
+        "use `logitdyn_lab client submit ...`");
   }
   const ExperimentRegistry& reg = ExperimentRegistry::instance();
 
@@ -488,9 +502,8 @@ int client_submit(const RunArgs& args) {
   }
   if (options.size() > 0) req.options = std::move(options);
 
-  service::Client client(args.socket);
   long progress_seen = 0;
-  const Json outcome = client.run(req, [&](const Json& frame) {
+  const auto on_frame = [&](const Json& frame) {
     if (frame.contains("progress")) {
       ++progress_seen;
       if (!args.quiet) {
@@ -504,7 +517,12 @@ int client_submit(const RunArgs& args) {
       }
     }
     return true;
-  });
+  };
+  // --retry rides a daemon restart: reconnect with backoff and resubmit
+  // the identical request (the journaling daemon's dedupe key makes the
+  // resubmit idempotent).
+  const Json outcome =
+      service::Client::run_with_retry(args.socket, req, args.retry, on_frame);
   if (const Json* error = outcome.find("error")) {
     std::cerr << "error: " << req.id << ": " << error->as_string() << "\n";
     return 1;

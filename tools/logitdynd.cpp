@@ -1,12 +1,18 @@
-// logitdynd — the persistent logitdyn daemon (DESIGN.md §15).
+// logitdynd — the persistent logitdyn daemon (DESIGN.md §15, §16).
 //
 //   logitdynd --socket PATH [--max-active N] [--cache-mb N]
 //             [--threads N] [--default-deadline-s S]
 //             [--heartbeat-stride N]
+//             [--journal-dir DIR | --no-journal] [--checkpoint-every N]
 //
 // Binds an AF_UNIX socket at PATH and serves the NDJSON protocol until
 // SIGTERM/SIGINT. `logitdyn_lab client --socket PATH ...` is the
 // matching front end.
+//
+// Durability (§16) is on by default: requests are journaled under
+// PATH.journal (override with --journal-dir) and a restarted daemon
+// replays incomplete ones, resuming fleet runs from their last
+// checkpoint. --no-journal restores the throwaway in-memory daemon.
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
@@ -28,7 +34,9 @@ int usage() {
   std::cerr
       << "usage: logitdynd --socket PATH [--max-active N] [--cache-mb N]\n"
          "                 [--threads N] [--default-deadline-s S]\n"
-         "                 [--heartbeat-stride N]\n";
+         "                 [--heartbeat-stride N]\n"
+         "                 [--journal-dir DIR | --no-journal]\n"
+         "                 [--checkpoint-every N]\n";
   return 2;
 }
 
@@ -37,6 +45,7 @@ int usage() {
 int main(int argc, char** argv) {
   using logitdyn::service::Daemon;
   Daemon::Config config;
+  bool no_journal = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -52,11 +61,22 @@ int main(int argc, char** argv) {
       config.engine.default_deadline_s = std::atof(argv[++i]);
     } else if (arg == "--heartbeat-stride" && has_value) {
       config.engine.heartbeat_stride = uint64_t(std::atoll(argv[++i]));
+    } else if (arg == "--journal-dir" && has_value) {
+      config.engine.journal_dir = argv[++i];
+    } else if (arg == "--no-journal") {
+      no_journal = true;
+    } else if (arg == "--checkpoint-every" && has_value) {
+      config.engine.journal_checkpoint_every = uint64_t(std::atoll(argv[++i]));
     } else {
       return usage();
     }
   }
   if (config.socket_path.empty()) return usage();
+  if (no_journal) {
+    config.engine.journal_dir.clear();
+  } else if (config.engine.journal_dir.empty()) {
+    config.engine.journal_dir = config.socket_path + ".journal";
+  }
 
   try {
     Daemon daemon(config);
@@ -66,7 +86,11 @@ int main(int argc, char** argv) {
     std::signal(SIGPIPE, SIG_IGN);
     std::cout << "logitdynd listening on " << config.socket_path
               << " (max-active " << config.engine.max_active << ", cache "
-              << (config.engine.cache_bytes >> 20) << " MiB)" << std::endl;
+              << (config.engine.cache_bytes >> 20) << " MiB, journal "
+              << (config.engine.journal_dir.empty()
+                      ? "off"
+                      : config.engine.journal_dir)
+              << ")" << std::endl;
     daemon.run();
     std::cout << "logitdynd: clean shutdown" << std::endl;
     return 0;

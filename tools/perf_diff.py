@@ -43,7 +43,7 @@ import tempfile
 
 IDENTITY_KEYS = ("workload", "game", "kernel", "topology", "states", "n",
                  "replicas", "steps", "beta", "threads", "clients",
-                 "cache_state")
+                 "cache_state", "journal")
 
 # environment keys that make wall times incomparable when they differ
 # between the baseline and current documents.
@@ -205,6 +205,33 @@ def self_test():
     regressions, _ = compare_file("t", base, cur, 0.20, 0.5, 0.20)
     check("warm-cache regression gates against the warm row",
           len(regressions) == 1 and "cache_state=warm" in regressions[0])
+
+    # 4c. Journal on/off passes (BENCH_service.json service_journal rows)
+    #     are likewise distinct identities: the fsync-paying journal=on
+    #     row must never be gated against the journal=off baseline.
+    base = _bench_doc([
+        {"workload": "service_journal", "clients": 1, "threads": 2,
+         "cache_state": "cold", "journal": "off", "p99_ms": 100.0},
+        {"workload": "service_journal", "clients": 1, "threads": 2,
+         "cache_state": "cold", "journal": "on", "p99_ms": 110.0},
+    ])
+    cur = _bench_doc([
+        {"workload": "service_journal", "clients": 1, "threads": 2,
+         "cache_state": "cold", "journal": "off", "p99_ms": 100.0},
+        {"workload": "service_journal", "clients": 1, "threads": 2,
+         "cache_state": "cold", "journal": "on", "p99_ms": 112.0},
+    ])
+    regressions, _ = compare_file("t", base, cur, 0.20, 0.5, 0.20)
+    check("journal on/off rows match like for like", not regressions)
+    cur = _bench_doc([
+        {"workload": "service_journal", "clients": 1, "threads": 2,
+         "cache_state": "cold", "journal": "off", "p99_ms": 100.0},
+        {"workload": "service_journal", "clients": 1, "threads": 2,
+         "cache_state": "cold", "journal": "on", "p99_ms": 200.0},
+    ])
+    regressions, _ = compare_file("t", base, cur, 0.20, 0.5, 0.20)
+    check("journal=on regression gates against the journal=on row",
+          len(regressions) == 1 and "journal=on" in regressions[0])
 
     # 5. Scaling-exponent drops gate even across environments; rows with
     #    distinct identity (kernel/topology) never cross-match.
